@@ -1,0 +1,32 @@
+//! Baseline coflow schedulers the paper compares Gurita against.
+//!
+//! * [`pfs::PerFlowFairSharing`] — the baseline: every flow shares each
+//!   link max-min fairly (steady-state TCP with no prioritization);
+//! * [`baraat::Baraat`] — decentralized FIFO with limited multiplexing
+//!   (Dogar et al., SIGCOMM'14): jobs are served in arrival order and
+//!   heavy jobs trigger multiplexing with their successors;
+//! * [`stream::Stream`] — decentralized opportunistic inter-coflow
+//!   scheduling (Susanto et al., ICNP'16), characterized by the paper as
+//!   demoting jobs on *accumulated total bytes sent* regardless of the
+//!   per-stage profile;
+//! * [`aalo::Aalo`] — the centralized clairvoyant-free coordinator
+//!   (Chowdhury & Stoica, SIGCOMM'15): discretized coflow-aware
+//!   least-attained service with exponentially-spaced queue thresholds
+//!   and instantaneous global knowledge of accumulated bytes (the
+//!   paper's simulation grants it zero coordination delay);
+//! * [`sebf::VarysSebf`] — *extension*: Varys' clairvoyant
+//!   Smallest-Effective-Bottleneck-First heuristic, included as an
+//!   upper-reference oracle baseline beyond the paper's comparison set.
+//!
+//! All baselines implement [`gurita_sim::sched::Scheduler`] and are
+//! information-audited: only [`aalo::Aalo`] and [`sebf::VarysSebf`]
+//! touch the oracle.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod aalo;
+pub mod baraat;
+pub mod pfs;
+pub mod sebf;
+pub mod stream;

@@ -1,0 +1,78 @@
+//! Per-Flow Fair Sharing (PFS) — the paper's baseline.
+//!
+//! "A scheduling scheme that divides the resource capacity equally among
+//! flows traversing the same link": every flow sits in the single
+//! highest-priority queue and the fluid network model's max-min fair
+//! allocation does the rest. This is steady-state TCP with no
+//! coflow/job awareness at all.
+
+use gurita_sim::sched::{Observation, Oracle, Scheduler};
+
+/// The per-flow fair-sharing baseline.
+///
+/// # Example
+///
+/// ```
+/// use gurita_baselines::pfs::PerFlowFairSharing;
+/// use gurita_sim::sched::Scheduler;
+/// let s = PerFlowFairSharing::new();
+/// assert_eq!(s.num_queues(), 1);
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct PerFlowFairSharing {
+    _private: (),
+}
+
+impl PerFlowFairSharing {
+    /// Creates the baseline scheduler.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+impl Scheduler for PerFlowFairSharing {
+    fn name(&self) -> String {
+        "pfs".to_owned()
+    }
+
+    fn num_queues(&self) -> usize {
+        1
+    }
+
+    fn assign(&mut self, obs: &Observation, _oracle: &Oracle<'_>) -> Vec<usize> {
+        vec![0; obs.coflows.len()]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gurita_model::{units::MB, CoflowSpec, FlowSpec, HostId, JobDag, JobSpec};
+    use gurita_sim::runtime::{SimConfig, Simulation};
+    use gurita_sim::topology::BigSwitch;
+
+    #[test]
+    fn equal_jobs_finish_together() {
+        let jobs: Vec<JobSpec> = (0..3)
+            .map(|i| {
+                JobSpec::new(
+                    i,
+                    0.0,
+                    vec![CoflowSpec::new(vec![FlowSpec::new(
+                        HostId(i),
+                        HostId(9),
+                        3.0 * MB,
+                    )])],
+                    JobDag::chain(1).unwrap(),
+                )
+                .unwrap()
+            })
+            .collect();
+        let mut sim = Simulation::new(BigSwitch::new(16, MB), SimConfig::default());
+        let res = sim.run(jobs, &mut PerFlowFairSharing::new());
+        assert_eq!(res.jobs.len(), 3);
+        for j in &res.jobs {
+            assert!((j.jct - 9.0).abs() < 1e-6, "fair share of 1/3 link: {}", j.jct);
+        }
+    }
+}

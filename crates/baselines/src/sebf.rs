@@ -1,0 +1,127 @@
+//! Varys' Smallest-Effective-Bottleneck-First (SEBF) — extension
+//! baseline.
+//!
+//! Varys (Chowdhury, Zhong & Stoica, SIGCOMM'14) assumes complete prior
+//! knowledge of every coflow (sizes, endpoints) and schedules the coflow
+//! whose *effective bottleneck* — the slowest port it must traverse —
+//! completes soonest. It is the clairvoyant upper reference the Aalo
+//! line of work approximates, and it is *not* part of the Gurita paper's
+//! comparison set; we include it as an extension so the benchmark
+//! harness can report how far all the information-agnostic schemes sit
+//! from a clairvoyant rank ordering.
+//!
+//! Mapping to queues: active coflows are ranked by remaining bottleneck
+//! bytes (per-port aggregate of remaining volume, maximized over ports);
+//! rank `r` maps to queue `min(r, K−1)`.
+
+use gurita_model::HostId;
+use gurita_sim::sched::{Observation, Oracle, Scheduler};
+use std::collections::HashMap;
+
+/// The clairvoyant SEBF scheduler.
+#[derive(Debug)]
+pub struct VarysSebf {
+    num_queues: usize,
+}
+
+impl VarysSebf {
+    /// Creates the scheduler with `num_queues` priority queues.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `1 <= num_queues <= 8`.
+    pub fn new(num_queues: usize) -> Self {
+        assert!((1..=8).contains(&num_queues), "queues must be in 1..=8");
+        Self { num_queues }
+    }
+}
+
+impl Scheduler for VarysSebf {
+    fn name(&self) -> String {
+        "varys-sebf".to_owned()
+    }
+
+    fn num_queues(&self) -> usize {
+        self.num_queues
+    }
+
+    fn reprioritizes_live_flows(&self) -> bool {
+        true
+    }
+
+    fn assign(&mut self, obs: &Observation, oracle: &Oracle<'_>) -> Vec<usize> {
+        // Effective bottleneck of a coflow: the largest per-endpoint sum
+        // of remaining bytes (ingress or egress port), i.e. Varys' Γ.
+        let mut gammas: Vec<(usize, f64)> = Vec::with_capacity(obs.coflows.len());
+        for (ci, c) in obs.coflows.iter().enumerate() {
+            let spec = oracle
+                .job_spec(c.job)
+                .map(|j| j.coflow(c.dag_vertex).flows().to_vec())
+                .unwrap_or_default();
+            let mut per_port: HashMap<(bool, HostId), f64> = HashMap::new();
+            for (f, fs) in c.flows.iter().zip(&spec) {
+                let rem = oracle
+                    .remaining_bytes(f.id)
+                    .unwrap_or(fs.bytes - f.bytes_received);
+                *per_port.entry((true, fs.src)).or_insert(0.0) += rem;
+                *per_port.entry((false, fs.dst)).or_insert(0.0) += rem;
+            }
+            let gamma = per_port.values().copied().fold(0.0, f64::max);
+            gammas.push((ci, gamma));
+        }
+        gammas.sort_by(|a, b| a.1.partial_cmp(&b.1).expect("finite bottleneck"));
+        let mut assignment = vec![0; obs.coflows.len()];
+        for (rank, (ci, _)) in gammas.into_iter().enumerate() {
+            assignment[ci] = rank.min(self.num_queues - 1);
+        }
+        assignment
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gurita_model::{units::MB, CoflowSpec, FlowSpec, JobDag, JobId, JobSpec};
+    use gurita_sim::runtime::{SimConfig, Simulation};
+    use gurita_sim::topology::BigSwitch;
+
+    fn job(id: usize, bytes: f64, src: usize) -> JobSpec {
+        JobSpec::new(
+            id,
+            0.0,
+            vec![CoflowSpec::new(vec![FlowSpec::new(
+                HostId(src),
+                HostId(9),
+                bytes,
+            )])],
+            JobDag::chain(1).unwrap(),
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn clairvoyance_orders_simultaneous_arrivals() {
+        // SEBF knows sizes ahead of time: the mouse wins even when both
+        // arrive together (which no information-agnostic scheme can do).
+        let jobs = vec![job(0, 50.0 * MB, 0), job(1, 1.0 * MB, 1)];
+        let mut sebf = VarysSebf::new(8);
+        let mut sim = Simulation::new(
+            BigSwitch::new(16, MB),
+            SimConfig {
+                tick_interval: 0.05,
+                ..SimConfig::default()
+            },
+        );
+        let res = sim.run(jobs, &mut sebf);
+        let mouse = res.jobs.iter().find(|j| j.id == JobId(1)).unwrap();
+        assert!(mouse.jct < 1.1, "clairvoyant mouse: {}", mouse.jct);
+        let elephant = res.jobs.iter().find(|j| j.id == JobId(0)).unwrap();
+        assert!((elephant.jct - 51.0).abs() < 0.5, "elephant: {}", elephant.jct);
+    }
+
+    #[test]
+    #[should_panic(expected = "queues")]
+    fn rejects_bad_queue_count() {
+        let _ = VarysSebf::new(0);
+    }
+}

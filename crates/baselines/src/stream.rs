@@ -1,0 +1,210 @@
+//! Stream: decentralized opportunistic inter-coflow scheduling
+//! (Susanto et al., ICNP'16).
+//!
+//! Stream leverages the coflow communication pattern and strict priority
+//! queues, but ranks by the job's *accumulated total bytes sent*. As the
+//! Gurita paper characterizes it: "Stream requires larger jobs to
+//! transmit at lower priority regardless of the amount of byte sent per
+//! stage" — the stage-agnostic TBS demotion that Gurita's per-stage
+//! blocking effect improves on. Being decentralized and SPQ-enforced,
+//! Stream is subject to the same TCP-reordering discipline as Gurita:
+//! live flows are only demoted; promotions apply to new flows.
+
+use gurita_sim::thresholds::ThresholdLadder;
+use gurita_model::JobId;
+use gurita_sim::sched::{Observation, Oracle, Scheduler};
+use std::collections::HashMap;
+
+/// Stream configuration.
+#[derive(Debug, Clone, PartialEq)]
+pub struct StreamConfig {
+    /// Number of priority queues (the evaluation uses 4).
+    pub num_queues: usize,
+    /// First demotion threshold on the job's accumulated bytes.
+    pub threshold_base: f64,
+    /// Exponential spacing between thresholds.
+    pub threshold_factor: f64,
+}
+
+impl Default for StreamConfig {
+    fn default() -> Self {
+        Self {
+            num_queues: 4,
+            threshold_base: 10.0e6,
+            threshold_factor: 10.0,
+        }
+    }
+}
+
+/// The Stream scheduler.
+#[derive(Debug)]
+pub struct Stream {
+    config: StreamConfig,
+    ladder: ThresholdLadder,
+}
+
+impl Stream {
+    /// Creates the scheduler.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `1 <= num_queues <= 8`, the base is positive, and
+    /// the factor exceeds 1.
+    pub fn new(config: StreamConfig) -> Self {
+        assert!(
+            (1..=8).contains(&config.num_queues),
+            "queues must be in 1..=8"
+        );
+        let ladder = ThresholdLadder::exponential(
+            config.num_queues,
+            config.threshold_base,
+            config.threshold_factor,
+        );
+        Self { config, ladder }
+    }
+
+    /// The scheduler's configuration.
+    pub fn config(&self) -> &StreamConfig {
+        &self.config
+    }
+}
+
+impl Scheduler for Stream {
+    fn name(&self) -> String {
+        "stream".to_owned()
+    }
+
+    fn num_queues(&self) -> usize {
+        self.config.num_queues
+    }
+
+    fn assign(&mut self, obs: &Observation, _oracle: &Oracle<'_>) -> Vec<usize> {
+        // TBS across the whole job: completed coflows' bytes plus live
+        // observations — exactly the accumulated total-bytes-sent rank,
+        // with no per-stage reset.
+        let mut job_queue: HashMap<JobId, usize> = HashMap::new();
+        for job in &obs.jobs {
+            job_queue.insert(job.id, self.ladder.queue_for(job.bytes_received));
+        }
+        obs.coflows.iter().map(|c| job_queue[&c.job]).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gurita_model::{units::MB, CoflowSpec, FlowSpec, HostId, JobDag, JobSpec};
+    use gurita_sim::runtime::{SimConfig, Simulation};
+    use gurita_sim::topology::BigSwitch;
+
+    fn sim() -> Simulation<BigSwitch> {
+        Simulation::new(
+            BigSwitch::new(16, MB),
+            SimConfig {
+                tick_interval: 0.05,
+                ..SimConfig::default()
+            },
+        )
+    }
+
+    /// The on-and-off trap the paper describes: a job that sent many
+    /// bytes in stage 1 stays demoted in its tiny stage 2 under Stream,
+    /// while a per-stage scheduler would forgive it.
+    #[test]
+    fn tbs_demotion_persists_across_stages() {
+        let mut s = Stream::new(StreamConfig {
+            threshold_base: 1.0 * MB,
+            ..StreamConfig::default()
+        });
+        let obs = gurita_sim::sched::Observation {
+            now: 5.0,
+            coflows: vec![gurita_sim::sched::CoflowObs {
+                id: gurita_model::CoflowId(1),
+                job: JobId(0),
+                dag_vertex: 1,
+                dag_stage: 1,
+                activated_at: 5.0,
+                open_flows: 1,
+                bytes_received: 0.0,       // fresh stage, nothing sent yet
+                max_flow_bytes_received: 0.0,
+                flows: vec![],
+            }],
+            jobs: vec![gurita_sim::sched::JobObs {
+                id: JobId(0),
+                arrival: 0.0,
+                completed_coflows: 1,
+                completed_stages: 1,
+                bytes_received: 50.0 * MB, // stage-1 history
+                active_coflows: vec![0],
+            }],
+        };
+        let jobs = HashMap::new();
+        let rem = |_| None;
+        let size = |_| None;
+        let oracle = gurita_sim::sched::Oracle::new(&jobs, &rem, &size);
+        let assignment = s.assign(&obs, &oracle);
+        assert!(
+            assignment[0] >= 2,
+            "stream must keep punishing the job for old bytes, got q{}",
+            assignment[0]
+        );
+    }
+
+    #[test]
+    fn small_jobs_stay_at_top() {
+        let jobs: Vec<JobSpec> = (0..2)
+            .map(|i| {
+                JobSpec::new(
+                    i,
+                    i as f64 * 3.0,
+                    vec![CoflowSpec::new(vec![FlowSpec::new(
+                        HostId(i),
+                        HostId(9),
+                        2.0 * MB,
+                    )])],
+                    JobDag::chain(1).unwrap(),
+                )
+                .unwrap()
+            })
+            .collect();
+        let mut s = Stream::new(StreamConfig::default());
+        let res = sim().run(jobs, &mut s);
+        assert_eq!(res.jobs.len(), 2);
+        for j in &res.jobs {
+            assert!(j.jct < 2.5, "small jobs unimpeded: {}", j.jct);
+        }
+    }
+
+    #[test]
+    fn established_elephant_yields_to_late_mouse() {
+        let elephant = JobSpec::new(
+            0,
+            0.0,
+            vec![CoflowSpec::new(vec![FlowSpec::new(
+                HostId(0),
+                HostId(9),
+                60.0 * MB,
+            )])],
+            JobDag::chain(1).unwrap(),
+        )
+        .unwrap();
+        let mouse = JobSpec::new(
+            1,
+            8.0,
+            vec![CoflowSpec::new(vec![FlowSpec::new(
+                HostId(1),
+                HostId(9),
+                1.0 * MB,
+            )])],
+            JobDag::chain(1).unwrap(),
+        )
+        .unwrap();
+        let mut s = Stream::new(StreamConfig {
+            threshold_base: 2.0 * MB,
+            ..StreamConfig::default()
+        });
+        let res = sim().run(vec![elephant, mouse], &mut s);
+        let mouse_jct = res.jobs.iter().find(|j| j.id == JobId(1)).unwrap().jct;
+        assert!(mouse_jct < 1.3, "mouse took {mouse_jct}");
+    }
+}

@@ -1,0 +1,60 @@
+//! Micro-benchmarks for the water-filling bandwidth allocator — the
+//! simulator's hot loop (it runs after every event).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use gurita_sim::bandwidth::{allocate, Demand, Discipline};
+use gurita_sim::topology::{Fabric, FatTree, LinkId};
+use gurita_model::HostId;
+
+/// Deterministic pseudo-random flow set over a k-pod fat-tree.
+fn flow_paths(k: usize, flows: usize) -> Vec<Vec<LinkId>> {
+    let ft = FatTree::new(k).expect("valid k");
+    let h = ft.num_hosts();
+    let mut state = 0x9e3779b97f4a7c15u64;
+    let mut next = move || {
+        state ^= state << 13;
+        state ^= state >> 7;
+        state ^= state << 17;
+        state
+    };
+    (0..flows)
+        .map(|_| {
+            let s = (next() % h as u64) as usize;
+            let mut d = (next() % h as u64) as usize;
+            if d == s {
+                d = (d + 1) % h;
+            }
+            ft.path(HostId(s), HostId(d), next()).expect("hosts valid")
+        })
+        .collect()
+}
+
+fn bench_allocate(c: &mut Criterion) {
+    let mut g = c.benchmark_group("bandwidth/allocate");
+    for &flows in &[64usize, 256, 1024] {
+        let paths = flow_paths(8, flows);
+        let demands: Vec<Demand<'_>> = paths
+            .iter()
+            .enumerate()
+            .map(|(i, p)| Demand {
+                path: p,
+                queue: i % 4,
+            })
+            .collect();
+        let ft = FatTree::new(8).unwrap();
+        g.bench_with_input(BenchmarkId::new("spq", flows), &demands, |b, demands| {
+            let disc = Discipline::StrictPriority { num_queues: 4 };
+            b.iter(|| allocate(demands, |l| ft.link_capacity(l), &disc));
+        });
+        g.bench_with_input(BenchmarkId::new("wrr", flows), &demands, |b, demands| {
+            let disc = Discipline::WeightedRoundRobin {
+                weights: vec![8.0, 4.0, 2.0, 1.0],
+            };
+            b.iter(|| allocate(demands, |l| ft.link_capacity(l), &disc));
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_allocate);
+criterion_main!(benches);

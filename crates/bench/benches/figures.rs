@@ -1,0 +1,73 @@
+//! Paper-artifact benches: each group regenerates one figure's
+//! experiment at benchmark scale (DESIGN.md experiments E1–E8). The
+//! *shape* assertions live in the integration tests; here Criterion
+//! tracks the cost of regenerating each artifact so simulator
+//! regressions surface.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use gurita_bench::bench_options;
+use gurita_experiments::{figures, motivation};
+
+fn bench_fig5(c: &mut Criterion) {
+    let opts = bench_options();
+    let mut g = c.benchmark_group("fig5");
+    g.sample_size(10);
+    g.bench_function("four_scenarios_paper_set", |b| {
+        b.iter(|| figures::fig5(&opts))
+    });
+    g.finish();
+}
+
+fn bench_fig6(c: &mut Criterion) {
+    let opts = bench_options();
+    let mut g = c.benchmark_group("fig6");
+    g.sample_size(10);
+    g.bench_function("per_category_trace", |b| b.iter(|| figures::fig6(&opts)));
+    g.finish();
+}
+
+fn bench_fig7(c: &mut Criterion) {
+    let opts = gurita_experiments::figures::FigureOptions {
+        jobs: 6, // fig7 multiplies by 4 and uses a 12-pod fabric
+        ..bench_options()
+    };
+    let mut g = c.benchmark_group("fig7");
+    g.sample_size(10);
+    g.bench_function("bursty_large_scale", |b| b.iter(|| figures::fig7(&opts)));
+    g.finish();
+}
+
+fn bench_fig8(c: &mut Criterion) {
+    let opts = bench_options();
+    let mut g = c.benchmark_group("fig8");
+    g.sample_size(10);
+    g.bench_function("gurita_vs_oracle", |b| b.iter(|| figures::fig8(&opts)));
+    g.finish();
+}
+
+fn bench_ablation(c: &mut Criterion) {
+    let opts = bench_options();
+    let mut g = c.benchmark_group("ablation");
+    g.sample_size(10);
+    g.bench_function("rule_variants", |b| b.iter(|| figures::ablation(&opts)));
+    g.finish();
+}
+
+fn bench_motivation(c: &mut Criterion) {
+    let mut g = c.benchmark_group("motivation");
+    g.bench_function("figure2_and_figure4", |b| {
+        b.iter(|| (motivation::figure2(), motivation::figure4()))
+    });
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_fig5,
+    bench_fig6,
+    bench_fig7,
+    bench_fig8,
+    bench_ablation,
+    bench_motivation
+);
+criterion_main!(benches);

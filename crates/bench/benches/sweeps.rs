@@ -1,0 +1,19 @@
+//! Benches for the sensitivity sweeps (DESIGN.md experiment E9): the
+//! cost of regenerating each sweep at benchmark scale.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use gurita_experiments::sweeps;
+
+fn bench_sweeps(c: &mut Criterion) {
+    let mut g = c.benchmark_group("sweeps");
+    g.sample_size(10);
+    g.bench_function("queue_count", |b| {
+        b.iter(|| sweeps::queue_count_sweep(8, 5))
+    });
+    g.bench_function("hr_latency", |b| b.iter(|| sweeps::latency_sweep(8, 5)));
+    g.bench_function("fault_injection", |b| b.iter(|| sweeps::fault_sweep(8, 5)));
+    g.finish();
+}
+
+criterion_group!(benches, bench_sweeps);
+criterion_main!(benches);

@@ -1,0 +1,37 @@
+//! Micro-benchmarks for fat-tree construction and ECMP path
+//! computation (one path lookup per flow activation).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use gurita_model::HostId;
+use gurita_sim::topology::{Fabric, FatTree};
+
+fn bench_paths(c: &mut Criterion) {
+    let mut g = c.benchmark_group("topology/ecmp_path");
+    for &k in &[8usize, 16, 48] {
+        let ft = FatTree::new(k).unwrap();
+        let h = ft.num_hosts();
+        g.bench_with_input(BenchmarkId::from_parameter(k), &ft, |b, ft| {
+            let mut i = 0u64;
+            b.iter(|| {
+                i = i.wrapping_add(0x9e3779b97f4a7c15);
+                let s = (i % h as u64) as usize;
+                let d = ((i >> 17) % h as u64) as usize;
+                ft.path(HostId(s), HostId(d), i).expect("hosts valid")
+            });
+        });
+    }
+    g.finish();
+}
+
+fn bench_construction(c: &mut Criterion) {
+    let mut g = c.benchmark_group("topology/build");
+    for &k in &[8usize, 48] {
+        g.bench_with_input(BenchmarkId::from_parameter(k), &k, |b, &k| {
+            b.iter(|| FatTree::new(k).expect("even k"));
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_paths, bench_construction);
+criterion_main!(benches);

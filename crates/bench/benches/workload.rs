@@ -1,0 +1,37 @@
+//! Micro-benchmarks for workload synthesis (trace generation cost).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use gurita_workload::dags::StructureKind;
+use gurita_workload::generator::{JobGenerator, WorkloadConfig};
+
+fn bench_generation(c: &mut Criterion) {
+    let mut g = c.benchmark_group("workload/generate");
+    for structure in [
+        StructureKind::FbTao,
+        StructureKind::TpcDs,
+        StructureKind::ProductionMix,
+    ] {
+        g.bench_with_input(
+            BenchmarkId::from_parameter(format!("{structure:?}")),
+            &structure,
+            |b, &structure| {
+                b.iter(|| {
+                    JobGenerator::new(
+                        WorkloadConfig {
+                            num_jobs: 100,
+                            num_hosts: 128,
+                            structure,
+                            ..WorkloadConfig::default()
+                        },
+                        1,
+                    )
+                    .generate()
+                });
+            },
+        );
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_generation);
+criterion_main!(benches);

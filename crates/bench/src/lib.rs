@@ -1,0 +1,18 @@
+//! Criterion benchmark harness for the Gurita reproduction.
+//!
+//! One bench target per paper artifact (`fig5`…`fig8`, `ablation`,
+//! `motivation`) regenerates the corresponding experiment at a reduced,
+//! statistically stable scale, plus micro-benchmarks for the simulator
+//! substrates (`bandwidth`, `topology`, `workload`). Run with
+//! `cargo bench --workspace`; each figure's full-scale numbers come
+//! from the `gurita-experiments` binaries instead.
+
+/// Benchmark-scale figure options: small enough for Criterion's
+/// repeated sampling, large enough to exercise contention.
+pub fn bench_options() -> gurita_experiments::figures::FigureOptions {
+    gurita_experiments::figures::FigureOptions {
+        jobs: 12,
+        seed: 77,
+        full_scale: false,
+    }
+}

@@ -1,0 +1,100 @@
+//! Average Value Approximation (AVA).
+//!
+//! Gurita must satisfy Rule 4 (prioritize coflows on the critical path)
+//! without knowing the job structure ahead of time. The paper observes
+//! that a critical path usually carries the coflows with large CCT, that
+//! CCT is driven by the largest flow `L_max`, and that the number of
+//! critical coflows per stage is bounded by the number of critical paths
+//! (fewer than 5 in production, the average job depth). It therefore
+//! replaces the unknown distribution of `L_max` by its running mean —
+//! the Average Value Approximation technique from performance modeling —
+//! and flags a coflow as *probably critical* when its observed `L_max`
+//! exceeds that mean.
+
+/// Running-mean estimator with an observation count.
+///
+/// # Example
+///
+/// ```
+/// use gurita::ava::AvaEstimator;
+/// let mut ava = AvaEstimator::new();
+/// ava.observe(2.0);
+/// ava.observe(4.0);
+/// assert_eq!(ava.mean(), 3.0);
+/// assert!(ava.is_above_mean(5.0));
+/// assert!(!ava.is_above_mean(3.0));
+/// ```
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct AvaEstimator {
+    sum: f64,
+    count: u64,
+}
+
+impl AvaEstimator {
+    /// Creates an empty estimator.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Feeds one observation.
+    ///
+    /// # Panics
+    ///
+    /// Panics on non-finite observations.
+    pub fn observe(&mut self, value: f64) {
+        assert!(value.is_finite(), "AVA observations must be finite");
+        self.sum += value;
+        self.count += 1;
+    }
+
+    /// The running mean; 0 with no observations.
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum / self.count as f64
+        }
+    }
+
+    /// Number of observations so far.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Whether `value` strictly exceeds the running mean (and at least
+    /// one observation exists — with none, nothing is "above average").
+    pub fn is_above_mean(&self, value: f64) -> bool {
+        self.count > 0 && value > self.mean()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_estimator_is_neutral() {
+        let ava = AvaEstimator::new();
+        assert_eq!(ava.mean(), 0.0);
+        assert_eq!(ava.count(), 0);
+        assert!(!ava.is_above_mean(10.0));
+    }
+
+    #[test]
+    fn mean_tracks_observations() {
+        let mut ava = AvaEstimator::new();
+        for v in [1.0, 2.0, 3.0, 4.0] {
+            ava.observe(v);
+        }
+        assert_eq!(ava.mean(), 2.5);
+        assert_eq!(ava.count(), 4);
+        assert!(ava.is_above_mean(2.6));
+        assert!(!ava.is_above_mean(2.5));
+    }
+
+    #[test]
+    #[should_panic(expected = "finite")]
+    fn rejects_nan() {
+        AvaEstimator::new().observe(f64::NAN);
+    }
+}

@@ -1,0 +1,294 @@
+//! The blocking effect Ψ (paper eq. 2/3).
+//!
+//! A coflow's blocking effect models how strongly it is expected to
+//! delay the completion of other jobs:
+//!
+//! ```text
+//! Ψ_c = ω × L_max × W × κ
+//! ```
+//!
+//! * `ω` — stage-progress weight (Rule 3): ideally `1 − s/s_total`; when
+//!   the total stage count is unknown, `ω̂ = 1/(1+s)`, whose influence
+//!   diminishes as `s → ∞` to avoid false final-stage positives on very
+//!   deep jobs;
+//! * `L_max` — the coflow's largest flow size (*vertical* dimension);
+//! * `W` — the coflow's number of flows (*horizontal* dimension); the
+//!   product `L_max × W` is the area approximating combined
+//!   horizontal+vertical blocking severity (Rule 2);
+//! * `κ` — flow-size adjustment (Rule 1). The paper's formula is
+//!   OCR-damaged; per its prose — "`ρ` normalizes the blocking effect of
+//!   `L_max` relative to other flows in `c` … if `L_max` is large and
+//!   `ρ → 1`, a coflow may further delay the completion of other
+//!   coflows" — we use `κ = max(κ_floor, ρ^β)` with `ρ = L_avg/L_max`:
+//!   a uniformly-elephant coflow (ρ→1) blocks maximally, a single
+//!   outlier among mice blocks less per byte of `L_max`, and the paper's
+//!   `0.1` branch survives as the floor. See `DESIGN.md` §2.
+//!
+//! Per-stage job blocking: `Ψ_J(s) = Σ_{c ∈ stage s of J} Ψ_c`. Rule 4
+//! discounts coflows estimated to lie on a critical path:
+//! `Ψ ← Ψ × (1 − γ)`.
+
+use crate::rules::RuleSet;
+use serde::{Deserialize, Serialize};
+
+/// Parameters of the blocking-effect formula.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct BlockingParams {
+    /// Exponent β ∈ (0, 1) of the κ size adjustment.
+    pub beta: f64,
+    /// Floor of κ (the paper's `0.1` branch).
+    pub kappa_floor: f64,
+    /// Critical-path discount γ ∈ (0, 1]: critical coflows' Ψ is
+    /// multiplied by `1 − γ`, giving them "marginally larger blocking
+    /// effect than the least" a pass upward in priority.
+    pub gamma: f64,
+    /// Which rules participate (ablation knob).
+    pub rules: RuleSet,
+}
+
+impl Default for BlockingParams {
+    fn default() -> Self {
+        Self {
+            beta: 0.5,
+            kappa_floor: 0.1,
+            gamma: 0.5,
+            rules: RuleSet::all(),
+        }
+    }
+}
+
+impl BlockingParams {
+    /// Validates parameter ranges.
+    ///
+    /// # Panics
+    ///
+    /// Panics if β ∉ (0, 1), κ_floor ∉ (0, 1], or γ ∉ (0, 1].
+    pub fn validate(&self) {
+        assert!(
+            self.beta > 0.0 && self.beta < 1.0,
+            "beta must be in (0, 1), got {}",
+            self.beta
+        );
+        assert!(
+            self.kappa_floor > 0.0 && self.kappa_floor <= 1.0,
+            "kappa floor must be in (0, 1], got {}",
+            self.kappa_floor
+        );
+        assert!(
+            self.gamma > 0.0 && self.gamma <= 1.0,
+            "gamma must be in (0, 1], got {}",
+            self.gamma
+        );
+    }
+}
+
+/// Inputs to one coflow's blocking effect.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CoflowFacts {
+    /// Largest flow size, exact or estimated (bytes).
+    pub l_max: f64,
+    /// Mean flow size, exact or estimated (bytes).
+    pub l_avg: f64,
+    /// Number of flows (width).
+    pub width: usize,
+    /// Completed predecessor stages `s` (the coflow's depth).
+    pub completed_stages: usize,
+    /// Total stages of the job, if known (`None` in practice; `Some` for
+    /// the GuritaPlus oracle).
+    pub total_stages: Option<usize>,
+    /// Whether the coflow is (estimated to be) on a critical path.
+    pub on_critical_path: bool,
+}
+
+/// The stage-progress weight ω.
+///
+/// With `total_stages` known (oracle): `ω = 1 − s/s_total`, floored at a
+/// small positive value so final-stage coflows keep a nonzero Ψ
+/// ordering. Unknown (practice): `ω̂ = 1/(1+s)`.
+pub fn omega(completed_stages: usize, total_stages: Option<usize>) -> f64 {
+    match total_stages {
+        Some(total) if total > 0 => {
+            (1.0 - completed_stages as f64 / total as f64).max(1.0 / (1.0 + total as f64))
+        }
+        _ => 1.0 / (1.0 + completed_stages as f64),
+    }
+}
+
+/// The flow-size adjustment κ (Rule 1); see the module docs for the
+/// reconstruction argument.
+pub fn kappa(l_avg: f64, l_max: f64, params: &BlockingParams) -> f64 {
+    if l_max <= 0.0 {
+        return params.kappa_floor;
+    }
+    let rho = (l_avg / l_max).clamp(0.0, 1.0);
+    rho.powf(params.beta).max(params.kappa_floor)
+}
+
+/// Computes one coflow's blocking effect Ψ_c.
+///
+/// Newly-started coflows with nothing observed yet (`l_max == 0`)
+/// get Ψ = 0: they enter at the highest priority, exactly the paper's
+/// "newly generated flows are initially assigned the highest priority".
+pub fn coflow_blocking_effect(facts: &CoflowFacts, params: &BlockingParams) -> f64 {
+    let rules = &params.rules;
+    let w = if rules.avoid_blocking {
+        facts.width.max(1) as f64
+    } else {
+        1.0
+    };
+    let l = facts.l_max.max(0.0);
+    let om = if rules.final_stage_first {
+        omega(facts.completed_stages, facts.total_stages)
+    } else {
+        1.0
+    };
+    let ka = if rules.small_stages_first {
+        kappa(facts.l_avg, facts.l_max, params)
+    } else {
+        1.0
+    };
+    let mut psi = om * l * w * ka;
+    if rules.critical_path_first && facts.on_critical_path {
+        psi *= 1.0 - params.gamma;
+    }
+    psi
+}
+
+/// Aggregates per-coflow blocking effects into the per-stage job
+/// blocking effect `Ψ_J(s) = Σ Ψ_c` over the coflows of one job that
+/// currently share stage `s`.
+pub fn job_stage_blocking_effect(coflow_psis: &[f64]) -> f64 {
+    coflow_psis.iter().sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rules::Rule;
+
+    fn facts(l_max: f64, l_avg: f64, width: usize, stages: usize) -> CoflowFacts {
+        CoflowFacts {
+            l_max,
+            l_avg,
+            width,
+            completed_stages: stages,
+            total_stages: None,
+            on_critical_path: false,
+        }
+    }
+
+    #[test]
+    fn omega_decreases_with_progress() {
+        assert_eq!(omega(0, None), 1.0);
+        assert_eq!(omega(1, None), 0.5);
+        assert!(omega(10, None) < omega(2, None));
+        // Oracle form: linear descent.
+        assert_eq!(omega(0, Some(4)), 1.0);
+        assert_eq!(omega(2, Some(4)), 0.5);
+        assert!(omega(4, Some(4)) > 0.0, "floored above zero");
+    }
+
+    #[test]
+    fn omega_influence_diminishes_for_deep_jobs() {
+        // A 12-stage job at stage 10 must not look "more final" than a
+        // 2-stage job at stage 1 by a wide margin (false positives).
+        let deep = omega(10, None);
+        let shallow = omega(1, None);
+        assert!(deep < shallow);
+    }
+
+    #[test]
+    fn kappa_rewards_outlier_elephants() {
+        let p = BlockingParams::default();
+        // All flows equal: maximal adjustment.
+        let uniform = kappa(10.0, 10.0, &p);
+        assert!((uniform - 1.0).abs() < 1e-12);
+        // One elephant among mice: lower adjustment, floored.
+        let outlier = kappa(0.001, 10.0, &p);
+        assert_eq!(outlier, p.kappa_floor);
+        assert!(kappa(5.0, 10.0, &p) > kappa(1.0, 10.0, &p));
+    }
+
+    #[test]
+    fn kappa_handles_no_information() {
+        let p = BlockingParams::default();
+        assert_eq!(kappa(0.0, 0.0, &p), p.kappa_floor);
+    }
+
+    #[test]
+    fn psi_is_zero_before_any_bytes_observed() {
+        let p = BlockingParams::default();
+        assert_eq!(coflow_blocking_effect(&facts(0.0, 0.0, 5, 0), &p), 0.0);
+    }
+
+    #[test]
+    fn psi_grows_with_both_dimensions() {
+        let p = BlockingParams::default();
+        let base = coflow_blocking_effect(&facts(10.0, 10.0, 2, 0), &p);
+        let wider = coflow_blocking_effect(&facts(10.0, 10.0, 8, 0), &p);
+        let taller = coflow_blocking_effect(&facts(40.0, 40.0, 2, 0), &p);
+        assert!(wider > base, "horizontal dimension must raise psi");
+        assert!(taller > base, "vertical dimension must raise psi");
+    }
+
+    #[test]
+    fn later_stages_shrink_psi() {
+        let p = BlockingParams::default();
+        let early = coflow_blocking_effect(&facts(10.0, 10.0, 2, 0), &p);
+        let late = coflow_blocking_effect(&facts(10.0, 10.0, 2, 3), &p);
+        assert!(late < early, "rule 3: later stages get smaller psi");
+    }
+
+    #[test]
+    fn critical_path_discount_applies() {
+        let p = BlockingParams::default();
+        let mut f = facts(10.0, 10.0, 2, 0);
+        let off = coflow_blocking_effect(&f, &p);
+        f.on_critical_path = true;
+        let on = coflow_blocking_effect(&f, &p);
+        assert!((on - off * (1.0 - p.gamma)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn disabled_rules_are_inert() {
+        let mut p = BlockingParams::default();
+        let mut f = facts(10.0, 1.0, 4, 2);
+        f.on_critical_path = true;
+        let full = coflow_blocking_effect(&f, &p);
+        p.rules = RuleSet::all()
+            .without(Rule::SmallStagesFirst)
+            .without(Rule::FinalStageFirst)
+            .without(Rule::CriticalPathFirst)
+            .without(Rule::AvoidBlocking);
+        let bare = coflow_blocking_effect(&f, &p);
+        // Only L_max survives.
+        assert_eq!(bare, 10.0);
+        assert_ne!(full, bare);
+    }
+
+    #[test]
+    fn job_stage_aggregation_is_a_sum() {
+        assert_eq!(job_stage_blocking_effect(&[1.0, 2.5, 0.5]), 4.0);
+        assert_eq!(job_stage_blocking_effect(&[]), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "beta")]
+    fn validate_rejects_bad_beta() {
+        BlockingParams {
+            beta: 1.5,
+            ..BlockingParams::default()
+        }
+        .validate();
+    }
+
+    #[test]
+    #[should_panic(expected = "gamma")]
+    fn validate_rejects_bad_gamma() {
+        BlockingParams {
+            gamma: 0.0,
+            ..BlockingParams::default()
+        }
+        .validate();
+    }
+}

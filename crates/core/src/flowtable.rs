@@ -1,0 +1,324 @@
+//! Receiver-side flow table.
+//!
+//! The deployable Gurita "employs a flow hash table (e.g. Jenkins hash)
+//! to keep track of flow information at the receiver's end using 5
+//! tuples (src IP, dest IP, src port, dest port, and protocol) to
+//! identify different flows", storing per-flow byte counts, the owning
+//! coflow, and connection state (paper §IV.B). This module implements
+//! that artifact: Bob Jenkins' one-at-a-time hash over the 5-tuple and
+//! an open-addressing table the receiver shim updates per packet and the
+//! head receiver aggregates per δ interval.
+//!
+//! The simulator identifies flows directly by [`gurita_model::FlowId`],
+//! so this table is not on the simulation hot path; it exists to make
+//! the receiver-side data structure concrete (and testable) exactly as
+//! deployed.
+
+use serde::{Deserialize, Serialize};
+
+/// A transport 5-tuple identifying one flow at a receiver.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct FiveTuple {
+    /// Source IPv4 address.
+    pub src_ip: u32,
+    /// Destination IPv4 address.
+    pub dst_ip: u32,
+    /// Source port.
+    pub src_port: u16,
+    /// Destination port.
+    pub dst_port: u16,
+    /// IP protocol number (6 = TCP).
+    pub protocol: u8,
+}
+
+impl FiveTuple {
+    /// Serializes the tuple into its canonical 13-byte wire order.
+    fn bytes(&self) -> [u8; 13] {
+        let mut out = [0u8; 13];
+        out[0..4].copy_from_slice(&self.src_ip.to_be_bytes());
+        out[4..8].copy_from_slice(&self.dst_ip.to_be_bytes());
+        out[8..10].copy_from_slice(&self.src_port.to_be_bytes());
+        out[10..12].copy_from_slice(&self.dst_port.to_be_bytes());
+        out[12] = self.protocol;
+        out
+    }
+}
+
+/// Bob Jenkins' one-at-a-time hash.
+pub fn jenkins_hash(bytes: &[u8]) -> u32 {
+    let mut h: u32 = 0;
+    for &b in bytes {
+        h = h.wrapping_add(b as u32);
+        h = h.wrapping_add(h << 10);
+        h ^= h >> 6;
+    }
+    h = h.wrapping_add(h << 3);
+    h ^= h >> 11;
+    h.wrapping_add(h << 15)
+}
+
+/// Per-flow record kept at the receiver.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct FlowEntry {
+    /// The flow's transport identity.
+    pub tuple: FiveTuple,
+    /// Application-provided coflow identifier.
+    pub coflow_id: u64,
+    /// Bytes received so far.
+    pub bytes_received: f64,
+    /// Whether the connection is open.
+    pub open: bool,
+}
+
+/// Open-addressing (linear probing) flow table keyed by the Jenkins
+/// hash of the 5-tuple, as a receiver shim would maintain.
+///
+/// # Example
+///
+/// ```
+/// use gurita::flowtable::{FiveTuple, FlowTable};
+/// let mut table = FlowTable::with_capacity(64);
+/// let t = FiveTuple { src_ip: 0x0a000001, dst_ip: 0x0a000002,
+///                     src_port: 4242, dst_port: 5001, protocol: 6 };
+/// table.record_bytes(t, 9, 1500.0);
+/// table.record_bytes(t, 9, 1500.0);
+/// assert_eq!(table.get(&t).unwrap().bytes_received, 3000.0);
+/// assert_eq!(table.open_connections(9), 1);
+/// ```
+#[derive(Debug, Clone)]
+pub struct FlowTable {
+    slots: Vec<Option<FlowEntry>>,
+    len: usize,
+}
+
+impl FlowTable {
+    /// Creates a table with at least `capacity` slots (rounded up to a
+    /// power of two; the table grows automatically at 70% occupancy).
+    pub fn with_capacity(capacity: usize) -> Self {
+        let cap = capacity.next_power_of_two().max(8);
+        Self {
+            slots: vec![None; cap],
+            len: 0,
+        }
+    }
+
+    /// Number of tracked flows.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether the table is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    fn slot_of(&self, tuple: &FiveTuple) -> usize {
+        jenkins_hash(&tuple.bytes()) as usize & (self.slots.len() - 1)
+    }
+
+    fn find(&self, tuple: &FiveTuple) -> Option<usize> {
+        let mut i = self.slot_of(tuple);
+        for _ in 0..self.slots.len() {
+            match &self.slots[i] {
+                Some(e) if e.tuple == *tuple => return Some(i),
+                None => return None,
+                _ => i = (i + 1) & (self.slots.len() - 1),
+            }
+        }
+        None
+    }
+
+    /// Accounts `bytes` received on `tuple` for `coflow_id`, inserting
+    /// the flow (open) if unseen.
+    pub fn record_bytes(&mut self, tuple: FiveTuple, coflow_id: u64, bytes: f64) {
+        if let Some(i) = self.find(&tuple) {
+            let e = self.slots[i].as_mut().expect("found slot is occupied");
+            e.bytes_received += bytes;
+            return;
+        }
+        if (self.len + 1) * 10 > self.slots.len() * 7 {
+            self.grow();
+        }
+        let mut i = self.slot_of(&tuple);
+        while self.slots[i].is_some() {
+            i = (i + 1) & (self.slots.len() - 1);
+        }
+        self.slots[i] = Some(FlowEntry {
+            tuple,
+            coflow_id,
+            bytes_received: bytes,
+            open: true,
+        });
+        self.len += 1;
+    }
+
+    /// Marks a flow's connection closed (the sender finished). Returns
+    /// whether the flow was known.
+    pub fn close(&mut self, tuple: &FiveTuple) -> bool {
+        match self.find(tuple) {
+            Some(i) => {
+                self.slots[i].as_mut().expect("occupied").open = false;
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Looks up one flow.
+    pub fn get(&self, tuple: &FiveTuple) -> Option<&FlowEntry> {
+        self.find(tuple).and_then(|i| self.slots[i].as_ref())
+    }
+
+    /// Number of open connections belonging to `coflow_id` — the width
+    /// estimate Ŵ the head receiver aggregates.
+    pub fn open_connections(&self, coflow_id: u64) -> usize {
+        self.iter()
+            .filter(|e| e.coflow_id == coflow_id && e.open)
+            .count()
+    }
+
+    /// Total and largest per-flow bytes received for `coflow_id` — the
+    /// (Σ bytes, L̂_max) pair reported to the head receiver.
+    pub fn coflow_bytes(&self, coflow_id: u64) -> (f64, f64) {
+        self.iter()
+            .filter(|e| e.coflow_id == coflow_id)
+            .fold((0.0, 0.0), |(sum, max), e| {
+                (sum + e.bytes_received, max.max(e.bytes_received))
+            })
+    }
+
+    /// Removes every entry of a completed coflow ("the HR excludes
+    /// information of completed flows"), returning how many were
+    /// evicted. Remaining entries are rehashed.
+    pub fn evict_coflow(&mut self, coflow_id: u64) -> usize {
+        let retained: Vec<FlowEntry> = self
+            .iter()
+            .filter(|e| e.coflow_id != coflow_id)
+            .copied()
+            .collect();
+        let evicted = self.len - retained.len();
+        let cap = self.slots.len();
+        self.slots = vec![None; cap];
+        self.len = 0;
+        for e in retained {
+            self.reinsert(e);
+        }
+        evicted
+    }
+
+    /// Iterates over live entries.
+    pub fn iter(&self) -> impl Iterator<Item = &FlowEntry> {
+        self.slots.iter().filter_map(Option::as_ref)
+    }
+
+    fn grow(&mut self) {
+        let entries: Vec<FlowEntry> = self.iter().copied().collect();
+        self.slots = vec![None; self.slots.len() * 2];
+        self.len = 0;
+        for e in entries {
+            self.reinsert(e);
+        }
+    }
+
+    fn reinsert(&mut self, e: FlowEntry) {
+        let mut i = self.slot_of(&e.tuple);
+        while self.slots[i].is_some() {
+            i = (i + 1) & (self.slots.len() - 1);
+        }
+        self.slots[i] = Some(e);
+        self.len += 1;
+    }
+}
+
+impl Default for FlowTable {
+    fn default() -> Self {
+        Self::with_capacity(64)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tuple(seed: u32) -> FiveTuple {
+        FiveTuple {
+            src_ip: 0x0a00_0000 | seed,
+            dst_ip: 0x0a00_ff00 | (seed & 0xff),
+            src_port: (1000 + seed) as u16,
+            dst_port: 5001,
+            protocol: 6,
+        }
+    }
+
+    #[test]
+    fn jenkins_hash_is_stable_and_spreads() {
+        let a = jenkins_hash(b"hello");
+        assert_eq!(a, jenkins_hash(b"hello"));
+        assert_ne!(jenkins_hash(b"hello"), jenkins_hash(b"hellp"));
+        // Distinct 5-tuples rarely collide in the low bits.
+        let mut low_bits = std::collections::HashSet::new();
+        for i in 0..64u32 {
+            low_bits.insert(jenkins_hash(&tuple(i).bytes()) & 0xff);
+        }
+        assert!(low_bits.len() > 40, "poor dispersion: {}", low_bits.len());
+    }
+
+    #[test]
+    fn record_and_lookup() {
+        let mut t = FlowTable::with_capacity(8);
+        t.record_bytes(tuple(1), 7, 100.0);
+        t.record_bytes(tuple(1), 7, 50.0);
+        t.record_bytes(tuple(2), 7, 10.0);
+        t.record_bytes(tuple(3), 8, 1.0);
+        assert_eq!(t.len(), 3);
+        assert_eq!(t.get(&tuple(1)).unwrap().bytes_received, 150.0);
+        assert_eq!(t.open_connections(7), 2);
+        let (sum, max) = t.coflow_bytes(7);
+        assert_eq!(sum, 160.0);
+        assert_eq!(max, 150.0);
+    }
+
+    #[test]
+    fn close_marks_connection() {
+        let mut t = FlowTable::default();
+        t.record_bytes(tuple(1), 7, 5.0);
+        assert!(t.close(&tuple(1)));
+        assert!(!t.close(&tuple(9)));
+        assert_eq!(t.open_connections(7), 0);
+        // Bytes survive the close (receivers keep observed counts).
+        assert_eq!(t.coflow_bytes(7).0, 5.0);
+    }
+
+    #[test]
+    fn grows_past_initial_capacity() {
+        let mut t = FlowTable::with_capacity(8);
+        for i in 0..100 {
+            t.record_bytes(tuple(i), u64::from(i % 5), 1.0);
+        }
+        assert_eq!(t.len(), 100);
+        for i in 0..100 {
+            assert!(t.get(&tuple(i)).is_some(), "lost flow {i} after growth");
+        }
+    }
+
+    #[test]
+    fn evict_coflow_removes_only_its_flows() {
+        let mut t = FlowTable::default();
+        for i in 0..20 {
+            t.record_bytes(tuple(i), u64::from(i % 2), 1.0);
+        }
+        let evicted = t.evict_coflow(0);
+        assert_eq!(evicted, 10);
+        assert_eq!(t.len(), 10);
+        assert_eq!(t.open_connections(0), 0);
+        assert_eq!(t.open_connections(1), 10);
+    }
+
+    #[test]
+    fn empty_table_behaves() {
+        let t = FlowTable::default();
+        assert!(t.is_empty());
+        assert_eq!(t.coflow_bytes(3), (0.0, 0.0));
+        assert_eq!(t.get(&tuple(0)), None);
+    }
+}

@@ -1,0 +1,117 @@
+//! Head-receiver (HR) coordination.
+//!
+//! Gurita designates the first receiver invoked in a coflow as its
+//! *head receiver*: peers report locally-observed information every δ
+//! interval, the HR computes the job priority with eq. (3), and
+//! communicates the decision back through update messages (receivers →
+//! senders via a reserved TCP-header field, senders → switches via DSCP
+//! bits). Decisions therefore take one coordination round-trip to take
+//! effect.
+//!
+//! The simulator's δ tick already quantizes *observation*; this module
+//! models the *decision propagation* delay: a [`DelayedDecision`] holds
+//! the currently applied queue and at most one in-flight HR update, so
+//! a fresh decision computed at time `t` only becomes effective at
+//! `t + latency`. With zero latency it is transparent — the evaluation's
+//! default, matching the paper's simulation. The `sweep` experiment
+//! binary measures how sensitive Gurita is to this delay.
+
+use serde::{Deserialize, Serialize};
+
+/// One coflow's priority decision pipeline: the applied queue plus at
+/// most one in-flight HR update.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct DelayedDecision {
+    applied: usize,
+    /// `(decided_at, queue)` of the newest not-yet-delivered update.
+    in_flight: Option<(f64, usize)>,
+}
+
+impl DelayedDecision {
+    /// Starts the pipeline at the initial (highest-priority) queue.
+    pub fn new(initial_queue: usize) -> Self {
+        Self {
+            applied: initial_queue,
+            in_flight: None,
+        }
+    }
+
+    /// The queue receivers currently enforce.
+    pub fn applied(&self) -> usize {
+        self.applied
+    }
+
+    /// Feeds the HR's freshly computed `target` queue at time `now` and
+    /// returns the queue in effect. In-flight updates older than
+    /// `latency` are delivered first; a changed target supersedes the
+    /// in-flight update but inherits its send time only if the queue
+    /// matches (a re-decision restarts the message).
+    pub fn decide(&mut self, now: f64, latency: f64, target: usize) -> usize {
+        assert!(latency >= 0.0, "latency must be non-negative");
+        if let Some((sent_at, queue)) = self.in_flight {
+            if now >= sent_at + latency {
+                self.applied = queue;
+                self.in_flight = None;
+            }
+        }
+        if latency == 0.0 {
+            self.applied = target;
+            self.in_flight = None;
+            return self.applied;
+        }
+        match self.in_flight {
+            Some((_, queue)) if queue == target => {}
+            _ if target == self.applied => self.in_flight = None,
+            _ => self.in_flight = Some((now, target)),
+        }
+        self.applied
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zero_latency_is_transparent() {
+        let mut d = DelayedDecision::new(0);
+        assert_eq!(d.decide(0.0, 0.0, 2), 2);
+        assert_eq!(d.decide(0.1, 0.0, 1), 1);
+        assert_eq!(d.applied(), 1);
+    }
+
+    #[test]
+    fn decisions_take_latency_to_apply() {
+        let mut d = DelayedDecision::new(0);
+        assert_eq!(d.decide(0.0, 0.5, 3), 0, "not yet delivered");
+        assert_eq!(d.decide(0.4, 0.5, 3), 0, "still in flight");
+        assert_eq!(d.decide(0.6, 0.5, 3), 3, "delivered after latency");
+    }
+
+    #[test]
+    fn superseding_decision_restarts_the_message() {
+        let mut d = DelayedDecision::new(0);
+        d.decide(0.0, 1.0, 2);
+        // HR changes its mind before delivery: restart at t=0.5.
+        assert_eq!(d.decide(0.5, 1.0, 3), 0);
+        // The original t=0 message must not deliver queue 2.
+        assert_eq!(d.decide(1.2, 1.0, 3), 0, "restarted message still in flight");
+        assert_eq!(d.decide(1.6, 1.0, 3), 3);
+    }
+
+    #[test]
+    fn reverting_to_applied_cancels_in_flight() {
+        let mut d = DelayedDecision::new(1);
+        d.decide(0.0, 1.0, 2);
+        assert_eq!(d.decide(0.2, 1.0, 1), 1, "target equals applied: cancel");
+        // Nothing delivers later.
+        assert_eq!(d.decide(5.0, 1.0, 1), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-negative")]
+    fn rejects_negative_latency() {
+        let mut d = DelayedDecision::new(0);
+        d.decide(0.0, -1.0, 1);
+    }
+}

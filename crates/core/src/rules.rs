@@ -1,0 +1,137 @@
+//! Gurita's scheduling rules (§IV.A of the paper).
+//!
+//! Flexible-flow-shop solutions obey Johnson's classic rules: minimize
+//! resource idle time, free machines quickly, avoid blocking other jobs,
+//! and avoid tardiness. Translated to multi-stage coflow scheduling they
+//! become Gurita's four rules, reified here as an enum so that ablation
+//! experiments can switch individual rules off and measure their
+//! contribution (the `ablation` bench).
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// One of Gurita's four scheduling rules.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Rule {
+    /// Rule 1: prioritize job stages consisting of smaller numbers of
+    /// shorter flows, so machines neither wait for jobs nor jobs for
+    /// machines (Johnson's idle-time and availability rules). In Ψ this
+    /// is the κ size adjustment.
+    SmallStagesFirst,
+    /// Rule 2: avoid horizontal blocking (prefer stages with fewer
+    /// flows) and vertical blocking (prefer stages with shorter flows).
+    /// In Ψ this is the `L_max × W` area term.
+    AvoidBlocking,
+    /// Rule 3: jobs in their final stage are prioritized over jobs that
+    /// are not. In Ψ this is the ω stage-progress weight.
+    FinalStageFirst,
+    /// Rule 4: coflows on a job's critical path are prioritized over
+    /// coflows off it. In Ψ this is the γ critical-path discount.
+    CriticalPathFirst,
+}
+
+impl Rule {
+    /// All four rules in order.
+    pub const ALL: [Rule; 4] = [
+        Rule::SmallStagesFirst,
+        Rule::AvoidBlocking,
+        Rule::FinalStageFirst,
+        Rule::CriticalPathFirst,
+    ];
+}
+
+impl fmt::Display for Rule {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            Rule::SmallStagesFirst => "rule 1: small stages first",
+            Rule::AvoidBlocking => "rule 2: avoid horizontal/vertical blocking",
+            Rule::FinalStageFirst => "rule 3: final stage first",
+            Rule::CriticalPathFirst => "rule 4: critical path first",
+        };
+        f.write_str(s)
+    }
+}
+
+/// Which rules are active — the knob ablation studies turn.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct RuleSet {
+    /// Rule 1 (κ size adjustment).
+    pub small_stages_first: bool,
+    /// Rule 2 (L×W blocking area). Disabling collapses Ψ's core signal;
+    /// only useful for ablation.
+    pub avoid_blocking: bool,
+    /// Rule 3 (ω stage-progress weight).
+    pub final_stage_first: bool,
+    /// Rule 4 (critical-path discount).
+    pub critical_path_first: bool,
+}
+
+impl RuleSet {
+    /// All rules on (the full Gurita design).
+    pub const fn all() -> Self {
+        Self {
+            small_stages_first: true,
+            avoid_blocking: true,
+            final_stage_first: true,
+            critical_path_first: true,
+        }
+    }
+
+    /// Returns a copy with one rule disabled.
+    pub fn without(mut self, rule: Rule) -> Self {
+        match rule {
+            Rule::SmallStagesFirst => self.small_stages_first = false,
+            Rule::AvoidBlocking => self.avoid_blocking = false,
+            Rule::FinalStageFirst => self.final_stage_first = false,
+            Rule::CriticalPathFirst => self.critical_path_first = false,
+        }
+        self
+    }
+
+    /// Whether a given rule is enabled.
+    pub fn contains(&self, rule: Rule) -> bool {
+        match rule {
+            Rule::SmallStagesFirst => self.small_stages_first,
+            Rule::AvoidBlocking => self.avoid_blocking,
+            Rule::FinalStageFirst => self.final_stage_first,
+            Rule::CriticalPathFirst => self.critical_path_first,
+        }
+    }
+}
+
+impl Default for RuleSet {
+    fn default() -> Self {
+        Self::all()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_rules_enabled_by_default() {
+        let rs = RuleSet::default();
+        for r in Rule::ALL {
+            assert!(rs.contains(r), "{r} should default on");
+        }
+    }
+
+    #[test]
+    fn without_disables_exactly_one() {
+        for r in Rule::ALL {
+            let rs = RuleSet::all().without(r);
+            assert!(!rs.contains(r));
+            for other in Rule::ALL.into_iter().filter(|&o| o != r) {
+                assert!(rs.contains(other));
+            }
+        }
+    }
+
+    #[test]
+    fn display_is_descriptive() {
+        for r in Rule::ALL {
+            assert!(r.to_string().starts_with("rule "));
+        }
+    }
+}

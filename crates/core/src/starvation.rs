@@ -1,0 +1,235 @@
+//! Starvation mitigation: SPQ emulation with WRR.
+//!
+//! Strict-priority schedulers starve low-priority traffic under
+//! saturation. Gurita mitigates this by *emulating* SPQ with Weighted
+//! Round Robin whose per-queue weights derive from the queues' SPQ
+//! waiting times (paper §IV.B "Starvation Mitigation"):
+//!
+//! With per-queue loads `ρ_i = λ_i / C` and cumulative loads
+//! `σ_k = ρ_0 + … + ρ_k`, the mean waits in a non-preemptive priority
+//! queue (Kleinrock vol. 2) are
+//!
+//! ```text
+//! W_0 = ρ_0 / (1 − ρ_0)
+//! W_k = W_0 / ((1 − σ_{k−1}) (1 − σ_k)),   k ≥ 1
+//! ```
+//!
+//! and the WRR weights invert them: `w_k = (1/W_k) / Σ_j (1/W_j)`, so a
+//! queue that would wait long under SPQ still receives a small but
+//! positive service share. Arrival rates `λ_i` are estimated online by
+//! an exponentially-weighted moving average of bytes entering each
+//! queue.
+
+use serde::{Deserialize, Serialize};
+
+/// Highest load any single queue (or the total) is allowed to report, to
+/// keep the Kleinrock denominators away from their poles.
+const RHO_CAP: f64 = 0.95;
+/// Load floor: an idle queue still gets a tiny ρ so its weight exists.
+const RHO_FLOOR: f64 = 1e-4;
+
+/// Computes SPQ mean waiting times per queue from per-queue loads.
+///
+/// Loads are *renormalized to the saturation operating point*
+/// (Σρ = RHO_CAP): starvation — and therefore the emulation — only
+/// matters when a link is saturated, and at low measured load the raw
+/// Kleinrock waits converge to equality, which would erase the priority
+/// ordering entirely. Evaluating the formulas at saturation with the
+/// measured *relative* loads preserves SPQ's strict ordering while
+/// keeping every queue's share positive. Only the relative magnitudes
+/// of `rho` matter as a result.
+///
+/// # Panics
+///
+/// Panics if `rho` is empty or contains negative / non-finite entries.
+pub fn spq_waiting_times(rho: &[f64]) -> Vec<f64> {
+    assert!(!rho.is_empty(), "at least one queue load required");
+    for &r in rho {
+        assert!(r.is_finite() && r >= 0.0, "loads must be non-negative");
+    }
+    // Renormalize relative loads to the saturation operating point; with
+    // nothing measured yet, assume equal relative loads.
+    let total: f64 = rho.iter().sum();
+    let rho: Vec<f64> = if total > 0.0 {
+        rho.iter()
+            .map(|r| (r * RHO_CAP / total).max(RHO_FLOOR))
+            .collect()
+    } else {
+        vec![RHO_CAP / rho.len() as f64; rho.len()]
+    };
+    // The floors can nudge the sum past the cap; re-cap.
+    let total: f64 = rho.iter().sum();
+    let rho: Vec<f64> = if total > RHO_CAP {
+        rho.iter().map(|r| r * RHO_CAP / total).collect()
+    } else {
+        rho
+    };
+    let mut sigma = 0.0;
+    let mut waits = Vec::with_capacity(rho.len());
+    let w0 = {
+        let r0 = rho[0].min(RHO_CAP);
+        r0 / (1.0 - r0)
+    };
+    for (k, &r) in rho.iter().enumerate() {
+        let prev_sigma = sigma;
+        sigma = (sigma + r).min(RHO_CAP);
+        let w = if k == 0 {
+            w0
+        } else {
+            w0 / ((1.0 - prev_sigma) * (1.0 - sigma))
+        };
+        waits.push(w.max(1e-9));
+    }
+    waits
+}
+
+/// Derives normalized WRR weights from per-queue loads by inverting the
+/// SPQ waiting times: `w_k ∝ 1 / W_k`. Weights are positive and sum
+/// to 1, and are non-increasing in queue index for equal loads (lower
+/// priority ⇒ longer SPQ wait ⇒ smaller WRR weight).
+///
+/// # Panics
+///
+/// Propagates the panics of [`spq_waiting_times`].
+pub fn wrr_weights(rho: &[f64]) -> Vec<f64> {
+    let waits = spq_waiting_times(rho);
+    let inv: Vec<f64> = waits.iter().map(|w| 1.0 / w).collect();
+    let total: f64 = inv.iter().sum();
+    inv.into_iter().map(|w| w / total).collect()
+}
+
+/// Online per-queue arrival-rate estimator (EWMA of bytes/sec entering
+/// each queue), feeding the load vector of [`wrr_weights`].
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct LoadEstimator {
+    /// EWMA smoothing factor in (0, 1]; 1 = no smoothing.
+    alpha: f64,
+    /// Reference capacity (bytes/sec) loads are normalized by.
+    capacity: f64,
+    rates: Vec<f64>,
+    last_time: Option<f64>,
+}
+
+impl LoadEstimator {
+    /// Creates an estimator for `num_queues` queues, normalizing by the
+    /// reference `capacity` (e.g. one NIC's line rate).
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `num_queues >= 1`, `alpha ∈ (0, 1]`, and
+    /// `capacity > 0`.
+    pub fn new(num_queues: usize, alpha: f64, capacity: f64) -> Self {
+        assert!(num_queues >= 1, "at least one queue");
+        assert!(alpha > 0.0 && alpha <= 1.0, "alpha must be in (0, 1]");
+        assert!(capacity > 0.0, "capacity must be positive");
+        Self {
+            alpha,
+            capacity,
+            rates: vec![0.0; num_queues],
+            last_time: None,
+        }
+    }
+
+    /// Feeds one sample: `bytes_per_queue[q]` bytes entered queue `q`
+    /// since the previous call, at time `now`. Samples with
+    /// non-increasing timestamps are ignored.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the sample length differs from the queue count.
+    pub fn record(&mut self, now: f64, bytes_per_queue: &[f64]) {
+        assert_eq!(bytes_per_queue.len(), self.rates.len(), "one sample per queue");
+        let Some(last) = self.last_time else {
+            self.last_time = Some(now);
+            return;
+        };
+        let dt = now - last;
+        if dt <= 0.0 {
+            return;
+        }
+        self.last_time = Some(now);
+        for (rate, &bytes) in self.rates.iter_mut().zip(bytes_per_queue) {
+            let inst = (bytes / dt).max(0.0);
+            *rate = self.alpha * inst + (1.0 - self.alpha) * *rate;
+        }
+    }
+
+    /// Current load vector ρ (rates normalized by capacity, unclamped —
+    /// [`wrr_weights`] applies the caps).
+    pub fn loads(&self) -> Vec<f64> {
+        self.rates.iter().map(|r| r / self.capacity).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn waits_increase_with_queue_index() {
+        let waits = spq_waiting_times(&[0.2, 0.2, 0.2, 0.2]);
+        for w in waits.windows(2) {
+            assert!(w[1] > w[0], "lower priority must wait longer: {waits:?}");
+        }
+    }
+
+    #[test]
+    fn weights_are_normalized_and_ordered() {
+        let w = wrr_weights(&[0.2, 0.2, 0.2, 0.2]);
+        assert_eq!(w.len(), 4);
+        assert!((w.iter().sum::<f64>() - 1.0).abs() < 1e-9);
+        for pair in w.windows(2) {
+            assert!(pair[0] > pair[1], "weights must favor high priority: {w:?}");
+        }
+        assert!(w.iter().all(|&x| x > 0.0), "no queue starves: {w:?}");
+    }
+
+    #[test]
+    fn saturated_loads_are_renormalized() {
+        let w = wrr_weights(&[1.0, 1.0, 1.0, 1.0]);
+        assert!((w.iter().sum::<f64>() - 1.0).abs() < 1e-9);
+        assert!(w.iter().all(|&x| x.is_finite() && x > 0.0));
+    }
+
+    #[test]
+    fn idle_queues_still_get_weight() {
+        let w = wrr_weights(&[0.5, 0.0, 0.0, 0.0]);
+        assert!(w[3] > 0.0);
+        assert!(w[0] > w[3]);
+    }
+
+    #[test]
+    fn estimator_converges_to_steady_rate() {
+        let mut e = LoadEstimator::new(2, 0.5, 100.0);
+        // 50 bytes/sec into queue 0, 10 into queue 1.
+        for i in 0..40 {
+            e.record(i as f64, &[50.0, 10.0]);
+        }
+        let loads = e.loads();
+        assert!((loads[0] - 0.5).abs() < 0.02, "{loads:?}");
+        assert!((loads[1] - 0.1).abs() < 0.02, "{loads:?}");
+    }
+
+    #[test]
+    fn estimator_ignores_time_regressions() {
+        let mut e = LoadEstimator::new(1, 1.0, 1.0);
+        e.record(1.0, &[1.0]);
+        e.record(2.0, &[4.0]);
+        let before = e.loads();
+        e.record(2.0, &[1000.0]);
+        assert_eq!(e.loads(), before);
+    }
+
+    #[test]
+    #[should_panic(expected = "one sample per queue")]
+    fn estimator_rejects_wrong_arity() {
+        let mut e = LoadEstimator::new(2, 0.5, 1.0);
+        e.record(0.0, &[1.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-negative")]
+    fn waits_reject_negative_load() {
+        let _ = spq_waiting_times(&[-0.1]);
+    }
+}

@@ -1,0 +1,9 @@
+//! Exponentially-spaced priority thresholds.
+//!
+//! Re-exported from [`gurita_sim::thresholds`]: the Aalo-recommended
+//! exponential threshold ladder is shared infrastructure between Gurita
+//! and the TBS baselines (Aalo, Stream), so it lives in the simulator
+//! crate; Gurita applies it to blocking-effect values rather than to
+//! accumulated bytes.
+
+pub use gurita_sim::thresholds::ThresholdLadder;

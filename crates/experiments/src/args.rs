@@ -1,0 +1,73 @@
+//! Minimal command-line parsing shared by the figure binaries.
+//!
+//! Supported flags: `--jobs N`, `--seed N`, `--full` (paper scale).
+//! Unknown flags abort with a usage message — the binaries are
+//! reproduction drivers, not general tools.
+
+use crate::figures::FigureOptions;
+
+/// Parses figure options from raw arguments (excluding the program
+/// name).
+///
+/// # Errors
+///
+/// Returns a usage string on malformed input.
+pub fn parse(args: &[String]) -> Result<FigureOptions, String> {
+    let mut opts = FigureOptions::default();
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--jobs" => {
+                let v = it.next().ok_or("--jobs requires a value")?;
+                opts.jobs = v
+                    .parse()
+                    .map_err(|_| format!("bad --jobs value `{v}`"))?;
+                if opts.jobs == 0 {
+                    return Err("--jobs must be at least 1".into());
+                }
+            }
+            "--seed" => {
+                let v = it.next().ok_or("--seed requires a value")?;
+                opts.seed = v
+                    .parse()
+                    .map_err(|_| format!("bad --seed value `{v}`"))?;
+            }
+            "--full" => opts.full_scale = true,
+            "--help" | "-h" => return Err(usage()),
+            other => return Err(format!("unknown flag `{other}`\n{}", usage())),
+        }
+    }
+    Ok(opts)
+}
+
+/// The usage string.
+pub fn usage() -> String {
+    "usage: <figure> [--jobs N] [--seed N] [--full]".to_owned()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn v(s: &[&str]) -> Vec<String> {
+        s.iter().map(|x| x.to_string()).collect()
+    }
+
+    #[test]
+    fn defaults_and_overrides() {
+        let o = parse(&[]).unwrap();
+        assert_eq!(o.jobs, 80);
+        let o = parse(&v(&["--jobs", "5", "--seed", "9", "--full"])).unwrap();
+        assert_eq!(o.jobs, 5);
+        assert_eq!(o.seed, 9);
+        assert!(o.full_scale);
+    }
+
+    #[test]
+    fn rejects_bad_input() {
+        assert!(parse(&v(&["--jobs"])).is_err());
+        assert!(parse(&v(&["--jobs", "x"])).is_err());
+        assert!(parse(&v(&["--jobs", "0"])).is_err());
+        assert!(parse(&v(&["--wat"])).is_err());
+    }
+}

@@ -1,0 +1,31 @@
+//! Ablation study: full Gurita against single-rule-disabled variants
+//! and the clairvoyant Varys-SEBF reference (DESIGN.md experiment E8).
+
+use gurita_experiments::{args, figures, report};
+
+fn main() {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let opts = match args::parse(&argv) {
+        Ok(o) => o,
+        Err(msg) => {
+            eprintln!("{msg}");
+            std::process::exit(2);
+        }
+    };
+    let sc = figures::ablation(&opts);
+    println!(
+        "{}",
+        report::render_improvement_table(
+            &format!(
+                "Ablation — {} (Gurita avg JCT {:.3}s; factors >1 mean full Gurita is faster)",
+                sc.name, sc.gurita_avg_jct
+            ),
+            &sc.rows,
+            &sc.populations
+        )
+    );
+    match report::write_results_file("ablation.json", &report::to_json(&sc)) {
+        Ok(path) => println!("wrote {}", path.display()),
+        Err(e) => eprintln!("could not write results file: {e}"),
+    }
+}

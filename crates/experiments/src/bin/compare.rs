@@ -1,0 +1,72 @@
+//! Ad-hoc comparison tool: replays one scenario under the *entire*
+//! scheduler roster (paper set + Gurita variants + the Varys-SEBF
+//! extension) and prints the improvement table.
+//!
+//! ```sh
+//! cargo run --release -p gurita-experiments --bin compare -- \
+//!     [--jobs N] [--seed S] [--burst] [--structure fbtao|tpcds|mix]
+//! ```
+
+use gurita_experiments::metrics::{category_populations, improvement_table};
+use gurita_experiments::report::render_improvement_table;
+use gurita_experiments::roster::SchedulerKind;
+use gurita_experiments::scenario::Scenario;
+use gurita_workload::dags::StructureKind;
+
+fn main() {
+    let mut jobs = 60usize;
+    let mut seed = 42u64;
+    let mut burst = false;
+    let mut structure = StructureKind::FbTao;
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let mut it = argv.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--jobs" => jobs = it.next().and_then(|v| v.parse().ok()).unwrap_or(jobs),
+            "--seed" => seed = it.next().and_then(|v| v.parse().ok()).unwrap_or(seed),
+            "--burst" => burst = true,
+            "--structure" => {
+                structure = match it.next().map(String::as_str) {
+                    Some("tpcds") => StructureKind::TpcDs,
+                    Some("mix") => StructureKind::ProductionMix,
+                    _ => StructureKind::FbTao,
+                }
+            }
+            other => {
+                eprintln!("unknown flag `{other}`");
+                std::process::exit(2);
+            }
+        }
+    }
+    let scenario = if burst {
+        Scenario::bursty(structure, jobs, 8, seed)
+    } else {
+        Scenario::trace_driven(structure, jobs, seed)
+    };
+    let kinds = [
+        SchedulerKind::Gurita,
+        SchedulerKind::GuritaSpq,
+        SchedulerKind::GuritaPlus,
+        SchedulerKind::Baraat,
+        SchedulerKind::Pfs,
+        SchedulerKind::Stream,
+        SchedulerKind::Aalo,
+        SchedulerKind::VarysSebf,
+    ];
+    let results = scenario.run_all(&kinds);
+    let (reference, compared) = results.split_first().expect("roster non-empty");
+    println!(
+        "{}",
+        render_improvement_table(
+            &format!(
+                "{} — {} jobs, seed {} (Gurita avg JCT {:.3}s; >1 = Gurita faster)",
+                scenario.name,
+                jobs,
+                seed,
+                reference.avg_jct()
+            ),
+            &improvement_table(reference, compared),
+            &category_populations(reference),
+        )
+    );
+}

@@ -1,0 +1,36 @@
+//! Regenerates Figure 6; see `gurita_experiments::figures` for the
+//! scenario definitions.
+
+use gurita_experiments::{args, charts, figures, report};
+
+fn main() {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let opts = match args::parse(&argv) {
+        Ok(o) => o,
+        Err(msg) => {
+            eprintln!("{msg}");
+            std::process::exit(2);
+        }
+    };
+    let results = figures::fig6(&opts);
+    for sc in &results {
+        println!(
+            "{}",
+            report::render_improvement_table(
+                &format!(
+                    "Figure 6 — {} (Gurita avg JCT {:.3}s)",
+                    sc.name, sc.gurita_avg_jct
+                ),
+                &sc.rows,
+                &sc.populations
+            )
+        );
+    }
+    for sc in &results {
+        println!("{}", charts::overall_chart(&sc.name, &sc.rows));
+    }
+    match report::write_results_file("fig6.json", &report::to_json(&results)) {
+        Ok(path) => println!("wrote {}", path.display()),
+        Err(e) => eprintln!("could not write results file: {e}"),
+    }
+}

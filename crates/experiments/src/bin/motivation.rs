@@ -1,0 +1,31 @@
+//! Reproduces the analytic motivation examples (Figures 2 and 4).
+
+use gurita_experiments::{motivation, report};
+
+fn main() {
+    let (fig2_tbs, fig2_stage) = motivation::figure2();
+    let (fig4_a_first, fig4_blocked_first) = motivation::figure4();
+    let out = report::render_kv(
+        "Motivation examples",
+        &[
+            ("fig2 avg JCT, TBS priority", format!("{fig2_tbs:.2} (paper: 6.25)")),
+            (
+                "fig2 avg JCT, per-stage priority",
+                format!("{fig2_stage:.2} (paper: 5.50; consistent replay: 5.00)"),
+            ),
+            (
+                "fig4 avg JCT, blocking job first",
+                format!("{fig4_a_first:.2} (paper: 4.25)"),
+            ),
+            (
+                "fig4 avg JCT, blocked jobs first",
+                format!("{fig4_blocked_first:.2} (paper: 3.50)"),
+            ),
+        ],
+    );
+    println!("{out}");
+    match report::write_results_file("motivation.txt", &out) {
+        Ok(path) => println!("wrote {}", path.display()),
+        Err(e) => eprintln!("could not write results file: {e}"),
+    }
+}

@@ -1,0 +1,37 @@
+//! Sensitivity sweeps over Gurita's design parameters (queue count,
+//! threshold spacing, update interval δ, HR decision latency, and
+//! fault-injection robustness).
+
+use gurita_experiments::{args, report, sweeps};
+
+fn main() {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let opts = match args::parse(&argv) {
+        Ok(o) => o,
+        Err(msg) => {
+            eprintln!("{msg}");
+            std::process::exit(2);
+        }
+    };
+    let mut all = vec![
+        sweeps::queue_count_sweep(opts.jobs, opts.seed),
+        sweeps::threshold_sweep(opts.jobs, opts.seed),
+        sweeps::delta_sweep(opts.jobs, opts.seed),
+        sweeps::latency_sweep(opts.jobs, opts.seed),
+    ];
+    let (faults_gurita, faults_pfs) = sweeps::fault_sweep(opts.jobs, opts.seed);
+    all.push(faults_gurita);
+    all.push(faults_pfs);
+    for sweep in &all {
+        let pairs: Vec<(&str, String)> = sweep
+            .points
+            .iter()
+            .map(|p| (p.setting.as_str(), format!("{:.3}s avg JCT", p.avg_jct)))
+            .collect();
+        println!("{}", report::render_kv(&format!("Sweep: {}", sweep.parameter), &pairs));
+    }
+    match report::write_results_file("sweeps.json", &report::to_json(&all)) {
+        Ok(path) => println!("wrote {}", path.display()),
+        Err(e) => eprintln!("could not write results file: {e}"),
+    }
+}

@@ -1,0 +1,99 @@
+//! ASCII bar charts for console reports.
+//!
+//! The paper's figures are grouped bar charts of improvement factors;
+//! the figure binaries render a textual equivalent so the shape is
+//! visible without plotting tools (the JSON output feeds real plots).
+
+use crate::metrics::ImprovementRow;
+use gurita_model::SizeCategory;
+
+const BAR_WIDTH: usize = 40;
+
+/// Renders one horizontal bar: `label |█████▌    | value`.
+fn bar(label: &str, value: f64, scale_max: f64, out: &mut String) {
+    let frac = (value / scale_max).clamp(0.0, 1.0);
+    let cells = (frac * BAR_WIDTH as f64).round() as usize;
+    out.push_str(&format!(
+        "{label:<14} |{}{}| {value:>6.2}\n",
+        "#".repeat(cells),
+        " ".repeat(BAR_WIDTH - cells),
+    ));
+}
+
+/// Renders the overall improvement factors of one scenario as a bar
+/// chart (the Figure 5 visual). A `1.0` reference line value is always
+/// included in the scale so parity is visible.
+pub fn overall_chart(title: &str, rows: &[ImprovementRow]) -> String {
+    let mut out = format!("## {title}\n");
+    let max = rows
+        .iter()
+        .map(|r| r.overall)
+        .fold(1.0f64, f64::max)
+        .max(1e-9);
+    for row in rows {
+        bar(&row.scheduler, row.overall, max, &mut out);
+    }
+    out.push_str(&format!(
+        "{:<14} (bar scale: 0 .. {max:.2}; 1.0 = parity with Gurita)\n",
+        ""
+    ));
+    out
+}
+
+/// Renders one scheduler's per-category improvements as a bar chart
+/// (the Figure 6/7 visual); empty categories are skipped.
+pub fn category_chart(title: &str, row: &ImprovementRow) -> String {
+    let mut out = format!("## {title} — vs {}\n", row.scheduler);
+    let max = row
+        .per_category
+        .iter()
+        .flatten()
+        .fold(1.0f64, |m, &v| m.max(v))
+        .max(1e-9);
+    for cat in SizeCategory::ALL {
+        if let Some(v) = row.per_category[cat.index()] {
+            bar(cat.label(), v, max, &mut out);
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn row(name: &str, overall: f64) -> ImprovementRow {
+        ImprovementRow {
+            scheduler: name.into(),
+            overall,
+            per_category: [Some(2.0), Some(1.0), None, None, None, None, Some(0.5)],
+        }
+    }
+
+    #[test]
+    fn overall_chart_scales_to_max() {
+        let chart = overall_chart("Figure 5 FB-t", &[row("PFS", 2.0), row("Aalo", 1.0)]);
+        assert!(chart.contains("Figure 5 FB-t"));
+        assert!(chart.contains("PFS"));
+        // The max row is a full-width bar.
+        let full = "#".repeat(BAR_WIDTH);
+        assert!(chart.contains(&full), "{chart}");
+        assert!(chart.contains("parity"));
+    }
+
+    #[test]
+    fn category_chart_skips_empty_bins() {
+        let chart = category_chart("Figure 6a", &row("Stream", 1.5));
+        assert!(chart.contains("I "));
+        assert!(chart.contains("VII"));
+        assert!(!chart.contains("III"), "empty category rendered: {chart}");
+    }
+
+    #[test]
+    fn bars_are_fixed_width() {
+        let mut s = String::new();
+        bar("x", 0.5, 1.0, &mut s);
+        let inside = s.split('|').nth(1).unwrap();
+        assert_eq!(inside.len(), BAR_WIDTH);
+    }
+}

@@ -1,0 +1,227 @@
+//! One driver per paper artifact (Figures 5–8, plus ablations).
+//!
+//! Every driver replays a deterministic workload under the relevant
+//! scheduler set and reduces the results to the paper's improvement
+//! factors. Scale knobs default to sizes that complete in minutes on a
+//! laptop core; `full_scale` selects the paper's parameters (48-pod
+//! fat-tree, 10 000 jobs for Figure 7) — expect hours.
+
+use crate::metrics::{category_populations, improvement_table, ImprovementRow};
+use crate::roster::SchedulerKind;
+use crate::scenario::Scenario;
+use gurita_sim::stats::RunResult;
+use gurita_workload::dags::StructureKind;
+use serde::{Deserialize, Serialize};
+
+/// Common experiment knobs.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct FigureOptions {
+    /// Number of jobs per scenario.
+    pub jobs: usize,
+    /// Workload seed.
+    pub seed: u64,
+    /// Use the paper's full scale where applicable (Figure 7: 48 pods /
+    /// 10 000 jobs).
+    pub full_scale: bool,
+}
+
+impl Default for FigureOptions {
+    fn default() -> Self {
+        Self {
+            jobs: 80,
+            seed: 42,
+            full_scale: false,
+        }
+    }
+}
+
+/// One scenario's comparison: improvement rows against Gurita plus the
+/// per-category job populations.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ScenarioComparison {
+    /// Scenario label (e.g. `FB-t`, `CD-b`).
+    pub name: String,
+    /// Gurita's average JCT in seconds (the reference).
+    pub gurita_avg_jct: f64,
+    /// Improvement rows for each compared scheduler.
+    pub rows: Vec<ImprovementRow>,
+    /// Jobs per Table 1 category.
+    pub populations: [usize; 7],
+}
+
+fn compare(name: &str, scenario: &Scenario, kinds: &[SchedulerKind]) -> ScenarioComparison {
+    let results = scenario.run_all(kinds);
+    let (reference, compared) = results.split_first().expect("at least the reference runs");
+    ScenarioComparison {
+        name: name.to_owned(),
+        gurita_avg_jct: reference.avg_jct(),
+        rows: improvement_table(reference, compared),
+        populations: category_populations(reference),
+    }
+}
+
+/// Figure 5: average improvement of Gurita over {Baraat, PFS, Stream,
+/// Aalo} in four scenarios — trace-driven and bursty, each with the
+/// FB-Tao and TPC-DS (Cloudera) structures.
+pub fn fig5(opts: &FigureOptions) -> Vec<ScenarioComparison> {
+    let kinds = SchedulerKind::PAPER_SET;
+    vec![
+        compare(
+            "FB-t",
+            &Scenario::trace_driven(StructureKind::FbTao, opts.jobs, opts.seed),
+            &kinds,
+        ),
+        compare(
+            "CD-t",
+            &Scenario::trace_driven(StructureKind::TpcDs, opts.jobs, opts.seed + 1),
+            &kinds,
+        ),
+        compare(
+            "FB-b",
+            &Scenario::bursty(StructureKind::FbTao, opts.jobs, 8, opts.seed + 2),
+            &kinds,
+        ),
+        compare(
+            "CD-b",
+            &Scenario::bursty(StructureKind::TpcDs, opts.jobs, 8, opts.seed + 3),
+            &kinds,
+        ),
+    ]
+}
+
+/// Figure 6: per-category improvement, trace-driven 8-pod fabric —
+/// (a) FB-Tao, (b) TPC-DS.
+pub fn fig6(opts: &FigureOptions) -> Vec<ScenarioComparison> {
+    let kinds = SchedulerKind::PAPER_SET;
+    vec![
+        compare(
+            "fig6a/FB-Tao",
+            &Scenario::trace_driven(StructureKind::FbTao, opts.jobs, opts.seed),
+            &kinds,
+        ),
+        compare(
+            "fig6b/TPC-DS",
+            &Scenario::trace_driven(StructureKind::TpcDs, opts.jobs, opts.seed + 1),
+            &kinds,
+        ),
+    ]
+}
+
+/// Figure 7: per-category improvement under bursty arrivals in a
+/// large-scale fat-tree. Paper scale (48 pods, 10 000 jobs) behind
+/// `full_scale`; the default uses 12 pods and `4 × jobs` to produce the
+/// same congestion regime at laptop cost.
+pub fn fig7(opts: &FigureOptions) -> Vec<ScenarioComparison> {
+    let (pods, jobs) = if opts.full_scale {
+        (48, 10_000)
+    } else {
+        (12, opts.jobs * 4)
+    };
+    let kinds = SchedulerKind::PAPER_SET;
+    vec![
+        compare(
+            "fig7a/FB-Tao",
+            &Scenario::bursty(StructureKind::FbTao, jobs, pods, opts.seed),
+            &kinds,
+        ),
+        compare(
+            "fig7b/TPC-DS",
+            &Scenario::bursty(StructureKind::TpcDs, jobs, pods, opts.seed + 1),
+            &kinds,
+        ),
+    ]
+}
+
+/// Figure 8: Gurita vs the idealized GuritaPlus, per category, on the
+/// 8-pod trace scenarios. Rows report
+/// `avg JCT(GuritaPlus) / avg JCT(Gurita)` — at or slightly below 1
+/// when the oracle is (marginally) faster.
+pub fn fig8(opts: &FigureOptions) -> Vec<ScenarioComparison> {
+    let kinds = [SchedulerKind::Gurita, SchedulerKind::GuritaPlus];
+    vec![
+        compare(
+            "fig8a/FB-Tao",
+            &Scenario::trace_driven(StructureKind::FbTao, opts.jobs, opts.seed),
+            &kinds,
+        ),
+        compare(
+            "fig8b/TPC-DS",
+            &Scenario::trace_driven(StructureKind::TpcDs, opts.jobs, opts.seed + 1),
+            &kinds,
+        ),
+    ]
+}
+
+/// Ablation study (DESIGN.md E8): full Gurita against variants with one
+/// design element disabled, plus the clairvoyant Varys-SEBF reference.
+pub fn ablation(opts: &FigureOptions) -> ScenarioComparison {
+    let kinds = [
+        SchedulerKind::Gurita,
+        SchedulerKind::GuritaSpq,
+        SchedulerKind::GuritaNoOmega,
+        SchedulerKind::GuritaNoKappa,
+        SchedulerKind::GuritaNoCriticalPath,
+        SchedulerKind::VarysSebf,
+    ];
+    compare(
+        "ablation/ProductionMix",
+        &Scenario::trace_driven(StructureKind::ProductionMix, opts.jobs, opts.seed),
+        &kinds,
+    )
+}
+
+/// Raw per-scheduler results for a scenario (used by benches and the
+/// scheduler-shootout example).
+pub fn raw_runs(
+    structure: StructureKind,
+    opts: &FigureOptions,
+    kinds: &[SchedulerKind],
+) -> Vec<RunResult> {
+    Scenario::trace_driven(structure, opts.jobs, opts.seed).run_all(kinds)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny() -> FigureOptions {
+        FigureOptions {
+            jobs: 6,
+            seed: 7,
+            full_scale: false,
+        }
+    }
+
+    #[test]
+    fn fig5_produces_four_scenarios() {
+        let r = fig5(&tiny());
+        assert_eq!(r.len(), 4);
+        for sc in &r {
+            assert_eq!(sc.rows.len(), 4, "{}", sc.name);
+            assert!(sc.gurita_avg_jct > 0.0);
+            assert_eq!(sc.populations.iter().sum::<usize>(), 6);
+        }
+        assert_eq!(r[0].name, "FB-t");
+        assert_eq!(r[3].name, "CD-b");
+    }
+
+    #[test]
+    fn fig8_compares_against_the_oracle() {
+        let r = fig8(&tiny());
+        assert_eq!(r.len(), 2);
+        for sc in &r {
+            assert_eq!(sc.rows.len(), 1);
+            assert_eq!(sc.rows[0].scheduler, "GuritaPlus");
+            assert!(sc.rows[0].overall > 0.0);
+        }
+    }
+
+    #[test]
+    fn ablation_covers_all_variants() {
+        let r = ablation(&tiny());
+        assert_eq!(r.rows.len(), 5);
+        let names: Vec<&str> = r.rows.iter().map(|x| x.scheduler.as_str()).collect();
+        assert!(names.contains(&"Gurita-SPQ"));
+        assert!(names.contains(&"Varys-SEBF"));
+    }
+}

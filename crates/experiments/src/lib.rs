@@ -1,0 +1,34 @@
+//! Experiment harness reproducing every table and figure of the Gurita
+//! paper (ICDCS 2019).
+//!
+//! * [`motivation`] — the analytic Figure 2 / Figure 4 examples;
+//! * [`roster`] — the scheduler roster (Gurita, GuritaPlus, PFS, Baraat,
+//!   Stream, Aalo, and the Varys-SEBF extension) with evaluation-tuned
+//!   parameters;
+//! * [`scenario`] — fabric + workload + replay plumbing: every scheduler
+//!   replays a byte-identical workload;
+//! * [`metrics`] — improvement factors and per-category breakdowns
+//!   (Table 1 bins);
+//! * [`figures`] — one driver per paper artifact: [`figures::fig5`],
+//!   [`figures::fig6`], [`figures::fig7`], [`figures::fig8`], plus the
+//!   [`figures::ablation`] study of Gurita's design choices;
+//! * [`sweeps`] — sensitivity sweeps (queue count, thresholds, update
+//!   interval, HR latency, fault injection);
+//! * [`report`] — plain-text/markdown/JSON rendering of results.
+//!
+//! Binaries `fig5`…`fig8`, `motivation`, and `ablation` regenerate the
+//! corresponding artifacts from the command line; see `EXPERIMENTS.md`
+//! for recorded paper-vs-measured comparisons.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod args;
+pub mod charts;
+pub mod figures;
+pub mod metrics;
+pub mod motivation;
+pub mod report;
+pub mod roster;
+pub mod scenario;
+pub mod sweeps;

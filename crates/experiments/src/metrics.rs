@@ -1,0 +1,177 @@
+//! Comparison metrics.
+//!
+//! The paper's primary metric is the **improvement factor**
+//!
+//! ```text
+//! improvement = avg JCT of compared scheme / avg JCT of Gurita
+//! ```
+//!
+//! "If the improvement is greater (smaller) than one, Gurita is faster
+//! (slower)." Per-category variants bin jobs by Table 1 first.
+
+use gurita_model::SizeCategory;
+use gurita_sim::stats::RunResult;
+use serde::{Deserialize, Serialize};
+
+/// Improvement of `reference` (Gurita) over one compared scheduler,
+/// overall and per size category.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ImprovementRow {
+    /// Label of the compared scheduler.
+    pub scheduler: String,
+    /// Overall improvement factor (>1 ⇒ reference faster).
+    pub overall: f64,
+    /// Per-category improvement; `None` where the category is empty.
+    pub per_category: [Option<f64>; 7],
+}
+
+/// The improvement factor; `NaN`-free: an empty or zero reference
+/// average yields 1.0 (no claim).
+pub fn improvement_factor(compared_avg_jct: f64, reference_avg_jct: f64) -> f64 {
+    if reference_avg_jct > 0.0 && compared_avg_jct.is_finite() {
+        compared_avg_jct / reference_avg_jct
+    } else {
+        1.0
+    }
+}
+
+/// Builds improvement rows for every compared run against the reference
+/// run (conventionally Gurita).
+///
+/// # Panics
+///
+/// Panics if any compared run completed a different set of jobs than
+/// the reference (the scenario plumbing replays identical workloads, so
+/// a mismatch indicates a harness bug).
+pub fn improvement_table(reference: &RunResult, compared: &[RunResult]) -> Vec<ImprovementRow> {
+    for run in compared {
+        assert_eq!(
+            run.jobs.len(),
+            reference.jobs.len(),
+            "{} completed {} jobs but the reference completed {}",
+            run.scheduler,
+            run.jobs.len(),
+            reference.jobs.len()
+        );
+    }
+    compared
+        .iter()
+        .map(|run| {
+            let mut per_category = [None; 7];
+            for cat in SizeCategory::ALL {
+                if let (Some(a), Some(b)) =
+                    (run.avg_jct_in(cat), reference.avg_jct_in(cat))
+                {
+                    per_category[cat.index()] = Some(improvement_factor(a, b));
+                }
+            }
+            ImprovementRow {
+                scheduler: run.scheduler.clone(),
+                overall: improvement_factor(run.avg_jct(), reference.avg_jct()),
+                per_category,
+            }
+        })
+        .collect()
+}
+
+/// An empirical CDF of job completion times: `points[i] = (jct,
+/// fraction of jobs completing within jct)`, sampled at every job.
+pub fn jct_cdf(run: &RunResult) -> Vec<(f64, f64)> {
+    let mut jcts: Vec<f64> = run.jobs.iter().map(|j| j.jct).collect();
+    jcts.sort_by(|a, b| a.partial_cmp(b).expect("JCTs are finite"));
+    let n = jcts.len() as f64;
+    jcts.into_iter()
+        .enumerate()
+        .map(|(i, j)| (j, (i + 1) as f64 / n))
+        .collect()
+}
+
+/// Count of reference jobs per size category (populates the "n=" column
+/// of reports).
+pub fn category_populations(reference: &RunResult) -> [usize; 7] {
+    let mut counts = [0usize; 7];
+    for j in &reference.jobs {
+        counts[j.category().index()] += 1;
+    }
+    counts
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gurita_model::units::MB;
+    use gurita_model::JobId;
+    use gurita_sim::stats::JobResult;
+
+    fn run(name: &str, jcts: &[(f64, f64)]) -> RunResult {
+        RunResult {
+            scheduler: name.into(),
+            jobs: jcts
+                .iter()
+                .enumerate()
+                .map(|(i, &(jct, bytes))| JobResult {
+                    id: JobId(i),
+                    arrival: 0.0,
+                    completed_at: jct,
+                    jct,
+                    total_bytes: bytes,
+                    num_stages: 1,
+                })
+                .collect(),
+            coflows: vec![],
+            makespan: 0.0,
+            events: 0,
+            link_bytes: vec![],
+        }
+    }
+
+    #[test]
+    fn factor_semantics() {
+        assert_eq!(improvement_factor(2.0, 1.0), 2.0); // Gurita 2x faster
+        assert_eq!(improvement_factor(0.5, 1.0), 0.5); // Gurita slower
+        assert_eq!(improvement_factor(1.0, 0.0), 1.0); // degenerate
+    }
+
+    #[test]
+    fn table_computes_overall_and_categories() {
+        let gurita = run("Gurita", &[(1.0, 10.0 * MB), (2.0, 500.0 * MB)]);
+        let pfs = run("PFS", &[(2.0, 10.0 * MB), (6.0, 500.0 * MB)]);
+        let rows = improvement_table(&gurita, &[pfs]);
+        assert_eq!(rows.len(), 1);
+        let row = &rows[0];
+        assert_eq!(row.scheduler, "PFS");
+        assert!((row.overall - (8.0 / 3.0)).abs() < 1e-12);
+        assert_eq!(row.per_category[0], Some(2.0)); // category I
+        assert_eq!(row.per_category[1], Some(3.0)); // category II
+        assert_eq!(row.per_category[6], None); // empty category
+    }
+
+    #[test]
+    #[should_panic(expected = "completed")]
+    fn mismatched_runs_are_rejected() {
+        let a = run("Gurita", &[(1.0, MB)]);
+        let b = run("PFS", &[(1.0, MB), (2.0, MB)]);
+        let _ = improvement_table(&a, &[b]);
+    }
+
+    #[test]
+    fn cdf_is_monotone_and_normalized() {
+        let r = run("x", &[(3.0, MB), (1.0, MB), (2.0, MB)]);
+        let cdf = jct_cdf(&r);
+        assert_eq!(cdf.len(), 3);
+        assert_eq!(cdf[0], (1.0, 1.0 / 3.0));
+        assert_eq!(cdf[2], (3.0, 1.0));
+        for w in cdf.windows(2) {
+            assert!(w[0].0 <= w[1].0 && w[0].1 < w[1].1);
+        }
+    }
+
+    #[test]
+    fn populations() {
+        let r = run("x", &[(1.0, 10.0 * MB), (1.0, 20.0 * MB), (1.0, 2.0e12)]);
+        let pop = category_populations(&r);
+        assert_eq!(pop[0], 2);
+        assert_eq!(pop[6], 1);
+        assert_eq!(pop.iter().sum::<usize>(), 3);
+    }
+}

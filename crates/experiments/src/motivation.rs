@@ -1,0 +1,292 @@
+//! The paper's analytic motivation examples (Figures 2 and 4).
+//!
+//! Both examples are unit-rate, port-contention schedules small enough
+//! to evaluate exactly. We model them with a deterministic preemptive
+//! list scheduler: each job is a chain of (port, units) stages; at every
+//! instant each port serves the highest-priority ready stage
+//! exclusively; priority is either **total bytes sent** (TBS — smaller
+//! job first, the SJF-style rule of Varys/Aalo-lineage schedulers) or
+//! **per-stage bytes** (smaller current stage first, the stage-aware
+//! rule Gurita motivates).
+//!
+//! *Figure 4* (blocking): job A has three 2-unit coflows occupying three
+//! ports; jobs B, C, D each hold one 3-unit coflow on one of those
+//! ports. Prioritizing A (it is "smaller" per coflow) yields an average
+//! JCT of 4.25; prioritizing the jobs it blocks yields 3.50 — exactly
+//! the paper's numbers, reproduced by [`figure4`].
+//!
+//! *Figure 2* (multi-stage): job A sends 10, 1, 1, 1 units in four
+//! stages on four ports; single-stage jobs B, C, D (2 units each) arrive
+//! just as A's later stages reach their ports. Under TBS, B, C, D
+//! preempt A's one-unit stages and A's JCT is 19 (average 6.25). Under
+//! per-stage priority A's tiny stages go first. The paper quotes an
+//! average of 5.5 assuming each of B, C, D is delayed by one unit; in a
+//! consistent single-timeline replay only B overlaps A (C and D arrive
+//! after A's stages have cleared their ports), giving 5.0 — the
+//! qualitative claim (stage-aware < TBS) is what [`figure2`] checks and
+//! `EXPERIMENTS.md` records the discrepancy.
+
+/// Priority rule of the analytic scheduler.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PriorityRule {
+    /// Smaller total job bytes first (stage-agnostic).
+    TotalBytes,
+    /// Smaller current-stage bytes first (stage-aware).
+    PerStageBytes,
+}
+
+/// One analytic job: arrival time plus a chain of (port, units) stages.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AnalyticJob {
+    /// Arrival time in unit-time.
+    pub arrival: f64,
+    /// Sequential stages: `(port, units)`.
+    pub stages: Vec<(usize, f64)>,
+}
+
+impl AnalyticJob {
+    /// Total units across all stages.
+    pub fn total_units(&self) -> f64 {
+        self.stages.iter().map(|s| s.1).sum()
+    }
+}
+
+/// Result of one analytic schedule: per-job completion times.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AnalyticResult {
+    /// Per-job JCTs (completion − arrival), in job order.
+    pub jcts: Vec<f64>,
+}
+
+impl AnalyticResult {
+    /// Average JCT.
+    pub fn avg_jct(&self) -> f64 {
+        self.jcts.iter().sum::<f64>() / self.jcts.len() as f64
+    }
+}
+
+const STEP_EPS: f64 = 1e-9;
+
+/// Runs the deterministic preemptive list schedule.
+///
+/// At every instant, each port serves the single highest-priority ready
+/// stage (preemptively); ties break by job index. Time advances to the
+/// next stage completion. Unit processing rate.
+///
+/// # Panics
+///
+/// Panics if `jobs` is empty or a stage has non-positive units.
+pub fn simulate(jobs: &[AnalyticJob], rule: PriorityRule) -> AnalyticResult {
+    assert!(!jobs.is_empty(), "at least one job required");
+    for j in jobs {
+        for &(_, u) in &j.stages {
+            assert!(u > 0.0, "stage units must be positive");
+        }
+    }
+    #[derive(Debug)]
+    struct JobState {
+        stage: usize,
+        remaining: f64,
+        done_at: Option<f64>,
+    }
+    let mut state: Vec<JobState> = jobs
+        .iter()
+        .map(|j| JobState {
+            stage: 0,
+            remaining: j.stages[0].1,
+            done_at: None,
+        })
+        .collect();
+    let mut now = 0.0f64;
+    let active = |s: &JobState| s.done_at.is_none();
+    for _ in 0..100_000 {
+        if state.iter().all(|s| !active(s)) {
+            break;
+        }
+        // Ready jobs: arrived and unfinished.
+        let mut per_port_winner: std::collections::HashMap<usize, usize> =
+            std::collections::HashMap::new();
+        for (ji, j) in jobs.iter().enumerate() {
+            if !active(&state[ji]) || j.arrival > now + STEP_EPS {
+                continue;
+            }
+            let port = j.stages[state[ji].stage].0;
+            let priority = |ji: usize| -> f64 {
+                match rule {
+                    PriorityRule::TotalBytes => jobs[ji].total_units(),
+                    PriorityRule::PerStageBytes => jobs[ji].stages[state[ji].stage].1,
+                }
+            };
+            match per_port_winner.entry(port) {
+                std::collections::hash_map::Entry::Vacant(v) => {
+                    v.insert(ji);
+                }
+                std::collections::hash_map::Entry::Occupied(mut o) => {
+                    let cur = *o.get();
+                    if priority(ji) < priority(cur) - STEP_EPS {
+                        o.insert(ji);
+                    }
+                }
+            }
+        }
+        // Next event: earliest winner completion or next arrival.
+        let mut dt = f64::INFINITY;
+        for &ji in per_port_winner.values() {
+            dt = dt.min(state[ji].remaining);
+        }
+        for (ji, j) in jobs.iter().enumerate() {
+            if active(&state[ji]) && j.arrival > now + STEP_EPS {
+                dt = dt.min(j.arrival - now);
+            }
+        }
+        assert!(
+            dt.is_finite(),
+            "schedule stalled: no runnable stage and no pending arrival"
+        );
+        now += dt;
+        for &ji in per_port_winner.values() {
+            let s = &mut state[ji];
+            s.remaining -= dt;
+            if s.remaining <= STEP_EPS {
+                s.stage += 1;
+                if s.stage == jobs[ji].stages.len() {
+                    s.done_at = Some(now);
+                    s.remaining = 0.0;
+                } else {
+                    s.remaining = jobs[ji].stages[s.stage].1;
+                }
+            }
+        }
+    }
+    AnalyticResult {
+        jcts: state
+            .iter()
+            .zip(jobs)
+            .map(|(s, j)| s.done_at.expect("all jobs complete") - j.arrival)
+            .collect(),
+    }
+}
+
+/// The Figure 2 multi-stage example: returns
+/// `(avg JCT under TBS, avg JCT under per-stage priority)`.
+pub fn figure2() -> (f64, f64) {
+    // Job A: stages (p0,10) (p1,1) (p2,1) (p3,1); B, C, D: 2 units on
+    // p1/p2/p3, arriving as A's corresponding stage becomes ready under
+    // the TBS schedule (t = 10, 13, 16).
+    let jobs = vec![
+        AnalyticJob {
+            arrival: 0.0,
+            stages: vec![(0, 10.0), (1, 1.0), (2, 1.0), (3, 1.0)],
+        },
+        AnalyticJob {
+            arrival: 10.0,
+            stages: vec![(1, 2.0)],
+        },
+        AnalyticJob {
+            arrival: 13.0,
+            stages: vec![(2, 2.0)],
+        },
+        AnalyticJob {
+            arrival: 16.0,
+            stages: vec![(3, 2.0)],
+        },
+    ];
+    (
+        simulate(&jobs, PriorityRule::TotalBytes).avg_jct(),
+        simulate(&jobs, PriorityRule::PerStageBytes).avg_jct(),
+    )
+}
+
+/// The Figure 4 blocking example: returns
+/// `(avg JCT with A prioritized, avg JCT with B/C/D prioritized)` —
+/// the paper's 4.25 vs 3.50.
+pub fn figure4() -> (f64, f64) {
+    // Job A: three 2-unit coflows on ports 0, 1, 2 — modeled as three
+    // parallel single-stage sub-jobs whose completion is the max; jobs
+    // B, C, D: one 3-unit coflow on ports 0, 1, 2 respectively.
+    // The schedule is symmetric per port: on each port, either A's
+    // 2-unit coflow goes first (scenario 1) or the 3-unit one does
+    // (scenario 2).
+    let scenario = |a_first: bool| -> f64 {
+        let (a_cct, other_cct) = if a_first {
+            (2.0, 2.0 + 3.0)
+        } else {
+            (3.0 + 2.0, 3.0)
+        };
+        // A's JCT is the max over its three coflows (identical by
+        // symmetry); B, C, D share the other completion time.
+        (a_cct + 3.0 * other_cct) / 4.0
+    };
+    (scenario(true), scenario(false))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn figure4_matches_paper_exactly() {
+        let (a_first, blocked_first) = figure4();
+        assert!((a_first - 4.25).abs() < 1e-12);
+        assert!((blocked_first - 3.50).abs() < 1e-12);
+    }
+
+    #[test]
+    fn figure2_tbs_average_matches_paper() {
+        let (tbs, _) = figure2();
+        assert!((tbs - 6.25).abs() < 1e-9, "TBS avg {tbs}");
+    }
+
+    #[test]
+    fn figure2_stage_aware_beats_tbs() {
+        let (tbs, stage_aware) = figure2();
+        // The paper quotes 5.5 under its per-job accounting; the
+        // consistent replay yields 5.0. Either way the ordering holds.
+        assert!(
+            stage_aware < tbs,
+            "stage-aware {stage_aware} must beat TBS {tbs}"
+        );
+        assert!((stage_aware - 5.0).abs() < 1e-9, "stage-aware avg {stage_aware}");
+    }
+
+    #[test]
+    fn simulate_single_job_is_its_length() {
+        let jobs = vec![AnalyticJob {
+            arrival: 1.0,
+            stages: vec![(0, 2.0), (1, 3.0)],
+        }];
+        let r = simulate(&jobs, PriorityRule::TotalBytes);
+        assert!((r.jcts[0] - 5.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn preemption_switches_to_smaller_stage() {
+        // Long job running; short job arrives mid-flight and preempts
+        // under both rules (it is smaller in total and per stage).
+        let jobs = vec![
+            AnalyticJob {
+                arrival: 0.0,
+                stages: vec![(0, 10.0)],
+            },
+            AnalyticJob {
+                arrival: 2.0,
+                stages: vec![(0, 1.0)],
+            },
+        ];
+        for rule in [PriorityRule::TotalBytes, PriorityRule::PerStageBytes] {
+            let r = simulate(&jobs, rule);
+            assert!((r.jcts[1] - 1.0).abs() < 1e-12, "short preempts: {:?}", r);
+            assert!((r.jcts[0] - 11.0).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn rejects_zero_stage() {
+        let jobs = vec![AnalyticJob {
+            arrival: 0.0,
+            stages: vec![(0, 0.0)],
+        }];
+        let _ = simulate(&jobs, PriorityRule::TotalBytes);
+    }
+}

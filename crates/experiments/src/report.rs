@@ -1,0 +1,113 @@
+//! Result rendering: fixed-width text tables (matching the paper's
+//! figure semantics) and JSON for downstream plotting.
+
+use crate::metrics::ImprovementRow;
+use gurita_model::SizeCategory;
+use serde::Serialize;
+
+/// Renders an improvement table: one row per compared scheduler, one
+/// column per Table 1 category plus the overall factor. Values are the
+/// paper's improvement factors (>1 ⇒ Gurita faster); `-` marks empty
+/// categories.
+pub fn render_improvement_table(
+    title: &str,
+    rows: &[ImprovementRow],
+    populations: &[usize; 7],
+) -> String {
+    let mut out = String::new();
+    out.push_str(&format!("# {title}\n"));
+    out.push_str(&format!(
+        "{:<12} {:>8}",
+        "scheduler", "overall"
+    ));
+    for cat in SizeCategory::ALL {
+        out.push_str(&format!(" {:>7}", cat.label()));
+    }
+    out.push('\n');
+    out.push_str(&format!("{:<12} {:>8}", "(jobs)", ""));
+    for &n in populations {
+        out.push_str(&format!(" {n:>7}"));
+    }
+    out.push('\n');
+    for row in rows {
+        out.push_str(&format!("{:<12} {:>8.2}", row.scheduler, row.overall));
+        for cell in &row.per_category {
+            match cell {
+                Some(v) => out.push_str(&format!(" {v:>7.2}")),
+                None => out.push_str(&format!(" {:>7}", "-")),
+            }
+        }
+        out.push('\n');
+    }
+    out
+}
+
+/// Renders a simple two-column key/value block.
+pub fn render_kv(title: &str, pairs: &[(&str, String)]) -> String {
+    let mut out = format!("# {title}\n");
+    let width = pairs.iter().map(|(k, _)| k.len()).max().unwrap_or(0);
+    for (k, v) in pairs {
+        out.push_str(&format!("{k:<width$}  {v}\n"));
+    }
+    out
+}
+
+/// Serializes any result structure to pretty JSON.
+///
+/// # Panics
+///
+/// Panics if serialization fails (cannot happen for the harness' result
+/// types, which contain only finite numbers and strings).
+pub fn to_json<T: Serialize>(value: &T) -> String {
+    serde_json::to_string_pretty(value).expect("result types serialize cleanly")
+}
+
+/// Writes a report file under `results/`, creating the directory.
+///
+/// # Errors
+///
+/// Propagates I/O errors from directory creation or the write.
+pub fn write_results_file(name: &str, contents: &str) -> std::io::Result<std::path::PathBuf> {
+    let dir = std::path::Path::new("results");
+    std::fs::create_dir_all(dir)?;
+    let path = dir.join(name);
+    std::fs::write(&path, contents)?;
+    Ok(path)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_renders_all_cells() {
+        let rows = vec![ImprovementRow {
+            scheduler: "PFS".into(),
+            overall: 2.0,
+            per_category: [Some(8.5), Some(3.0), None, None, Some(1.2), None, None],
+        }];
+        let s = render_improvement_table("Figure 6a", &rows, &[10, 5, 0, 0, 2, 0, 0]);
+        assert!(s.contains("Figure 6a"));
+        assert!(s.contains("PFS"));
+        assert!(s.contains("8.50"));
+        assert!(s.contains('-'));
+        assert!(s.lines().count() >= 3);
+    }
+
+    #[test]
+    fn kv_renders_aligned() {
+        let s = render_kv("Motivation", &[("fig2 tbs", "6.25".into()), ("x", "1".into())]);
+        assert!(s.contains("fig2 tbs  6.25"));
+    }
+
+    #[test]
+    fn json_round_trips() {
+        let rows = vec![ImprovementRow {
+            scheduler: "Aalo".into(),
+            overall: 1.05,
+            per_category: [None; 7],
+        }];
+        let js = to_json(&rows);
+        assert!(js.contains("Aalo"));
+    }
+}

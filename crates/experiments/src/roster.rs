@@ -1,0 +1,147 @@
+//! The scheduler roster used across all experiments.
+
+use gurita::plus::GuritaPlus;
+use gurita::rules::{Rule, RuleSet};
+use gurita::scheduler::{GuritaConfig, GuritaScheduler};
+use gurita_baselines::aalo::{Aalo, AaloConfig};
+use gurita_baselines::baraat::{Baraat, BaraatConfig};
+use gurita_baselines::pfs::PerFlowFairSharing;
+use gurita_baselines::sebf::VarysSebf;
+use gurita_baselines::stream::{Stream, StreamConfig};
+use gurita_sim::sched::Scheduler;
+use serde::{Deserialize, Serialize};
+
+/// A scheduler selectable in experiments.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum SchedulerKind {
+    /// Gurita (decentralized LBEF with starvation mitigation).
+    Gurita,
+    /// Gurita with plain SPQ (no WRR starvation mitigation) — ablation.
+    GuritaSpq,
+    /// Gurita without the final-stage rule (ω ≡ 1) — ablation.
+    GuritaNoOmega,
+    /// Gurita without the κ size adjustment — ablation.
+    GuritaNoKappa,
+    /// Gurita without the critical-path discount — ablation.
+    GuritaNoCriticalPath,
+    /// GuritaPlus (exact per-stage in-flight bytes, Figure 8 oracle).
+    GuritaPlus,
+    /// Per-flow fair sharing (the baseline).
+    Pfs,
+    /// Baraat FIFO-LM.
+    Baraat,
+    /// Stream (TBS-based decentralized).
+    Stream,
+    /// Aalo (centralized D-CLAS with instantaneous global view).
+    Aalo,
+    /// Varys SEBF (clairvoyant extension baseline).
+    VarysSebf,
+}
+
+impl SchedulerKind {
+    /// The paper's Figure 5–7 comparison set, Gurita first.
+    pub const PAPER_SET: [SchedulerKind; 5] = [
+        SchedulerKind::Gurita,
+        SchedulerKind::Baraat,
+        SchedulerKind::Pfs,
+        SchedulerKind::Stream,
+        SchedulerKind::Aalo,
+    ];
+
+    /// Display label matching the paper's figures.
+    pub fn label(self) -> &'static str {
+        match self {
+            SchedulerKind::Gurita => "Gurita",
+            SchedulerKind::GuritaSpq => "Gurita-SPQ",
+            SchedulerKind::GuritaNoOmega => "Gurita-noOmega",
+            SchedulerKind::GuritaNoKappa => "Gurita-noKappa",
+            SchedulerKind::GuritaNoCriticalPath => "Gurita-noCP",
+            SchedulerKind::GuritaPlus => "GuritaPlus",
+            SchedulerKind::Pfs => "PFS",
+            SchedulerKind::Baraat => "Baraat",
+            SchedulerKind::Stream => "Stream",
+            SchedulerKind::Aalo => "Aalo",
+            SchedulerKind::VarysSebf => "Varys-SEBF",
+        }
+    }
+
+    /// Builds the scheduler with evaluation-tuned parameters: 4 priority
+    /// queues for the threshold schemes (the paper's setting), Aalo's
+    /// recommended exponential spacing, and a Ψ ladder for Gurita chosen
+    /// so its first demotion corresponds to the same 10 MB scale.
+    pub fn build(self) -> Box<dyn Scheduler> {
+        match self {
+            SchedulerKind::Gurita => Box::new(GuritaScheduler::new(gurita_config())),
+            SchedulerKind::GuritaSpq => Box::new(GuritaScheduler::new(GuritaConfig {
+                starvation_mitigation: false,
+                ..gurita_config()
+            })),
+            SchedulerKind::GuritaNoOmega => Box::new(GuritaScheduler::new(ablated(
+                Rule::FinalStageFirst,
+            ))),
+            SchedulerKind::GuritaNoKappa => Box::new(GuritaScheduler::new(ablated(
+                Rule::SmallStagesFirst,
+            ))),
+            SchedulerKind::GuritaNoCriticalPath => Box::new(GuritaScheduler::new(ablated(
+                Rule::CriticalPathFirst,
+            ))),
+            SchedulerKind::GuritaPlus => Box::new(GuritaPlus::new(gurita_config())),
+            SchedulerKind::Pfs => Box::new(PerFlowFairSharing::new()),
+            SchedulerKind::Baraat => Box::new(Baraat::new(BaraatConfig::default())),
+            SchedulerKind::Stream => Box::new(Stream::new(StreamConfig::default())),
+            SchedulerKind::Aalo => Box::new(Aalo::new(AaloConfig::default())),
+            SchedulerKind::VarysSebf => Box::new(VarysSebf::new(8)),
+        }
+    }
+}
+
+/// Gurita's evaluation configuration: Ψ thresholds spanning the mice-to-
+/// elephant range of the trace (Ψ ≈ bytes × flows, so 1e7 ≈ a 10 MB
+/// single-flow stage or a 1 MB ten-flow stage).
+fn gurita_config() -> GuritaConfig {
+    GuritaConfig {
+        num_queues: 4,
+        threshold_base: 1.0e7,
+        threshold_factor: 30.0,
+        ..GuritaConfig::default()
+    }
+}
+
+fn ablated(rule: Rule) -> GuritaConfig {
+    let mut cfg = gurita_config();
+    cfg.blocking.rules = RuleSet::all().without(rule);
+    cfg
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn every_kind_builds() {
+        for kind in [
+            SchedulerKind::Gurita,
+            SchedulerKind::GuritaSpq,
+            SchedulerKind::GuritaNoOmega,
+            SchedulerKind::GuritaNoKappa,
+            SchedulerKind::GuritaNoCriticalPath,
+            SchedulerKind::GuritaPlus,
+            SchedulerKind::Pfs,
+            SchedulerKind::Baraat,
+            SchedulerKind::Stream,
+            SchedulerKind::Aalo,
+            SchedulerKind::VarysSebf,
+        ] {
+            let s = kind.build();
+            assert!(!s.name().is_empty());
+            assert!(s.num_queues() >= 1);
+            assert!(!kind.label().is_empty());
+        }
+    }
+
+    #[test]
+    fn paper_set_has_gurita_first() {
+        assert_eq!(SchedulerKind::PAPER_SET[0], SchedulerKind::Gurita);
+        assert_eq!(SchedulerKind::PAPER_SET.len(), 5);
+    }
+}

@@ -1,0 +1,225 @@
+//! Sensitivity sweeps over Gurita's design parameters.
+//!
+//! The paper fixes δ (the receiver→HR update interval), uses 4 priority
+//! queues "sufficient to provide satisfactory outcomes", spaces
+//! thresholds exponentially "as recommended by \[Aalo\]", and defers
+//! threshold learning to future work. These sweeps quantify each choice:
+//!
+//! * [`queue_count_sweep`] — 1…8 priority queues;
+//! * [`threshold_sweep`] — the exponential ladder's base and factor;
+//! * [`delta_sweep`] — the update interval δ;
+//! * [`latency_sweep`] — head-receiver decision propagation latency;
+//! * [`fault_sweep`] — degraded-fabric robustness (fraction of host
+//!   NICs browned out).
+
+use crate::roster::SchedulerKind;
+use crate::scenario::Scenario;
+use gurita::scheduler::{GuritaConfig, GuritaScheduler};
+use gurita_model::HostId;
+use gurita_sim::faults::DegradedFabric;
+use gurita_sim::runtime::{SimConfig, Simulation};
+use gurita_sim::topology::FatTree;
+use gurita_workload::dags::StructureKind;
+use serde::{Deserialize, Serialize};
+
+/// One sweep point: a parameter value and the measured average JCT.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SweepPoint {
+    /// Human-readable parameter setting.
+    pub setting: String,
+    /// Average JCT in seconds under Gurita at this setting.
+    pub avg_jct: f64,
+}
+
+/// A named sweep result.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SweepResult {
+    /// Which parameter was swept.
+    pub parameter: String,
+    /// The measured points, in sweep order.
+    pub points: Vec<SweepPoint>,
+}
+
+fn run_gurita_with(scenario: &Scenario, config: GuritaConfig) -> f64 {
+    let jobs = scenario.jobs();
+    let fabric = FatTree::new(scenario.pods).expect("valid pods");
+    let mut sim = Simulation::new(
+        fabric,
+        SimConfig {
+            tick_interval: scenario.tick_interval,
+            ..SimConfig::default()
+        },
+    );
+    let mut sched = GuritaScheduler::new(config);
+    sim.run(jobs, &mut sched).avg_jct()
+}
+
+fn base_config() -> GuritaConfig {
+    GuritaConfig {
+        num_queues: 4,
+        threshold_base: 1.0e7,
+        threshold_factor: 30.0,
+        ..GuritaConfig::default()
+    }
+}
+
+fn scenario(jobs: usize, seed: u64) -> Scenario {
+    Scenario::trace_driven(StructureKind::FbTao, jobs, seed)
+}
+
+/// Sweeps the number of priority queues (the paper: 4 suffices; today's
+/// switches support 8).
+pub fn queue_count_sweep(jobs: usize, seed: u64) -> SweepResult {
+    let sc = scenario(jobs, seed);
+    let points = [1usize, 2, 4, 8]
+        .iter()
+        .map(|&q| SweepPoint {
+            setting: format!("{q} queues"),
+            avg_jct: run_gurita_with(
+                &sc,
+                GuritaConfig {
+                    num_queues: q,
+                    ..base_config()
+                },
+            ),
+        })
+        .collect();
+    SweepResult {
+        parameter: "priority queues".into(),
+        points,
+    }
+}
+
+/// Sweeps the exponential threshold ladder's spacing factor.
+pub fn threshold_sweep(jobs: usize, seed: u64) -> SweepResult {
+    let sc = scenario(jobs, seed);
+    let points = [3.0f64, 10.0, 30.0, 100.0]
+        .iter()
+        .map(|&f| SweepPoint {
+            setting: format!("factor {f}"),
+            avg_jct: run_gurita_with(
+                &sc,
+                GuritaConfig {
+                    threshold_factor: f,
+                    ..base_config()
+                },
+            ),
+        })
+        .collect();
+    SweepResult {
+        parameter: "threshold spacing factor".into(),
+        points,
+    }
+}
+
+/// Sweeps the δ update interval (ticks).
+pub fn delta_sweep(jobs: usize, seed: u64) -> SweepResult {
+    let mut points = Vec::new();
+    for &delta in &[2e-3f64, 10e-3, 50e-3, 200e-3] {
+        let mut sc = scenario(jobs, seed);
+        sc.tick_interval = delta;
+        points.push(SweepPoint {
+            setting: format!("delta {:.0}ms", delta * 1e3),
+            avg_jct: run_gurita_with(&sc, base_config()),
+        });
+    }
+    SweepResult {
+        parameter: "update interval".into(),
+        points,
+    }
+}
+
+/// Sweeps the head-receiver decision propagation latency.
+pub fn latency_sweep(jobs: usize, seed: u64) -> SweepResult {
+    let sc = scenario(jobs, seed);
+    let points = [0.0f64, 5e-3, 20e-3, 100e-3]
+        .iter()
+        .map(|&l| SweepPoint {
+            setting: format!("latency {:.0}ms", l * 1e3),
+            avg_jct: run_gurita_with(
+                &sc,
+                GuritaConfig {
+                    decision_latency: l,
+                    ..base_config()
+                },
+            ),
+        })
+        .collect();
+    SweepResult {
+        parameter: "HR decision latency".into(),
+        points,
+    }
+}
+
+/// Degrades a growing fraction of host NICs to 30% capacity and
+/// measures Gurita's (and PFS's) average JCT — the fault-robustness
+/// sweep. Returns `(gurita, pfs)` results over the same faults.
+pub fn fault_sweep(jobs: usize, seed: u64) -> (SweepResult, SweepResult) {
+    let sc = scenario(jobs, seed);
+    let jobs_vec = sc.jobs();
+    let mut gurita_points = Vec::new();
+    let mut pfs_points = Vec::new();
+    for &frac in &[0.0f64, 0.05, 0.15, 0.30] {
+        let fabric = FatTree::new(sc.pods).expect("valid pods");
+        let n = 128;
+        let degraded = (0..((n as f64 * frac) as usize))
+            .fold(DegradedFabric::new(fabric), |f, i| {
+                // Spread brown-outs deterministically across racks.
+                f.with_degraded_host(HostId((i * 37) % n), 0.3)
+            });
+        for (kind, points) in [
+            (SchedulerKind::Gurita, &mut gurita_points),
+            (SchedulerKind::Pfs, &mut pfs_points),
+        ] {
+            let mut sim = Simulation::new(
+                degraded.clone(),
+                SimConfig {
+                    tick_interval: sc.tick_interval,
+                    ..SimConfig::default()
+                },
+            );
+            let mut sched = kind.build();
+            let avg = sim.run(jobs_vec.clone(), sched.as_mut()).avg_jct();
+            points.push(SweepPoint {
+                setting: format!("{:.0}% hosts browned out", frac * 100.0),
+                avg_jct: avg,
+            });
+        }
+    }
+    (
+        SweepResult {
+            parameter: "faults (Gurita)".into(),
+            points: gurita_points,
+        },
+        SweepResult {
+            parameter: "faults (PFS)".into(),
+            points: pfs_points,
+        },
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sweeps_produce_ordered_points() {
+        let r = queue_count_sweep(6, 3);
+        assert_eq!(r.points.len(), 4);
+        assert!(r.points.iter().all(|p| p.avg_jct > 0.0));
+        assert_eq!(r.points[0].setting, "1 queues");
+    }
+
+    #[test]
+    fn fault_sweep_degrades_gracefully() {
+        let (g, p) = fault_sweep(6, 4);
+        assert_eq!(g.points.len(), 4);
+        assert_eq!(p.points.len(), 4);
+        // More faults must not make the network faster.
+        assert!(
+            g.points.last().unwrap().avg_jct >= g.points[0].avg_jct * 0.8,
+            "faults should not speed things up: {:?}",
+            g.points
+        );
+    }
+}

@@ -1,0 +1,159 @@
+//! The paper's Table 1: seven categories of multi-stage job size.
+//!
+//! | I | II | III | IV | V | VI | VII |
+//! |---|----|-----|----|---|----|-----|
+//! | 6 MB–80 MB | 81 MB–800 MB | 801 MB–8 GB | 8 GB–10 GB | 10 GB–100 GB | 100 GB–1 TB | > 1 TB |
+//!
+//! Jobs are binned by *total bytes sent* across all stages. Jobs smaller
+//! than 6 MB fall into category I (the table's lower bound describes the
+//! trace's smallest jobs, not an exclusion).
+
+use crate::units::{GB, MB, TB};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A job-size category (Table 1 of the paper).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub enum SizeCategory {
+    /// 6 MB – 80 MB (and anything smaller).
+    I,
+    /// 81 MB – 800 MB.
+    II,
+    /// 801 MB – 8 GB.
+    III,
+    /// 8 GB – 10 GB.
+    IV,
+    /// 10 GB – 100 GB.
+    V,
+    /// 100 GB – 1 TB.
+    VI,
+    /// Over 1 TB.
+    VII,
+}
+
+impl SizeCategory {
+    /// All categories in ascending size order.
+    pub const ALL: [SizeCategory; 7] = [
+        SizeCategory::I,
+        SizeCategory::II,
+        SizeCategory::III,
+        SizeCategory::IV,
+        SizeCategory::V,
+        SizeCategory::VI,
+        SizeCategory::VII,
+    ];
+
+    /// Upper byte bound of each category (exclusive), `f64::INFINITY` for
+    /// category VII.
+    pub fn upper_bound(self) -> f64 {
+        match self {
+            SizeCategory::I => 80.0 * MB,
+            SizeCategory::II => 800.0 * MB,
+            SizeCategory::III => 8.0 * GB,
+            SizeCategory::IV => 10.0 * GB,
+            SizeCategory::V => 100.0 * GB,
+            SizeCategory::VI => 1.0 * TB,
+            SizeCategory::VII => f64::INFINITY,
+        }
+    }
+
+    /// Classifies a job by its total bytes sent.
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// use gurita_model::{SizeCategory, units};
+    /// assert_eq!(SizeCategory::of_bytes(50.0 * units::MB), SizeCategory::I);
+    /// assert_eq!(SizeCategory::of_bytes(9.0 * units::GB), SizeCategory::IV);
+    /// assert_eq!(SizeCategory::of_bytes(2.0 * units::TB), SizeCategory::VII);
+    /// ```
+    pub fn of_bytes(total_bytes: f64) -> Self {
+        for cat in Self::ALL {
+            if total_bytes <= cat.upper_bound() {
+                return cat;
+            }
+        }
+        SizeCategory::VII
+    }
+
+    /// Zero-based position of the category (I = 0 … VII = 6).
+    pub fn index(self) -> usize {
+        self as usize
+    }
+
+    /// Roman-numeral label as printed in the paper's figures.
+    pub fn label(self) -> &'static str {
+        match self {
+            SizeCategory::I => "I",
+            SizeCategory::II => "II",
+            SizeCategory::III => "III",
+            SizeCategory::IV => "IV",
+            SizeCategory::V => "V",
+            SizeCategory::VI => "VI",
+            SizeCategory::VII => "VII",
+        }
+    }
+
+    /// Human-readable byte range, e.g. `"6MB-80MB"`.
+    pub fn range_label(self) -> &'static str {
+        match self {
+            SizeCategory::I => "6MB-80MB",
+            SizeCategory::II => "81MB-800MB",
+            SizeCategory::III => "801MB-8GB",
+            SizeCategory::IV => "8GB-10GB",
+            SizeCategory::V => "10GB-100GB",
+            SizeCategory::VI => "100GB-1TB",
+            SizeCategory::VII => ">1TB",
+        }
+    }
+}
+
+impl fmt::Display for SizeCategory {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn boundaries_match_table_1() {
+        assert_eq!(SizeCategory::of_bytes(6.0 * MB), SizeCategory::I);
+        assert_eq!(SizeCategory::of_bytes(80.0 * MB), SizeCategory::I);
+        assert_eq!(SizeCategory::of_bytes(81.0 * MB), SizeCategory::II);
+        assert_eq!(SizeCategory::of_bytes(800.0 * MB), SizeCategory::II);
+        assert_eq!(SizeCategory::of_bytes(801.0 * MB), SizeCategory::III);
+        assert_eq!(SizeCategory::of_bytes(8.0 * GB), SizeCategory::III);
+        assert_eq!(SizeCategory::of_bytes(8.1 * GB), SizeCategory::IV);
+        assert_eq!(SizeCategory::of_bytes(10.0 * GB), SizeCategory::IV);
+        assert_eq!(SizeCategory::of_bytes(10.1 * GB), SizeCategory::V);
+        assert_eq!(SizeCategory::of_bytes(100.0 * GB), SizeCategory::V);
+        assert_eq!(SizeCategory::of_bytes(0.5 * TB), SizeCategory::VI);
+        assert_eq!(SizeCategory::of_bytes(1.0 * TB), SizeCategory::VI);
+        assert_eq!(SizeCategory::of_bytes(1.1 * TB), SizeCategory::VII);
+    }
+
+    #[test]
+    fn tiny_jobs_fall_into_category_i() {
+        assert_eq!(SizeCategory::of_bytes(1.0), SizeCategory::I);
+        assert_eq!(SizeCategory::of_bytes(0.0), SizeCategory::I);
+    }
+
+    #[test]
+    fn categories_are_totally_ordered() {
+        for w in SizeCategory::ALL.windows(2) {
+            assert!(w[0] < w[1]);
+            assert!(w[0].upper_bound() < w[1].upper_bound());
+        }
+    }
+
+    #[test]
+    fn index_and_labels() {
+        assert_eq!(SizeCategory::I.index(), 0);
+        assert_eq!(SizeCategory::VII.index(), 6);
+        assert_eq!(SizeCategory::V.to_string(), "V");
+        assert_eq!(SizeCategory::VII.range_label(), ">1TB");
+    }
+}

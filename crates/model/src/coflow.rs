@@ -1,0 +1,170 @@
+//! Coflow specifications.
+
+use crate::{FlowSpec, HostId};
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeSet;
+
+/// A coflow: a collection of flows between two groups of machines that
+/// share a performance objective — the coflow completes only when *all*
+/// of its flows complete (Chowdhury & Stoica, HotNets'12).
+///
+/// In the paper's three-dimensional characterization of a multi-stage job
+/// (§III.C) a coflow contributes:
+///
+/// * the **horizontal** dimension — [`CoflowSpec::width`], its number of
+///   flows;
+/// * the **vertical** dimension — [`CoflowSpec::max_flow_bytes`], its
+///   largest flow size.
+///
+/// (The **depth** dimension is a property of the enclosing
+/// [`crate::JobDag`].)
+///
+/// # Example
+///
+/// ```
+/// use gurita_model::{CoflowSpec, FlowSpec, HostId, units};
+/// let c = CoflowSpec::new(vec![
+///     FlowSpec::new(HostId(0), HostId(2), 2.0 * units::MB),
+///     FlowSpec::new(HostId(1), HostId(2), 6.0 * units::MB),
+/// ]);
+/// assert_eq!(c.width(), 2);
+/// assert_eq!(c.max_flow_bytes(), 6.0 * units::MB);
+/// assert_eq!(c.total_bytes(), 8.0 * units::MB);
+/// ```
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+pub struct CoflowSpec {
+    flows: Vec<FlowSpec>,
+}
+
+impl CoflowSpec {
+    /// Creates a coflow from its flows. An empty coflow is legal at the
+    /// model level (it completes instantly) but workload generators never
+    /// produce one.
+    pub fn new(flows: Vec<FlowSpec>) -> Self {
+        Self { flows }
+    }
+
+    /// The flows of this coflow.
+    pub fn flows(&self) -> &[FlowSpec] {
+        &self.flows
+    }
+
+    /// Number of flows — the *horizontal* (width) dimension.
+    pub fn width(&self) -> usize {
+        self.flows.len()
+    }
+
+    /// Size of the largest flow in bytes — the *vertical* dimension.
+    /// Returns 0.0 for an empty coflow.
+    pub fn max_flow_bytes(&self) -> f64 {
+        self.flows.iter().map(|f| f.bytes).fold(0.0, f64::max)
+    }
+
+    /// Mean flow size in bytes (`L_avg` in the blocking-effect formula).
+    /// Returns 0.0 for an empty coflow.
+    pub fn avg_flow_bytes(&self) -> f64 {
+        if self.flows.is_empty() {
+            0.0
+        } else {
+            self.total_bytes() / self.flows.len() as f64
+        }
+    }
+
+    /// Total bytes across all flows.
+    pub fn total_bytes(&self) -> f64 {
+        self.flows.iter().map(|f| f.bytes).sum()
+    }
+
+    /// The set of distinct sending hosts.
+    pub fn senders(&self) -> BTreeSet<HostId> {
+        self.flows.iter().map(|f| f.src).collect()
+    }
+
+    /// The set of distinct receiving hosts.
+    pub fn receivers(&self) -> BTreeSet<HostId> {
+        self.flows.iter().map(|f| f.dst).collect()
+    }
+
+    /// The *head receiver* (HR): the paper designates the first receiver
+    /// invoked in a coflow to aggregate observations and decide priority.
+    /// We deterministically use the receiver of the first flow.
+    pub fn head_receiver(&self) -> Option<HostId> {
+        self.flows.first().map(|f| f.dst)
+    }
+
+    /// Ideal completion time of the coflow alone on an uncontended fabric
+    /// where every flow progresses at `rate` bytes/sec — the `CCT ≈ L/r`
+    /// approximation the paper uses to weight critical-path vertices.
+    pub fn ideal_cct(&self, rate: f64) -> f64 {
+        assert!(rate > 0.0, "rate must be positive");
+        self.max_flow_bytes() / rate
+    }
+}
+
+impl FromIterator<FlowSpec> for CoflowSpec {
+    fn from_iter<T: IntoIterator<Item = FlowSpec>>(iter: T) -> Self {
+        Self::new(iter.into_iter().collect())
+    }
+}
+
+impl Extend<FlowSpec> for CoflowSpec {
+    fn extend<T: IntoIterator<Item = FlowSpec>>(&mut self, iter: T) {
+        self.flows.extend(iter);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::units::MB;
+
+    fn sample() -> CoflowSpec {
+        CoflowSpec::new(vec![
+            FlowSpec::new(HostId(0), HostId(4), 2.0 * MB),
+            FlowSpec::new(HostId(1), HostId(4), 4.0 * MB),
+            FlowSpec::new(HostId(1), HostId(5), 6.0 * MB),
+        ])
+    }
+
+    #[test]
+    fn dimensions() {
+        let c = sample();
+        assert_eq!(c.width(), 3);
+        assert_eq!(c.max_flow_bytes(), 6.0 * MB);
+        assert_eq!(c.total_bytes(), 12.0 * MB);
+        assert_eq!(c.avg_flow_bytes(), 4.0 * MB);
+    }
+
+    #[test]
+    fn endpoints() {
+        let c = sample();
+        assert_eq!(c.senders().len(), 2);
+        assert_eq!(c.receivers().len(), 2);
+        assert_eq!(c.head_receiver(), Some(HostId(4)));
+    }
+
+    #[test]
+    fn empty_coflow_is_benign() {
+        let c = CoflowSpec::default();
+        assert_eq!(c.width(), 0);
+        assert_eq!(c.max_flow_bytes(), 0.0);
+        assert_eq!(c.avg_flow_bytes(), 0.0);
+        assert_eq!(c.head_receiver(), None);
+    }
+
+    #[test]
+    fn ideal_cct_is_bottleneck_flow() {
+        let c = sample();
+        assert_eq!(c.ideal_cct(1.0 * MB), 6.0);
+    }
+
+    #[test]
+    fn from_iterator_and_extend() {
+        let mut c: CoflowSpec = (0..3)
+            .map(|i| FlowSpec::new(HostId(i), HostId(9), MB))
+            .collect();
+        assert_eq!(c.width(), 3);
+        c.extend([FlowSpec::new(HostId(7), HostId(9), MB)]);
+        assert_eq!(c.width(), 4);
+    }
+}

@@ -1,0 +1,612 @@
+//! Job dependency DAGs.
+//!
+//! Dependencies between the coflows of a multi-stage job form a directed
+//! acyclic graph (paper §II): each vertex is a coflow and an edge from a
+//! *child* to its *parent* means the parent coflow may start only after
+//! the child completes. Leaves (vertices with no children) are the first
+//! coflows processed; roots (no parents) are the job's outputs.
+//!
+//! The *stage* of a vertex is its longest distance from a leaf; the
+//! paper's observation that "a job's i-th stage must complete before the
+//! (i+1)-th stage can be processed" holds per dependency chain — parallel
+//! chains advance independently, which this vertex-level activation model
+//! captures exactly.
+
+use crate::ModelError;
+use serde::{Deserialize, Serialize};
+
+/// Catalog of job-structure shapes observed in production (Microsoft's
+/// Graphene study \[28\]): "W" shape, tree, chain, inverted "V", and more
+/// complex multi-root shapes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[non_exhaustive]
+pub enum DagShape {
+    /// A linear pipeline of `len` sequential coflows.
+    Chain {
+        /// Number of stages in the chain; must be ≥ 1.
+        len: usize,
+    },
+    /// A reduction tree: `fan_in^depth` leaves aggregate level by level
+    /// into a single root. ~40% of production jobs are trees.
+    Tree {
+        /// Number of aggregation levels; must be ≥ 1.
+        depth: usize,
+        /// Children per parent; must be ≥ 1.
+        fan_in: usize,
+    },
+    /// The "W" shape: two disjoint fan-ins whose outputs join in a final
+    /// vertex (5 vertices total: 2 leaves + 1 mid + 2 leaves … realized as
+    /// 4 leaves, 2 mids, 1 root).
+    WShape,
+    /// Inverted "V": `width` parallel leaves joining into a single root.
+    InvertedV {
+        /// Number of parallel leaves; must be ≥ 1.
+        width: usize,
+    },
+    /// `chains` parallel chains of `len` vertices each, joined by one
+    /// root (a job with multiple parallel chains of dependencies).
+    ParallelChains {
+        /// Number of parallel chains; must be ≥ 1.
+        chains: usize,
+        /// Length of each chain; must be ≥ 1.
+        len: usize,
+    },
+    /// A shape with multiple outputs: `roots` roots all depending on one
+    /// shared fan-in of `width` leaves.
+    MultiRoot {
+        /// Number of output roots; must be ≥ 1.
+        roots: usize,
+        /// Width of the shared leaf layer; must be ≥ 1.
+        width: usize,
+    },
+}
+
+/// The dependency DAG of one job.
+///
+/// Vertices are indexed `0..num_vertices()` and correspond one-to-one with
+/// the coflows of a [`crate::JobSpec`]. Construction validates bounds and
+/// acyclicity, so every `JobDag` instance is a well-formed DAG.
+///
+/// # Example
+///
+/// ```
+/// use gurita_model::JobDag;
+/// // 0 and 1 feed 2; 2 feeds 3.     0   1
+/// //                                 \ /
+/// //                                  2
+/// //                                  |
+/// //                                  3
+/// let dag = JobDag::new(4, &[(0, 2), (1, 2), (2, 3)])?;
+/// assert_eq!(dag.leaves(), &[0, 1]);
+/// assert_eq!(dag.roots(), &[3]);
+/// assert_eq!(dag.num_stages(), 3);
+/// assert_eq!(dag.stage_of(2), 1);
+/// # Ok::<(), gurita_model::ModelError>(())
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct JobDag {
+    /// children[v] = vertices that must complete before v may start.
+    children: Vec<Vec<usize>>,
+    /// parents[v] = vertices that depend on v.
+    parents: Vec<Vec<usize>>,
+    /// Topological order (children before parents).
+    topo: Vec<usize>,
+    /// stage[v] = longest distance (in vertices) from a leaf; leaves are 0.
+    stage: Vec<usize>,
+    /// Number of distinct stages = max(stage) + 1.
+    num_stages: usize,
+}
+
+impl JobDag {
+    /// Builds a DAG with `num_vertices` vertices and dependency edges
+    /// `(child, parent)` — the parent coflow starts only after the child
+    /// completes.
+    ///
+    /// # Errors
+    ///
+    /// * [`ModelError::EmptyDag`] if `num_vertices == 0`;
+    /// * [`ModelError::VertexOutOfBounds`] if an edge references a vertex
+    ///   `>= num_vertices`;
+    /// * [`ModelError::CyclicDag`] if the edges contain a cycle.
+    pub fn new(num_vertices: usize, edges: &[(usize, usize)]) -> Result<Self, ModelError> {
+        if num_vertices == 0 {
+            return Err(ModelError::EmptyDag);
+        }
+        let mut children = vec![Vec::new(); num_vertices];
+        let mut parents = vec![Vec::new(); num_vertices];
+        for &(child, parent) in edges {
+            for v in [child, parent] {
+                if v >= num_vertices {
+                    return Err(ModelError::VertexOutOfBounds {
+                        vertex: v,
+                        len: num_vertices,
+                    });
+                }
+            }
+            children[parent].push(child);
+            parents[child].push(parent);
+        }
+        // Kahn's algorithm over "child completed" ordering.
+        let mut indeg: Vec<usize> = children.iter().map(Vec::len).collect();
+        let mut queue: Vec<usize> = (0..num_vertices).filter(|&v| indeg[v] == 0).collect();
+        let mut topo = Vec::with_capacity(num_vertices);
+        let mut head = 0;
+        while head < queue.len() {
+            let v = queue[head];
+            head += 1;
+            topo.push(v);
+            for &p in &parents[v] {
+                indeg[p] -= 1;
+                if indeg[p] == 0 {
+                    queue.push(p);
+                }
+            }
+        }
+        if topo.len() != num_vertices {
+            return Err(ModelError::CyclicDag);
+        }
+        let mut stage = vec![0usize; num_vertices];
+        for &v in &topo {
+            stage[v] = children[v]
+                .iter()
+                .map(|&c| stage[c] + 1)
+                .max()
+                .unwrap_or(0);
+        }
+        let num_stages = stage.iter().copied().max().unwrap_or(0) + 1;
+        Ok(Self {
+            children,
+            parents,
+            topo,
+            stage,
+            num_stages,
+        })
+    }
+
+    /// Number of vertices (coflows).
+    pub fn num_vertices(&self) -> usize {
+        self.children.len()
+    }
+
+    /// Number of dependency edges.
+    pub fn num_edges(&self) -> usize {
+        self.children.iter().map(Vec::len).sum()
+    }
+
+    /// Dependencies of `v`: the coflows that must complete before `v`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v` is out of bounds.
+    pub fn children(&self, v: usize) -> &[usize] {
+        &self.children[v]
+    }
+
+    /// The coflows that depend on `v`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v` is out of bounds.
+    pub fn parents(&self, v: usize) -> &[usize] {
+        &self.parents[v]
+    }
+
+    /// Vertices with no dependencies — the first coflows to run (stage 0).
+    pub fn leaves(&self) -> Vec<usize> {
+        (0..self.num_vertices())
+            .filter(|&v| self.children[v].is_empty())
+            .collect()
+    }
+
+    /// Vertices no other coflow depends on — the job's outputs.
+    pub fn roots(&self) -> Vec<usize> {
+        (0..self.num_vertices())
+            .filter(|&v| self.parents[v].is_empty())
+            .collect()
+    }
+
+    /// A topological order of the vertices (every child precedes its
+    /// parents).
+    pub fn topo_order(&self) -> &[usize] {
+        &self.topo
+    }
+
+    /// The stage (depth from leaves, 0-based) of vertex `v`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v` is out of bounds.
+    pub fn stage_of(&self, v: usize) -> usize {
+        self.stage[v]
+    }
+
+    /// Number of stages — the *depth* dimension of the job.
+    pub fn num_stages(&self) -> usize {
+        self.num_stages
+    }
+
+    /// All vertices in stage `s` (may be empty if `s >= num_stages`).
+    pub fn vertices_in_stage(&self, s: usize) -> Vec<usize> {
+        (0..self.num_vertices())
+            .filter(|&v| self.stage[v] == s)
+            .collect()
+    }
+
+    /// Whether `v` is in the job's final stage.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v` is out of bounds.
+    pub fn is_final_stage(&self, v: usize) -> bool {
+        self.stage[v] + 1 == self.num_stages
+    }
+
+    /// Computes the critical path: the leaf-to-root path maximizing the
+    /// sum of per-vertex weights (the paper weights each vertex by its
+    /// estimated coflow completion time `CCT ≈ L/r`). Returns the total
+    /// weight and the path (child first, root last).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `weights.len() != num_vertices()`.
+    pub fn critical_path(&self, weights: &[f64]) -> (f64, Vec<usize>) {
+        assert_eq!(
+            weights.len(),
+            self.num_vertices(),
+            "one weight per vertex required"
+        );
+        let n = self.num_vertices();
+        let mut dist = vec![0.0f64; n];
+        let mut best_child: Vec<Option<usize>> = vec![None; n];
+        for &v in &self.topo {
+            let mut base = 0.0;
+            let mut pick = None;
+            for &c in &self.children[v] {
+                if dist[c] > base || pick.is_none() {
+                    base = dist[c];
+                    pick = Some(c);
+                }
+            }
+            if self.children[v].is_empty() {
+                pick = None;
+                base = 0.0;
+            }
+            dist[v] = weights[v] + base;
+            best_child[v] = pick;
+        }
+        let mut end = 0usize;
+        for v in 0..n {
+            if dist[v] > dist[end] {
+                end = v;
+            }
+        }
+        let mut path = vec![end];
+        let mut cur = end;
+        while let Some(c) = best_child[cur] {
+            path.push(c);
+            cur = c;
+        }
+        path.reverse();
+        (dist[end], path)
+    }
+
+    /// The set of vertices lying on *any* maximal-weight critical path.
+    /// Used by schedulers implementing Gurita's Rule 4 under full
+    /// information.
+    pub fn critical_vertices(&self, weights: &[f64]) -> Vec<usize> {
+        assert_eq!(weights.len(), self.num_vertices());
+        let n = self.num_vertices();
+        // Longest path ending at v (inclusive).
+        let mut down = vec![0.0f64; n];
+        for &v in &self.topo {
+            let base = self.children[v].iter().map(|&c| down[c]).fold(0.0, f64::max);
+            down[v] = weights[v] + base;
+        }
+        // Longest path starting at v (inclusive).
+        let mut up = vec![0.0f64; n];
+        for &v in self.topo.iter().rev() {
+            let base = self.parents[v].iter().map(|&p| up[p]).fold(0.0, f64::max);
+            up[v] = weights[v] + base;
+        }
+        let total = (0..n).map(|v| down[v]).fold(0.0, f64::max);
+        let eps = 1e-9 * total.max(1.0);
+        (0..n)
+            .filter(|&v| (down[v] + up[v] - weights[v] - total).abs() <= eps)
+            .collect()
+    }
+
+    /// Builds the DAG for a catalog [`DagShape`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ModelError::InvalidShape`] for degenerate parameters
+    /// (zero lengths/widths).
+    pub fn from_shape(shape: DagShape) -> Result<Self, ModelError> {
+        match shape {
+            DagShape::Chain { len } => Self::chain(len),
+            DagShape::Tree { depth, fan_in } => Self::tree(depth, fan_in),
+            DagShape::WShape => Self::w_shape(),
+            DagShape::InvertedV { width } => Self::inverted_v(width),
+            DagShape::ParallelChains { chains, len } => Self::parallel_chains(chains, len),
+            DagShape::MultiRoot { roots, width } => Self::multi_root(roots, width),
+        }
+    }
+
+    /// A linear chain of `len` coflows: `0 → 1 → … → len-1`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ModelError::InvalidShape`] if `len == 0`.
+    pub fn chain(len: usize) -> Result<Self, ModelError> {
+        if len == 0 {
+            return Err(ModelError::InvalidShape {
+                reason: "chain length must be at least 1",
+            });
+        }
+        let edges: Vec<(usize, usize)> = (1..len).map(|v| (v - 1, v)).collect();
+        Self::new(len, &edges)
+    }
+
+    /// A reduction tree with `depth` aggregation levels and `fan_in`
+    /// children per parent. The root is the last vertex.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ModelError::InvalidShape`] if `depth == 0` or
+    /// `fan_in == 0`, or if the vertex count would overflow.
+    pub fn tree(depth: usize, fan_in: usize) -> Result<Self, ModelError> {
+        if depth == 0 || fan_in == 0 {
+            return Err(ModelError::InvalidShape {
+                reason: "tree depth and fan-in must be at least 1",
+            });
+        }
+        if fan_in.checked_pow(depth as u32).is_none() {
+            return Err(ModelError::InvalidShape {
+                reason: "tree too large",
+            });
+        }
+        // Level l (0 = leaves) has fan_in^(depth - l) vertices.
+        let mut level_sizes = Vec::with_capacity(depth + 1);
+        for l in 0..=depth {
+            level_sizes.push(fan_in.pow((depth - l) as u32));
+        }
+        let mut offsets = Vec::with_capacity(depth + 1);
+        let mut total = 0;
+        for &s in &level_sizes {
+            offsets.push(total);
+            total += s;
+        }
+        let mut edges = Vec::new();
+        for l in 0..depth {
+            for p in 0..level_sizes[l + 1] {
+                for k in 0..fan_in {
+                    let child = offsets[l] + p * fan_in + k;
+                    let parent = offsets[l + 1] + p;
+                    edges.push((child, parent));
+                }
+            }
+        }
+        Self::new(total, &edges)
+    }
+
+    /// The "W" shape: four leaves aggregating pairwise into two middle
+    /// vertices, which join in one root (7 vertices, 3 stages).
+    pub fn w_shape() -> Result<Self, ModelError> {
+        // leaves 0..4, mids 4,5, root 6
+        Self::new(7, &[(0, 4), (1, 4), (2, 5), (3, 5), (4, 6), (5, 6)])
+    }
+
+    /// Inverted "V": `width` parallel leaves joined by a single root.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ModelError::InvalidShape`] if `width == 0`.
+    pub fn inverted_v(width: usize) -> Result<Self, ModelError> {
+        if width == 0 {
+            return Err(ModelError::InvalidShape {
+                reason: "inverted-V width must be at least 1",
+            });
+        }
+        let edges: Vec<(usize, usize)> = (0..width).map(|v| (v, width)).collect();
+        Self::new(width + 1, &edges)
+    }
+
+    /// `chains` parallel chains of `len` vertices, all feeding one root.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ModelError::InvalidShape`] if either parameter is 0.
+    pub fn parallel_chains(chains: usize, len: usize) -> Result<Self, ModelError> {
+        if chains == 0 || len == 0 {
+            return Err(ModelError::InvalidShape {
+                reason: "parallel chains require at least one chain of length 1",
+            });
+        }
+        let root = chains * len;
+        let mut edges = Vec::new();
+        for c in 0..chains {
+            let base = c * len;
+            for i in 1..len {
+                edges.push((base + i - 1, base + i));
+            }
+            edges.push((base + len - 1, root));
+        }
+        Self::new(root + 1, &edges)
+    }
+
+    /// `roots` output roots all depending on a shared layer of `width`
+    /// leaves (a complex shape with multiple outputs).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ModelError::InvalidShape`] if either parameter is 0.
+    pub fn multi_root(roots: usize, width: usize) -> Result<Self, ModelError> {
+        if roots == 0 || width == 0 {
+            return Err(ModelError::InvalidShape {
+                reason: "multi-root shape requires at least one root and one leaf",
+            });
+        }
+        let mut edges = Vec::new();
+        for r in 0..roots {
+            for l in 0..width {
+                edges.push((l, width + r));
+            }
+        }
+        Self::new(width + roots, &edges)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rejects_empty_and_cyclic() {
+        assert_eq!(JobDag::new(0, &[]), Err(ModelError::EmptyDag));
+        assert_eq!(JobDag::new(2, &[(0, 1), (1, 0)]), Err(ModelError::CyclicDag));
+        assert_eq!(JobDag::new(1, &[(0, 0)]), Err(ModelError::CyclicDag));
+    }
+
+    #[test]
+    fn rejects_out_of_bounds() {
+        assert_eq!(
+            JobDag::new(2, &[(0, 2)]),
+            Err(ModelError::VertexOutOfBounds { vertex: 2, len: 2 })
+        );
+    }
+
+    #[test]
+    fn chain_structure() {
+        let d = JobDag::chain(4).unwrap();
+        assert_eq!(d.num_vertices(), 4);
+        assert_eq!(d.num_stages(), 4);
+        assert_eq!(d.leaves(), vec![0]);
+        assert_eq!(d.roots(), vec![3]);
+        assert_eq!(d.stage_of(2), 2);
+        assert!(d.is_final_stage(3));
+        assert!(!d.is_final_stage(0));
+    }
+
+    #[test]
+    fn tree_structure() {
+        let d = JobDag::tree(2, 2).unwrap();
+        // 4 leaves + 2 mids + 1 root
+        assert_eq!(d.num_vertices(), 7);
+        assert_eq!(d.num_stages(), 3);
+        assert_eq!(d.leaves().len(), 4);
+        assert_eq!(d.roots().len(), 1);
+        assert_eq!(d.num_edges(), 6);
+        let root = d.roots()[0];
+        assert_eq!(d.children(root).len(), 2);
+    }
+
+    #[test]
+    fn w_shape_structure() {
+        let d = JobDag::w_shape().unwrap();
+        assert_eq!(d.num_vertices(), 7);
+        assert_eq!(d.leaves().len(), 4);
+        assert_eq!(d.roots(), vec![6]);
+        assert_eq!(d.num_stages(), 3);
+    }
+
+    #[test]
+    fn inverted_v_structure() {
+        let d = JobDag::inverted_v(5).unwrap();
+        assert_eq!(d.num_vertices(), 6);
+        assert_eq!(d.leaves().len(), 5);
+        assert_eq!(d.roots(), vec![5]);
+        assert_eq!(d.num_stages(), 2);
+    }
+
+    #[test]
+    fn parallel_chains_structure() {
+        let d = JobDag::parallel_chains(3, 2).unwrap();
+        assert_eq!(d.num_vertices(), 7);
+        assert_eq!(d.leaves().len(), 3);
+        assert_eq!(d.roots(), vec![6]);
+        assert_eq!(d.num_stages(), 3);
+    }
+
+    #[test]
+    fn multi_root_structure() {
+        let d = JobDag::multi_root(2, 3).unwrap();
+        assert_eq!(d.num_vertices(), 5);
+        assert_eq!(d.leaves().len(), 3);
+        assert_eq!(d.roots().len(), 2);
+        assert_eq!(d.num_stages(), 2);
+    }
+
+    #[test]
+    fn shape_constructors_validate() {
+        assert!(JobDag::chain(0).is_err());
+        assert!(JobDag::tree(0, 2).is_err());
+        assert!(JobDag::tree(2, 0).is_err());
+        assert!(JobDag::inverted_v(0).is_err());
+        assert!(JobDag::parallel_chains(0, 1).is_err());
+        assert!(JobDag::multi_root(1, 0).is_err());
+    }
+
+    #[test]
+    fn topo_order_respects_dependencies() {
+        let d = JobDag::new(4, &[(0, 2), (1, 2), (2, 3)]).unwrap();
+        let pos: Vec<usize> = {
+            let mut p = vec![0; 4];
+            for (i, &v) in d.topo_order().iter().enumerate() {
+                p[v] = i;
+            }
+            p
+        };
+        assert!(pos[0] < pos[2]);
+        assert!(pos[1] < pos[2]);
+        assert!(pos[2] < pos[3]);
+    }
+
+    #[test]
+    fn critical_path_on_diamond() {
+        //  0 -> 1 -> 3 and 0 -> 2 -> 3; vertex 2 heavier.
+        let d = JobDag::new(4, &[(0, 1), (0, 2), (1, 3), (2, 3)]).unwrap();
+        let (w, path) = d.critical_path(&[1.0, 2.0, 5.0, 1.0]);
+        assert_eq!(w, 7.0);
+        assert_eq!(path, vec![0, 2, 3]);
+    }
+
+    #[test]
+    fn critical_vertices_mark_all_tied_paths() {
+        let d = JobDag::new(4, &[(0, 1), (0, 2), (1, 3), (2, 3)]).unwrap();
+        let cv = d.critical_vertices(&[1.0, 2.0, 2.0, 1.0]);
+        // Both middle vertices tie, all four vertices are critical.
+        assert_eq!(cv, vec![0, 1, 2, 3]);
+        let cv2 = d.critical_vertices(&[1.0, 2.0, 5.0, 1.0]);
+        assert_eq!(cv2, vec![0, 2, 3]);
+    }
+
+    #[test]
+    fn critical_path_single_vertex() {
+        let d = JobDag::new(1, &[]).unwrap();
+        let (w, path) = d.critical_path(&[3.5]);
+        assert_eq!(w, 3.5);
+        assert_eq!(path, vec![0]);
+    }
+
+    #[test]
+    fn from_shape_round_trip() {
+        for shape in [
+            DagShape::Chain { len: 3 },
+            DagShape::Tree { depth: 2, fan_in: 3 },
+            DagShape::WShape,
+            DagShape::InvertedV { width: 4 },
+            DagShape::ParallelChains { chains: 2, len: 3 },
+            DagShape::MultiRoot { roots: 2, width: 2 },
+        ] {
+            let d = JobDag::from_shape(shape).unwrap();
+            assert!(d.num_vertices() >= 1);
+        }
+    }
+
+    #[test]
+    fn stage_partition_covers_all_vertices() {
+        let d = JobDag::w_shape().unwrap();
+        let total: usize = (0..d.num_stages()).map(|s| d.vertices_in_stage(s).len()).sum();
+        assert_eq!(total, d.num_vertices());
+    }
+}

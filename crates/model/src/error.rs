@@ -1,0 +1,94 @@
+//! Error types for model validation.
+
+use std::error::Error;
+use std::fmt;
+
+/// Error produced when constructing or validating model entities.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum ModelError {
+    /// The dependency graph contains a cycle, so it is not a DAG.
+    CyclicDag,
+    /// An edge references a vertex outside the DAG.
+    VertexOutOfBounds {
+        /// Offending vertex index.
+        vertex: usize,
+        /// Number of vertices in the DAG.
+        len: usize,
+    },
+    /// The DAG has no vertices; a job must contain at least one coflow.
+    EmptyDag,
+    /// The job supplies a different number of coflows than the DAG has
+    /// vertices.
+    CoflowCountMismatch {
+        /// Number of coflows supplied.
+        coflows: usize,
+        /// Number of DAG vertices.
+        vertices: usize,
+    },
+    /// A flow was constructed with a non-positive or non-finite size.
+    InvalidFlowSize {
+        /// The rejected size in bytes.
+        bytes: f64,
+    },
+    /// A shape constructor was asked for an impossible parameterization.
+    InvalidShape {
+        /// Human-readable description of the violated requirement.
+        reason: &'static str,
+    },
+}
+
+impl fmt::Display for ModelError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ModelError::CyclicDag => write!(f, "dependency graph contains a cycle"),
+            ModelError::VertexOutOfBounds { vertex, len } => {
+                write!(f, "edge references vertex {vertex} but DAG has {len} vertices")
+            }
+            ModelError::EmptyDag => write!(f, "job DAG must contain at least one coflow"),
+            ModelError::CoflowCountMismatch { coflows, vertices } => write!(
+                f,
+                "job supplies {coflows} coflows but DAG has {vertices} vertices"
+            ),
+            ModelError::InvalidFlowSize { bytes } => {
+                write!(f, "flow size must be positive and finite, got {bytes}")
+            }
+            ModelError::InvalidShape { reason } => {
+                write!(f, "invalid shape parameterization: {reason}")
+            }
+        }
+    }
+}
+
+impl Error for ModelError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_nonempty_and_lowercase() {
+        let variants: Vec<ModelError> = vec![
+            ModelError::CyclicDag,
+            ModelError::VertexOutOfBounds { vertex: 5, len: 3 },
+            ModelError::EmptyDag,
+            ModelError::CoflowCountMismatch {
+                coflows: 2,
+                vertices: 3,
+            },
+            ModelError::InvalidFlowSize { bytes: -1.0 },
+            ModelError::InvalidShape { reason: "width" },
+        ];
+        for v in variants {
+            let s = v.to_string();
+            assert!(!s.is_empty());
+            assert!(s.chars().next().unwrap().is_lowercase(), "{s}");
+        }
+    }
+
+    #[test]
+    fn implements_std_error() {
+        fn assert_err<E: std::error::Error + Send + Sync + 'static>() {}
+        assert_err::<ModelError>();
+    }
+}

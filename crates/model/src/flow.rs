@@ -1,0 +1,84 @@
+//! Flow specifications.
+
+use crate::{HostId, ModelError};
+use serde::{Deserialize, Serialize};
+
+/// Specification of a single data flow: `bytes` transferred from `src` to
+/// `dst`.
+///
+/// A flow is the unit the network transports; a set of flows with shared
+/// completion semantics forms a [`crate::CoflowSpec`].
+///
+/// # Example
+///
+/// ```
+/// use gurita_model::{FlowSpec, HostId, units};
+/// let f = FlowSpec::new(HostId(0), HostId(1), units::MB);
+/// assert_eq!(f.bytes, units::MB);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct FlowSpec {
+    /// Sending host.
+    pub src: HostId,
+    /// Receiving host.
+    pub dst: HostId,
+    /// Number of bytes to transfer. Must be positive and finite.
+    pub bytes: f64,
+}
+
+impl FlowSpec {
+    /// Creates a new flow specification.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bytes` is not positive and finite. Use
+    /// [`FlowSpec::try_new`] for fallible construction.
+    pub fn new(src: HostId, dst: HostId, bytes: f64) -> Self {
+        Self::try_new(src, dst, bytes).expect("flow size must be positive and finite")
+    }
+
+    /// Creates a new flow specification, validating the size.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ModelError::InvalidFlowSize`] if `bytes` is not positive
+    /// and finite.
+    pub fn try_new(src: HostId, dst: HostId, bytes: f64) -> Result<Self, ModelError> {
+        if !(bytes.is_finite() && bytes > 0.0) {
+            return Err(ModelError::InvalidFlowSize { bytes });
+        }
+        Ok(Self { src, dst, bytes })
+    }
+
+    /// Whether this flow stays on a single host (degenerate, but legal in
+    /// traces where a task reads locally; it consumes no fabric capacity).
+    pub fn is_local(&self) -> bool {
+        self.src == self.dst
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn try_new_rejects_bad_sizes() {
+        assert!(FlowSpec::try_new(HostId(0), HostId(1), 0.0).is_err());
+        assert!(FlowSpec::try_new(HostId(0), HostId(1), -5.0).is_err());
+        assert!(FlowSpec::try_new(HostId(0), HostId(1), f64::NAN).is_err());
+        assert!(FlowSpec::try_new(HostId(0), HostId(1), f64::INFINITY).is_err());
+        assert!(FlowSpec::try_new(HostId(0), HostId(1), 1.0).is_ok());
+    }
+
+    #[test]
+    #[should_panic(expected = "positive and finite")]
+    fn new_panics_on_zero() {
+        let _ = FlowSpec::new(HostId(0), HostId(1), 0.0);
+    }
+
+    #[test]
+    fn local_flow_detected() {
+        assert!(FlowSpec::new(HostId(3), HostId(3), 1.0).is_local());
+        assert!(!FlowSpec::new(HostId(3), HostId(4), 1.0).is_local());
+    }
+}

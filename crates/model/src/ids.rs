@@ -1,0 +1,108 @@
+//! Identifier newtypes.
+//!
+//! Every entity in the system is addressed by a small integer identifier.
+//! Newtypes keep host, job, coflow, and flow identifiers statically
+//! distinct (C-NEWTYPE) while remaining `Copy` and hashable.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+macro_rules! id_newtype {
+    ($(#[$doc:meta])* $name:ident, $prefix:literal) => {
+        $(#[$doc])*
+        #[derive(
+            Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default,
+            Serialize, Deserialize,
+        )]
+        pub struct $name(pub usize);
+
+        impl $name {
+            /// Returns the raw index value.
+            #[inline]
+            pub fn index(self) -> usize {
+                self.0
+            }
+        }
+
+        impl fmt::Display for $name {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                write!(f, concat!($prefix, "{}"), self.0)
+            }
+        }
+
+        impl From<usize> for $name {
+            fn from(v: usize) -> Self {
+                $name(v)
+            }
+        }
+
+        impl From<$name> for usize {
+            fn from(v: $name) -> usize {
+                v.0
+            }
+        }
+    };
+}
+
+id_newtype!(
+    /// Identifier of a host (server NIC) in the datacenter.
+    HostId,
+    "h"
+);
+id_newtype!(
+    /// Globally unique identifier of a job.
+    JobId,
+    "j"
+);
+id_newtype!(
+    /// Globally unique identifier of a coflow (across all jobs).
+    CoflowId,
+    "c"
+);
+id_newtype!(
+    /// Globally unique identifier of a flow (across all coflows).
+    FlowId,
+    "f"
+);
+id_newtype!(
+    /// Index of a coflow *within its job's DAG* (a DAG vertex).
+    CoflowIndex,
+    "v"
+);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+
+    #[test]
+    fn display_uses_prefix() {
+        assert_eq!(HostId(3).to_string(), "h3");
+        assert_eq!(JobId(0).to_string(), "j0");
+        assert_eq!(CoflowId(12).to_string(), "c12");
+        assert_eq!(FlowId(7).to_string(), "f7");
+        assert_eq!(CoflowIndex(1).to_string(), "v1");
+    }
+
+    #[test]
+    fn conversions_round_trip() {
+        let id = JobId::from(42usize);
+        assert_eq!(usize::from(id), 42);
+        assert_eq!(id.index(), 42);
+    }
+
+    #[test]
+    fn ids_are_hashable_and_ordered() {
+        let mut set = HashSet::new();
+        set.insert(FlowId(1));
+        set.insert(FlowId(1));
+        set.insert(FlowId(2));
+        assert_eq!(set.len(), 2);
+        assert!(CoflowId(1) < CoflowId(2));
+    }
+
+    #[test]
+    fn default_is_zero() {
+        assert_eq!(HostId::default(), HostId(0));
+    }
+}

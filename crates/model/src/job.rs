@@ -1,0 +1,217 @@
+//! Job specifications.
+
+use crate::{CoflowSpec, JobDag, JobId, ModelError, SizeCategory};
+use serde::{Deserialize, Serialize};
+
+/// A multi-stage job: a set of coflows with a dependency [`JobDag`] and an
+/// arrival time.
+///
+/// Coflow `i` of [`JobSpec::coflows`] corresponds to DAG vertex `i`. The
+/// job completes when all root coflows complete; its *job completion time*
+/// (JCT) is measured from `arrival`.
+///
+/// # Example
+///
+/// ```
+/// use gurita_model::{CoflowSpec, FlowSpec, HostId, JobDag, JobSpec, units};
+/// let coflows = vec![
+///     CoflowSpec::new(vec![FlowSpec::new(HostId(0), HostId(1), units::MB)]),
+///     CoflowSpec::new(vec![FlowSpec::new(HostId(1), HostId(2), units::MB)]),
+/// ];
+/// let job = JobSpec::new(7, 1.5, coflows, JobDag::chain(2)?)?;
+/// assert_eq!(job.id().index(), 7);
+/// assert_eq!(job.arrival(), 1.5);
+/// # Ok::<(), gurita_model::ModelError>(())
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct JobSpec {
+    id: JobId,
+    arrival: f64,
+    coflows: Vec<CoflowSpec>,
+    dag: JobDag,
+}
+
+impl JobSpec {
+    /// Creates a job, pairing coflow `i` with DAG vertex `i`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ModelError::CoflowCountMismatch`] when the coflow count
+    /// differs from the DAG vertex count.
+    pub fn new(
+        id: impl Into<JobId>,
+        arrival: f64,
+        coflows: Vec<CoflowSpec>,
+        dag: JobDag,
+    ) -> Result<Self, ModelError> {
+        if coflows.len() != dag.num_vertices() {
+            return Err(ModelError::CoflowCountMismatch {
+                coflows: coflows.len(),
+                vertices: dag.num_vertices(),
+            });
+        }
+        Ok(Self {
+            id: id.into(),
+            arrival,
+            coflows,
+            dag,
+        })
+    }
+
+    /// The job's identifier.
+    pub fn id(&self) -> JobId {
+        self.id
+    }
+
+    /// Arrival time in seconds.
+    pub fn arrival(&self) -> f64 {
+        self.arrival
+    }
+
+    /// The job's coflows, indexed by DAG vertex.
+    pub fn coflows(&self) -> &[CoflowSpec] {
+        &self.coflows
+    }
+
+    /// The coflow at DAG vertex `v`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v` is out of bounds.
+    pub fn coflow(&self, v: usize) -> &CoflowSpec {
+        &self.coflows[v]
+    }
+
+    /// The dependency DAG.
+    pub fn dag(&self) -> &JobDag {
+        &self.dag
+    }
+
+    /// Number of computation stages — the *depth* dimension.
+    pub fn num_stages(&self) -> usize {
+        self.dag.num_stages()
+    }
+
+    /// Total bytes sent across all coflows and stages (the quantity
+    /// total-bytes-sent schedulers sort by, and the Table 1 classifier
+    /// input).
+    pub fn total_bytes(&self) -> f64 {
+        self.coflows.iter().map(CoflowSpec::total_bytes).sum()
+    }
+
+    /// Bytes sent in stage `s` only.
+    pub fn stage_bytes(&self, s: usize) -> f64 {
+        self.dag
+            .vertices_in_stage(s)
+            .into_iter()
+            .map(|v| self.coflows[v].total_bytes())
+            .sum()
+    }
+
+    /// Total number of flows across all coflows.
+    pub fn num_flows(&self) -> usize {
+        self.coflows.iter().map(CoflowSpec::width).sum()
+    }
+
+    /// The job's Table 1 size category.
+    pub fn category(&self) -> SizeCategory {
+        SizeCategory::of_bytes(self.total_bytes())
+    }
+
+    /// Ideal (uncontended) critical-path completion time at a per-flow
+    /// rate of `rate` bytes/sec: the DAG's maximum leaf-to-root sum of
+    /// per-coflow bottleneck times. This is the `T(Φ)` lower bound of
+    /// §III.A — no schedule can complete the job faster on paths alone.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rate` is not positive.
+    pub fn ideal_critical_path_time(&self, rate: f64) -> f64 {
+        assert!(rate > 0.0, "rate must be positive");
+        let weights: Vec<f64> = self.coflows.iter().map(|c| c.ideal_cct(rate)).collect();
+        self.dag.critical_path(&weights).0
+    }
+
+    /// Returns a copy of the job with a different arrival time. Workload
+    /// transformers (e.g. the bursty arrival generator) use this to
+    /// re-time jobs without rebuilding them.
+    pub fn with_arrival(&self, arrival: f64) -> Self {
+        Self {
+            arrival,
+            ..self.clone()
+        }
+    }
+
+    /// Returns a copy of the job with a different identifier.
+    pub fn with_id(&self, id: impl Into<JobId>) -> Self {
+        Self {
+            id: id.into(),
+            ..self.clone()
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::units::MB;
+    use crate::{FlowSpec, HostId};
+
+    fn coflow(bytes_each: f64, width: usize, base_host: usize) -> CoflowSpec {
+        CoflowSpec::new(
+            (0..width)
+                .map(|i| FlowSpec::new(HostId(base_host + i), HostId(base_host + 100), bytes_each))
+                .collect(),
+        )
+    }
+
+    fn two_stage_job() -> JobSpec {
+        JobSpec::new(
+            1,
+            0.0,
+            vec![coflow(10.0 * MB, 2, 0), coflow(1.0 * MB, 1, 10)],
+            JobDag::chain(2).unwrap(),
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn mismatch_is_rejected() {
+        let err = JobSpec::new(0, 0.0, vec![coflow(MB, 1, 0)], JobDag::chain(2).unwrap());
+        assert_eq!(
+            err.unwrap_err(),
+            ModelError::CoflowCountMismatch {
+                coflows: 1,
+                vertices: 2
+            }
+        );
+    }
+
+    #[test]
+    fn aggregates() {
+        let j = two_stage_job();
+        assert_eq!(j.total_bytes(), 21.0 * MB);
+        assert_eq!(j.stage_bytes(0), 20.0 * MB);
+        assert_eq!(j.stage_bytes(1), 1.0 * MB);
+        assert_eq!(j.num_flows(), 3);
+        assert_eq!(j.num_stages(), 2);
+        assert_eq!(j.category(), SizeCategory::I);
+    }
+
+    #[test]
+    fn ideal_critical_path_time_sums_stages() {
+        let j = two_stage_job();
+        // Stage 0 bottleneck 10MB, stage 1 bottleneck 1MB, at 1MB/s.
+        assert!((j.ideal_critical_path_time(MB) - 11.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn with_arrival_and_id_modify_copies() {
+        let j = two_stage_job();
+        let j2 = j.with_arrival(9.0).with_id(5);
+        assert_eq!(j2.arrival(), 9.0);
+        assert_eq!(j2.id(), JobId(5));
+        assert_eq!(j.arrival(), 0.0);
+        assert_eq!(j2.total_bytes(), j.total_bytes());
+    }
+}

@@ -1,0 +1,57 @@
+//! Core data model for multi-stage datacenter jobs scheduled at coflow
+//! granularity.
+//!
+//! This crate defines the vocabulary shared by the whole Gurita
+//! reproduction:
+//!
+//! * [`FlowSpec`] — a point-to-point data transfer between two hosts;
+//! * [`CoflowSpec`] — a collection of flows with a shared completion
+//!   semantic (the coflow completes when *all* of its flows complete);
+//! * [`JobDag`] — the dependency structure between the coflows of one job
+//!   (a parent coflow may start only after all of its children complete);
+//! * [`JobSpec`] — a job: a DAG of coflows plus an arrival time;
+//! * [`SizeCategory`] — the paper's Table 1 partition of jobs into seven
+//!   size categories (6 MB–80 MB up to >1 TB).
+//!
+//! The model is deliberately free of any simulation state: crates further
+//! up the stack (`gurita-sim`, schedulers, workload generators) consume
+//! these specifications.
+//!
+//! # Example
+//!
+//! ```
+//! use gurita_model::{CoflowSpec, FlowSpec, HostId, JobDag, JobSpec, units};
+//!
+//! // A two-stage job: one map->shuffle coflow feeding a reduce coflow.
+//! let shuffle = CoflowSpec::new(vec![
+//!     FlowSpec::new(HostId(0), HostId(2), units::MB * 10.0),
+//!     FlowSpec::new(HostId(1), HostId(2), units::MB * 20.0),
+//! ]);
+//! let reduce = CoflowSpec::new(vec![
+//!     FlowSpec::new(HostId(2), HostId(3), units::MB * 5.0),
+//! ]);
+//! let dag = JobDag::chain(2).expect("two-vertex chain");
+//! let job = JobSpec::new(0, 0.0, vec![shuffle, reduce], dag).expect("valid job");
+//! assert_eq!(job.num_stages(), 2);
+//! assert_eq!(job.total_bytes(), units::MB * 35.0);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod category;
+mod coflow;
+mod dag;
+mod error;
+mod flow;
+mod ids;
+mod job;
+pub mod units;
+
+pub use category::SizeCategory;
+pub use coflow::CoflowSpec;
+pub use dag::{DagShape, JobDag};
+pub use error::ModelError;
+pub use flow::FlowSpec;
+pub use ids::{CoflowId, CoflowIndex, FlowId, HostId, JobId};
+pub use job::JobSpec;

@@ -1,0 +1,92 @@
+//! Byte-size and time units used throughout the reproduction.
+//!
+//! The simulator is a fluid model: byte counts and times are `f64`. Bytes
+//! use decimal SI multiples (1 MB = 10^6 bytes), matching the paper's
+//! Table 1 category bounds (6 MB–80 MB, …, >1 TB). Times are in seconds.
+//! Link speeds are in bytes per second; the evaluation uses 10 Gbit/s
+//! links, i.e. [`GBPS_10`] = 1.25e9 B/s.
+
+/// One kilobyte (10^3 bytes).
+pub const KB: f64 = 1e3;
+/// One megabyte (10^6 bytes).
+pub const MB: f64 = 1e6;
+/// One gigabyte (10^9 bytes).
+pub const GB: f64 = 1e9;
+/// One terabyte (10^12 bytes).
+pub const TB: f64 = 1e12;
+
+/// Capacity of a 10 Gbit/s link in bytes per second.
+pub const GBPS_10: f64 = 10.0e9 / 8.0;
+
+/// One microsecond in seconds.
+pub const MICROS: f64 = 1e-6;
+/// One millisecond in seconds.
+pub const MILLIS: f64 = 1e-3;
+
+/// Formats a byte count with a human-readable SI suffix.
+///
+/// # Example
+///
+/// ```
+/// assert_eq!(gurita_model::units::format_bytes(2.5e9), "2.50GB");
+/// ```
+pub fn format_bytes(bytes: f64) -> String {
+    let abs = bytes.abs();
+    if abs >= TB {
+        format!("{:.2}TB", bytes / TB)
+    } else if abs >= GB {
+        format!("{:.2}GB", bytes / GB)
+    } else if abs >= MB {
+        format!("{:.2}MB", bytes / MB)
+    } else if abs >= KB {
+        format!("{:.2}KB", bytes / KB)
+    } else {
+        format!("{bytes:.0}B")
+    }
+}
+
+/// Formats a duration in seconds with an adaptive unit.
+///
+/// # Example
+///
+/// ```
+/// assert_eq!(gurita_model::units::format_seconds(0.0042), "4.200ms");
+/// ```
+pub fn format_seconds(secs: f64) -> String {
+    let abs = secs.abs();
+    if abs >= 1.0 {
+        format!("{secs:.3}s")
+    } else if abs >= MILLIS {
+        format!("{:.3}ms", secs / MILLIS)
+    } else {
+        format!("{:.3}us", secs / MICROS)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constants_are_consistent() {
+        assert_eq!(MB, 1000.0 * KB);
+        assert_eq!(GB, 1000.0 * MB);
+        assert_eq!(TB, 1000.0 * GB);
+        assert_eq!(GBPS_10, 1.25e9);
+    }
+
+    #[test]
+    fn format_bytes_picks_unit() {
+        assert_eq!(format_bytes(500.0), "500B");
+        assert_eq!(format_bytes(6.0 * MB), "6.00MB");
+        assert_eq!(format_bytes(1.5 * TB), "1.50TB");
+        assert_eq!(format_bytes(80.0 * KB), "80.00KB");
+    }
+
+    #[test]
+    fn format_seconds_picks_unit() {
+        assert_eq!(format_seconds(2.0), "2.000s");
+        assert_eq!(format_seconds(2.0 * MICROS), "2.000us");
+        assert_eq!(format_seconds(20.0 * MILLIS), "20.000ms");
+    }
+}

@@ -1,0 +1,499 @@
+//! Weighted max-min ("water-filling") bandwidth allocation.
+//!
+//! The simulator is a fluid model: at any instant every active flow
+//! transmits at a rate determined by the network's service discipline.
+//! Within a priority class, flows share capacity max-min fairly — the
+//! standard flow-level approximation of many TCP flows in steady state
+//! (the paper: "we implement a rate limiter that behaves like TCP").
+//!
+//! Two service disciplines are provided:
+//!
+//! * [`Discipline::StrictPriority`] — strict priority queuing (SPQ), the
+//!   built-in commodity-switch feature Gurita and Stream use to enforce
+//!   scheduling decisions: all capacity goes to the highest backlogged
+//!   priority on each link; lower priorities receive leftovers only.
+//! * [`Discipline::WeightedRoundRobin`] — Gurita's starvation mitigation:
+//!   SPQ is *emulated* with WRR so that "lower priority traffic transmits
+//!   at a much lower rate than higher priority traffic" instead of
+//!   starving. On each link, backlogged queue `q` receives a `w_q`
+//!   fraction of capacity, shared max-min fairly among its flows
+//!   (work-conserving: idle queues' shares are redistributed).
+//!
+//! The allocator is a progressive water-filling over per-(flow, link)
+//! weights with a lazy min-heap of bottleneck candidates, giving
+//! `O(F · |path| · log L)` allocation cost.
+
+use crate::topology::LinkId;
+use std::cmp::Ordering;
+use std::collections::{BinaryHeap, HashMap};
+
+/// A flow's bandwidth demand: the links it traverses and the priority
+/// queue it currently transmits in.
+#[derive(Debug, Clone)]
+pub struct Demand<'a> {
+    /// Directed links traversed, in order. An empty path means a
+    /// host-local transfer: the allocator reports `f64::INFINITY`.
+    pub path: &'a [LinkId],
+    /// Priority queue index: 0 is the *highest* priority.
+    pub queue: usize,
+}
+
+/// Service discipline applied at every link.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Discipline {
+    /// Strict priority queuing with `num_queues` classes.
+    StrictPriority {
+        /// Number of priority classes (queue indexes are `0..num_queues`).
+        num_queues: usize,
+    },
+    /// Weighted round robin: queue `q` of every link is served in
+    /// proportion to `weights[q]`. Weights must be positive; they are
+    /// normalized internally.
+    WeightedRoundRobin {
+        /// Per-queue service weights (index 0 = highest priority queue).
+        weights: Vec<f64>,
+    },
+}
+
+impl Discipline {
+    /// Number of queues this discipline serves.
+    pub fn num_queues(&self) -> usize {
+        match self {
+            Discipline::StrictPriority { num_queues } => *num_queues,
+            Discipline::WeightedRoundRobin { weights } => weights.len(),
+        }
+    }
+}
+
+const EPS: f64 = 1e-12;
+
+#[derive(Debug)]
+struct LinkState {
+    resid: f64,
+    sum_w: f64,
+    flows: Vec<u32>,
+}
+
+impl LinkState {
+    /// Current fair share per unit of weight on this link.
+    fn share(&self) -> f64 {
+        if self.sum_w <= EPS {
+            f64::INFINITY
+        } else {
+            (self.resid / self.sum_w).max(0.0)
+        }
+    }
+}
+
+/// Heap entry: candidate bottleneck rate for a flow (min-rate first).
+///
+/// Entries go stale when a link on the flow's path changes; since link
+/// shares only ever increase as flows freeze, a stale entry can only
+/// *under*estimate the flow's true candidate rate, so the pop-recheck-
+/// repush loop in [`waterfill`] is sound.
+#[derive(Debug)]
+struct Candidate {
+    rate: f64,
+    flow: u32,
+}
+
+impl PartialEq for Candidate {
+    fn eq(&self, other: &Self) -> bool {
+        self.rate == other.rate
+    }
+}
+impl Eq for Candidate {}
+impl PartialOrd for Candidate {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for Candidate {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Reverse: BinaryHeap is a max-heap, we want the min rate on top.
+        other
+            .rate
+            .partial_cmp(&self.rate)
+            .unwrap_or(Ordering::Equal)
+    }
+}
+
+/// Computes per-flow rates for `demands` under `discipline`, where link
+/// `l` has capacity `capacity(l)` bytes per second.
+///
+/// Returns one rate per demand, in order. Flows with an empty path get
+/// `f64::INFINITY` (they complete instantly in the fluid model).
+///
+/// # Panics
+///
+/// Panics if a demand's queue index is `>= discipline.num_queues()`, or
+/// if a WRR weight is not positive and finite.
+pub fn allocate(
+    demands: &[Demand<'_>],
+    capacity: impl Fn(LinkId) -> f64,
+    discipline: &Discipline,
+) -> Vec<f64> {
+    let nq = discipline.num_queues();
+    for d in demands {
+        assert!(
+            d.queue < nq,
+            "demand queue {} out of range ({} queues)",
+            d.queue,
+            nq
+        );
+    }
+    let mut rates = vec![f64::INFINITY; demands.len()];
+    match discipline {
+        Discipline::StrictPriority { num_queues } => {
+            // Residual capacities persist across priority passes.
+            let mut resid: HashMap<usize, f64> = HashMap::new();
+            for q in 0..*num_queues {
+                let idx: Vec<u32> = demands
+                    .iter()
+                    .enumerate()
+                    .filter(|(_, d)| d.queue == q && !d.path.is_empty())
+                    .map(|(i, _)| i as u32)
+                    .collect();
+                if idx.is_empty() {
+                    continue;
+                }
+                waterfill(demands, &idx, |_, _| 1.0, &capacity, &mut resid, &mut rates);
+            }
+        }
+        Discipline::WeightedRoundRobin { weights } => {
+            for &w in weights {
+                assert!(w.is_finite() && w > 0.0, "WRR weights must be positive");
+            }
+            // Per-link, per-queue flow counts to derive per-(flow, link)
+            // weights w_q / n_{q,l}: each backlogged queue receives its
+            // w_q share of the link, split max-min among its flows.
+            let mut counts: HashMap<(usize, usize), f64> = HashMap::new();
+            for d in demands.iter().filter(|d| !d.path.is_empty()) {
+                for l in d.path {
+                    *counts.entry((d.queue, l.index())).or_insert(0.0) += 1.0;
+                }
+            }
+            let idx: Vec<u32> = demands
+                .iter()
+                .enumerate()
+                .filter(|(_, d)| !d.path.is_empty())
+                .map(|(i, _)| i as u32)
+                .collect();
+            let mut resid: HashMap<usize, f64> = HashMap::new();
+            waterfill(
+                demands,
+                &idx,
+                |d: &Demand<'_>, l: usize| weights[d.queue] / counts[&(d.queue, l)],
+                &capacity,
+                &mut resid,
+                &mut rates,
+            );
+        }
+    }
+    rates
+}
+
+/// One weighted water-filling pass over the demand subset `idx`.
+///
+/// `resid` carries residual link capacities across passes (SPQ calls this
+/// once per priority class). Frozen flows' consumption is subtracted from
+/// every link on their paths.
+///
+/// The freeze criterion is flow-centric: a flow's candidate rate is
+/// `min over its links of w(f, l) * share(l)`, and the globally minimal
+/// candidate freezes first. This is the correct generalization of
+/// progressive filling when weights differ per (flow, link), as they do
+/// under WRR: freezing by minimal *link share* can overcommit a link
+/// where the flow carries a smaller weight. With per-flow candidate
+/// freezing, `rate_f <= w(f, l) * share(l)` holds on every link of the
+/// flow's path at freeze time, so shares are non-decreasing and no link
+/// is ever oversubscribed.
+fn waterfill(
+    demands: &[Demand<'_>],
+    idx: &[u32],
+    weight: impl Fn(&Demand<'_>, usize) -> f64,
+    capacity: &impl Fn(LinkId) -> f64,
+    resid: &mut HashMap<usize, f64>,
+    rates: &mut [f64],
+) {
+    let mut links: HashMap<usize, LinkState> = HashMap::new();
+    for &fi in idx {
+        for l in demands[fi as usize].path {
+            let li = l.index();
+            let state = links.entry(li).or_insert_with(|| LinkState {
+                resid: *resid.entry(li).or_insert_with(|| capacity(*l)),
+                sum_w: 0.0,
+                flows: Vec::new(),
+            });
+            state.sum_w += weight(&demands[fi as usize], li);
+            state.flows.push(fi);
+        }
+    }
+    let candidate_rate = |f: u32, links: &HashMap<usize, LinkState>| -> f64 {
+        demands[f as usize]
+            .path
+            .iter()
+            .map(|l| weight(&demands[f as usize], l.index()) * links[&l.index()].share())
+            .fold(f64::INFINITY, f64::min)
+    };
+    let mut heap: BinaryHeap<Candidate> = idx
+        .iter()
+        .map(|&fi| Candidate {
+            rate: candidate_rate(fi, &links),
+            flow: fi,
+        })
+        .collect();
+    let mut frozen = vec![false; demands.len()];
+    while let Some(cand) = heap.pop() {
+        let f = cand.flow as usize;
+        if frozen[f] {
+            continue;
+        }
+        // Link shares only grow, so a stale entry underestimates. If the
+        // fresh value is no longer the minimum, re-queue it.
+        let fresh = candidate_rate(cand.flow, &links);
+        if let Some(top) = heap.peek() {
+            if fresh > top.rate + EPS && fresh > cand.rate + EPS {
+                heap.push(Candidate {
+                    rate: fresh,
+                    flow: cand.flow,
+                });
+                continue;
+            }
+        }
+        frozen[f] = true;
+        let rate = if fresh.is_finite() { fresh.max(0.0) } else { 0.0 };
+        rates[f] = rate;
+        for l in demands[f].path {
+            let s = links.get_mut(&l.index()).expect("path link registered");
+            s.resid = (s.resid - rate).max(0.0);
+            s.sum_w = (s.sum_w - weight(&demands[f], l.index())).max(0.0);
+        }
+    }
+    // Persist residuals for subsequent passes.
+    for (li, s) in links {
+        resid.insert(li, s.resid);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn caps_all(c: f64) -> impl Fn(LinkId) -> f64 {
+        move |_| c
+    }
+
+    fn spq(n: usize) -> Discipline {
+        Discipline::StrictPriority { num_queues: n }
+    }
+
+    #[test]
+    fn single_link_equal_share() {
+        let l = [LinkId(0)];
+        let demands = vec![
+            Demand { path: &l, queue: 0 },
+            Demand { path: &l, queue: 0 },
+            Demand { path: &l, queue: 0 },
+        ];
+        let rates = allocate(&demands, caps_all(9.0), &spq(1));
+        for r in &rates {
+            assert!((r - 3.0).abs() < 1e-9, "rate {r}");
+        }
+    }
+
+    #[test]
+    fn local_flow_gets_infinite_rate() {
+        let demands = vec![Demand { path: &[], queue: 0 }];
+        let rates = allocate(&demands, caps_all(1.0), &spq(1));
+        assert_eq!(rates[0], f64::INFINITY);
+    }
+
+    #[test]
+    fn bottleneck_and_spillover() {
+        // Flow A on links {0, 1}; flow B on {0}; flow C on {1}.
+        // Link 0 cap 2, link 1 cap 10.
+        let ab = [LinkId(0), LinkId(1)];
+        let b = [LinkId(0)];
+        let c = [LinkId(1)];
+        let demands = vec![
+            Demand { path: &ab, queue: 0 },
+            Demand { path: &b, queue: 0 },
+            Demand { path: &c, queue: 0 },
+        ];
+        let caps = |l: LinkId| if l.index() == 0 { 2.0 } else { 10.0 };
+        let rates = allocate(&demands, caps, &spq(1));
+        // Max-min: A and B split link 0 -> 1 each; C takes the rest of link 1 -> 9.
+        assert!((rates[0] - 1.0).abs() < 1e-9);
+        assert!((rates[1] - 1.0).abs() < 1e-9);
+        assert!((rates[2] - 9.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn strict_priority_starves_lower_class() {
+        let l = [LinkId(0)];
+        let demands = vec![
+            Demand { path: &l, queue: 0 },
+            Demand { path: &l, queue: 1 },
+        ];
+        let rates = allocate(&demands, caps_all(5.0), &spq(2));
+        assert!((rates[0] - 5.0).abs() < 1e-9);
+        assert!(rates[1].abs() < 1e-9, "lower priority must starve, got {}", rates[1]);
+    }
+
+    #[test]
+    fn strict_priority_leftover_flows_down() {
+        // High-priority flow bottlenecked elsewhere leaves capacity.
+        let high = [LinkId(0), LinkId(1)]; // link 1 cap 1 bottlenecks it
+        let low = [LinkId(0)];
+        let demands = vec![
+            Demand { path: &high, queue: 0 },
+            Demand { path: &low, queue: 1 },
+        ];
+        let caps = |l: LinkId| if l.index() == 1 { 1.0 } else { 4.0 };
+        let rates = allocate(&demands, caps, &spq(2));
+        assert!((rates[0] - 1.0).abs() < 1e-9);
+        assert!((rates[1] - 3.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn wrr_respects_weights() {
+        let l = [LinkId(0)];
+        let demands = vec![
+            Demand { path: &l, queue: 0 },
+            Demand { path: &l, queue: 1 },
+        ];
+        let disc = Discipline::WeightedRoundRobin {
+            weights: vec![3.0, 1.0],
+        };
+        let rates = allocate(&demands, caps_all(8.0), &disc);
+        assert!((rates[0] - 6.0).abs() < 1e-9);
+        assert!((rates[1] - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn wrr_splits_within_queue() {
+        let l = [LinkId(0)];
+        let demands = vec![
+            Demand { path: &l, queue: 0 },
+            Demand { path: &l, queue: 0 },
+            Demand { path: &l, queue: 1 },
+        ];
+        let disc = Discipline::WeightedRoundRobin {
+            weights: vec![2.0, 2.0],
+        };
+        let rates = allocate(&demands, caps_all(8.0), &disc);
+        // Queue 0 gets 4 split two ways; queue 1 gets 4.
+        assert!((rates[0] - 2.0).abs() < 1e-9);
+        assert!((rates[1] - 2.0).abs() < 1e-9);
+        assert!((rates[2] - 4.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn wrr_is_work_conserving() {
+        // Only queue 1 backlogged: it should take the whole link.
+        let l = [LinkId(0)];
+        let demands = vec![Demand { path: &l, queue: 1 }];
+        let disc = Discipline::WeightedRoundRobin {
+            weights: vec![9.0, 1.0],
+        };
+        let rates = allocate(&demands, caps_all(4.0), &disc);
+        assert!((rates[0] - 4.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn no_link_exceeds_capacity_on_random_meshes() {
+        // Deterministic pseudo-random demands over a small link set.
+        let mut state = 12345u64;
+        let mut next = move || {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            (state >> 33) as usize
+        };
+        let link_ids: Vec<[LinkId; 3]> = (0..40)
+            .map(|_| {
+                [
+                    LinkId(next() % 10),
+                    LinkId(10 + next() % 10),
+                    LinkId(20 + next() % 10),
+                ]
+            })
+            .collect();
+        let demands: Vec<Demand<'_>> = link_ids
+            .iter()
+            .map(|p| Demand {
+                path: p.as_slice(),
+                queue: next() % 3,
+            })
+            .collect();
+        for disc in [
+            spq(3),
+            Discipline::WeightedRoundRobin {
+                weights: vec![4.0, 2.0, 1.0],
+            },
+        ] {
+            let rates = allocate(&demands, caps_all(10.0), &disc);
+            let mut usage: HashMap<usize, f64> = HashMap::new();
+            for (d, r) in demands.iter().zip(&rates) {
+                assert!(r.is_finite() && *r >= 0.0);
+                for l in d.path {
+                    *usage.entry(l.index()).or_insert(0.0) += r;
+                }
+            }
+            for (&l, &u) in &usage {
+                assert!(u <= 10.0 + 1e-6, "link {l} over capacity: {u}");
+            }
+        }
+    }
+
+    #[test]
+    fn allocation_is_bottleneck_tight() {
+        // Max-min property: every flow is saturated at some link.
+        let p1 = [LinkId(0), LinkId(1)];
+        let p2 = [LinkId(1), LinkId(2)];
+        let p3 = [LinkId(2)];
+        let demands = vec![
+            Demand { path: &p1, queue: 0 },
+            Demand { path: &p2, queue: 0 },
+            Demand { path: &p3, queue: 0 },
+        ];
+        let rates = allocate(&demands, caps_all(6.0), &spq(1));
+        let mut usage = [0.0f64; 3];
+        for (d, r) in demands.iter().zip(&rates) {
+            for l in d.path {
+                usage[l.index()] += r;
+            }
+        }
+        for (d, r) in demands.iter().zip(&rates) {
+            let tight = d
+                .path
+                .iter()
+                .any(|l| usage[l.index()] >= 6.0 - 1e-6);
+            assert!(tight, "flow with rate {r} not bottlenecked anywhere");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "queue")]
+    fn rejects_out_of_range_queue() {
+        let l = [LinkId(0)];
+        let demands = vec![Demand { path: &l, queue: 5 }];
+        let _ = allocate(&demands, caps_all(1.0), &spq(2));
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn rejects_nonpositive_wrr_weight() {
+        let l = [LinkId(0)];
+        let demands = vec![Demand { path: &l, queue: 0 }];
+        let disc = Discipline::WeightedRoundRobin {
+            weights: vec![0.0],
+        };
+        let _ = allocate(&demands, caps_all(1.0), &disc);
+    }
+
+    #[test]
+    fn empty_demand_set_is_fine() {
+        let rates = allocate(&[], caps_all(1.0), &spq(4));
+        assert!(rates.is_empty());
+    }
+}

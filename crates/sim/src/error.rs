@@ -1,0 +1,93 @@
+//! Simulator error types.
+
+use std::error::Error;
+use std::fmt;
+
+/// Error produced when constructing or running a simulation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum SimError {
+    /// Fat-tree pod counts must be even and at least 2.
+    InvalidPodCount {
+        /// The rejected pod count.
+        k: usize,
+    },
+    /// A flow references a host that does not exist in the fabric.
+    UnknownHost {
+        /// The out-of-range host index.
+        host: usize,
+        /// Number of hosts in the fabric.
+        num_hosts: usize,
+    },
+    /// A scheduler requested more priority queues than the fabric's
+    /// switches support.
+    TooManyQueues {
+        /// Queues requested.
+        requested: usize,
+        /// Queues supported.
+        supported: usize,
+    },
+    /// The event loop exceeded its safety bound without draining all
+    /// jobs; indicates a livelock (e.g. total starvation) or a bound set
+    /// too low.
+    EventBudgetExhausted {
+        /// The configured maximum number of events.
+        max_events: u64,
+    },
+}
+
+impl fmt::Display for SimError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SimError::InvalidPodCount { k } => {
+                write!(f, "fat-tree pod count must be even and >= 2, got {k}")
+            }
+            SimError::UnknownHost { host, num_hosts } => {
+                write!(f, "host {host} out of range (fabric has {num_hosts} hosts)")
+            }
+            SimError::TooManyQueues {
+                requested,
+                supported,
+            } => write!(
+                f,
+                "scheduler requested {requested} priority queues but switches support {supported}"
+            ),
+            SimError::EventBudgetExhausted { max_events } => {
+                write!(f, "event budget of {max_events} events exhausted before all jobs completed")
+            }
+        }
+    }
+}
+
+impl Error for SimError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages() {
+        assert!(SimError::InvalidPodCount { k: 3 }.to_string().contains("even"));
+        assert!(SimError::UnknownHost {
+            host: 9,
+            num_hosts: 4
+        }
+        .to_string()
+        .contains("out of range"));
+        assert!(SimError::TooManyQueues {
+            requested: 10,
+            supported: 8
+        }
+        .to_string()
+        .contains("priority queues"));
+        assert!(SimError::EventBudgetExhausted { max_events: 5 }
+            .to_string()
+            .contains("budget"));
+    }
+
+    #[test]
+    fn is_send_sync_error() {
+        fn assert_err<E: std::error::Error + Send + Sync + 'static>() {}
+        assert_err::<SimError>();
+    }
+}

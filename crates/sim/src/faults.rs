@@ -1,0 +1,181 @@
+//! Fault injection: degraded fabrics.
+//!
+//! Datacenter links brown out (lossy optics, unbalanced LAGs, partial
+//! switch failures) far more often than they fail cleanly. A
+//! [`DegradedFabric`] wraps any [`Fabric`] and scales selected links'
+//! capacities by per-link factors, letting tests and experiments measure
+//! how schedulers behave when parts of the network slow down — without
+//! touching routing (ECMP stays oblivious, exactly like real unequal-
+//! capacity incidents).
+
+use crate::topology::{Fabric, LinkId};
+use crate::SimError;
+use gurita_model::HostId;
+use std::collections::HashMap;
+
+/// A fabric with per-link capacity degradation factors.
+///
+/// # Example
+///
+/// ```
+/// use gurita_sim::faults::DegradedFabric;
+/// use gurita_sim::topology::{BigSwitch, Fabric, LinkId};
+/// let base = BigSwitch::new(4, 100.0);
+/// let faulty = DegradedFabric::new(base).with_degraded_link(LinkId(0), 0.25);
+/// assert_eq!(faulty.link_capacity(LinkId(0)), 25.0);
+/// assert_eq!(faulty.link_capacity(LinkId(1)), 100.0);
+/// ```
+#[derive(Debug, Clone)]
+pub struct DegradedFabric<F> {
+    inner: F,
+    factors: HashMap<usize, f64>,
+}
+
+impl<F: Fabric> DegradedFabric<F> {
+    /// Wraps a fabric with no degradations.
+    pub fn new(inner: F) -> Self {
+        Self {
+            inner,
+            factors: HashMap::new(),
+        }
+    }
+
+    /// Degrades one link to `factor` of its capacity.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `0 < factor <= 1` (a zero-capacity link would stall
+    /// every flow routed over it forever; model hard failures by
+    /// rerouting at the workload level instead) and the link exists.
+    pub fn with_degraded_link(mut self, link: LinkId, factor: f64) -> Self {
+        assert!(
+            factor > 0.0 && factor <= 1.0,
+            "degradation factor must be in (0, 1], got {factor}"
+        );
+        assert!(
+            link.index() < self.inner.num_links(),
+            "link {link:?} out of range"
+        );
+        self.factors.insert(link.index(), factor);
+        self
+    }
+
+    /// Degrades every link of `host`'s up/down pair (NIC brown-out) on
+    /// fabrics following the convention that link `h` is host `h`'s
+    /// uplink and link `num_hosts + h` its downlink (both provided
+    /// fabrics do).
+    ///
+    /// # Panics
+    ///
+    /// Panics on an invalid factor or host (see
+    /// [`DegradedFabric::with_degraded_link`]).
+    pub fn with_degraded_host(self, host: HostId, factor: f64) -> Self {
+        let n = self.inner.num_hosts();
+        assert!(host.index() < n, "host {host} out of range");
+        self.with_degraded_link(LinkId(host.index()), factor)
+            .with_degraded_link(LinkId(n + host.index()), factor)
+    }
+
+    /// Number of degraded links.
+    pub fn num_degraded(&self) -> usize {
+        self.factors.len()
+    }
+
+    /// Borrows the wrapped fabric.
+    pub fn inner(&self) -> &F {
+        &self.inner
+    }
+}
+
+impl<F: Fabric> Fabric for DegradedFabric<F> {
+    fn num_hosts(&self) -> usize {
+        self.inner.num_hosts()
+    }
+
+    fn num_links(&self) -> usize {
+        self.inner.num_links()
+    }
+
+    fn link_capacity(&self, l: LinkId) -> f64 {
+        let base = self.inner.link_capacity(l);
+        match self.factors.get(&l.index()) {
+            Some(&f) => base * f,
+            None => base,
+        }
+    }
+
+    fn path(&self, src: HostId, dst: HostId, salt: u64) -> Result<Vec<LinkId>, SimError> {
+        self.inner.path(src, dst, salt)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::runtime::{SimConfig, Simulation};
+    use crate::sched::FifoScheduler;
+    use crate::topology::BigSwitch;
+    use gurita_model::{units::MB, CoflowSpec, FlowSpec, JobDag, JobSpec};
+
+    #[test]
+    fn degradation_scales_capacity_only_where_applied() {
+        let f = DegradedFabric::new(BigSwitch::new(4, 8.0))
+            .with_degraded_link(LinkId(2), 0.5)
+            .with_degraded_host(HostId(0), 0.25);
+        assert_eq!(f.num_degraded(), 3);
+        assert_eq!(f.link_capacity(LinkId(2)), 4.0);
+        assert_eq!(f.link_capacity(LinkId(0)), 2.0);
+        assert_eq!(f.link_capacity(LinkId(4)), 2.0);
+        assert_eq!(f.link_capacity(LinkId(3)), 8.0);
+        assert_eq!(f.num_hosts(), 4);
+    }
+
+    #[test]
+    fn routing_is_unchanged() {
+        let base = BigSwitch::new(4, 8.0);
+        let f = DegradedFabric::new(base.clone()).with_degraded_link(LinkId(1), 0.1);
+        assert_eq!(
+            f.path(HostId(1), HostId(3), 9).unwrap(),
+            base.path(HostId(1), HostId(3), 9).unwrap()
+        );
+    }
+
+    #[test]
+    fn flows_slow_down_through_degraded_links() {
+        let job = JobSpec::new(
+            0,
+            0.0,
+            vec![CoflowSpec::new(vec![FlowSpec::new(
+                HostId(0),
+                HostId(1),
+                4.0 * MB,
+            )])],
+            JobDag::chain(1).unwrap(),
+        )
+        .unwrap();
+        let healthy = {
+            let mut sim = Simulation::new(BigSwitch::new(4, MB), SimConfig::default());
+            sim.run(vec![job.clone()], &mut FifoScheduler::new(1))
+        };
+        let degraded = {
+            let fabric = DegradedFabric::new(BigSwitch::new(4, MB))
+                .with_degraded_host(HostId(1), 0.5);
+            let mut sim = Simulation::new(fabric, SimConfig::default());
+            sim.run(vec![job], &mut FifoScheduler::new(1))
+        };
+        assert!((healthy.jobs[0].jct - 4.0).abs() < 1e-6);
+        assert!((degraded.jobs[0].jct - 8.0).abs() < 1e-6);
+    }
+
+    #[test]
+    #[should_panic(expected = "factor")]
+    fn rejects_zero_factor() {
+        let _ = DegradedFabric::new(BigSwitch::new(2, 1.0)).with_degraded_link(LinkId(0), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn rejects_unknown_link() {
+        let _ = DegradedFabric::new(BigSwitch::new(2, 1.0)).with_degraded_link(LinkId(99), 0.5);
+    }
+}

@@ -1,0 +1,904 @@
+//! The simulation event loop.
+//!
+//! [`Simulation::run`] drives a set of [`JobSpec`]s through the fabric
+//! under a pluggable [`Scheduler`]:
+//!
+//! 1. when a job arrives, its DAG's leaf coflows activate and their flows
+//!    open;
+//! 2. flows progress fluidly at rates computed by
+//!    [`crate::bandwidth::allocate`] under the scheduler's queue
+//!    assignment and service policy;
+//! 3. when all flows of a coflow finish, the coflow completes; parents
+//!    whose children have all completed activate immediately (so
+//!    parallel chains advance independently, as the paper requires);
+//! 4. the job completes when all its root coflows do.
+//!
+//! The scheduler is consulted after every event batch and at a periodic
+//! δ tick (the paper's receiver→head-receiver update interval). Priority
+//! changes respect the paper's TCP-reordering rule unless the scheduler
+//! opts out: live flows may be demoted immediately, promotions apply
+//! only to flows that start later.
+
+use crate::bandwidth::{allocate, Demand, Discipline};
+use crate::sched::{CoflowObs, FlowObs, JobObs, Observation, Oracle, QueuePolicy, Scheduler};
+use crate::stats::{CoflowResult, JobResult, RunResult};
+use crate::topology::{Fabric, LinkId};
+use crate::SimError;
+use gurita_model::{CoflowId, FlowId, JobId, JobSpec};
+use std::cmp::Ordering;
+use std::collections::{BinaryHeap, HashMap};
+
+/// Simulation tuning knobs.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SimConfig {
+    /// Scheduler update interval δ in seconds (the paper's periodic
+    /// receiver→HR update). Default: 5 ms.
+    pub tick_interval: f64,
+    /// Safety bound on processed events; the run aborts with
+    /// [`SimError::EventBudgetExhausted`] beyond it. Default: 500 million.
+    pub max_events: u64,
+    /// A flow completes when its remaining volume drops to or below this
+    /// many bytes. Default: 0.1 bytes — far below a packet, so completion
+    /// times are exact to sub-microsecond at any realistic rate, while
+    /// avoiding the floating-point stall of a vanishing residue.
+    pub completion_eps: f64,
+    /// Collect per-link byte counters into
+    /// [`RunResult::link_bytes`]. Off by default (it adds `O(path)`
+    /// work per flow per event).
+    pub collect_link_stats: bool,
+}
+
+impl Default for SimConfig {
+    fn default() -> Self {
+        Self {
+            tick_interval: 5e-3,
+            max_events: 100_000_000,
+            completion_eps: 0.1,
+            collect_link_stats: false,
+        }
+    }
+}
+
+#[derive(Debug, Clone, Copy, PartialEq)]
+enum EventKind {
+    JobArrival(JobId),
+    Tick,
+    Completion { generation: u64 },
+}
+
+#[derive(Debug)]
+struct Event {
+    time: f64,
+    seq: u64,
+    kind: EventKind,
+}
+
+impl PartialEq for Event {
+    fn eq(&self, other: &Self) -> bool {
+        self.time == other.time && self.seq == other.seq
+    }
+}
+impl Eq for Event {}
+impl PartialOrd for Event {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for Event {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Min-heap on (time, seq).
+        other
+            .time
+            .partial_cmp(&self.time)
+            .unwrap_or(Ordering::Equal)
+            .then_with(|| other.seq.cmp(&self.seq))
+    }
+}
+
+#[derive(Debug)]
+struct FlowState {
+    id: FlowId,
+    coflow: CoflowId,
+    path: Vec<LinkId>,
+    size: f64,
+    remaining: f64,
+    queue: usize,
+    rate: f64,
+    fresh: bool,
+}
+
+impl FlowState {
+    fn bytes_done(&self) -> f64 {
+        self.size - self.remaining
+    }
+}
+
+#[derive(Debug, Clone, Copy)]
+struct FlowRecord {
+    id: FlowId,
+    bytes_done: f64,
+    open: bool,
+}
+
+#[derive(Debug)]
+struct CoflowState {
+    id: CoflowId,
+    job: JobId,
+    dag_vertex: usize,
+    dag_stage: usize,
+    activated_at: f64,
+    open_flows: usize,
+    queue: usize,
+    total_bytes: f64,
+    /// All flows of the coflow (open and completed); completed entries
+    /// retain their final byte counts for receiver-side observation.
+    flows: Vec<FlowRecord>,
+}
+
+#[derive(Debug)]
+struct JobState {
+    arrival: f64,
+    /// Remaining (uncompleted) children per DAG vertex.
+    pending_children: Vec<usize>,
+    completed: Vec<bool>,
+    completed_coflows: usize,
+    /// `max completed stage + 1`, i.e. the count of fully entered stages.
+    completed_stages: usize,
+    remaining_coflows: usize,
+    /// Bytes received by already-completed coflows.
+    completed_bytes: f64,
+}
+
+/// A flow-level datacenter simulation over a fabric.
+///
+/// See the [crate-level example](crate) for usage.
+#[derive(Debug)]
+pub struct Simulation<F: Fabric> {
+    fabric: F,
+    config: SimConfig,
+}
+
+impl<F: Fabric> Simulation<F> {
+    /// Creates a simulation over `fabric` with the given configuration.
+    pub fn new(fabric: F, config: SimConfig) -> Self {
+        Self { fabric, config }
+    }
+
+    /// Borrow the underlying fabric.
+    pub fn fabric(&self) -> &F {
+        &self.fabric
+    }
+
+    /// Runs `jobs` to completion under `scheduler` and returns the
+    /// completion records.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the event budget is exhausted (see [`SimConfig`]), if a
+    /// job references a host outside the fabric, or if the scheduler
+    /// returns a malformed assignment. Use [`Simulation::try_run`] for a
+    /// fallible variant.
+    pub fn run(&mut self, jobs: Vec<JobSpec>, scheduler: &mut dyn Scheduler) -> RunResult {
+        self.try_run(jobs, scheduler)
+            .expect("simulation failed; see SimError for details")
+    }
+
+    /// Fallible variant of [`Simulation::run`].
+    ///
+    /// # Errors
+    ///
+    /// * [`SimError::UnknownHost`] if a flow endpoint is outside the
+    ///   fabric;
+    /// * [`SimError::EventBudgetExhausted`] if the run does not finish
+    ///   within `config.max_events` events.
+    pub fn try_run(
+        &mut self,
+        jobs: Vec<JobSpec>,
+        scheduler: &mut dyn Scheduler,
+    ) -> Result<RunResult, SimError> {
+        Engine::new(&self.fabric, &self.config, jobs, scheduler).run()
+    }
+}
+
+struct Engine<'a, F: Fabric> {
+    fabric: &'a F,
+    config: &'a SimConfig,
+    scheduler: &'a mut dyn Scheduler,
+    specs: HashMap<JobId, JobSpec>,
+
+    heap: BinaryHeap<Event>,
+    seq: u64,
+    now: f64,
+    events: u64,
+
+    flows: Vec<FlowState>,
+    flow_pos: HashMap<FlowId, usize>,
+    next_flow_id: usize,
+    next_coflow_id: usize,
+
+    coflows: HashMap<CoflowId, CoflowState>,
+    active_coflows: Vec<CoflowId>,
+    jobs_state: HashMap<JobId, JobState>,
+
+    completion_generation: u64,
+    rates_dirty: bool,
+    tick_pending: bool,
+    link_bytes: HashMap<usize, f64>,
+
+    result: RunResult,
+    remaining_jobs: usize,
+}
+
+impl<'a, F: Fabric> Engine<'a, F> {
+    fn new(
+        fabric: &'a F,
+        config: &'a SimConfig,
+        jobs: Vec<JobSpec>,
+        scheduler: &'a mut dyn Scheduler,
+    ) -> Self {
+        let mut heap = BinaryHeap::new();
+        let mut seq = 0u64;
+        let remaining_jobs = jobs.len();
+        let mut specs = HashMap::with_capacity(jobs.len());
+        for job in jobs {
+            heap.push(Event {
+                time: job.arrival(),
+                seq,
+                kind: EventKind::JobArrival(job.id()),
+            });
+            seq += 1;
+            specs.insert(job.id(), job);
+        }
+        let scheduler_name = scheduler.name();
+        Self {
+            fabric,
+            config,
+            scheduler,
+            specs,
+            heap,
+            seq,
+            now: 0.0,
+            events: 0,
+            flows: Vec::new(),
+            flow_pos: HashMap::new(),
+            next_flow_id: 0,
+            next_coflow_id: 0,
+            coflows: HashMap::new(),
+            active_coflows: Vec::new(),
+            jobs_state: HashMap::new(),
+            completion_generation: 0,
+            rates_dirty: false,
+            tick_pending: false,
+            link_bytes: HashMap::new(),
+            result: RunResult {
+                scheduler: scheduler_name,
+                ..RunResult::default()
+            },
+            remaining_jobs,
+        }
+    }
+
+    fn run(mut self) -> Result<RunResult, SimError> {
+        while let Some(ev) = self.heap.pop() {
+            self.events += 1;
+            if self.events > self.config.max_events {
+                return Err(SimError::EventBudgetExhausted {
+                    max_events: self.config.max_events,
+                });
+            }
+            debug_assert!(ev.time + 1e-12 >= self.now, "time must not run backwards");
+            self.advance_to(ev.time);
+            match ev.kind {
+                EventKind::JobArrival(id) => self.activate_job(id)?,
+                EventKind::Tick => {
+                    self.tick_pending = false;
+                }
+                EventKind::Completion { generation } => {
+                    if generation != self.completion_generation {
+                        continue; // stale prediction superseded by a rate change
+                    }
+                }
+            }
+            self.harvest_completions()?;
+            self.reassign_priorities();
+            if self.rates_dirty {
+                self.recompute_rates();
+            }
+            self.schedule_followups();
+            if self.remaining_jobs == 0 && self.flows.is_empty() {
+                break;
+            }
+        }
+        self.result.makespan = self.now;
+        self.result.events = self.events;
+        if self.config.collect_link_stats {
+            let mut v: Vec<(usize, f64)> = self.link_bytes.drain().collect();
+            v.sort_by(|a, b| b.1.partial_cmp(&a.1).expect("byte counts are finite"));
+            self.result.link_bytes = v;
+        }
+        Ok(self.result)
+    }
+
+    fn advance_to(&mut self, t: f64) {
+        let dt = t - self.now;
+        if dt > 0.0 {
+            for f in &mut self.flows {
+                if f.rate > 0.0 && f.rate.is_finite() {
+                    let moved = (f.rate * dt).min(f.remaining);
+                    f.remaining -= moved;
+                    if self.config.collect_link_stats {
+                        for l in &f.path {
+                            *self.link_bytes.entry(l.index()).or_insert(0.0) += moved;
+                        }
+                    }
+                }
+            }
+        }
+        self.now = t.max(self.now);
+    }
+
+    fn activate_job(&mut self, id: JobId) -> Result<(), SimError> {
+        let spec = self.specs.get(&id).expect("arrival for unknown job");
+        let dag = spec.dag();
+        let n = dag.num_vertices();
+        let state = JobState {
+            arrival: spec.arrival(),
+            pending_children: (0..n).map(|v| dag.children(v).len()).collect(),
+            completed: vec![false; n],
+            completed_coflows: 0,
+            completed_stages: 0,
+            remaining_coflows: n,
+            completed_bytes: 0.0,
+        };
+        self.jobs_state.insert(id, state);
+        for v in dag.leaves() {
+            self.activate_coflow(id, v)?;
+        }
+        self.rates_dirty = true;
+        Ok(())
+    }
+
+    fn activate_coflow(&mut self, job: JobId, vertex: usize) -> Result<(), SimError> {
+        let spec = &self.specs[&job];
+        let cf_spec = spec.coflow(vertex);
+        let dag_stage = spec.dag().stage_of(vertex);
+        let id = CoflowId(self.next_coflow_id);
+        self.next_coflow_id += 1;
+        let mut state = CoflowState {
+            id,
+            job,
+            dag_vertex: vertex,
+            dag_stage,
+            activated_at: self.now,
+            open_flows: 0,
+            queue: 0,
+            total_bytes: cf_spec.total_bytes(),
+            flows: Vec::with_capacity(cf_spec.width()),
+        };
+        for fs in cf_spec.flows() {
+            let fid = FlowId(self.next_flow_id);
+            self.next_flow_id += 1;
+            let path = self.fabric.path(fs.src, fs.dst, fid.index() as u64)?;
+            state.flows.push(FlowRecord {
+                id: fid,
+                bytes_done: 0.0,
+                open: true,
+            });
+            state.open_flows += 1;
+            let flow = FlowState {
+                id: fid,
+                coflow: id,
+                path,
+                size: fs.bytes,
+                remaining: fs.bytes,
+                queue: 0,
+                rate: 0.0,
+                fresh: true,
+            };
+            self.flow_pos.insert(fid, self.flows.len());
+            self.flows.push(flow);
+        }
+        self.coflows.insert(id, state);
+        self.active_coflows.push(id);
+        self.rates_dirty = true;
+        Ok(())
+    }
+
+    /// Completes every flow whose remaining volume has reached zero, and
+    /// cascades coflow / job completions (activating parent coflows,
+    /// which may themselves complete instantly if empty or host-local).
+    fn harvest_completions(&mut self) -> Result<(), SimError> {
+        loop {
+            let mut completed_flow_ids: Vec<FlowId> = self
+                .flows
+                .iter()
+                .filter(|f| {
+                    f.remaining <= self.config.completion_eps || f.path.is_empty()
+                })
+                .map(|f| f.id)
+                .collect();
+            // Also: newly activated coflows may be empty (no flows).
+            let empty_coflows: Vec<CoflowId> = self
+                .active_coflows
+                .iter()
+                .copied()
+                .filter(|c| self.coflows[c].flows.is_empty())
+                .collect();
+            if completed_flow_ids.is_empty() && empty_coflows.is_empty() {
+                return Ok(());
+            }
+            completed_flow_ids.sort_unstable();
+            let mut completed_coflows: Vec<CoflowId> = empty_coflows;
+            for fid in completed_flow_ids {
+                let pos = self.flow_pos.remove(&fid).expect("flow indexed");
+                let flow = self.flows.swap_remove(pos);
+                if let Some(moved) = self.flows.get(pos) {
+                    self.flow_pos.insert(moved.id, pos);
+                }
+                let cf = self
+                    .coflows
+                    .get_mut(&flow.coflow)
+                    .expect("flow's coflow active");
+                let rec = cf
+                    .flows
+                    .iter_mut()
+                    .find(|r| r.id == fid)
+                    .expect("flow recorded in coflow");
+                rec.open = false;
+                rec.bytes_done = flow.size;
+                cf.open_flows -= 1;
+                if cf.open_flows == 0 {
+                    completed_coflows.push(cf.id);
+                }
+            }
+            for cid in completed_coflows {
+                self.complete_coflow(cid)?;
+            }
+            self.rates_dirty = true;
+        }
+    }
+
+    fn complete_coflow(&mut self, cid: CoflowId) -> Result<(), SimError> {
+        let state = self.coflows.remove(&cid).expect("completing active coflow");
+        self.active_coflows.retain(|&c| c != cid);
+        self.result.coflows.push(CoflowResult {
+            id: cid,
+            job: state.job,
+            dag_vertex: state.dag_vertex,
+            activated_at: state.activated_at,
+            completed_at: self.now,
+            bytes: state.total_bytes,
+        });
+        self.scheduler.on_coflow_completed(cid, state.job, self.now);
+        let job_id = state.job;
+        let vertex = state.dag_vertex;
+        let to_activate: Vec<usize>;
+        let job_done: bool;
+        {
+            let js = self.jobs_state.get_mut(&job_id).expect("job active");
+            js.completed[vertex] = true;
+            js.completed_coflows += 1;
+            js.remaining_coflows -= 1;
+            js.completed_stages = js.completed_stages.max(state.dag_stage + 1);
+            js.completed_bytes += state.total_bytes;
+            let dag = self.specs[&job_id].dag();
+            to_activate = dag
+                .parents(vertex)
+                .iter()
+                .copied()
+                .filter(|&p| {
+                    let js2 = &mut *js;
+                    js2.pending_children[p] -= 1;
+                    js2.pending_children[p] == 0
+                })
+                .collect();
+            job_done = js.remaining_coflows == 0;
+        }
+        for p in to_activate {
+            self.activate_coflow(job_id, p)?;
+        }
+        if job_done {
+            let spec = &self.specs[&job_id];
+            let js = self.jobs_state.remove(&job_id).expect("job state");
+            self.result.jobs.push(JobResult {
+                id: job_id,
+                arrival: js.arrival,
+                completed_at: self.now,
+                jct: self.now - js.arrival,
+                total_bytes: spec.total_bytes(),
+                num_stages: spec.num_stages(),
+            });
+            self.scheduler.on_job_completed(job_id, self.now);
+            self.remaining_jobs -= 1;
+        }
+        Ok(())
+    }
+
+    fn build_observation(&self) -> Observation {
+        let mut coflows = Vec::with_capacity(self.active_coflows.len());
+        let mut job_index: HashMap<JobId, usize> = HashMap::new();
+        let mut jobs: Vec<JobObs> = Vec::new();
+        for (ci, cid) in self.active_coflows.iter().enumerate() {
+            let cf = &self.coflows[cid];
+            let mut flows = Vec::with_capacity(cf.flows.len());
+            let mut bytes = 0.0f64;
+            let mut max_flow = 0.0f64;
+            for rec in &cf.flows {
+                let done = if rec.open {
+                    let pos = self.flow_pos[&rec.id];
+                    self.flows[pos].bytes_done()
+                } else {
+                    rec.bytes_done
+                };
+                bytes += done;
+                max_flow = max_flow.max(done);
+                flows.push(FlowObs {
+                    id: rec.id,
+                    bytes_received: done,
+                    open: rec.open,
+                });
+            }
+            coflows.push(CoflowObs {
+                id: cf.id,
+                job: cf.job,
+                dag_vertex: cf.dag_vertex,
+                dag_stage: cf.dag_stage,
+                activated_at: cf.activated_at,
+                open_flows: cf.open_flows,
+                bytes_received: bytes,
+                max_flow_bytes_received: max_flow,
+                flows,
+            });
+            let job_id = cf.job;
+            let j = *job_index.entry(job_id).or_insert_with(|| {
+                let js = &self.jobs_state[&job_id];
+                jobs.push(JobObs {
+                    id: job_id,
+                    arrival: js.arrival,
+                    completed_coflows: js.completed_coflows,
+                    completed_stages: js.completed_stages,
+                    bytes_received: js.completed_bytes,
+                    active_coflows: Vec::new(),
+                });
+                jobs.len() - 1
+            });
+            jobs[j].bytes_received += bytes;
+            jobs[j].active_coflows.push(ci);
+        }
+        Observation {
+            now: self.now,
+            coflows,
+            jobs,
+        }
+    }
+
+    fn reassign_priorities(&mut self) {
+        if self.active_coflows.is_empty() {
+            return;
+        }
+        let obs = self.build_observation();
+        let assignment = {
+            let remaining = |fid: FlowId| {
+                self.flow_pos
+                    .get(&fid)
+                    .map(|&pos| self.flows[pos].remaining)
+            };
+            let flow_size =
+                |fid: FlowId| self.flow_pos.get(&fid).map(|&pos| self.flows[pos].size);
+            let oracle = Oracle {
+                jobs: &self.specs,
+                remaining: &remaining,
+                flow_size: &flow_size,
+            };
+            self.scheduler.assign(&obs, &oracle)
+        };
+        assert_eq!(
+            assignment.len(),
+            obs.coflows.len(),
+            "scheduler must assign a queue to every active coflow"
+        );
+        let nq = self.scheduler.num_queues();
+        let relax = self.scheduler.reprioritizes_live_flows();
+        for (ci, &queue) in assignment.iter().enumerate() {
+            assert!(queue < nq, "assigned queue {queue} out of range ({nq} queues)");
+            let cid = obs.coflows[ci].id;
+            let cf = self.coflows.get_mut(&cid).expect("assigned coflow active");
+            cf.queue = queue;
+            for rec in cf.flows.iter().filter(|r| r.open) {
+                let pos = self.flow_pos[&rec.id];
+                let f = &mut self.flows[pos];
+                let new_queue = if f.fresh || relax {
+                    queue
+                } else {
+                    // Demotions (larger queue index) apply to live flows;
+                    // promotions only affect flows started later.
+                    f.queue.max(queue)
+                };
+                if new_queue != f.queue {
+                    f.queue = new_queue;
+                    self.rates_dirty = true;
+                }
+                f.fresh = false;
+            }
+        }
+    }
+
+    fn recompute_rates(&mut self) {
+        self.rates_dirty = false;
+        self.completion_generation += 1;
+        if self.flows.is_empty() {
+            return;
+        }
+        // Schedulers derive weights from state accumulated in `assign`
+        // (always called before rates are recomputed), so the policy
+        // query does not need a fresh observation.
+        let discipline = match self.scheduler.queue_policy(&Observation::default()) {
+            QueuePolicy::Strict => Discipline::StrictPriority {
+                num_queues: self.scheduler.num_queues(),
+            },
+            QueuePolicy::Weighted(weights) => {
+                assert_eq!(
+                    weights.len(),
+                    self.scheduler.num_queues(),
+                    "one WRR weight per queue required"
+                );
+                Discipline::WeightedRoundRobin { weights }
+            }
+        };
+        let demands: Vec<Demand<'_>> = self
+            .flows
+            .iter()
+            .map(|f| Demand {
+                path: &f.path,
+                queue: f.queue,
+            })
+            .collect();
+        let rates = allocate(&demands, |l| self.fabric.link_capacity(l), &discipline);
+        for (f, r) in self.flows.iter_mut().zip(rates) {
+            f.rate = r;
+        }
+    }
+
+    fn schedule_followups(&mut self) {
+        // Next completion. The event time must be strictly after `now`
+        // in f64, or a sub-epsilon residue would re-fire the same event
+        // with zero progress forever; nudging by one ULP-scale step
+        // costs well under a nanosecond of accuracy.
+        let mut t_next = f64::INFINITY;
+        for f in &self.flows {
+            if f.rate > 1e-15 {
+                let t = self.now + f.remaining / f.rate;
+                if t < t_next {
+                    t_next = t;
+                }
+            }
+        }
+        if t_next.is_finite() {
+            let min_step = self.now.abs() * 1e-14 + 1e-12;
+            if t_next <= self.now + min_step {
+                t_next = self.now + min_step;
+            }
+            self.heap.push(Event {
+                time: t_next,
+                seq: self.seq,
+                kind: EventKind::Completion {
+                    generation: self.completion_generation,
+                },
+            });
+            self.seq += 1;
+        }
+        // Next tick, while anything is in flight.
+        if !self.tick_pending && !self.flows.is_empty() {
+            self.heap.push(Event {
+                time: self.now + self.config.tick_interval,
+                seq: self.seq,
+                kind: EventKind::Tick,
+            });
+            self.seq += 1;
+            self.tick_pending = true;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sched::FifoScheduler;
+    use crate::topology::BigSwitch;
+    use gurita_model::{units::MB, CoflowSpec, FlowSpec, HostId, JobDag};
+
+    fn single_flow_job(id: usize, arrival: f64, src: usize, dst: usize, bytes: f64) -> JobSpec {
+        JobSpec::new(
+            id,
+            arrival,
+            vec![CoflowSpec::new(vec![FlowSpec::new(
+                HostId(src),
+                HostId(dst),
+                bytes,
+            )])],
+            JobDag::chain(1).unwrap(),
+        )
+        .unwrap()
+    }
+
+    fn big_switch_sim() -> Simulation<BigSwitch> {
+        Simulation::new(BigSwitch::new(8, 1.0 * MB), SimConfig::default())
+    }
+
+    #[test]
+    fn single_flow_completes_at_exact_time() {
+        let mut sim = big_switch_sim();
+        let res = sim.run(
+            vec![single_flow_job(0, 0.0, 0, 1, 10.0 * MB)],
+            &mut FifoScheduler::new(1),
+        );
+        assert_eq!(res.jobs.len(), 1);
+        assert!((res.jobs[0].jct - 10.0).abs() < 1e-6, "jct = {}", res.jobs[0].jct);
+        assert_eq!(res.coflows.len(), 1);
+    }
+
+    #[test]
+    fn two_flows_share_a_downlink() {
+        // Both flows into host 2: each gets half the 1 MB/s downlink.
+        let mut sim = big_switch_sim();
+        let jobs = vec![
+            single_flow_job(0, 0.0, 0, 2, 5.0 * MB),
+            single_flow_job(1, 0.0, 1, 2, 5.0 * MB),
+        ];
+        let res = sim.run(jobs, &mut FifoScheduler::new(1));
+        assert_eq!(res.jobs.len(), 2);
+        for j in &res.jobs {
+            assert!((j.jct - 10.0).abs() < 1e-6, "jct = {}", j.jct);
+        }
+    }
+
+    #[test]
+    fn short_flow_finishes_then_long_flow_speeds_up() {
+        let mut sim = big_switch_sim();
+        let jobs = vec![
+            single_flow_job(0, 0.0, 0, 2, 2.0 * MB),
+            single_flow_job(1, 0.0, 1, 2, 6.0 * MB),
+        ];
+        let res = sim.run(jobs, &mut FifoScheduler::new(1));
+        // Fair share: both at 0.5 until t=4 (short done: 2MB at 0.5),
+        // then long has 4MB left at full rate -> done at t=8.
+        let j0 = res.jobs.iter().find(|j| j.id == JobId(0)).unwrap();
+        let j1 = res.jobs.iter().find(|j| j.id == JobId(1)).unwrap();
+        assert!((j0.jct - 4.0).abs() < 1e-6, "short jct {}", j0.jct);
+        assert!((j1.jct - 8.0).abs() < 1e-6, "long jct {}", j1.jct);
+    }
+
+    #[test]
+    fn staggered_arrivals_are_respected() {
+        let mut sim = big_switch_sim();
+        let jobs = vec![
+            single_flow_job(0, 0.0, 0, 2, 2.0 * MB),
+            single_flow_job(1, 100.0, 1, 3, 2.0 * MB),
+        ];
+        let res = sim.run(jobs, &mut FifoScheduler::new(1));
+        let j1 = res.jobs.iter().find(|j| j.id == JobId(1)).unwrap();
+        assert!((j1.completed_at - 102.0).abs() < 1e-6);
+        assert!((j1.jct - 2.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn chain_job_runs_stages_sequentially() {
+        let coflows = vec![
+            CoflowSpec::new(vec![FlowSpec::new(HostId(0), HostId(1), 3.0 * MB)]),
+            CoflowSpec::new(vec![FlowSpec::new(HostId(1), HostId(2), 2.0 * MB)]),
+        ];
+        let job = JobSpec::new(0, 0.0, coflows, JobDag::chain(2).unwrap()).unwrap();
+        let mut sim = big_switch_sim();
+        let res = sim.run(vec![job], &mut FifoScheduler::new(1));
+        assert!((res.jobs[0].jct - 5.0).abs() < 1e-6, "jct {}", res.jobs[0].jct);
+        assert_eq!(res.coflows.len(), 2);
+        // Stage 1 activates exactly when stage 0 completes.
+        let c0 = res.coflows.iter().find(|c| c.dag_vertex == 0).unwrap();
+        let c1 = res.coflows.iter().find(|c| c.dag_vertex == 1).unwrap();
+        assert!((c1.activated_at - c0.completed_at).abs() < 1e-9);
+    }
+
+    #[test]
+    fn parallel_chains_advance_independently() {
+        // Two chains joined by a root: chain A short, chain B long; A's
+        // second stage must start before B's first finishes.
+        let coflows = vec![
+            CoflowSpec::new(vec![FlowSpec::new(HostId(0), HostId(1), 1.0 * MB)]), // A0
+            CoflowSpec::new(vec![FlowSpec::new(HostId(1), HostId(2), 1.0 * MB)]), // A1
+            CoflowSpec::new(vec![FlowSpec::new(HostId(3), HostId(4), 8.0 * MB)]), // B0
+            CoflowSpec::new(vec![FlowSpec::new(HostId(4), HostId(5), 1.0 * MB)]), // B1
+            CoflowSpec::new(vec![FlowSpec::new(HostId(5), HostId(6), 1.0 * MB)]), // root
+        ];
+        let dag = JobDag::new(5, &[(0, 1), (2, 3), (1, 4), (3, 4)]).unwrap();
+        let job = JobSpec::new(0, 0.0, coflows, dag).unwrap();
+        let mut sim = big_switch_sim();
+        let res = sim.run(vec![job], &mut FifoScheduler::new(1));
+        let a1 = res.coflows.iter().find(|c| c.dag_vertex == 1).unwrap();
+        let b0 = res.coflows.iter().find(|c| c.dag_vertex == 2).unwrap();
+        assert!(
+            a1.activated_at < b0.completed_at,
+            "parallel chain A stalled behind B"
+        );
+        // JCT: chain B dominates (8 + 1), then root (1): 10s total.
+        assert!((res.jobs[0].jct - 10.0).abs() < 1e-6, "jct {}", res.jobs[0].jct);
+    }
+
+    #[test]
+    fn local_flows_complete_instantly() {
+        let mut sim = big_switch_sim();
+        let res = sim.run(
+            vec![single_flow_job(0, 1.0, 3, 3, 4.0 * MB)],
+            &mut FifoScheduler::new(1),
+        );
+        assert!(res.jobs[0].jct.abs() < 1e-9);
+    }
+
+    #[test]
+    fn conservation_of_bytes() {
+        let mut sim = big_switch_sim();
+        let jobs = vec![
+            single_flow_job(0, 0.0, 0, 2, 3.0 * MB),
+            single_flow_job(1, 0.5, 1, 2, 4.0 * MB),
+        ];
+        let total: f64 = jobs.iter().map(|j| j.total_bytes()).sum();
+        let res = sim.run(jobs, &mut FifoScheduler::new(1));
+        let delivered: f64 = res.coflows.iter().map(|c| c.bytes).sum();
+        assert!((delivered - total).abs() < 1.0);
+    }
+
+    #[test]
+    fn event_budget_guard_fires() {
+        let mut sim = Simulation::new(
+            BigSwitch::new(8, 1.0 * MB),
+            SimConfig {
+                max_events: 2,
+                ..SimConfig::default()
+            },
+        );
+        let jobs = vec![
+            single_flow_job(0, 0.0, 0, 2, 30.0 * MB),
+            single_flow_job(1, 0.0, 1, 2, 30.0 * MB),
+        ];
+        let err = sim.try_run(jobs, &mut FifoScheduler::new(1)).unwrap_err();
+        assert_eq!(err, SimError::EventBudgetExhausted { max_events: 2 });
+    }
+
+    #[test]
+    fn link_stats_account_carried_bytes() {
+        let mut sim = Simulation::new(
+            BigSwitch::new(8, 1.0 * MB),
+            SimConfig {
+                collect_link_stats: true,
+                ..SimConfig::default()
+            },
+        );
+        let res = sim.run(
+            vec![single_flow_job(0, 0.0, 0, 1, 3.0 * MB)],
+            &mut FifoScheduler::new(1),
+        );
+        // Uplink of host 0 and downlink of host 1 each carried ~3 MB.
+        assert_eq!(res.link_bytes.len(), 2);
+        for &(_, bytes) in &res.link_bytes {
+            assert!((bytes - 3.0 * MB).abs() < 1.0, "carried {bytes}");
+        }
+        // Disabled by default.
+        let mut sim = Simulation::new(BigSwitch::new(8, 1.0 * MB), SimConfig::default());
+        let res = sim.run(
+            vec![single_flow_job(0, 0.0, 0, 1, MB)],
+            &mut FifoScheduler::new(1),
+        );
+        assert!(res.link_bytes.is_empty());
+    }
+
+    #[test]
+    fn makespan_and_event_counts_recorded() {
+        let mut sim = big_switch_sim();
+        let res = sim.run(
+            vec![single_flow_job(0, 0.0, 0, 1, MB)],
+            &mut FifoScheduler::new(1),
+        );
+        assert!(res.makespan >= 1.0 - 1e-6);
+        assert!(res.events >= 2);
+        assert_eq!(res.scheduler, "fifo");
+    }
+}

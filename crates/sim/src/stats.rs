@@ -1,0 +1,195 @@
+//! Simulation result records.
+
+use gurita_model::{CoflowId, JobId, SizeCategory};
+use serde::{Deserialize, Serialize};
+
+/// Completion record of one coflow.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct CoflowResult {
+    /// The coflow's identifier.
+    pub id: CoflowId,
+    /// The owning job.
+    pub job: JobId,
+    /// DAG vertex index within the job.
+    pub dag_vertex: usize,
+    /// Time the coflow was activated (all children completed).
+    pub activated_at: f64,
+    /// Time the last flow of the coflow completed.
+    pub completed_at: f64,
+    /// Total bytes the coflow transferred.
+    pub bytes: f64,
+}
+
+impl CoflowResult {
+    /// Coflow completion time (CCT): activation to completion.
+    pub fn cct(&self) -> f64 {
+        self.completed_at - self.activated_at
+    }
+}
+
+/// Completion record of one job.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct JobResult {
+    /// The job's identifier.
+    pub id: JobId,
+    /// Arrival time.
+    pub arrival: f64,
+    /// Time the last root coflow completed.
+    pub completed_at: f64,
+    /// Job completion time (completion − arrival).
+    pub jct: f64,
+    /// Total bytes the job sent, used for Table 1 categorization.
+    pub total_bytes: f64,
+    /// Number of stages in the job.
+    pub num_stages: usize,
+}
+
+impl JobResult {
+    /// The job's Table 1 size category.
+    pub fn category(&self) -> SizeCategory {
+        SizeCategory::of_bytes(self.total_bytes)
+    }
+}
+
+/// Result of one simulation run.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct RunResult {
+    /// Name of the scheduler that produced this run.
+    pub scheduler: String,
+    /// Per-job completion records, in completion order.
+    pub jobs: Vec<JobResult>,
+    /// Per-coflow completion records, in completion order.
+    pub coflows: Vec<CoflowResult>,
+    /// Simulation time at which the last job completed.
+    pub makespan: f64,
+    /// Number of events processed (diagnostics).
+    pub events: u64,
+    /// Bytes carried per link over the whole run, sorted descending —
+    /// populated only when `SimConfig::collect_link_stats` is set
+    /// (identifies hot links; divide by capacity × makespan for mean
+    /// utilization).
+    #[serde(default)]
+    pub link_bytes: Vec<(usize, f64)>,
+}
+
+impl RunResult {
+    /// Average job completion time across all jobs; 0 for an empty run.
+    pub fn avg_jct(&self) -> f64 {
+        if self.jobs.is_empty() {
+            0.0
+        } else {
+            self.jobs.iter().map(|j| j.jct).sum::<f64>() / self.jobs.len() as f64
+        }
+    }
+
+    /// Average coflow completion time across all coflows; 0 if none.
+    pub fn avg_cct(&self) -> f64 {
+        if self.coflows.is_empty() {
+            0.0
+        } else {
+            self.coflows.iter().map(|c| c.cct()).sum::<f64>() / self.coflows.len() as f64
+        }
+    }
+
+    /// Average JCT restricted to one size category; `None` when the
+    /// category is empty.
+    pub fn avg_jct_in(&self, cat: SizeCategory) -> Option<f64> {
+        let v: Vec<f64> = self
+            .jobs
+            .iter()
+            .filter(|j| j.category() == cat)
+            .map(|j| j.jct)
+            .collect();
+        if v.is_empty() {
+            None
+        } else {
+            Some(v.iter().sum::<f64>() / v.len() as f64)
+        }
+    }
+
+    /// The `p`-th percentile of JCT (`0.0 ..= 1.0`); `None` on empty runs.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p` is outside `[0, 1]`.
+    pub fn jct_percentile(&self, p: f64) -> Option<f64> {
+        assert!((0.0..=1.0).contains(&p), "percentile must be in [0,1]");
+        if self.jobs.is_empty() {
+            return None;
+        }
+        let mut v: Vec<f64> = self.jobs.iter().map(|j| j.jct).collect();
+        v.sort_by(|a, b| a.partial_cmp(b).expect("JCTs are finite"));
+        let idx = ((v.len() - 1) as f64 * p).round() as usize;
+        Some(v[idx])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gurita_model::units::MB;
+
+    fn job(id: usize, jct: f64, bytes: f64) -> JobResult {
+        JobResult {
+            id: JobId(id),
+            arrival: 0.0,
+            completed_at: jct,
+            jct,
+            total_bytes: bytes,
+            num_stages: 1,
+        }
+    }
+
+    #[test]
+    fn averages() {
+        let r = RunResult {
+            scheduler: "x".into(),
+            jobs: vec![job(0, 2.0, 10.0 * MB), job(1, 4.0, 200.0 * MB)],
+            coflows: vec![],
+            makespan: 4.0,
+            events: 0,
+            link_bytes: vec![],
+        };
+        assert_eq!(r.avg_jct(), 3.0);
+        assert_eq!(r.avg_jct_in(SizeCategory::I), Some(2.0));
+        assert_eq!(r.avg_jct_in(SizeCategory::II), Some(4.0));
+        assert_eq!(r.avg_jct_in(SizeCategory::VII), None);
+    }
+
+    #[test]
+    fn empty_run_is_benign() {
+        let r = RunResult::default();
+        assert_eq!(r.avg_jct(), 0.0);
+        assert_eq!(r.avg_cct(), 0.0);
+        assert_eq!(r.jct_percentile(0.5), None);
+    }
+
+    #[test]
+    fn percentiles() {
+        let r = RunResult {
+            scheduler: "x".into(),
+            jobs: (1..=100).map(|i| job(i, i as f64, MB)).collect(),
+            coflows: vec![],
+            makespan: 100.0,
+            events: 0,
+            link_bytes: vec![],
+        };
+        assert_eq!(r.jct_percentile(0.0), Some(1.0));
+        assert_eq!(r.jct_percentile(1.0), Some(100.0));
+        let median = r.jct_percentile(0.5).unwrap();
+        assert!((49.0..=51.0).contains(&median));
+    }
+
+    #[test]
+    fn cct_is_activation_relative() {
+        let c = CoflowResult {
+            id: CoflowId(0),
+            job: JobId(0),
+            dag_vertex: 0,
+            activated_at: 3.0,
+            completed_at: 7.5,
+            bytes: MB,
+        };
+        assert_eq!(c.cct(), 4.5);
+    }
+}

@@ -1,0 +1,141 @@
+//! Exponentially-spaced priority thresholds.
+//!
+//! The paper maps a job's per-stage blocking effect Ψ_J(s) onto the `K`
+//! priority queues of commodity switches through a set of thresholds
+//! θ_0 < θ_1 < … determined "using exponentially-spaced as recommended
+//! by \[Aalo\]": a coflow transmits in queue `q` while
+//! θ_{q−1} < Ψ_J(s) ≤ θ_q, is demoted as Ψ grows past each θ, and is
+//! assigned the lowest queue once Ψ exceeds the last threshold.
+
+use serde::{Deserialize, Serialize};
+
+/// An exponentially-spaced threshold ladder: `θ_q = base × factor^q`.
+///
+/// # Example
+///
+/// ```
+/// use gurita_sim::thresholds::ThresholdLadder;
+/// let t = ThresholdLadder::exponential(4, 1e7, 10.0);
+/// assert_eq!(t.num_queues(), 4);
+/// assert_eq!(t.queue_for(0.0), 0);       // nothing observed yet
+/// assert_eq!(t.queue_for(5e6), 0);
+/// assert_eq!(t.queue_for(5e7), 1);
+/// assert_eq!(t.queue_for(5e9), 3);       // beyond the ladder: lowest
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ThresholdLadder {
+    /// θ_0 … θ_{K−2}; queue K−1 is everything above the last value.
+    thresholds: Vec<f64>,
+}
+
+impl ThresholdLadder {
+    /// Builds a ladder for `num_queues` queues with `θ_q = base ×
+    /// factor^q` for `q = 0 … num_queues−2`.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `num_queues >= 1`, `base > 0`, and `factor > 1`.
+    pub fn exponential(num_queues: usize, base: f64, factor: f64) -> Self {
+        assert!(num_queues >= 1, "at least one queue required");
+        assert!(base > 0.0, "base threshold must be positive");
+        assert!(factor > 1.0, "factor must exceed 1");
+        let thresholds = (0..num_queues.saturating_sub(1))
+            .map(|q| base * factor.powi(q as i32))
+            .collect();
+        Self { thresholds }
+    }
+
+    /// Builds a ladder from explicit ascending thresholds; queues =
+    /// `thresholds.len() + 1`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if thresholds are not strictly ascending and positive.
+    pub fn from_thresholds(thresholds: Vec<f64>) -> Self {
+        for w in thresholds.windows(2) {
+            assert!(w[0] < w[1], "thresholds must be strictly ascending");
+        }
+        if let Some(&first) = thresholds.first() {
+            assert!(first > 0.0, "thresholds must be positive");
+        }
+        Self { thresholds }
+    }
+
+    /// Number of priority queues this ladder distinguishes.
+    pub fn num_queues(&self) -> usize {
+        self.thresholds.len() + 1
+    }
+
+    /// The queue for a blocking-effect (or accumulated-bytes) value:
+    /// the first queue whose threshold the value does not exceed.
+    pub fn queue_for(&self, value: f64) -> usize {
+        self.thresholds
+            .iter()
+            .position(|&t| value <= t)
+            .unwrap_or(self.thresholds.len())
+    }
+
+    /// The raw thresholds (θ_0 … θ_{K−2}).
+    pub fn thresholds(&self) -> &[f64] {
+        &self.thresholds
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exponential_spacing() {
+        let t = ThresholdLadder::exponential(4, 10.0, 10.0);
+        assert_eq!(t.thresholds(), &[10.0, 100.0, 1000.0]);
+        assert_eq!(t.num_queues(), 4);
+    }
+
+    #[test]
+    fn queue_mapping_is_monotone() {
+        let t = ThresholdLadder::exponential(8, 1.0, 2.0);
+        let mut last = 0;
+        for i in 0..20 {
+            let q = t.queue_for(1.5f64.powi(i));
+            assert!(q >= last, "demotion only as value grows");
+            last = q;
+        }
+        assert_eq!(t.queue_for(f64::INFINITY), 7);
+    }
+
+    #[test]
+    fn boundaries_are_inclusive_below() {
+        let t = ThresholdLadder::exponential(3, 10.0, 10.0);
+        assert_eq!(t.queue_for(10.0), 0);
+        assert_eq!(t.queue_for(10.0 + 1e-9), 1);
+        assert_eq!(t.queue_for(100.0), 1);
+        assert_eq!(t.queue_for(100.1), 2);
+    }
+
+    #[test]
+    fn single_queue_ladder() {
+        let t = ThresholdLadder::exponential(1, 5.0, 2.0);
+        assert_eq!(t.num_queues(), 1);
+        assert_eq!(t.queue_for(1e18), 0);
+    }
+
+    #[test]
+    fn explicit_thresholds() {
+        let t = ThresholdLadder::from_thresholds(vec![1.0, 5.0, 7.0]);
+        assert_eq!(t.num_queues(), 4);
+        assert_eq!(t.queue_for(6.0), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "ascending")]
+    fn rejects_unordered_thresholds() {
+        let _ = ThresholdLadder::from_thresholds(vec![5.0, 2.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "factor")]
+    fn rejects_non_expanding_factor() {
+        let _ = ThresholdLadder::exponential(4, 1.0, 1.0);
+    }
+}

@@ -1,0 +1,460 @@
+//! Datacenter fabrics.
+//!
+//! Two fabrics are provided:
+//!
+//! * [`FatTree`] — the k-pod fat-tree of Al-Fares et al. (SIGCOMM'08)
+//!   used in the paper's evaluation (8 pods: 128 servers / 80 switches;
+//!   48 pods: 27 648 servers / 2 880 switches), with ECMP multipath
+//!   routing;
+//! * [`BigSwitch`] — the non-blocking "datacenter fabric as one big
+//!   switch" abstraction (only host NICs can be bottlenecks) used by the
+//!   coflow literature for analysis.
+//!
+//! Both implement [`Fabric`], which the runtime uses to resolve a flow's
+//! endpoints into a sequence of directed, capacitated links.
+
+use crate::SimError;
+use gurita_model::{units, HostId};
+
+/// Identifier of a directed link within a fabric.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct LinkId(pub usize);
+
+impl LinkId {
+    /// Raw index of the link.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0
+    }
+}
+
+/// A datacenter fabric: a set of directed, capacitated links plus a
+/// routing function mapping flow endpoints to a path.
+///
+/// Implementations must be deterministic: the same `(src, dst, salt)`
+/// triple always yields the same path (this is how ECMP's per-flow
+/// hashing is modeled — `salt` is derived from the flow identifier).
+pub trait Fabric {
+    /// Number of hosts (server NICs).
+    fn num_hosts(&self) -> usize;
+
+    /// Total number of directed links.
+    fn num_links(&self) -> usize;
+
+    /// Capacity of link `l` in bytes per second.
+    ///
+    /// # Panics
+    ///
+    /// May panic if `l` is out of range.
+    fn link_capacity(&self, l: LinkId) -> f64;
+
+    /// Computes the routed path from `src` to `dst` for a flow with ECMP
+    /// salt `salt`. Returns an empty path when `src == dst` (a host-local
+    /// transfer consumes no fabric capacity).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::UnknownHost`] if either endpoint is out of
+    /// range.
+    fn path(&self, src: HostId, dst: HostId, salt: u64) -> Result<Vec<LinkId>, SimError>;
+}
+
+/// Deterministic 64-bit mix (splitmix64 finalizer) used for ECMP hashing.
+#[inline]
+fn mix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    x ^ (x >> 31)
+}
+
+/// A k-pod fat-tree fabric with ECMP routing.
+///
+/// For an even pod count `k`:
+///
+/// * hosts: `k^3 / 4`;
+/// * edge switches: `k^2 / 2`; aggregation switches: `k^2 / 2`;
+///   core switches: `k^2 / 4` (total `5k^2 / 4` switches);
+/// * every link (host↔edge, edge↔agg, agg↔core) has the same capacity —
+///   10 Gbit/s by default, as in the paper.
+///
+/// # Example
+///
+/// ```
+/// use gurita_sim::topology::{Fabric, FatTree};
+/// let small = FatTree::new(8)?;   // the paper's trace-driven fabric
+/// assert_eq!(small.num_hosts(), 128);
+/// assert_eq!(small.num_switches(), 80);
+/// let large = FatTree::new(48)?;  // the paper's bursty large-scale fabric
+/// assert_eq!(large.num_hosts(), 27_648);
+/// assert_eq!(large.num_switches(), 2_880);
+/// # Ok::<(), gurita_sim::SimError>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct FatTree {
+    k: usize,
+    half_k: usize,
+    num_hosts: usize,
+    capacity: f64,
+    /// Capacity divisor for the edge→agg and agg→core layers (1.0 =
+    /// full bisection, the classic rearrangeably non-blocking fat-tree).
+    oversubscription: f64,
+}
+
+impl FatTree {
+    /// Builds a fat-tree with `k` pods and 10 Gbit/s links.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::InvalidPodCount`] unless `k` is even and ≥ 2.
+    pub fn new(k: usize) -> Result<Self, SimError> {
+        Self::with_capacity(k, units::GBPS_10)
+    }
+
+    /// Builds a fat-tree with `k` pods and the given per-link capacity in
+    /// bytes per second.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::InvalidPodCount`] unless `k` is even and ≥ 2.
+    pub fn with_capacity(k: usize, capacity: f64) -> Result<Self, SimError> {
+        if k < 2 || k % 2 != 0 {
+            return Err(SimError::InvalidPodCount { k });
+        }
+        Ok(Self {
+            k,
+            half_k: k / 2,
+            num_hosts: k * k * k / 4,
+            capacity,
+            oversubscription: 1.0,
+        })
+    }
+
+    /// Returns a copy with the aggregation/core layers oversubscribed by
+    /// `ratio` (e.g. 4.0 models the common 4:1 oversubscription — the
+    /// fabric layers above the edge carry a quarter of the bisection a
+    /// full fat-tree would). Host↔edge links keep full line rate.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `ratio >= 1`.
+    pub fn with_oversubscription(mut self, ratio: f64) -> Self {
+        assert!(ratio >= 1.0, "oversubscription ratio must be >= 1");
+        self.oversubscription = ratio;
+        self
+    }
+
+    /// The pod count.
+    pub fn k(&self) -> usize {
+        self.k
+    }
+
+    /// Total number of switches (`5k^2/4`).
+    pub fn num_switches(&self) -> usize {
+        5 * self.k * self.k / 4
+    }
+
+    /// Pod containing host `h`.
+    fn pod_of(&self, h: usize) -> usize {
+        h / (self.half_k * self.half_k)
+    }
+
+    /// Edge switch (within its pod) serving host `h`.
+    fn edge_of(&self, h: usize) -> usize {
+        (h % (self.half_k * self.half_k)) / self.half_k
+    }
+
+    /// Global edge-switch index serving host `h`.
+    fn global_edge_of(&self, h: usize) -> usize {
+        self.pod_of(h) * self.half_k + self.edge_of(h)
+    }
+
+    // Link-id layout (H = num_hosts, hk = k/2):
+    //   [0,    H)  host h -> its edge switch
+    //   [H,   2H)  edge switch -> host h
+    //   [2H,  3H)  edge(p,e) -> agg(p,a)   index p*hk^2 + e*hk + a
+    //   [3H,  4H)  agg(p,a) -> edge(p,e)   index p*hk^2 + e*hk + a
+    //   [4H,  5H)  agg(p,a) -> core(a,c)   index p*hk^2 + a*hk + c
+    //   [5H,  6H)  core(a,c) -> agg(p,a)   index p*hk^2 + a*hk + c
+    fn link_host_up(&self, h: usize) -> LinkId {
+        LinkId(h)
+    }
+    fn link_host_down(&self, h: usize) -> LinkId {
+        LinkId(self.num_hosts + h)
+    }
+    fn link_edge_to_agg(&self, pod: usize, edge: usize, agg: usize) -> LinkId {
+        LinkId(2 * self.num_hosts + pod * self.half_k * self.half_k + edge * self.half_k + agg)
+    }
+    fn link_agg_to_edge(&self, pod: usize, edge: usize, agg: usize) -> LinkId {
+        LinkId(3 * self.num_hosts + pod * self.half_k * self.half_k + edge * self.half_k + agg)
+    }
+    fn link_agg_to_core(&self, pod: usize, agg: usize, core: usize) -> LinkId {
+        LinkId(4 * self.num_hosts + pod * self.half_k * self.half_k + agg * self.half_k + core)
+    }
+    fn link_core_to_agg(&self, pod: usize, agg: usize, core: usize) -> LinkId {
+        LinkId(5 * self.num_hosts + pod * self.half_k * self.half_k + agg * self.half_k + core)
+    }
+
+    fn check_host(&self, h: HostId) -> Result<usize, SimError> {
+        if h.index() >= self.num_hosts {
+            Err(SimError::UnknownHost {
+                host: h.index(),
+                num_hosts: self.num_hosts,
+            })
+        } else {
+            Ok(h.index())
+        }
+    }
+}
+
+impl Fabric for FatTree {
+    fn num_hosts(&self) -> usize {
+        self.num_hosts
+    }
+
+    fn num_links(&self) -> usize {
+        6 * self.num_hosts
+    }
+
+    fn link_capacity(&self, l: LinkId) -> f64 {
+        assert!(l.index() < self.num_links(), "link out of range");
+        if l.index() < 2 * self.num_hosts {
+            self.capacity // host<->edge: full line rate
+        } else {
+            self.capacity / self.oversubscription
+        }
+    }
+
+    fn path(&self, src: HostId, dst: HostId, salt: u64) -> Result<Vec<LinkId>, SimError> {
+        let s = self.check_host(src)?;
+        let d = self.check_host(dst)?;
+        if s == d {
+            return Ok(Vec::new());
+        }
+        let (sp, se) = (self.pod_of(s), self.edge_of(s));
+        let (dp, de) = (self.pod_of(d), self.edge_of(d));
+        if self.global_edge_of(s) == self.global_edge_of(d) {
+            // Same edge switch: up and straight back down.
+            return Ok(vec![self.link_host_up(s), self.link_host_down(d)]);
+        }
+        let h = mix64(
+            (s as u64) ^ (d as u64).rotate_left(21) ^ salt.rotate_left(42),
+        );
+        let agg = (h % self.half_k as u64) as usize;
+        if sp == dp {
+            // Intra-pod: bounce off one aggregation switch.
+            return Ok(vec![
+                self.link_host_up(s),
+                self.link_edge_to_agg(sp, se, agg),
+                self.link_agg_to_edge(sp, de, agg),
+                self.link_host_down(d),
+            ]);
+        }
+        let core = ((h / self.half_k as u64) % self.half_k as u64) as usize;
+        Ok(vec![
+            self.link_host_up(s),
+            self.link_edge_to_agg(sp, se, agg),
+            self.link_agg_to_core(sp, agg, core),
+            self.link_core_to_agg(dp, agg, core),
+            self.link_agg_to_edge(dp, de, agg),
+            self.link_host_down(d),
+        ])
+    }
+}
+
+/// The non-blocking big-switch abstraction: every host connects to one
+/// giant crossbar, so a flow only traverses its sender's uplink and its
+/// receiver's downlink. Contention happens exclusively at host NICs.
+///
+/// # Example
+///
+/// ```
+/// use gurita_model::HostId;
+/// use gurita_sim::topology::{BigSwitch, Fabric};
+/// let fabric = BigSwitch::new(4, 1.0e9);
+/// let path = fabric.path(HostId(0), HostId(3), 0)?;
+/// assert_eq!(path.len(), 2); // uplink + downlink
+/// # Ok::<(), gurita_sim::SimError>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct BigSwitch {
+    num_hosts: usize,
+    capacity: f64,
+}
+
+impl BigSwitch {
+    /// Creates a big switch connecting `num_hosts` hosts with per-NIC
+    /// capacity `capacity` bytes per second.
+    pub fn new(num_hosts: usize, capacity: f64) -> Self {
+        Self {
+            num_hosts,
+            capacity,
+        }
+    }
+}
+
+impl Fabric for BigSwitch {
+    fn num_hosts(&self) -> usize {
+        self.num_hosts
+    }
+
+    fn num_links(&self) -> usize {
+        2 * self.num_hosts
+    }
+
+    fn link_capacity(&self, l: LinkId) -> f64 {
+        assert!(l.index() < self.num_links(), "link out of range");
+        self.capacity
+    }
+
+    fn path(&self, src: HostId, dst: HostId, _salt: u64) -> Result<Vec<LinkId>, SimError> {
+        for h in [src, dst] {
+            if h.index() >= self.num_hosts {
+                return Err(SimError::UnknownHost {
+                    host: h.index(),
+                    num_hosts: self.num_hosts,
+                });
+            }
+        }
+        if src == dst {
+            return Ok(Vec::new());
+        }
+        // Uplink of src is link src; downlink of dst is num_hosts + dst.
+        Ok(vec![
+            LinkId(src.index()),
+            LinkId(self.num_hosts + dst.index()),
+        ])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rejects_bad_pod_counts() {
+        assert!(FatTree::new(0).is_err());
+        assert!(FatTree::new(3).is_err());
+        assert!(FatTree::new(2).is_ok());
+    }
+
+    #[test]
+    fn paper_scale_counts() {
+        let f8 = FatTree::new(8).unwrap();
+        assert_eq!(f8.num_hosts(), 128);
+        assert_eq!(f8.num_switches(), 80);
+        let f48 = FatTree::new(48).unwrap();
+        assert_eq!(f48.num_hosts(), 27_648);
+        assert_eq!(f48.num_switches(), 2_880);
+    }
+
+    #[test]
+    fn oversubscription_trims_upper_layers_only() {
+        let f = FatTree::new(4).unwrap().with_oversubscription(4.0);
+        let h = f.num_hosts();
+        assert_eq!(f.link_capacity(LinkId(0)), units::GBPS_10);
+        assert_eq!(f.link_capacity(LinkId(h)), units::GBPS_10);
+        assert_eq!(f.link_capacity(LinkId(2 * h)), units::GBPS_10 / 4.0);
+        assert_eq!(f.link_capacity(LinkId(5 * h)), units::GBPS_10 / 4.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "ratio")]
+    fn rejects_sub_unity_oversubscription() {
+        let _ = FatTree::new(4).unwrap().with_oversubscription(0.5);
+    }
+
+    #[test]
+    fn default_capacity_is_10g() {
+        let f = FatTree::new(4).unwrap();
+        assert_eq!(f.link_capacity(LinkId(0)), units::GBPS_10);
+    }
+
+    #[test]
+    fn path_lengths_by_locality() {
+        let f = FatTree::new(4).unwrap();
+        // k=4: 16 hosts, 2 hosts per edge, pods of 4 hosts.
+        assert!(f.path(HostId(0), HostId(0), 1).unwrap().is_empty());
+        assert_eq!(f.path(HostId(0), HostId(1), 1).unwrap().len(), 2); // same edge
+        assert_eq!(f.path(HostId(0), HostId(2), 1).unwrap().len(), 4); // same pod
+        assert_eq!(f.path(HostId(0), HostId(5), 1).unwrap().len(), 6); // cross pod
+    }
+
+    #[test]
+    fn paths_are_deterministic_and_salt_sensitive() {
+        let f = FatTree::new(8).unwrap();
+        let p1 = f.path(HostId(0), HostId(100), 7).unwrap();
+        let p2 = f.path(HostId(0), HostId(100), 7).unwrap();
+        assert_eq!(p1, p2);
+        // Different salts should eventually pick a different path.
+        let distinct: std::collections::HashSet<Vec<LinkId>> = (0..64)
+            .map(|s| f.path(HostId(0), HostId(100), s).unwrap())
+            .collect();
+        assert!(distinct.len() > 1, "ECMP should spread across paths");
+    }
+
+    #[test]
+    fn all_path_links_in_range() {
+        let f = FatTree::new(4).unwrap();
+        for s in 0..f.num_hosts() {
+            for d in 0..f.num_hosts() {
+                for salt in [0u64, 9, 1234] {
+                    let p = f.path(HostId(s), HostId(d), salt).unwrap();
+                    for l in &p {
+                        assert!(l.index() < f.num_links());
+                    }
+                    // Path endpoints: first link is src uplink, last is dst downlink.
+                    if !p.is_empty() {
+                        assert_eq!(p[0], LinkId(s));
+                        assert_eq!(*p.last().unwrap(), LinkId(f.num_hosts() + d));
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn cross_pod_path_uses_consistent_core_wiring() {
+        let f = FatTree::new(8).unwrap();
+        // For any cross-pod path, the agg->core and core->agg links must
+        // reference the same (agg, core) pair on both sides.
+        for salt in 0..32u64 {
+            let p = f.path(HostId(0), HostId(127), salt).unwrap();
+            assert_eq!(p.len(), 6);
+            let h = f.num_hosts();
+            let up_core = p[2].index() - 4 * h;
+            let down_core = p[3].index() - 5 * h;
+            let hk2 = f.half_k * f.half_k;
+            assert_eq!(up_core % hk2, down_core % hk2);
+        }
+    }
+
+    #[test]
+    fn unknown_host_is_rejected() {
+        let f = FatTree::new(4).unwrap();
+        assert!(matches!(
+            f.path(HostId(0), HostId(99), 0),
+            Err(SimError::UnknownHost { host: 99, .. })
+        ));
+        let b = BigSwitch::new(4, 1.0);
+        assert!(b.path(HostId(4), HostId(0), 0).is_err());
+    }
+
+    #[test]
+    fn big_switch_paths() {
+        let b = BigSwitch::new(8, 2.0);
+        assert!(b.path(HostId(1), HostId(1), 0).unwrap().is_empty());
+        let p = b.path(HostId(1), HostId(6), 0).unwrap();
+        assert_eq!(p, vec![LinkId(1), LinkId(14)]);
+        assert_eq!(b.num_links(), 16);
+        assert_eq!(b.link_capacity(LinkId(3)), 2.0);
+    }
+
+    #[test]
+    fn mix64_spreads_bits() {
+        let a = mix64(1);
+        let b = mix64(2);
+        assert_ne!(a, b);
+        assert_ne!(a & 0xffff, b & 0xffff);
+    }
+}

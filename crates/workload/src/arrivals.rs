@@ -1,0 +1,146 @@
+//! Job arrival processes.
+//!
+//! Two regimes from the paper's evaluation:
+//!
+//! * steady trace replay — Poisson arrivals at a configurable mean
+//!   inter-arrival gap;
+//! * bursty — "jobs arrive within 2 microseconds intervals" in batches,
+//!   with long idle gaps between batches (the Benson et al. IMC'10
+//!   on/off pattern the paper cites).
+
+use crate::dist::exponential;
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// An arrival process generating monotone non-decreasing timestamps.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum ArrivalProcess {
+    /// Poisson arrivals with the given mean inter-arrival gap (seconds).
+    Poisson {
+        /// Mean gap between consecutive arrivals.
+        mean_gap: f64,
+    },
+    /// Batches of `burst_size` jobs separated by `intra_gap` seconds
+    /// within a burst (the paper uses 2 µs) and exponential gaps of mean
+    /// `inter_gap` between bursts.
+    Bursty {
+        /// Jobs per burst.
+        burst_size: usize,
+        /// Gap between jobs inside a burst.
+        intra_gap: f64,
+        /// Mean gap between bursts.
+        inter_gap: f64,
+    },
+    /// All jobs arrive at time zero (offline / batch analysis).
+    Simultaneous,
+}
+
+impl ArrivalProcess {
+    /// Generates `n` arrival timestamps starting at time 0.
+    ///
+    /// # Panics
+    ///
+    /// Panics if gap parameters are not positive (where required) or
+    /// `burst_size == 0`.
+    pub fn timestamps<R: Rng + ?Sized>(&self, rng: &mut R, n: usize) -> Vec<f64> {
+        match *self {
+            ArrivalProcess::Poisson { mean_gap } => {
+                assert!(mean_gap > 0.0, "mean gap must be positive");
+                let mut t = 0.0;
+                (0..n)
+                    .map(|_| {
+                        t += exponential(rng, mean_gap);
+                        t
+                    })
+                    .collect()
+            }
+            ArrivalProcess::Bursty {
+                burst_size,
+                intra_gap,
+                inter_gap,
+            } => {
+                assert!(burst_size > 0, "burst size must be at least 1");
+                assert!(intra_gap >= 0.0, "intra gap must be non-negative");
+                assert!(inter_gap > 0.0, "inter gap must be positive");
+                let mut out = Vec::with_capacity(n);
+                let mut t = 0.0;
+                while out.len() < n {
+                    for i in 0..burst_size {
+                        if out.len() >= n {
+                            break;
+                        }
+                        out.push(t + i as f64 * intra_gap);
+                    }
+                    t += burst_size as f64 * intra_gap + exponential(rng, inter_gap);
+                }
+                out
+            }
+            ArrivalProcess::Simultaneous => vec![0.0; n],
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gurita_model::units::MICROS;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn poisson_is_monotone_with_correct_mean() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let ts = ArrivalProcess::Poisson { mean_gap: 0.5 }.timestamps(&mut rng, 10_000);
+        assert!(ts.windows(2).all(|w| w[1] >= w[0]));
+        let mean_gap = ts.last().unwrap() / ts.len() as f64;
+        assert!((mean_gap - 0.5).abs() < 0.05, "gap {mean_gap}");
+    }
+
+    #[test]
+    fn bursty_packs_jobs_tightly() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let p = ArrivalProcess::Bursty {
+            burst_size: 10,
+            intra_gap: 2.0 * MICROS,
+            inter_gap: 1.0,
+        };
+        let ts = p.timestamps(&mut rng, 100);
+        assert_eq!(ts.len(), 100);
+        assert!(ts.windows(2).all(|w| w[1] >= w[0]));
+        // Within a burst, gaps are exactly 2 µs.
+        for b in 0..10 {
+            for i in 1..10 {
+                let gap = ts[b * 10 + i] - ts[b * 10 + i - 1];
+                assert!((gap - 2.0 * MICROS).abs() < 1e-12, "gap {gap}");
+            }
+        }
+        // Between bursts, gaps are macroscopic.
+        let inter = ts[10] - ts[9];
+        assert!(inter > 1e-3, "inter-burst gap {inter}");
+    }
+
+    #[test]
+    fn simultaneous_is_all_zero() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let ts = ArrivalProcess::Simultaneous.timestamps(&mut rng, 5);
+        assert_eq!(ts, vec![0.0; 5]);
+    }
+
+    #[test]
+    fn partial_burst_tail() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let p = ArrivalProcess::Bursty {
+            burst_size: 7,
+            intra_gap: 1e-6,
+            inter_gap: 0.5,
+        };
+        assert_eq!(p.timestamps(&mut rng, 10).len(), 10);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn poisson_rejects_zero_gap() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let _ = ArrivalProcess::Poisson { mean_gap: 0.0 }.timestamps(&mut rng, 1);
+    }
+}

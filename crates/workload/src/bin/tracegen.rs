@@ -1,0 +1,146 @@
+//! Workload generation CLI: synthesizes a seeded workload and writes it
+//! as JSON (lossless) or in the FB coflow-benchmark text format.
+//!
+//! ```sh
+//! cargo run --release -p gurita-workload --bin tracegen -- \
+//!     --jobs 200 --hosts 128 --seed 7 --structure tpcds \
+//!     --format json --out trace.json
+//! ```
+
+use gurita_workload::arrivals::ArrivalProcess;
+use gurita_workload::dags::StructureKind;
+use gurita_workload::generator::{JobGenerator, WorkloadConfig};
+use gurita_workload::trace;
+
+struct Options {
+    jobs: usize,
+    hosts: usize,
+    seed: u64,
+    structure: StructureKind,
+    bursty: bool,
+    format: Format,
+    out: Option<String>,
+}
+
+#[derive(PartialEq)]
+enum Format {
+    Json,
+    FbText,
+}
+
+fn parse() -> Result<Options, String> {
+    let mut opts = Options {
+        jobs: 100,
+        hosts: 128,
+        seed: 42,
+        structure: StructureKind::ProductionMix,
+        bursty: false,
+        format: Format::Json,
+        out: None,
+    };
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let mut it = argv.iter();
+    while let Some(arg) = it.next() {
+        let mut next = |what: &str| {
+            it.next()
+                .cloned()
+                .ok_or_else(|| format!("{what} requires a value"))
+        };
+        match arg.as_str() {
+            "--jobs" => {
+                opts.jobs = next("--jobs")?
+                    .parse()
+                    .map_err(|_| "bad --jobs".to_string())?
+            }
+            "--hosts" => {
+                opts.hosts = next("--hosts")?
+                    .parse()
+                    .map_err(|_| "bad --hosts".to_string())?
+            }
+            "--seed" => {
+                opts.seed = next("--seed")?
+                    .parse()
+                    .map_err(|_| "bad --seed".to_string())?
+            }
+            "--structure" => {
+                opts.structure = match next("--structure")?.as_str() {
+                    "fbtao" => StructureKind::FbTao,
+                    "tpcds" => StructureKind::TpcDs,
+                    "mix" => StructureKind::ProductionMix,
+                    "single" => StructureKind::SingleStage,
+                    other => return Err(format!("unknown structure `{other}`")),
+                }
+            }
+            "--bursty" => opts.bursty = true,
+            "--format" => {
+                opts.format = match next("--format")?.as_str() {
+                    "json" => Format::Json,
+                    "fbtext" => Format::FbText,
+                    other => return Err(format!("unknown format `{other}`")),
+                }
+            }
+            "--out" => opts.out = Some(next("--out")?),
+            "--help" | "-h" => return Err(usage()),
+            other => return Err(format!("unknown flag `{other}`\n{}", usage())),
+        }
+    }
+    if opts.jobs == 0 || opts.hosts == 0 {
+        return Err("--jobs and --hosts must be positive".into());
+    }
+    Ok(opts)
+}
+
+fn usage() -> String {
+    "usage: tracegen [--jobs N] [--hosts N] [--seed S] \
+     [--structure fbtao|tpcds|mix|single] [--bursty] \
+     [--format json|fbtext] [--out FILE]"
+        .to_owned()
+}
+
+fn main() {
+    let opts = match parse() {
+        Ok(o) => o,
+        Err(msg) => {
+            eprintln!("{msg}");
+            std::process::exit(2);
+        }
+    };
+    let mut config = WorkloadConfig {
+        num_jobs: opts.jobs,
+        num_hosts: opts.hosts,
+        structure: opts.structure,
+        ..WorkloadConfig::default()
+    };
+    if opts.bursty {
+        config.arrivals = ArrivalProcess::Bursty {
+            burst_size: 25,
+            intra_gap: 2e-6,
+            inter_gap: 4.0,
+        };
+    }
+    let jobs = JobGenerator::new(config, opts.seed).generate();
+    let payload = match opts.format {
+        Format::Json => match trace::to_json(&jobs) {
+            Ok(s) => s,
+            Err(e) => {
+                eprintln!("serialization failed: {e}");
+                std::process::exit(1);
+            }
+        },
+        Format::FbText => trace::to_fb_text(&jobs),
+    };
+    match opts.out {
+        Some(path) => {
+            if let Err(e) = std::fs::write(&path, payload) {
+                eprintln!("could not write {path}: {e}");
+                std::process::exit(1);
+            }
+            eprintln!(
+                "wrote {} jobs ({} coflows) to {path}",
+                jobs.len(),
+                jobs.iter().map(|j| j.coflows().len()).sum::<usize>()
+            );
+        }
+        None => println!("{payload}"),
+    }
+}

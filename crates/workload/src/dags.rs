@@ -1,0 +1,465 @@
+//! DAG structure templates.
+//!
+//! The Facebook trace records coflows but not inter-coflow dependencies,
+//! so the paper "utilize\[s\] industrial benchmark\[s\] … TPC-DS query-42
+//! and Facebook Tao structure to generate DAG structure\[s\]", each DAG
+//! vertex being a replication of a trace coflow. This module provides
+//! those two templates plus the production shape mix reported by
+//! Microsoft's Graphene study \[28\]: ~40% trees; "W", chain, inverted-V
+//! and multi-root shapes; average depth 5, tails beyond 10.
+//!
+//! A [`DagTemplate`] couples the [`JobDag`] with per-vertex *byte
+//! fractions* (how the job's total bytes split across coflows — scans are
+//! heavy, final aggregates are light, on-and-off jobs alternate) and
+//! *width scales* (fan-out hints — leaf shuffles are wide, roots narrow).
+
+use crate::dist::{jittered_split, Discrete};
+use gurita_model::{DagShape, JobDag};
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// Which DAG family a workload draws from.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum StructureKind {
+    /// Facebook TAO structure: wide, shallow fan-in trees (read-heavy
+    /// cache-association pattern) — the paper's "FB-Tao".
+    FbTao,
+    /// TPC-DS query-42 star-schema query plan — the paper's "TPC-DS".
+    TpcDs,
+    /// The Graphene production mix (trees, chains, "W", inverted-V,
+    /// parallel chains, multi-root).
+    ProductionMix,
+    /// Single-stage jobs (plain coflows) — the degenerate case every
+    /// TBS scheduler was designed for; useful for sanity baselines.
+    SingleStage,
+}
+
+/// A job-structure template: the DAG plus per-vertex byte and width
+/// profiles.
+#[derive(Debug, Clone)]
+pub struct DagTemplate {
+    /// The dependency DAG.
+    pub dag: JobDag,
+    /// Fraction of the job's total bytes carried by each vertex's
+    /// coflow; positive, sums to 1.
+    pub byte_fraction: Vec<f64>,
+    /// Relative width multiplier per vertex (1.0 = the job's base
+    /// width).
+    pub width_scale: Vec<f64>,
+}
+
+impl DagTemplate {
+    fn validate(self) -> Self {
+        let n = self.dag.num_vertices();
+        assert_eq!(self.byte_fraction.len(), n, "one byte fraction per vertex");
+        assert_eq!(self.width_scale.len(), n, "one width scale per vertex");
+        let sum: f64 = self.byte_fraction.iter().sum();
+        debug_assert!((sum - 1.0).abs() < 1e-6, "byte fractions must sum to 1");
+        self
+    }
+}
+
+/// The TPC-DS query-42 plan as a coflow DAG.
+///
+/// Star-schema aggregation query: `store_sales` joins `date_dim`, the
+/// result joins `item`, then aggregate and sort. Six shuffles:
+///
+/// ```text
+///   scan_ss(0)  scan_dd(1)      scan_item(2)
+///        \        /                 |
+///        join1(3) ------------------+
+///                 \                 |
+///                  join2(4) --------+
+///                     |
+///                 agg+sort(5)
+/// ```
+///
+/// Fact-table scans dominate the bytes; dimension scans and the final
+/// aggregate are small — the "transmits more bytes in early stages"
+/// profile TBS schedulers punish.
+pub fn tpcds_query42() -> DagTemplate {
+    let dag = JobDag::new(6, &[(0, 3), (1, 3), (3, 4), (2, 4), (4, 5)])
+        .expect("static query-42 DAG is valid");
+    DagTemplate {
+        dag,
+        byte_fraction: vec![0.55, 0.02, 0.03, 0.25, 0.12, 0.03],
+        width_scale: vec![2.0, 0.5, 0.5, 1.0, 0.75, 0.25],
+    }
+    .validate()
+}
+
+/// A Facebook-TAO-style structure: `width` wide leaf coflows (the
+/// read/association fan-out), aggregating pairwise through a middle tier
+/// into a root — wide and shallow, with the bytes front-loaded in the
+/// leaves.
+///
+/// # Panics
+///
+/// Panics unless `width >= 2`.
+pub fn fb_tao(width: usize) -> DagTemplate {
+    assert!(width >= 2, "TAO fan-in needs at least two leaves");
+    let mids = 2usize;
+    let n = width + mids + 1;
+    let mut edges = Vec::new();
+    for l in 0..width {
+        edges.push((l, width + (l % mids)));
+    }
+    edges.push((width, n - 1));
+    edges.push((width + 1, n - 1));
+    let dag = JobDag::new(n, &edges).expect("static TAO DAG is valid");
+    // Leaves carry 80% of the bytes, mids 15%, root 5%.
+    let mut byte_fraction = vec![0.80 / width as f64; width];
+    byte_fraction.extend(std::iter::repeat(0.15 / mids as f64).take(mids));
+    byte_fraction.push(0.05);
+    let mut width_scale = vec![1.5; width];
+    width_scale.extend(std::iter::repeat(0.75).take(mids));
+    width_scale.push(0.25);
+    DagTemplate {
+        dag,
+        byte_fraction,
+        width_scale,
+    }
+    .validate()
+}
+
+/// TPC-DS query-52 — a sibling star-schema plan (date_dim ⋈
+/// store_sales ⋈ item, group-by, order-by) with one fewer join level
+/// than query-42: both scans feed a single join, then aggregate+sort.
+/// Included so the CD workload family has more than one plan shape.
+pub fn tpcds_query52() -> DagTemplate {
+    // scan_ss(0), scan_dd(1), scan_item(2) -> join(3) -> agg_sort(4)
+    let dag = JobDag::new(5, &[(0, 3), (1, 3), (2, 3), (3, 4)])
+        .expect("static query-52 DAG is valid");
+    DagTemplate {
+        dag,
+        byte_fraction: vec![0.60, 0.03, 0.05, 0.27, 0.05],
+        width_scale: vec![2.0, 0.5, 0.5, 1.0, 0.25],
+    }
+    .validate()
+}
+
+/// A generic star-join plan: one fact-table scan joined against
+/// `dimensions` dimension scans through a chain of `dimensions` join
+/// stages, then a final aggregate. Models the broader Cloudera SQL
+/// workload family the paper's CD benchmark represents.
+///
+/// # Panics
+///
+/// Panics unless `dimensions >= 1`.
+pub fn star_join(dimensions: usize) -> DagTemplate {
+    assert!(dimensions >= 1, "a star join needs at least one dimension");
+    // Vertices: fact scan (0), dim scans (1..=d), joins (d+1..=2d),
+    // aggregate (2d+1).
+    let d = dimensions;
+    let n = 2 * d + 2;
+    let mut edges = Vec::new();
+    // First join consumes the fact scan and dim 1.
+    edges.push((0, d + 1));
+    edges.push((1, d + 1));
+    // Each later join consumes the previous join and the next dim.
+    for j in 1..d {
+        edges.push((d + j, d + 1 + j));
+        edges.push((1 + j, d + 1 + j));
+    }
+    edges.push((2 * d, n - 1));
+    let dag = JobDag::new(n, &edges).expect("star-join DAG is valid");
+    // Fact scan dominates; join outputs shrink geometrically.
+    let mut byte_fraction = vec![0.0; n];
+    byte_fraction[0] = 0.50;
+    for i in 0..d {
+        byte_fraction[1 + i] = 0.10 / d as f64; // dimension scans
+    }
+    let mut join_share = 0.35;
+    let mut total_join = 0.0;
+    for j in 0..d {
+        byte_fraction[d + 1 + j] = join_share;
+        total_join += join_share;
+        join_share /= 2.0;
+    }
+    // Normalize joins into the 0.35 budget and give the rest to agg.
+    for j in 0..d {
+        byte_fraction[d + 1 + j] *= 0.35 / total_join;
+    }
+    byte_fraction[n - 1] = 0.05;
+    let mut width_scale = vec![1.0; n];
+    width_scale[0] = 2.0;
+    for i in 0..d {
+        width_scale[1 + i] = 0.5;
+    }
+    for j in 0..d {
+        width_scale[d + 1 + j] = (1.0 - 0.15 * j as f64).max(0.3);
+    }
+    width_scale[n - 1] = 0.25;
+    DagTemplate {
+        dag,
+        byte_fraction,
+        width_scale,
+    }
+    .validate()
+}
+
+/// A linear ETL pipeline: `stages` sequential transforms with a heavy
+/// ingest stage and progressively shrinking outputs — the chain-shaped
+/// production job of the Graphene study.
+///
+/// # Panics
+///
+/// Panics unless `stages >= 1`.
+pub fn etl_chain(stages: usize) -> DagTemplate {
+    assert!(stages >= 1, "an ETL chain needs at least one stage");
+    let dag = JobDag::chain(stages).expect("chain is valid");
+    let mut raw: Vec<f64> = (0..stages).map(|s| 0.5f64.powi(s as i32)).collect();
+    let total: f64 = raw.iter().sum();
+    for b in &mut raw {
+        *b /= total;
+    }
+    let width_scale: Vec<f64> = (0..stages)
+        .map(|s| (1.5 - 0.2 * s as f64).max(0.3))
+        .collect();
+    DagTemplate {
+        dag,
+        byte_fraction: raw,
+        width_scale,
+    }
+    .validate()
+}
+
+/// Samples a production-mix shape per the Graphene study: ~40% trees,
+/// the remainder split across chains, "W" shapes, inverted-V, parallel
+/// chains, and multi-root structures; average depth around 5 stages,
+/// occasionally exceeding 10.
+pub fn production_shape<R: Rng + ?Sized>(rng: &mut R) -> DagShape {
+    // tree 40%, chain 15%, W 10%, inverted-V 10%, parallel chains 15%,
+    // multi-root 10%.
+    let pick = Discrete::new(&[0.40, 0.15, 0.10, 0.10, 0.15, 0.10]);
+    match pick.sample(rng) {
+        0 => DagShape::Tree {
+            depth: rng.gen_range(2..=4),
+            fan_in: rng.gen_range(2..=3),
+        },
+        1 => DagShape::Chain {
+            // Depth-heavy: mean ≈ 5, tail to 12.
+            len: 2 + (crate::dist::bounded_pareto(rng, 1.0, 10.0, 1.3) as usize),
+        },
+        2 => DagShape::WShape,
+        3 => DagShape::InvertedV {
+            width: rng.gen_range(2..=8),
+        },
+        4 => DagShape::ParallelChains {
+            chains: rng.gen_range(2..=4),
+            len: rng.gen_range(2..=5),
+        },
+        _ => DagShape::MultiRoot {
+            roots: rng.gen_range(2..=3),
+            width: rng.gen_range(2..=6),
+        },
+    }
+}
+
+/// Builds a template for an arbitrary shape with randomized byte
+/// fractions: stage byte weights follow an "on-and-off" profile (each
+/// stage is heavy or light), then bytes split jitter-evenly among the
+/// stage's vertices.
+pub fn template_for_shape<R: Rng + ?Sized>(rng: &mut R, shape: DagShape) -> DagTemplate {
+    let dag = JobDag::from_shape(shape).expect("catalog shapes are valid");
+    template_for_dag(rng, dag)
+}
+
+/// Builds a randomized on-and-off byte profile for an existing DAG.
+pub fn template_for_dag<R: Rng + ?Sized>(rng: &mut R, dag: JobDag) -> DagTemplate {
+    let stages = dag.num_stages();
+    // On-and-off: each stage is "heavy" (weight 1) or "light"
+    // (weight 0.1); at least one stage is heavy by construction.
+    let mut stage_weight: Vec<f64> = (0..stages)
+        .map(|_| if rng.gen_bool(0.5) { 1.0 } else { 0.1 })
+        .collect();
+    let heavy = rng.gen_range(0..stages);
+    stage_weight[heavy] = 1.0;
+    let total_w: f64 = (0..stages)
+        .map(|s| stage_weight[s] * dag.vertices_in_stage(s).len().max(1) as f64)
+        .sum();
+    let mut byte_fraction = vec![0.0; dag.num_vertices()];
+    for s in 0..stages {
+        let verts = dag.vertices_in_stage(s);
+        if verts.is_empty() {
+            continue;
+        }
+        let stage_total = stage_weight[s] * verts.len() as f64 / total_w;
+        let split = jittered_split(rng, stage_total, verts.len(), 0.5);
+        for (v, b) in verts.into_iter().zip(split) {
+            byte_fraction[v] = b;
+        }
+    }
+    // Widths shrink toward the roots (aggregation narrows data).
+    let width_scale: Vec<f64> = (0..dag.num_vertices())
+        .map(|v| {
+            let s = dag.stage_of(v) as f64;
+            (1.5 / (1.0 + 0.5 * s)).max(0.2)
+        })
+        .collect();
+    DagTemplate {
+        dag,
+        byte_fraction,
+        width_scale,
+    }
+    .validate()
+}
+
+/// Builds a template according to the structure family.
+pub fn sample_template<R: Rng + ?Sized>(rng: &mut R, kind: StructureKind) -> DagTemplate {
+    match kind {
+        StructureKind::TpcDs => tpcds_query42(),
+        StructureKind::FbTao => fb_tao(rng.gen_range(3..=8)),
+        StructureKind::ProductionMix => {
+            let shape = production_shape(rng);
+            template_for_shape(rng, shape)
+        }
+        StructureKind::SingleStage => DagTemplate {
+            dag: JobDag::chain(1).expect("single vertex chain"),
+            byte_fraction: vec![1.0],
+            width_scale: vec![1.0],
+        }
+        .validate(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn query42_profile() {
+        let t = tpcds_query42();
+        assert_eq!(t.dag.num_vertices(), 6);
+        assert_eq!(t.dag.num_stages(), 4);
+        assert_eq!(t.dag.leaves(), vec![0, 1, 2]);
+        assert_eq!(t.dag.roots(), vec![5]);
+        let sum: f64 = t.byte_fraction.iter().sum();
+        assert!((sum - 1.0).abs() < 1e-9);
+        // Fact scan dominates; final stage is light (the TBS trap).
+        assert!(t.byte_fraction[0] > 0.5);
+        assert!(t.byte_fraction[5] < 0.05);
+    }
+
+    #[test]
+    fn fb_tao_is_wide_and_shallow() {
+        let t = fb_tao(6);
+        assert_eq!(t.dag.num_vertices(), 9);
+        assert_eq!(t.dag.num_stages(), 3);
+        assert_eq!(t.dag.leaves().len(), 6);
+        let leaf_bytes: f64 = (0..6).map(|v| t.byte_fraction[v]).sum();
+        assert!(leaf_bytes > 0.7, "leaves must carry most bytes");
+    }
+
+    #[test]
+    #[should_panic(expected = "two leaves")]
+    fn fb_tao_rejects_degenerate_width() {
+        let _ = fb_tao(1);
+    }
+
+    #[test]
+    fn query52_is_one_join_shallower_than_query42() {
+        let q52 = tpcds_query52();
+        let q42 = tpcds_query42();
+        assert_eq!(q52.dag.num_stages() + 1, q42.dag.num_stages());
+        assert_eq!(q52.dag.leaves().len(), 3);
+        let sum: f64 = q52.byte_fraction.iter().sum();
+        assert!((sum - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn star_join_scales_with_dimensions() {
+        for d in 1..=4 {
+            let t = star_join(d);
+            assert_eq!(t.dag.num_vertices(), 2 * d + 2);
+            assert_eq!(t.dag.leaves().len(), d + 1, "fact + d dims");
+            assert_eq!(t.dag.roots().len(), 1);
+            let sum: f64 = t.byte_fraction.iter().sum();
+            assert!((sum - 1.0).abs() < 1e-9, "d={d} sum {sum}");
+            // Depth: d joins + agg + leaf layer.
+            assert_eq!(t.dag.num_stages(), d + 2);
+        }
+    }
+
+    #[test]
+    fn etl_chain_front_loads_bytes() {
+        let t = etl_chain(5);
+        assert_eq!(t.dag.num_stages(), 5);
+        for w in t.byte_fraction.windows(2) {
+            assert!(w[0] > w[1], "bytes must shrink along the chain");
+        }
+        let sum: f64 = t.byte_fraction.iter().sum();
+        assert!((sum - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "dimension")]
+    fn star_join_rejects_zero_dims() {
+        let _ = star_join(0);
+    }
+
+    #[test]
+    fn production_mix_depth_distribution() {
+        let mut rng = StdRng::seed_from_u64(10);
+        let mut depth_sum = 0usize;
+        let mut trees = 0usize;
+        let n = 2000;
+        let mut max_depth = 0;
+        for _ in 0..n {
+            let shape = production_shape(&mut rng);
+            if matches!(shape, DagShape::Tree { .. }) {
+                trees += 1;
+            }
+            let dag = JobDag::from_shape(shape).unwrap();
+            depth_sum += dag.num_stages();
+            max_depth = max_depth.max(dag.num_stages());
+        }
+        let avg_depth = depth_sum as f64 / n as f64;
+        assert!(
+            (2.5..=6.0).contains(&avg_depth),
+            "average depth should be near 5-ish, got {avg_depth}"
+        );
+        assert!(max_depth >= 8, "deep chains must occur, max {max_depth}");
+        let tree_frac = trees as f64 / n as f64;
+        assert!((tree_frac - 0.40).abs() < 0.05, "tree fraction {tree_frac}");
+    }
+
+    #[test]
+    fn templates_are_internally_consistent() {
+        let mut rng = StdRng::seed_from_u64(20);
+        for kind in [
+            StructureKind::FbTao,
+            StructureKind::TpcDs,
+            StructureKind::ProductionMix,
+            StructureKind::SingleStage,
+        ] {
+            for _ in 0..50 {
+                let t = sample_template(&mut rng, kind);
+                assert_eq!(t.byte_fraction.len(), t.dag.num_vertices());
+                assert_eq!(t.width_scale.len(), t.dag.num_vertices());
+                let sum: f64 = t.byte_fraction.iter().sum();
+                assert!((sum - 1.0).abs() < 1e-6, "{kind:?} sum {sum}");
+                assert!(t.byte_fraction.iter().all(|&b| b > 0.0));
+                assert!(t.width_scale.iter().all(|&w| w > 0.0));
+            }
+        }
+    }
+
+    #[test]
+    fn on_and_off_profiles_vary_across_stages() {
+        let mut rng = StdRng::seed_from_u64(30);
+        let mut saw_skew = false;
+        for _ in 0..50 {
+            let t = template_for_shape(&mut rng, DagShape::Chain { len: 6 });
+            let max = t.byte_fraction.iter().copied().fold(0.0, f64::max);
+            let min = t.byte_fraction.iter().copied().fold(f64::INFINITY, f64::min);
+            if max / min > 5.0 {
+                saw_skew = true;
+                break;
+            }
+        }
+        assert!(saw_skew, "on-and-off stage skew should appear");
+    }
+}

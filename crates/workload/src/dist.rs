@@ -1,0 +1,257 @@
+//! Sampling primitives used by the workload generators.
+//!
+//! Only `rand`'s uniform sources are assumed; the heavy-tailed and
+//! normal-family samplers are implemented here (inverse-CDF for Pareto
+//! and exponential, Box–Muller for lognormal) to keep the dependency set
+//! minimal.
+
+use rand::Rng;
+
+/// Samples a bounded Pareto variate in `[lo, hi]` with tail index
+/// `alpha` — the canonical heavy-tailed model for flow and coflow sizes.
+///
+/// # Panics
+///
+/// Panics unless `0 < lo < hi` and `alpha > 0`.
+pub fn bounded_pareto<R: Rng + ?Sized>(rng: &mut R, lo: f64, hi: f64, alpha: f64) -> f64 {
+    assert!(lo > 0.0 && hi > lo, "need 0 < lo < hi");
+    assert!(alpha > 0.0, "alpha must be positive");
+    let u: f64 = rng.gen_range(0.0..1.0);
+    let la = lo.powf(alpha);
+    let ha = hi.powf(alpha);
+    // Inverse CDF of the bounded Pareto distribution.
+    let x = (-(u * ha - u * la - ha) / (ha * la)).powf(-1.0 / alpha);
+    x.clamp(lo, hi)
+}
+
+/// Samples an exponential variate with the given `mean`.
+///
+/// # Panics
+///
+/// Panics unless `mean > 0`.
+pub fn exponential<R: Rng + ?Sized>(rng: &mut R, mean: f64) -> f64 {
+    assert!(mean > 0.0, "mean must be positive");
+    let u: f64 = rng.gen_range(f64::MIN_POSITIVE..1.0);
+    -mean * u.ln()
+}
+
+/// Samples a lognormal variate with the given log-space mean `mu` and
+/// log-space standard deviation `sigma` (Box–Muller).
+///
+/// # Panics
+///
+/// Panics unless `sigma >= 0`.
+pub fn lognormal<R: Rng + ?Sized>(rng: &mut R, mu: f64, sigma: f64) -> f64 {
+    assert!(sigma >= 0.0, "sigma must be non-negative");
+    let u1: f64 = rng.gen_range(f64::MIN_POSITIVE..1.0);
+    let u2: f64 = rng.gen_range(0.0..1.0);
+    let z = (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos();
+    (mu + sigma * z).exp()
+}
+
+/// Samples log-uniformly in `[lo, hi]`: each decade is equally likely,
+/// which is how the seven Table 1 categories (6 MB → >1 TB) stay
+/// populated without the tail dominating.
+///
+/// # Panics
+///
+/// Panics unless `0 < lo <= hi`.
+pub fn log_uniform<R: Rng + ?Sized>(rng: &mut R, lo: f64, hi: f64) -> f64 {
+    assert!(lo > 0.0 && hi >= lo, "need 0 < lo <= hi");
+    if lo == hi {
+        return lo;
+    }
+    let x: f64 = rng.gen_range(lo.ln()..=hi.ln());
+    x.exp()
+}
+
+/// A discrete distribution over `0..weights.len()` with the given
+/// (unnormalized) weights.
+#[derive(Debug, Clone)]
+pub struct Discrete {
+    cumulative: Vec<f64>,
+}
+
+impl Discrete {
+    /// Builds the distribution from unnormalized weights.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `weights` is empty, contains a negative or non-finite
+    /// weight, or sums to zero.
+    pub fn new(weights: &[f64]) -> Self {
+        assert!(!weights.is_empty(), "at least one weight required");
+        let mut cumulative = Vec::with_capacity(weights.len());
+        let mut acc = 0.0;
+        for &w in weights {
+            assert!(w.is_finite() && w >= 0.0, "weights must be non-negative");
+            acc += w;
+            cumulative.push(acc);
+        }
+        assert!(acc > 0.0, "weights must not all be zero");
+        Self { cumulative }
+    }
+
+    /// Samples an index.
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> usize {
+        let total = *self.cumulative.last().expect("non-empty");
+        let x: f64 = rng.gen_range(0.0..total);
+        match self
+            .cumulative
+            .binary_search_by(|c| c.partial_cmp(&x).expect("finite"))
+        {
+            Ok(i) => (i + 1).min(self.cumulative.len() - 1),
+            Err(i) => i,
+        }
+    }
+
+    /// Number of outcomes.
+    pub fn len(&self) -> usize {
+        self.cumulative.len()
+    }
+
+    /// Whether the distribution has no outcomes (never true: `new`
+    /// rejects empty weight lists).
+    pub fn is_empty(&self) -> bool {
+        self.cumulative.is_empty()
+    }
+}
+
+/// Splits `total` into `parts` positive shares whose relative sizes are
+/// drawn from a symmetric Dirichlet-like jitter around equality:
+/// each share is proportional to `1 + jitter * u_i` with `u_i` uniform in
+/// `[0, 1)`. `jitter = 0` gives exact equality.
+///
+/// # Panics
+///
+/// Panics unless `parts >= 1`, `total > 0`, and `jitter >= 0`.
+pub fn jittered_split<R: Rng + ?Sized>(
+    rng: &mut R,
+    total: f64,
+    parts: usize,
+    jitter: f64,
+) -> Vec<f64> {
+    assert!(parts >= 1, "at least one part");
+    assert!(total > 0.0, "total must be positive");
+    assert!(jitter >= 0.0, "jitter must be non-negative");
+    let raw: Vec<f64> = (0..parts)
+        .map(|_| 1.0 + jitter * rng.gen_range(0.0..1.0))
+        .collect();
+    let sum: f64 = raw.iter().sum();
+    raw.into_iter().map(|r| total * r / sum).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn rng() -> StdRng {
+        StdRng::seed_from_u64(7)
+    }
+
+    #[test]
+    fn bounded_pareto_stays_in_range_and_skews_low() {
+        let mut r = rng();
+        let samples: Vec<f64> = (0..5000)
+            .map(|_| bounded_pareto(&mut r, 1.0, 1000.0, 1.2))
+            .collect();
+        assert!(samples.iter().all(|&x| (1.0..=1000.0).contains(&x)));
+        let below_10 = samples.iter().filter(|&&x| x < 10.0).count();
+        assert!(
+            below_10 > samples.len() / 2,
+            "heavy tail should put most mass near the floor, got {below_10}"
+        );
+        assert!(samples.iter().any(|&x| x > 100.0), "tail must be reachable");
+    }
+
+    #[test]
+    fn exponential_mean_is_close() {
+        let mut r = rng();
+        let n = 20_000;
+        let mean: f64 = (0..n).map(|_| exponential(&mut r, 2.0)).sum::<f64>() / n as f64;
+        assert!((mean - 2.0).abs() < 0.1, "sample mean {mean}");
+    }
+
+    #[test]
+    fn lognormal_is_positive_and_spans_decades() {
+        let mut r = rng();
+        let samples: Vec<f64> = (0..5000).map(|_| lognormal(&mut r, 0.0, 2.0)).collect();
+        assert!(samples.iter().all(|&x| x > 0.0));
+        let min = samples.iter().copied().fold(f64::INFINITY, f64::min);
+        let max = samples.iter().copied().fold(0.0, f64::max);
+        assert!(max / min > 100.0, "sigma=2 should span decades");
+    }
+
+    #[test]
+    fn log_uniform_covers_decades_evenly() {
+        let mut r = rng();
+        let n = 30_000;
+        let mut per_decade = [0usize; 3];
+        for _ in 0..n {
+            let x = log_uniform(&mut r, 1.0, 1000.0);
+            per_decade[(x.log10().floor() as usize).min(2)] += 1;
+        }
+        for &c in &per_decade {
+            let frac = c as f64 / n as f64;
+            assert!((frac - 1.0 / 3.0).abs() < 0.05, "decade fraction {frac}");
+        }
+    }
+
+    #[test]
+    fn log_uniform_degenerate_range() {
+        let mut r = rng();
+        assert_eq!(log_uniform(&mut r, 5.0, 5.0), 5.0);
+    }
+
+    #[test]
+    fn discrete_matches_weights() {
+        let mut r = rng();
+        let d = Discrete::new(&[1.0, 0.0, 3.0]);
+        let n = 40_000;
+        let mut counts = [0usize; 3];
+        for _ in 0..n {
+            counts[d.sample(&mut r)] += 1;
+        }
+        assert_eq!(counts[1], 0);
+        let frac0 = counts[0] as f64 / n as f64;
+        assert!((frac0 - 0.25).abs() < 0.02, "got {frac0}");
+        assert_eq!(d.len(), 3);
+        assert!(!d.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "zero")]
+    fn discrete_rejects_all_zero() {
+        let _ = Discrete::new(&[0.0, 0.0]);
+    }
+
+    #[test]
+    fn jittered_split_conserves_total() {
+        let mut r = rng();
+        for jitter in [0.0, 0.5, 4.0] {
+            let parts = jittered_split(&mut r, 100.0, 7, jitter);
+            assert_eq!(parts.len(), 7);
+            assert!((parts.iter().sum::<f64>() - 100.0).abs() < 1e-9);
+            assert!(parts.iter().all(|&p| p > 0.0));
+        }
+        let equal = jittered_split(&mut r, 10.0, 4, 0.0);
+        for p in equal {
+            assert!((p - 2.5).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn samplers_are_deterministic_per_seed() {
+        let a: Vec<f64> = {
+            let mut r = StdRng::seed_from_u64(99);
+            (0..10).map(|_| bounded_pareto(&mut r, 1.0, 100.0, 1.1)).collect()
+        };
+        let b: Vec<f64> = {
+            let mut r = StdRng::seed_from_u64(99);
+            (0..10).map(|_| bounded_pareto(&mut r, 1.0, 100.0, 1.1)).collect()
+        };
+        assert_eq!(a, b);
+    }
+}

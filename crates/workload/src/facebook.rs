@@ -1,0 +1,276 @@
+//! Facebook-trace coflow synthesizer.
+//!
+//! The paper replays a production coflow trace collected from 150 racks
+//! (3 000 machines) of a Facebook datacenter. That trace is not
+//! redistributable, so this module synthesizes coflows matching its
+//! published shape (Varys \[4\] / Aalo \[5\] describe the trace):
+//!
+//! * coflow *widths* (sender/receiver counts) are heavy-tailed: most
+//!   coflows are narrow (a handful of flows), a small fraction fan out to
+//!   hundreds of ports;
+//! * *flow sizes* are heavy-tailed across many decades: most flows are
+//!   sub-megabyte "mice", while a few elephants carry most of the bytes;
+//! * endpoints are *rack-aware*: senders of one coflow cluster on a rack
+//!   subset (map tasks share machines), receivers spread across racks.
+//!
+//! A synthesized [`TraceCoflow`] carries relative shape only; the DAG
+//! builder scales flow sizes so that job totals land in a target Table 1
+//! category, exactly as the paper's generator replicates trace coflows
+//! into DAG vertices.
+
+use crate::dist::{bounded_pareto, log_uniform};
+use gurita_model::{CoflowSpec, FlowSpec, HostId};
+use rand::Rng;
+
+/// Hosts per rack in the reference 150-rack / 3 000-machine deployment.
+pub const HOSTS_PER_RACK: usize = 20;
+
+/// A synthesized trace coflow: endpoints plus *relative* per-flow byte
+/// weights (they sum to 1).
+#[derive(Debug, Clone)]
+pub struct TraceCoflow {
+    /// (sender, receiver) pairs, one per flow.
+    pub endpoints: Vec<(HostId, HostId)>,
+    /// Relative flow sizes; positive, summing to 1.
+    pub weights: Vec<f64>,
+}
+
+impl TraceCoflow {
+    /// Number of flows (the coflow's width).
+    pub fn width(&self) -> usize {
+        self.endpoints.len()
+    }
+
+    /// Materializes the coflow with a concrete byte total.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `total_bytes > 0`.
+    pub fn materialize(&self, total_bytes: f64) -> CoflowSpec {
+        assert!(total_bytes > 0.0, "total bytes must be positive");
+        CoflowSpec::new(
+            self.endpoints
+                .iter()
+                .zip(&self.weights)
+                .map(|(&(src, dst), &w)| FlowSpec::new(src, dst, (total_bytes * w).max(1.0)))
+                .collect(),
+        )
+    }
+}
+
+/// Synthesizer configuration.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FacebookConfig {
+    /// Number of hosts endpoints are placed on.
+    pub num_hosts: usize,
+    /// Heavy-tail index for coflow width (smaller = heavier tail).
+    pub width_alpha: f64,
+    /// Maximum coflow width (clamped to `num_hosts`).
+    pub max_width: usize,
+    /// Heavy-tail index for relative flow sizes within a coflow.
+    pub flow_alpha: f64,
+}
+
+impl Default for FacebookConfig {
+    fn default() -> Self {
+        Self {
+            num_hosts: 3000,
+            width_alpha: 1.1,
+            max_width: 500,
+            flow_alpha: 1.05,
+        }
+    }
+}
+
+/// Samples coflow shapes mimicking the Facebook trace.
+#[derive(Debug, Clone)]
+pub struct FacebookSampler {
+    config: FacebookConfig,
+}
+
+impl FacebookSampler {
+    /// Creates a sampler for the given configuration.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `num_hosts == 0`.
+    pub fn new(config: FacebookConfig) -> Self {
+        assert!(config.num_hosts > 0, "at least one host required");
+        Self { config }
+    }
+
+    /// The sampler's configuration.
+    pub fn config(&self) -> &FacebookConfig {
+        &self.config
+    }
+
+    /// Samples a coflow width from the heavy-tailed width distribution.
+    pub fn sample_width<R: Rng + ?Sized>(&self, rng: &mut R) -> usize {
+        let cap = self.config.max_width.min(self.config.num_hosts).max(1);
+        let w = bounded_pareto(rng, 1.0, cap as f64, self.config.width_alpha);
+        (w.round() as usize).clamp(1, cap)
+    }
+
+    /// Samples one trace coflow: width, rack-aware endpoints, and
+    /// relative flow weights.
+    pub fn sample_coflow<R: Rng + ?Sized>(&self, rng: &mut R) -> TraceCoflow {
+        let width = self.sample_width(rng);
+        self.sample_coflow_with_width(rng, width)
+    }
+
+    /// Samples a trace coflow with a fixed width.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `width == 0`.
+    pub fn sample_coflow_with_width<R: Rng + ?Sized>(
+        &self,
+        rng: &mut R,
+        width: usize,
+    ) -> TraceCoflow {
+        assert!(width > 0, "coflow width must be at least 1");
+        let n = self.config.num_hosts;
+        // Map tasks (senders) cluster: pick a home rack and spill to
+        // neighbours; reduce tasks (receivers) spread uniformly.
+        let racks = n.div_ceil(HOSTS_PER_RACK);
+        let home_rack = rng.gen_range(0..racks);
+        let mut endpoints = Vec::with_capacity(width);
+        let mut weights = Vec::with_capacity(width);
+        for _ in 0..width {
+            let src_rack = if rng.gen_bool(0.7) {
+                home_rack
+            } else {
+                rng.gen_range(0..racks)
+            };
+            let src = HostId((src_rack * HOSTS_PER_RACK + rng.gen_range(0..HOSTS_PER_RACK)) % n);
+            let mut dst = HostId(rng.gen_range(0..n));
+            // A flow between distinct machines (re-draw a handful of
+            // times; same-host transfers are legal but rare in the trace).
+            for _ in 0..4 {
+                if dst != src {
+                    break;
+                }
+                dst = HostId(rng.gen_range(0..n));
+            }
+            endpoints.push((src, dst));
+            weights.push(bounded_pareto(rng, 1.0, 1e4, self.config.flow_alpha));
+        }
+        let total: f64 = weights.iter().sum();
+        for w in &mut weights {
+            *w /= total;
+        }
+        TraceCoflow { endpoints, weights }
+    }
+
+    /// Samples a standalone single-stage coflow byte total, heavy-tailed
+    /// across the trace's range (100 KB … 100 GB, log-uniform so the tail
+    /// is visited).
+    pub fn sample_coflow_bytes<R: Rng + ?Sized>(&self, rng: &mut R) -> f64 {
+        log_uniform(rng, 1e5, 1e11)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn sampler(hosts: usize) -> FacebookSampler {
+        FacebookSampler::new(FacebookConfig {
+            num_hosts: hosts,
+            ..FacebookConfig::default()
+        })
+    }
+
+    #[test]
+    fn widths_are_bounded_and_heavy_tailed() {
+        let s = sampler(3000);
+        let mut rng = StdRng::seed_from_u64(1);
+        let widths: Vec<usize> = (0..4000).map(|_| s.sample_width(&mut rng)).collect();
+        assert!(widths.iter().all(|&w| (1..=500).contains(&w)));
+        let narrow = widths.iter().filter(|&&w| w <= 10).count();
+        assert!(narrow > widths.len() / 2, "most coflows should be narrow");
+        assert!(widths.iter().any(|&w| w > 50), "wide coflows must occur");
+    }
+
+    #[test]
+    fn width_respects_host_count() {
+        let s = sampler(4);
+        let mut rng = StdRng::seed_from_u64(2);
+        for _ in 0..200 {
+            assert!(s.sample_width(&mut rng) <= 4);
+        }
+    }
+
+    #[test]
+    fn coflow_weights_normalized() {
+        let s = sampler(100);
+        let mut rng = StdRng::seed_from_u64(3);
+        for _ in 0..50 {
+            let c = s.sample_coflow(&mut rng);
+            assert_eq!(c.width(), c.weights.len());
+            let sum: f64 = c.weights.iter().sum();
+            assert!((sum - 1.0).abs() < 1e-9);
+            assert!(c.weights.iter().all(|&w| w > 0.0));
+        }
+    }
+
+    #[test]
+    fn endpoints_in_range() {
+        let s = sampler(60);
+        let mut rng = StdRng::seed_from_u64(4);
+        for _ in 0..50 {
+            let c = s.sample_coflow(&mut rng);
+            for &(src, dst) in &c.endpoints {
+                assert!(src.index() < 60);
+                assert!(dst.index() < 60);
+            }
+        }
+    }
+
+    #[test]
+    fn senders_cluster_on_racks() {
+        let s = sampler(3000);
+        let mut rng = StdRng::seed_from_u64(5);
+        let c = s.sample_coflow_with_width(&mut rng, 200);
+        let mut rack_counts = std::collections::HashMap::new();
+        for &(src, _) in &c.endpoints {
+            *rack_counts.entry(src.index() / HOSTS_PER_RACK).or_insert(0usize) += 1;
+        }
+        let max_rack = rack_counts.values().copied().max().unwrap();
+        assert!(
+            max_rack as f64 > 0.4 * 200.0,
+            "home rack should dominate, got {max_rack}"
+        );
+    }
+
+    #[test]
+    fn materialize_scales_to_total() {
+        let s = sampler(50);
+        let mut rng = StdRng::seed_from_u64(6);
+        let c = s.sample_coflow_with_width(&mut rng, 10);
+        let spec = c.materialize(1e8);
+        assert!((spec.total_bytes() - 1e8).abs() / 1e8 < 1e-3);
+        assert_eq!(spec.width(), 10);
+    }
+
+    #[test]
+    fn coflow_bytes_span_trace_range() {
+        let s = sampler(100);
+        let mut rng = StdRng::seed_from_u64(7);
+        let sizes: Vec<f64> = (0..2000).map(|_| s.sample_coflow_bytes(&mut rng)).collect();
+        assert!(sizes.iter().all(|&b| (1e5..=1e11).contains(&b)));
+        assert!(sizes.iter().any(|&b| b < 1e7));
+        assert!(sizes.iter().any(|&b| b > 1e10));
+    }
+
+    #[test]
+    fn sampling_is_deterministic() {
+        let s = sampler(100);
+        let a = s.sample_coflow(&mut StdRng::seed_from_u64(11));
+        let b = s.sample_coflow(&mut StdRng::seed_from_u64(11));
+        assert_eq!(a.endpoints, b.endpoints);
+        assert_eq!(a.weights, b.weights);
+    }
+}

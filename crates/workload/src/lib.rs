@@ -1,0 +1,50 @@
+//! Workload substrate for the Gurita reproduction.
+//!
+//! The paper evaluates on the Facebook 150-rack (3 000-machine) coflow
+//! trace, shaped into multi-stage DAGs with the TPC-DS query-42 and
+//! Facebook TAO structures, in both steady (trace-replay) and bursty
+//! arrival regimes. The production trace is not redistributable, so this
+//! crate provides a *statistical synthesizer* calibrated to the trace's
+//! published shape (see `DESIGN.md` §2 for the substitution argument):
+//!
+//! * [`facebook`] — heavy-tailed coflow widths and flow sizes with
+//!   rack-aware endpoint placement;
+//! * [`dags`] — DAG templates: [`dags::tpcds_query42`], [`dags::fb_tao`],
+//!   and the production shape mix of Microsoft's Graphene study
+//!   (~40% trees, average depth 5, up to >10 stages);
+//! * [`arrivals`] — Poisson and bursty (2 µs intra-burst) arrival
+//!   processes;
+//! * [`generator`] — the [`generator::JobGenerator`] tying it together
+//!   into reproducible [`JobSpec`](gurita_model::JobSpec) batches;
+//! * [`trace`] — import/export of generated workloads (JSON, plus the
+//!   community `FB2010`-style coflow benchmark text format).
+//!
+//! All sampling is driven by a caller-provided seed; identical
+//! configurations produce identical workloads.
+//!
+//! # Example
+//!
+//! ```
+//! use gurita_workload::generator::{JobGenerator, WorkloadConfig};
+//! use gurita_workload::dags::StructureKind;
+//!
+//! let config = WorkloadConfig {
+//!     num_jobs: 20,
+//!     num_hosts: 128,
+//!     structure: StructureKind::FbTao,
+//!     ..WorkloadConfig::default()
+//! };
+//! let jobs = JobGenerator::new(config, 42).generate();
+//! assert_eq!(jobs.len(), 20);
+//! assert!(jobs.iter().all(|j| j.num_stages() >= 1));
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod arrivals;
+pub mod dags;
+pub mod dist;
+pub mod facebook;
+pub mod generator;
+pub mod trace;

@@ -1,0 +1,307 @@
+//! Workload import/export.
+//!
+//! Two formats:
+//!
+//! * **JSON** — lossless round-trip of [`JobSpec`] batches (our native
+//!   format for pinning a generated workload to disk so that every
+//!   scheduler replays byte-identical input);
+//! * **FB benchmark text** — the community coflow-benchmark format of the
+//!   published Facebook trace (`FB2010-1Hr-150-0.txt`): a header line
+//!   `<num_ports> <num_coflows>` followed by one line per coflow:
+//!   `<id> <arrival_ms> <num_mappers> <m1 ...> <num_reducers>
+//!   <r1:size_mb ...>`. Multi-stage jobs flatten to one record per
+//!   coflow; import produces single-stage jobs (the format carries no
+//!   dependencies — that is exactly why the paper grafts DAG templates
+//!   onto it).
+
+use gurita_model::{units, CoflowSpec, FlowSpec, HostId, JobDag, JobSpec};
+use std::collections::BTreeMap;
+use std::error::Error;
+use std::fmt;
+
+/// Error produced while parsing a trace.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseTraceError {
+    /// 1-based line where parsing failed.
+    pub line: usize,
+    /// What went wrong.
+    pub reason: String,
+}
+
+impl fmt::Display for ParseTraceError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "trace parse error at line {}: {}", self.line, self.reason)
+    }
+}
+
+impl Error for ParseTraceError {}
+
+/// Serializes jobs to JSON.
+///
+/// # Errors
+///
+/// Returns an error if serialization fails (it cannot for well-formed
+/// jobs; the `Result` is forwarded from `serde_json`).
+pub fn to_json(jobs: &[JobSpec]) -> Result<String, serde_json::Error> {
+    serde_json::to_string_pretty(jobs)
+}
+
+/// Deserializes jobs from JSON produced by [`to_json`].
+///
+/// # Errors
+///
+/// Returns an error if the input is not a valid job array.
+pub fn from_json(s: &str) -> Result<Vec<JobSpec>, serde_json::Error> {
+    serde_json::from_str(s)
+}
+
+/// Exports jobs in the FB benchmark text format, one record per coflow
+/// (the format is single-stage: DAG structure is not representable and
+/// is dropped, as documented at module level).
+pub fn to_fb_text(jobs: &[JobSpec]) -> String {
+    let mut lines = Vec::new();
+    let mut max_port = 0usize;
+    let mut records = 0usize;
+    for job in jobs {
+        for (v, cf) in job.coflows().iter().enumerate() {
+            if cf.flows().is_empty() {
+                continue;
+            }
+            records += 1;
+            let arrival_ms = (job.arrival() * 1e3).round() as u64;
+            let mappers: Vec<usize> = {
+                let mut m: Vec<usize> = cf.senders().iter().map(|h| h.index()).collect();
+                m.sort_unstable();
+                m
+            };
+            // Aggregate per-receiver byte totals, as the format requires.
+            let mut reducers: BTreeMap<usize, f64> = BTreeMap::new();
+            for f in cf.flows() {
+                *reducers.entry(f.dst.index()).or_insert(0.0) += f.bytes;
+            }
+            for &p in mappers.iter().chain(reducers.keys()) {
+                max_port = max_port.max(p + 1);
+            }
+            let mut line = format!(
+                "{}-{} {} {}",
+                job.id().index(),
+                v,
+                arrival_ms,
+                mappers.len()
+            );
+            for m in &mappers {
+                line.push_str(&format!(" {m}"));
+            }
+            line.push_str(&format!(" {}", reducers.len()));
+            for (r, bytes) in &reducers {
+                line.push_str(&format!(" {}:{:.3}", r, bytes / units::MB));
+            }
+            lines.push(line);
+        }
+    }
+    let mut out = format!("{max_port} {records}\n");
+    out.push_str(&lines.join("\n"));
+    if !lines.is_empty() {
+        out.push('\n');
+    }
+    out
+}
+
+/// Imports an FB benchmark text trace as single-stage jobs. Each record
+/// becomes one job whose single coflow has one flow per
+/// (first-mapper → reducer) pair sized by the reducer's byte count —
+/// the standard reading of the format, where per-mapper splits are not
+/// recorded.
+///
+/// # Errors
+///
+/// Returns [`ParseTraceError`] on malformed input.
+pub fn from_fb_text(s: &str) -> Result<Vec<JobSpec>, ParseTraceError> {
+    let mut lines = s.lines().enumerate();
+    let (_, header) = lines.next().ok_or(ParseTraceError {
+        line: 1,
+        reason: "empty trace".into(),
+    })?;
+    let mut head_it = header.split_whitespace();
+    let _num_ports: usize = parse_field(&mut head_it, 1, "num_ports")?;
+    let num_coflows: usize = parse_field(&mut head_it, 1, "num_coflows")?;
+    let mut jobs = Vec::with_capacity(num_coflows);
+    for (idx, (lineno0, line)) in lines.enumerate() {
+        let lineno = lineno0 + 1;
+        if line.trim().is_empty() {
+            continue;
+        }
+        let mut it = line.split_whitespace();
+        let _id = it.next().ok_or_else(|| ParseTraceError {
+            line: lineno,
+            reason: "missing coflow id".into(),
+        })?;
+        let arrival_ms: f64 = parse_field(&mut it, lineno, "arrival")?;
+        let num_mappers: usize = parse_field(&mut it, lineno, "num_mappers")?;
+        let mut mappers = Vec::with_capacity(num_mappers);
+        for _ in 0..num_mappers {
+            mappers.push(parse_field::<usize>(&mut it, lineno, "mapper")?);
+        }
+        if mappers.is_empty() {
+            return Err(ParseTraceError {
+                line: lineno,
+                reason: "coflow has no mappers".into(),
+            });
+        }
+        let num_reducers: usize = parse_field(&mut it, lineno, "num_reducers")?;
+        let mut flows = Vec::with_capacity(num_reducers);
+        for _ in 0..num_reducers {
+            let tok = it.next().ok_or_else(|| ParseTraceError {
+                line: lineno,
+                reason: "missing reducer".into(),
+            })?;
+            let (port, mb) = tok.split_once(':').ok_or_else(|| ParseTraceError {
+                line: lineno,
+                reason: format!("reducer token `{tok}` is not port:MB"),
+            })?;
+            let port: usize = port.parse().map_err(|_| ParseTraceError {
+                line: lineno,
+                reason: format!("bad reducer port `{port}`"),
+            })?;
+            let mb: f64 = mb.parse().map_err(|_| ParseTraceError {
+                line: lineno,
+                reason: format!("bad reducer size `{mb}`"),
+            })?;
+            if mb <= 0.0 {
+                continue;
+            }
+            flows.push(FlowSpec::new(
+                HostId(mappers[0]),
+                HostId(port),
+                mb * units::MB,
+            ));
+        }
+        if flows.is_empty() {
+            continue;
+        }
+        let job = JobSpec::new(
+            idx,
+            arrival_ms * units::MILLIS,
+            vec![CoflowSpec::new(flows)],
+            JobDag::chain(1).expect("single vertex"),
+        )
+        .expect("one coflow, one vertex");
+        jobs.push(job);
+    }
+    Ok(jobs)
+}
+
+fn parse_field<T: std::str::FromStr>(
+    it: &mut std::str::SplitWhitespace<'_>,
+    line: usize,
+    what: &str,
+) -> Result<T, ParseTraceError> {
+    let tok = it.next().ok_or_else(|| ParseTraceError {
+        line,
+        reason: format!("missing field `{what}`"),
+    })?;
+    tok.parse().map_err(|_| ParseTraceError {
+        line,
+        reason: format!("bad {what}: `{tok}`"),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generator::{JobGenerator, WorkloadConfig};
+
+    fn sample_jobs() -> Vec<JobSpec> {
+        JobGenerator::new(
+            WorkloadConfig {
+                num_jobs: 8,
+                num_hosts: 64,
+                ..WorkloadConfig::default()
+            },
+            3,
+        )
+        .generate()
+    }
+
+    #[test]
+    fn json_round_trip_is_faithful() {
+        // Structure round-trips exactly; float values round-trip to
+        // within one ULP (the JSON float formatter may differ in the
+        // last decimal digit).
+        let jobs = sample_jobs();
+        let json = to_json(&jobs).unwrap();
+        let back = from_json(&json).unwrap();
+        assert_eq!(jobs.len(), back.len());
+        let close = |a: f64, b: f64| (a - b).abs() <= 1e-12 * a.abs().max(b.abs()).max(1.0);
+        for (a, b) in jobs.iter().zip(&back) {
+            assert_eq!(a.id(), b.id());
+            assert_eq!(a.dag(), b.dag());
+            assert!(close(a.arrival(), b.arrival()));
+            assert_eq!(a.coflows().len(), b.coflows().len());
+            for (ca, cb) in a.coflows().iter().zip(b.coflows()) {
+                assert_eq!(ca.width(), cb.width());
+                for (fa, fb) in ca.flows().iter().zip(cb.flows()) {
+                    assert_eq!(fa.src, fb.src);
+                    assert_eq!(fa.dst, fb.dst);
+                    assert!(close(fa.bytes, fb.bytes));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn fb_text_header_counts_records() {
+        let jobs = sample_jobs();
+        let text = to_fb_text(&jobs);
+        let header = text.lines().next().unwrap();
+        let mut it = header.split_whitespace();
+        let ports: usize = it.next().unwrap().parse().unwrap();
+        let records: usize = it.next().unwrap().parse().unwrap();
+        assert!(ports <= 64);
+        let expected: usize = jobs.iter().map(|j| j.coflows().len()).sum();
+        assert_eq!(records, expected);
+        assert_eq!(text.lines().count(), records + 1);
+    }
+
+    #[test]
+    fn fb_text_round_trip_preserves_reducer_bytes() {
+        let jobs = vec![JobSpec::new(
+            0,
+            1.5,
+            vec![CoflowSpec::new(vec![
+                FlowSpec::new(HostId(0), HostId(5), 10.0 * units::MB),
+                FlowSpec::new(HostId(1), HostId(5), 2.0 * units::MB),
+                FlowSpec::new(HostId(1), HostId(6), 4.0 * units::MB),
+            ])],
+            JobDag::chain(1).unwrap(),
+        )
+        .unwrap()];
+        let text = to_fb_text(&jobs);
+        let back = from_fb_text(&text).unwrap();
+        assert_eq!(back.len(), 1);
+        let cf = &back[0].coflows()[0];
+        // Per-reducer aggregation: 12 MB to host 5, 4 MB to host 6.
+        assert_eq!(cf.width(), 2);
+        let total = cf.total_bytes();
+        assert!((total - 16.0 * units::MB).abs() < 1e4, "total {total}");
+        assert!((back[0].arrival() - 1.5).abs() < 1e-3);
+    }
+
+    #[test]
+    fn malformed_traces_are_rejected_with_line_numbers() {
+        assert_eq!(from_fb_text("").unwrap_err().line, 1);
+        let bad_reducer = "10 1\n0 0 1 3 1 nonsense\n";
+        let err = from_fb_text(bad_reducer).unwrap_err();
+        assert_eq!(err.line, 2);
+        assert!(err.to_string().contains("line 2"));
+        let missing = "10 1\n0 0 2 3\n";
+        assert_eq!(from_fb_text(missing).unwrap_err().line, 2);
+    }
+
+    #[test]
+    fn zero_byte_reducers_are_skipped() {
+        let text = "10 1\n0 0 1 0 2 1:0.0 2:5.0\n";
+        let jobs = from_fb_text(text).unwrap();
+        assert_eq!(jobs[0].coflows()[0].width(), 1);
+    }
+}

@@ -1,0 +1,92 @@
+//! A TPC-DS-style analytics query (the paper's CD workload) competing
+//! with background shuffle traffic: the motivating scenario for
+//! stage-aware scheduling. The query sends most of its bytes in its
+//! scan stage and almost nothing afterwards — a TBS scheduler keeps
+//! punishing it in the late stages; Gurita re-evaluates per stage.
+//!
+//! ```sh
+//! cargo run --release -p gurita-examples --example analytics_pipeline
+//! ```
+
+use gurita_experiments::roster::SchedulerKind;
+use gurita_model::{units, JobId, JobSpec};
+use gurita_sim::runtime::{SimConfig, Simulation};
+use gurita_sim::topology::FatTree;
+use gurita_workload::dags::tpcds_query42;
+use gurita_workload::facebook::{FacebookConfig, FacebookSampler};
+use gurita_workload::generator::{JobGenerator, WorkloadConfig};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let pods = 8;
+    let hosts = pods * pods * pods / 4;
+
+    // The analytics query: TPC-DS query-42 shape, 4 GB total with the
+    // canonical byte skew (scan-heavy, tiny aggregate).
+    let template = tpcds_query42();
+    let sampler = FacebookSampler::new(FacebookConfig {
+        num_hosts: hosts,
+        ..FacebookConfig::default()
+    });
+    let mut rng = StdRng::seed_from_u64(1);
+    let total = 4.0 * units::GB;
+    let coflows: Vec<_> = (0..template.dag.num_vertices())
+        .map(|v| {
+            let width = ((8.0 * template.width_scale[v]).round() as usize).max(1);
+            sampler
+                .sample_coflow_with_width(&mut rng, width)
+                .materialize(total * template.byte_fraction[v])
+        })
+        .collect();
+    let query = JobSpec::new(0, 0.0, coflows, template.dag.clone())?;
+
+    // Background: a steady mix of production-shaped jobs.
+    let mut background = JobGenerator::new(
+        WorkloadConfig {
+            num_jobs: 40,
+            num_hosts: hosts,
+            category_weights: [0.5, 0.3, 0.15, 0.05, 0.0, 0.0, 0.0],
+            ..WorkloadConfig::default()
+        },
+        7,
+    )
+    .generate();
+    for job in &mut background {
+        *job = job.with_id(job.id().index() + 1);
+    }
+
+    println!(
+        "query: {} over {} stages; background: {} jobs\n",
+        units::format_bytes(query.total_bytes()),
+        query.num_stages(),
+        background.len()
+    );
+    println!("{:<12} {:>12} {:>16}", "scheduler", "query JCT", "avg JCT (all)");
+    for kind in [
+        SchedulerKind::Gurita,
+        SchedulerKind::Stream,
+        SchedulerKind::Aalo,
+        SchedulerKind::Baraat,
+        SchedulerKind::Pfs,
+    ] {
+        let mut jobs = vec![query.clone()];
+        jobs.extend(background.iter().cloned());
+        let mut sim = Simulation::new(FatTree::new(pods)?, SimConfig::default());
+        let mut scheduler = kind.build();
+        let result = sim.run(jobs, scheduler.as_mut());
+        let query_jct = result
+            .jobs
+            .iter()
+            .find(|j| j.id == JobId(0))
+            .expect("query completes")
+            .jct;
+        println!(
+            "{:<12} {:>12} {:>16}",
+            kind.label(),
+            units::format_seconds(query_jct),
+            units::format_seconds(result.avg_jct()),
+        );
+    }
+    Ok(())
+}

@@ -1,0 +1,71 @@
+//! Quickstart: build a two-stage job, run it through the flow-level
+//! simulator under Gurita, and inspect the completion records.
+//!
+//! ```sh
+//! cargo run -p gurita-examples --example quickstart
+//! ```
+
+use gurita::scheduler::{GuritaConfig, GuritaScheduler};
+use gurita_model::{units, CoflowSpec, FlowSpec, HostId, JobDag, JobSpec};
+use gurita_sim::runtime::{SimConfig, Simulation};
+use gurita_sim::topology::FatTree;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // 1. A datacenter fabric: 4-pod fat-tree (16 hosts, 20 switches),
+    //    10 Gbit/s links, ECMP routing — the small sibling of the
+    //    paper's 8-pod evaluation fabric.
+    let fabric = FatTree::new(4)?;
+
+    // 2. A two-stage job: a 3-flow shuffle feeding a single reduce
+    //    output, plus a competing single-stage job.
+    let shuffle = CoflowSpec::new(vec![
+        FlowSpec::new(HostId(0), HostId(8), 120.0 * units::MB),
+        FlowSpec::new(HostId(1), HostId(8), 80.0 * units::MB),
+        FlowSpec::new(HostId(2), HostId(9), 100.0 * units::MB),
+    ]);
+    let reduce = CoflowSpec::new(vec![FlowSpec::new(
+        HostId(8),
+        HostId(15),
+        20.0 * units::MB,
+    )]);
+    let pipeline = JobSpec::new(0, 0.0, vec![shuffle, reduce], JobDag::chain(2)?)?;
+
+    let competitor = JobSpec::new(
+        1,
+        0.05,
+        vec![CoflowSpec::new(vec![FlowSpec::new(
+            HostId(3),
+            HostId(8),
+            10.0 * units::MB,
+        )])],
+        JobDag::chain(1)?,
+    )?;
+
+    // 3. Run both jobs under the Gurita scheduler.
+    let mut sim = Simulation::new(fabric, SimConfig::default());
+    let mut scheduler = GuritaScheduler::new(GuritaConfig::default());
+    let result = sim.run(vec![pipeline, competitor], &mut scheduler);
+
+    // 4. Inspect completions.
+    println!("scheduler: {}", result.scheduler);
+    println!("makespan : {}", units::format_seconds(result.makespan));
+    for job in &result.jobs {
+        println!(
+            "job {:>2}  JCT {:>10}  total {:>9}  stages {}",
+            job.id,
+            units::format_seconds(job.jct),
+            units::format_bytes(job.total_bytes),
+            job.num_stages,
+        );
+    }
+    for cf in &result.coflows {
+        println!(
+            "  coflow {:>2} (job {}, vertex {})  CCT {:>10}",
+            cf.id,
+            cf.job,
+            cf.dag_vertex,
+            units::format_seconds(cf.cct()),
+        );
+    }
+    Ok(())
+}

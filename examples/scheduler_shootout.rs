@@ -1,0 +1,58 @@
+//! Full-roster comparison over one workload: every scheduler —
+//! including the ablation variants and the clairvoyant Varys-SEBF
+//! extension — replays the same trace-driven production mix, and the
+//! improvement table (the paper's Figure 6 semantics) is printed.
+//!
+//! ```sh
+//! cargo run --release -p gurita-examples --example scheduler_shootout -- [jobs]
+//! ```
+
+use gurita_experiments::figures::{raw_runs, FigureOptions};
+use gurita_experiments::metrics::{category_populations, improvement_table};
+use gurita_experiments::report::render_improvement_table;
+use gurita_experiments::roster::SchedulerKind;
+use gurita_workload::dags::StructureKind;
+
+fn main() {
+    let jobs = std::env::args()
+        .nth(1)
+        .and_then(|a| a.parse().ok())
+        .unwrap_or(40);
+    let opts = FigureOptions {
+        jobs,
+        seed: 3,
+        full_scale: false,
+    };
+    let kinds = [
+        SchedulerKind::Gurita,
+        SchedulerKind::GuritaPlus,
+        SchedulerKind::Aalo,
+        SchedulerKind::Stream,
+        SchedulerKind::Baraat,
+        SchedulerKind::Pfs,
+        SchedulerKind::VarysSebf,
+    ];
+    let results = raw_runs(StructureKind::ProductionMix, &opts, &kinds);
+    let (gurita, others) = results.split_first().expect("roster is non-empty");
+    println!("workload: {} production-mix jobs on an 8-pod fat-tree\n", jobs);
+    println!(
+        "{}",
+        render_improvement_table(
+            &format!(
+                "Scheduler shootout (Gurita avg JCT {:.3}s; factors >1 = Gurita faster)",
+                gurita.avg_jct()
+            ),
+            &improvement_table(gurita, others),
+            &category_populations(gurita),
+        )
+    );
+    println!("{:<12} {:>12} {:>10}", "scheduler", "avg JCT (s)", "events");
+    for run in &results {
+        println!(
+            "{:<12} {:>12.3} {:>10}",
+            run.scheduler,
+            run.avg_jct(),
+            run.events
+        );
+    }
+}

@@ -1,0 +1,12 @@
+//! Examples-only package. The runnable binaries live at the package
+//! root as `[[example]]` targets:
+//!
+//! * `quickstart` — build a job, simulate, inspect results;
+//! * `analytics_pipeline` — a TPC-DS-style query DAG competing with
+//!   background traffic under different schedulers;
+//! * `bursty_cluster` — a bursty arrival storm and Gurita's starvation
+//!   mitigation;
+//! * `scheduler_shootout` — the full roster over one workload with a
+//!   comparison table.
+//!
+//! Run with `cargo run -p gurita-examples --example <name>`.

@@ -1,0 +1,15 @@
+#!/bin/sh
+# Regenerates every paper artifact at the default reproduction scale and
+# collects the outputs under results/.
+set -e
+cd "$(dirname "$0")"
+BIN=./target/release
+mkdir -p results
+$BIN/motivation                  | tee results/motivation_console.txt
+$BIN/fig5 --jobs 120             | tee results/fig5_console.txt
+$BIN/fig6 --jobs 120             | tee results/fig6_console.txt
+$BIN/fig7 --jobs 30              | tee results/fig7_console.txt
+$BIN/fig8 --jobs 120             | tee results/fig8_console.txt
+$BIN/ablation --jobs 80          | tee results/ablation_console.txt
+$BIN/sweep --jobs 40             | tee results/sweep_console.txt
+echo "all experiments complete"

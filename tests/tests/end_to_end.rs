@@ -1,0 +1,151 @@
+//! End-to-end integration: every scheduler drains every workload, and
+//! basic accounting invariants hold across the full stack
+//! (workload generation → fat-tree simulation → results).
+
+use gurita_experiments::roster::SchedulerKind;
+use gurita_model::JobSpec;
+use gurita_sim::runtime::{SimConfig, Simulation};
+use gurita_sim::topology::{Fabric, FatTree};
+use gurita_workload::arrivals::ArrivalProcess;
+use gurita_workload::dags::StructureKind;
+use gurita_workload::generator::{JobGenerator, WorkloadConfig};
+
+fn workload(structure: StructureKind, n: usize, seed: u64) -> Vec<JobSpec> {
+    JobGenerator::new(
+        WorkloadConfig {
+            num_jobs: n,
+            num_hosts: 128,
+            structure,
+            // Trim the elephant tail so the suite stays fast.
+            category_weights: [0.45, 0.3, 0.15, 0.05, 0.05, 0.0, 0.0],
+            ..WorkloadConfig::default()
+        },
+        seed,
+    )
+    .generate()
+}
+
+fn run(kind: SchedulerKind, jobs: Vec<JobSpec>) -> gurita_sim::stats::RunResult {
+    let mut sim = Simulation::new(FatTree::new(8).unwrap(), SimConfig::default());
+    let mut sched = kind.build();
+    sim.run(jobs, sched.as_mut())
+}
+
+#[test]
+fn every_scheduler_drains_the_fb_tao_workload() {
+    let jobs = workload(StructureKind::FbTao, 15, 1);
+    let expected_coflows: usize = jobs.iter().map(|j| j.coflows().len()).sum();
+    for kind in [
+        SchedulerKind::Gurita,
+        SchedulerKind::GuritaPlus,
+        SchedulerKind::Pfs,
+        SchedulerKind::Baraat,
+        SchedulerKind::Stream,
+        SchedulerKind::Aalo,
+        SchedulerKind::VarysSebf,
+    ] {
+        let res = run(kind, jobs.clone());
+        assert_eq!(res.jobs.len(), 15, "{kind:?} lost jobs");
+        assert_eq!(res.coflows.len(), expected_coflows, "{kind:?} lost coflows");
+        assert!(res.avg_jct() > 0.0);
+        assert!(res.makespan >= res.jobs.iter().map(|j| j.jct).fold(0.0, f64::max));
+    }
+}
+
+#[test]
+fn bytes_are_conserved_through_the_stack() {
+    let jobs = workload(StructureKind::TpcDs, 10, 2);
+    let total: f64 = jobs.iter().map(|j| j.total_bytes()).sum();
+    let res = run(SchedulerKind::Gurita, jobs);
+    let delivered: f64 = res.coflows.iter().map(|c| c.bytes).sum();
+    assert!(
+        (delivered - total).abs() / total < 1e-9,
+        "delivered {delivered} vs generated {total}"
+    );
+}
+
+#[test]
+fn jct_is_bounded_below_by_the_critical_path() {
+    // No schedule can beat the uncontended critical path at line rate.
+    let jobs = workload(StructureKind::ProductionMix, 10, 3);
+    let fabric = FatTree::new(8).unwrap();
+    let line_rate = fabric.link_capacity(gurita_sim::topology::LinkId(0));
+    let bounds: Vec<f64> = jobs
+        .iter()
+        .map(|j| j.ideal_critical_path_time(line_rate))
+        .collect();
+    for kind in [SchedulerKind::Gurita, SchedulerKind::Aalo, SchedulerKind::Pfs] {
+        let res = run(kind, jobs.clone());
+        for job in &res.jobs {
+            let bound = bounds[job.id.index()];
+            assert!(
+                job.jct >= bound - 1e-6,
+                "{kind:?} job {} finished in {} < critical-path bound {}",
+                job.id,
+                job.jct,
+                bound
+            );
+        }
+    }
+}
+
+#[test]
+fn completion_respects_dag_order() {
+    let jobs = workload(StructureKind::TpcDs, 6, 4);
+    let res = run(SchedulerKind::Gurita, jobs.clone());
+    for job in &jobs {
+        let dag = job.dag();
+        let completion_of = |v: usize| {
+            res.coflows
+                .iter()
+                .find(|c| c.job == job.id() && c.dag_vertex == v)
+                .expect("every coflow completes")
+        };
+        for v in 0..dag.num_vertices() {
+            let parent = completion_of(v);
+            for &child in dag.children(v) {
+                let child_rec = completion_of(child);
+                assert!(
+                    child_rec.completed_at <= parent.activated_at + 1e-9,
+                    "child {child} must complete before parent {v} activates"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn bursty_arrivals_complete_under_all_paper_schedulers() {
+    let jobs = JobGenerator::new(
+        WorkloadConfig {
+            num_jobs: 20,
+            num_hosts: 128,
+            structure: StructureKind::FbTao,
+            arrivals: ArrivalProcess::Bursty {
+                burst_size: 10,
+                intra_gap: 2e-6,
+                inter_gap: 2.0,
+            },
+            category_weights: [0.5, 0.3, 0.2, 0.0, 0.0, 0.0, 0.0],
+            ..WorkloadConfig::default()
+        },
+        5,
+    )
+    .generate();
+    for kind in SchedulerKind::PAPER_SET {
+        let res = run(kind, jobs.clone());
+        assert_eq!(res.jobs.len(), 20, "{kind:?}");
+    }
+}
+
+#[test]
+fn identical_seeds_reproduce_identical_results() {
+    let a = run(SchedulerKind::Gurita, workload(StructureKind::FbTao, 8, 9));
+    let b = run(SchedulerKind::Gurita, workload(StructureKind::FbTao, 8, 9));
+    assert_eq!(a.jobs.len(), b.jobs.len());
+    for (x, y) in a.jobs.iter().zip(&b.jobs) {
+        assert_eq!(x.id, y.id);
+        assert_eq!(x.jct, y.jct);
+    }
+    assert_eq!(a.events, b.events);
+}

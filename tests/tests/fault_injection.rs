@@ -1,0 +1,106 @@
+//! Failure-injection integration tests: schedulers must remain correct
+//! (drain everything, conserve bytes) when parts of the fabric brown
+//! out, and degradation must never speed the network up.
+
+use gurita_experiments::roster::SchedulerKind;
+use gurita_model::HostId;
+use gurita_sim::faults::DegradedFabric;
+use gurita_sim::runtime::{SimConfig, Simulation};
+use gurita_sim::topology::FatTree;
+use gurita_workload::dags::StructureKind;
+use gurita_workload::generator::{JobGenerator, WorkloadConfig};
+
+fn workload(seed: u64) -> Vec<gurita_model::JobSpec> {
+    JobGenerator::new(
+        WorkloadConfig {
+            num_jobs: 10,
+            num_hosts: 128,
+            structure: StructureKind::FbTao,
+            category_weights: [0.5, 0.3, 0.2, 0.0, 0.0, 0.0, 0.0],
+            ..WorkloadConfig::default()
+        },
+        seed,
+    )
+    .generate()
+}
+
+fn degraded(fraction_of_hosts: f64, factor: f64) -> DegradedFabric<FatTree> {
+    let fabric = FatTree::new(8).unwrap();
+    let n = 128;
+    (0..((n as f64 * fraction_of_hosts) as usize)).fold(DegradedFabric::new(fabric), |f, i| {
+        f.with_degraded_host(HostId((i * 37) % n), factor)
+    })
+}
+
+#[test]
+fn all_schedulers_survive_brownouts() {
+    let jobs = workload(31);
+    for kind in SchedulerKind::PAPER_SET {
+        let mut sim = Simulation::new(degraded(0.25, 0.2), SimConfig::default());
+        let mut sched = kind.build();
+        let res = sim.run(jobs.clone(), sched.as_mut());
+        assert_eq!(res.jobs.len(), 10, "{kind:?} lost jobs under faults");
+        let total: f64 = jobs.iter().map(|j| j.total_bytes()).sum();
+        let delivered: f64 = res.coflows.iter().map(|c| c.bytes).sum();
+        assert!((delivered - total).abs() / total < 1e-9, "{kind:?} lost bytes");
+    }
+}
+
+#[test]
+fn degradation_never_speeds_the_network_up() {
+    let jobs = workload(32);
+    let run = |fabric: DegradedFabric<FatTree>| {
+        let mut sim = Simulation::new(fabric, SimConfig::default());
+        let mut sched = SchedulerKind::Gurita.build();
+        sim.run(jobs.clone(), sched.as_mut())
+    };
+    let healthy = run(degraded(0.0, 1.0));
+    let browned = run(degraded(0.3, 0.2));
+    // Every job's completion time is at least its healthy one (capacity
+    // only shrank and scheduling inputs are identical observations of a
+    // slower network — allow a small scheduling-noise slack).
+    assert!(
+        browned.avg_jct() >= healthy.avg_jct() * 0.95,
+        "brownouts should not reduce avg JCT: {} vs {}",
+        browned.avg_jct(),
+        healthy.avg_jct()
+    );
+}
+
+#[test]
+fn single_hot_link_degradation_is_localized() {
+    // Degrading one host NIC must not disturb jobs that never touch it.
+    use gurita_model::{CoflowSpec, FlowSpec, JobDag, JobSpec};
+    use gurita_model::units::MB;
+    let untouched = JobSpec::new(
+        0,
+        0.0,
+        vec![CoflowSpec::new(vec![FlowSpec::new(
+            HostId(10),
+            HostId(11),
+            8.0 * MB,
+        )])],
+        JobDag::chain(1).unwrap(),
+    )
+    .unwrap();
+    let through_fault = JobSpec::new(
+        1,
+        0.0,
+        vec![CoflowSpec::new(vec![FlowSpec::new(
+            HostId(0),
+            HostId(1),
+            8.0 * MB,
+        )])],
+        JobDag::chain(1).unwrap(),
+    )
+    .unwrap();
+    let fabric = DegradedFabric::new(FatTree::with_capacity(4, MB).unwrap())
+        .with_degraded_host(HostId(1), 0.5);
+    let mut sim = Simulation::new(fabric, SimConfig::default());
+    let mut sched = SchedulerKind::Pfs.build();
+    let res = sim.run(vec![untouched, through_fault], &mut *sched);
+    let j0 = res.jobs.iter().find(|j| j.id.index() == 0).unwrap();
+    let j1 = res.jobs.iter().find(|j| j.id.index() == 1).unwrap();
+    assert!((j0.jct - 8.0).abs() < 1e-6, "unaffected job at line rate: {}", j0.jct);
+    assert!((j1.jct - 16.0).abs() < 1e-6, "affected job at half rate: {}", j1.jct);
+}

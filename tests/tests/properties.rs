@@ -1,0 +1,213 @@
+//! Property-based tests (proptest) over the core invariants.
+
+use gurita_model::{CoflowSpec, FlowSpec, HostId, JobDag, JobSpec, SizeCategory};
+use gurita_sim::bandwidth::{allocate, Demand, Discipline};
+use gurita_sim::runtime::{SimConfig, Simulation};
+use gurita_sim::sched::FifoScheduler;
+use gurita_sim::thresholds::ThresholdLadder;
+use gurita_sim::topology::{BigSwitch, Fabric, FatTree, LinkId};
+use gurita::starvation::wrr_weights;
+use proptest::prelude::*;
+use std::collections::HashMap;
+
+fn arb_paths(max_links: usize) -> impl Strategy<Value = Vec<(Vec<usize>, usize)>> {
+    // Up to 24 flows, each with 1..=4 distinct links and a queue 0..3.
+    prop::collection::vec(
+        (
+            prop::collection::btree_set(0..max_links, 1..=4),
+            0usize..3,
+        ),
+        1..24,
+    )
+    .prop_map(|v| {
+        v.into_iter()
+            .map(|(links, q)| (links.into_iter().collect(), q))
+            .collect()
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Water-filling never oversubscribes a link and never produces a
+    /// negative or non-finite rate, under both service disciplines.
+    #[test]
+    fn allocation_is_feasible(paths in arb_paths(12), cap in 1.0f64..100.0) {
+        let links: Vec<Vec<LinkId>> = paths
+            .iter()
+            .map(|(ls, _)| ls.iter().map(|&l| LinkId(l)).collect())
+            .collect();
+        let demands: Vec<Demand<'_>> = links
+            .iter()
+            .zip(&paths)
+            .map(|(ls, (_, q))| Demand { path: ls, queue: *q })
+            .collect();
+        for disc in [
+            Discipline::StrictPriority { num_queues: 3 },
+            Discipline::WeightedRoundRobin { weights: vec![4.0, 2.0, 1.0] },
+        ] {
+            let rates = allocate(&demands, |_| cap, &disc);
+            let mut usage: HashMap<usize, f64> = HashMap::new();
+            for (d, r) in demands.iter().zip(&rates) {
+                prop_assert!(r.is_finite() && *r >= 0.0, "rate {r}");
+                for l in d.path {
+                    *usage.entry(l.index()).or_insert(0.0) += r;
+                }
+            }
+            for (&l, &u) in &usage {
+                prop_assert!(u <= cap * (1.0 + 1e-9) + 1e-9, "link {l}: {u} > {cap}");
+            }
+        }
+    }
+
+    /// Max-min property (single class): every flow is bottlenecked at
+    /// some saturated link.
+    #[test]
+    fn allocation_is_bottleneck_tight(paths in arb_paths(8), cap in 1.0f64..50.0) {
+        let links: Vec<Vec<LinkId>> = paths
+            .iter()
+            .map(|(ls, _)| ls.iter().map(|&l| LinkId(l)).collect())
+            .collect();
+        let demands: Vec<Demand<'_>> = links
+            .iter()
+            .map(|ls| Demand { path: ls, queue: 0 })
+            .collect();
+        let disc = Discipline::StrictPriority { num_queues: 1 };
+        let rates = allocate(&demands, |_| cap, &disc);
+        let mut usage: HashMap<usize, f64> = HashMap::new();
+        for (d, r) in demands.iter().zip(&rates) {
+            for l in d.path {
+                *usage.entry(l.index()).or_insert(0.0) += r;
+            }
+        }
+        for d in &demands {
+            let tight = d.path.iter().any(|l| usage[&l.index()] >= cap - 1e-6);
+            prop_assert!(tight, "a flow has slack on every link");
+        }
+    }
+
+    /// Every DAG the model accepts is acyclic with consistent stages:
+    /// children sit in strictly earlier stages than their parents, and
+    /// the topological order respects dependencies.
+    #[test]
+    fn dag_stages_are_consistent(
+        n in 1usize..12,
+        edges in prop::collection::vec((0usize..12, 0usize..12), 0..24)
+    ) {
+        let edges: Vec<(usize, usize)> = edges
+            .into_iter()
+            .filter(|&(c, p)| c < n && p < n && c != p)
+            .collect();
+        if let Ok(dag) = JobDag::new(n, &edges) {
+            let mut pos = vec![0usize; n];
+            for (i, &v) in dag.topo_order().iter().enumerate() {
+                pos[v] = i;
+            }
+            for v in 0..n {
+                for &c in dag.children(v) {
+                    prop_assert!(dag.stage_of(c) < dag.stage_of(v));
+                    prop_assert!(pos[c] < pos[v]);
+                }
+            }
+            // Stage partition covers all vertices exactly once.
+            let total: usize = (0..dag.num_stages())
+                .map(|s| dag.vertices_in_stage(s).len())
+                .sum();
+            prop_assert_eq!(total, n);
+            // Critical path weight >= any single vertex weight.
+            let weights: Vec<f64> = (0..n).map(|v| 1.0 + v as f64).collect();
+            let (w, path) = dag.critical_path(&weights);
+            prop_assert!(!path.is_empty());
+            for v in 0..n {
+                prop_assert!(w >= weights[v] - 1e-9);
+            }
+        }
+    }
+
+    /// The category classifier is monotone in bytes and total.
+    #[test]
+    fn categories_are_monotone(a in 0.0f64..5e12, b in 0.0f64..5e12) {
+        let (lo, hi) = if a <= b { (a, b) } else { (b, a) };
+        prop_assert!(SizeCategory::of_bytes(lo) <= SizeCategory::of_bytes(hi));
+    }
+
+    /// Threshold ladders are monotone: larger values never map to a
+    /// higher-priority (smaller-index) queue.
+    #[test]
+    fn ladder_is_monotone(base in 1.0f64..1e6, factor in 1.01f64..50.0, q in 1usize..8) {
+        let ladder = ThresholdLadder::exponential(q, base, factor);
+        let mut last = 0usize;
+        for i in 0..30 {
+            let v = base * 1.7f64.powi(i - 5);
+            let cur = ladder.queue_for(v);
+            prop_assert!(cur >= last);
+            prop_assert!(cur < q);
+            last = cur;
+        }
+    }
+
+    /// WRR weights from arbitrary load vectors are a valid distribution
+    /// that favors higher-priority queues under equal loads.
+    #[test]
+    fn wrr_weights_are_valid(loads in prop::collection::vec(0.0f64..10.0, 2..8)) {
+        let w = wrr_weights(&loads);
+        prop_assert_eq!(w.len(), loads.len());
+        let sum: f64 = w.iter().sum();
+        prop_assert!((sum - 1.0).abs() < 1e-9);
+        for &x in &w {
+            prop_assert!(x > 0.0 && x.is_finite());
+        }
+    }
+
+    /// ECMP paths are well-formed for random host pairs on random-size
+    /// fat-trees: correct length by locality, in-range links, endpoints
+    /// anchored at the right host links.
+    #[test]
+    fn fat_tree_paths_are_well_formed(k in 1usize..6, s in 0usize..500, d in 0usize..500, salt: u64) {
+        let k = k * 2; // even pod count
+        let ft = FatTree::new(k).unwrap();
+        let h = ft.num_hosts();
+        let (s, d) = (s % h, d % h);
+        let path = ft.path(HostId(s), HostId(d), salt).unwrap();
+        if s == d {
+            prop_assert!(path.is_empty());
+        } else {
+            prop_assert!(matches!(path.len(), 2 | 4 | 6));
+            prop_assert_eq!(path[0], LinkId(s));
+            prop_assert_eq!(*path.last().unwrap(), LinkId(h + d));
+            for l in &path {
+                prop_assert!(l.index() < ft.num_links());
+            }
+        }
+    }
+
+    /// Single-link fluid exactness: n equal flows into one receiver
+    /// finish together at n * size / capacity.
+    #[test]
+    fn fair_share_completion_is_exact(n in 1usize..6, mbs in 1.0f64..20.0) {
+        let cap = 1.0e6;
+        let bytes = mbs * 1.0e6;
+        let jobs: Vec<JobSpec> = (0..n)
+            .map(|i| {
+                JobSpec::new(
+                    i,
+                    0.0,
+                    vec![CoflowSpec::new(vec![FlowSpec::new(
+                        HostId(i),
+                        HostId(7),
+                        bytes,
+                    )])],
+                    JobDag::chain(1).unwrap(),
+                )
+                .unwrap()
+            })
+            .collect();
+        let mut sim = Simulation::new(BigSwitch::new(8, cap), SimConfig::default());
+        let res = sim.run(jobs, &mut FifoScheduler::new(1));
+        let expected = n as f64 * bytes / cap;
+        for j in &res.jobs {
+            prop_assert!((j.jct - expected).abs() < 1e-6 * expected.max(1.0),
+                "jct {} expected {}", j.jct, expected);
+        }
+    }
+}

@@ -1,0 +1,60 @@
+//! Workload persistence: a workload exported to JSON and re-imported
+//! replays to byte-identical scheduling results, and the FB benchmark
+//! text format interoperates.
+
+use gurita_experiments::roster::SchedulerKind;
+use gurita_sim::runtime::{SimConfig, Simulation};
+use gurita_sim::topology::FatTree;
+use gurita_workload::dags::StructureKind;
+use gurita_workload::generator::{JobGenerator, WorkloadConfig};
+use gurita_workload::trace;
+
+fn small_workload(seed: u64) -> Vec<gurita_model::JobSpec> {
+    JobGenerator::new(
+        WorkloadConfig {
+            num_jobs: 8,
+            num_hosts: 128,
+            structure: StructureKind::ProductionMix,
+            category_weights: [0.5, 0.3, 0.2, 0.0, 0.0, 0.0, 0.0],
+            ..WorkloadConfig::default()
+        },
+        seed,
+    )
+    .generate()
+}
+
+#[test]
+fn json_reimport_replays_identically() {
+    let jobs = small_workload(21);
+    let json = trace::to_json(&jobs).unwrap();
+    let reimported = trace::from_json(&json).unwrap();
+
+    let run = |jobs: Vec<gurita_model::JobSpec>| {
+        let mut sim = Simulation::new(FatTree::new(8).unwrap(), SimConfig::default());
+        let mut sched = SchedulerKind::Gurita.build();
+        sim.run(jobs, sched.as_mut())
+    };
+    let a = run(jobs);
+    let b = run(reimported);
+    assert_eq!(a.jobs.len(), b.jobs.len());
+    for (x, y) in a.jobs.iter().zip(&b.jobs) {
+        assert_eq!(x.id, y.id);
+        // Sub-ULP JSON float rounding can shift event times minutely.
+        assert!((x.jct - y.jct).abs() < 1e-6 * x.jct.max(1.0), "{} vs {}", x.jct, y.jct);
+    }
+}
+
+#[test]
+fn fb_text_export_is_replayable() {
+    let jobs = small_workload(22);
+    let text = trace::to_fb_text(&jobs);
+    let singles = trace::from_fb_text(&text).unwrap();
+    // One record per coflow.
+    let expected: usize = jobs.iter().map(|j| j.coflows().len()).sum();
+    assert_eq!(singles.len(), expected);
+    // The flattened single-stage trace replays cleanly.
+    let mut sim = Simulation::new(FatTree::new(8).unwrap(), SimConfig::default());
+    let mut sched = SchedulerKind::Aalo.build();
+    let res = sim.run(singles, sched.as_mut());
+    assert_eq!(res.jobs.len(), expected);
+}
