@@ -99,12 +99,12 @@ impl Scheduler for Aalo {
                 let sent: f64 = c
                     .flows
                     .iter()
-                    .map(|f| {
-                        match (oracle.flow_size(f.id), oracle.remaining_bytes(f.id)) {
+                    .map(
+                        |f| match (oracle.flow_size(f.id), oracle.remaining_bytes(f.id)) {
                             (Some(size), Some(rem)) => size - rem,
                             _ => f.bytes_received,
-                        }
-                    })
+                        },
+                    )
                     .sum();
                 self.ladder.queue_for(sent)
             })
@@ -152,7 +152,11 @@ mod tests {
         });
         let res = sim().run(jobs, &mut a);
         let mouse = res.jobs.iter().find(|j| j.id == JobId(1)).unwrap();
-        assert!(mouse.jct < 1.2, "D-CLAS must favor the mouse: {}", mouse.jct);
+        assert!(
+            mouse.jct < 1.2,
+            "D-CLAS must favor the mouse: {}",
+            mouse.jct
+        );
     }
 
     #[test]

@@ -113,7 +113,6 @@ impl Scheduler for Baraat {
         }
         obs.coflows.iter().map(|c| job_level[&c.job]).collect()
     }
-
 }
 
 #[cfg(test)]
@@ -176,7 +175,11 @@ mod tests {
         let j1 = res.jobs.iter().find(|j| j.id == JobId(1)).unwrap();
         // With multiplexing the mouse shares fairly: ~2/0.5 = 4s + the
         // ~1s pre-multiplexing wait; without it, it would wait 50s.
-        assert!(j1.jct < 10.0, "mouse must multiplex with heavy head: {}", j1.jct);
+        assert!(
+            j1.jct < 10.0,
+            "mouse must multiplex with heavy head: {}",
+            j1.jct
+        );
     }
 
     #[test]

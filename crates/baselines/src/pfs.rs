@@ -72,7 +72,11 @@ mod tests {
         let res = sim.run(jobs, &mut PerFlowFairSharing::new());
         assert_eq!(res.jobs.len(), 3);
         for j in &res.jobs {
-            assert!((j.jct - 9.0).abs() < 1e-6, "fair share of 1/3 link: {}", j.jct);
+            assert!(
+                (j.jct - 9.0).abs() < 1e-6,
+                "fair share of 1/3 link: {}",
+                j.jct
+            );
         }
     }
 }

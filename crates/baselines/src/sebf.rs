@@ -116,7 +116,11 @@ mod tests {
         let mouse = res.jobs.iter().find(|j| j.id == JobId(1)).unwrap();
         assert!(mouse.jct < 1.1, "clairvoyant mouse: {}", mouse.jct);
         let elephant = res.jobs.iter().find(|j| j.id == JobId(0)).unwrap();
-        assert!((elephant.jct - 51.0).abs() < 0.5, "elephant: {}", elephant.jct);
+        assert!(
+            (elephant.jct - 51.0).abs() < 0.5,
+            "elephant: {}",
+            elephant.jct
+        );
     }
 
     #[test]

@@ -10,9 +10,9 @@
 //! Stream is subject to the same TCP-reordering discipline as Gurita:
 //! live flows are only demoted; promotions apply to new flows.
 
-use gurita_sim::thresholds::ThresholdLadder;
 use gurita_model::JobId;
 use gurita_sim::sched::{Observation, Oracle, Scheduler};
+use gurita_sim::thresholds::ThresholdLadder;
 use std::collections::HashMap;
 
 /// Stream configuration.
@@ -125,7 +125,7 @@ mod tests {
                 dag_stage: 1,
                 activated_at: 5.0,
                 open_flows: 1,
-                bytes_received: 0.0,       // fresh stage, nothing sent yet
+                bytes_received: 0.0, // fresh stage, nothing sent yet
                 max_flow_bytes_received: 0.0,
                 flows: vec![],
             }],

@@ -2,9 +2,9 @@
 //! simulator's hot loop (it runs after every event).
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use gurita_model::HostId;
 use gurita_sim::bandwidth::{allocate, Demand, Discipline};
 use gurita_sim::topology::{Fabric, FatTree, LinkId};
-use gurita_model::HostId;
 
 /// Deterministic pseudo-random flow set over a k-pod fat-tree.
 fn flow_paths(k: usize, flows: usize) -> Vec<Vec<LinkId>> {

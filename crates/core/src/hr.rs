@@ -95,7 +95,11 @@ mod tests {
         // HR changes its mind before delivery: restart at t=0.5.
         assert_eq!(d.decide(0.5, 1.0, 3), 0);
         // The original t=0 message must not deliver queue 2.
-        assert_eq!(d.decide(1.2, 1.0, 3), 0, "restarted message still in flight");
+        assert_eq!(
+            d.decide(1.2, 1.0, 3),
+            0,
+            "restarted message still in flight"
+        );
         assert_eq!(d.decide(1.6, 1.0, 3), 3);
     }
 

@@ -67,11 +67,7 @@ impl GuritaPlus {
         }
         let flags = match oracle.job_spec(job) {
             Some(spec) => {
-                let weights: Vec<f64> = spec
-                    .coflows()
-                    .iter()
-                    .map(|c| c.max_flow_bytes())
-                    .collect();
+                let weights: Vec<f64> = spec.coflows().iter().map(|c| c.max_flow_bytes()).collect();
                 let critical = spec.dag().critical_vertices(&weights);
                 let mut flags = vec![false; spec.dag().num_vertices()];
                 for v in critical {
@@ -118,7 +114,11 @@ impl Scheduler for GuritaPlus {
                 .fold((0.0f64, 0.0f64, 0usize), |(mx, sum, n), r| {
                     (mx.max(r), sum + r, n + 1)
                 });
-            let l_avg = if n_open > 0 { l_sum / n_open as f64 } else { 0.0 };
+            let l_avg = if n_open > 0 {
+                l_sum / n_open as f64
+            } else {
+                0.0
+            };
             let facts = CoflowFacts {
                 l_max,
                 l_avg,
@@ -191,11 +191,7 @@ mod tests {
                             HostId(12),
                             (1 + i) as f64 * MB,
                         )]),
-                        CoflowSpec::new(vec![FlowSpec::new(
-                            HostId(12),
-                            HostId(13 + (i % 2)),
-                            MB,
-                        )]),
+                        CoflowSpec::new(vec![FlowSpec::new(HostId(12), HostId(13 + (i % 2)), MB)]),
                     ],
                     JobDag::chain(2).unwrap(),
                 )

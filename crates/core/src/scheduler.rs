@@ -82,9 +82,15 @@ impl GuritaConfig {
             self.num_queues
         );
         assert!(self.threshold_base > 0.0, "threshold base must be positive");
-        assert!(self.threshold_factor > 1.0, "threshold factor must exceed 1");
+        assert!(
+            self.threshold_factor > 1.0,
+            "threshold factor must exceed 1"
+        );
         self.blocking.validate();
-        assert!(self.critical_path_cap >= 1, "critical-path cap must be >= 1");
+        assert!(
+            self.critical_path_cap >= 1,
+            "critical-path cap must be >= 1"
+        );
         assert!(
             self.load_alpha > 0.0 && self.load_alpha <= 1.0,
             "load alpha must be in (0, 1]"
@@ -165,8 +171,7 @@ impl GuritaScheduler {
                 .map(|&ci| (ci, obs.coflows[ci].max_flow_bytes_received))
                 .filter(|&(_, lmax)| ava.is_above_mean(lmax))
                 .collect();
-            candidates
-                .sort_by(|a, b| b.1.partial_cmp(&a.1).expect("observed bytes are finite"));
+            candidates.sort_by(|a, b| b.1.partial_cmp(&a.1).expect("observed bytes are finite"));
             for &(ci, _) in candidates.iter().take(self.config.critical_path_cap) {
                 flags[ci] = true;
             }
@@ -224,11 +229,8 @@ impl Scheduler for GuritaScheduler {
                 .or_insert_with(|| DelayedDecision::new(0))
                 .decide(obs.now, latency, target);
             assignment.push(queue);
-            let (prev_bytes, prev_queue) = self
-                .last_bytes
-                .get(&c.id)
-                .copied()
-                .unwrap_or((0.0, queue));
+            let (prev_bytes, prev_queue) =
+                self.last_bytes.get(&c.id).copied().unwrap_or((0.0, queue));
             queue_bytes[prev_queue] += (c.bytes_received - prev_bytes).max(0.0);
             self.last_bytes.insert(c.id, (c.bytes_received, queue));
             self.last_lmax.insert(c.id, c.max_flow_bytes_received);
@@ -475,13 +477,7 @@ mod tests {
             0,
             0.0,
             (0..3)
-                .map(|s| {
-                    CoflowSpec::new(vec![FlowSpec::new(
-                        HostId(s),
-                        HostId(9),
-                        2.0 * MB,
-                    )])
-                })
+                .map(|s| CoflowSpec::new(vec![FlowSpec::new(HostId(s), HostId(9), 2.0 * MB)]))
                 .collect(),
             JobDag::chain(3).unwrap(),
         )
@@ -511,8 +507,7 @@ mod tests {
                 ..config()
             })
         };
-        let elephant =
-            single_coflow_job(0, vec![FlowSpec::new(HostId(0), HostId(9), 100.0 * MB)]);
+        let elephant = single_coflow_job(0, vec![FlowSpec::new(HostId(0), HostId(9), 100.0 * MB)]);
         // The mouse arrives while the slow HR's demotion message is
         // still in flight (sent ~0.5s, latency 3s), so it shares the
         // link fairly until ~3.5s under the slow configuration.

@@ -138,7 +138,11 @@ impl LoadEstimator {
     ///
     /// Panics if the sample length differs from the queue count.
     pub fn record(&mut self, now: f64, bytes_per_queue: &[f64]) {
-        assert_eq!(bytes_per_queue.len(), self.rates.len(), "one sample per queue");
+        assert_eq!(
+            bytes_per_queue.len(),
+            self.rates.len(),
+            "one sample per queue"
+        );
         let Some(last) = self.last_time else {
             self.last_time = Some(now);
             return;

@@ -19,18 +19,14 @@ pub fn parse(args: &[String]) -> Result<FigureOptions, String> {
         match arg.as_str() {
             "--jobs" => {
                 let v = it.next().ok_or("--jobs requires a value")?;
-                opts.jobs = v
-                    .parse()
-                    .map_err(|_| format!("bad --jobs value `{v}`"))?;
+                opts.jobs = v.parse().map_err(|_| format!("bad --jobs value `{v}`"))?;
                 if opts.jobs == 0 {
                     return Err("--jobs must be at least 1".into());
                 }
             }
             "--seed" => {
                 let v = it.next().ok_or("--seed requires a value")?;
-                opts.seed = v
-                    .parse()
-                    .map_err(|_| format!("bad --seed value `{v}`"))?;
+                opts.seed = v.parse().map_err(|_| format!("bad --seed value `{v}`"))?;
             }
             "--full" => opts.full_scale = true,
             "--help" | "-h" => return Err(usage()),

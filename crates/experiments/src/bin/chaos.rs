@@ -1,0 +1,127 @@
+//! Chaos sweep: JCT inflation under mid-run fabric faults.
+//!
+//! Sweeps brownout severity × outage duration (25% of hosts browned out,
+//! plus one hard-failed core-facing link that later recovers) across
+//! `SchedulerKind::PAPER_SET`, on the byte-identical workload and fault
+//! script per cell. Reports each scheduler's JCT inflation relative to
+//! its own healthy run, so the table isolates fault resilience from
+//! baseline scheduling quality.
+
+use gurita_experiments::roster::SchedulerKind;
+use gurita_experiments::scenario::Scenario;
+use gurita_experiments::{args, report};
+use gurita_sim::topology::Fabric;
+use gurita_workload::chaos::{ChaosConfig, ChaosGenerator};
+use gurita_workload::dags::StructureKind;
+use serde::Serialize;
+
+/// One sweep cell: a (severity, duration) pair and every scheduler's
+/// inflation under it.
+#[derive(Debug, Serialize)]
+struct ChaosCell {
+    severity: f64,
+    duration: f64,
+    faults: usize,
+    /// `(scheduler label, healthy avg JCT, faulted avg JCT, inflation)`.
+    rows: Vec<(String, f64, f64, f64)>,
+}
+
+fn main() {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let opts = match args::parse(&argv) {
+        Ok(o) => o,
+        Err(msg) => {
+            eprintln!("{msg}");
+            std::process::exit(2);
+        }
+    };
+
+    let mut scenario = Scenario::trace_driven(StructureKind::FbTao, opts.jobs, opts.seed);
+    // Light tail so the sweep finishes quickly at reproduction scale;
+    // mice/elephant contrast is preserved.
+    scenario.workload.category_weights = [0.40, 0.25, 0.15, 0.08, 0.12, 0.0, 0.0];
+    let num_hosts = scenario.workload.num_hosts;
+
+    // A core-facing link on some cross-fabric path: hard-failed for the
+    // outage window to exercise rerouting on top of the brownout.
+    let fabric = gurita_sim::topology::FatTree::new(scenario.pods).expect("valid pod count");
+    let sample_path = fabric
+        .path(
+            gurita_model::HostId(0),
+            gurita_model::HostId(num_hosts - 1),
+            0,
+        )
+        .expect("hosts exist");
+    let core_link = sample_path[sample_path.len() / 2];
+
+    let healthy = scenario.run_all(&SchedulerKind::PAPER_SET);
+
+    let severities = [0.5, 0.2, 0.05];
+    let durations = [1.0, 4.0];
+    let mut cells = Vec::new();
+    for &severity in &severities {
+        for &duration in &durations {
+            let schedule = ChaosGenerator::new(
+                ChaosConfig {
+                    num_hosts,
+                    brownout_fraction: 0.25,
+                    severity,
+                    start: 0.5,
+                    duration,
+                    fail_links: vec![core_link],
+                },
+                opts.seed,
+            )
+            .generate();
+            let faulted = scenario.run_all_with_faults(&SchedulerKind::PAPER_SET, &schedule);
+            let rows = healthy
+                .iter()
+                .zip(&faulted)
+                .map(|(h, f)| {
+                    (
+                        f.scheduler.clone(),
+                        h.avg_jct(),
+                        f.avg_jct(),
+                        f.avg_jct() / h.avg_jct(),
+                    )
+                })
+                .collect();
+            cells.push(ChaosCell {
+                severity,
+                duration,
+                faults: schedule.len(),
+                rows,
+            });
+        }
+    }
+
+    for cell in &cells {
+        let pairs: Vec<(&str, String)> = cell
+            .rows
+            .iter()
+            .map(|(name, h, f, infl)| {
+                (
+                    name.as_str(),
+                    format!("{h:.3}s -> {f:.3}s avg JCT ({infl:.2}x inflation)"),
+                )
+            })
+            .collect();
+        println!(
+            "{}",
+            report::render_kv(
+                &format!(
+                    "Chaos: severity {:.2} (hosts keep {:.0}% NIC), outage {:.0}s, {} fault events",
+                    cell.severity,
+                    cell.severity * 100.0,
+                    cell.duration,
+                    cell.faults
+                ),
+                &pairs
+            )
+        );
+    }
+    match report::write_results_file("chaos.json", &report::to_json(&cells)) {
+        Ok(path) => println!("wrote {}", path.display()),
+        Err(e) => eprintln!("could not write results file: {e}"),
+    }
+}

@@ -17,7 +17,10 @@ fn main() {
         println!(
             "{}",
             report::render_improvement_table(
-                &format!("Figure 5 — {} (Gurita avg JCT {:.3}s)", sc.name, sc.gurita_avg_jct),
+                &format!(
+                    "Figure 5 — {} (Gurita avg JCT {:.3}s)",
+                    sc.name, sc.gurita_avg_jct
+                ),
                 &sc.rows,
                 &sc.populations
             )

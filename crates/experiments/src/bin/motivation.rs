@@ -8,7 +8,10 @@ fn main() {
     let out = report::render_kv(
         "Motivation examples",
         &[
-            ("fig2 avg JCT, TBS priority", format!("{fig2_tbs:.2} (paper: 6.25)")),
+            (
+                "fig2 avg JCT, TBS priority",
+                format!("{fig2_tbs:.2} (paper: 6.25)"),
+            ),
             (
                 "fig2 avg JCT, per-stage priority",
                 format!("{fig2_stage:.2} (paper: 5.50; consistent replay: 5.00)"),

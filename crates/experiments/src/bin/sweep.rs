@@ -28,7 +28,10 @@ fn main() {
             .iter()
             .map(|p| (p.setting.as_str(), format!("{:.3}s avg JCT", p.avg_jct)))
             .collect();
-        println!("{}", report::render_kv(&format!("Sweep: {}", sweep.parameter), &pairs));
+        println!(
+            "{}",
+            report::render_kv(&format!("Sweep: {}", sweep.parameter), &pairs)
+        );
     }
     match report::write_results_file("sweeps.json", &report::to_json(&all)) {
         Ok(path) => println!("wrote {}", path.display()),

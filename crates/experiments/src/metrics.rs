@@ -59,9 +59,7 @@ pub fn improvement_table(reference: &RunResult, compared: &[RunResult]) -> Vec<I
         .map(|run| {
             let mut per_category = [None; 7];
             for cat in SizeCategory::ALL {
-                if let (Some(a), Some(b)) =
-                    (run.avg_jct_in(cat), reference.avg_jct_in(cat))
-                {
+                if let (Some(a), Some(b)) = (run.avg_jct_in(cat), reference.avg_jct_in(cat)) {
                     per_category[cat.index()] = Some(improvement_factor(a, b));
                 }
             }
@@ -116,12 +114,11 @@ mod tests {
                     jct,
                     total_bytes: bytes,
                     num_stages: 1,
+                    fault_reroutes: 0,
+                    fault_parks: 0,
                 })
                 .collect(),
-            coflows: vec![],
-            makespan: 0.0,
-            events: 0,
-            link_bytes: vec![],
+            ..RunResult::default()
         }
     }
 

@@ -246,7 +246,10 @@ mod tests {
             stage_aware < tbs,
             "stage-aware {stage_aware} must beat TBS {tbs}"
         );
-        assert!((stage_aware - 5.0).abs() < 1e-9, "stage-aware avg {stage_aware}");
+        assert!(
+            (stage_aware - 5.0).abs() < 1e-9,
+            "stage-aware avg {stage_aware}"
+        );
     }
 
     #[test]

@@ -16,10 +16,7 @@ pub fn render_improvement_table(
 ) -> String {
     let mut out = String::new();
     out.push_str(&format!("# {title}\n"));
-    out.push_str(&format!(
-        "{:<12} {:>8}",
-        "scheduler", "overall"
-    ));
+    out.push_str(&format!("{:<12} {:>8}", "scheduler", "overall"));
     for cat in SizeCategory::ALL {
         out.push_str(&format!(" {:>7}", cat.label()));
     }
@@ -96,7 +93,10 @@ mod tests {
 
     #[test]
     fn kv_renders_aligned() {
-        let s = render_kv("Motivation", &[("fig2 tbs", "6.25".into()), ("x", "1".into())]);
+        let s = render_kv(
+            "Motivation",
+            &[("fig2 tbs", "6.25".into()), ("x", "1".into())],
+        );
         assert!(s.contains("fig2 tbs  6.25"));
     }
 

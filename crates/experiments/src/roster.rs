@@ -76,15 +76,15 @@ impl SchedulerKind {
                 starvation_mitigation: false,
                 ..gurita_config()
             })),
-            SchedulerKind::GuritaNoOmega => Box::new(GuritaScheduler::new(ablated(
-                Rule::FinalStageFirst,
-            ))),
-            SchedulerKind::GuritaNoKappa => Box::new(GuritaScheduler::new(ablated(
-                Rule::SmallStagesFirst,
-            ))),
-            SchedulerKind::GuritaNoCriticalPath => Box::new(GuritaScheduler::new(ablated(
-                Rule::CriticalPathFirst,
-            ))),
+            SchedulerKind::GuritaNoOmega => {
+                Box::new(GuritaScheduler::new(ablated(Rule::FinalStageFirst)))
+            }
+            SchedulerKind::GuritaNoKappa => {
+                Box::new(GuritaScheduler::new(ablated(Rule::SmallStagesFirst)))
+            }
+            SchedulerKind::GuritaNoCriticalPath => {
+                Box::new(GuritaScheduler::new(ablated(Rule::CriticalPathFirst)))
+            }
             SchedulerKind::GuritaPlus => Box::new(GuritaPlus::new(gurita_config())),
             SchedulerKind::Pfs => Box::new(PerFlowFairSharing::new()),
             SchedulerKind::Baraat => Box::new(Baraat::new(BaraatConfig::default())),

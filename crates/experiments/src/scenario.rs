@@ -7,6 +7,7 @@
 
 use crate::roster::SchedulerKind;
 use gurita_model::JobSpec;
+use gurita_sim::faults::FaultSchedule;
 use gurita_sim::runtime::{SimConfig, Simulation};
 use gurita_sim::stats::RunResult;
 use gurita_sim::topology::FatTree;
@@ -89,10 +90,29 @@ impl Scenario {
     /// [`Simulation::run`]).
     pub fn run(&self, kind: SchedulerKind) -> RunResult {
         let jobs = self.jobs();
-        self.run_with_jobs(kind, jobs)
+        self.run_with_jobs(kind, jobs, &FaultSchedule::new())
     }
 
-    fn run_with_jobs(&self, kind: SchedulerKind, jobs: Vec<JobSpec>) -> RunResult {
+    /// Runs one scheduler over the scenario's workload while injecting
+    /// `faults` at their scheduled times (see
+    /// [`gurita_sim::faults`] for the fault model).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the fabric cannot be built or the simulation fails —
+    /// including on an invalid fault schedule (see
+    /// [`Simulation::run_with_faults`]).
+    pub fn run_with_faults(&self, kind: SchedulerKind, faults: &FaultSchedule) -> RunResult {
+        let jobs = self.jobs();
+        self.run_with_jobs(kind, jobs, faults)
+    }
+
+    fn run_with_jobs(
+        &self,
+        kind: SchedulerKind,
+        jobs: Vec<JobSpec>,
+        faults: &FaultSchedule,
+    ) -> RunResult {
         let fabric = FatTree::new(self.pods).expect("valid pod count");
         let mut sim = Simulation::new(
             fabric,
@@ -102,7 +122,7 @@ impl Scenario {
             },
         );
         let mut scheduler = kind.build();
-        let mut result = sim.run(jobs, scheduler.as_mut());
+        let mut result = sim.run_with_faults(jobs, scheduler.as_mut(), faults);
         result.scheduler = kind.label().to_owned();
         result
     }
@@ -113,6 +133,17 @@ impl Scenario {
     /// single-core host this degrades gracefully to sequential
     /// execution.
     pub fn run_all(&self, kinds: &[SchedulerKind]) -> Vec<RunResult> {
+        self.run_all_with_faults(kinds, &FaultSchedule::new())
+    }
+
+    /// [`Scenario::run_all`] with a fault schedule injected into every
+    /// run, so scheduler comparisons under faults stay byte-identical
+    /// on both the workload and the fault script.
+    pub fn run_all_with_faults(
+        &self,
+        kinds: &[SchedulerKind],
+        faults: &FaultSchedule,
+    ) -> Vec<RunResult> {
         let jobs = self.jobs();
         let slots: Mutex<Vec<Option<RunResult>>> = Mutex::new(vec![None; kinds.len()]);
         crossbeam::scope(|scope| {
@@ -120,7 +151,7 @@ impl Scenario {
                 let jobs = jobs.clone();
                 let slots = &slots;
                 scope.spawn(move |_| {
-                    let result = self.run_with_jobs(kind, jobs);
+                    let result = self.run_with_jobs(kind, jobs, faults);
                     slots.lock()[i] = Some(result);
                 });
             }
@@ -161,7 +192,13 @@ mod tests {
         let results = s.run_all(&[SchedulerKind::Pfs, SchedulerKind::Gurita]);
         assert_eq!(results.len(), 2);
         for r in &results {
-            assert_eq!(r.jobs.len(), 12, "{} completed {}", r.scheduler, r.jobs.len());
+            assert_eq!(
+                r.jobs.len(),
+                12,
+                "{} completed {}",
+                r.scheduler,
+                r.jobs.len()
+            );
         }
         assert_eq!(results[0].scheduler, "PFS");
         assert_eq!(results[1].scheduler, "Gurita");

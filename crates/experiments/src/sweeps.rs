@@ -162,8 +162,8 @@ pub fn fault_sweep(jobs: usize, seed: u64) -> (SweepResult, SweepResult) {
     for &frac in &[0.0f64, 0.05, 0.15, 0.30] {
         let fabric = FatTree::new(sc.pods).expect("valid pods");
         let n = 128;
-        let degraded = (0..((n as f64 * frac) as usize))
-            .fold(DegradedFabric::new(fabric), |f, i| {
+        let degraded =
+            (0..((n as f64 * frac) as usize)).fold(DegradedFabric::new(fabric), |f, i| {
                 // Spread brown-outs deterministically across racks.
                 f.with_degraded_host(HostId((i * 37) % n), 0.3)
             });

@@ -147,11 +147,7 @@ impl JobDag {
         }
         let mut stage = vec![0usize; num_vertices];
         for &v in &topo {
-            stage[v] = children[v]
-                .iter()
-                .map(|&c| stage[c] + 1)
-                .max()
-                .unwrap_or(0);
+            stage[v] = children[v].iter().map(|&c| stage[c] + 1).max().unwrap_or(0);
         }
         let num_stages = stage.iter().copied().max().unwrap_or(0) + 1;
         Ok(Self {
@@ -299,7 +295,10 @@ impl JobDag {
         // Longest path ending at v (inclusive).
         let mut down = vec![0.0f64; n];
         for &v in &self.topo {
-            let base = self.children[v].iter().map(|&c| down[c]).fold(0.0, f64::max);
+            let base = self.children[v]
+                .iter()
+                .map(|&c| down[c])
+                .fold(0.0, f64::max);
             down[v] = weights[v] + base;
         }
         // Longest path starting at v (inclusive).
@@ -463,7 +462,10 @@ mod tests {
     #[test]
     fn rejects_empty_and_cyclic() {
         assert_eq!(JobDag::new(0, &[]), Err(ModelError::EmptyDag));
-        assert_eq!(JobDag::new(2, &[(0, 1), (1, 0)]), Err(ModelError::CyclicDag));
+        assert_eq!(
+            JobDag::new(2, &[(0, 1), (1, 0)]),
+            Err(ModelError::CyclicDag)
+        );
         assert_eq!(JobDag::new(1, &[(0, 0)]), Err(ModelError::CyclicDag));
     }
 
@@ -592,7 +594,10 @@ mod tests {
     fn from_shape_round_trip() {
         for shape in [
             DagShape::Chain { len: 3 },
-            DagShape::Tree { depth: 2, fan_in: 3 },
+            DagShape::Tree {
+                depth: 2,
+                fan_in: 3,
+            },
             DagShape::WShape,
             DagShape::InvertedV { width: 4 },
             DagShape::ParallelChains { chains: 2, len: 3 },
@@ -606,7 +611,9 @@ mod tests {
     #[test]
     fn stage_partition_covers_all_vertices() {
         let d = JobDag::w_shape().unwrap();
-        let total: usize = (0..d.num_stages()).map(|s| d.vertices_in_stage(s).len()).sum();
+        let total: usize = (0..d.num_stages())
+            .map(|s| d.vertices_in_stage(s).len())
+            .sum();
         assert_eq!(total, d.num_vertices());
     }
 }

@@ -43,7 +43,10 @@ impl fmt::Display for ModelError {
         match self {
             ModelError::CyclicDag => write!(f, "dependency graph contains a cycle"),
             ModelError::VertexOutOfBounds { vertex, len } => {
-                write!(f, "edge references vertex {vertex} but DAG has {len} vertices")
+                write!(
+                    f,
+                    "edge references vertex {vertex} but DAG has {len} vertices"
+                )
             }
             ModelError::EmptyDag => write!(f, "job DAG must contain at least one coflow"),
             ModelError::CoflowCountMismatch { coflows, vertices } => write!(

@@ -262,7 +262,11 @@ fn waterfill(
             }
         }
         frozen[f] = true;
-        let rate = if fresh.is_finite() { fresh.max(0.0) } else { 0.0 };
+        let rate = if fresh.is_finite() {
+            fresh.max(0.0)
+        } else {
+            0.0
+        };
         rates[f] = rate;
         for l in demands[f].path {
             let s = links.get_mut(&l.index()).expect("path link registered");
@@ -304,7 +308,10 @@ mod tests {
 
     #[test]
     fn local_flow_gets_infinite_rate() {
-        let demands = vec![Demand { path: &[], queue: 0 }];
+        let demands = vec![Demand {
+            path: &[],
+            queue: 0,
+        }];
         let rates = allocate(&demands, caps_all(1.0), &spq(1));
         assert_eq!(rates[0], f64::INFINITY);
     }
@@ -317,7 +324,10 @@ mod tests {
         let b = [LinkId(0)];
         let c = [LinkId(1)];
         let demands = vec![
-            Demand { path: &ab, queue: 0 },
+            Demand {
+                path: &ab,
+                queue: 0,
+            },
             Demand { path: &b, queue: 0 },
             Demand { path: &c, queue: 0 },
         ];
@@ -332,13 +342,14 @@ mod tests {
     #[test]
     fn strict_priority_starves_lower_class() {
         let l = [LinkId(0)];
-        let demands = vec![
-            Demand { path: &l, queue: 0 },
-            Demand { path: &l, queue: 1 },
-        ];
+        let demands = vec![Demand { path: &l, queue: 0 }, Demand { path: &l, queue: 1 }];
         let rates = allocate(&demands, caps_all(5.0), &spq(2));
         assert!((rates[0] - 5.0).abs() < 1e-9);
-        assert!(rates[1].abs() < 1e-9, "lower priority must starve, got {}", rates[1]);
+        assert!(
+            rates[1].abs() < 1e-9,
+            "lower priority must starve, got {}",
+            rates[1]
+        );
     }
 
     #[test]
@@ -347,8 +358,14 @@ mod tests {
         let high = [LinkId(0), LinkId(1)]; // link 1 cap 1 bottlenecks it
         let low = [LinkId(0)];
         let demands = vec![
-            Demand { path: &high, queue: 0 },
-            Demand { path: &low, queue: 1 },
+            Demand {
+                path: &high,
+                queue: 0,
+            },
+            Demand {
+                path: &low,
+                queue: 1,
+            },
         ];
         let caps = |l: LinkId| if l.index() == 1 { 1.0 } else { 4.0 };
         let rates = allocate(&demands, caps, &spq(2));
@@ -359,10 +376,7 @@ mod tests {
     #[test]
     fn wrr_respects_weights() {
         let l = [LinkId(0)];
-        let demands = vec![
-            Demand { path: &l, queue: 0 },
-            Demand { path: &l, queue: 1 },
-        ];
+        let demands = vec![Demand { path: &l, queue: 0 }, Demand { path: &l, queue: 1 }];
         let disc = Discipline::WeightedRoundRobin {
             weights: vec![3.0, 1.0],
         };
@@ -406,7 +420,9 @@ mod tests {
         // Deterministic pseudo-random demands over a small link set.
         let mut state = 12345u64;
         let mut next = move || {
-            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             (state >> 33) as usize
         };
         let link_ids: Vec<[LinkId; 3]> = (0..40)
@@ -452,9 +468,18 @@ mod tests {
         let p2 = [LinkId(1), LinkId(2)];
         let p3 = [LinkId(2)];
         let demands = vec![
-            Demand { path: &p1, queue: 0 },
-            Demand { path: &p2, queue: 0 },
-            Demand { path: &p3, queue: 0 },
+            Demand {
+                path: &p1,
+                queue: 0,
+            },
+            Demand {
+                path: &p2,
+                queue: 0,
+            },
+            Demand {
+                path: &p3,
+                queue: 0,
+            },
         ];
         let rates = allocate(&demands, caps_all(6.0), &spq(1));
         let mut usage = [0.0f64; 3];
@@ -464,10 +489,7 @@ mod tests {
             }
         }
         for (d, r) in demands.iter().zip(&rates) {
-            let tight = d
-                .path
-                .iter()
-                .any(|l| usage[l.index()] >= 6.0 - 1e-6);
+            let tight = d.path.iter().any(|l| usage[l.index()] >= 6.0 - 1e-6);
             assert!(tight, "flow with rate {r} not bottlenecked anywhere");
         }
     }
@@ -485,9 +507,7 @@ mod tests {
     fn rejects_nonpositive_wrr_weight() {
         let l = [LinkId(0)];
         let demands = vec![Demand { path: &l, queue: 0 }];
-        let disc = Discipline::WeightedRoundRobin {
-            weights: vec![0.0],
-        };
+        let disc = Discipline::WeightedRoundRobin { weights: vec![0.0] };
         let _ = allocate(&demands, caps_all(1.0), &disc);
     }
 

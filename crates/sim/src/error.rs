@@ -34,6 +34,21 @@ pub enum SimError {
         /// The configured maximum number of events.
         max_events: u64,
     },
+    /// A fault schedule entry is invalid: unknown link or host, a
+    /// degradation factor outside `(0, 1]`, or a non-finite/negative
+    /// injection time.
+    InvalidFault {
+        /// Human-readable description of the rejected fault.
+        reason: String,
+    },
+    /// Every in-flight flow is parked on failed links and no recovery,
+    /// arrival, or further fault is scheduled: the run can never drain.
+    /// Reported eagerly instead of spinning the event loop into
+    /// [`SimError::EventBudgetExhausted`].
+    StrandedFlows {
+        /// Number of flows parked when the deadlock was detected.
+        parked: usize,
+    },
 }
 
 impl fmt::Display for SimError {
@@ -53,7 +68,19 @@ impl fmt::Display for SimError {
                 "scheduler requested {requested} priority queues but switches support {supported}"
             ),
             SimError::EventBudgetExhausted { max_events } => {
-                write!(f, "event budget of {max_events} events exhausted before all jobs completed")
+                write!(
+                    f,
+                    "event budget of {max_events} events exhausted before all jobs completed"
+                )
+            }
+            SimError::InvalidFault { reason } => {
+                write!(f, "invalid fault: {reason}")
+            }
+            SimError::StrandedFlows { parked } => {
+                write!(
+                    f,
+                    "{parked} flow(s) parked on failed links with no recovery scheduled; run cannot drain"
+                )
             }
         }
     }
@@ -67,7 +94,9 @@ mod tests {
 
     #[test]
     fn display_messages() {
-        assert!(SimError::InvalidPodCount { k: 3 }.to_string().contains("even"));
+        assert!(SimError::InvalidPodCount { k: 3 }
+            .to_string()
+            .contains("even"));
         assert!(SimError::UnknownHost {
             host: 9,
             num_hosts: 4
@@ -83,6 +112,14 @@ mod tests {
         assert!(SimError::EventBudgetExhausted { max_events: 5 }
             .to_string()
             .contains("budget"));
+        assert!(SimError::InvalidFault {
+            reason: "factor 2.0 out of range".into()
+        }
+        .to_string()
+        .contains("factor"));
+        assert!(SimError::StrandedFlows { parked: 3 }
+            .to_string()
+            .contains("parked"));
     }
 
     #[test]

@@ -1,17 +1,31 @@
-//! Fault injection: degraded fabrics.
+//! Fault injection: degraded fabrics and time-scheduled fault events.
 //!
 //! Datacenter links brown out (lossy optics, unbalanced LAGs, partial
-//! switch failures) far more often than they fail cleanly. A
-//! [`DegradedFabric`] wraps any [`Fabric`] and scales selected links'
-//! capacities by per-link factors, letting tests and experiments measure
-//! how schedulers behave when parts of the network slow down — without
-//! touching routing (ECMP stays oblivious, exactly like real unequal-
-//! capacity incidents).
+//! switch failures) far more often than they fail cleanly — and real
+//! incidents are *dynamic*: capacity sags mid-run, links die, and both
+//! recover while jobs are in flight. Two layers model this:
+//!
+//! * **Static degradation** — [`DegradedFabric`] wraps any [`Fabric`]
+//!   and scales selected links' capacities by per-link factors frozen at
+//!   construction, for steady-state brown-out experiments.
+//! * **Scheduled faults** — a [`FaultSchedule`] of timed [`FaultEvent`]s
+//!   delivered through the simulator event loop
+//!   ([`crate::runtime::Simulation::try_run_with_faults`]). The engine
+//!   maintains a [`FaultOverlay`] of live capacity factors and dead
+//!   links; on a hard [`FaultEvent::FailLink`] it reroutes affected
+//!   flows via ECMP re-salting (preserving bytes already delivered) and
+//!   parks flows with no surviving path until the matching
+//!   [`FaultEvent::RecoverLink`]. [`MutableFabric`] exposes the same
+//!   overlay as a standalone [`Fabric`] for tests and tools.
+//!
+//! Degradations never touch routing (ECMP stays oblivious, exactly like
+//! real unequal-capacity incidents); only hard failures do.
 
 use crate::topology::{Fabric, LinkId};
 use crate::SimError;
 use gurita_model::HostId;
-use std::collections::HashMap;
+use serde::{Deserialize, Serialize};
+use std::collections::{HashMap, HashSet};
 
 /// A fabric with per-link capacity degradation factors.
 ///
@@ -45,19 +59,33 @@ impl<F: Fabric> DegradedFabric<F> {
     /// # Panics
     ///
     /// Panics unless `0 < factor <= 1` (a zero-capacity link would stall
-    /// every flow routed over it forever; model hard failures by
-    /// rerouting at the workload level instead) and the link exists.
-    pub fn with_degraded_link(mut self, link: LinkId, factor: f64) -> Self {
-        assert!(
-            factor > 0.0 && factor <= 1.0,
-            "degradation factor must be in (0, 1], got {factor}"
-        );
-        assert!(
-            link.index() < self.inner.num_links(),
-            "link {link:?} out of range"
-        );
+    /// every flow routed over it forever; model hard failures with a
+    /// [`FaultSchedule`] instead) and the link exists. Use
+    /// [`DegradedFabric::try_with_degraded_link`] for a fallible variant.
+    pub fn with_degraded_link(self, link: LinkId, factor: f64) -> Self {
+        self.try_with_degraded_link(link, factor)
+            .unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Fallible variant of [`DegradedFabric::with_degraded_link`].
+    ///
+    /// # Errors
+    ///
+    /// [`SimError::InvalidFault`] if `factor` is outside `(0, 1]` or the
+    /// link does not exist.
+    pub fn try_with_degraded_link(mut self, link: LinkId, factor: f64) -> Result<Self, SimError> {
+        validate_factor(factor)?;
+        if link.index() >= self.inner.num_links() {
+            return Err(SimError::InvalidFault {
+                reason: format!(
+                    "link {} out of range (fabric has {} links)",
+                    link.index(),
+                    self.inner.num_links()
+                ),
+            });
+        }
         self.factors.insert(link.index(), factor);
-        self
+        Ok(self)
     }
 
     /// Degrades every link of `host`'s up/down pair (NIC brown-out) on
@@ -67,13 +95,28 @@ impl<F: Fabric> DegradedFabric<F> {
     ///
     /// # Panics
     ///
-    /// Panics on an invalid factor or host (see
-    /// [`DegradedFabric::with_degraded_link`]).
+    /// Panics on an invalid factor or host. Use
+    /// [`DegradedFabric::try_with_degraded_host`] for a fallible variant.
     pub fn with_degraded_host(self, host: HostId, factor: f64) -> Self {
+        self.try_with_degraded_host(host, factor)
+            .unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Fallible variant of [`DegradedFabric::with_degraded_host`].
+    ///
+    /// # Errors
+    ///
+    /// [`SimError::InvalidFault`] if `factor` is outside `(0, 1]` or the
+    /// host does not exist.
+    pub fn try_with_degraded_host(self, host: HostId, factor: f64) -> Result<Self, SimError> {
         let n = self.inner.num_hosts();
-        assert!(host.index() < n, "host {host} out of range");
-        self.with_degraded_link(LinkId(host.index()), factor)
-            .with_degraded_link(LinkId(n + host.index()), factor)
+        if host.index() >= n {
+            return Err(SimError::InvalidFault {
+                reason: format!("host {host} out of range (fabric has {n} hosts)"),
+            });
+        }
+        self.try_with_degraded_link(LinkId(host.index()), factor)?
+            .try_with_degraded_link(LinkId(n + host.index()), factor)
     }
 
     /// Number of degraded links.
@@ -102,6 +145,360 @@ impl<F: Fabric> Fabric for DegradedFabric<F> {
             Some(&f) => base * f,
             None => base,
         }
+    }
+
+    fn path(&self, src: HostId, dst: HostId, salt: u64) -> Result<Vec<LinkId>, SimError> {
+        self.inner.path(src, dst, salt)
+    }
+}
+
+fn validate_factor(factor: f64) -> Result<(), SimError> {
+    if factor > 0.0 && factor <= 1.0 {
+        Ok(())
+    } else {
+        Err(SimError::InvalidFault {
+            reason: format!("degradation factor must be in (0, 1], got {factor}"),
+        })
+    }
+}
+
+/// One fault, applied instantaneously when its scheduled time is
+/// reached.
+///
+/// Link-level events address a single directed link; host-level events
+/// address both links of a host's up/down NIC pair. `Degrade`/`Brownout`
+/// scale capacity (soft fault: routing untouched); `Fail` removes the
+/// link entirely (hard fault: flows reroute or park).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum FaultEvent {
+    /// Scale one link to `factor` of its base capacity.
+    DegradeLink {
+        /// The affected link.
+        link: LinkId,
+        /// Remaining fraction of capacity, in `(0, 1]`.
+        factor: f64,
+    },
+    /// Remove any degradation from one link.
+    RestoreLink {
+        /// The affected link.
+        link: LinkId,
+    },
+    /// Hard-fail one link: capacity drops to zero and flows routed over
+    /// it are rerouted (fresh ECMP salts) or parked.
+    FailLink {
+        /// The affected link.
+        link: LinkId,
+    },
+    /// Bring a hard-failed link back; parked flows resume.
+    RecoverLink {
+        /// The affected link.
+        link: LinkId,
+    },
+    /// Scale both links of a host's NIC pair to `factor` (brown-out).
+    BrownoutHost {
+        /// The affected host.
+        host: HostId,
+        /// Remaining fraction of capacity, in `(0, 1]`.
+        factor: f64,
+    },
+    /// Remove any degradation from a host's NIC pair.
+    RestoreHost {
+        /// The affected host.
+        host: HostId,
+    },
+    /// Hard-fail both links of a host's NIC pair.
+    FailHost {
+        /// The affected host.
+        host: HostId,
+    },
+    /// Bring a hard-failed host back; parked flows resume.
+    RecoverHost {
+        /// The affected host.
+        host: HostId,
+    },
+}
+
+impl FaultEvent {
+    /// The directed links this event addresses on a fabric with
+    /// `num_hosts` hosts (host events expand to the up/down pair).
+    pub fn links(&self, num_hosts: usize) -> Vec<LinkId> {
+        match *self {
+            FaultEvent::DegradeLink { link, .. }
+            | FaultEvent::RestoreLink { link }
+            | FaultEvent::FailLink { link }
+            | FaultEvent::RecoverLink { link } => vec![link],
+            FaultEvent::BrownoutHost { host, .. }
+            | FaultEvent::RestoreHost { host }
+            | FaultEvent::FailHost { host }
+            | FaultEvent::RecoverHost { host } => {
+                vec![LinkId(host.index()), LinkId(num_hosts + host.index())]
+            }
+        }
+    }
+
+    /// Whether this event kills links (hard failure).
+    pub fn is_failure(&self) -> bool {
+        matches!(
+            self,
+            FaultEvent::FailLink { .. } | FaultEvent::FailHost { .. }
+        )
+    }
+
+    /// Whether this event revives previously hard-failed links.
+    pub fn is_recovery(&self) -> bool {
+        matches!(
+            self,
+            FaultEvent::RecoverLink { .. } | FaultEvent::RecoverHost { .. }
+        )
+    }
+
+    fn validate(&self, fabric: &impl Fabric) -> Result<(), SimError> {
+        if let FaultEvent::DegradeLink { factor, .. } | FaultEvent::BrownoutHost { factor, .. } =
+            self
+        {
+            validate_factor(*factor)?;
+        }
+        match *self {
+            FaultEvent::BrownoutHost { host, .. }
+            | FaultEvent::RestoreHost { host }
+            | FaultEvent::FailHost { host }
+            | FaultEvent::RecoverHost { host }
+                if host.index() >= fabric.num_hosts() =>
+            {
+                return Err(SimError::InvalidFault {
+                    reason: format!(
+                        "host {host} out of range (fabric has {} hosts)",
+                        fabric.num_hosts()
+                    ),
+                });
+            }
+            _ => {}
+        }
+        for l in self.links(fabric.num_hosts()) {
+            if l.index() >= fabric.num_links() {
+                return Err(SimError::InvalidFault {
+                    reason: format!(
+                        "link {} out of range (fabric has {} links)",
+                        l.index(),
+                        fabric.num_links()
+                    ),
+                });
+            }
+        }
+        Ok(())
+    }
+}
+
+/// A [`FaultEvent`] with its injection time.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct TimedFault {
+    /// Simulation time at which the fault applies, in seconds.
+    pub at: f64,
+    /// The fault.
+    pub event: FaultEvent,
+}
+
+/// A time-ordered script of faults injected into a run.
+///
+/// Build one with [`FaultSchedule::push`] (any insertion order; the
+/// engine sequences events by time) and pass it to
+/// [`crate::runtime::Simulation::try_run_with_faults`].
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct FaultSchedule {
+    events: Vec<TimedFault>,
+}
+
+impl FaultSchedule {
+    /// An empty schedule (equivalent to a healthy run).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds `event` at time `at`.
+    pub fn push(&mut self, at: f64, event: FaultEvent) -> &mut Self {
+        self.events.push(TimedFault { at, event });
+        self
+    }
+
+    /// The scheduled faults, in insertion order.
+    pub fn events(&self) -> &[TimedFault] {
+        &self.events
+    }
+
+    /// Number of scheduled faults.
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// Whether the schedule is empty.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// Checks every entry against `fabric`: links/hosts must exist,
+    /// factors must lie in `(0, 1]`, times must be finite and
+    /// non-negative.
+    ///
+    /// # Errors
+    ///
+    /// [`SimError::InvalidFault`] describing the first offending entry.
+    pub fn validate(&self, fabric: &impl Fabric) -> Result<(), SimError> {
+        for tf in &self.events {
+            if !tf.at.is_finite() || tf.at < 0.0 {
+                return Err(SimError::InvalidFault {
+                    reason: format!("fault time must be finite and >= 0, got {}", tf.at),
+                });
+            }
+            tf.event.validate(fabric)?;
+        }
+        Ok(())
+    }
+}
+
+/// Live capacity state accumulated from applied [`FaultEvent`]s:
+/// per-link degradation factors plus the set of hard-failed links.
+///
+/// The runtime owns one per faulted run; [`MutableFabric`] packages one
+/// with a base fabric for standalone use.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct FaultOverlay {
+    factors: HashMap<usize, f64>,
+    dead: HashSet<usize>,
+}
+
+impl FaultOverlay {
+    /// An overlay with no faults applied.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Multiplier on the base capacity of link `l`: `0.0` when the link
+    /// is hard-failed, its degradation factor when browned out, `1.0`
+    /// when healthy.
+    pub fn scale(&self, l: LinkId) -> f64 {
+        if self.dead.contains(&l.index()) {
+            0.0
+        } else {
+            self.factors.get(&l.index()).copied().unwrap_or(1.0)
+        }
+    }
+
+    /// Whether link `l` is hard-failed.
+    pub fn is_dead(&self, l: LinkId) -> bool {
+        self.dead.contains(&l.index())
+    }
+
+    /// Whether any link is hard-failed.
+    pub fn has_failures(&self) -> bool {
+        !self.dead.is_empty()
+    }
+
+    /// Whether `path` crosses a hard-failed link.
+    pub fn path_is_dead(&self, path: &[LinkId]) -> bool {
+        path.iter().any(|l| self.is_dead(*l))
+    }
+
+    /// Number of links currently degraded (browned out, not dead).
+    pub fn num_degraded(&self) -> usize {
+        self.factors.len()
+    }
+
+    /// Applies `event` (validated elsewhere) on a fabric with
+    /// `num_hosts` hosts. Returns the links that *changed* liveness:
+    /// `(newly_dead, revived)`.
+    pub fn apply(&mut self, event: &FaultEvent, num_hosts: usize) -> (Vec<LinkId>, Vec<LinkId>) {
+        let links = event.links(num_hosts);
+        let mut newly_dead = Vec::new();
+        let mut revived = Vec::new();
+        for l in links {
+            match event {
+                FaultEvent::DegradeLink { factor, .. }
+                | FaultEvent::BrownoutHost { factor, .. } => {
+                    self.factors.insert(l.index(), *factor);
+                }
+                FaultEvent::RestoreLink { .. } | FaultEvent::RestoreHost { .. } => {
+                    self.factors.remove(&l.index());
+                }
+                FaultEvent::FailLink { .. } | FaultEvent::FailHost { .. } => {
+                    if self.dead.insert(l.index()) {
+                        newly_dead.push(l);
+                    }
+                }
+                FaultEvent::RecoverLink { .. } | FaultEvent::RecoverHost { .. } => {
+                    if self.dead.remove(&l.index()) {
+                        revived.push(l);
+                    }
+                }
+            }
+        }
+        (newly_dead, revived)
+    }
+}
+
+/// A fabric whose capacities change as faults are applied: a base
+/// [`Fabric`] composed with a [`FaultOverlay`].
+///
+/// Hard-failed links report zero capacity; routing is delegated
+/// unchanged (callers decide how to react to dead links, exactly as the
+/// runtime does via rerouting/parking).
+///
+/// # Example
+///
+/// ```
+/// use gurita_sim::faults::{FaultEvent, MutableFabric};
+/// use gurita_sim::topology::{BigSwitch, Fabric, LinkId};
+/// let mut fab = MutableFabric::new(BigSwitch::new(4, 100.0));
+/// fab.apply(&FaultEvent::DegradeLink { link: LinkId(1), factor: 0.5 });
+/// assert_eq!(fab.link_capacity(LinkId(1)), 50.0);
+/// fab.apply(&FaultEvent::FailLink { link: LinkId(1) });
+/// assert_eq!(fab.link_capacity(LinkId(1)), 0.0);
+/// fab.apply(&FaultEvent::RecoverLink { link: LinkId(1) });
+/// assert_eq!(fab.link_capacity(LinkId(1)), 50.0); // degradation persists
+/// ```
+#[derive(Debug, Clone)]
+pub struct MutableFabric<F> {
+    inner: F,
+    overlay: FaultOverlay,
+}
+
+impl<F: Fabric> MutableFabric<F> {
+    /// Wraps a healthy fabric.
+    pub fn new(inner: F) -> Self {
+        Self {
+            inner,
+            overlay: FaultOverlay::new(),
+        }
+    }
+
+    /// Applies one fault event, mutating capacities in place. Returns
+    /// the links that changed liveness as `(newly_dead, revived)`.
+    pub fn apply(&mut self, event: &FaultEvent) -> (Vec<LinkId>, Vec<LinkId>) {
+        let n = self.inner.num_hosts();
+        self.overlay.apply(event, n)
+    }
+
+    /// The live fault state.
+    pub fn overlay(&self) -> &FaultOverlay {
+        &self.overlay
+    }
+
+    /// Borrows the wrapped fabric.
+    pub fn inner(&self) -> &F {
+        &self.inner
+    }
+}
+
+impl<F: Fabric> Fabric for MutableFabric<F> {
+    fn num_hosts(&self) -> usize {
+        self.inner.num_hosts()
+    }
+
+    fn num_links(&self) -> usize {
+        self.inner.num_links()
+    }
+
+    fn link_capacity(&self, l: LinkId) -> f64 {
+        self.inner.link_capacity(l) * self.overlay.scale(l)
     }
 
     fn path(&self, src: HostId, dst: HostId, salt: u64) -> Result<Vec<LinkId>, SimError> {
@@ -158,8 +555,8 @@ mod tests {
             sim.run(vec![job.clone()], &mut FifoScheduler::new(1))
         };
         let degraded = {
-            let fabric = DegradedFabric::new(BigSwitch::new(4, MB))
-                .with_degraded_host(HostId(1), 0.5);
+            let fabric =
+                DegradedFabric::new(BigSwitch::new(4, MB)).with_degraded_host(HostId(1), 0.5);
             let mut sim = Simulation::new(fabric, SimConfig::default());
             sim.run(vec![job], &mut FifoScheduler::new(1))
         };
@@ -177,5 +574,131 @@ mod tests {
     #[should_panic(expected = "out of range")]
     fn rejects_unknown_link() {
         let _ = DegradedFabric::new(BigSwitch::new(2, 1.0)).with_degraded_link(LinkId(99), 0.5);
+    }
+
+    #[test]
+    fn try_builders_report_instead_of_panicking() {
+        let base = || DegradedFabric::new(BigSwitch::new(2, 1.0));
+        let err = base().try_with_degraded_link(LinkId(0), 0.0).unwrap_err();
+        assert!(matches!(err, SimError::InvalidFault { .. }), "{err}");
+        let err = base().try_with_degraded_link(LinkId(99), 0.5).unwrap_err();
+        assert!(err.to_string().contains("out of range"));
+        let err = base().try_with_degraded_host(HostId(7), 0.5).unwrap_err();
+        assert!(err.to_string().contains("host"));
+        let ok = base().try_with_degraded_host(HostId(1), 0.5).unwrap();
+        assert_eq!(ok.num_degraded(), 2);
+    }
+
+    #[test]
+    fn fault_event_links_expand_hosts() {
+        let e = FaultEvent::BrownoutHost {
+            host: HostId(3),
+            factor: 0.5,
+        };
+        assert_eq!(e.links(8), vec![LinkId(3), LinkId(11)]);
+        let e = FaultEvent::FailLink { link: LinkId(5) };
+        assert_eq!(e.links(8), vec![LinkId(5)]);
+        assert!(e.is_failure() && !e.is_recovery());
+        assert!(FaultEvent::RecoverHost { host: HostId(0) }.is_recovery());
+    }
+
+    #[test]
+    fn schedule_validation_catches_bad_entries() {
+        let fab = BigSwitch::new(4, 1.0);
+        let mut s = FaultSchedule::new();
+        s.push(
+            1.0,
+            FaultEvent::DegradeLink {
+                link: LinkId(0),
+                factor: 0.5,
+            },
+        );
+        assert!(s.validate(&fab).is_ok());
+        assert_eq!(s.len(), 1);
+        assert!(!s.is_empty());
+
+        let mut bad_factor = FaultSchedule::new();
+        bad_factor.push(
+            0.0,
+            FaultEvent::BrownoutHost {
+                host: HostId(0),
+                factor: 1.5,
+            },
+        );
+        assert!(matches!(
+            bad_factor.validate(&fab),
+            Err(SimError::InvalidFault { .. })
+        ));
+
+        let mut bad_link = FaultSchedule::new();
+        bad_link.push(0.0, FaultEvent::FailLink { link: LinkId(400) });
+        assert!(bad_link.validate(&fab).is_err());
+
+        let mut bad_host = FaultSchedule::new();
+        bad_host.push(0.0, FaultEvent::RestoreHost { host: HostId(9) });
+        assert!(bad_host.validate(&fab).is_err());
+
+        let mut bad_time = FaultSchedule::new();
+        bad_time.push(-1.0, FaultEvent::RestoreLink { link: LinkId(0) });
+        assert!(bad_time.validate(&fab).is_err());
+    }
+
+    #[test]
+    fn overlay_tracks_death_and_revival() {
+        let mut o = FaultOverlay::new();
+        let (dead, _) = o.apply(&FaultEvent::FailHost { host: HostId(1) }, 4);
+        assert_eq!(dead, vec![LinkId(1), LinkId(5)]);
+        assert!(o.is_dead(LinkId(1)) && o.is_dead(LinkId(5)));
+        assert!(o.has_failures());
+        assert_eq!(o.scale(LinkId(1)), 0.0);
+        assert!(o.path_is_dead(&[LinkId(0), LinkId(5)]));
+        // Double-fail is idempotent.
+        let (dead, _) = o.apply(&FaultEvent::FailLink { link: LinkId(1) }, 4);
+        assert!(dead.is_empty());
+        let (_, revived) = o.apply(&FaultEvent::RecoverHost { host: HostId(1) }, 4);
+        assert_eq!(revived, vec![LinkId(1), LinkId(5)]);
+        assert!(!o.has_failures());
+        assert_eq!(o.scale(LinkId(1)), 1.0);
+    }
+
+    #[test]
+    fn mutable_fabric_layers_degradation_under_failure() {
+        let mut fab = MutableFabric::new(BigSwitch::new(4, 100.0));
+        fab.apply(&FaultEvent::BrownoutHost {
+            host: HostId(0),
+            factor: 0.25,
+        });
+        assert_eq!(fab.link_capacity(LinkId(0)), 25.0);
+        fab.apply(&FaultEvent::FailLink { link: LinkId(0) });
+        assert_eq!(fab.link_capacity(LinkId(0)), 0.0);
+        assert_eq!(fab.link_capacity(LinkId(4)), 25.0);
+        fab.apply(&FaultEvent::RecoverLink { link: LinkId(0) });
+        assert_eq!(fab.link_capacity(LinkId(0)), 25.0);
+        fab.apply(&FaultEvent::RestoreHost { host: HostId(0) });
+        assert_eq!(fab.link_capacity(LinkId(0)), 100.0);
+        assert_eq!(fab.overlay().num_degraded(), 0);
+        assert_eq!(fab.num_hosts(), 4);
+        assert_eq!(fab.num_links(), 8);
+        assert!(fab
+            .path(HostId(0), HostId(1), 3)
+            .unwrap()
+            .contains(&LinkId(0)));
+        assert_eq!(fab.inner().num_hosts(), 4);
+    }
+
+    #[test]
+    fn schedule_serializes_round_trip() {
+        let mut s = FaultSchedule::new();
+        s.push(
+            0.5,
+            FaultEvent::DegradeLink {
+                link: LinkId(3),
+                factor: 0.25,
+            },
+        )
+        .push(2.0, FaultEvent::FailHost { host: HostId(1) });
+        let json = serde_json::to_string_pretty(&s).unwrap();
+        let back: FaultSchedule = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, s);
     }
 }

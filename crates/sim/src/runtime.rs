@@ -20,11 +20,12 @@
 //! only to flows that start later.
 
 use crate::bandwidth::{allocate, Demand, Discipline};
+use crate::faults::{FaultOverlay, FaultSchedule, TimedFault};
 use crate::sched::{CoflowObs, FlowObs, JobObs, Observation, Oracle, QueuePolicy, Scheduler};
-use crate::stats::{CoflowResult, JobResult, RunResult};
+use crate::stats::{CoflowResult, FaultRecord, JobResult, RunResult};
 use crate::topology::{Fabric, LinkId};
 use crate::SimError;
-use gurita_model::{CoflowId, FlowId, JobId, JobSpec};
+use gurita_model::{CoflowId, FlowId, HostId, JobId, JobSpec};
 use std::cmp::Ordering;
 use std::collections::{BinaryHeap, HashMap};
 
@@ -63,7 +64,13 @@ impl Default for SimConfig {
 enum EventKind {
     JobArrival(JobId),
     Tick,
-    Completion { generation: u64 },
+    Completion {
+        generation: u64,
+    },
+    /// Apply `fault_schedule[index]` to the fabric overlay.
+    Fault {
+        index: usize,
+    },
 }
 
 #[derive(Debug)]
@@ -99,12 +106,17 @@ impl Ord for Event {
 struct FlowState {
     id: FlowId,
     coflow: CoflowId,
+    src: HostId,
+    dst: HostId,
     path: Vec<LinkId>,
     size: f64,
     remaining: f64,
     queue: usize,
     rate: f64,
     fresh: bool,
+    /// The flow's path crosses a hard-failed link and no detour exists;
+    /// it holds its delivered bytes at zero rate until a recovery.
+    parked: bool,
 }
 
 impl FlowState {
@@ -147,6 +159,10 @@ struct JobState {
     remaining_coflows: usize,
     /// Bytes received by already-completed coflows.
     completed_bytes: f64,
+    /// Flows of this job rerouted around failed links.
+    fault_reroutes: usize,
+    /// Flows of this job parked on failed links.
+    fault_parks: usize,
 }
 
 /// A flow-level datacenter simulation over a fabric.
@@ -196,7 +212,48 @@ impl<F: Fabric> Simulation<F> {
         jobs: Vec<JobSpec>,
         scheduler: &mut dyn Scheduler,
     ) -> Result<RunResult, SimError> {
-        Engine::new(&self.fabric, &self.config, jobs, scheduler).run()
+        self.try_run_with_faults(jobs, scheduler, &FaultSchedule::new())
+    }
+
+    /// Runs `jobs` under `scheduler` while injecting `faults` at their
+    /// scheduled times. See [`crate::faults`] for the fault model:
+    /// degradations scale link capacities in place; hard failures
+    /// reroute affected flows over fresh ECMP paths (delivered bytes
+    /// preserved) or park them until the matching recovery.
+    ///
+    /// # Panics
+    ///
+    /// Panics on any [`SimError`]; use
+    /// [`Simulation::try_run_with_faults`] for the fallible variant.
+    pub fn run_with_faults(
+        &mut self,
+        jobs: Vec<JobSpec>,
+        scheduler: &mut dyn Scheduler,
+        faults: &FaultSchedule,
+    ) -> RunResult {
+        self.try_run_with_faults(jobs, scheduler, faults)
+            .expect("simulation failed; see SimError for details")
+    }
+
+    /// Fallible variant of [`Simulation::run_with_faults`].
+    ///
+    /// # Errors
+    ///
+    /// * [`SimError::InvalidFault`] if the schedule references unknown
+    ///   links/hosts, uses a factor outside `(0, 1]`, or carries a
+    ///   non-finite/negative time;
+    /// * [`SimError::StrandedFlows`] if every in-flight flow ends up
+    ///   parked on failed links with no recovery, arrival, or further
+    ///   fault scheduled;
+    /// * plus every error [`Simulation::try_run`] can produce.
+    pub fn try_run_with_faults(
+        &mut self,
+        jobs: Vec<JobSpec>,
+        scheduler: &mut dyn Scheduler,
+        faults: &FaultSchedule,
+    ) -> Result<RunResult, SimError> {
+        faults.validate(&self.fabric)?;
+        Engine::new(&self.fabric, &self.config, jobs, scheduler, faults).run()
     }
 }
 
@@ -225,6 +282,9 @@ struct Engine<'a, F: Fabric> {
     tick_pending: bool,
     link_bytes: HashMap<usize, f64>,
 
+    fault_schedule: Vec<TimedFault>,
+    overlay: FaultOverlay,
+
     result: RunResult,
     remaining_jobs: usize,
 }
@@ -235,6 +295,7 @@ impl<'a, F: Fabric> Engine<'a, F> {
         config: &'a SimConfig,
         jobs: Vec<JobSpec>,
         scheduler: &'a mut dyn Scheduler,
+        faults: &FaultSchedule,
     ) -> Self {
         let mut heap = BinaryHeap::new();
         let mut seq = 0u64;
@@ -248,6 +309,15 @@ impl<'a, F: Fabric> Engine<'a, F> {
             });
             seq += 1;
             specs.insert(job.id(), job);
+        }
+        let fault_schedule = faults.events().to_vec();
+        for (index, tf) in fault_schedule.iter().enumerate() {
+            heap.push(Event {
+                time: tf.at,
+                seq,
+                kind: EventKind::Fault { index },
+            });
+            seq += 1;
         }
         let scheduler_name = scheduler.name();
         Self {
@@ -270,6 +340,8 @@ impl<'a, F: Fabric> Engine<'a, F> {
             rates_dirty: false,
             tick_pending: false,
             link_bytes: HashMap::new(),
+            fault_schedule,
+            overlay: FaultOverlay::new(),
             result: RunResult {
                 scheduler: scheduler_name,
                 ..RunResult::default()
@@ -298,6 +370,7 @@ impl<'a, F: Fabric> Engine<'a, F> {
                         continue; // stale prediction superseded by a rate change
                     }
                 }
+                EventKind::Fault { index } => self.apply_fault(index)?,
             }
             self.harvest_completions()?;
             self.reassign_priorities();
@@ -308,6 +381,7 @@ impl<'a, F: Fabric> Engine<'a, F> {
             if self.remaining_jobs == 0 && self.flows.is_empty() {
                 break;
             }
+            self.check_stranded()?;
         }
         self.result.makespan = self.now;
         self.result.events = self.events;
@@ -349,6 +423,8 @@ impl<'a, F: Fabric> Engine<'a, F> {
             completed_stages: 0,
             remaining_coflows: n,
             completed_bytes: 0.0,
+            fault_reroutes: 0,
+            fault_parks: 0,
         };
         self.jobs_state.insert(id, state);
         for v in dag.leaves() {
@@ -378,7 +454,21 @@ impl<'a, F: Fabric> Engine<'a, F> {
         for fs in cf_spec.flows() {
             let fid = FlowId(self.next_flow_id);
             self.next_flow_id += 1;
-            let path = self.fabric.path(fs.src, fs.dst, fid.index() as u64)?;
+            // Route around hard-failed links; if every candidate path is
+            // dead, the flow starts parked and waits for a recovery.
+            let (path, parked) = if self.overlay.has_failures() {
+                match self.find_live_path(fid, fs.src, fs.dst)? {
+                    Some(p) => (p, false),
+                    None => (self.fabric.path(fs.src, fs.dst, fid.index() as u64)?, true),
+                }
+            } else {
+                (self.fabric.path(fs.src, fs.dst, fid.index() as u64)?, false)
+            };
+            if parked {
+                self.result.flows_parked += 1;
+                let js = self.jobs_state.get_mut(&job).expect("job active");
+                js.fault_parks += 1;
+            }
             state.flows.push(FlowRecord {
                 id: fid,
                 bytes_done: 0.0,
@@ -388,12 +478,15 @@ impl<'a, F: Fabric> Engine<'a, F> {
             let flow = FlowState {
                 id: fid,
                 coflow: id,
+                src: fs.src,
+                dst: fs.dst,
                 path,
                 size: fs.bytes,
                 remaining: fs.bytes,
                 queue: 0,
                 rate: 0.0,
                 fresh: true,
+                parked,
             };
             self.flow_pos.insert(fid, self.flows.len());
             self.flows.push(flow);
@@ -404,6 +497,151 @@ impl<'a, F: Fabric> Engine<'a, F> {
         Ok(())
     }
 
+    /// Applies one scheduled fault: mutate the capacity overlay, then
+    /// react to liveness changes (reroute/park on failures, resume on
+    /// recoveries) and mark rates for recomputation.
+    fn apply_fault(&mut self, index: usize) -> Result<(), SimError> {
+        let tf = self.fault_schedule[index];
+        let (newly_dead, revived) = self.overlay.apply(&tf.event, self.fabric.num_hosts());
+        let mut rec = FaultRecord {
+            at: self.now,
+            event: tf.event,
+            rerouted: 0,
+            parked: 0,
+            resumed: 0,
+        };
+        if !newly_dead.is_empty() {
+            self.handle_link_failures(&mut rec)?;
+        }
+        if !revived.is_empty() {
+            self.handle_link_recoveries(&mut rec)?;
+        }
+        self.result.flows_rerouted += rec.rerouted;
+        self.result.flows_parked += rec.parked;
+        self.result.flows_resumed += rec.resumed;
+        self.result.faults.push(rec);
+        self.rates_dirty = true;
+        Ok(())
+    }
+
+    /// Reroutes every live flow crossing a now-dead link onto a fresh
+    /// ECMP path (delivered bytes preserved); flows with no live
+    /// candidate path park at zero rate.
+    fn handle_link_failures(&mut self, rec: &mut FaultRecord) -> Result<(), SimError> {
+        let mut reroutes: Vec<(usize, Vec<LinkId>)> = Vec::new();
+        let mut parks: Vec<usize> = Vec::new();
+        for (pos, f) in self.flows.iter().enumerate() {
+            if f.parked || !self.overlay.path_is_dead(&f.path) {
+                continue;
+            }
+            match self.find_live_path(f.id, f.src, f.dst)? {
+                Some(path) => reroutes.push((pos, path)),
+                None => parks.push(pos),
+            }
+        }
+        for (pos, path) in reroutes {
+            let f = &mut self.flows[pos];
+            f.path = path;
+            rec.rerouted += 1;
+            let job = self.coflows[&f.coflow].job;
+            self.jobs_state
+                .get_mut(&job)
+                .expect("job active")
+                .fault_reroutes += 1;
+        }
+        for pos in parks {
+            let f = &mut self.flows[pos];
+            f.parked = true;
+            f.rate = 0.0;
+            rec.parked += 1;
+            let job = self.coflows[&f.coflow].job;
+            self.jobs_state
+                .get_mut(&job)
+                .expect("job active")
+                .fault_parks += 1;
+        }
+        Ok(())
+    }
+
+    /// Resumes parked flows whose stored path is live again, rerouting
+    /// those whose path is still dead but now has a live alternative.
+    fn handle_link_recoveries(&mut self, rec: &mut FaultRecord) -> Result<(), SimError> {
+        let mut resumes: Vec<(usize, Option<Vec<LinkId>>)> = Vec::new();
+        for (pos, f) in self.flows.iter().enumerate() {
+            if !f.parked {
+                continue;
+            }
+            if !self.overlay.path_is_dead(&f.path) {
+                resumes.push((pos, None));
+            } else if let Some(path) = self.find_live_path(f.id, f.src, f.dst)? {
+                resumes.push((pos, Some(path)));
+            }
+        }
+        for (pos, new_path) in resumes {
+            let f = &mut self.flows[pos];
+            f.parked = false;
+            rec.resumed += 1;
+            if let Some(path) = new_path {
+                f.path = path;
+                rec.rerouted += 1;
+                let job = self.coflows[&f.coflow].job;
+                self.jobs_state
+                    .get_mut(&job)
+                    .expect("job active")
+                    .fault_reroutes += 1;
+            }
+        }
+        Ok(())
+    }
+
+    /// Looks for an ECMP path between `src` and `dst` avoiding every
+    /// hard-failed link: the flow's natural salt first, then fresh
+    /// re-salts. Returns `None` when all candidates are dead (e.g. the
+    /// host's own NIC failed, or the fabric is salt-oblivious).
+    fn find_live_path(
+        &self,
+        fid: FlowId,
+        src: HostId,
+        dst: HostId,
+    ) -> Result<Option<Vec<LinkId>>, SimError> {
+        let base = fid.index() as u64;
+        for attempt in 0..=32u64 {
+            let salt = if attempt == 0 {
+                base
+            } else {
+                base ^ attempt.wrapping_mul(0x9E37_79B9_7F4A_7C15)
+            };
+            let path = self.fabric.path(src, dst, salt)?;
+            if !self.overlay.path_is_dead(&path) {
+                return Ok(Some(path));
+            }
+        }
+        Ok(None)
+    }
+
+    /// Detects the unrecoverable state where every in-flight flow is
+    /// parked and nothing scheduled (arrival or fault) can change that;
+    /// reports eagerly instead of ticking to `EventBudgetExhausted`.
+    fn check_stranded(&self) -> Result<(), SimError> {
+        if !self.overlay.has_failures()
+            || self.flows.is_empty()
+            || !self.flows.iter().all(|f| f.parked)
+        {
+            return Ok(());
+        }
+        let can_change = self
+            .heap
+            .iter()
+            .any(|e| matches!(e.kind, EventKind::JobArrival(_) | EventKind::Fault { .. }));
+        if can_change {
+            Ok(())
+        } else {
+            Err(SimError::StrandedFlows {
+                parked: self.flows.len(),
+            })
+        }
+    }
+
     /// Completes every flow whose remaining volume has reached zero, and
     /// cascades coflow / job completions (activating parent coflows,
     /// which may themselves complete instantly if empty or host-local).
@@ -412,9 +650,7 @@ impl<'a, F: Fabric> Engine<'a, F> {
             let mut completed_flow_ids: Vec<FlowId> = self
                 .flows
                 .iter()
-                .filter(|f| {
-                    f.remaining <= self.config.completion_eps || f.path.is_empty()
-                })
+                .filter(|f| f.remaining <= self.config.completion_eps || f.path.is_empty())
                 .map(|f| f.id)
                 .collect();
             // Also: newly activated coflows may be empty (no flows).
@@ -507,6 +743,8 @@ impl<'a, F: Fabric> Engine<'a, F> {
                 jct: self.now - js.arrival,
                 total_bytes: spec.total_bytes(),
                 num_stages: spec.num_stages(),
+                fault_reroutes: js.fault_reroutes,
+                fault_parks: js.fault_parks,
             });
             self.scheduler.on_job_completed(job_id, self.now);
             self.remaining_jobs -= 1;
@@ -583,8 +821,7 @@ impl<'a, F: Fabric> Engine<'a, F> {
                     .get(&fid)
                     .map(|&pos| self.flows[pos].remaining)
             };
-            let flow_size =
-                |fid: FlowId| self.flow_pos.get(&fid).map(|&pos| self.flows[pos].size);
+            let flow_size = |fid: FlowId| self.flow_pos.get(&fid).map(|&pos| self.flows[pos].size);
             let oracle = Oracle {
                 jobs: &self.specs,
                 remaining: &remaining,
@@ -600,7 +837,10 @@ impl<'a, F: Fabric> Engine<'a, F> {
         let nq = self.scheduler.num_queues();
         let relax = self.scheduler.reprioritizes_live_flows();
         for (ci, &queue) in assignment.iter().enumerate() {
-            assert!(queue < nq, "assigned queue {queue} out of range ({nq} queues)");
+            assert!(
+                queue < nq,
+                "assigned queue {queue} out of range ({nq} queues)"
+            );
             let cid = obs.coflows[ci].id;
             let cf = self.coflows.get_mut(&cid).expect("assigned coflow active");
             cf.queue = queue;
@@ -645,17 +885,31 @@ impl<'a, F: Fabric> Engine<'a, F> {
                 Discipline::WeightedRoundRobin { weights }
             }
         };
-        let demands: Vec<Demand<'_>> = self
-            .flows
-            .iter()
-            .map(|f| Demand {
+        // Parked flows hold at zero rate and must stay out of the
+        // allocation entirely: an empty or dead path in `demands` would
+        // otherwise grab an unconstrained (infinite) rate.
+        let mut positions: Vec<usize> = Vec::with_capacity(self.flows.len());
+        let mut demands: Vec<Demand<'_>> = Vec::with_capacity(self.flows.len());
+        for (pos, f) in self.flows.iter().enumerate() {
+            if f.parked {
+                continue;
+            }
+            positions.push(pos);
+            demands.push(Demand {
                 path: &f.path,
                 queue: f.queue,
-            })
-            .collect();
-        let rates = allocate(&demands, |l| self.fabric.link_capacity(l), &discipline);
-        for (f, r) in self.flows.iter_mut().zip(rates) {
-            f.rate = r;
+            });
+        }
+        let rates = allocate(
+            &demands,
+            |l| self.fabric.link_capacity(l) * self.overlay.scale(l),
+            &discipline,
+        );
+        for f in self.flows.iter_mut().filter(|f| f.parked) {
+            f.rate = 0.0;
+        }
+        for (pos, r) in positions.into_iter().zip(rates) {
+            self.flows[pos].rate = r;
         }
     }
 
@@ -733,7 +987,11 @@ mod tests {
             &mut FifoScheduler::new(1),
         );
         assert_eq!(res.jobs.len(), 1);
-        assert!((res.jobs[0].jct - 10.0).abs() < 1e-6, "jct = {}", res.jobs[0].jct);
+        assert!(
+            (res.jobs[0].jct - 10.0).abs() < 1e-6,
+            "jct = {}",
+            res.jobs[0].jct
+        );
         assert_eq!(res.coflows.len(), 1);
     }
 
@@ -790,7 +1048,11 @@ mod tests {
         let job = JobSpec::new(0, 0.0, coflows, JobDag::chain(2).unwrap()).unwrap();
         let mut sim = big_switch_sim();
         let res = sim.run(vec![job], &mut FifoScheduler::new(1));
-        assert!((res.jobs[0].jct - 5.0).abs() < 1e-6, "jct {}", res.jobs[0].jct);
+        assert!(
+            (res.jobs[0].jct - 5.0).abs() < 1e-6,
+            "jct {}",
+            res.jobs[0].jct
+        );
         assert_eq!(res.coflows.len(), 2);
         // Stage 1 activates exactly when stage 0 completes.
         let c0 = res.coflows.iter().find(|c| c.dag_vertex == 0).unwrap();
@@ -820,7 +1082,11 @@ mod tests {
             "parallel chain A stalled behind B"
         );
         // JCT: chain B dominates (8 + 1), then root (1): 10s total.
-        assert!((res.jobs[0].jct - 10.0).abs() < 1e-6, "jct {}", res.jobs[0].jct);
+        assert!(
+            (res.jobs[0].jct - 10.0).abs() < 1e-6,
+            "jct {}",
+            res.jobs[0].jct
+        );
     }
 
     #[test]
@@ -888,6 +1154,169 @@ mod tests {
             &mut FifoScheduler::new(1),
         );
         assert!(res.link_bytes.is_empty());
+    }
+
+    #[test]
+    fn mid_run_degrade_and_restore_stretch_completion() {
+        use crate::faults::{FaultEvent, FaultSchedule};
+        // 10 MB at 1 MB/s; halve the path for t in [2, 6): 2 MB by t=2,
+        // 2 MB more by t=6, remaining 6 MB at full rate -> done at t=12.
+        let mut sim = big_switch_sim();
+        let mut faults = FaultSchedule::new();
+        faults
+            .push(
+                2.0,
+                FaultEvent::BrownoutHost {
+                    host: HostId(1),
+                    factor: 0.5,
+                },
+            )
+            .push(6.0, FaultEvent::RestoreHost { host: HostId(1) });
+        let res = sim.run_with_faults(
+            vec![single_flow_job(0, 0.0, 0, 1, 10.0 * MB)],
+            &mut FifoScheduler::new(1),
+            &faults,
+        );
+        assert!(
+            (res.jobs[0].jct - 12.0).abs() < 1e-6,
+            "jct {}",
+            res.jobs[0].jct
+        );
+        assert_eq!(res.faults.len(), 2);
+        assert_eq!(res.flows_rerouted + res.flows_parked, 0);
+    }
+
+    #[test]
+    fn failed_link_parks_flow_until_recovery() {
+        use crate::faults::{FaultEvent, FaultSchedule};
+        use crate::topology::LinkId;
+        // BigSwitch has a single path per pair, so a hard failure cannot
+        // be rerouted: the flow parks, holds its bytes, and resumes.
+        // 10 MB: 3 MB by t=3, parked for [3, 8), done at 8 + 7 = 15.
+        let mut sim = big_switch_sim();
+        let mut faults = FaultSchedule::new();
+        faults
+            .push(3.0, FaultEvent::FailLink { link: LinkId(0) })
+            .push(8.0, FaultEvent::RecoverLink { link: LinkId(0) });
+        let res = sim.run_with_faults(
+            vec![single_flow_job(0, 0.0, 0, 1, 10.0 * MB)],
+            &mut FifoScheduler::new(1),
+            &faults,
+        );
+        assert!(
+            (res.jobs[0].jct - 15.0).abs() < 1e-6,
+            "jct {}",
+            res.jobs[0].jct
+        );
+        assert_eq!(res.flows_parked, 1);
+        assert_eq!(res.flows_resumed, 1);
+        assert_eq!(res.jobs[0].fault_parks, 1);
+        let fail = &res.faults[0];
+        assert_eq!(fail.parked, 1);
+        let recover = &res.faults[1];
+        assert_eq!(recover.resumed, 1);
+    }
+
+    #[test]
+    fn stranded_flows_error_when_no_recovery_is_scheduled() {
+        use crate::faults::{FaultEvent, FaultSchedule};
+        use crate::topology::LinkId;
+        let mut sim = big_switch_sim();
+        let mut faults = FaultSchedule::new();
+        faults.push(1.0, FaultEvent::FailLink { link: LinkId(0) });
+        let err = sim
+            .try_run_with_faults(
+                vec![single_flow_job(0, 0.0, 0, 1, 10.0 * MB)],
+                &mut FifoScheduler::new(1),
+                &faults,
+            )
+            .unwrap_err();
+        assert_eq!(err, SimError::StrandedFlows { parked: 1 });
+    }
+
+    #[test]
+    fn invalid_schedule_is_rejected_up_front() {
+        use crate::faults::{FaultEvent, FaultSchedule};
+        use crate::topology::LinkId;
+        let mut sim = big_switch_sim();
+        let mut faults = FaultSchedule::new();
+        faults.push(1.0, FaultEvent::FailLink { link: LinkId(999) });
+        let err = sim
+            .try_run_with_faults(
+                vec![single_flow_job(0, 0.0, 0, 1, MB)],
+                &mut FifoScheduler::new(1),
+                &faults,
+            )
+            .unwrap_err();
+        assert!(matches!(err, SimError::InvalidFault { .. }), "{err}");
+    }
+
+    #[test]
+    fn fat_tree_reroutes_around_a_failed_core_path() {
+        use crate::faults::{FaultEvent, FaultSchedule};
+        use crate::topology::FatTree;
+        // Cross-pod traffic on a fat-tree has multiple ECMP paths; kill
+        // one link of the flow's current path and the flow must move to
+        // another path and still finish (no park, no stall).
+        let fabric = FatTree::with_capacity(4, 1.0 * MB).unwrap();
+        let flow_path = fabric.path(HostId(0), HostId(8), 0).unwrap();
+        // Pick a core-facing link (not the first/last hop, which are the
+        // hosts' only NICs).
+        let mid = flow_path[1];
+        let job = || vec![single_flow_job(0, 0.0, 0, 8, 10.0 * MB)];
+        let healthy = {
+            let mut sim = Simulation::new(fabric.clone(), SimConfig::default());
+            sim.run(job(), &mut FifoScheduler::new(1))
+        };
+        let mut sim = Simulation::new(fabric, SimConfig::default());
+        let mut faults = FaultSchedule::new();
+        let mid_fault = healthy.jobs[0].jct / 2.0;
+        faults
+            .push(mid_fault, FaultEvent::FailLink { link: mid })
+            .push(1e6, FaultEvent::RecoverLink { link: mid });
+        let res = sim.run_with_faults(job(), &mut FifoScheduler::new(1), &faults);
+        assert_eq!(res.jobs.len(), 1);
+        assert_eq!(res.flows_rerouted, 1, "flow should re-salt, not park");
+        assert_eq!(res.flows_parked, 0);
+        assert_eq!(res.jobs[0].fault_reroutes, 1);
+        // The detour has identical capacity, and delivered bytes are
+        // preserved across the reroute: completion time is unchanged.
+        assert!(
+            (res.jobs[0].jct - healthy.jobs[0].jct).abs() < 1e-6,
+            "jct {} vs healthy {}",
+            res.jobs[0].jct,
+            healthy.jobs[0].jct
+        );
+    }
+
+    #[test]
+    fn flows_activated_during_an_outage_route_around_it() {
+        use crate::faults::{FaultEvent, FaultSchedule};
+        use crate::topology::FatTree;
+        let fabric = FatTree::with_capacity(4, 1.0 * MB).unwrap();
+        let future_path = fabric.path(HostId(0), HostId(8), 0).unwrap();
+        let mid = future_path[1];
+        let job = |arrival: f64| vec![single_flow_job(0, arrival, 0, 8, 5.0 * MB)];
+        let healthy = {
+            let mut sim = Simulation::new(fabric.clone(), SimConfig::default());
+            sim.run(job(0.0), &mut FifoScheduler::new(1))
+        };
+        let mut sim = Simulation::new(fabric, SimConfig::default());
+        let mut faults = FaultSchedule::new();
+        faults
+            .push(0.5, FaultEvent::FailLink { link: mid })
+            .push(1e6, FaultEvent::RecoverLink { link: mid });
+        // Job arrives while the link is down; its natural path would
+        // cross the dead link, so activation must pick a live detour and
+        // run at full speed from the start.
+        let res = sim.run_with_faults(job(1.0), &mut FifoScheduler::new(1), &faults);
+        assert_eq!(res.flows_parked, 0);
+        assert!(
+            (res.jobs[0].jct - healthy.jobs[0].jct).abs() < 1e-6,
+            "jct {} vs healthy {}",
+            res.jobs[0].jct,
+            healthy.jobs[0].jct
+        );
     }
 
     #[test]

@@ -1,5 +1,6 @@
 //! Simulation result records.
 
+use crate::faults::FaultEvent;
 use gurita_model::{CoflowId, JobId, SizeCategory};
 use serde::{Deserialize, Serialize};
 
@@ -42,6 +43,13 @@ pub struct JobResult {
     pub total_bytes: f64,
     /// Number of stages in the job.
     pub num_stages: usize,
+    /// How many of this job's flows were rerouted around failed links.
+    #[serde(default)]
+    pub fault_reroutes: usize,
+    /// How many of this job's flows were parked on failed links (each
+    /// later resumed, or the run would not have drained).
+    #[serde(default)]
+    pub fault_parks: usize,
 }
 
 impl JobResult {
@@ -49,6 +57,22 @@ impl JobResult {
     pub fn category(&self) -> SizeCategory {
         SizeCategory::of_bytes(self.total_bytes)
     }
+}
+
+/// One fault applied during a run and the engine's reaction to it.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct FaultRecord {
+    /// Simulation time at which the fault was applied.
+    pub at: f64,
+    /// The fault that was applied.
+    pub event: FaultEvent,
+    /// Flows moved to a fresh path when this fault hit (or when its
+    /// recovery let a parked flow reroute).
+    pub rerouted: usize,
+    /// Flows left with no live path by this fault and parked.
+    pub parked: usize,
+    /// Parked flows that resumed because of this recovery.
+    pub resumed: usize,
 }
 
 /// Result of one simulation run.
@@ -70,6 +94,19 @@ pub struct RunResult {
     /// utilization).
     #[serde(default)]
     pub link_bytes: Vec<(usize, f64)>,
+    /// Timeline of faults applied during the run, with per-fault
+    /// reroute/park/resume counts. Empty for healthy runs.
+    #[serde(default)]
+    pub faults: Vec<FaultRecord>,
+    /// Total flow reroutes caused by hard link failures.
+    #[serde(default)]
+    pub flows_rerouted: usize,
+    /// Total flows parked for lack of a live path.
+    #[serde(default)]
+    pub flows_parked: usize,
+    /// Total parked flows resumed by recoveries.
+    #[serde(default)]
+    pub flows_resumed: usize,
 }
 
 impl RunResult {
@@ -137,6 +174,8 @@ mod tests {
             jct,
             total_bytes: bytes,
             num_stages: 1,
+            fault_reroutes: 0,
+            fault_parks: 0,
         }
     }
 
@@ -147,8 +186,7 @@ mod tests {
             jobs: vec![job(0, 2.0, 10.0 * MB), job(1, 4.0, 200.0 * MB)],
             coflows: vec![],
             makespan: 4.0,
-            events: 0,
-            link_bytes: vec![],
+            ..RunResult::default()
         };
         assert_eq!(r.avg_jct(), 3.0);
         assert_eq!(r.avg_jct_in(SizeCategory::I), Some(2.0));
@@ -171,8 +209,7 @@ mod tests {
             jobs: (1..=100).map(|i| job(i, i as f64, MB)).collect(),
             coflows: vec![],
             makespan: 100.0,
-            events: 0,
-            link_bytes: vec![],
+            ..RunResult::default()
         };
         assert_eq!(r.jct_percentile(0.0), Some(1.0));
         assert_eq!(r.jct_percentile(1.0), Some(100.0));
@@ -191,5 +228,30 @@ mod tests {
             bytes: MB,
         };
         assert_eq!(c.cct(), 4.5);
+    }
+
+    #[test]
+    fn fault_fields_survive_serde_and_default_when_absent() {
+        use crate::topology::LinkId;
+        let r = RunResult {
+            scheduler: "x".into(),
+            faults: vec![FaultRecord {
+                at: 1.5,
+                event: FaultEvent::FailLink { link: LinkId(2) },
+                rerouted: 3,
+                parked: 1,
+                resumed: 0,
+            }],
+            flows_rerouted: 3,
+            flows_parked: 1,
+            ..RunResult::default()
+        };
+        let back: RunResult = serde_json::from_str(&serde_json::to_string(&r).unwrap()).unwrap();
+        assert_eq!(back, r);
+        // Pre-fault-model JSON (no fault fields) still deserializes.
+        let legacy = r#"{"scheduler":"y","jobs":[],"coflows":[],"makespan":0,"events":0}"#;
+        let old: RunResult = serde_json::from_str(legacy).unwrap();
+        assert!(old.faults.is_empty());
+        assert_eq!(old.flows_parked, 0);
     }
 }

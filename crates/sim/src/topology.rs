@@ -15,9 +15,10 @@
 
 use crate::SimError;
 use gurita_model::{units, HostId};
+use serde::{Deserialize, Serialize};
 
 /// Identifier of a directed link within a fabric.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
 pub struct LinkId(pub usize);
 
 impl LinkId {
@@ -118,7 +119,7 @@ impl FatTree {
     ///
     /// Returns [`SimError::InvalidPodCount`] unless `k` is even and ≥ 2.
     pub fn with_capacity(k: usize, capacity: f64) -> Result<Self, SimError> {
-        if k < 2 || k % 2 != 0 {
+        if k < 2 || !k.is_multiple_of(2) {
             return Err(SimError::InvalidPodCount { k });
         }
         Ok(Self {
@@ -237,9 +238,7 @@ impl Fabric for FatTree {
             // Same edge switch: up and straight back down.
             return Ok(vec![self.link_host_up(s), self.link_host_down(d)]);
         }
-        let h = mix64(
-            (s as u64) ^ (d as u64).rotate_left(21) ^ salt.rotate_left(42),
-        );
+        let h = mix64((s as u64) ^ (d as u64).rotate_left(21) ^ salt.rotate_left(42));
         let agg = (h % self.half_k as u64) as usize;
         if sp == dp {
             // Intra-pod: bounce off one aggregation switch.

@@ -1,0 +1,225 @@
+//! Seeded fault-schedule synthesis ("chaos" scenarios).
+//!
+//! Experiments that inject faults need the same reproducibility
+//! guarantee as the workload itself: identical configuration and seed
+//! must produce an identical [`FaultSchedule`]. [`ChaosGenerator`]
+//! provides that — it browns out a random subset of hosts for a window
+//! of the run and (optionally) hard-fails caller-chosen links for the
+//! same window, restoring everything afterwards so runs always drain.
+//!
+//! # Example
+//!
+//! ```
+//! use gurita_workload::chaos::{ChaosConfig, ChaosGenerator};
+//!
+//! let schedule = ChaosGenerator::new(
+//!     ChaosConfig {
+//!         num_hosts: 128,
+//!         brownout_fraction: 0.25,
+//!         severity: 0.2,
+//!         start: 1.0,
+//!         duration: 2.0,
+//!         ..ChaosConfig::default()
+//!     },
+//!     7,
+//! )
+//! .generate();
+//! // 32 hosts browned out + 32 restored.
+//! assert_eq!(schedule.len(), 64);
+//! ```
+
+use gurita_model::HostId;
+use gurita_sim::faults::{FaultEvent, FaultSchedule};
+use gurita_sim::topology::LinkId;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Parameters of a synthesized chaos scenario.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ChaosConfig {
+    /// Number of hosts in the target fabric.
+    pub num_hosts: usize,
+    /// Fraction of hosts browned out during the fault window, in
+    /// `[0, 1]`; the affected subset is drawn uniformly from the seed.
+    pub brownout_fraction: f64,
+    /// Capacity factor applied to browned-out hosts, in `(0, 1]`
+    /// (`0.2` = the host keeps 20% of its NIC bandwidth).
+    pub severity: f64,
+    /// Start of the fault window (simulation seconds).
+    pub start: f64,
+    /// Length of the fault window; every fault is restored/recovered at
+    /// `start + duration`.
+    pub duration: f64,
+    /// Links to hard-fail for the duration of the window (e.g. a core
+    /// link picked off a flow's path). Empty by default.
+    pub fail_links: Vec<LinkId>,
+}
+
+impl Default for ChaosConfig {
+    fn default() -> Self {
+        Self {
+            num_hosts: 128,
+            brownout_fraction: 0.25,
+            severity: 0.2,
+            start: 1.0,
+            duration: 2.0,
+            fail_links: Vec::new(),
+        }
+    }
+}
+
+/// Deterministic, seeded fault-schedule generator.
+#[derive(Debug)]
+pub struct ChaosGenerator {
+    config: ChaosConfig,
+    rng: StdRng,
+}
+
+impl ChaosGenerator {
+    /// Creates a generator with the given configuration and seed.
+    pub fn new(config: ChaosConfig, seed: u64) -> Self {
+        Self {
+            config,
+            rng: StdRng::seed_from_u64(seed),
+        }
+    }
+
+    /// Synthesizes the fault schedule: brown-outs and link failures at
+    /// `start`, matching restores/recoveries at `start + duration`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `brownout_fraction` is outside `[0, 1]`. Other invalid
+    /// parameters (severity, unknown links) are caught by
+    /// [`FaultSchedule::validate`] when the schedule meets its fabric.
+    pub fn generate(mut self) -> FaultSchedule {
+        let cfg = &self.config;
+        assert!(
+            (0.0..=1.0).contains(&cfg.brownout_fraction),
+            "brownout_fraction must be in [0, 1], got {}",
+            cfg.brownout_fraction
+        );
+        let end = cfg.start + cfg.duration;
+        let mut schedule = FaultSchedule::new();
+        let num_browned = (cfg.num_hosts as f64 * cfg.brownout_fraction).round() as usize;
+        for host in sample_hosts(&mut self.rng, cfg.num_hosts, num_browned) {
+            schedule.push(
+                cfg.start,
+                FaultEvent::BrownoutHost {
+                    host,
+                    factor: cfg.severity,
+                },
+            );
+            schedule.push(end, FaultEvent::RestoreHost { host });
+        }
+        for &link in &cfg.fail_links {
+            schedule.push(cfg.start, FaultEvent::FailLink { link });
+            schedule.push(end, FaultEvent::RecoverLink { link });
+        }
+        schedule
+    }
+}
+
+/// Draws `count` distinct hosts uniformly (partial Fisher–Yates over the
+/// host index range).
+fn sample_hosts(rng: &mut StdRng, num_hosts: usize, count: usize) -> Vec<HostId> {
+    let count = count.min(num_hosts);
+    let mut pool: Vec<usize> = (0..num_hosts).collect();
+    let mut picked = Vec::with_capacity(count);
+    for i in 0..count {
+        let j = rng.gen_range(i..num_hosts);
+        pool.swap(i, j);
+        picked.push(HostId(pool[i]));
+    }
+    picked
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+
+    fn cfg() -> ChaosConfig {
+        ChaosConfig {
+            num_hosts: 16,
+            brownout_fraction: 0.5,
+            severity: 0.3,
+            start: 2.0,
+            duration: 3.0,
+            fail_links: vec![LinkId(1)],
+        }
+    }
+
+    #[test]
+    fn deterministic_per_seed_and_divergent_across_seeds() {
+        let a = ChaosGenerator::new(cfg(), 9).generate();
+        let b = ChaosGenerator::new(cfg(), 9).generate();
+        let c = ChaosGenerator::new(cfg(), 10).generate();
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn every_fault_has_a_matching_restore() {
+        let schedule = ChaosGenerator::new(cfg(), 4).generate();
+        // 8 brownouts + 8 restores + 1 fail + 1 recover.
+        assert_eq!(schedule.len(), 18);
+        let (mut down, mut up) = (0, 0);
+        for tf in schedule.events() {
+            match tf.event {
+                FaultEvent::BrownoutHost { factor, .. } => {
+                    assert_eq!(factor, 0.3);
+                    assert_eq!(tf.at, 2.0);
+                    down += 1;
+                }
+                FaultEvent::RestoreHost { .. } | FaultEvent::RecoverLink { .. } => {
+                    assert_eq!(tf.at, 5.0);
+                    up += 1;
+                }
+                FaultEvent::FailLink { link } => {
+                    assert_eq!(link, LinkId(1));
+                    down += 1;
+                }
+                other => panic!("unexpected event {other:?}"),
+            }
+        }
+        assert_eq!(down, up);
+    }
+
+    #[test]
+    fn browned_hosts_are_distinct_and_in_range() {
+        let schedule = ChaosGenerator::new(
+            ChaosConfig {
+                num_hosts: 8,
+                brownout_fraction: 1.0,
+                fail_links: vec![],
+                ..cfg()
+            },
+            11,
+        )
+        .generate();
+        let browned: HashSet<usize> = schedule
+            .events()
+            .iter()
+            .filter_map(|tf| match tf.event {
+                FaultEvent::BrownoutHost { host, .. } => Some(host.index()),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(browned.len(), 8);
+        assert!(browned.iter().all(|&h| h < 8));
+    }
+
+    #[test]
+    fn zero_fraction_yields_only_link_faults() {
+        let schedule = ChaosGenerator::new(
+            ChaosConfig {
+                brownout_fraction: 0.0,
+                ..cfg()
+            },
+            1,
+        )
+        .generate();
+        assert_eq!(schedule.len(), 2);
+    }
+}

@@ -109,10 +109,10 @@ pub fn fb_tao(width: usize) -> DagTemplate {
     let dag = JobDag::new(n, &edges).expect("static TAO DAG is valid");
     // Leaves carry 80% of the bytes, mids 15%, root 5%.
     let mut byte_fraction = vec![0.80 / width as f64; width];
-    byte_fraction.extend(std::iter::repeat(0.15 / mids as f64).take(mids));
+    byte_fraction.extend(std::iter::repeat_n(0.15 / mids as f64, mids));
     byte_fraction.push(0.05);
     let mut width_scale = vec![1.5; width];
-    width_scale.extend(std::iter::repeat(0.75).take(mids));
+    width_scale.extend(std::iter::repeat_n(0.75, mids));
     width_scale.push(0.25);
     DagTemplate {
         dag,
@@ -128,8 +128,8 @@ pub fn fb_tao(width: usize) -> DagTemplate {
 /// Included so the CD workload family has more than one plan shape.
 pub fn tpcds_query52() -> DagTemplate {
     // scan_ss(0), scan_dd(1), scan_item(2) -> join(3) -> agg_sort(4)
-    let dag = JobDag::new(5, &[(0, 3), (1, 3), (2, 3), (3, 4)])
-        .expect("static query-52 DAG is valid");
+    let dag =
+        JobDag::new(5, &[(0, 3), (1, 3), (2, 3), (3, 4)]).expect("static query-52 DAG is valid");
     DagTemplate {
         dag,
         byte_fraction: vec![0.60, 0.03, 0.05, 0.27, 0.05],
@@ -279,12 +279,12 @@ pub fn template_for_dag<R: Rng + ?Sized>(rng: &mut R, dag: JobDag) -> DagTemplat
         .map(|s| stage_weight[s] * dag.vertices_in_stage(s).len().max(1) as f64)
         .sum();
     let mut byte_fraction = vec![0.0; dag.num_vertices()];
-    for s in 0..stages {
+    for (s, &weight) in stage_weight.iter().enumerate() {
         let verts = dag.vertices_in_stage(s);
         if verts.is_empty() {
             continue;
         }
-        let stage_total = stage_weight[s] * verts.len() as f64 / total_w;
+        let stage_total = weight * verts.len() as f64 / total_w;
         let split = jittered_split(rng, stage_total, verts.len(), 0.5);
         for (v, b) in verts.into_iter().zip(split) {
             byte_fraction[v] = b;
@@ -454,7 +454,11 @@ mod tests {
         for _ in 0..50 {
             let t = template_for_shape(&mut rng, DagShape::Chain { len: 6 });
             let max = t.byte_fraction.iter().copied().fold(0.0, f64::max);
-            let min = t.byte_fraction.iter().copied().fold(f64::INFINITY, f64::min);
+            let min = t
+                .byte_fraction
+                .iter()
+                .copied()
+                .fold(f64::INFINITY, f64::min);
             if max / min > 5.0 {
                 saw_skew = true;
                 break;

@@ -246,11 +246,15 @@ mod tests {
     fn samplers_are_deterministic_per_seed() {
         let a: Vec<f64> = {
             let mut r = StdRng::seed_from_u64(99);
-            (0..10).map(|_| bounded_pareto(&mut r, 1.0, 100.0, 1.1)).collect()
+            (0..10)
+                .map(|_| bounded_pareto(&mut r, 1.0, 100.0, 1.1))
+                .collect()
         };
         let b: Vec<f64> = {
             let mut r = StdRng::seed_from_u64(99);
-            (0..10).map(|_| bounded_pareto(&mut r, 1.0, 100.0, 1.1)).collect()
+            (0..10)
+                .map(|_| bounded_pareto(&mut r, 1.0, 100.0, 1.1))
+                .collect()
         };
         assert_eq!(a, b);
     }

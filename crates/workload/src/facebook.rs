@@ -236,7 +236,9 @@ mod tests {
         let c = s.sample_coflow_with_width(&mut rng, 200);
         let mut rack_counts = std::collections::HashMap::new();
         for &(src, _) in &c.endpoints {
-            *rack_counts.entry(src.index() / HOSTS_PER_RACK).or_insert(0usize) += 1;
+            *rack_counts
+                .entry(src.index() / HOSTS_PER_RACK)
+                .or_insert(0usize) += 1;
         }
         let max_rack = rack_counts.values().copied().max().unwrap();
         assert!(

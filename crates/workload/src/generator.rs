@@ -134,12 +134,14 @@ impl JobGenerator {
                 .round()
                 .max(1.0) as usize;
             let mut specs = vec![None; template.dag.num_vertices()];
-            for v in 0..template.dag.num_vertices() {
-                let width = ((base_width as f64 * template.width_scale[v]).round() as usize)
-                    .clamp(1, self.config.max_coflow_width.min(self.config.num_hosts * 4));
+            for (v, spec) in specs.iter_mut().enumerate() {
+                let width = ((base_width as f64 * template.width_scale[v]).round() as usize).clamp(
+                    1,
+                    self.config.max_coflow_width.min(self.config.num_hosts * 4),
+                );
                 let shape = sampler.sample_coflow_with_width(&mut self.rng, width);
                 let bytes = (total_bytes * template.byte_fraction[v]).max(1.0);
-                specs[v] = Some(shape.materialize(bytes));
+                *spec = Some(shape.materialize(bytes));
             }
             let coflows: Vec<_> = specs.into_iter().map(|s| s.expect("filled")).collect();
             let job = JobSpec::new(id, arrival, coflows, template.dag)
@@ -206,7 +208,11 @@ mod tests {
             // Totals must be within a few per-mille of the sampled
             // category range (materialization rounds tiny flows up to 1
             // byte, and fractions are exact otherwise).
-            assert!(j.total_bytes() >= 5.9 * MB, "job too small: {}", j.total_bytes());
+            assert!(
+                j.total_bytes() >= 5.9 * MB,
+                "job too small: {}",
+                j.total_bytes()
+            );
         }
     }
 
@@ -243,7 +249,10 @@ mod tests {
             assert_eq!(x.total_bytes(), y.total_bytes());
             assert_eq!(x.arrival(), y.arrival());
         }
-        assert!(a.iter().zip(&c).any(|(x, y)| x.total_bytes() != y.total_bytes()));
+        assert!(a
+            .iter()
+            .zip(&c)
+            .any(|(x, y)| x.total_bytes() != y.total_bytes()));
     }
 
     #[test]

@@ -17,7 +17,10 @@
 //! * [`generator`] — the [`generator::JobGenerator`] tying it together
 //!   into reproducible [`JobSpec`](gurita_model::JobSpec) batches;
 //! * [`trace`] — import/export of generated workloads (JSON, plus the
-//!   community `FB2010`-style coflow benchmark text format).
+//!   community `FB2010`-style coflow benchmark text format);
+//! * [`chaos`] — seeded synthesis of
+//!   [`FaultSchedule`](gurita_sim::faults::FaultSchedule)s (random host
+//!   brown-outs plus chosen link failures) for fault-injection runs.
 //!
 //! All sampling is driven by a caller-provided seed; identical
 //! configurations produce identical workloads.
@@ -43,6 +46,7 @@
 #![warn(missing_docs)]
 
 pub mod arrivals;
+pub mod chaos;
 pub mod dags;
 pub mod dist;
 pub mod facebook;

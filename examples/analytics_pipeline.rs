@@ -62,7 +62,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         query.num_stages(),
         background.len()
     );
-    println!("{:<12} {:>12} {:>16}", "scheduler", "query JCT", "avg JCT (all)");
+    println!(
+        "{:<12} {:>12} {:>16}",
+        "scheduler", "query JCT", "avg JCT (all)"
+    );
     for kind in [
         SchedulerKind::Gurita,
         SchedulerKind::Stream,

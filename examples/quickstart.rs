@@ -23,11 +23,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         FlowSpec::new(HostId(1), HostId(8), 80.0 * units::MB),
         FlowSpec::new(HostId(2), HostId(9), 100.0 * units::MB),
     ]);
-    let reduce = CoflowSpec::new(vec![FlowSpec::new(
-        HostId(8),
-        HostId(15),
-        20.0 * units::MB,
-    )]);
+    let reduce = CoflowSpec::new(vec![FlowSpec::new(HostId(8), HostId(15), 20.0 * units::MB)]);
     let pipeline = JobSpec::new(0, 0.0, vec![shuffle, reduce], JobDag::chain(2)?)?;
 
     let competitor = JobSpec::new(

@@ -34,7 +34,10 @@ fn main() {
     ];
     let results = raw_runs(StructureKind::ProductionMix, &opts, &kinds);
     let (gurita, others) = results.split_first().expect("roster is non-empty");
-    println!("workload: {} production-mix jobs on an 8-pod fat-tree\n", jobs);
+    println!(
+        "workload: {} production-mix jobs on an 8-pod fat-tree\n",
+        jobs
+    );
     println!(
         "{}",
         render_improvement_table(

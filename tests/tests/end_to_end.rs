@@ -74,7 +74,11 @@ fn jct_is_bounded_below_by_the_critical_path() {
         .iter()
         .map(|j| j.ideal_critical_path_time(line_rate))
         .collect();
-    for kind in [SchedulerKind::Gurita, SchedulerKind::Aalo, SchedulerKind::Pfs] {
+    for kind in [
+        SchedulerKind::Gurita,
+        SchedulerKind::Aalo,
+        SchedulerKind::Pfs,
+    ] {
         let res = run(kind, jobs.clone());
         for job in &res.jobs {
             let bound = bounds[job.id.index()];

@@ -1,22 +1,19 @@
 //! Property-based tests (proptest) over the core invariants.
 
+use gurita::starvation::wrr_weights;
 use gurita_model::{CoflowSpec, FlowSpec, HostId, JobDag, JobSpec, SizeCategory};
 use gurita_sim::bandwidth::{allocate, Demand, Discipline};
 use gurita_sim::runtime::{SimConfig, Simulation};
 use gurita_sim::sched::FifoScheduler;
 use gurita_sim::thresholds::ThresholdLadder;
 use gurita_sim::topology::{BigSwitch, Fabric, FatTree, LinkId};
-use gurita::starvation::wrr_weights;
 use proptest::prelude::*;
 use std::collections::HashMap;
 
 fn arb_paths(max_links: usize) -> impl Strategy<Value = Vec<(Vec<usize>, usize)>> {
     // Up to 24 flows, each with 1..=4 distinct links and a queue 0..3.
     prop::collection::vec(
-        (
-            prop::collection::btree_set(0..max_links, 1..=4),
-            0usize..3,
-        ),
+        (prop::collection::btree_set(0..max_links, 1..=4), 0usize..3),
         1..24,
     )
     .prop_map(|v| {
@@ -118,8 +115,8 @@ proptest! {
             let weights: Vec<f64> = (0..n).map(|v| 1.0 + v as f64).collect();
             let (w, path) = dag.critical_path(&weights);
             prop_assert!(!path.is_empty());
-            for v in 0..n {
-                prop_assert!(w >= weights[v] - 1e-9);
+            for &wv in &weights {
+                prop_assert!(w >= wv - 1e-9);
             }
         }
     }

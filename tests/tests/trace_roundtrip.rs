@@ -40,7 +40,12 @@ fn json_reimport_replays_identically() {
     for (x, y) in a.jobs.iter().zip(&b.jobs) {
         assert_eq!(x.id, y.id);
         // Sub-ULP JSON float rounding can shift event times minutely.
-        assert!((x.jct - y.jct).abs() < 1e-6 * x.jct.max(1.0), "{} vs {}", x.jct, y.jct);
+        assert!(
+            (x.jct - y.jct).abs() < 1e-6 * x.jct.max(1.0),
+            "{} vs {}",
+            x.jct,
+            y.jct
+        );
     }
 }
 

@@ -1,0 +1,75 @@
+//! Minimal offline stand-in for `crossbeam`'s scoped threads, backed by
+//! `std::thread::scope`.
+//!
+//! Only the `crossbeam::scope(|s| { s.spawn(|_| ...); })` entry point is
+//! provided; spawned closures receive a `&Scope` argument for API parity
+//! with crossbeam (nested spawns work through it).
+
+use std::any::Any;
+
+/// Error type returned when the scope closure panics. With the std
+/// backing, spawned-thread panics propagate out of `std::thread::scope`
+/// directly, so this mirrors crossbeam's signature more than its runtime
+/// behavior.
+pub type ScopeError = Box<dyn Any + Send + 'static>;
+
+/// Scope handle passed to [`scope`] closures and to spawned threads.
+pub struct Scope<'scope, 'env: 'scope> {
+    inner: &'scope std::thread::Scope<'scope, 'env>,
+}
+
+impl<'scope, 'env> Scope<'scope, 'env> {
+    /// Spawns a scoped thread. The closure receives a `&Scope` so it can
+    /// spawn further threads, matching crossbeam's signature.
+    pub fn spawn<F, T>(&self, f: F)
+    where
+        F: for<'a> FnOnce(&'a Scope<'scope, 'env>) -> T + Send + 'scope,
+        T: Send + 'scope,
+    {
+        let inner = self.inner;
+        inner.spawn(move || f(&Scope { inner }));
+    }
+}
+
+/// Creates a scope in which threads borrowing from the environment can
+/// be spawned; joins them all before returning.
+pub fn scope<'env, F, R>(f: F) -> Result<R, ScopeError>
+where
+    F: for<'scope> FnOnce(&Scope<'scope, 'env>) -> R,
+{
+    Ok(std::thread::scope(|s| f(&Scope { inner: s })))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn spawned_threads_join_before_scope_returns() {
+        let counter = AtomicUsize::new(0);
+        scope(|s| {
+            for _ in 0..8 {
+                s.spawn(|_| {
+                    counter.fetch_add(1, Ordering::SeqCst);
+                });
+            }
+        })
+        .unwrap();
+        assert_eq!(counter.load(Ordering::SeqCst), 8);
+    }
+
+    #[test]
+    fn nested_spawn_through_scope_arg() {
+        let counter = AtomicUsize::new(0);
+        scope(|s| {
+            s.spawn(|s2| {
+                s2.spawn(|_| {
+                    counter.fetch_add(1, Ordering::SeqCst);
+                });
+            });
+        })
+        .unwrap();
+        assert_eq!(counter.load(Ordering::SeqCst), 1);
+    }
+}

@@ -1,0 +1,462 @@
+//! Minimal offline stand-in for `serde_derive`.
+//!
+//! Generates `serde::Serialize` / `serde::Deserialize` impls against the
+//! vendored Value-tree serde, without `syn`/`quote`: the input item is
+//! parsed with a small hand-rolled token cursor and the impl is emitted
+//! as a string parsed back into a `TokenStream`.
+//!
+//! Supported shapes (everything this workspace derives on):
+//! - structs with named fields, honoring `#[serde(default)]` per field
+//! - tuple structs (newtype and multi-field)
+//! - enums with unit, tuple, and struct variants (externally tagged,
+//!   like real serde's default representation)
+//!
+//! Generics are not supported and produce a compile error.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    gen_serialize(&item)
+        .parse()
+        .expect("generated Serialize impl parses")
+}
+
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    gen_deserialize(&item)
+        .parse()
+        .expect("generated Deserialize impl parses")
+}
+
+// ---------------------------------------------------------------------
+// Parsed item model
+// ---------------------------------------------------------------------
+
+struct Item {
+    name: String,
+    data: Data,
+}
+
+enum Data {
+    Struct(Fields),
+    Enum(Vec<(String, Fields)>),
+}
+
+enum Fields {
+    Unit,
+    Named(Vec<Field>),
+    Tuple(usize),
+}
+
+struct Field {
+    name: String,
+    default: bool,
+}
+
+// ---------------------------------------------------------------------
+// Token cursor
+// ---------------------------------------------------------------------
+
+struct Cursor {
+    tokens: Vec<TokenTree>,
+    pos: usize,
+}
+
+impl Cursor {
+    fn new(stream: TokenStream) -> Self {
+        Self {
+            tokens: stream.into_iter().collect(),
+            pos: 0,
+        }
+    }
+
+    fn peek(&self) -> Option<&TokenTree> {
+        self.tokens.get(self.pos)
+    }
+
+    fn bump(&mut self) -> Option<TokenTree> {
+        let t = self.tokens.get(self.pos).cloned();
+        if t.is_some() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn at_end(&self) -> bool {
+        self.pos >= self.tokens.len()
+    }
+
+    fn is_punct(&self, c: char) -> bool {
+        matches!(self.peek(), Some(TokenTree::Punct(p)) if p.as_char() == c)
+    }
+
+    fn is_ident(&self, name: &str) -> bool {
+        matches!(self.peek(), Some(TokenTree::Ident(i)) if i.to_string() == name)
+    }
+
+    /// Skips attributes; returns true if any was `#[serde(default)]`.
+    fn skip_attrs(&mut self) -> bool {
+        let mut has_default = false;
+        while self.is_punct('#') {
+            self.bump();
+            match self.bump() {
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Bracket => {
+                    if attr_is_serde_default(g.stream()) {
+                        has_default = true;
+                    }
+                }
+                other => panic!("expected attribute brackets after `#`, got {other:?}"),
+            }
+        }
+        has_default
+    }
+
+    /// Skips a visibility qualifier (`pub`, `pub(crate)`, ...).
+    fn skip_vis(&mut self) {
+        if self.is_ident("pub") {
+            self.bump();
+            if let Some(TokenTree::Group(g)) = self.peek() {
+                if g.delimiter() == Delimiter::Parenthesis {
+                    self.bump();
+                }
+            }
+        }
+    }
+
+    fn expect_ident(&mut self) -> String {
+        match self.bump() {
+            Some(TokenTree::Ident(i)) => i.to_string(),
+            other => panic!("expected identifier, got {other:?}"),
+        }
+    }
+
+    fn expect_punct(&mut self, c: char) {
+        match self.bump() {
+            Some(TokenTree::Punct(p)) if p.as_char() == c => {}
+            other => panic!("expected `{c}`, got {other:?}"),
+        }
+    }
+
+    /// Skips a type expression, stopping at a top-level `,` (consumed)
+    /// or end of stream. Angle-bracket depth is tracked so commas inside
+    /// generic arguments don't terminate early.
+    fn skip_type_until_comma(&mut self) {
+        let mut angle_depth = 0usize;
+        while let Some(t) = self.peek() {
+            match t {
+                TokenTree::Punct(p) if p.as_char() == '<' => {
+                    angle_depth += 1;
+                    self.bump();
+                }
+                TokenTree::Punct(p) if p.as_char() == '>' => {
+                    angle_depth = angle_depth.saturating_sub(1);
+                    self.bump();
+                }
+                TokenTree::Punct(p) if p.as_char() == ',' && angle_depth == 0 => {
+                    self.bump();
+                    return;
+                }
+                _ => {
+                    self.bump();
+                }
+            }
+        }
+    }
+}
+
+fn attr_is_serde_default(stream: TokenStream) -> bool {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    match tokens.as_slice() {
+        [TokenTree::Ident(name), TokenTree::Group(args)] if name.to_string() == "serde" => args
+            .stream()
+            .into_iter()
+            .any(|t| matches!(t, TokenTree::Ident(i) if i.to_string() == "default")),
+        _ => false,
+    }
+}
+
+// ---------------------------------------------------------------------
+// Item parsing
+// ---------------------------------------------------------------------
+
+fn parse_item(input: TokenStream) -> Item {
+    let mut c = Cursor::new(input);
+    c.skip_attrs();
+    c.skip_vis();
+    let keyword = c.expect_ident();
+    let name = c.expect_ident();
+    if c.is_punct('<') {
+        panic!("vendored serde_derive does not support generic type `{name}`");
+    }
+    let data = match keyword.as_str() {
+        "struct" => match c.peek() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Data::Struct(Fields::Named(parse_named_fields(g.stream())))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                Data::Struct(Fields::Tuple(count_tuple_fields(g.stream())))
+            }
+            Some(TokenTree::Punct(p)) if p.as_char() == ';' => Data::Struct(Fields::Unit),
+            other => panic!("unsupported struct body for `{name}`: {other:?}"),
+        },
+        "enum" => match c.peek() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Data::Enum(parse_variants(g.stream()))
+            }
+            other => panic!("expected enum body for `{name}`, got {other:?}"),
+        },
+        other => panic!("cannot derive serde traits for `{other} {name}`"),
+    };
+    Item { name, data }
+}
+
+fn parse_named_fields(stream: TokenStream) -> Vec<Field> {
+    let mut c = Cursor::new(stream);
+    let mut fields = Vec::new();
+    while !c.at_end() {
+        let default = c.skip_attrs();
+        c.skip_vis();
+        let name = c.expect_ident();
+        c.expect_punct(':');
+        c.skip_type_until_comma();
+        fields.push(Field { name, default });
+    }
+    fields
+}
+
+fn count_tuple_fields(stream: TokenStream) -> usize {
+    let mut c = Cursor::new(stream);
+    let mut count = 0;
+    while !c.at_end() {
+        c.skip_attrs();
+        c.skip_vis();
+        if c.at_end() {
+            break; // trailing comma
+        }
+        c.skip_type_until_comma();
+        count += 1;
+    }
+    count
+}
+
+fn parse_variants(stream: TokenStream) -> Vec<(String, Fields)> {
+    let mut c = Cursor::new(stream);
+    let mut variants = Vec::new();
+    while !c.at_end() {
+        c.skip_attrs();
+        let name = c.expect_ident();
+        let fields = match c.peek() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                let f = Fields::Named(parse_named_fields(g.stream()));
+                c.bump();
+                f
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                let f = Fields::Tuple(count_tuple_fields(g.stream()));
+                c.bump();
+                f
+            }
+            _ => Fields::Unit,
+        };
+        if c.is_punct(',') {
+            c.bump();
+        }
+        variants.push((name, fields));
+    }
+    variants
+}
+
+// ---------------------------------------------------------------------
+// Code generation: Serialize
+// ---------------------------------------------------------------------
+
+fn gen_serialize(item: &Item) -> String {
+    let name = &item.name;
+    let body = match &item.data {
+        Data::Struct(Fields::Unit) => "::serde::Value::Null".to_string(),
+        Data::Struct(Fields::Named(fields)) => ser_named_fields(fields, "&self.", ""),
+        Data::Struct(Fields::Tuple(1)) => {
+            "<_ as ::serde::Serialize>::to_value(&self.0)".to_string()
+        }
+        Data::Struct(Fields::Tuple(n)) => {
+            let items: Vec<String> = (0..*n)
+                .map(|i| format!("<_ as ::serde::Serialize>::to_value(&self.{i})"))
+                .collect();
+            format!("::serde::Value::Seq(::std::vec![{}])", items.join(", "))
+        }
+        Data::Enum(variants) => {
+            let arms: Vec<String> = variants
+                .iter()
+                .map(|(vname, fields)| match fields {
+                    Fields::Unit => format!(
+                        "{name}::{vname} => ::serde::Value::Str(::std::string::String::from(\"{vname}\")),"
+                    ),
+                    Fields::Named(fs) => {
+                        let binds: Vec<&str> = fs.iter().map(|f| f.name.as_str()).collect();
+                        let inner = ser_named_fields(fs, "", "");
+                        format!(
+                            "{name}::{vname} {{ {binds} }} => ::serde::Value::Map(::std::vec![(::std::string::String::from(\"{vname}\"), {inner})]),",
+                            binds = binds.join(", ")
+                        )
+                    }
+                    Fields::Tuple(1) => format!(
+                        "{name}::{vname}(x0) => ::serde::Value::Map(::std::vec![(::std::string::String::from(\"{vname}\"), <_ as ::serde::Serialize>::to_value(x0))]),"
+                    ),
+                    Fields::Tuple(n) => {
+                        let binds: Vec<String> = (0..*n).map(|i| format!("x{i}")).collect();
+                        let items: Vec<String> = binds
+                            .iter()
+                            .map(|b| format!("<_ as ::serde::Serialize>::to_value({b})"))
+                            .collect();
+                        format!(
+                            "{name}::{vname}({binds}) => ::serde::Value::Map(::std::vec![(::std::string::String::from(\"{vname}\"), ::serde::Value::Seq(::std::vec![{items}]))]),",
+                            binds = binds.join(", "),
+                            items = items.join(", ")
+                        )
+                    }
+                })
+                .collect();
+            format!("match self {{ {} }}", arms.join(" "))
+        }
+    };
+    format!(
+        "#[automatically_derived] impl ::serde::Serialize for {name} {{ \
+            fn to_value(&self) -> ::serde::Value {{ {body} }} \
+        }}"
+    )
+}
+
+/// Serializes named fields into a `Value::Map` expression. `access` is
+/// the prefix before each field name: `"&self."` for structs, `""` for
+/// match-bound enum variant fields (already references).
+fn ser_named_fields(fields: &[Field], access: &str, _unused: &str) -> String {
+    let entries: Vec<String> = fields
+        .iter()
+        .map(|f| {
+            format!(
+                "(::std::string::String::from(\"{n}\"), <_ as ::serde::Serialize>::to_value({access}{n}))",
+                n = f.name
+            )
+        })
+        .collect();
+    format!("::serde::Value::Map(::std::vec![{}])", entries.join(", "))
+}
+
+// ---------------------------------------------------------------------
+// Code generation: Deserialize
+// ---------------------------------------------------------------------
+
+fn gen_deserialize(item: &Item) -> String {
+    let name = &item.name;
+    let body = match &item.data {
+        Data::Struct(Fields::Unit) => format!("Ok({name})"),
+        Data::Struct(Fields::Named(fields)) => {
+            let inits = de_named_fields(name, fields, "value");
+            format!("Ok({name} {{ {inits} }})")
+        }
+        Data::Struct(Fields::Tuple(1)) => {
+            format!("Ok({name}(<_ as ::serde::Deserialize>::from_value(value)?))")
+        }
+        Data::Struct(Fields::Tuple(n)) => {
+            let items: Vec<String> = (0..*n)
+                .map(|i| format!("<_ as ::serde::Deserialize>::from_value(&items[{i}])?"))
+                .collect();
+            format!(
+                "match value {{ \
+                    ::serde::Value::Seq(items) if items.len() == {n} => Ok({name}({items})), \
+                    other => Err(::serde::DeError::expected(\"{n}-element sequence for `{name}`\", other)), \
+                }}",
+                items = items.join(", ")
+            )
+        }
+        Data::Enum(variants) => gen_deserialize_enum(name, variants),
+    };
+    format!(
+        "#[automatically_derived] impl ::serde::Deserialize for {name} {{ \
+            fn from_value(value: &::serde::Value) -> ::std::result::Result<Self, ::serde::DeError> {{ {body} }} \
+        }}"
+    )
+}
+
+/// Field initializers for a named-fields constructor, reading from the
+/// map expression `source`.
+fn de_named_fields(type_name: &str, fields: &[Field], source: &str) -> String {
+    fields
+        .iter()
+        .map(|f| {
+            let n = &f.name;
+            if f.default {
+                format!(
+                    "{n}: match ::serde::get_field({source}, \"{n}\") {{ \
+                        Some(v) => <_ as ::serde::Deserialize>::from_value(v)?, \
+                        None => ::std::default::Default::default(), \
+                    }},"
+                )
+            } else {
+                format!(
+                    "{n}: <_ as ::serde::Deserialize>::from_value(\
+                        ::serde::get_field({source}, \"{n}\")\
+                        .ok_or_else(|| ::serde::DeError::missing_field(\"{type_name}\", \"{n}\"))?\
+                    )?,"
+                )
+            }
+        })
+        .collect::<Vec<_>>()
+        .join(" ")
+}
+
+fn gen_deserialize_enum(name: &str, variants: &[(String, Fields)]) -> String {
+    // Externally tagged: unit variants are strings, data variants are
+    // single-entry maps keyed by the variant name.
+    let unit_arms: Vec<String> = variants
+        .iter()
+        .filter(|(_, f)| matches!(f, Fields::Unit))
+        .map(|(vname, _)| format!("\"{vname}\" => Ok({name}::{vname}),"))
+        .collect();
+    let data_arms: Vec<String> = variants
+        .iter()
+        .filter_map(|(vname, fields)| match fields {
+            Fields::Unit => None,
+            Fields::Named(fs) => {
+                let inits = de_named_fields(name, fs, "inner");
+                Some(format!("\"{vname}\" => Ok({name}::{vname} {{ {inits} }}),"))
+            }
+            Fields::Tuple(1) => Some(format!(
+                "\"{vname}\" => Ok({name}::{vname}(<_ as ::serde::Deserialize>::from_value(inner)?)),"
+            )),
+            Fields::Tuple(n) => {
+                let items: Vec<String> = (0..*n)
+                    .map(|i| format!("<_ as ::serde::Deserialize>::from_value(&items[{i}])?"))
+                    .collect();
+                Some(format!(
+                    "\"{vname}\" => match inner {{ \
+                        ::serde::Value::Seq(items) if items.len() == {n} => Ok({name}::{vname}({items})), \
+                        other => Err(::serde::DeError::expected(\"{n}-element sequence for `{name}::{vname}`\", other)), \
+                    }},",
+                    items = items.join(", ")
+                ))
+            }
+        })
+        .collect();
+    format!(
+        "match value {{ \
+            ::serde::Value::Str(s) => match s.as_str() {{ \
+                {unit_arms} \
+                other => Err(::serde::DeError::custom(::std::format!(\"unknown variant `{{}}` for `{name}`\", other))), \
+            }}, \
+            ::serde::Value::Map(entries) if entries.len() == 1 => {{ \
+                let (tag, inner) = &entries[0]; \
+                match tag.as_str() {{ \
+                    {data_arms} \
+                    other => Err(::serde::DeError::custom(::std::format!(\"unknown variant `{{}}` for `{name}`\", other))), \
+                }} \
+            }}, \
+            other => Err(::serde::DeError::expected(\"externally tagged enum `{name}`\", other)), \
+        }}",
+        unit_arms = unit_arms.join(" "),
+        data_arms = data_arms.join(" ")
+    )
+}
