@@ -1,10 +1,16 @@
 //! Micro-benchmarks for the water-filling bandwidth allocator — the
-//! simulator's hot loop (it runs after every event).
+//! simulator's hot loop (it runs after every event) — plus a
+//! full-runtime event-loop benchmark over the k=8 fat-tree with the
+//! Facebook-derived flow mix (the sweep scenario).
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use gurita_experiments::roster::SchedulerKind;
+use gurita_experiments::scenario::Scenario;
 use gurita_model::HostId;
-use gurita_sim::bandwidth::{allocate, Demand, Discipline};
+use gurita_sim::bandwidth::{allocate, Allocator, Demand, Discipline};
+use gurita_sim::runtime::{SimConfig, Simulation};
 use gurita_sim::topology::{Fabric, FatTree, LinkId};
+use gurita_workload::dags::StructureKind;
 
 /// Deterministic pseudo-random flow set over a k-pod fat-tree.
 fn flow_paths(k: usize, flows: usize) -> Vec<Vec<LinkId>> {
@@ -52,9 +58,53 @@ fn bench_allocate(c: &mut Criterion) {
             };
             b.iter(|| allocate(demands, |l| ft.link_capacity(l), &disc));
         });
+        // Steady-state path: scratch arrays live across calls, so the
+        // allocation itself is heap-allocation-free.
+        g.bench_with_input(
+            BenchmarkId::new("spq_reused", flows),
+            &demands,
+            |b, demands| {
+                let disc = Discipline::StrictPriority { num_queues: 4 };
+                let mut alloc = Allocator::new(ft.num_links());
+                let mut rates = vec![0.0; demands.len()];
+                b.iter(|| {
+                    alloc.allocate_into(
+                        demands.as_slice(),
+                        |l| ft.link_capacity(l),
+                        &disc,
+                        &mut rates,
+                    )
+                });
+            },
+        );
     }
     g.finish();
 }
 
-criterion_group!(benches, bench_allocate);
+/// Full event loop on the k=8 fat-tree with the FB-Tao trace-driven
+/// workload (the sweep scenario): measures simulated events end-to-end
+/// — rate recomputation, completion index, scheduler consultation.
+fn bench_event_loop(c: &mut Criterion) {
+    let scenario = Scenario::trace_driven(StructureKind::FbTao, 24, 7);
+    let jobs = scenario.jobs();
+    let mut g = c.benchmark_group("runtime/event_loop");
+    g.sample_size(10);
+    g.bench_function("fb_tao_k8", |b| {
+        b.iter(|| {
+            let fabric = FatTree::new(scenario.pods).expect("valid pods");
+            let mut sim = Simulation::new(
+                fabric,
+                SimConfig {
+                    tick_interval: scenario.tick_interval,
+                    ..SimConfig::default()
+                },
+            );
+            let mut sched = SchedulerKind::Gurita.build();
+            sim.run(jobs.clone(), sched.as_mut())
+        });
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_allocate, bench_event_loop);
 criterion_main!(benches);

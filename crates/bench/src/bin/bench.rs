@@ -1,0 +1,175 @@
+//! Performance-trajectory tracker: times the simulator's two hot paths
+//! and records the numbers in `results/BENCH_sim.json` so regressions
+//! (and wins) are visible across PRs.
+//!
+//! Measured:
+//!
+//! * **events/sec** — the full event loop on the k=8 fat-tree with the
+//!   FB-Tao trace-driven workload (the sweep scenario) under the
+//!   evaluation-tuned Gurita scheduler;
+//! * **allocate ns/flow** — the water-filling allocator on a 1024-flow
+//!   Facebook-style mix, fresh-allocation and reused-scratch variants,
+//!   under both SPQ and WRR.
+//!
+//! Flags: `--jobs N` (event-loop workload size), `--seed N`.
+
+use gurita_experiments::roster::SchedulerKind;
+use gurita_experiments::scenario::Scenario;
+use gurita_experiments::{args, report};
+use gurita_model::HostId;
+use gurita_sim::bandwidth::{allocate, Allocator, Demand, Discipline};
+use gurita_sim::runtime::{SimConfig, Simulation};
+use gurita_sim::topology::{Fabric, FatTree, LinkId};
+use gurita_workload::dags::StructureKind;
+use serde::Serialize;
+use std::time::Instant;
+
+/// The recorded benchmark snapshot.
+#[derive(Debug, Serialize)]
+struct BenchReport {
+    /// Event-loop scenario description.
+    scenario: String,
+    /// Jobs in the event-loop workload.
+    jobs: usize,
+    /// Workload seed.
+    seed: u64,
+    /// Simulated events processed.
+    events: u64,
+    /// Event-loop wall-clock seconds.
+    elapsed_sec: f64,
+    /// Simulated events per wall-clock second.
+    events_per_sec: f64,
+    /// Water-filling cost per flow, nanoseconds, per variant.
+    allocate_ns_per_flow: Vec<(String, f64)>,
+}
+
+/// Deterministic pseudo-random flow set over a k-pod fat-tree (same
+/// generator as the `bandwidth` criterion bench).
+fn flow_paths(k: usize, flows: usize) -> Vec<Vec<LinkId>> {
+    let ft = FatTree::new(k).expect("valid k");
+    let h = ft.num_hosts();
+    let mut state = 0x9e3779b97f4a7c15u64;
+    let mut next = move || {
+        state ^= state << 13;
+        state ^= state >> 7;
+        state ^= state << 17;
+        state
+    };
+    (0..flows)
+        .map(|_| {
+            let s = (next() % h as u64) as usize;
+            let mut d = (next() % h as u64) as usize;
+            if d == s {
+                d = (d + 1) % h;
+            }
+            ft.path(HostId(s), HostId(d), next()).expect("hosts valid")
+        })
+        .collect()
+}
+
+fn time_allocate(label: &str, iters: u32, per_call_flows: usize, f: impl FnMut()) -> (String, f64) {
+    let mut f = f;
+    let start = Instant::now();
+    for _ in 0..iters {
+        f();
+    }
+    let ns = start.elapsed().as_nanos() as f64 / f64::from(iters) / per_call_flows as f64;
+    (label.to_owned(), ns)
+}
+
+fn allocator_benches() -> Vec<(String, f64)> {
+    const FLOWS: usize = 1024;
+    const ITERS: u32 = 50;
+    let paths = flow_paths(8, FLOWS);
+    let demands: Vec<Demand<'_>> = paths
+        .iter()
+        .enumerate()
+        .map(|(i, p)| Demand {
+            path: p,
+            queue: i % 4,
+        })
+        .collect();
+    let ft = FatTree::new(8).expect("valid k");
+    let spq = Discipline::StrictPriority { num_queues: 4 };
+    let wrr = Discipline::WeightedRoundRobin {
+        weights: vec![8.0, 4.0, 2.0, 1.0],
+    };
+    let mut out = Vec::new();
+    out.push(time_allocate("spq_1024_fresh", ITERS, FLOWS, || {
+        allocate(&demands, |l| ft.link_capacity(l), &spq);
+    }));
+    out.push(time_allocate("wrr_1024_fresh", ITERS, FLOWS, || {
+        allocate(&demands, |l| ft.link_capacity(l), &wrr);
+    }));
+    let mut alloc = Allocator::new(ft.num_links());
+    let mut rates = vec![0.0; FLOWS];
+    out.push(time_allocate("spq_1024_reused", ITERS, FLOWS, || {
+        alloc.allocate_into(
+            demands.as_slice(),
+            |l| ft.link_capacity(l),
+            &spq,
+            &mut rates,
+        );
+    }));
+    out.push(time_allocate("wrr_1024_reused", ITERS, FLOWS, || {
+        alloc.allocate_into(
+            demands.as_slice(),
+            |l| ft.link_capacity(l),
+            &wrr,
+            &mut rates,
+        );
+    }));
+    out
+}
+
+fn main() {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let opts = match args::parse(&argv) {
+        Ok(o) => o,
+        Err(msg) => {
+            eprintln!("{msg}");
+            std::process::exit(2);
+        }
+    };
+    let scenario = Scenario::trace_driven(StructureKind::FbTao, opts.jobs, opts.seed);
+    let jobs = scenario.jobs();
+
+    // Warm-up run (page in code and workload), then the measured run.
+    let run = || {
+        let fabric = FatTree::new(scenario.pods).expect("valid pods");
+        let mut sim = Simulation::new(
+            fabric,
+            SimConfig {
+                tick_interval: scenario.tick_interval,
+                ..SimConfig::default()
+            },
+        );
+        let mut sched = SchedulerKind::Gurita.build();
+        sim.run(jobs.clone(), sched.as_mut())
+    };
+    let _ = run();
+    let start = Instant::now();
+    let result = run();
+    let elapsed = start.elapsed().as_secs_f64();
+
+    let rep = BenchReport {
+        scenario: scenario.name.clone(),
+        jobs: opts.jobs,
+        seed: opts.seed,
+        events: result.events,
+        elapsed_sec: elapsed,
+        events_per_sec: result.events as f64 / elapsed,
+        allocate_ns_per_flow: allocator_benches(),
+    };
+    println!(
+        "event loop: {} events in {:.3}s -> {:.0} events/sec",
+        rep.events, rep.elapsed_sec, rep.events_per_sec
+    );
+    for (label, ns) in &rep.allocate_ns_per_flow {
+        println!("allocate {label}: {ns:.1} ns/flow");
+    }
+    match report::write_results_file("BENCH_sim.json", &report::to_json(&rep)) {
+        Ok(path) => println!("wrote {}", path.display()),
+        Err(e) => eprintln!("could not write results file: {e}"),
+    }
+}

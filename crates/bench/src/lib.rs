@@ -14,5 +14,6 @@ pub fn bench_options() -> gurita_experiments::figures::FigureOptions {
         jobs: 12,
         seed: 77,
         full_scale: false,
+        par: 1,
     }
 }

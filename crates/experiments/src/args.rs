@@ -1,8 +1,10 @@
 //! Minimal command-line parsing shared by the figure binaries.
 //!
-//! Supported flags: `--jobs N`, `--seed N`, `--full` (paper scale).
-//! Unknown flags abort with a usage message — the binaries are
-//! reproduction drivers, not general tools.
+//! Supported flags: `--jobs N` (workload size), `--seed N`, `--full`
+//! (paper scale), and `--par N` (worker threads for independent
+//! scenarios/sweep points; `0` = one per core, the default). Unknown
+//! flags abort with a usage message — the binaries are reproduction
+//! drivers, not general tools.
 
 use crate::figures::FigureOptions;
 
@@ -13,7 +15,12 @@ use crate::figures::FigureOptions;
 ///
 /// Returns a usage string on malformed input.
 pub fn parse(args: &[String]) -> Result<FigureOptions, String> {
-    let mut opts = FigureOptions::default();
+    let mut opts = FigureOptions {
+        // CLI runs default to one worker per core; library callers (and
+        // tests) get the sequential `FigureOptions::default()`.
+        par: 0,
+        ..FigureOptions::default()
+    };
     let mut it = args.iter();
     while let Some(arg) = it.next() {
         match arg.as_str() {
@@ -29,6 +36,10 @@ pub fn parse(args: &[String]) -> Result<FigureOptions, String> {
                 opts.seed = v.parse().map_err(|_| format!("bad --seed value `{v}`"))?;
             }
             "--full" => opts.full_scale = true,
+            "--par" => {
+                let v = it.next().ok_or("--par requires a value")?;
+                opts.par = v.parse().map_err(|_| format!("bad --par value `{v}`"))?;
+            }
             "--help" | "-h" => return Err(usage()),
             other => return Err(format!("unknown flag `{other}`\n{}", usage())),
         }
@@ -38,7 +49,7 @@ pub fn parse(args: &[String]) -> Result<FigureOptions, String> {
 
 /// The usage string.
 pub fn usage() -> String {
-    "usage: <figure> [--jobs N] [--seed N] [--full]".to_owned()
+    "usage: <figure> [--jobs N] [--seed N] [--full] [--par N]".to_owned()
 }
 
 #[cfg(test)]
@@ -53,10 +64,12 @@ mod tests {
     fn defaults_and_overrides() {
         let o = parse(&[]).unwrap();
         assert_eq!(o.jobs, 80);
-        let o = parse(&v(&["--jobs", "5", "--seed", "9", "--full"])).unwrap();
+        assert_eq!(o.par, 0, "CLI default is auto parallelism");
+        let o = parse(&v(&["--jobs", "5", "--seed", "9", "--full", "--par", "2"])).unwrap();
         assert_eq!(o.jobs, 5);
         assert_eq!(o.seed, 9);
         assert!(o.full_scale);
+        assert_eq!(o.par, 2);
     }
 
     #[test]
@@ -64,6 +77,7 @@ mod tests {
         assert!(parse(&v(&["--jobs"])).is_err());
         assert!(parse(&v(&["--jobs", "x"])).is_err());
         assert!(parse(&v(&["--jobs", "0"])).is_err());
+        assert!(parse(&v(&["--par", "x"])).is_err());
         assert!(parse(&v(&["--wat"])).is_err());
     }
 }

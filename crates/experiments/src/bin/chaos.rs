@@ -58,9 +58,12 @@ fn main() {
 
     let severities = [0.5, 0.2, 0.05];
     let durations = [1.0, 4.0];
-    let mut cells = Vec::new();
-    for &severity in &severities {
-        for &duration in &durations {
+    // Each (severity, duration) cell replays the byte-identical workload
+    // and fault script, so the grid is embarrassingly parallel.
+    let cells =
+        gurita_experiments::par::par_run(opts.par, severities.len() * durations.len(), |cell| {
+            let severity = severities[cell / durations.len()];
+            let duration = durations[cell % durations.len()];
             let schedule = ChaosGenerator::new(
                 ChaosConfig {
                     num_hosts,
@@ -86,14 +89,13 @@ fn main() {
                     )
                 })
                 .collect();
-            cells.push(ChaosCell {
+            ChaosCell {
                 severity,
                 duration,
                 faults: schedule.len(),
                 rows,
-            });
-        }
-    }
+            }
+        });
 
     for cell in &cells {
         let pairs: Vec<(&str, String)> = cell

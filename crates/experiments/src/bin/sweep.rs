@@ -14,12 +14,12 @@ fn main() {
         }
     };
     let mut all = vec![
-        sweeps::queue_count_sweep(opts.jobs, opts.seed),
-        sweeps::threshold_sweep(opts.jobs, opts.seed),
-        sweeps::delta_sweep(opts.jobs, opts.seed),
-        sweeps::latency_sweep(opts.jobs, opts.seed),
+        sweeps::queue_count_sweep(opts.jobs, opts.seed, opts.par),
+        sweeps::threshold_sweep(opts.jobs, opts.seed, opts.par),
+        sweeps::delta_sweep(opts.jobs, opts.seed, opts.par),
+        sweeps::latency_sweep(opts.jobs, opts.seed, opts.par),
     ];
-    let (faults_gurita, faults_pfs) = sweeps::fault_sweep(opts.jobs, opts.seed);
+    let (faults_gurita, faults_pfs) = sweeps::fault_sweep(opts.jobs, opts.seed, opts.par);
     all.push(faults_gurita);
     all.push(faults_pfs);
     for sweep in &all {

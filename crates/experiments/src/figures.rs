@@ -23,6 +23,11 @@ pub struct FigureOptions {
     /// Use the paper's full scale where applicable (Figure 7: 48 pods /
     /// 10 000 jobs).
     pub full_scale: bool,
+    /// Worker threads for independent scenarios (`0` = one per core).
+    /// Scenarios are deterministic and written into ordered slots, so
+    /// this only affects wall-clock time, never the results.
+    #[serde(default)]
+    pub par: usize,
 }
 
 impl Default for FigureOptions {
@@ -31,6 +36,7 @@ impl Default for FigureOptions {
             jobs: 80,
             seed: 42,
             full_scale: false,
+            par: 1,
         }
     }
 }
@@ -60,51 +66,65 @@ fn compare(name: &str, scenario: &Scenario, kinds: &[SchedulerKind]) -> Scenario
     }
 }
 
+/// Runs independent scenario comparisons across up to `par` worker
+/// threads (see [`crate::par::par_run`]); results come back in input
+/// order, so output is independent of the parallelism level.
+fn compare_many(
+    par: usize,
+    cells: Vec<(&str, Scenario)>,
+    kinds: &[SchedulerKind],
+) -> Vec<ScenarioComparison> {
+    crate::par::par_run(par, cells.len(), |i| {
+        let (name, scenario) = &cells[i];
+        compare(name, scenario, kinds)
+    })
+}
+
 /// Figure 5: average improvement of Gurita over {Baraat, PFS, Stream,
 /// Aalo} in four scenarios — trace-driven and bursty, each with the
 /// FB-Tao and TPC-DS (Cloudera) structures.
 pub fn fig5(opts: &FigureOptions) -> Vec<ScenarioComparison> {
-    let kinds = SchedulerKind::PAPER_SET;
-    vec![
-        compare(
-            "FB-t",
-            &Scenario::trace_driven(StructureKind::FbTao, opts.jobs, opts.seed),
-            &kinds,
-        ),
-        compare(
-            "CD-t",
-            &Scenario::trace_driven(StructureKind::TpcDs, opts.jobs, opts.seed + 1),
-            &kinds,
-        ),
-        compare(
-            "FB-b",
-            &Scenario::bursty(StructureKind::FbTao, opts.jobs, 8, opts.seed + 2),
-            &kinds,
-        ),
-        compare(
-            "CD-b",
-            &Scenario::bursty(StructureKind::TpcDs, opts.jobs, 8, opts.seed + 3),
-            &kinds,
-        ),
-    ]
+    compare_many(
+        opts.par,
+        vec![
+            (
+                "FB-t",
+                Scenario::trace_driven(StructureKind::FbTao, opts.jobs, opts.seed),
+            ),
+            (
+                "CD-t",
+                Scenario::trace_driven(StructureKind::TpcDs, opts.jobs, opts.seed + 1),
+            ),
+            (
+                "FB-b",
+                Scenario::bursty(StructureKind::FbTao, opts.jobs, 8, opts.seed + 2),
+            ),
+            (
+                "CD-b",
+                Scenario::bursty(StructureKind::TpcDs, opts.jobs, 8, opts.seed + 3),
+            ),
+        ],
+        &SchedulerKind::PAPER_SET,
+    )
 }
 
 /// Figure 6: per-category improvement, trace-driven 8-pod fabric —
 /// (a) FB-Tao, (b) TPC-DS.
 pub fn fig6(opts: &FigureOptions) -> Vec<ScenarioComparison> {
-    let kinds = SchedulerKind::PAPER_SET;
-    vec![
-        compare(
-            "fig6a/FB-Tao",
-            &Scenario::trace_driven(StructureKind::FbTao, opts.jobs, opts.seed),
-            &kinds,
-        ),
-        compare(
-            "fig6b/TPC-DS",
-            &Scenario::trace_driven(StructureKind::TpcDs, opts.jobs, opts.seed + 1),
-            &kinds,
-        ),
-    ]
+    compare_many(
+        opts.par,
+        vec![
+            (
+                "fig6a/FB-Tao",
+                Scenario::trace_driven(StructureKind::FbTao, opts.jobs, opts.seed),
+            ),
+            (
+                "fig6b/TPC-DS",
+                Scenario::trace_driven(StructureKind::TpcDs, opts.jobs, opts.seed + 1),
+            ),
+        ],
+        &SchedulerKind::PAPER_SET,
+    )
 }
 
 /// Figure 7: per-category improvement under bursty arrivals in a
@@ -117,19 +137,20 @@ pub fn fig7(opts: &FigureOptions) -> Vec<ScenarioComparison> {
     } else {
         (12, opts.jobs * 4)
     };
-    let kinds = SchedulerKind::PAPER_SET;
-    vec![
-        compare(
-            "fig7a/FB-Tao",
-            &Scenario::bursty(StructureKind::FbTao, jobs, pods, opts.seed),
-            &kinds,
-        ),
-        compare(
-            "fig7b/TPC-DS",
-            &Scenario::bursty(StructureKind::TpcDs, jobs, pods, opts.seed + 1),
-            &kinds,
-        ),
-    ]
+    compare_many(
+        opts.par,
+        vec![
+            (
+                "fig7a/FB-Tao",
+                Scenario::bursty(StructureKind::FbTao, jobs, pods, opts.seed),
+            ),
+            (
+                "fig7b/TPC-DS",
+                Scenario::bursty(StructureKind::TpcDs, jobs, pods, opts.seed + 1),
+            ),
+        ],
+        &SchedulerKind::PAPER_SET,
+    )
 }
 
 /// Figure 8: Gurita vs the idealized GuritaPlus, per category, on the
@@ -137,19 +158,20 @@ pub fn fig7(opts: &FigureOptions) -> Vec<ScenarioComparison> {
 /// `avg JCT(GuritaPlus) / avg JCT(Gurita)` — at or slightly below 1
 /// when the oracle is (marginally) faster.
 pub fn fig8(opts: &FigureOptions) -> Vec<ScenarioComparison> {
-    let kinds = [SchedulerKind::Gurita, SchedulerKind::GuritaPlus];
-    vec![
-        compare(
-            "fig8a/FB-Tao",
-            &Scenario::trace_driven(StructureKind::FbTao, opts.jobs, opts.seed),
-            &kinds,
-        ),
-        compare(
-            "fig8b/TPC-DS",
-            &Scenario::trace_driven(StructureKind::TpcDs, opts.jobs, opts.seed + 1),
-            &kinds,
-        ),
-    ]
+    compare_many(
+        opts.par,
+        vec![
+            (
+                "fig8a/FB-Tao",
+                Scenario::trace_driven(StructureKind::FbTao, opts.jobs, opts.seed),
+            ),
+            (
+                "fig8b/TPC-DS",
+                Scenario::trace_driven(StructureKind::TpcDs, opts.jobs, opts.seed + 1),
+            ),
+        ],
+        &[SchedulerKind::Gurita, SchedulerKind::GuritaPlus],
+    )
 }
 
 /// Ablation study (DESIGN.md E8): full Gurita against variants with one
@@ -189,6 +211,7 @@ mod tests {
             jobs: 6,
             seed: 7,
             full_scale: false,
+            par: 1,
         }
     }
 

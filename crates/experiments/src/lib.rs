@@ -28,6 +28,7 @@ pub mod charts;
 pub mod figures;
 pub mod metrics;
 pub mod motivation;
+pub mod par;
 pub mod report;
 pub mod roster;
 pub mod scenario;

@@ -1,0 +1,88 @@
+//! Scoped-thread fan-out for embarrassingly parallel experiment cells.
+//!
+//! Sweep points, chaos cells, and figure scenarios are independent
+//! simulations over deterministic workloads, so running them
+//! concurrently changes wall-clock time and nothing else: results are
+//! written into per-index slots, preserving the sequential order
+//! regardless of scheduling. Built on `std::thread::scope` — no
+//! thread-pool dependency.
+
+use parking_lot::Mutex;
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// Resolves a `--par` setting: `0` means "one worker per available
+/// core", anything else is taken literally.
+pub fn effective_par(par: usize) -> usize {
+    if par == 0 {
+        std::thread::available_parallelism().map_or(1, |n| n.get())
+    } else {
+        par
+    }
+}
+
+/// Runs `f(0..n)` across at most `par` worker threads (`0` = auto) and
+/// returns the results in index order. With one worker (or one item)
+/// this degrades to a plain sequential loop on the calling thread.
+///
+/// # Panics
+///
+/// Propagates a panic from any invocation of `f`.
+pub fn par_run<R, F>(par: usize, n: usize, f: F) -> Vec<R>
+where
+    R: Send,
+    F: Fn(usize) -> R + Sync,
+{
+    let workers = effective_par(par).min(n);
+    if workers <= 1 {
+        return (0..n).map(f).collect();
+    }
+    let next = AtomicUsize::new(0);
+    let slots: Mutex<Vec<Option<R>>> = Mutex::new((0..n).map(|_| None).collect());
+    std::thread::scope(|scope| {
+        for _ in 0..workers {
+            scope.spawn(|| loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                if i >= n {
+                    break;
+                }
+                let r = f(i);
+                slots.lock()[i] = Some(r);
+            });
+        }
+    });
+    slots
+        .into_inner()
+        .into_iter()
+        .map(|r| r.expect("every cell produced a result"))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn preserves_index_order() {
+        let out = par_run(4, 32, |i| i * i);
+        assert_eq!(out, (0..32).map(|i| i * i).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn sequential_and_parallel_agree() {
+        let seq = par_run(1, 9, |i| format!("cell-{i}"));
+        let par = par_run(3, 9, |i| format!("cell-{i}"));
+        assert_eq!(seq, par);
+    }
+
+    #[test]
+    fn handles_empty_and_single() {
+        assert!(par_run(4, 0, |i| i).is_empty());
+        assert_eq!(par_run(0, 1, |i| i + 1), vec![1]);
+    }
+
+    #[test]
+    fn auto_par_resolves_to_at_least_one() {
+        assert!(effective_par(0) >= 1);
+        assert_eq!(effective_par(3), 3);
+    }
+}

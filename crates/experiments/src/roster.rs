@@ -139,6 +139,93 @@ mod tests {
         }
     }
 
+    /// The runtime hands `queue_policy` an `Observation::default()`
+    /// (building a real one per recomputation would cost `O(flows)`),
+    /// so the `Scheduler` trait contract requires the returned policy
+    /// to be derived from `assign`-time state only. Drive two identical
+    /// instances of every in-tree scheduler through the same `assign`,
+    /// then ask one for its policy with an empty observation and the
+    /// other with a populated one: the answers must match.
+    #[test]
+    fn queue_policy_ignores_the_observation() {
+        use gurita_model::{
+            CoflowId, CoflowSpec, FlowId, FlowSpec, HostId, JobDag, JobId, JobSpec,
+        };
+        use gurita_sim::sched::{CoflowObs, FlowObs, JobObs, Observation, Oracle};
+        use std::collections::HashMap;
+
+        let job = JobSpec::new(
+            0,
+            0.0,
+            vec![CoflowSpec::new(vec![FlowSpec::new(
+                HostId(0),
+                HostId(1),
+                1.0e6,
+            )])],
+            JobDag::chain(1).unwrap(),
+        )
+        .unwrap();
+        let jobs: HashMap<JobId, JobSpec> = [(JobId(0), job)].into_iter().collect();
+        let remaining = |_: FlowId| Some(5.0e5);
+        let flow_size = |_: FlowId| Some(1.0e6);
+        let oracle = Oracle::new(&jobs, &remaining, &flow_size);
+        let populated = Observation {
+            now: 1.0,
+            coflows: vec![CoflowObs {
+                id: CoflowId(0),
+                job: JobId(0),
+                dag_vertex: 0,
+                dag_stage: 0,
+                activated_at: 0.0,
+                open_flows: 1,
+                bytes_received: 5.0e5,
+                max_flow_bytes_received: 5.0e5,
+                flows: vec![FlowObs {
+                    id: FlowId(0),
+                    bytes_received: 5.0e5,
+                    open: true,
+                }],
+            }],
+            jobs: vec![JobObs {
+                id: JobId(0),
+                arrival: 0.0,
+                completed_coflows: 0,
+                completed_stages: 0,
+                bytes_received: 5.0e5,
+                active_coflows: vec![0],
+            }],
+        };
+
+        for kind in [
+            SchedulerKind::Gurita,
+            SchedulerKind::GuritaSpq,
+            SchedulerKind::GuritaNoOmega,
+            SchedulerKind::GuritaNoKappa,
+            SchedulerKind::GuritaNoCriticalPath,
+            SchedulerKind::GuritaPlus,
+            SchedulerKind::Pfs,
+            SchedulerKind::Baraat,
+            SchedulerKind::Stream,
+            SchedulerKind::Aalo,
+            SchedulerKind::VarysSebf,
+        ] {
+            let mut a = kind.build();
+            let mut b = kind.build();
+            assert_eq!(
+                a.assign(&populated, &oracle),
+                b.assign(&populated, &oracle),
+                "{}: assign must be deterministic for this test to be meaningful",
+                kind.label()
+            );
+            assert_eq!(
+                a.queue_policy(&Observation::default()),
+                b.queue_policy(&populated),
+                "{}: queue_policy read the observation",
+                kind.label()
+            );
+        }
+    }
+
     #[test]
     fn paper_set_has_gurita_first() {
         assert_eq!(SchedulerKind::PAPER_SET[0], SchedulerKind::Gurita);

@@ -68,12 +68,14 @@ fn scenario(jobs: usize, seed: u64) -> Scenario {
 }
 
 /// Sweeps the number of priority queues (the paper: 4 suffices; today's
-/// switches support 8).
-pub fn queue_count_sweep(jobs: usize, seed: u64) -> SweepResult {
+/// switches support 8). `par` caps the worker threads used for the
+/// independent points (`0` = one per core).
+pub fn queue_count_sweep(jobs: usize, seed: u64, par: usize) -> SweepResult {
     let sc = scenario(jobs, seed);
-    let points = [1usize, 2, 4, 8]
-        .iter()
-        .map(|&q| SweepPoint {
+    let qs = [1usize, 2, 4, 8];
+    let points = crate::par::par_run(par, qs.len(), |i| {
+        let q = qs[i];
+        SweepPoint {
             setting: format!("{q} queues"),
             avg_jct: run_gurita_with(
                 &sc,
@@ -82,8 +84,8 @@ pub fn queue_count_sweep(jobs: usize, seed: u64) -> SweepResult {
                     ..base_config()
                 },
             ),
-        })
-        .collect();
+        }
+    });
     SweepResult {
         parameter: "priority queues".into(),
         points,
@@ -91,21 +93,19 @@ pub fn queue_count_sweep(jobs: usize, seed: u64) -> SweepResult {
 }
 
 /// Sweeps the exponential threshold ladder's spacing factor.
-pub fn threshold_sweep(jobs: usize, seed: u64) -> SweepResult {
+pub fn threshold_sweep(jobs: usize, seed: u64, par: usize) -> SweepResult {
     let sc = scenario(jobs, seed);
-    let points = [3.0f64, 10.0, 30.0, 100.0]
-        .iter()
-        .map(|&f| SweepPoint {
-            setting: format!("factor {f}"),
-            avg_jct: run_gurita_with(
-                &sc,
-                GuritaConfig {
-                    threshold_factor: f,
-                    ..base_config()
-                },
-            ),
-        })
-        .collect();
+    let factors = [3.0f64, 10.0, 30.0, 100.0];
+    let points = crate::par::par_run(par, factors.len(), |i| SweepPoint {
+        setting: format!("factor {}", factors[i]),
+        avg_jct: run_gurita_with(
+            &sc,
+            GuritaConfig {
+                threshold_factor: factors[i],
+                ..base_config()
+            },
+        ),
+    });
     SweepResult {
         parameter: "threshold spacing factor".into(),
         points,
@@ -113,16 +113,17 @@ pub fn threshold_sweep(jobs: usize, seed: u64) -> SweepResult {
 }
 
 /// Sweeps the δ update interval (ticks).
-pub fn delta_sweep(jobs: usize, seed: u64) -> SweepResult {
-    let mut points = Vec::new();
-    for &delta in &[2e-3f64, 10e-3, 50e-3, 200e-3] {
+pub fn delta_sweep(jobs: usize, seed: u64, par: usize) -> SweepResult {
+    let deltas = [2e-3f64, 10e-3, 50e-3, 200e-3];
+    let points = crate::par::par_run(par, deltas.len(), |i| {
+        let delta = deltas[i];
         let mut sc = scenario(jobs, seed);
         sc.tick_interval = delta;
-        points.push(SweepPoint {
+        SweepPoint {
             setting: format!("delta {:.0}ms", delta * 1e3),
             avg_jct: run_gurita_with(&sc, base_config()),
-        });
-    }
+        }
+    });
     SweepResult {
         parameter: "update interval".into(),
         points,
@@ -130,21 +131,19 @@ pub fn delta_sweep(jobs: usize, seed: u64) -> SweepResult {
 }
 
 /// Sweeps the head-receiver decision propagation latency.
-pub fn latency_sweep(jobs: usize, seed: u64) -> SweepResult {
+pub fn latency_sweep(jobs: usize, seed: u64, par: usize) -> SweepResult {
     let sc = scenario(jobs, seed);
-    let points = [0.0f64, 5e-3, 20e-3, 100e-3]
-        .iter()
-        .map(|&l| SweepPoint {
-            setting: format!("latency {:.0}ms", l * 1e3),
-            avg_jct: run_gurita_with(
-                &sc,
-                GuritaConfig {
-                    decision_latency: l,
-                    ..base_config()
-                },
-            ),
-        })
-        .collect();
+    let latencies = [0.0f64, 5e-3, 20e-3, 100e-3];
+    let points = crate::par::par_run(par, latencies.len(), |i| SweepPoint {
+        setting: format!("latency {:.0}ms", latencies[i] * 1e3),
+        avg_jct: run_gurita_with(
+            &sc,
+            GuritaConfig {
+                decision_latency: latencies[i],
+                ..base_config()
+            },
+        ),
+    });
     SweepResult {
         parameter: "HR decision latency".into(),
         points,
@@ -153,13 +152,16 @@ pub fn latency_sweep(jobs: usize, seed: u64) -> SweepResult {
 
 /// Degrades a growing fraction of host NICs to 30% capacity and
 /// measures Gurita's (and PFS's) average JCT — the fault-robustness
-/// sweep. Returns `(gurita, pfs)` results over the same faults.
-pub fn fault_sweep(jobs: usize, seed: u64) -> (SweepResult, SweepResult) {
+/// sweep. Returns `(gurita, pfs)` results over the same faults. The
+/// `fraction × scheduler` grid runs on up to `par` worker threads.
+pub fn fault_sweep(jobs: usize, seed: u64, par: usize) -> (SweepResult, SweepResult) {
     let sc = scenario(jobs, seed);
     let jobs_vec = sc.jobs();
-    let mut gurita_points = Vec::new();
-    let mut pfs_points = Vec::new();
-    for &frac in &[0.0f64, 0.05, 0.15, 0.30] {
+    let fracs = [0.0f64, 0.05, 0.15, 0.30];
+    let kinds = [SchedulerKind::Gurita, SchedulerKind::Pfs];
+    let cells = crate::par::par_run(par, fracs.len() * kinds.len(), |cell| {
+        let frac = fracs[cell / kinds.len()];
+        let kind = kinds[cell % kinds.len()];
         let fabric = FatTree::new(sc.pods).expect("valid pods");
         let n = 128;
         let degraded =
@@ -167,23 +169,27 @@ pub fn fault_sweep(jobs: usize, seed: u64) -> (SweepResult, SweepResult) {
                 // Spread brown-outs deterministically across racks.
                 f.with_degraded_host(HostId((i * 37) % n), 0.3)
             });
-        for (kind, points) in [
-            (SchedulerKind::Gurita, &mut gurita_points),
-            (SchedulerKind::Pfs, &mut pfs_points),
-        ] {
-            let mut sim = Simulation::new(
-                degraded.clone(),
-                SimConfig {
-                    tick_interval: sc.tick_interval,
-                    ..SimConfig::default()
-                },
-            );
-            let mut sched = kind.build();
-            let avg = sim.run(jobs_vec.clone(), sched.as_mut()).avg_jct();
-            points.push(SweepPoint {
-                setting: format!("{:.0}% hosts browned out", frac * 100.0),
-                avg_jct: avg,
-            });
+        let mut sim = Simulation::new(
+            degraded,
+            SimConfig {
+                tick_interval: sc.tick_interval,
+                ..SimConfig::default()
+            },
+        );
+        let mut sched = kind.build();
+        let avg = sim.run(jobs_vec.clone(), sched.as_mut()).avg_jct();
+        SweepPoint {
+            setting: format!("{:.0}% hosts browned out", frac * 100.0),
+            avg_jct: avg,
+        }
+    });
+    let mut gurita_points = Vec::new();
+    let mut pfs_points = Vec::new();
+    for (i, p) in cells.into_iter().enumerate() {
+        if i % kinds.len() == 0 {
+            gurita_points.push(p);
+        } else {
+            pfs_points.push(p);
         }
     }
     (
@@ -204,15 +210,22 @@ mod tests {
 
     #[test]
     fn sweeps_produce_ordered_points() {
-        let r = queue_count_sweep(6, 3);
+        let r = queue_count_sweep(6, 3, 1);
         assert_eq!(r.points.len(), 4);
         assert!(r.points.iter().all(|p| p.avg_jct > 0.0));
         assert_eq!(r.points[0].setting, "1 queues");
     }
 
     #[test]
+    fn parallel_sweep_matches_sequential() {
+        let seq = queue_count_sweep(5, 11, 1);
+        let par = queue_count_sweep(5, 11, 4);
+        assert_eq!(seq, par, "parallelism must not change results");
+    }
+
+    #[test]
     fn fault_sweep_degrades_gracefully() {
-        let (g, p) = fault_sweep(6, 4);
+        let (g, p) = fault_sweep(6, 4, 0);
         assert_eq!(g.points.len(), 4);
         assert_eq!(p.points.len(), 4);
         // More faults must not make the network faster.

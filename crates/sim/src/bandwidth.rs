@@ -20,12 +20,19 @@
 //!   (work-conserving: idle queues' shares are redistributed).
 //!
 //! The allocator is a progressive water-filling over per-(flow, link)
-//! weights with a lazy min-heap of bottleneck candidates, giving
-//! `O(F · |path| · log L)` allocation cost.
+//! weights with a lazy min-heap of bottleneck candidates. One pass over
+//! `F` flows costs `O(F · |path| · log F)` heap work against dense
+//! per-link state arrays indexed by [`LinkId::index`] — link ids are
+//! dense per fabric, so a reusable [`Allocator`] holds epoch-stamped
+//! `Vec` scratch and performs **zero heap allocations** in steady state.
+//! The runtime additionally restricts recomputation to the affected
+//! flow↔link component after most events, so per-event cost is
+//! `O(C · |path| · log C)` in the component size `C`, not the global
+//! flow count (see DESIGN.md, "Hot path & complexity").
 
 use crate::topology::LinkId;
 use std::cmp::Ordering;
-use std::collections::{BinaryHeap, HashMap};
+use std::collections::BinaryHeap;
 
 /// A flow's bandwidth demand: the links it traverses and the priority
 /// queue it currently transmits in.
@@ -36,6 +43,36 @@ pub struct Demand<'a> {
     pub path: &'a [LinkId],
     /// Priority queue index: 0 is the *highest* priority.
     pub queue: usize,
+}
+
+/// Demand accessor used by [`Allocator::allocate_into`].
+///
+/// Abstracting over the storage lets callers allocate from their own
+/// flow tables (as the runtime does, avoiding a per-event `Vec<Demand>`
+/// rebuild) while `&[Demand]` keeps working for tests and tools.
+pub trait Demands {
+    /// Number of demands.
+    fn len(&self) -> usize;
+    /// Whether there are no demands.
+    fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+    /// Links traversed by demand `i`, in order.
+    fn path(&self, i: usize) -> &[LinkId];
+    /// Priority queue of demand `i` (0 = highest).
+    fn queue(&self, i: usize) -> usize;
+}
+
+impl Demands for [Demand<'_>] {
+    fn len(&self) -> usize {
+        <[Demand<'_>]>::len(self)
+    }
+    fn path(&self, i: usize) -> &[LinkId] {
+        self[i].path
+    }
+    fn queue(&self, i: usize) -> usize {
+        self[i].queue
+    }
 }
 
 /// Service discipline applied at every link.
@@ -67,20 +104,24 @@ impl Discipline {
 
 const EPS: f64 = 1e-12;
 
+/// Dense per-link scratch: `resid` persists across priority passes of
+/// one allocation call (stamped with the call epoch), `sum_w` resets per
+/// water-filling pass (stamped with the pass epoch). Epoch stamps avoid
+/// an `O(L)` clear per call.
 #[derive(Debug)]
-struct LinkState {
-    resid: f64,
-    sum_w: f64,
-    flows: Vec<u32>,
+struct LinkScratch {
+    resid: Vec<f64>,
+    resid_epoch: Vec<u64>,
+    sum_w: Vec<f64>,
+    sumw_epoch: Vec<u64>,
 }
 
-impl LinkState {
-    /// Current fair share per unit of weight on this link.
-    fn share(&self) -> f64 {
-        if self.sum_w <= EPS {
+impl LinkScratch {
+    fn share(&self, li: usize) -> f64 {
+        if self.sum_w[li] <= EPS {
             f64::INFINITY
         } else {
-            (self.resid / self.sum_w).max(0.0)
+            (self.resid[li] / self.sum_w[li]).max(0.0)
         }
     }
 }
@@ -118,9 +159,190 @@ impl Ord for Candidate {
     }
 }
 
+/// Reusable water-filling scratch state sized for a fabric with a fixed
+/// number of dense link ids.
+///
+/// Construct one per fabric with [`Allocator::new`] and call
+/// [`Allocator::allocate_into`] repeatedly: after warm-up no call
+/// allocates. The one-shot [`allocate`] helper wraps a temporary
+/// instance for convenience.
+#[derive(Debug)]
+pub struct Allocator {
+    num_links: usize,
+    /// Monotone counter backing both the per-call and per-pass epochs.
+    epoch: u64,
+    call_epoch: u64,
+    links: LinkScratch,
+    /// WRR per-(queue, link) backlogged-flow counts, laid out as
+    /// `queue * num_links + link`, epoch-stamped per call.
+    counts: Vec<f64>,
+    counts_epoch: Vec<u64>,
+    idx: Vec<u32>,
+    heap: BinaryHeap<Candidate>,
+    /// A demand is frozen in the current pass iff its stamp equals the
+    /// pass epoch.
+    frozen_epoch: Vec<u64>,
+}
+
+impl Allocator {
+    /// Creates scratch state for link ids in `0..num_links`.
+    pub fn new(num_links: usize) -> Self {
+        Self {
+            num_links,
+            epoch: 0,
+            call_epoch: 0,
+            links: LinkScratch {
+                resid: vec![0.0; num_links],
+                resid_epoch: vec![0; num_links],
+                sum_w: vec![0.0; num_links],
+                sumw_epoch: vec![0; num_links],
+            },
+            counts: Vec::new(),
+            counts_epoch: Vec::new(),
+            idx: Vec::new(),
+            heap: BinaryHeap::new(),
+            frozen_epoch: Vec::new(),
+        }
+    }
+
+    /// Number of dense link ids this allocator is sized for.
+    pub fn num_links(&self) -> usize {
+        self.num_links
+    }
+
+    /// Computes per-demand rates into `rates` (one slot per demand, in
+    /// order) under `discipline`, where link `l` has capacity
+    /// `capacity(l)` bytes per second. Demands with an empty path get
+    /// `f64::INFINITY` (they complete instantly in the fluid model).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rates.len() != demands.len()`, if a demand's queue
+    /// index is `>= discipline.num_queues()`, if a path link's index is
+    /// `>= self.num_links()`, or if a WRR weight is not positive and
+    /// finite.
+    pub fn allocate_into<D: Demands + ?Sized>(
+        &mut self,
+        demands: &D,
+        capacity: impl Fn(LinkId) -> f64,
+        discipline: &Discipline,
+        rates: &mut [f64],
+    ) {
+        let n = demands.len();
+        assert_eq!(rates.len(), n, "one rate slot per demand required");
+        let nq = discipline.num_queues();
+        for i in 0..n {
+            let q = demands.queue(i);
+            assert!(q < nq, "demand queue {q} out of range ({nq} queues)");
+            for l in demands.path(i) {
+                assert!(
+                    l.index() < self.num_links,
+                    "link {} out of range ({} links)",
+                    l.index(),
+                    self.num_links
+                );
+            }
+        }
+        rates.fill(f64::INFINITY);
+        self.epoch += 1;
+        self.call_epoch = self.epoch;
+        if self.frozen_epoch.len() < n {
+            self.frozen_epoch.resize(n, 0);
+        }
+        match discipline {
+            Discipline::StrictPriority { num_queues } => {
+                // Residual capacities persist across priority passes via
+                // the call-epoch stamp on `links.resid`.
+                for q in 0..*num_queues {
+                    let mut idx = std::mem::take(&mut self.idx);
+                    idx.clear();
+                    idx.extend(
+                        (0..n)
+                            .filter(|&i| demands.queue(i) == q && !demands.path(i).is_empty())
+                            .map(|i| i as u32),
+                    );
+                    if !idx.is_empty() {
+                        self.epoch += 1;
+                        waterfill(
+                            demands,
+                            &idx,
+                            |_, _| 1.0,
+                            &capacity,
+                            self.call_epoch,
+                            self.epoch,
+                            &mut self.links,
+                            &mut self.heap,
+                            &mut self.frozen_epoch,
+                            rates,
+                        );
+                    }
+                    self.idx = idx;
+                }
+            }
+            Discipline::WeightedRoundRobin { weights } => {
+                for &w in weights {
+                    assert!(w.is_finite() && w > 0.0, "WRR weights must be positive");
+                }
+                // Per-link, per-queue flow counts to derive per-(flow,
+                // link) weights w_q / n_{q,l}: each backlogged queue
+                // receives its w_q share of the link, split max-min
+                // among its flows.
+                let slots = weights.len() * self.num_links;
+                if self.counts.len() < slots {
+                    self.counts.resize(slots, 0.0);
+                    self.counts_epoch.resize(slots, 0);
+                }
+                for i in 0..n {
+                    if demands.path(i).is_empty() {
+                        continue;
+                    }
+                    let q = demands.queue(i);
+                    for l in demands.path(i) {
+                        let s = q * self.num_links + l.index();
+                        if self.counts_epoch[s] != self.call_epoch {
+                            self.counts[s] = 0.0;
+                            self.counts_epoch[s] = self.call_epoch;
+                        }
+                        self.counts[s] += 1.0;
+                    }
+                }
+                let mut idx = std::mem::take(&mut self.idx);
+                idx.clear();
+                idx.extend(
+                    (0..n)
+                        .filter(|&i| !demands.path(i).is_empty())
+                        .map(|i| i as u32),
+                );
+                if !idx.is_empty() {
+                    self.epoch += 1;
+                    let counts = &self.counts;
+                    let nl = self.num_links;
+                    waterfill(
+                        demands,
+                        &idx,
+                        |i: usize, li: usize| {
+                            weights[demands.queue(i)] / counts[demands.queue(i) * nl + li]
+                        },
+                        &capacity,
+                        self.call_epoch,
+                        self.epoch,
+                        &mut self.links,
+                        &mut self.heap,
+                        &mut self.frozen_epoch,
+                        rates,
+                    );
+                }
+                self.idx = idx;
+            }
+        }
+    }
+}
+
 /// Computes per-flow rates for `demands` under `discipline`, where link
 /// `l` has capacity `capacity(l)` bytes per second.
 ///
+/// One-shot convenience wrapper over [`Allocator::allocate_into`] that
+/// sizes a temporary allocator from the largest link index present.
 /// Returns one rate per demand, in order. Flows with an empty path get
 /// `f64::INFINITY` (they complete instantly in the fluid model).
 ///
@@ -133,71 +355,24 @@ pub fn allocate(
     capacity: impl Fn(LinkId) -> f64,
     discipline: &Discipline,
 ) -> Vec<f64> {
-    let nq = discipline.num_queues();
-    for d in demands {
-        assert!(
-            d.queue < nq,
-            "demand queue {} out of range ({} queues)",
-            d.queue,
-            nq
-        );
-    }
+    let num_links = demands
+        .iter()
+        .flat_map(|d| d.path.iter())
+        .map(|l| l.index() + 1)
+        .max()
+        .unwrap_or(0);
+    let mut alloc = Allocator::new(num_links);
     let mut rates = vec![f64::INFINITY; demands.len()];
-    match discipline {
-        Discipline::StrictPriority { num_queues } => {
-            // Residual capacities persist across priority passes.
-            let mut resid: HashMap<usize, f64> = HashMap::new();
-            for q in 0..*num_queues {
-                let idx: Vec<u32> = demands
-                    .iter()
-                    .enumerate()
-                    .filter(|(_, d)| d.queue == q && !d.path.is_empty())
-                    .map(|(i, _)| i as u32)
-                    .collect();
-                if idx.is_empty() {
-                    continue;
-                }
-                waterfill(demands, &idx, |_, _| 1.0, &capacity, &mut resid, &mut rates);
-            }
-        }
-        Discipline::WeightedRoundRobin { weights } => {
-            for &w in weights {
-                assert!(w.is_finite() && w > 0.0, "WRR weights must be positive");
-            }
-            // Per-link, per-queue flow counts to derive per-(flow, link)
-            // weights w_q / n_{q,l}: each backlogged queue receives its
-            // w_q share of the link, split max-min among its flows.
-            let mut counts: HashMap<(usize, usize), f64> = HashMap::new();
-            for d in demands.iter().filter(|d| !d.path.is_empty()) {
-                for l in d.path {
-                    *counts.entry((d.queue, l.index())).or_insert(0.0) += 1.0;
-                }
-            }
-            let idx: Vec<u32> = demands
-                .iter()
-                .enumerate()
-                .filter(|(_, d)| !d.path.is_empty())
-                .map(|(i, _)| i as u32)
-                .collect();
-            let mut resid: HashMap<usize, f64> = HashMap::new();
-            waterfill(
-                demands,
-                &idx,
-                |d: &Demand<'_>, l: usize| weights[d.queue] / counts[&(d.queue, l)],
-                &capacity,
-                &mut resid,
-                &mut rates,
-            );
-        }
-    }
+    alloc.allocate_into(demands, capacity, discipline, &mut rates);
     rates
 }
 
 /// One weighted water-filling pass over the demand subset `idx`.
 ///
-/// `resid` carries residual link capacities across passes (SPQ calls this
-/// once per priority class). Frozen flows' consumption is subtracted from
-/// every link on their paths.
+/// `links.resid` carries residual link capacities across passes (SPQ
+/// calls this once per priority class; the call-epoch stamp initializes
+/// each link from `capacity` on first touch). Frozen flows' consumption
+/// is subtracted from every link on their paths.
 ///
 /// The freeze criterion is flow-centric: a flow's candidate rate is
 /// `min over its links of w(f, l) * share(l)`, and the globally minimal
@@ -208,50 +383,61 @@ pub fn allocate(
 /// freezing, `rate_f <= w(f, l) * share(l)` holds on every link of the
 /// flow's path at freeze time, so shares are non-decreasing and no link
 /// is ever oversubscribed.
-fn waterfill(
-    demands: &[Demand<'_>],
+#[allow(clippy::too_many_arguments)]
+fn waterfill<D: Demands + ?Sized>(
+    demands: &D,
     idx: &[u32],
-    weight: impl Fn(&Demand<'_>, usize) -> f64,
+    weight: impl Fn(usize, usize) -> f64,
     capacity: &impl Fn(LinkId) -> f64,
-    resid: &mut HashMap<usize, f64>,
+    call_epoch: u64,
+    pass_epoch: u64,
+    links: &mut LinkScratch,
+    heap: &mut BinaryHeap<Candidate>,
+    frozen_epoch: &mut [u64],
     rates: &mut [f64],
 ) {
-    let mut links: HashMap<usize, LinkState> = HashMap::new();
     for &fi in idx {
-        for l in demands[fi as usize].path {
+        let f = fi as usize;
+        for l in demands.path(f) {
             let li = l.index();
-            let state = links.entry(li).or_insert_with(|| LinkState {
-                resid: *resid.entry(li).or_insert_with(|| capacity(*l)),
-                sum_w: 0.0,
-                flows: Vec::new(),
-            });
-            state.sum_w += weight(&demands[fi as usize], li);
-            state.flows.push(fi);
+            if links.resid_epoch[li] != call_epoch {
+                links.resid[li] = capacity(*l);
+                links.resid_epoch[li] = call_epoch;
+            }
+            if links.sumw_epoch[li] != pass_epoch {
+                links.sum_w[li] = 0.0;
+                links.sumw_epoch[li] = pass_epoch;
+            }
+            links.sum_w[li] += weight(f, li);
         }
     }
-    let candidate_rate = |f: u32, links: &HashMap<usize, LinkState>| -> f64 {
-        demands[f as usize]
-            .path
+    let candidate_rate = |links: &LinkScratch, f: usize| -> f64 {
+        demands
+            .path(f)
             .iter()
-            .map(|l| weight(&demands[f as usize], l.index()) * links[&l.index()].share())
+            .map(|l| weight(f, l.index()) * links.share(l.index()))
             .fold(f64::INFINITY, f64::min)
     };
-    let mut heap: BinaryHeap<Candidate> = idx
-        .iter()
-        .map(|&fi| Candidate {
-            rate: candidate_rate(fi, &links),
-            flow: fi,
-        })
-        .collect();
-    let mut frozen = vec![false; demands.len()];
+    // Rebuild the heap by heapify (as `collect` would) into the retained
+    // buffer so candidate ordering is reproducible and allocation-free.
+    let mut buf = std::mem::take(heap).into_vec();
+    buf.clear();
+    buf.extend(idx.iter().map(|&fi| Candidate {
+        rate: candidate_rate(links, fi as usize),
+        flow: fi,
+    }));
+    *heap = BinaryHeap::from(buf);
     while let Some(cand) = heap.pop() {
         let f = cand.flow as usize;
-        if frozen[f] {
+        if frozen_epoch[f] == pass_epoch {
             continue;
         }
         // Link shares only grow, so a stale entry underestimates. If the
-        // fresh value is no longer the minimum, re-queue it.
-        let fresh = candidate_rate(cand.flow, &links);
+        // fresh value is no longer the minimum, re-queue it. When the
+        // heap is empty this candidate is the last unfrozen flow and the
+        // freshly recomputed value *is* its final rate — the flow always
+        // freezes at `fresh`, never at the stale entry value.
+        let fresh = candidate_rate(links, f);
         if let Some(top) = heap.peek() {
             if fresh > top.rate + EPS && fresh > cand.rate + EPS {
                 heap.push(Candidate {
@@ -261,28 +447,25 @@ fn waterfill(
                 continue;
             }
         }
-        frozen[f] = true;
+        frozen_epoch[f] = pass_epoch;
         let rate = if fresh.is_finite() {
             fresh.max(0.0)
         } else {
             0.0
         };
         rates[f] = rate;
-        for l in demands[f].path {
-            let s = links.get_mut(&l.index()).expect("path link registered");
-            s.resid = (s.resid - rate).max(0.0);
-            s.sum_w = (s.sum_w - weight(&demands[f], l.index())).max(0.0);
+        for l in demands.path(f) {
+            let li = l.index();
+            links.resid[li] = (links.resid[li] - rate).max(0.0);
+            links.sum_w[li] = (links.sum_w[li] - weight(f, li)).max(0.0);
         }
-    }
-    // Persist residuals for subsequent passes.
-    for (li, s) in links {
-        resid.insert(li, s.resid);
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use std::collections::HashMap;
 
     fn caps_all(c: f64) -> impl Fn(LinkId) -> f64 {
         move |_| c
@@ -337,6 +520,26 @@ mod tests {
         assert!((rates[0] - 1.0).abs() < 1e-9);
         assert!((rates[1] - 1.0).abs() < 1e-9);
         assert!((rates[2] - 9.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn last_popped_candidate_rechecks_fresh_rate_when_heap_is_empty() {
+        // Flow A on {0} (cap 10), flow B on {0, 1} (link 1 cap 2).
+        // B freezes first at 2 (bottlenecked on link 1); A's heap entry
+        // (rate 5 = 10/2) is then stale and pops with the heap *empty*.
+        // It must freeze at its freshly recomputed rate 8 (= 10 - 2),
+        // not the stale candidate value 5.
+        let a = [LinkId(0)];
+        let b = [LinkId(0), LinkId(1)];
+        let demands = vec![Demand { path: &a, queue: 0 }, Demand { path: &b, queue: 0 }];
+        let caps = |l: LinkId| if l.index() == 0 { 10.0 } else { 2.0 };
+        let rates = allocate(&demands, caps, &spq(1));
+        assert!((rates[1] - 2.0).abs() < 1e-9, "B rate {}", rates[1]);
+        assert!(
+            (rates[0] - 8.0).abs() < 1e-9,
+            "last candidate must freeze at its fresh rate, got {}",
+            rates[0]
+        );
     }
 
     #[test]
@@ -462,6 +665,52 @@ mod tests {
     }
 
     #[test]
+    fn reused_allocator_matches_fresh_allocation() {
+        // One Allocator reused across many different demand sets (and
+        // both disciplines) must produce exactly what a from-scratch
+        // call computes: the epoch-stamped scratch may never leak state
+        // between calls.
+        let mut state = 99u64;
+        let mut next = move || {
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            (state >> 33) as usize
+        };
+        let mut shared = Allocator::new(30);
+        for round in 0..25 {
+            let nflows = 1 + next() % 30;
+            let link_ids: Vec<Vec<LinkId>> = (0..nflows)
+                .map(|_| (0..(1 + next() % 4)).map(|_| LinkId(next() % 30)).collect())
+                .collect();
+            let demands: Vec<Demand<'_>> = link_ids
+                .iter()
+                .map(|p| Demand {
+                    path: p.as_slice(),
+                    queue: next() % 3,
+                })
+                .collect();
+            let disc = if round % 2 == 0 {
+                spq(3)
+            } else {
+                Discipline::WeightedRoundRobin {
+                    weights: vec![5.0, 2.0, 1.0],
+                }
+            };
+            let cap = move |l: LinkId| 1.0 + (l.index() % 7) as f64;
+            let fresh = allocate(&demands, cap, &disc);
+            let mut reused = vec![0.0; demands.len()];
+            shared.allocate_into(&demands[..], cap, &disc, &mut reused);
+            for (i, (a, b)) in fresh.iter().zip(&reused).enumerate() {
+                assert!(
+                    (a - b).abs() < 1e-12,
+                    "round {round} flow {i}: fresh {a} vs reused {b}"
+                );
+            }
+        }
+    }
+
+    #[test]
     fn allocation_is_bottleneck_tight() {
         // Max-min property: every flow is saturated at some link.
         let p1 = [LinkId(0), LinkId(1)];
@@ -506,9 +755,19 @@ mod tests {
     #[should_panic(expected = "positive")]
     fn rejects_nonpositive_wrr_weight() {
         let l = [LinkId(0)];
-        let demands = vec![Demand { path: &l, queue: 0 }];
+        let demands = [Demand { path: &l, queue: 0 }];
         let disc = Discipline::WeightedRoundRobin { weights: vec![0.0] };
         let _ = allocate(&demands, caps_all(1.0), &disc);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn rejects_link_outside_allocator_bounds() {
+        let l = [LinkId(7)];
+        let demands = [Demand { path: &l, queue: 0 }];
+        let mut alloc = Allocator::new(4);
+        let mut rates = vec![0.0];
+        alloc.allocate_into(&demands[..], caps_all(1.0), &spq(1), &mut rates);
     }
 
     #[test]

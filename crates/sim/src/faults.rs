@@ -404,34 +404,70 @@ impl FaultOverlay {
     }
 
     /// Applies `event` (validated elsewhere) on a fabric with
-    /// `num_hosts` hosts. Returns the links that *changed* liveness:
-    /// `(newly_dead, revived)`.
-    pub fn apply(&mut self, event: &FaultEvent, num_hosts: usize) -> (Vec<LinkId>, Vec<LinkId>) {
+    /// `num_hosts` hosts. Returns exactly which links changed, so the
+    /// caller can invalidate only the rates the event actually touched
+    /// (the runtime re-waterfills just the affected flow↔link
+    /// component).
+    pub fn apply(&mut self, event: &FaultEvent, num_hosts: usize) -> FaultImpact {
         let links = event.links(num_hosts);
-        let mut newly_dead = Vec::new();
-        let mut revived = Vec::new();
+        let mut impact = FaultImpact::default();
         for l in links {
             match event {
                 FaultEvent::DegradeLink { factor, .. }
                 | FaultEvent::BrownoutHost { factor, .. } => {
-                    self.factors.insert(l.index(), *factor);
+                    if self.factors.insert(l.index(), *factor) != Some(*factor) {
+                        impact.rescaled.push(l);
+                    }
                 }
                 FaultEvent::RestoreLink { .. } | FaultEvent::RestoreHost { .. } => {
-                    self.factors.remove(&l.index());
+                    if self.factors.remove(&l.index()).is_some() {
+                        impact.rescaled.push(l);
+                    }
                 }
                 FaultEvent::FailLink { .. } | FaultEvent::FailHost { .. } => {
                     if self.dead.insert(l.index()) {
-                        newly_dead.push(l);
+                        impact.newly_dead.push(l);
                     }
                 }
                 FaultEvent::RecoverLink { .. } | FaultEvent::RecoverHost { .. } => {
                     if self.dead.remove(&l.index()) {
-                        revived.push(l);
+                        impact.revived.push(l);
                     }
                 }
             }
         }
-        (newly_dead, revived)
+        impact
+    }
+}
+
+/// Exactly which links one applied [`FaultEvent`] changed. Idempotent
+/// re-applications (failing a dead link, restoring a healthy one,
+/// re-degrading to the same factor) report nothing, so rate
+/// invalidation stays proportional to real change.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct FaultImpact {
+    /// Links that transitioned live → hard-failed.
+    pub newly_dead: Vec<LinkId>,
+    /// Links that transitioned hard-failed → live.
+    pub revived: Vec<LinkId>,
+    /// Links whose capacity scale changed without a liveness change
+    /// (degradations applied or lifted).
+    pub rescaled: Vec<LinkId>,
+}
+
+impl FaultImpact {
+    /// Whether the event changed nothing at all.
+    pub fn is_empty(&self) -> bool {
+        self.newly_dead.is_empty() && self.revived.is_empty() && self.rescaled.is_empty()
+    }
+
+    /// All changed links, in `newly_dead`, `revived`, `rescaled` order.
+    pub fn changed_links(&self) -> impl Iterator<Item = LinkId> + '_ {
+        self.newly_dead
+            .iter()
+            .chain(self.revived.iter())
+            .chain(self.rescaled.iter())
+            .copied()
     }
 }
 
@@ -471,8 +507,8 @@ impl<F: Fabric> MutableFabric<F> {
     }
 
     /// Applies one fault event, mutating capacities in place. Returns
-    /// the links that changed liveness as `(newly_dead, revived)`.
-    pub fn apply(&mut self, event: &FaultEvent) -> (Vec<LinkId>, Vec<LinkId>) {
+    /// exactly which links changed as a [`FaultImpact`].
+    pub fn apply(&mut self, event: &FaultEvent) -> FaultImpact {
         let n = self.inner.num_hosts();
         self.overlay.apply(event, n)
     }
@@ -646,19 +682,59 @@ mod tests {
     #[test]
     fn overlay_tracks_death_and_revival() {
         let mut o = FaultOverlay::new();
-        let (dead, _) = o.apply(&FaultEvent::FailHost { host: HostId(1) }, 4);
-        assert_eq!(dead, vec![LinkId(1), LinkId(5)]);
+        let impact = o.apply(&FaultEvent::FailHost { host: HostId(1) }, 4);
+        assert_eq!(impact.newly_dead, vec![LinkId(1), LinkId(5)]);
         assert!(o.is_dead(LinkId(1)) && o.is_dead(LinkId(5)));
         assert!(o.has_failures());
         assert_eq!(o.scale(LinkId(1)), 0.0);
         assert!(o.path_is_dead(&[LinkId(0), LinkId(5)]));
         // Double-fail is idempotent.
-        let (dead, _) = o.apply(&FaultEvent::FailLink { link: LinkId(1) }, 4);
-        assert!(dead.is_empty());
-        let (_, revived) = o.apply(&FaultEvent::RecoverHost { host: HostId(1) }, 4);
-        assert_eq!(revived, vec![LinkId(1), LinkId(5)]);
+        let impact = o.apply(&FaultEvent::FailLink { link: LinkId(1) }, 4);
+        assert!(impact.is_empty());
+        let impact = o.apply(&FaultEvent::RecoverHost { host: HostId(1) }, 4);
+        assert_eq!(impact.revived, vec![LinkId(1), LinkId(5)]);
         assert!(!o.has_failures());
         assert_eq!(o.scale(LinkId(1)), 1.0);
+    }
+
+    #[test]
+    fn overlay_reports_rescaled_links_exactly() {
+        let mut o = FaultOverlay::new();
+        let degrade = FaultEvent::DegradeLink {
+            link: LinkId(2),
+            factor: 0.5,
+        };
+        let impact = o.apply(&degrade, 4);
+        assert_eq!(impact.rescaled, vec![LinkId(2)]);
+        assert!(impact.newly_dead.is_empty() && impact.revived.is_empty());
+        assert_eq!(impact.changed_links().collect::<Vec<_>>(), vec![LinkId(2)]);
+        // Re-degrading to the same factor changes nothing.
+        assert!(o.apply(&degrade, 4).is_empty());
+        // A different factor is a change again.
+        let impact = o.apply(
+            &FaultEvent::DegradeLink {
+                link: LinkId(2),
+                factor: 0.25,
+            },
+            4,
+        );
+        assert_eq!(impact.rescaled, vec![LinkId(2)]);
+        // Restoring an undegraded link reports nothing; restoring the
+        // degraded one reports it.
+        assert!(o
+            .apply(&FaultEvent::RestoreLink { link: LinkId(3) }, 4)
+            .is_empty());
+        let impact = o.apply(&FaultEvent::RestoreLink { link: LinkId(2) }, 4);
+        assert_eq!(impact.rescaled, vec![LinkId(2)]);
+        // Host brownout touches the up/down pair.
+        let impact = o.apply(
+            &FaultEvent::BrownoutHost {
+                host: HostId(0),
+                factor: 0.75,
+            },
+            4,
+        );
+        assert_eq!(impact.rescaled, vec![LinkId(0), LinkId(4)]);
     }
 
     #[test]

@@ -19,7 +19,7 @@
 //! opts out: live flows may be demoted immediately, promotions apply
 //! only to flows that start later.
 
-use crate::bandwidth::{allocate, Demand, Discipline};
+use crate::bandwidth::{Allocator, Demands, Discipline};
 use crate::faults::{FaultOverlay, FaultSchedule, TimedFault};
 use crate::sched::{CoflowObs, FlowObs, JobObs, Observation, Oracle, QueuePolicy, Scheduler};
 use crate::stats::{CoflowResult, FaultRecord, JobResult, RunResult};
@@ -36,7 +36,7 @@ pub struct SimConfig {
     /// receiver→HR update). Default: 5 ms.
     pub tick_interval: f64,
     /// Safety bound on processed events; the run aborts with
-    /// [`SimError::EventBudgetExhausted`] beyond it. Default: 500 million.
+    /// [`SimError::EventBudgetExhausted`] beyond it. Default: 100 million.
     pub max_events: u64,
     /// A flow completes when its remaining volume drops to or below this
     /// many bytes. Default: 0.1 bytes — far below a packet, so completion
@@ -47,6 +47,15 @@ pub struct SimConfig {
     /// [`RunResult::link_bytes`]. Off by default (it adds `O(path)`
     /// work per flow per event).
     pub collect_link_stats: bool,
+    /// Disable component-incremental rate recomputation and re-waterfill
+    /// every flow after every event, as the pre-incremental engine did
+    /// (bit-for-bit). Off by default; useful as a safety valve and as
+    /// the reference behavior for equivalence tests. Incremental
+    /// recomputation agrees with the full pass to ~1e-9 relative — not
+    /// bitwise, because the waterfill's stale-candidate recheck compares
+    /// against the global heap top, which couples freeze order across
+    /// otherwise independent components at exact floating-point ties.
+    pub force_full_recompute: bool,
 }
 
 impl Default for SimConfig {
@@ -56,6 +65,7 @@ impl Default for SimConfig {
             max_events: 100_000_000,
             completion_eps: 0.1,
             collect_link_stats: false,
+            force_full_recompute: false,
         }
     }
 }
@@ -117,11 +127,100 @@ struct FlowState {
     /// The flow's path crosses a hard-failed link and no detour exists;
     /// it holds its delivered bytes at zero rate until a recovery.
     parked: bool,
+    /// Bumped every time `rate` is set; completion-index entries carry
+    /// the stamp they were pushed under and go stale when it moves on.
+    stamp: u64,
 }
 
 impl FlowState {
     fn bytes_done(&self) -> f64 {
         self.size - self.remaining
+    }
+}
+
+/// Lazy completion-index entry: the predicted absolute finish time of a
+/// flow at its current rate (`t_set + remaining_at_set / rate`, which is
+/// invariant while the rate holds). Min-time first; stale entries
+/// (superseded stamp or completed flow) are skipped on pop.
+#[derive(Debug)]
+struct FinishCand {
+    time: f64,
+    flow: FlowId,
+    stamp: u64,
+}
+
+impl PartialEq for FinishCand {
+    fn eq(&self, other: &Self) -> bool {
+        self.time == other.time && self.flow == other.flow && self.stamp == other.stamp
+    }
+}
+impl Eq for FinishCand {}
+impl PartialOrd for FinishCand {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for FinishCand {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Min-heap on (time, flow id) for deterministic tie order.
+        other
+            .time
+            .partial_cmp(&self.time)
+            .unwrap_or(Ordering::Equal)
+            .then_with(|| other.flow.index().cmp(&self.flow.index()))
+            .then_with(|| other.stamp.cmp(&self.stamp))
+    }
+}
+
+/// Which rates the next recomputation must refresh. Events accumulate
+/// seed links (the links they touched); the recompute pass expands them
+/// to the affected flow↔link component(s). Discipline changes force a
+/// full pass instead.
+#[derive(Debug, Default)]
+struct DirtyRates {
+    /// Anything to do at all?
+    any: bool,
+    /// Recompute every flow (discipline/policy change or explicit
+    /// request); `links` is irrelevant when set.
+    full: bool,
+    /// Seed link indices touched since the last recomputation
+    /// (unsorted, may contain duplicates — the BFS dedups).
+    links: Vec<usize>,
+}
+
+impl DirtyRates {
+    fn mark_path(&mut self, path: &[LinkId]) {
+        self.any = true;
+        if !self.full {
+            self.links.extend(path.iter().map(|l| l.index()));
+        }
+    }
+
+    fn mark_link(&mut self, l: LinkId) {
+        self.any = true;
+        if !self.full {
+            self.links.push(l.index());
+        }
+    }
+}
+
+/// Zero-copy [`Demands`] view over a subset of the engine's flow table:
+/// demand `i` is `flows[subset[i]]`. Avoids rebuilding a `Vec<Demand>`
+/// per event.
+struct FlowDemandView<'a> {
+    flows: &'a [FlowState],
+    subset: &'a [usize],
+}
+
+impl Demands for FlowDemandView<'_> {
+    fn len(&self) -> usize {
+        self.subset.len()
+    }
+    fn path(&self, i: usize) -> &[LinkId] {
+        &self.flows[self.subset[i]].path
+    }
+    fn queue(&self, i: usize) -> usize {
+        self.flows[self.subset[i]].queue
     }
 }
 
@@ -278,12 +377,37 @@ struct Engine<'a, F: Fabric> {
     jobs_state: HashMap<JobId, JobState>,
 
     completion_generation: u64,
-    rates_dirty: bool,
+    dirty: DirtyRates,
     tick_pending: bool,
     link_bytes: HashMap<usize, f64>,
 
     fault_schedule: Vec<TimedFault>,
     overlay: FaultOverlay,
+
+    // ---- hot-path scratch (reused across events; see DESIGN.md) ----
+    /// Dense-array water-filling allocator, sized to the fabric.
+    allocator: Allocator,
+    /// Discipline used by the previous recomputation; a change forces a
+    /// full recompute (relative queue weights shift globally).
+    last_discipline: Option<Discipline>,
+    /// link index → flows whose path crosses it. Entries are tombstoned
+    /// lazily: a listed flow may have completed, parked, or rerouted
+    /// away; readers validate against `flow_pos`/`path` and compact.
+    link_flows: Vec<Vec<FlowId>>,
+    /// Epoch stamps for BFS visited-sets (avoid O(L)/O(F) clears).
+    link_mark: Vec<u64>,
+    flow_mark: Vec<u64>,
+    mark_epoch: u64,
+    /// BFS worklist of link indices (scratch).
+    bfs_stack: Vec<usize>,
+    /// Flow positions in the component under recomputation (scratch).
+    component: Vec<usize>,
+    /// Rate output buffer for the allocator (scratch).
+    rate_buf: Vec<f64>,
+    /// Lazy completion index: predicted finish times keyed by rate stamp.
+    finish_heap: BinaryHeap<FinishCand>,
+    /// Global counter backing `FlowState::stamp`.
+    rate_stamp: u64,
 
     result: RunResult,
     remaining_jobs: usize,
@@ -337,11 +461,22 @@ impl<'a, F: Fabric> Engine<'a, F> {
             active_coflows: Vec::new(),
             jobs_state: HashMap::new(),
             completion_generation: 0,
-            rates_dirty: false,
+            dirty: DirtyRates::default(),
             tick_pending: false,
             link_bytes: HashMap::new(),
             fault_schedule,
             overlay: FaultOverlay::new(),
+            allocator: Allocator::new(fabric.num_links()),
+            last_discipline: None,
+            link_flows: vec![Vec::new(); fabric.num_links()],
+            link_mark: vec![0; fabric.num_links()],
+            flow_mark: Vec::new(),
+            mark_epoch: 0,
+            bfs_stack: Vec::new(),
+            component: Vec::new(),
+            rate_buf: Vec::new(),
+            finish_heap: BinaryHeap::new(),
+            rate_stamp: 0,
             result: RunResult {
                 scheduler: scheduler_name,
                 ..RunResult::default()
@@ -374,7 +509,7 @@ impl<'a, F: Fabric> Engine<'a, F> {
             }
             self.harvest_completions()?;
             self.reassign_priorities();
-            if self.rates_dirty {
+            if self.dirty.any {
                 self.recompute_rates();
             }
             self.schedule_followups();
@@ -430,7 +565,7 @@ impl<'a, F: Fabric> Engine<'a, F> {
         for v in dag.leaves() {
             self.activate_coflow(id, v)?;
         }
-        self.rates_dirty = true;
+        self.dirty.any = true;
         Ok(())
     }
 
@@ -487,13 +622,21 @@ impl<'a, F: Fabric> Engine<'a, F> {
                 rate: 0.0,
                 fresh: true,
                 parked,
+                stamp: 0,
             };
-            self.flow_pos.insert(fid, self.flows.len());
+            let pos = self.flows.len();
+            self.flow_pos.insert(fid, pos);
             self.flows.push(flow);
+            if !parked {
+                self.dirty.mark_path(&self.flows[pos].path);
+                for l in &self.flows[pos].path {
+                    self.link_flows[l.index()].push(fid);
+                }
+            }
         }
         self.coflows.insert(id, state);
         self.active_coflows.push(id);
-        self.rates_dirty = true;
+        self.dirty.any = true;
         Ok(())
     }
 
@@ -502,7 +645,12 @@ impl<'a, F: Fabric> Engine<'a, F> {
     /// recoveries) and mark rates for recomputation.
     fn apply_fault(&mut self, index: usize) -> Result<(), SimError> {
         let tf = self.fault_schedule[index];
-        let (newly_dead, revived) = self.overlay.apply(&tf.event, self.fabric.num_hosts());
+        let impact = self.overlay.apply(&tf.event, self.fabric.num_hosts());
+        // Every link whose effective capacity changed seeds the next
+        // incremental recomputation, even if no flow reroutes.
+        for l in impact.changed_links() {
+            self.dirty.mark_link(l);
+        }
         let mut rec = FaultRecord {
             at: self.now,
             event: tf.event,
@@ -510,17 +658,17 @@ impl<'a, F: Fabric> Engine<'a, F> {
             parked: 0,
             resumed: 0,
         };
-        if !newly_dead.is_empty() {
+        if !impact.newly_dead.is_empty() {
             self.handle_link_failures(&mut rec)?;
         }
-        if !revived.is_empty() {
+        if !impact.revived.is_empty() {
             self.handle_link_recoveries(&mut rec)?;
         }
         self.result.flows_rerouted += rec.rerouted;
         self.result.flows_parked += rec.parked;
         self.result.flows_resumed += rec.resumed;
         self.result.faults.push(rec);
-        self.rates_dirty = true;
+        self.dirty.any = true;
         Ok(())
     }
 
@@ -540,8 +688,14 @@ impl<'a, F: Fabric> Engine<'a, F> {
             }
         }
         for (pos, path) in reroutes {
+            {
+                let f = &mut self.flows[pos];
+                self.dirty.mark_path(&f.path);
+                f.path = path;
+            }
+            self.dirty.mark_path(&self.flows[pos].path);
+            self.index_flow(pos, true);
             let f = &mut self.flows[pos];
-            f.path = path;
             rec.rerouted += 1;
             let job = self.coflows[&f.coflow].job;
             self.jobs_state
@@ -550,9 +704,13 @@ impl<'a, F: Fabric> Engine<'a, F> {
                 .fault_reroutes += 1;
         }
         for pos in parks {
+            self.rate_stamp += 1;
+            let stamp = self.rate_stamp;
             let f = &mut self.flows[pos];
+            self.dirty.mark_path(&f.path);
             f.parked = true;
             f.rate = 0.0;
+            f.stamp = stamp; // invalidate any completion-index entry
             rec.parked += 1;
             let job = self.coflows[&f.coflow].job;
             self.jobs_state
@@ -578,18 +736,24 @@ impl<'a, F: Fabric> Engine<'a, F> {
             }
         }
         for (pos, new_path) in resumes {
-            let f = &mut self.flows[pos];
-            f.parked = false;
-            rec.resumed += 1;
-            if let Some(path) = new_path {
-                f.path = path;
-                rec.rerouted += 1;
-                let job = self.coflows[&f.coflow].job;
-                self.jobs_state
-                    .get_mut(&job)
-                    .expect("job active")
-                    .fault_reroutes += 1;
+            {
+                let f = &mut self.flows[pos];
+                f.parked = false;
+                rec.resumed += 1;
+                if let Some(path) = new_path {
+                    f.path = path;
+                    rec.rerouted += 1;
+                    let job = self.coflows[&f.coflow].job;
+                    self.jobs_state
+                        .get_mut(&job)
+                        .expect("job active")
+                        .fault_reroutes += 1;
+                }
             }
+            // The resumed flow (possibly on a new path) joins the
+            // allocation again; its links seed the recomputation.
+            self.dirty.mark_path(&self.flows[pos].path);
+            self.index_flow(pos, true);
         }
         Ok(())
     }
@@ -671,6 +835,8 @@ impl<'a, F: Fabric> Engine<'a, F> {
                 if let Some(moved) = self.flows.get(pos) {
                     self.flow_pos.insert(moved.id, pos);
                 }
+                // Freed capacity redistributes across the flow's links.
+                self.dirty.mark_path(&flow.path);
                 let cf = self
                     .coflows
                     .get_mut(&flow.coflow)
@@ -690,7 +856,7 @@ impl<'a, F: Fabric> Engine<'a, F> {
             for cid in completed_coflows {
                 self.complete_coflow(cid)?;
             }
-            self.rates_dirty = true;
+            self.dirty.any = true;
         }
     }
 
@@ -856,22 +1022,115 @@ impl<'a, F: Fabric> Engine<'a, F> {
                 };
                 if new_queue != f.queue {
                     f.queue = new_queue;
-                    self.rates_dirty = true;
+                    // A queue change only affects the allocation through
+                    // the flow's own links, so they suffice as seeds.
+                    self.dirty.mark_path(&f.path);
                 }
                 f.fresh = false;
             }
         }
     }
 
+    /// Adds `flows[pos]` to the link→flows index for every link on its
+    /// path. With `dedup`, skips links that already list the flow (a
+    /// rerouted path may share links with the stale entry's old path).
+    fn index_flow(&mut self, pos: usize, dedup: bool) {
+        let fid = self.flows[pos].id;
+        for i in 0..self.flows[pos].path.len() {
+            let li = self.flows[pos].path[i].index();
+            let list = &mut self.link_flows[li];
+            if !dedup || !list.contains(&fid) {
+                list.push(fid);
+            }
+        }
+    }
+
+    /// Expands the dirty seed links into the full set of flow positions
+    /// whose rate can change — the connected component(s) of the
+    /// flow↔link bipartite graph containing any seed. Side effect:
+    /// compacts stale `link_flows` entries it walks over.
+    fn collect_component(&mut self) {
+        self.component.clear();
+        self.mark_epoch += 1;
+        let epoch = self.mark_epoch;
+        if self.flow_mark.len() < self.flows.len() {
+            self.flow_mark.resize(self.flows.len(), 0);
+        }
+        self.bfs_stack.clear();
+        for &li in &self.dirty.links {
+            if self.link_mark[li] != epoch {
+                self.link_mark[li] = epoch;
+                self.bfs_stack.push(li);
+            }
+        }
+        self.dirty.links.clear();
+        while let Some(li) = self.bfs_stack.pop() {
+            // Take the adjacency list out so we can mutate marks while
+            // validating entries; put the compacted list back after.
+            let mut list = std::mem::take(&mut self.link_flows[li]);
+            {
+                let flows = &self.flows;
+                let flow_pos = &self.flow_pos;
+                let flow_mark = &mut self.flow_mark;
+                let link_mark = &mut self.link_mark;
+                let component = &mut self.component;
+                let bfs_stack = &mut self.bfs_stack;
+                list.retain(|fid| {
+                    let Some(&pos) = flow_pos.get(fid) else {
+                        return false; // completed
+                    };
+                    let f = &flows[pos];
+                    if f.parked || !f.path.iter().any(|l| l.index() == li) {
+                        return false; // parked or rerouted away
+                    }
+                    if flow_mark[pos] != epoch {
+                        flow_mark[pos] = epoch;
+                        component.push(pos);
+                        for l in &f.path {
+                            let lj = l.index();
+                            if link_mark[lj] != epoch {
+                                link_mark[lj] = epoch;
+                                bfs_stack.push(lj);
+                            }
+                        }
+                    }
+                    true
+                });
+            }
+            self.link_flows[li] = list;
+        }
+        // Ascending flow-table order so the component's demand sequence
+        // is a subsequence of the full recompute's (FP-identical math).
+        self.component.sort_unstable();
+    }
+
+    /// Drops invalidated completion-index entries once garbage dominates,
+    /// keeping the heap O(live flows) without an O(log n) delete.
+    fn rebuild_finish_heap(&mut self) {
+        let mut buf = std::mem::take(&mut self.finish_heap).into_vec();
+        let flows = &self.flows;
+        let flow_pos = &self.flow_pos;
+        buf.retain(|c| {
+            flow_pos
+                .get(&c.flow)
+                .is_some_and(|&pos| flows[pos].stamp == c.stamp)
+        });
+        self.finish_heap = BinaryHeap::from(buf);
+    }
+
     fn recompute_rates(&mut self) {
-        self.rates_dirty = false;
+        let full_requested = self.dirty.full || self.config.force_full_recompute;
+        self.dirty.any = false;
+        self.dirty.full = false;
         self.completion_generation += 1;
         if self.flows.is_empty() {
+            self.dirty.links.clear();
             return;
         }
         // Schedulers derive weights from state accumulated in `assign`
         // (always called before rates are recomputed), so the policy
-        // query does not need a fresh observation.
+        // query does not need a fresh observation. See the
+        // `Scheduler::queue_policy` contract.
         let discipline = match self.scheduler.queue_policy(&Observation::default()) {
             QueuePolicy::Strict => Discipline::StrictPriority {
                 num_queues: self.scheduler.num_queues(),
@@ -885,45 +1144,94 @@ impl<'a, F: Fabric> Engine<'a, F> {
                 Discipline::WeightedRoundRobin { weights }
             }
         };
-        // Parked flows hold at zero rate and must stay out of the
-        // allocation entirely: an empty or dead path in `demands` would
-        // otherwise grab an unconstrained (infinite) rate.
-        let mut positions: Vec<usize> = Vec::with_capacity(self.flows.len());
-        let mut demands: Vec<Demand<'_>> = Vec::with_capacity(self.flows.len());
-        for (pos, f) in self.flows.iter().enumerate() {
-            if f.parked {
-                continue;
+        // A discipline change (e.g. WRR weights shifted) re-weights every
+        // flow everywhere: incremental seeds are insufficient, fall back
+        // to a full pass.
+        let full = full_requested || self.last_discipline.as_ref() != Some(&discipline);
+        if full {
+            self.dirty.links.clear();
+            self.component.clear();
+            // Parked flows hold at zero rate and must stay out of the
+            // allocation entirely: an empty or dead path in the demand
+            // set would otherwise grab an unconstrained (infinite) rate.
+            for (pos, f) in self.flows.iter().enumerate() {
+                if !f.parked {
+                    self.component.push(pos);
+                }
             }
-            positions.push(pos);
-            demands.push(Demand {
-                path: &f.path,
-                queue: f.queue,
-            });
+        } else {
+            self.collect_component();
         }
-        let rates = allocate(
-            &demands,
-            |l| self.fabric.link_capacity(l) * self.overlay.scale(l),
+        self.last_discipline = Some(discipline.clone());
+        self.rate_stamp += 1;
+        let stamp = self.rate_stamp;
+        if full {
+            // Parked flows may have been holding a nonzero entry from
+            // before parking in exotic orderings; pin them to zero as
+            // the pre-incremental engine did.
+            for f in self.flows.iter_mut().filter(|f| f.parked) {
+                f.rate = 0.0;
+                f.stamp = stamp;
+            }
+        }
+        if self.component.is_empty() {
+            return;
+        }
+        let view = FlowDemandView {
+            flows: &self.flows,
+            subset: &self.component,
+        };
+        self.rate_buf.clear();
+        self.rate_buf.resize(self.component.len(), 0.0);
+        let fabric = self.fabric;
+        let overlay = &self.overlay;
+        self.allocator.allocate_into(
+            &view,
+            |l| fabric.link_capacity(l) * overlay.scale(l),
             &discipline,
+            &mut self.rate_buf,
         );
-        for f in self.flows.iter_mut().filter(|f| f.parked) {
-            f.rate = 0.0;
+        for (i, &pos) in self.component.iter().enumerate() {
+            let f = &mut self.flows[pos];
+            f.rate = self.rate_buf[i];
+            f.stamp = stamp;
+            if f.rate > 1e-15 && f.rate.is_finite() {
+                self.finish_heap.push(FinishCand {
+                    time: self.now + f.remaining / f.rate,
+                    flow: f.id,
+                    stamp,
+                });
+            }
         }
-        for (pos, r) in positions.into_iter().zip(rates) {
-            self.flows[pos].rate = r;
+        if self.finish_heap.len() > 4 * self.flows.len() + 64 {
+            self.rebuild_finish_heap();
         }
     }
 
     fn schedule_followups(&mut self) {
-        // Next completion. The event time must be strictly after `now`
-        // in f64, or a sub-epsilon residue would re-fire the same event
-        // with zero progress forever; nudging by one ULP-scale step
-        // costs well under a nanosecond of accuracy.
+        // Next completion, via the lazy completion index: pop entries
+        // whose flow completed or whose rate was re-stamped since the
+        // prediction was pushed; the top valid entry is the argmin. The
+        // event time is recomputed from the flow's *current* state so it
+        // is bit-identical to what a full scan over `flows` would find
+        // (predictions are pushed before any `advance_to` drains
+        // `remaining`, but `now + remaining/rate` is invariant along the
+        // segment while the rate holds — up to the fresh division here).
+        // The event time must be strictly after `now` in f64, or a
+        // sub-epsilon residue would re-fire the same event with zero
+        // progress forever; nudging by one ULP-scale step costs well
+        // under a nanosecond of accuracy.
         let mut t_next = f64::INFINITY;
-        for f in &self.flows {
-            if f.rate > 1e-15 {
-                let t = self.now + f.remaining / f.rate;
-                if t < t_next {
-                    t_next = t;
+        while let Some(top) = self.finish_heap.peek() {
+            match self.flow_pos.get(&top.flow) {
+                Some(&pos) if self.flows[pos].stamp == top.stamp => {
+                    let f = &self.flows[pos];
+                    debug_assert!(f.rate > 1e-15);
+                    t_next = self.now + f.remaining / f.rate;
+                    break;
+                }
+                _ => {
+                    self.finish_heap.pop();
                 }
             }
         }

@@ -213,10 +213,17 @@ pub trait Scheduler {
     /// priority. Gurita's starvation mitigation returns
     /// [`QueuePolicy::Weighted`] with waiting-time-derived weights.
     ///
-    /// Called once per rate recomputation, *after* [`Scheduler::assign`]
-    /// for the same decision point; the observation passed may be empty,
-    /// so implementations should derive weights from state accumulated
-    /// during `assign`.
+    /// # Contract
+    ///
+    /// The runtime calls this once per rate recomputation, *after*
+    /// [`Scheduler::assign`] for the same decision point — and passes
+    /// `Observation::default()`, i.e. an **empty** observation (building
+    /// a real one on the hot path would cost `O(flows)` per event).
+    /// Implementations MUST NOT read `obs` here: derive weights from
+    /// state accumulated during `assign`. Equivalently, the returned
+    /// policy must be identical for any two observations between the
+    /// same pair of `assign` calls (pinned by a roster-wide test in the
+    /// experiments crate).
     fn queue_policy(&mut self, obs: &Observation) -> QueuePolicy {
         let _ = obs;
         QueuePolicy::Strict

@@ -1,0 +1,252 @@
+//! Property test: component-incremental rate recomputation must agree
+//! with the from-scratch full pass (`SimConfig::force_full_recompute`)
+//! on every completion time to 1e-9 relative — under strict-priority
+//! and weighted-round-robin queue policies, and across fault-overlay
+//! capacity changes (brownouts, degradations, hard failures) injected
+//! mid-run.
+//!
+//! The two modes are *not* expected to be bitwise identical: the
+//! waterfill's stale-candidate recheck compares against the global heap
+//! top, which couples freeze order across otherwise independent
+//! components at exact floating-point ties. The drift is ULP-level;
+//! this test pins the much stronger-than-needed 1e-9 bound.
+
+use gurita_model::{units::MB, CoflowSpec, FlowSpec, HostId, JobDag, JobSpec};
+use gurita_sim::faults::{FaultEvent, FaultSchedule};
+use gurita_sim::runtime::{SimConfig, Simulation};
+use gurita_sim::sched::{Assignment, FifoScheduler, Observation, Oracle, QueuePolicy, Scheduler};
+use gurita_sim::stats::RunResult;
+use gurita_sim::topology::{Fabric, FatTree, LinkId};
+use proptest::prelude::*;
+
+const PODS: usize = 4;
+const HOSTS: usize = 16; // k=4 fat-tree: k^3/4 hosts.
+
+/// Minimal WRR scheduler: spreads coflows across queues round-robin and
+/// serves them with fixed weights, so runs exercise the
+/// `Discipline::WeightedRoundRobin` allocator path.
+struct WrrScheduler {
+    queues: usize,
+}
+
+impl Scheduler for WrrScheduler {
+    fn name(&self) -> String {
+        "wrr-test".to_owned()
+    }
+
+    fn num_queues(&self) -> usize {
+        self.queues
+    }
+
+    fn assign(&mut self, obs: &Observation, _oracle: &Oracle<'_>) -> Assignment {
+        obs.coflows
+            .iter()
+            .map(|c| (c.job.index() + c.dag_vertex) % self.queues)
+            .collect()
+    }
+
+    fn queue_policy(&mut self, _obs: &Observation) -> QueuePolicy {
+        QueuePolicy::Weighted(vec![8.0, 4.0, 2.0, 1.0])
+    }
+}
+
+/// One drawn job: arrival plus a chain of single-flow stages.
+type JobDraw = (f64, Vec<(usize, usize, f64)>);
+
+fn build_jobs(draws: &[JobDraw]) -> Vec<JobSpec> {
+    draws
+        .iter()
+        .enumerate()
+        .map(|(i, (arrival, flows))| {
+            let coflows: Vec<CoflowSpec> = flows
+                .iter()
+                .map(|&(src, dst, mb)| {
+                    let dst = if dst == src { (dst + 1) % HOSTS } else { dst };
+                    CoflowSpec::new(vec![FlowSpec::new(HostId(src), HostId(dst), mb * MB)])
+                })
+                .collect();
+            let dag = JobDag::chain(coflows.len()).expect("non-empty chain");
+            JobSpec::new(i, *arrival, coflows, dag).expect("valid job")
+        })
+        .collect()
+}
+
+/// A fault script around `start`: a host brownout with recovery, one
+/// degraded host-facing link, and a hard NIC-link failure that later
+/// recovers (exercising reroute/park/resume on top of scale changes).
+fn build_faults(start: f64, factor: f64, host: usize) -> FaultSchedule {
+    let mut faults = FaultSchedule::new();
+    faults
+        .push(
+            start,
+            FaultEvent::BrownoutHost {
+                host: HostId(host),
+                factor,
+            },
+        )
+        .push(
+            start + 0.1,
+            FaultEvent::FailLink {
+                link: LinkId(HOSTS + host),
+            },
+        )
+        .push(
+            start + 0.3,
+            FaultEvent::DegradeLink {
+                link: LinkId((host + 1) % HOSTS),
+                factor,
+            },
+        )
+        .push(
+            start + 0.8,
+            FaultEvent::RecoverLink {
+                link: LinkId(HOSTS + host),
+            },
+        )
+        .push(start + 1.0, FaultEvent::RestoreHost { host: HostId(host) })
+        .push(
+            start + 1.3,
+            FaultEvent::RestoreLink {
+                link: LinkId((host + 1) % HOSTS),
+            },
+        );
+    faults
+}
+
+fn run_one(jobs: &[JobSpec], faults: &FaultSchedule, wrr: bool, full: bool) -> RunResult {
+    let fabric = FatTree::new(PODS).expect("valid pod count");
+    assert_eq!(fabric.num_hosts(), HOSTS);
+    let mut sim = Simulation::new(
+        fabric,
+        SimConfig {
+            force_full_recompute: full,
+            ..SimConfig::default()
+        },
+    );
+    if wrr {
+        sim.run_with_faults(jobs.to_vec(), &mut WrrScheduler { queues: 4 }, faults)
+    } else {
+        sim.run_with_faults(jobs.to_vec(), &mut FifoScheduler::new(4), faults)
+    }
+}
+
+fn rel_close(a: f64, b: f64) -> bool {
+    (a - b).abs() <= 1e-9 * a.abs().max(b.abs()).max(1.0)
+}
+
+/// Asserts the two runs completed the same jobs/coflows at times equal
+/// to 1e-9 relative. Returns an error message for `prop_assert!`-style
+/// reporting.
+fn check_equivalent(inc: &RunResult, full: &RunResult) -> Result<(), String> {
+    if inc.jobs.len() != full.jobs.len() || inc.coflows.len() != full.coflows.len() {
+        return Err(format!(
+            "completion counts diverged: {}/{} jobs, {}/{} coflows",
+            inc.jobs.len(),
+            full.jobs.len(),
+            inc.coflows.len(),
+            full.coflows.len()
+        ));
+    }
+    let mut inc_jobs = inc.jobs.clone();
+    let mut full_jobs = full.jobs.clone();
+    inc_jobs.sort_by_key(|j| j.id.index());
+    full_jobs.sort_by_key(|j| j.id.index());
+    for (a, b) in inc_jobs.iter().zip(&full_jobs) {
+        if a.id != b.id || !rel_close(a.jct, b.jct) || !rel_close(a.completed_at, b.completed_at) {
+            return Err(format!(
+                "job {:?} diverged: jct {} vs {}, completed {} vs {}",
+                a.id, a.jct, b.jct, a.completed_at, b.completed_at
+            ));
+        }
+    }
+    let mut inc_cf = inc.coflows.clone();
+    let mut full_cf = full.coflows.clone();
+    inc_cf.sort_by_key(|c| (c.job.index(), c.dag_vertex));
+    full_cf.sort_by_key(|c| (c.job.index(), c.dag_vertex));
+    for (a, b) in inc_cf.iter().zip(&full_cf) {
+        if a.job != b.job
+            || a.dag_vertex != b.dag_vertex
+            || !rel_close(a.cct(), b.cct())
+            || !rel_close(a.completed_at, b.completed_at)
+        {
+            return Err(format!(
+                "coflow {:?}/{} diverged: cct {} vs {}",
+                a.job,
+                a.dag_vertex,
+                a.cct(),
+                b.cct()
+            ));
+        }
+    }
+    if !rel_close(inc.makespan, full.makespan) {
+        return Err(format!(
+            "makespan diverged: {} vs {}",
+            inc.makespan, full.makespan
+        ));
+    }
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn incremental_matches_full_under_spq(
+        draws in prop::collection::vec(
+            (0.0f64..1.5, prop::collection::vec((0..HOSTS, 0..HOSTS, 0.2f64..4.0), 1..=3)),
+            2..=6,
+        ),
+        start in 0.1f64..2.0,
+        factor in 0.2f64..0.9,
+        host in 0..HOSTS,
+    ) {
+        let jobs = build_jobs(&draws);
+        let faults = build_faults(start, factor, host);
+        let inc = run_one(&jobs, &faults, false, false);
+        let full = run_one(&jobs, &faults, false, true);
+        prop_assert!(
+            check_equivalent(&inc, &full).is_ok(),
+            "{}",
+            check_equivalent(&inc, &full).unwrap_err()
+        );
+    }
+
+    #[test]
+    fn incremental_matches_full_under_wrr(
+        draws in prop::collection::vec(
+            (0.0f64..1.5, prop::collection::vec((0..HOSTS, 0..HOSTS, 0.2f64..4.0), 1..=3)),
+            2..=6,
+        ),
+        start in 0.1f64..2.0,
+        factor in 0.2f64..0.9,
+        host in 0..HOSTS,
+    ) {
+        let jobs = build_jobs(&draws);
+        let faults = build_faults(start, factor, host);
+        let inc = run_one(&jobs, &faults, true, false);
+        let full = run_one(&jobs, &faults, true, true);
+        prop_assert!(
+            check_equivalent(&inc, &full).is_ok(),
+            "{}",
+            check_equivalent(&inc, &full).unwrap_err()
+        );
+    }
+
+    #[test]
+    fn incremental_matches_full_without_faults(
+        draws in prop::collection::vec(
+            (0.0f64..1.5, prop::collection::vec((0..HOSTS, 0..HOSTS, 0.2f64..4.0), 1..=3)),
+            2..=6,
+        ),
+    ) {
+        let jobs = build_jobs(&draws);
+        let faults = FaultSchedule::new();
+        let inc = run_one(&jobs, &faults, false, false);
+        let full = run_one(&jobs, &faults, false, true);
+        prop_assert!(
+            check_equivalent(&inc, &full).is_ok(),
+            "{}",
+            check_equivalent(&inc, &full).unwrap_err()
+        );
+    }
+}

@@ -22,6 +22,7 @@ fn main() {
         jobs,
         seed: 3,
         full_scale: false,
+        par: 1,
     };
     let kinds = [
         SchedulerKind::Gurita,

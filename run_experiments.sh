@@ -13,4 +13,5 @@ $BIN/fig8 --jobs 120             | tee results/fig8_console.txt
 $BIN/ablation --jobs 80          | tee results/ablation_console.txt
 $BIN/sweep --jobs 40             | tee results/sweep_console.txt
 $BIN/chaos --jobs 40             | tee results/chaos_console.txt
+$BIN/bench --jobs 40             | tee results/bench_console.txt
 echo "all experiments complete"
