@@ -16,6 +16,7 @@
 //! reset, but the coordinator has no notion of per-stage blocking,
 //! width, or critical path, which is where Gurita differentiates.
 
+use gurita_sim::control::{HostAgent, PriorityTable};
 use gurita_sim::sched::{Observation, Oracle, Scheduler};
 use gurita_sim::thresholds::ThresholdLadder;
 
@@ -112,6 +113,64 @@ impl Scheduler for Aalo {
     }
 }
 
+/// Aalo as a [`HostAgent`] (reported as `aalo@local`) — D-CLAS from
+/// receiver-observed bytes alone, no oracle.
+///
+/// The centralized [`Aalo`] reads exact sent bytes from the oracle as
+/// `size − remaining`; the runtime computes each flow's observed
+/// `bytes_received` as the *same* subtraction, so ranking coflows by the
+/// sum of their flows' observed bytes is bitwise identical — which is
+/// what makes the `control_latency == 0` identity test possible. This
+/// agent is therefore Aalo with the clairvoyance crutch removed: it
+/// decides purely from what the hosts report.
+#[derive(Debug)]
+pub struct AaloAgent {
+    config: AaloConfig,
+    ladder: ThresholdLadder,
+}
+
+impl AaloAgent {
+    /// Creates the agent.
+    ///
+    /// # Panics
+    ///
+    /// Same validation as [`Aalo::new`].
+    pub fn new(config: AaloConfig) -> Self {
+        let inner = Aalo::new(config);
+        Self {
+            config: inner.config,
+            ladder: inner.ladder,
+        }
+    }
+}
+
+impl HostAgent for AaloAgent {
+    fn name(&self) -> String {
+        "aalo@local".to_owned()
+    }
+
+    fn num_queues(&self) -> usize {
+        self.config.num_queues
+    }
+
+    fn reprioritizes_live_flows(&self) -> bool {
+        true // D-CLAS demotes and promotes live coflows alike
+    }
+
+    fn decide(&mut self, merged: &Observation, _oracle: &Oracle<'_>) -> PriorityTable {
+        merged
+            .coflows
+            .iter()
+            .map(|c| {
+                // Same per-flow accumulation order as the centralized
+                // assign, over observed bytes instead of oracle state.
+                let sent: f64 = c.flows.iter().map(|f| f.bytes_received).sum();
+                (c.id, self.ladder.queue_for(sent))
+            })
+            .collect()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -190,6 +249,57 @@ mod tests {
             stage2.cct() < 1.0,
             "fresh stage must restart at top priority: {}",
             stage2.cct()
+        );
+    }
+
+    #[test]
+    fn agent_ranks_like_the_centralized_ladder() {
+        use gurita_sim::sched::{CoflowObs, FlowObs};
+        let mut agent = AaloAgent::new(AaloConfig::default());
+        let obs = Observation {
+            now: 1.0,
+            coflows: vec![
+                CoflowObs {
+                    id: gurita_model::CoflowId(0),
+                    job: JobId(0),
+                    dag_vertex: 0,
+                    dag_stage: 0,
+                    activated_at: 0.0,
+                    open_flows: 1,
+                    bytes_received: 50.0 * MB,
+                    max_flow_bytes_received: 50.0 * MB,
+                    flows: vec![FlowObs {
+                        id: gurita_model::FlowId(0),
+                        bytes_received: 50.0 * MB,
+                        open: true,
+                    }],
+                },
+                CoflowObs {
+                    id: gurita_model::CoflowId(1),
+                    job: JobId(1),
+                    dag_vertex: 0,
+                    dag_stage: 0,
+                    activated_at: 0.5,
+                    open_flows: 1,
+                    bytes_received: 1.0 * MB,
+                    max_flow_bytes_received: 1.0 * MB,
+                    flows: vec![FlowObs {
+                        id: gurita_model::FlowId(1),
+                        bytes_received: 1.0 * MB,
+                        open: true,
+                    }],
+                },
+            ],
+            jobs: Vec::new(),
+        };
+        // The denying oracle must never be touched.
+        let table = agent.decide(&obs, &Oracle::deny());
+        assert_eq!(table.len(), 2);
+        let elephant = table[0].1;
+        let mouse = table[1].1;
+        assert!(
+            mouse < elephant,
+            "D-CLAS demotes by sent bytes: mouse q{mouse} vs elephant q{elephant}"
         );
     }
 

@@ -134,6 +134,7 @@ mod tests {
                 arrival: 0.0,
                 completed_coflows: 1,
                 completed_stages: 1,
+                completed_bytes: 0.0,
                 bytes_received: 50.0 * MB, // stage-1 history
                 active_coflows: vec![0],
             }],

@@ -9,7 +9,12 @@
 //!   evaluation-tuned Gurita scheduler;
 //! * **allocate ns/flow** — the water-filling allocator on a 1024-flow
 //!   Facebook-style mix, fresh-allocation and reused-scratch variants,
-//!   under both SPQ and WRR.
+//!   under both SPQ and WRR;
+//! * **control plane ns/flow** — the decentralized hot path: merging
+//!   per-host reports back into a cluster observation
+//!   (`merge_reports`), plus the full event loop under `Gurita@local`
+//!   (events/sec) so the per-host observation-building overhead is
+//!   tracked against the centralized number.
 //!
 //! Flags: `--jobs N` (event-loop workload size), `--seed N`.
 
@@ -41,6 +46,100 @@ struct BenchReport {
     events_per_sec: f64,
     /// Water-filling cost per flow, nanoseconds, per variant.
     allocate_ns_per_flow: Vec<(String, f64)>,
+    /// Decentralized control-plane costs: `merge_reports` ns/flow over
+    /// a synthetic 64-host report set, and the `Gurita@local` event
+    /// loop in events/sec over the same workload as the centralized
+    /// number above.
+    control_plane: Vec<(String, f64)>,
+}
+
+/// Times `merge_reports` reassembling a 64-host split of 128 coflows ×
+/// 16 flows (2048 flows total) — the per-decision cost the
+/// decentralized plane adds on top of observation building.
+fn merge_benches() -> Vec<(String, f64)> {
+    use gurita_model::{CoflowId, FlowId, JobId};
+    use gurita_sim::control::{merge_reports, HostReport, LocalObservation};
+    use gurita_sim::sched::{CoflowObs, FlowObs, JobObs};
+
+    const HOSTS: usize = 64;
+    const COFLOWS: usize = 128;
+    const FLOWS_PER_COFLOW: usize = 16;
+    const ITERS: u32 = 200;
+    let reports: Vec<HostReport> = (0..HOSTS)
+        .map(|h| {
+            let coflows: Vec<CoflowObs> = (0..COFLOWS)
+                .filter(|c| c % HOSTS <= h) // uneven split across hosts
+                .map(|c| {
+                    let flows: Vec<FlowObs> = (0..FLOWS_PER_COFLOW)
+                        .filter(|f| (c + f) % 4 == h % 4)
+                        .map(|f| FlowObs {
+                            id: FlowId(c * FLOWS_PER_COFLOW + f),
+                            bytes_received: (c * f) as f64 * 1.0e3,
+                            open: f % 5 != 0,
+                        })
+                        .collect();
+                    let bytes: f64 = flows.iter().map(|f| f.bytes_received).sum();
+                    CoflowObs {
+                        id: CoflowId(c),
+                        job: JobId(c / 4),
+                        dag_vertex: c % 4,
+                        dag_stage: c % 3,
+                        activated_at: c as f64 * 1e-3,
+                        open_flows: flows.iter().filter(|f| f.open).count(),
+                        bytes_received: bytes,
+                        max_flow_bytes_received: flows
+                            .iter()
+                            .map(|f| f.bytes_received)
+                            .fold(0.0, f64::max),
+                        flows,
+                    }
+                })
+                .filter(|c| !c.flows.is_empty())
+                .collect();
+            let mut jobs: Vec<JobObs> = Vec::new();
+            for (ci, c) in coflows.iter().enumerate() {
+                match jobs.iter_mut().find(|j| j.id == c.job) {
+                    Some(j) => {
+                        j.bytes_received += c.bytes_received;
+                        j.active_coflows.push(ci);
+                    }
+                    None => jobs.push(JobObs {
+                        id: c.job,
+                        arrival: 0.0,
+                        completed_coflows: 0,
+                        completed_stages: 0,
+                        completed_bytes: 0.0,
+                        bytes_received: c.bytes_received,
+                        active_coflows: vec![ci],
+                    }),
+                }
+            }
+            jobs.sort_unstable_by_key(|j| j.id);
+            HostReport::verbatim(LocalObservation {
+                host: HostId(h),
+                now: 1.0,
+                coflows,
+                jobs,
+            })
+        })
+        .collect();
+    let total_flows: usize = reports
+        .iter()
+        .flat_map(|r| &r.coflows)
+        .map(|c| c.flows.len())
+        .sum();
+    let start = Instant::now();
+    let mut merged_flows = 0usize;
+    for _ in 0..ITERS {
+        let merged = merge_reports(1.0, &reports);
+        merged_flows = merged.coflows.iter().map(|c| c.flows.len()).sum();
+    }
+    assert_eq!(merged_flows, total_flows, "merge must not drop flows");
+    let ns = start.elapsed().as_nanos() as f64 / f64::from(ITERS) / total_flows as f64;
+    vec![(
+        format!("merge_reports_{HOSTS}hosts_{total_flows}flows_ns_per_flow"),
+        ns,
+    )]
 }
 
 /// Deterministic pseudo-random flow set over a k-pod fat-tree (same
@@ -152,6 +251,32 @@ fn main() {
     let result = run();
     let elapsed = start.elapsed().as_secs_f64();
 
+    // The same workload under the decentralized plane: per-host view
+    // building + report merge + ControlUpdate plumbing on every
+    // decision point (latency 0 keeps results comparable).
+    let run_local = || {
+        let fabric = FatTree::new(scenario.pods).expect("valid pods");
+        let mut sim = Simulation::new(
+            fabric,
+            SimConfig {
+                tick_interval: scenario.tick_interval,
+                ..SimConfig::default()
+            },
+        );
+        let mut plane = SchedulerKind::GuritaLocal.build_plane();
+        sim.run_control(jobs.clone(), plane.as_mut())
+    };
+    let _ = run_local();
+    let local_start = Instant::now();
+    let local_result = run_local();
+    let local_elapsed = local_start.elapsed().as_secs_f64();
+
+    let mut control_plane = merge_benches();
+    control_plane.push((
+        "gurita_local_events_per_sec".to_owned(),
+        local_result.events as f64 / local_elapsed,
+    ));
+
     let rep = BenchReport {
         scenario: scenario.name.clone(),
         jobs: opts.jobs,
@@ -160,6 +285,7 @@ fn main() {
         elapsed_sec: elapsed,
         events_per_sec: result.events as f64 / elapsed,
         allocate_ns_per_flow: allocator_benches(),
+        control_plane,
     };
     println!(
         "event loop: {} events in {:.3}s -> {:.0} events/sec",
@@ -167,6 +293,9 @@ fn main() {
     );
     for (label, ns) in &rep.allocate_ns_per_flow {
         println!("allocate {label}: {ns:.1} ns/flow");
+    }
+    for (label, v) in &rep.control_plane {
+        println!("control plane {label}: {v:.1}");
     }
     match report::write_results_file("BENCH_sim.json", &report::to_json(&rep)) {
         Ok(path) => println!("wrote {}", path.display()),

@@ -25,6 +25,8 @@
 //!   weights (Kleinrock priority-queue formulas);
 //! * [`scheduler`] — [`scheduler::GuritaScheduler`], the deployable
 //!   decentralized scheduler (Least-Blocking-Effect-First, Algorithm 1);
+//! * [`local`] — [`local::GuritaAgent`], the same scheme behind the
+//!   host-agent interface of the decentralized control plane;
 //! * [`plus`] — [`plus::GuritaPlus`], the idealized variant with exact
 //!   per-stage information ahead of time (the paper's Figure 8 oracle).
 //!
@@ -60,6 +62,7 @@ pub mod ava;
 pub mod blocking;
 pub mod flowtable;
 pub mod hr;
+pub mod local;
 pub mod plus;
 pub mod rules;
 pub mod scheduler;

@@ -1,0 +1,96 @@
+//! Host-layer port of Gurita for the decentralized control plane.
+//!
+//! [`GuritaAgent`] wraps [`GuritaScheduler`] behind the
+//! [`HostAgent`] interface so the scheme runs under
+//! [`gurita_sim::control::Decentralized`]: per-host agents report their
+//! local sender-side counters verbatim (the trait's default `report`),
+//! and the head agent feeds the merged — possibly stale — cluster view
+//! through the unchanged LBEF pipeline. Gurita is exactly the class of
+//! scheduler this layering was designed for: `GuritaScheduler::assign`
+//! never touches the clairvoyant [`Oracle`], so the denying oracle the
+//! decentralized plane hands out is never observed.
+
+use crate::scheduler::{GuritaConfig, GuritaScheduler};
+use gurita_model::{CoflowId, JobId};
+use gurita_sim::control::{HostAgent, PriorityTable};
+use gurita_sim::sched::{Observation, Oracle, QueuePolicy, Scheduler};
+
+/// [`GuritaScheduler`] as a [`HostAgent`] (reported as `gurita@local`).
+///
+/// The wrapper is a head-role adapter: `decide` is
+/// [`Scheduler::assign`] on the merged observation with the coflow ids
+/// zipped back in, `queue_policy` forwards the WRR/SPQ choice, and the
+/// completion hooks keep the AVA/load estimators identical to the
+/// centralized run. With `control_latency == 0` the merged view is
+/// bit-for-bit the centralized observation, so this agent reproduces
+/// `GuritaScheduler` exactly (pinned by the cross-scheduler tests).
+#[derive(Debug)]
+pub struct GuritaAgent {
+    inner: GuritaScheduler,
+}
+
+impl GuritaAgent {
+    /// Creates the agent.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configuration is invalid (see
+    /// [`GuritaConfig::validate`]).
+    pub fn new(config: GuritaConfig) -> Self {
+        Self {
+            inner: GuritaScheduler::new(config),
+        }
+    }
+}
+
+impl HostAgent for GuritaAgent {
+    fn name(&self) -> String {
+        "gurita@local".to_string()
+    }
+
+    fn num_queues(&self) -> usize {
+        self.inner.num_queues()
+    }
+
+    fn decide(&mut self, merged: &Observation, oracle: &Oracle<'_>) -> PriorityTable {
+        let queues = self.inner.assign(merged, oracle);
+        merged.coflows.iter().map(|c| c.id).zip(queues).collect()
+    }
+
+    fn queue_policy(&mut self) -> QueuePolicy {
+        // GuritaScheduler derives the policy from decide-time state and
+        // ignores the observation argument.
+        self.inner.queue_policy(&Observation::default())
+    }
+
+    fn on_coflow_completed(&mut self, coflow: CoflowId, job: JobId, now: f64) {
+        self.inner.on_coflow_completed(coflow, job, now);
+    }
+
+    fn on_job_completed(&mut self, job: JobId, now: f64) {
+        self.inner.on_job_completed(job, now);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn agent_mirrors_the_scheduler_identity() {
+        let agent = GuritaAgent::new(GuritaConfig::default());
+        assert_eq!(agent.name(), "gurita@local");
+        assert_eq!(
+            agent.num_queues(),
+            GuritaScheduler::new(GuritaConfig::default()).num_queues()
+        );
+        assert!(!agent.reprioritizes_live_flows());
+    }
+
+    #[test]
+    fn decide_survives_the_denying_oracle() {
+        let mut agent = GuritaAgent::new(GuritaConfig::default());
+        let table = agent.decide(&Observation::default(), &Oracle::deny());
+        assert!(table.is_empty());
+    }
+}

@@ -410,6 +410,7 @@ mod tests {
                 arrival: 0.0,
                 completed_coflows: 0,
                 completed_stages: 0,
+                completed_bytes: 0.0,
                 bytes_received: 0.0,
                 active_coflows: vec![0],
             }],
@@ -447,6 +448,7 @@ mod tests {
                     arrival: 0.0,
                     completed_coflows: 0,
                     completed_stages: 0,
+                    completed_bytes: 0.0,
                     bytes_received: 0.1 * MB,
                     active_coflows: vec![0],
                 },
@@ -455,6 +457,7 @@ mod tests {
                     arrival: 0.0,
                     completed_coflows: 0,
                     completed_stages: 0,
+                    completed_bytes: 0.0,
                     bytes_received: 900.0 * MB,
                     active_coflows: vec![1],
                 },

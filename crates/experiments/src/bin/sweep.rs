@@ -1,8 +1,31 @@
 //! Sensitivity sweeps over Gurita's design parameters (queue count,
-//! threshold spacing, update interval δ, HR decision latency, and
-//! fault-injection robustness).
+//! threshold spacing, update interval δ, HR decision latency,
+//! decentralized control-plane staleness, and fault-injection
+//! robustness).
 
+use gurita_experiments::sweeps::SweepResult;
 use gurita_experiments::{args, report, sweeps};
+
+/// Per-latency slowdown table: each point relative to the sweep's first
+/// point (latency 0, the pinned centralized-identical baseline).
+fn render_slowdowns(sweep: &SweepResult) -> String {
+    let base = sweep.points.first().map_or(f64::NAN, |p| p.avg_jct);
+    let pairs: Vec<(&str, String)> = sweep
+        .points
+        .iter()
+        .map(|p| {
+            (
+                p.setting.as_str(),
+                format!(
+                    "{:.3}s avg JCT ({:.3}x vs latency 0)",
+                    p.avg_jct,
+                    p.avg_jct / base
+                ),
+            )
+        })
+        .collect();
+    report::render_kv(&format!("Slowdown: {}", sweep.parameter), &pairs)
+}
 
 fn main() {
     let argv: Vec<String> = std::env::args().skip(1).collect();
@@ -22,6 +45,11 @@ fn main() {
     let (faults_gurita, faults_pfs) = sweeps::fault_sweep(opts.jobs, opts.seed, opts.par);
     all.push(faults_gurita);
     all.push(faults_pfs);
+    let (ctl_gurita, ctl_aalo) = sweeps::control_latency_sweep(opts.jobs, opts.seed, opts.par);
+    println!("{}", render_slowdowns(&ctl_gurita));
+    println!("{}", render_slowdowns(&ctl_aalo));
+    all.push(ctl_gurita);
+    all.push(ctl_aalo);
     for sweep in &all {
         let pairs: Vec<(&str, String)> = sweep
             .points

@@ -1,13 +1,15 @@
 //! The scheduler roster used across all experiments.
 
+use gurita::local::GuritaAgent;
 use gurita::plus::GuritaPlus;
 use gurita::rules::{Rule, RuleSet};
 use gurita::scheduler::{GuritaConfig, GuritaScheduler};
-use gurita_baselines::aalo::{Aalo, AaloConfig};
+use gurita_baselines::aalo::{Aalo, AaloAgent, AaloConfig};
 use gurita_baselines::baraat::{Baraat, BaraatConfig};
 use gurita_baselines::pfs::PerFlowFairSharing;
 use gurita_baselines::sebf::VarysSebf;
 use gurita_baselines::stream::{Stream, StreamConfig};
+use gurita_sim::control::{Centralized, ControlPlane, Decentralized, HostAgent};
 use gurita_sim::sched::Scheduler;
 use serde::{Deserialize, Serialize};
 
@@ -36,6 +38,12 @@ pub enum SchedulerKind {
     Aalo,
     /// Varys SEBF (clairvoyant extension baseline).
     VarysSebf,
+    /// Gurita under the decentralized control plane (per-host agents,
+    /// stale views after `control_latency`).
+    GuritaLocal,
+    /// Aalo under the decentralized control plane — D-CLAS from
+    /// observed bytes only, no oracle.
+    AaloLocal,
 }
 
 impl SchedulerKind {
@@ -62,13 +70,26 @@ impl SchedulerKind {
             SchedulerKind::Stream => "Stream",
             SchedulerKind::Aalo => "Aalo",
             SchedulerKind::VarysSebf => "Varys-SEBF",
+            SchedulerKind::GuritaLocal => "Gurita@local",
+            SchedulerKind::AaloLocal => "Aalo@local",
         }
+    }
+
+    /// Whether the kind runs under the decentralized control plane
+    /// (per-host agents, denying oracle, staleness-aware propagation).
+    pub fn is_decentralized(self) -> bool {
+        matches!(self, SchedulerKind::GuritaLocal | SchedulerKind::AaloLocal)
     }
 
     /// Builds the scheduler with evaluation-tuned parameters: 4 priority
     /// queues for the threshold schemes (the paper's setting), Aalo's
     /// recommended exponential spacing, and a Ψ ladder for Gurita chosen
     /// so its first demotion corresponds to the same 10 MB scale.
+    ///
+    /// # Panics
+    ///
+    /// Panics for the `*Local` kinds — they have no cluster-wide
+    /// `Scheduler` form; use [`SchedulerKind::build_plane`].
     pub fn build(self) -> Box<dyn Scheduler> {
         match self {
             SchedulerKind::Gurita => Box::new(GuritaScheduler::new(gurita_config())),
@@ -91,6 +112,27 @@ impl SchedulerKind {
             SchedulerKind::Stream => Box::new(Stream::new(StreamConfig::default())),
             SchedulerKind::Aalo => Box::new(Aalo::new(AaloConfig::default())),
             SchedulerKind::VarysSebf => Box::new(VarysSebf::new(8)),
+            SchedulerKind::GuritaLocal | SchedulerKind::AaloLocal => panic!(
+                "{} is a decentralized scheme: use build_plane()",
+                self.label()
+            ),
+        }
+    }
+
+    /// Builds the control plane for this kind: the `*Local` kinds get a
+    /// [`Decentralized`] plane minting one host agent per sender host
+    /// (same evaluation-tuned parameters as their centralized twins);
+    /// everything else is wrapped in the bit-for-bit [`Centralized`]
+    /// adapter around [`SchedulerKind::build`].
+    pub fn build_plane(self) -> Box<dyn ControlPlane> {
+        match self {
+            SchedulerKind::GuritaLocal => Box::new(Decentralized::new(|| {
+                Box::new(GuritaAgent::new(gurita_config())) as Box<dyn HostAgent>
+            })),
+            SchedulerKind::AaloLocal => Box::new(Decentralized::new(|| {
+                Box::new(AaloAgent::new(AaloConfig::default())) as Box<dyn HostAgent>
+            })),
+            _ => Box::new(Centralized::new(self.build())),
         }
     }
 }
@@ -136,7 +178,38 @@ mod tests {
             assert!(!s.name().is_empty());
             assert!(s.num_queues() >= 1);
             assert!(!kind.label().is_empty());
+            assert!(!kind.is_decentralized());
         }
+    }
+
+    #[test]
+    fn every_kind_builds_a_plane() {
+        for kind in [
+            SchedulerKind::Gurita,
+            SchedulerKind::GuritaSpq,
+            SchedulerKind::GuritaNoOmega,
+            SchedulerKind::GuritaNoKappa,
+            SchedulerKind::GuritaNoCriticalPath,
+            SchedulerKind::GuritaPlus,
+            SchedulerKind::Pfs,
+            SchedulerKind::Baraat,
+            SchedulerKind::Stream,
+            SchedulerKind::Aalo,
+            SchedulerKind::VarysSebf,
+            SchedulerKind::GuritaLocal,
+            SchedulerKind::AaloLocal,
+        ] {
+            let p = kind.build_plane();
+            assert!(!p.name().is_empty());
+            assert!(p.num_queues() >= 1);
+            assert_eq!(p.needs_local_views(), kind.is_decentralized());
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "decentralized scheme")]
+    fn local_kinds_have_no_cluster_wide_scheduler() {
+        let _ = SchedulerKind::GuritaLocal.build();
     }
 
     /// The runtime hands `queue_policy` an `Observation::default()`
@@ -191,6 +264,7 @@ mod tests {
                 arrival: 0.0,
                 completed_coflows: 0,
                 completed_stages: 0,
+                completed_bytes: 0.0,
                 bytes_received: 5.0e5,
                 active_coflows: vec![0],
             }],

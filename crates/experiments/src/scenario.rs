@@ -30,6 +30,9 @@ pub struct Scenario {
     pub seed: u64,
     /// Scheduler update interval δ.
     pub tick_interval: f64,
+    /// Decision-propagation latency for decentralized kinds (see
+    /// [`SimConfig::control_latency`]). Ignored by centralized planes.
+    pub control_latency: f64,
 }
 
 impl Scenario {
@@ -50,6 +53,7 @@ impl Scenario {
             },
             seed,
             tick_interval: 10e-3,
+            control_latency: 0.0,
         }
     }
 
@@ -74,6 +78,7 @@ impl Scenario {
             },
             seed,
             tick_interval: 10e-3,
+            control_latency: 0.0,
         }
     }
 
@@ -118,11 +123,12 @@ impl Scenario {
             fabric,
             SimConfig {
                 tick_interval: self.tick_interval,
+                control_latency: self.control_latency,
                 ..SimConfig::default()
             },
         );
-        let mut scheduler = kind.build();
-        let mut result = sim.run_with_faults(jobs, scheduler.as_mut(), faults);
+        let mut plane = kind.build_plane();
+        let mut result = sim.run_control_with_faults(jobs, plane.as_mut(), faults);
         result.scheduler = kind.label().to_owned();
         result
     }

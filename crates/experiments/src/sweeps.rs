@@ -9,6 +9,8 @@
 //! * [`threshold_sweep`] — the exponential ladder's base and factor;
 //! * [`delta_sweep`] — the update interval δ;
 //! * [`latency_sweep`] — head-receiver decision propagation latency;
+//! * [`control_latency_sweep`] — decentralized control-plane staleness
+//!   (the `*Local` schemes acting on delayed priority tables);
 //! * [`fault_sweep`] — degraded-fabric robustness (fraction of host
 //!   NICs browned out).
 
@@ -150,6 +152,48 @@ pub fn latency_sweep(jobs: usize, seed: u64, par: usize) -> SweepResult {
     }
 }
 
+/// Sweeps the decentralized control plane's decision-propagation
+/// latency (see [`SimConfig::control_latency`]) for the `*Local`
+/// schemes: at each latency, hosts tag flows from a priority table that
+/// is `latency` seconds stale. Returns `(gurita_local, aalo_local)`
+/// results over the byte-identical workload; the `latency × scheme`
+/// grid runs on up to `par` worker threads. The first point of each
+/// result is latency 0 — the pinned-identical-to-centralized baseline —
+/// so per-latency slowdowns can be read off directly.
+pub fn control_latency_sweep(jobs: usize, seed: u64, par: usize) -> (SweepResult, SweepResult) {
+    let latencies = [0.0f64, 1e-3, 10e-3];
+    let kinds = [SchedulerKind::GuritaLocal, SchedulerKind::AaloLocal];
+    let cells = crate::par::par_run(par, latencies.len() * kinds.len(), |cell| {
+        let latency = latencies[cell / kinds.len()];
+        let kind = kinds[cell % kinds.len()];
+        let mut sc = scenario(jobs, seed);
+        sc.control_latency = latency;
+        SweepPoint {
+            setting: format!("control latency {:.0}ms", latency * 1e3),
+            avg_jct: sc.run(kind).avg_jct(),
+        }
+    });
+    let mut gurita_points = Vec::new();
+    let mut aalo_points = Vec::new();
+    for (i, p) in cells.into_iter().enumerate() {
+        if i % kinds.len() == 0 {
+            gurita_points.push(p);
+        } else {
+            aalo_points.push(p);
+        }
+    }
+    (
+        SweepResult {
+            parameter: "control latency (Gurita@local)".into(),
+            points: gurita_points,
+        },
+        SweepResult {
+            parameter: "control latency (Aalo@local)".into(),
+            points: aalo_points,
+        },
+    )
+}
+
 /// Degrades a growing fraction of host NICs to 30% capacity and
 /// measures Gurita's (and PFS's) average JCT — the fault-robustness
 /// sweep. Returns `(gurita, pfs)` results over the same faults. The
@@ -221,6 +265,16 @@ mod tests {
         let seq = queue_count_sweep(5, 11, 1);
         let par = queue_count_sweep(5, 11, 4);
         assert_eq!(seq, par, "parallelism must not change results");
+    }
+
+    #[test]
+    fn control_latency_sweep_covers_both_local_schemes() {
+        let (g, a) = control_latency_sweep(5, 7, 0);
+        for r in [&g, &a] {
+            assert_eq!(r.points.len(), 3);
+            assert_eq!(r.points[0].setting, "control latency 0ms");
+            assert!(r.points.iter().all(|p| p.avg_jct > 0.0));
+        }
     }
 
     #[test]

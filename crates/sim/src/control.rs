@@ -1,0 +1,721 @@
+//! Control-plane layering: *who* computes priorities, from *which* view,
+//! and *how* decisions reach the hosts.
+//!
+//! The paper's headline property is that Gurita is decentralized — each
+//! sender host works from locally observable per-stage state, with no
+//! centralized controller in the loop. This module makes that a
+//! first-class, testable axis instead of a docstring claim:
+//!
+//! ```text
+//!                    ┌────────────────────────────┐
+//!    event loop ───▶ │        ControlPlane        │ ───▶ priority table
+//!                    └─────┬────────────────┬─────┘      (CoflowId → queue)
+//!                          │                │
+//!                 ┌────────▼──────┐  ┌──────▼────────────────────────┐
+//!                 │  Centralized  │  │         Decentralized         │
+//!                 │  (wraps any   │  │  HostAgent per sender host:   │
+//!                 │  `Scheduler`, │  │  LocalObservation → report;   │
+//!                 │  global view, │  │  reports merge into a cluster │
+//!                 │  instant)     │  │  view; the decision table is  │
+//!                 └───────────────┘  │  delivered after a configured │
+//!                                    │  `control_latency` via timed  │
+//!                                    │  `ControlUpdate` events       │
+//!                                    └───────────────────────────────┘
+//! ```
+//!
+//! # Staleness model
+//!
+//! The decentralized plane separates *reporting* from *acting*:
+//!
+//! * **Report uplink** — each decision point, every sender host digests
+//!   its [`LocalObservation`] (only the coflows with flows sourced
+//!   there, with local sent-bytes and age counters) into a
+//!   [`HostReport`]. Reports merge into a cluster-wide view
+//!   ([`merge_reports`]) from which the scheme computes a fresh
+//!   [`PriorityTable`].
+//! * **Decision downlink** — with `control_latency > 0` the fresh table
+//!   is *not* applied immediately: it is queued and the runtime delivers
+//!   it through the event loop after the configured latency. Until
+//!   delivery, hosts keep (re-)applying the **last delivered** table —
+//!   i.e. they act on a stale view, the behavior that separates
+//!   decentralized schemes from idealized instantaneous ones.
+//!
+//! Consecutive identical tables are deduplicated (no event is scheduled
+//! when the decision did not change), so the event count stays
+//! proportional to actual priority churn.
+//!
+//! # Adapter guarantees
+//!
+//! [`Centralized`] is bit-for-bit today's behavior: one global
+//! [`Observation`] plus the [`Oracle`], one cluster-wide
+//! [`Scheduler::assign`], applied instantly. [`Decentralized`] with
+//! `control_latency == 0` applies each fresh table immediately and
+//! schedules no events, so for a scheme whose decision is a pure
+//! function of the merged view it is **result-identical** to the same
+//! scheme run centralized ([`merge_reports`] reconstructs the global
+//! observation exactly, floating-point summation order included). Both
+//! guarantees are pinned by cross-scheduler tests.
+
+use crate::sched::{CoflowObs, JobObs, Observation, Oracle, QueuePolicy, Scheduler};
+use gurita_model::{CoflowId, HostId, JobId};
+use std::collections::{HashMap, VecDeque};
+
+/// A priority decision: the queue for each listed coflow. Entries for
+/// coflows that completed while the table was in flight are skipped at
+/// application time; active coflows absent from the table keep their
+/// current queue.
+pub type PriorityTable = Vec<(CoflowId, usize)>;
+
+/// What one sender host can observe at a decision point: the active
+/// coflows that have at least one flow *sourced at this host*, with
+/// per-flow byte counters restricted to those local flows, plus the
+/// job-level facts a host learns from the coflows it carries (arrival,
+/// completed stages — parents invoke children, so this is locally
+/// observable, exactly as the receiver-side information model in
+/// [`crate::sched`] argues).
+#[derive(Debug, Clone)]
+pub struct LocalObservation {
+    /// The observing sender host.
+    pub host: HostId,
+    /// Current simulation time (hosts share a clock).
+    pub now: f64,
+    /// Active coflows with flows sourced here, ascending [`CoflowId`];
+    /// `flows` lists only the local flows, and the per-coflow aggregates
+    /// (`bytes_received`, `open_flows`, `max_flow_bytes_received`) cover
+    /// only those.
+    pub coflows: Vec<CoflowObs>,
+    /// Jobs owning the coflows above, ascending [`JobId`];
+    /// `bytes_received` counts completed bytes plus *local* active
+    /// bytes, and `active_coflows` indexes into this view's `coflows`.
+    pub jobs: Vec<JobObs>,
+}
+
+/// What a host sends to its peers: the verbatim local counters. Kept as
+/// a distinct type so schemes can later compress or quantize the uplink
+/// without touching the plane.
+#[derive(Debug, Clone)]
+pub struct HostReport {
+    /// The reporting host.
+    pub host: HostId,
+    /// Reported per-coflow observations (local flows only).
+    pub coflows: Vec<CoflowObs>,
+    /// Reported job-level facts.
+    pub jobs: Vec<JobObs>,
+}
+
+impl HostReport {
+    /// A report carrying the local observation verbatim.
+    pub fn verbatim(local: LocalObservation) -> Self {
+        Self {
+            host: local.host,
+            coflows: local.coflows,
+            jobs: local.jobs,
+        }
+    }
+}
+
+/// A per-host scheduling agent: the unit the decentralized plane runs
+/// one of per sender host.
+///
+/// Agents play two roles. In the *host* role, [`HostAgent::report`]
+/// digests the local observation into the report sent to peers. In the
+/// *head* role (one designated agent per plane, holding the scheme's
+/// decision state), [`HostAgent::decide`] turns the merged cluster view
+/// into a [`PriorityTable`]. The oracle handed to `decide` is always
+/// [`Oracle::deny`] — a ported scheme that reaches for clairvoyant
+/// state panics instead of silently cheating.
+pub trait HostAgent {
+    /// Display name (used in result tables, e.g. `gurita@local`).
+    fn name(&self) -> String;
+
+    /// Number of priority queues the agent uses.
+    fn num_queues(&self) -> usize;
+
+    /// Whether live flows may be re-prioritized in both directions (see
+    /// [`Scheduler::reprioritizes_live_flows`]). Defaults to `false` —
+    /// the TCP-reordering rule is the decentralized default.
+    fn reprioritizes_live_flows(&self) -> bool {
+        false
+    }
+
+    /// Host role: digest the local view into the report sent to peers.
+    /// Defaults to the verbatim counters.
+    fn report(&mut self, local: LocalObservation) -> HostReport {
+        HostReport::verbatim(local)
+    }
+
+    /// Head role: priorities from the merged cluster view. `oracle` is
+    /// always denying; it is passed so ported `Scheduler` code compiles
+    /// unchanged and the no-clairvoyance claim is enforced at run time.
+    fn decide(&mut self, merged: &Observation, oracle: &Oracle<'_>) -> PriorityTable;
+
+    /// Service policy for the agent's queues, derived from
+    /// `decide`-time state (same contract as
+    /// [`Scheduler::queue_policy`]).
+    fn queue_policy(&mut self) -> QueuePolicy {
+        QueuePolicy::Strict
+    }
+
+    /// Notifies the head agent that a coflow completed.
+    fn on_coflow_completed(&mut self, coflow: CoflowId, job: JobId, now: f64) {
+        let _ = (coflow, job, now);
+    }
+
+    /// Notifies the head agent that a job completed.
+    fn on_job_completed(&mut self, job: JobId, now: f64) {
+        let _ = (job, now);
+    }
+}
+
+/// Reconstructs the cluster-wide [`Observation`] from per-host reports.
+///
+/// The merge is deterministic and — for reports produced by the
+/// runtime's per-host view builder — reproduces the centralized
+/// observation *exactly*, floating-point bit patterns included:
+/// coflows are ordered by ascending id (the runtime's activation
+/// order), each coflow's flows by ascending id (creation order), and
+/// per-coflow/per-job byte totals are re-accumulated in that order, so
+/// every f64 sum replays the same additions the global builder performs.
+pub fn merge_reports(now: f64, reports: &[HostReport]) -> Observation {
+    let mut fragments: HashMap<CoflowId, CoflowObs> = HashMap::new();
+    let mut job_meta: HashMap<JobId, JobObs> = HashMap::new();
+    for r in reports {
+        for c in &r.coflows {
+            fragments
+                .entry(c.id)
+                .and_modify(|m| m.flows.extend_from_slice(&c.flows))
+                .or_insert_with(|| c.clone());
+        }
+        for j in &r.jobs {
+            job_meta.entry(j.id).or_insert_with(|| j.clone());
+        }
+    }
+    let mut coflows: Vec<CoflowObs> = fragments.into_values().collect();
+    coflows.sort_unstable_by_key(|c| c.id);
+    for c in &mut coflows {
+        c.flows.sort_unstable_by_key(|f| f.id);
+        let mut bytes = 0.0f64;
+        let mut max_flow = 0.0f64;
+        let mut open = 0usize;
+        for f in &c.flows {
+            bytes += f.bytes_received;
+            max_flow = max_flow.max(f.bytes_received);
+            open += usize::from(f.open);
+        }
+        c.bytes_received = bytes;
+        c.max_flow_bytes_received = max_flow;
+        c.open_flows = open;
+    }
+    let mut job_index: HashMap<JobId, usize> = HashMap::new();
+    let mut jobs: Vec<JobObs> = Vec::new();
+    for (ci, c) in coflows.iter().enumerate() {
+        let j = *job_index.entry(c.job).or_insert_with(|| {
+            let meta = &job_meta[&c.job];
+            jobs.push(JobObs {
+                id: c.job,
+                arrival: meta.arrival,
+                completed_coflows: meta.completed_coflows,
+                completed_stages: meta.completed_stages,
+                bytes_received: meta.completed_bytes,
+                completed_bytes: meta.completed_bytes,
+                active_coflows: Vec::new(),
+            });
+            jobs.len() - 1
+        });
+        jobs[j].bytes_received += c.bytes_received;
+        jobs[j].active_coflows.push(ci);
+    }
+    jobs.sort_unstable_by_key(|j| j.id);
+    Observation { now, coflows, jobs }
+}
+
+/// Input handed to [`ControlPlane::decide`] at a decision point. The
+/// runtime asks the plane which variant it needs via
+/// [`ControlPlane::needs_local_views`] before building either.
+pub enum ControlInput<'a> {
+    /// The centralized path: one global observation plus the oracle.
+    Global {
+        /// Cluster-wide observation.
+        obs: &'a Observation,
+        /// Clairvoyant side channel.
+        oracle: &'a Oracle<'a>,
+    },
+    /// The decentralized path: one local view per sender host with at
+    /// least one active flow.
+    Local {
+        /// Current simulation time.
+        now: f64,
+        /// The configured decision-propagation latency
+        /// ([`crate::runtime::SimConfig::control_latency`]).
+        latency: f64,
+        /// Per-host views, in deterministic first-flow order.
+        views: Vec<LocalObservation>,
+    },
+}
+
+/// What the plane wants done after a decision point.
+pub struct ControlOutput {
+    /// Queue assignments to apply *now* (for the decentralized plane,
+    /// the last *delivered* table — hosts acting on their stale view).
+    pub assignments: PriorityTable,
+    /// If set, the runtime schedules a `ControlUpdate` event
+    /// `control_latency` from now carrying this token; on firing it
+    /// calls [`ControlPlane::deliver`] with it.
+    pub schedule_update: Option<u64>,
+}
+
+/// The coordination layer: turns runtime state into queue assignments.
+///
+/// Two implementations ship: [`Centralized`] (today's behavior, wraps
+/// any [`Scheduler`]) and [`Decentralized`] (per-host agents, merged
+/// reports, delayed delivery). The runtime drives either through this
+/// object-safe interface.
+pub trait ControlPlane {
+    /// Display name of the scheme (used in result tables).
+    fn name(&self) -> String;
+
+    /// Number of priority queues in the scheme's assignments.
+    fn num_queues(&self) -> usize;
+
+    /// Whether live flows may be re-prioritized in both directions.
+    fn reprioritizes_live_flows(&self) -> bool {
+        false
+    }
+
+    /// Whether [`ControlPlane::decide`] needs [`ControlInput::Local`]
+    /// (per-host views) instead of [`ControlInput::Global`].
+    fn needs_local_views(&self) -> bool {
+        false
+    }
+
+    /// One decision point: consume the input, return assignments to
+    /// apply now and (optionally) a delayed-delivery request.
+    fn decide(&mut self, input: ControlInput<'_>) -> ControlOutput;
+
+    /// A `ControlUpdate` event fired: the table scheduled under `token`
+    /// reaches the hosts. Returns the newly current table (the runtime
+    /// applies it at the same decision point via
+    /// [`ControlOutput::assignments`], so implementations may simply
+    /// record it). Default: ignore (the centralized plane never
+    /// schedules updates).
+    fn deliver(&mut self, token: u64) -> Option<PriorityTable> {
+        let _ = token;
+        None
+    }
+
+    /// Service policy for the scheme's queues, derived from
+    /// `decide`-time state (see [`Scheduler::queue_policy`]'s contract:
+    /// the runtime queries this once per rate recomputation with no
+    /// observation available).
+    fn queue_policy(&mut self) -> QueuePolicy {
+        QueuePolicy::Strict
+    }
+
+    /// Notifies the plane that a coflow completed.
+    fn on_coflow_completed(&mut self, coflow: CoflowId, job: JobId, now: f64) {
+        let _ = (coflow, job, now);
+    }
+
+    /// Notifies the plane that a job completed.
+    fn on_job_completed(&mut self, job: JobId, now: f64) {
+        let _ = (job, now);
+    }
+}
+
+/// The centralized coordination layer: wraps any [`Scheduler`] and
+/// reproduces the pre-refactor behavior bit-for-bit — one global
+/// observation, one cluster-wide `assign`, applied instantly (the
+/// `control_latency` knob does not apply; the paper grants centralized
+/// schemes instantaneous information).
+pub struct Centralized<S: Scheduler> {
+    inner: S,
+}
+
+impl<S: Scheduler> Centralized<S> {
+    /// Wraps a scheduler. `S` may be a concrete type, `&mut dyn
+    /// Scheduler`, or `Box<dyn Scheduler>` (blanket impls forward).
+    pub fn new(inner: S) -> Self {
+        Self { inner }
+    }
+
+    /// Borrow the wrapped scheduler.
+    pub fn inner(&self) -> &S {
+        &self.inner
+    }
+
+    /// Unwrap the scheduler.
+    pub fn into_inner(self) -> S {
+        self.inner
+    }
+}
+
+impl<S: Scheduler> ControlPlane for Centralized<S> {
+    fn name(&self) -> String {
+        self.inner.name()
+    }
+
+    fn num_queues(&self) -> usize {
+        self.inner.num_queues()
+    }
+
+    fn reprioritizes_live_flows(&self) -> bool {
+        self.inner.reprioritizes_live_flows()
+    }
+
+    fn decide(&mut self, input: ControlInput<'_>) -> ControlOutput {
+        match input {
+            ControlInput::Global { obs, oracle } => {
+                let assignment = self.inner.assign(obs, oracle);
+                assert_eq!(
+                    assignment.len(),
+                    obs.coflows.len(),
+                    "scheduler must assign a queue to every active coflow"
+                );
+                ControlOutput {
+                    assignments: obs
+                        .coflows
+                        .iter()
+                        .zip(assignment)
+                        .map(|(c, q)| (c.id, q))
+                        .collect(),
+                    schedule_update: None,
+                }
+            }
+            ControlInput::Local { .. } => {
+                panic!("Centralized control plane requires the global observation")
+            }
+        }
+    }
+
+    fn queue_policy(&mut self) -> QueuePolicy {
+        // Per the `Scheduler::queue_policy` contract the observation is
+        // never read, so the empty default stands in for it.
+        self.inner.queue_policy(&Observation::default())
+    }
+
+    fn on_coflow_completed(&mut self, coflow: CoflowId, job: JobId, now: f64) {
+        self.inner.on_coflow_completed(coflow, job, now);
+    }
+
+    fn on_job_completed(&mut self, job: JobId, now: f64) {
+        self.inner.on_job_completed(job, now);
+    }
+}
+
+/// The decentralized coordination layer: one [`HostAgent`] per sender
+/// host plus a designated *head* agent holding the scheme's decision
+/// state (mirroring the paper's head-receiver role). See the
+/// [module docs](crate::control) for the staleness model.
+pub struct Decentralized {
+    head: Box<dyn HostAgent>,
+    factory: Box<dyn FnMut() -> Box<dyn HostAgent>>,
+    agents: HashMap<HostId, Box<dyn HostAgent>>,
+    /// The last table delivered to (and therefore acted on by) hosts.
+    current: PriorityTable,
+    /// The last table computed and either applied (zero latency) or
+    /// queued for delivery — used to dedup unchanged decisions.
+    last_emitted: PriorityTable,
+    /// Tables in flight: `(token, table)`, delivery-ordered.
+    pending: VecDeque<(u64, PriorityTable)>,
+    next_token: u64,
+}
+
+impl std::fmt::Debug for Decentralized {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Decentralized")
+            .field("head", &self.head.name())
+            .field("agents", &self.agents.len())
+            .field("pending", &self.pending.len())
+            .finish_non_exhaustive()
+    }
+}
+
+impl Decentralized {
+    /// Creates the plane from an agent factory. One agent is minted per
+    /// sender host on first sight; one more (the first) becomes the
+    /// head. All agents must be the same scheme (the factory is the
+    /// single source).
+    pub fn new<F>(mut factory: F) -> Self
+    where
+        F: FnMut() -> Box<dyn HostAgent> + 'static,
+    {
+        let head = factory();
+        Self {
+            head,
+            factory: Box::new(factory),
+            agents: HashMap::new(),
+            current: PriorityTable::new(),
+            last_emitted: PriorityTable::new(),
+            pending: VecDeque::new(),
+            next_token: 0,
+        }
+    }
+
+    /// Number of distinct sender hosts seen so far (agents minted).
+    pub fn num_agents(&self) -> usize {
+        self.agents.len()
+    }
+
+    /// Tables currently in flight to the hosts.
+    pub fn pending_updates(&self) -> usize {
+        self.pending.len()
+    }
+}
+
+impl ControlPlane for Decentralized {
+    fn name(&self) -> String {
+        self.head.name()
+    }
+
+    fn num_queues(&self) -> usize {
+        self.head.num_queues()
+    }
+
+    fn reprioritizes_live_flows(&self) -> bool {
+        self.head.reprioritizes_live_flows()
+    }
+
+    fn needs_local_views(&self) -> bool {
+        true
+    }
+
+    fn decide(&mut self, input: ControlInput<'_>) -> ControlOutput {
+        let ControlInput::Local {
+            now,
+            latency,
+            views,
+        } = input
+        else {
+            panic!("Decentralized control plane requires per-host views")
+        };
+        let Self {
+            agents, factory, ..
+        } = self;
+        let reports: Vec<HostReport> = views
+            .into_iter()
+            .map(|view| {
+                agents
+                    .entry(view.host)
+                    .or_insert_with(|| factory())
+                    .report(view)
+            })
+            .collect();
+        let merged = merge_reports(now, &reports);
+        let table = self.head.decide(&merged, &Oracle::deny());
+        if latency <= 0.0 {
+            // Instantaneous delivery: no event traffic, each fresh table
+            // acts immediately — result-identical to `Centralized` for
+            // ported schemes (pinned by tests).
+            self.current = table;
+            self.last_emitted.clone_from(&self.current);
+            return ControlOutput {
+                assignments: self.current.clone(),
+                schedule_update: None,
+            };
+        }
+        let schedule_update = if table != self.last_emitted {
+            let token = self.next_token;
+            self.next_token += 1;
+            self.pending.push_back((token, table.clone()));
+            self.last_emitted = table;
+            Some(token)
+        } else {
+            None
+        };
+        // Hosts keep acting on the last *delivered* table — new flows of
+        // known coflows are tagged with the stale priority, exactly what
+        // a sender with a lagging view would do.
+        ControlOutput {
+            assignments: self.current.clone(),
+            schedule_update,
+        }
+    }
+
+    fn deliver(&mut self, token: u64) -> Option<PriorityTable> {
+        let idx = self.pending.iter().position(|(t, _)| *t == token)?;
+        let (_, table) = self.pending.remove(idx)?;
+        self.current = table;
+        Some(self.current.clone())
+    }
+
+    fn queue_policy(&mut self) -> QueuePolicy {
+        self.head.queue_policy()
+    }
+
+    fn on_coflow_completed(&mut self, coflow: CoflowId, job: JobId, now: f64) {
+        // Decision state lives in the head agent; per-host agents are
+        // stateless reporters in the shipped schemes.
+        self.head.on_coflow_completed(coflow, job, now);
+    }
+
+    fn on_job_completed(&mut self, job: JobId, now: f64) {
+        self.head.on_job_completed(job, now);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sched::FlowObs;
+    use gurita_model::FlowId;
+
+    fn flow(id: usize, bytes: f64, open: bool) -> FlowObs {
+        FlowObs {
+            id: FlowId(id),
+            bytes_received: bytes,
+            open,
+        }
+    }
+
+    fn coflow_fragment(id: usize, job: usize, flows: Vec<FlowObs>) -> CoflowObs {
+        CoflowObs {
+            id: CoflowId(id),
+            job: JobId(job),
+            dag_vertex: 0,
+            dag_stage: 0,
+            activated_at: 0.0,
+            open_flows: flows.iter().filter(|f| f.open).count(),
+            bytes_received: flows.iter().map(|f| f.bytes_received).sum(),
+            max_flow_bytes_received: flows.iter().fold(0.0, |m, f| m.max(f.bytes_received)),
+            flows,
+        }
+    }
+
+    fn job_fragment(id: usize, completed_bytes: f64, local_bytes: f64) -> JobObs {
+        JobObs {
+            id: JobId(id),
+            arrival: 0.0,
+            completed_coflows: 1,
+            completed_stages: 1,
+            bytes_received: completed_bytes + local_bytes,
+            completed_bytes,
+            active_coflows: vec![0],
+        }
+    }
+
+    #[test]
+    fn merge_reassembles_split_coflows() {
+        // Coflow 7 is split across hosts 0 and 1; coflow 3 lives only on
+        // host 1. The merge must order coflows and flows by id and
+        // rebuild the aggregates from all fragments.
+        let r0 = HostReport {
+            host: HostId(0),
+            coflows: vec![coflow_fragment(7, 2, vec![flow(11, 4.0, true)])],
+            jobs: vec![job_fragment(2, 100.0, 4.0)],
+        };
+        let r1 = HostReport {
+            host: HostId(1),
+            coflows: vec![
+                coflow_fragment(3, 1, vec![flow(5, 1.0, true), flow(6, 2.0, false)]),
+                coflow_fragment(7, 2, vec![flow(10, 8.0, true)]),
+            ],
+            jobs: vec![job_fragment(1, 0.0, 3.0), job_fragment(2, 100.0, 8.0)],
+        };
+        let merged = merge_reports(1.5, &[r0, r1]);
+        assert_eq!(merged.now, 1.5);
+        assert_eq!(merged.coflows.len(), 2);
+        assert_eq!(merged.coflows[0].id, CoflowId(3));
+        assert_eq!(merged.coflows[1].id, CoflowId(7));
+        let c7 = &merged.coflows[1];
+        assert_eq!(
+            c7.flows.iter().map(|f| f.id).collect::<Vec<_>>(),
+            vec![FlowId(10), FlowId(11)]
+        );
+        assert_eq!(c7.bytes_received, 12.0);
+        assert_eq!(c7.max_flow_bytes_received, 8.0);
+        assert_eq!(c7.open_flows, 2);
+        let c3 = &merged.coflows[0];
+        assert_eq!(c3.open_flows, 1);
+        // Jobs sorted by id; bytes = completed + all active fragments.
+        assert_eq!(merged.jobs.len(), 2);
+        assert_eq!(merged.jobs[0].id, JobId(1));
+        assert_eq!(merged.jobs[1].id, JobId(2));
+        assert_eq!(merged.jobs[1].bytes_received, 112.0);
+        assert_eq!(merged.jobs[1].completed_bytes, 100.0);
+        assert_eq!(merged.jobs[0].active_coflows, vec![0]);
+        assert_eq!(merged.jobs[1].active_coflows, vec![1]);
+        // Lookup invariant holds on the merged view.
+        assert!(merged.job(JobId(2)).is_some());
+    }
+
+    struct CountingAgent {
+        decisions: usize,
+    }
+
+    impl HostAgent for CountingAgent {
+        fn name(&self) -> String {
+            "counting".into()
+        }
+        fn num_queues(&self) -> usize {
+            2
+        }
+        fn decide(&mut self, merged: &Observation, _oracle: &Oracle<'_>) -> PriorityTable {
+            self.decisions += 1;
+            merged
+                .coflows
+                .iter()
+                .map(|c| (c.id, usize::from(c.bytes_received > 5.0)))
+                .collect()
+        }
+    }
+
+    fn view(host: usize, coflow: usize, bytes: f64) -> LocalObservation {
+        LocalObservation {
+            host: HostId(host),
+            now: 0.0,
+            coflows: vec![coflow_fragment(coflow, 0, vec![flow(coflow, bytes, true)])],
+            jobs: vec![job_fragment(0, 0.0, bytes)],
+        }
+    }
+
+    #[test]
+    fn zero_latency_applies_fresh_tables_without_events() {
+        let mut plane = Decentralized::new(|| Box::new(CountingAgent { decisions: 0 }));
+        let out = plane.decide(ControlInput::Local {
+            now: 0.0,
+            latency: 0.0,
+            views: vec![view(0, 0, 1.0), view(1, 1, 9.0)],
+        });
+        assert_eq!(out.assignments, vec![(CoflowId(0), 0), (CoflowId(1), 1)]);
+        assert!(out.schedule_update.is_none());
+        assert_eq!(plane.num_agents(), 2);
+        assert_eq!(plane.pending_updates(), 0);
+    }
+
+    #[test]
+    fn positive_latency_delays_delivery_and_dedups() {
+        let mut plane = Decentralized::new(|| Box::new(CountingAgent { decisions: 0 }));
+        let views = || vec![view(0, 0, 9.0)];
+        // First decision: nothing delivered yet, one update scheduled.
+        let out = plane.decide(ControlInput::Local {
+            now: 0.0,
+            latency: 0.01,
+            views: views(),
+        });
+        assert!(out.assignments.is_empty(), "nothing delivered yet");
+        let token = out.schedule_update.expect("fresh table scheduled");
+        // Same decision again: deduplicated, no second event.
+        let out2 = plane.decide(ControlInput::Local {
+            now: 0.005,
+            latency: 0.01,
+            views: views(),
+        });
+        assert!(
+            out2.schedule_update.is_none(),
+            "unchanged table re-scheduled"
+        );
+        // Delivery makes the table current; later decisions apply it.
+        assert_eq!(
+            plane.deliver(token),
+            Some(vec![(CoflowId(0), 1)]),
+            "delivered table"
+        );
+        let out3 = plane.decide(ControlInput::Local {
+            now: 0.02,
+            latency: 0.01,
+            views: views(),
+        });
+        assert_eq!(out3.assignments, vec![(CoflowId(0), 1)]);
+        assert!(plane.deliver(999).is_none(), "unknown token ignored");
+    }
+}

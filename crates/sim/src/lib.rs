@@ -18,6 +18,11 @@
 //!   scheduler observes the system (receiver-side observations plus an
 //!   explicit oracle side channel for centralized/clairvoyant schemes) and
 //!   assigns priorities;
+//! * [`control`] — the control-plane layering: [`control::Centralized`]
+//!   (wraps any scheduler, instantaneous global view) vs
+//!   [`control::Decentralized`] (per-host [`control::HostAgent`]s over
+//!   [`control::LocalObservation`]s, with priority updates propagated
+//!   through the event loop after a configurable latency);
 //! * [`runtime`] — the event loop driving jobs through their coflow DAGs;
 //! * [`stats`] — per-job/per-coflow completion records.
 //!
@@ -51,6 +56,7 @@
 #![warn(missing_docs)]
 
 pub mod bandwidth;
+pub mod control;
 pub mod faults;
 pub mod runtime;
 pub mod sched;

@@ -20,6 +20,7 @@
 //! only to flows that start later.
 
 use crate::bandwidth::{Allocator, Demands, Discipline};
+use crate::control::{Centralized, ControlInput, ControlPlane, LocalObservation};
 use crate::faults::{FaultOverlay, FaultSchedule, TimedFault};
 use crate::sched::{CoflowObs, FlowObs, JobObs, Observation, Oracle, QueuePolicy, Scheduler};
 use crate::stats::{CoflowResult, FaultRecord, JobResult, RunResult};
@@ -56,6 +57,14 @@ pub struct SimConfig {
     /// against the global heap top, which couples freeze order across
     /// otherwise independent components at exact floating-point ties.
     pub force_full_recompute: bool,
+    /// Decision-propagation latency of a decentralized control plane, in
+    /// seconds: a fresh priority table computed from merged per-host
+    /// reports reaches the sender hosts this much later (as a timed
+    /// `ControlUpdate` event), so hosts act on a *stale* view in the
+    /// interim. `0` (the default) delivers instantaneously with no event
+    /// traffic — result-identical to the centralized adapter for ported
+    /// schemes. Ignored by [`crate::control::Centralized`].
+    pub control_latency: f64,
 }
 
 impl Default for SimConfig {
@@ -66,6 +75,7 @@ impl Default for SimConfig {
             completion_eps: 0.1,
             collect_link_stats: false,
             force_full_recompute: false,
+            control_latency: 0.0,
         }
     }
 }
@@ -80,6 +90,11 @@ enum EventKind {
     /// Apply `fault_schedule[index]` to the fabric overlay.
     Fault {
         index: usize,
+    },
+    /// A delayed priority table reaches the hosts: hand `token` back to
+    /// [`ControlPlane::deliver`] (see [`SimConfig::control_latency`]).
+    ControlUpdate {
+        token: u64,
     },
 }
 
@@ -227,6 +242,9 @@ impl Demands for FlowDemandView<'_> {
 #[derive(Debug, Clone, Copy)]
 struct FlowRecord {
     id: FlowId,
+    /// Sender host — the host whose agent observes this flow under a
+    /// decentralized control plane.
+    src: HostId,
     bytes_done: f64,
     open: bool,
 }
@@ -351,15 +369,78 @@ impl<F: Fabric> Simulation<F> {
         scheduler: &mut dyn Scheduler,
         faults: &FaultSchedule,
     ) -> Result<RunResult, SimError> {
+        // The classic scheduler entry points are sugar for the
+        // centralized control plane — bit-for-bit the same decisions.
+        let mut plane = Centralized::new(scheduler);
+        self.try_run_control_with_faults(jobs, &mut plane, faults)
+    }
+
+    /// Runs `jobs` to completion under an explicit [`ControlPlane`] —
+    /// the entry point for decentralized schemes (see
+    /// [`crate::control::Decentralized`] and
+    /// [`SimConfig::control_latency`]). [`Simulation::run`] is
+    /// equivalent to running the scheduler wrapped in
+    /// [`Centralized`].
+    ///
+    /// # Panics
+    ///
+    /// Panics on any [`SimError`]; use [`Simulation::try_run_control`]
+    /// for the fallible variant.
+    pub fn run_control(&mut self, jobs: Vec<JobSpec>, plane: &mut dyn ControlPlane) -> RunResult {
+        self.try_run_control(jobs, plane)
+            .expect("simulation failed; see SimError for details")
+    }
+
+    /// Fallible variant of [`Simulation::run_control`].
+    ///
+    /// # Errors
+    ///
+    /// Same as [`Simulation::try_run`].
+    pub fn try_run_control(
+        &mut self,
+        jobs: Vec<JobSpec>,
+        plane: &mut dyn ControlPlane,
+    ) -> Result<RunResult, SimError> {
+        self.try_run_control_with_faults(jobs, plane, &FaultSchedule::new())
+    }
+
+    /// [`Simulation::run_control`] with a fault schedule injected.
+    ///
+    /// # Panics
+    ///
+    /// Panics on any [`SimError`]; use
+    /// [`Simulation::try_run_control_with_faults`] for the fallible
+    /// variant.
+    pub fn run_control_with_faults(
+        &mut self,
+        jobs: Vec<JobSpec>,
+        plane: &mut dyn ControlPlane,
+        faults: &FaultSchedule,
+    ) -> RunResult {
+        self.try_run_control_with_faults(jobs, plane, faults)
+            .expect("simulation failed; see SimError for details")
+    }
+
+    /// Fallible variant of [`Simulation::run_control_with_faults`].
+    ///
+    /// # Errors
+    ///
+    /// Same as [`Simulation::try_run_with_faults`].
+    pub fn try_run_control_with_faults(
+        &mut self,
+        jobs: Vec<JobSpec>,
+        plane: &mut dyn ControlPlane,
+        faults: &FaultSchedule,
+    ) -> Result<RunResult, SimError> {
         faults.validate(&self.fabric)?;
-        Engine::new(&self.fabric, &self.config, jobs, scheduler, faults).run()
+        Engine::new(&self.fabric, &self.config, jobs, plane, faults).run()
     }
 }
 
 struct Engine<'a, F: Fabric> {
     fabric: &'a F,
     config: &'a SimConfig,
-    scheduler: &'a mut dyn Scheduler,
+    plane: &'a mut dyn ControlPlane,
     specs: HashMap<JobId, JobSpec>,
 
     heap: BinaryHeap<Event>,
@@ -418,7 +499,7 @@ impl<'a, F: Fabric> Engine<'a, F> {
         fabric: &'a F,
         config: &'a SimConfig,
         jobs: Vec<JobSpec>,
-        scheduler: &'a mut dyn Scheduler,
+        plane: &'a mut dyn ControlPlane,
         faults: &FaultSchedule,
     ) -> Self {
         let mut heap = BinaryHeap::new();
@@ -443,11 +524,11 @@ impl<'a, F: Fabric> Engine<'a, F> {
             });
             seq += 1;
         }
-        let scheduler_name = scheduler.name();
+        let scheduler_name = plane.name();
         Self {
             fabric,
             config,
-            scheduler,
+            plane,
             specs,
             heap,
             seq,
@@ -506,6 +587,11 @@ impl<'a, F: Fabric> Engine<'a, F> {
                     }
                 }
                 EventKind::Fault { index } => self.apply_fault(index)?,
+                EventKind::ControlUpdate { token } => {
+                    // The scheduled table becomes the hosts' current
+                    // view; the uniform decision point below applies it.
+                    let _ = self.plane.deliver(token);
+                }
             }
             self.harvest_completions()?;
             self.reassign_priorities();
@@ -606,6 +692,7 @@ impl<'a, F: Fabric> Engine<'a, F> {
             }
             state.flows.push(FlowRecord {
                 id: fid,
+                src: fs.src,
                 bytes_done: 0.0,
                 open: true,
             });
@@ -871,7 +958,7 @@ impl<'a, F: Fabric> Engine<'a, F> {
             completed_at: self.now,
             bytes: state.total_bytes,
         });
-        self.scheduler.on_coflow_completed(cid, state.job, self.now);
+        self.plane.on_coflow_completed(cid, state.job, self.now);
         let job_id = state.job;
         let vertex = state.dag_vertex;
         let to_activate: Vec<usize>;
@@ -912,7 +999,7 @@ impl<'a, F: Fabric> Engine<'a, F> {
                 fault_reroutes: js.fault_reroutes,
                 fault_parks: js.fault_parks,
             });
-            self.scheduler.on_job_completed(job_id, self.now);
+            self.plane.on_job_completed(job_id, self.now);
             self.remaining_jobs -= 1;
         }
         Ok(())
@@ -962,6 +1049,7 @@ impl<'a, F: Fabric> Engine<'a, F> {
                     completed_coflows: js.completed_coflows,
                     completed_stages: js.completed_stages,
                     bytes_received: js.completed_bytes,
+                    completed_bytes: js.completed_bytes,
                     active_coflows: Vec::new(),
                 });
                 jobs.len() - 1
@@ -969,6 +1057,10 @@ impl<'a, F: Fabric> Engine<'a, F> {
             jobs[j].bytes_received += bytes;
             jobs[j].active_coflows.push(ci);
         }
+        // Ascending-id order is an `Observation` invariant (binary
+        // search in `Observation::job`); the accumulation above runs in
+        // coflow order, so sorting afterwards changes no values.
+        jobs.sort_unstable_by_key(|j| j.id);
         Observation {
             now: self.now,
             coflows,
@@ -976,39 +1068,135 @@ impl<'a, F: Fabric> Engine<'a, F> {
         }
     }
 
+    /// Splits the cluster state into per-host views: each sender host
+    /// sees only the flows sourced there. Views preserve the global
+    /// orders (coflows ascending by id, flows in creation order) so
+    /// [`crate::control::merge_reports`] can reassemble the centralized
+    /// observation exactly.
+    fn build_local_views(&self) -> Vec<LocalObservation> {
+        let mut host_slot: HashMap<HostId, usize> = HashMap::new();
+        let mut views: Vec<LocalObservation> = Vec::new();
+        for cid in &self.active_coflows {
+            let cf = &self.coflows[cid];
+            for rec in &cf.flows {
+                let done = if rec.open {
+                    let pos = self.flow_pos[&rec.id];
+                    self.flows[pos].bytes_done()
+                } else {
+                    rec.bytes_done
+                };
+                let vi = *host_slot.entry(rec.src).or_insert_with(|| {
+                    views.push(LocalObservation {
+                        host: rec.src,
+                        now: self.now,
+                        coflows: Vec::new(),
+                        jobs: Vec::new(),
+                    });
+                    views.len() - 1
+                });
+                let view = &mut views[vi];
+                // A coflow's flows are contiguous in this loop, so if the
+                // view already tracks it, it is the last entry.
+                if view.coflows.last().map(|c| c.id) != Some(cf.id) {
+                    view.coflows.push(CoflowObs {
+                        id: cf.id,
+                        job: cf.job,
+                        dag_vertex: cf.dag_vertex,
+                        dag_stage: cf.dag_stage,
+                        activated_at: cf.activated_at,
+                        open_flows: 0,
+                        bytes_received: 0.0,
+                        max_flow_bytes_received: 0.0,
+                        flows: Vec::new(),
+                    });
+                }
+                let c = view.coflows.last_mut().expect("just ensured");
+                c.flows.push(FlowObs {
+                    id: rec.id,
+                    bytes_received: done,
+                    open: rec.open,
+                });
+                c.bytes_received += done;
+                c.max_flow_bytes_received = c.max_flow_bytes_received.max(done);
+                c.open_flows += usize::from(rec.open);
+            }
+        }
+        for view in &mut views {
+            let mut job_index: HashMap<JobId, usize> = HashMap::new();
+            for ci in 0..view.coflows.len() {
+                let (job_id, bytes) = (view.coflows[ci].job, view.coflows[ci].bytes_received);
+                let j = *job_index.entry(job_id).or_insert_with(|| {
+                    let js = &self.jobs_state[&job_id];
+                    view.jobs.push(JobObs {
+                        id: job_id,
+                        arrival: js.arrival,
+                        completed_coflows: js.completed_coflows,
+                        completed_stages: js.completed_stages,
+                        bytes_received: js.completed_bytes,
+                        completed_bytes: js.completed_bytes,
+                        active_coflows: Vec::new(),
+                    });
+                    view.jobs.len() - 1
+                });
+                view.jobs[j].bytes_received += bytes;
+                view.jobs[j].active_coflows.push(ci);
+            }
+            view.jobs.sort_unstable_by_key(|j| j.id);
+        }
+        views
+    }
+
     fn reassign_priorities(&mut self) {
         if self.active_coflows.is_empty() {
             return;
         }
-        let obs = self.build_observation();
-        let assignment = {
+        let output = if self.plane.needs_local_views() {
+            let views = self.build_local_views();
+            self.plane.decide(ControlInput::Local {
+                now: self.now,
+                latency: self.config.control_latency,
+                views,
+            })
+        } else {
+            let obs = self.build_observation();
             let remaining = |fid: FlowId| {
                 self.flow_pos
                     .get(&fid)
                     .map(|&pos| self.flows[pos].remaining)
             };
             let flow_size = |fid: FlowId| self.flow_pos.get(&fid).map(|&pos| self.flows[pos].size);
-            let oracle = Oracle {
-                jobs: &self.specs,
-                remaining: &remaining,
-                flow_size: &flow_size,
-            };
-            self.scheduler.assign(&obs, &oracle)
+            let oracle = Oracle::new(&self.specs, &remaining, &flow_size);
+            self.plane.decide(ControlInput::Global {
+                obs: &obs,
+                oracle: &oracle,
+            })
         };
-        assert_eq!(
-            assignment.len(),
-            obs.coflows.len(),
-            "scheduler must assign a queue to every active coflow"
-        );
-        let nq = self.scheduler.num_queues();
-        let relax = self.scheduler.reprioritizes_live_flows();
-        for (ci, &queue) in assignment.iter().enumerate() {
+        self.apply_table(&output.assignments);
+        if let Some(token) = output.schedule_update {
+            self.heap.push(Event {
+                time: self.now + self.config.control_latency,
+                seq: self.seq,
+                kind: EventKind::ControlUpdate { token },
+            });
+            self.seq += 1;
+        }
+    }
+
+    /// Applies a priority table to the flows it covers. Entries for
+    /// coflows that completed while the table was in flight are skipped
+    /// (a delayed table may be stale); active coflows absent from the
+    /// table keep their current queues.
+    fn apply_table(&mut self, table: &[(CoflowId, usize)]) {
+        let nq = self.plane.num_queues();
+        let relax = self.plane.reprioritizes_live_flows();
+        for &(cid, queue) in table {
             assert!(
                 queue < nq,
                 "assigned queue {queue} out of range ({nq} queues)"
             );
-            let cid = obs.coflows[ci].id;
-            let cf = self.coflows.get_mut(&cid).expect("assigned coflow active");
+            let Some(cf) = self.coflows.get_mut(&cid) else {
+                continue; // completed before the table was delivered
+            };
             cf.queue = queue;
             for rec in cf.flows.iter().filter(|r| r.open) {
                 let pos = self.flow_pos[&rec.id];
@@ -1127,18 +1315,18 @@ impl<'a, F: Fabric> Engine<'a, F> {
             self.dirty.links.clear();
             return;
         }
-        // Schedulers derive weights from state accumulated in `assign`
-        // (always called before rates are recomputed), so the policy
-        // query does not need a fresh observation. See the
-        // `Scheduler::queue_policy` contract.
-        let discipline = match self.scheduler.queue_policy(&Observation::default()) {
+        // Planes derive weights from state accumulated at decision time
+        // (always before rates are recomputed), so the policy query does
+        // not need a fresh observation. See the `Scheduler::queue_policy`
+        // contract.
+        let discipline = match self.plane.queue_policy() {
             QueuePolicy::Strict => Discipline::StrictPriority {
-                num_queues: self.scheduler.num_queues(),
+                num_queues: self.plane.num_queues(),
             },
             QueuePolicy::Weighted(weights) => {
                 assert_eq!(
                     weights.len(),
-                    self.scheduler.num_queues(),
+                    self.plane.num_queues(),
                     "one WRR weight per queue required"
                 );
                 Discipline::WeightedRoundRobin { weights }

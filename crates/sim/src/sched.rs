@@ -30,6 +30,7 @@
 
 use gurita_model::{CoflowId, FlowId, JobId, JobSpec};
 use std::collections::HashMap;
+use std::sync::OnceLock;
 
 /// Receiver-side view of one flow.
 #[derive(Debug, Clone, Copy)]
@@ -94,6 +95,11 @@ pub struct JobObs {
     /// Total bytes received by the job so far, across all its coflows
     /// (the accumulated total-bytes-sent that TBS schedulers use).
     pub bytes_received: f64,
+    /// Bytes received by the job's already-completed coflows — the part
+    /// of [`JobObs::bytes_received`] not attributable to the active
+    /// coflows. Exposed so partial (per-host) views can be re-merged
+    /// into a cluster-wide view without double counting.
+    pub completed_bytes: f64,
     /// Indexes into [`Observation::coflows`] of this job's active coflows.
     pub active_coflows: Vec<usize>,
 }
@@ -103,16 +109,24 @@ pub struct JobObs {
 pub struct Observation {
     /// Current simulation time.
     pub now: f64,
-    /// All active coflows.
+    /// All active coflows, in ascending [`CoflowId`] order.
     pub coflows: Vec<CoflowObs>,
-    /// All jobs with at least one active coflow.
+    /// All jobs with at least one active coflow, in ascending [`JobId`]
+    /// order (an invariant of the runtime's observation builders that
+    /// [`Observation::job`] relies on).
     pub jobs: Vec<JobObs>,
 }
 
 impl Observation {
     /// Looks up a job observation by id.
+    ///
+    /// Binary-searches `jobs`, which the runtime keeps sorted by id; a
+    /// hand-built observation with unsorted jobs may miss entries.
     pub fn job(&self, id: JobId) -> Option<&JobObs> {
-        self.jobs.iter().find(|j| j.id == id)
+        self.jobs
+            .binary_search_by(|j| j.id.cmp(&id))
+            .ok()
+            .map(|i| &self.jobs[i])
     }
 }
 
@@ -126,6 +140,8 @@ pub struct Oracle<'a> {
     pub(crate) jobs: &'a HashMap<JobId, JobSpec>,
     pub(crate) remaining: &'a dyn Fn(FlowId) -> Option<f64>,
     pub(crate) flow_size: &'a dyn Fn(FlowId) -> Option<f64>,
+    /// Panic on any access (see [`Oracle::deny`]).
+    pub(crate) deny: bool,
 }
 
 impl std::fmt::Debug for Oracle<'_> {
@@ -149,22 +165,61 @@ impl<'a> Oracle<'a> {
             jobs,
             remaining,
             flow_size,
+            deny: false,
         }
+    }
+
+    /// An oracle that panics on any access.
+    ///
+    /// The decentralized control plane hands this to host agents: a
+    /// scheme that claims to run from local observations but reaches for
+    /// clairvoyant state trips the panic immediately instead of silently
+    /// cheating. The panic (rather than `None` answers) makes the
+    /// information boundary an enforced contract, pinned by
+    /// cross-scheduler tests.
+    pub fn deny() -> Oracle<'static> {
+        static EMPTY_JOBS: OnceLock<HashMap<JobId, JobSpec>> = OnceLock::new();
+        fn no_lookup(_: FlowId) -> Option<f64> {
+            None
+        }
+        Oracle {
+            jobs: EMPTY_JOBS.get_or_init(HashMap::new),
+            remaining: &no_lookup,
+            flow_size: &no_lookup,
+            deny: true,
+        }
+    }
+
+    /// Whether this oracle denies all access (see [`Oracle::deny`]).
+    pub fn is_denied(&self) -> bool {
+        self.deny
+    }
+
+    #[track_caller]
+    fn check_access(&self) {
+        assert!(
+            !self.deny,
+            "oracle access denied: decentralized schedulers must decide \
+             from local observations only"
+        );
     }
 
     /// Full specification of a job (its DAG, coflows, and exact flow
     /// sizes).
     pub fn job_spec(&self, id: JobId) -> Option<&'a JobSpec> {
+        self.check_access();
         self.jobs.get(&id)
     }
 
     /// Exact remaining (in-flight-unsent) bytes of an active flow.
     pub fn remaining_bytes(&self, id: FlowId) -> Option<f64> {
+        self.check_access();
         (self.remaining)(id)
     }
 
     /// Exact total size of a flow.
     pub fn flow_size(&self, id: FlowId) -> Option<f64> {
+        self.check_access();
         (self.flow_size)(id)
     }
 }
@@ -241,6 +296,54 @@ pub trait Scheduler {
     }
 }
 
+impl<S: Scheduler + ?Sized> Scheduler for &mut S {
+    fn name(&self) -> String {
+        (**self).name()
+    }
+    fn num_queues(&self) -> usize {
+        (**self).num_queues()
+    }
+    fn assign(&mut self, obs: &Observation, oracle: &Oracle<'_>) -> Assignment {
+        (**self).assign(obs, oracle)
+    }
+    fn reprioritizes_live_flows(&self) -> bool {
+        (**self).reprioritizes_live_flows()
+    }
+    fn queue_policy(&mut self, obs: &Observation) -> QueuePolicy {
+        (**self).queue_policy(obs)
+    }
+    fn on_coflow_completed(&mut self, coflow: CoflowId, job: JobId, now: f64) {
+        (**self).on_coflow_completed(coflow, job, now)
+    }
+    fn on_job_completed(&mut self, job: JobId, now: f64) {
+        (**self).on_job_completed(job, now)
+    }
+}
+
+impl<S: Scheduler + ?Sized> Scheduler for Box<S> {
+    fn name(&self) -> String {
+        (**self).name()
+    }
+    fn num_queues(&self) -> usize {
+        (**self).num_queues()
+    }
+    fn assign(&mut self, obs: &Observation, oracle: &Oracle<'_>) -> Assignment {
+        (**self).assign(obs, oracle)
+    }
+    fn reprioritizes_live_flows(&self) -> bool {
+        (**self).reprioritizes_live_flows()
+    }
+    fn queue_policy(&mut self, obs: &Observation) -> QueuePolicy {
+        (**self).queue_policy(obs)
+    }
+    fn on_coflow_completed(&mut self, coflow: CoflowId, job: JobId, now: f64) {
+        (**self).on_coflow_completed(coflow, job, now)
+    }
+    fn on_job_completed(&mut self, job: JobId, now: f64) {
+        (**self).on_job_completed(job, now)
+    }
+}
+
 /// A trivial scheduler that places every coflow in one queue in FIFO
 /// spirit — with a single queue this degenerates to per-flow fair sharing
 /// and serves as the simulator's smoke-test scheduler.
@@ -300,11 +403,7 @@ mod tests {
         let jobs = HashMap::new();
         let rem = |_| None;
         let size = |_| None;
-        let oracle = Oracle {
-            jobs: &jobs,
-            remaining: &rem,
-            flow_size: &size,
-        };
+        let oracle = Oracle::new(&jobs, &rem, &size);
         assert_eq!(s.assign(&obs, &oracle), vec![0, 0, 0]);
         assert_eq!(s.queue_policy(&obs), QueuePolicy::Strict);
         assert!(!s.reprioritizes_live_flows());
@@ -341,5 +440,76 @@ mod tests {
     #[should_panic(expected = "at least one queue")]
     fn fifo_requires_a_queue() {
         let _ = FifoScheduler::new(0);
+    }
+
+    fn job_obs(id: usize) -> JobObs {
+        JobObs {
+            id: JobId(id),
+            arrival: 0.0,
+            completed_coflows: 0,
+            completed_stages: 0,
+            bytes_received: 0.0,
+            completed_bytes: 0.0,
+            active_coflows: vec![],
+        }
+    }
+
+    #[test]
+    fn job_lookup_binary_searches_sorted_jobs() {
+        let obs = Observation {
+            now: 0.0,
+            coflows: vec![],
+            jobs: vec![job_obs(1), job_obs(4), job_obs(9), job_obs(12)],
+        };
+        for id in [1, 4, 9, 12] {
+            assert_eq!(obs.job(JobId(id)).map(|j| j.id), Some(JobId(id)));
+        }
+        for id in [0, 2, 8, 13] {
+            assert!(obs.job(JobId(id)).is_none());
+        }
+        assert!(Observation::default().job(JobId(0)).is_none());
+    }
+
+    #[test]
+    #[should_panic(expected = "oracle access denied")]
+    fn deny_oracle_panics_on_flow_size() {
+        let _ = Oracle::deny().flow_size(FlowId(0));
+    }
+
+    #[test]
+    #[should_panic(expected = "oracle access denied")]
+    fn deny_oracle_panics_on_remaining_bytes() {
+        let _ = Oracle::deny().remaining_bytes(FlowId(0));
+    }
+
+    #[test]
+    #[should_panic(expected = "oracle access denied")]
+    fn deny_oracle_panics_on_job_spec() {
+        let _ = Oracle::deny().job_spec(JobId(0));
+    }
+
+    #[test]
+    fn deny_oracle_reports_itself() {
+        assert!(Oracle::deny().is_denied());
+        let jobs = HashMap::new();
+        let rem = |_| None;
+        let size = |_| None;
+        assert!(!Oracle::new(&jobs, &rem, &size).is_denied());
+    }
+
+    #[test]
+    fn boxed_and_borrowed_schedulers_forward() {
+        let boxed: Box<dyn Scheduler> = Box::new(FifoScheduler::new(4));
+        assert_eq!(boxed.name(), "fifo");
+        assert_eq!(boxed.num_queues(), 4);
+        let mut fifo = FifoScheduler::new(2);
+        let borrowed: &mut dyn Scheduler = &mut fifo;
+        assert_eq!(Scheduler::name(&borrowed), "fifo");
+        assert_eq!(Scheduler::num_queues(&borrowed), 2);
+        assert!(!Scheduler::reprioritizes_live_flows(&borrowed));
+        let obs = Observation::default();
+        assert_eq!(borrowed.queue_policy(&obs), QueuePolicy::Strict);
+        borrowed.on_coflow_completed(CoflowId(0), JobId(0), 0.0);
+        borrowed.on_job_completed(JobId(0), 0.0);
     }
 }

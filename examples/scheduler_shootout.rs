@@ -26,8 +26,10 @@ fn main() {
     };
     let kinds = [
         SchedulerKind::Gurita,
+        SchedulerKind::GuritaLocal,
         SchedulerKind::GuritaPlus,
         SchedulerKind::Aalo,
+        SchedulerKind::AaloLocal,
         SchedulerKind::Stream,
         SchedulerKind::Baraat,
         SchedulerKind::Pfs,

@@ -135,6 +135,109 @@ fn stage_aware_beats_tbs_on_on_and_off_jobs() {
     );
 }
 
+/// Runs `centralized` and `decentralized` over the byte-identical
+/// workload and returns the pair with the scheduler labels cleared, so
+/// the `RunResult`s can be compared field-for-field.
+fn identity_pair(
+    s: &Scenario,
+    centralized: SchedulerKind,
+    decentralized: SchedulerKind,
+) -> (gurita_sim::stats::RunResult, gurita_sim::stats::RunResult) {
+    let mut results = s.run_all(&[centralized, decentralized]);
+    for r in &mut results {
+        r.scheduler.clear();
+    }
+    let d = results.pop().unwrap();
+    let c = results.pop().unwrap();
+    (c, d)
+}
+
+#[test]
+fn decentralized_gurita_at_zero_latency_is_result_identical() {
+    let s = scenario(StructureKind::FbTao, 25, 3);
+    let (c, d) = identity_pair(&s, SchedulerKind::Gurita, SchedulerKind::GuritaLocal);
+    assert_eq!(
+        c, d,
+        "Gurita@local with control_latency 0 must replay Gurita exactly"
+    );
+}
+
+#[test]
+fn decentralized_aalo_at_zero_latency_is_result_identical() {
+    let s = scenario(StructureKind::TpcDs, 25, 12);
+    let (c, d) = identity_pair(&s, SchedulerKind::Aalo, SchedulerKind::AaloLocal);
+    assert_eq!(
+        c, d,
+        "Aalo@local with control_latency 0 must replay Aalo exactly"
+    );
+}
+
+proptest::proptest! {
+    #![proptest_config(proptest::prelude::ProptestConfig::with_cases(6))]
+
+    /// The tentpole identity, as a property over workloads: for any
+    /// seed/size/structure, `Decentralized` at `control_latency == 0`
+    /// produces bit-for-bit the `RunResult` of `Centralized` for both
+    /// ported schemes — same JCTs, same CCTs, same makespan, same event
+    /// count.
+    #[test]
+    fn zero_latency_identity_holds_for_ported_schemes(
+        seed in 0u64..1000,
+        jobs in 6usize..14,
+        tpcds: bool,
+    ) {
+        let structure = if tpcds { StructureKind::TpcDs } else { StructureKind::FbTao };
+        let s = scenario(structure, jobs, seed);
+        for (c_kind, d_kind) in [
+            (SchedulerKind::Gurita, SchedulerKind::GuritaLocal),
+            (SchedulerKind::Aalo, SchedulerKind::AaloLocal),
+        ] {
+            let (c, d) = identity_pair(&s, c_kind, d_kind);
+            proptest::prop_assert_eq!(&c, &d, "{:?} diverged at latency 0", d_kind);
+        }
+    }
+}
+
+#[test]
+fn local_schemes_never_touch_the_oracle() {
+    // The decentralized plane hands its head agent a denying oracle
+    // that panics on any access (see `Oracle::deny`), so these runs
+    // completing end-to-end *is* the proof that Gurita@local and
+    // Aalo@local decide from local observations alone.
+    let s = scenario(StructureKind::FbTao, 20, 5);
+    let results = s.run_all(&[SchedulerKind::GuritaLocal, SchedulerKind::AaloLocal]);
+    for r in &results {
+        assert_eq!(r.jobs.len(), 20, "{} must complete every job", r.scheduler);
+    }
+}
+
+#[test]
+fn stale_control_still_completes_and_costs_something() {
+    // With a 10 ms propagation delay hosts tag flows from stale
+    // priority tables: every job must still finish, the event stream
+    // gains the ControlUpdate deliveries, and the schedule can only be
+    // distorted — avg JCT should not collapse below a sanity floor of
+    // the fresh-view run.
+    let fresh = scenario(StructureKind::FbTao, 25, 3);
+    let mut stale = scenario(StructureKind::FbTao, 25, 3);
+    stale.control_latency = 10e-3;
+    let f = fresh.run(SchedulerKind::GuritaLocal);
+    let s = stale.run(SchedulerKind::GuritaLocal);
+    assert_eq!(s.jobs.len(), f.jobs.len(), "staleness must not lose jobs");
+    assert!(
+        s.events > f.events,
+        "delayed tables must flow through ControlUpdate events: {} vs {}",
+        s.events,
+        f.events
+    );
+    assert!(
+        s.avg_jct() > f.avg_jct() * 0.5,
+        "stale control should not implausibly beat fresh control: {} vs {}",
+        s.avg_jct(),
+        f.avg_jct()
+    );
+}
+
 #[test]
 fn motivation_examples_hold() {
     let (fig2_tbs, fig2_stage) = gurita_experiments::motivation::figure2();
