@@ -51,6 +51,104 @@ struct BenchReport {
     /// loop in events/sec over the same workload as the centralized
     /// number above.
     control_plane: Vec<(String, f64)>,
+    /// Large-fabric gate: the 48-pod bursty scenario (see
+    /// [`large_bench`]).
+    large: LargeBench,
+}
+
+/// The 48-pod large-fabric benchmark gate: a bursty FB-Tao workload on
+/// the full 27,648-host fat-tree under Gurita, recording throughput,
+/// path-arena effectiveness, and memory high-water mark. Fixed at 40
+/// jobs / seed 42 so the recorded number is comparable across PRs
+/// regardless of `--jobs`/`--seed`.
+#[derive(Debug, Serialize)]
+struct LargeBench {
+    /// Scenario description.
+    scenario: String,
+    /// Fat-tree pod count (k = 48).
+    pods: usize,
+    /// Jobs in the workload.
+    jobs: usize,
+    /// Workload seed.
+    seed: u64,
+    /// Simulated events processed.
+    events: u64,
+    /// Measured-run wall-clock seconds.
+    wall_sec: f64,
+    /// Simulated events per wall-clock second (calendar event queue).
+    events_per_sec: f64,
+    /// Same run under `force_binary_heap_events` — the pre-calendar
+    /// queue, kept as an A/B reference (results are asserted identical).
+    events_per_sec_binary_heap: f64,
+    /// Distinct interned paths in the engine's arena at end of run.
+    path_arena_unique: usize,
+    /// Fraction of path interns answered from the arena cache.
+    path_arena_hit_rate: f64,
+    /// Process peak RSS (`VmHWM`) after the runs, bytes; 0 when
+    /// `/proc/self/status` is unavailable.
+    peak_rss_bytes: u64,
+}
+
+/// Reads the process peak-RSS high-water mark from `/proc/self/status`
+/// (`VmHWM`, reported in kB). Returns 0 on non-Linux or parse failure.
+fn peak_rss_bytes() -> u64 {
+    std::fs::read_to_string("/proc/self/status")
+        .ok()
+        .and_then(|s| {
+            s.lines()
+                .find(|l| l.starts_with("VmHWM:"))
+                .and_then(|l| l.split_whitespace().nth(1))
+                .and_then(|kb| kb.parse::<u64>().ok())
+        })
+        .map(|kb| kb * 1024)
+        .unwrap_or(0)
+}
+
+/// Runs the 48-pod gate scenario: warm-up, a measured run on the
+/// calendar event queue, and an A/B run on the binary heap whose
+/// `RunResult` must be bit-for-bit identical.
+fn large_bench() -> LargeBench {
+    const JOBS: usize = 40;
+    const SEED: u64 = 42;
+    let scenario = Scenario::bursty(StructureKind::FbTao, JOBS, 48, SEED);
+    let jobs = scenario.jobs();
+    let run = |force_heap: bool| {
+        let fabric = FatTree::new(scenario.pods).expect("valid pods");
+        let mut sim = Simulation::new(
+            fabric,
+            SimConfig {
+                tick_interval: scenario.tick_interval,
+                force_binary_heap_events: force_heap,
+                ..SimConfig::default()
+            },
+        );
+        let mut sched = SchedulerKind::Gurita.build();
+        sim.run(jobs.clone(), sched.as_mut())
+    };
+    let _ = run(false);
+    let start = Instant::now();
+    let result = run(false);
+    let wall = start.elapsed().as_secs_f64();
+    let heap_start = Instant::now();
+    let heap_result = run(true);
+    let heap_wall = heap_start.elapsed().as_secs_f64();
+    assert!(
+        result == heap_result,
+        "calendar queue and binary heap must produce identical results"
+    );
+    LargeBench {
+        scenario: scenario.name.clone(),
+        pods: scenario.pods,
+        jobs: JOBS,
+        seed: SEED,
+        events: result.events,
+        wall_sec: wall,
+        events_per_sec: result.events as f64 / wall,
+        events_per_sec_binary_heap: heap_result.events as f64 / heap_wall,
+        path_arena_unique: result.path_arena_unique,
+        path_arena_hit_rate: result.path_arena_hit_rate,
+        peak_rss_bytes: peak_rss_bytes(),
+    }
 }
 
 /// Times `merge_reports` reassembling a 64-host split of 128 coflows ×
@@ -286,6 +384,7 @@ fn main() {
         events_per_sec: result.events as f64 / elapsed,
         allocate_ns_per_flow: allocator_benches(),
         control_plane,
+        large: large_bench(),
     };
     println!(
         "event loop: {} events in {:.3}s -> {:.0} events/sec",
@@ -297,6 +396,19 @@ fn main() {
     for (label, v) in &rep.control_plane {
         println!("control plane {label}: {v:.1}");
     }
+    println!(
+        "large ({} pods, {} jobs): {} events in {:.3}s -> {:.0} events/sec \
+         (binary heap: {:.0}), arena {} unique / {:.3} hit rate, peak RSS {:.1} MiB",
+        rep.large.pods,
+        rep.large.jobs,
+        rep.large.events,
+        rep.large.wall_sec,
+        rep.large.events_per_sec,
+        rep.large.events_per_sec_binary_heap,
+        rep.large.path_arena_unique,
+        rep.large.path_arena_hit_rate,
+        rep.large.peak_rss_bytes as f64 / (1024.0 * 1024.0)
+    );
     match report::write_results_file("BENCH_sim.json", &report::to_json(&rep)) {
         Ok(path) => println!("wrote {}", path.display()),
         Err(e) => eprintln!("could not write results file: {e}"),

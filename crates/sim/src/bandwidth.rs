@@ -21,14 +21,20 @@
 //!
 //! The allocator is a progressive water-filling over per-(flow, link)
 //! weights with a lazy min-heap of bottleneck candidates. One pass over
-//! `F` flows costs `O(F · |path| · log F)` heap work against dense
-//! per-link state arrays indexed by [`LinkId::index`] — link ids are
-//! dense per fabric, so a reusable [`Allocator`] holds epoch-stamped
-//! `Vec` scratch and performs **zero heap allocations** in steady state.
-//! The runtime additionally restricts recomputation to the affected
-//! flow↔link component after most events, so per-event cost is
-//! `O(C · |path| · log C)` in the component size `C`, not the global
-//! flow count (see DESIGN.md, "Hot path & complexity").
+//! `F` flows costs `O(F · |path| · log F)` heap work. A reusable
+//! [`Allocator`] builds a *dense per-call remap*: every link the demand
+//! set touches gets a compact index, and all per-link state (residual
+//! capacity, weight sums, WRR counts) lives in arrays sized by the
+//! touched-link count, not the fabric. On a 48-pod fat-tree (165,888
+//! links) an incremental recompute touches a few hundred links, so the
+//! scratch stays cache-resident instead of striding through
+//! multi-megabyte fabric-sized arrays; only the remap table itself is
+//! fabric-sized, and it is epoch-stamped so no `O(L)` clear happens per
+//! call. After warm-up no call allocates. The runtime additionally
+//! restricts recomputation to the affected flow↔link component after
+//! most events, so per-event cost is `O(C · |path| · log C)` in the
+//! component size `C`, not the global flow count (see DESIGN.md, "Hot
+//! path & complexity").
 
 use crate::topology::LinkId;
 use std::cmp::Ordering;
@@ -104,28 +110,6 @@ impl Discipline {
 
 const EPS: f64 = 1e-12;
 
-/// Dense per-link scratch: `resid` persists across priority passes of
-/// one allocation call (stamped with the call epoch), `sum_w` resets per
-/// water-filling pass (stamped with the pass epoch). Epoch stamps avoid
-/// an `O(L)` clear per call.
-#[derive(Debug)]
-struct LinkScratch {
-    resid: Vec<f64>,
-    resid_epoch: Vec<u64>,
-    sum_w: Vec<f64>,
-    sumw_epoch: Vec<u64>,
-}
-
-impl LinkScratch {
-    fn share(&self, li: usize) -> f64 {
-        if self.sum_w[li] <= EPS {
-            f64::INFINITY
-        } else {
-            (self.resid[li] / self.sum_w[li]).max(0.0)
-        }
-    }
-}
-
 /// Heap entry: candidate bottleneck rate for a flow (min-rate first).
 ///
 /// Entries go stale when a link on the flow's path changes; since link
@@ -152,15 +136,22 @@ impl PartialOrd for Candidate {
 impl Ord for Candidate {
     fn cmp(&self, other: &Self) -> Ordering {
         // Reverse: BinaryHeap is a max-heap, we want the min rate on top.
-        other
-            .rate
-            .partial_cmp(&self.rate)
-            .unwrap_or(Ordering::Equal)
+        // Candidate rates are non-negative and never NaN (positive
+        // weights times clamped-non-negative shares), so `total_cmp` —
+        // a branch-free integer comparison — yields exactly the numeric
+        // order `partial_cmp` would.
+        other.rate.total_cmp(&self.rate)
     }
 }
 
 /// Reusable water-filling scratch state sized for a fabric with a fixed
 /// number of dense link ids.
+///
+/// Per-link state is *component-local*: each [`Allocator::allocate_into`]
+/// call remaps the links its demand set touches onto compact indices
+/// `0..T` and works in `T`-sized arrays, so the hot scratch fits in
+/// cache even when the fabric has hundreds of thousands of links. Only
+/// the remap table is fabric-sized, cleared lazily via epoch stamps.
 ///
 /// Construct one per fabric with [`Allocator::new`] and call
 /// [`Allocator::allocate_into`] repeatedly: after warm-up no call
@@ -172,11 +163,34 @@ pub struct Allocator {
     /// Monotone counter backing both the per-call and per-pass epochs.
     epoch: u64,
     call_epoch: u64,
-    links: LinkScratch,
-    /// WRR per-(queue, link) backlogged-flow counts, laid out as
-    /// `queue * num_links + link`, epoch-stamped per call.
+    /// Global link id → dense per-call index, valid iff the stamp equals
+    /// the current call epoch.
+    remap: Vec<u32>,
+    remap_epoch: Vec<u64>,
+    /// Dense residual capacities, one per touched link; initialized from
+    /// `capacity` when a link is first remapped and persisting across the
+    /// priority passes of one call.
+    resid: Vec<f64>,
+    /// Dense per-pass weight sums (stamped with the pass epoch).
+    sum_w: Vec<f64>,
+    sumw_epoch: Vec<u64>,
+    /// Cached per-link fair shares `resid / sum_w`, refreshed when a
+    /// freeze changes a link; valid for links stamped in the current
+    /// pass.
+    share: Vec<f64>,
+    /// Links first touched in the current pass (dense indices; scratch).
+    pass_links: Vec<u32>,
+    /// Demand paths translated to dense link indices: demand `i` owns
+    /// `dense_paths[spans[i].0 .. spans[i].0 + spans[i].1]`.
+    dense_paths: Vec<u32>,
+    spans: Vec<(u32, u32)>,
+    queues: Vec<u32>,
+    /// WRR per-(queue, dense link) backlogged-flow counts, laid out as
+    /// `queue * touched + link`. Kept all-zero between calls; only the
+    /// slots in `used_slots` are written and re-zeroed, so a call costs
+    /// O(slots actually backlogged), not O(queues × touched links).
     counts: Vec<f64>,
-    counts_epoch: Vec<u64>,
+    used_slots: Vec<usize>,
     idx: Vec<u32>,
     heap: BinaryHeap<Candidate>,
     /// A demand is frozen in the current pass iff its stamp equals the
@@ -191,14 +205,18 @@ impl Allocator {
             num_links,
             epoch: 0,
             call_epoch: 0,
-            links: LinkScratch {
-                resid: vec![0.0; num_links],
-                resid_epoch: vec![0; num_links],
-                sum_w: vec![0.0; num_links],
-                sumw_epoch: vec![0; num_links],
-            },
+            remap: vec![0; num_links],
+            remap_epoch: vec![0; num_links],
+            resid: Vec::new(),
+            sum_w: Vec::new(),
+            sumw_epoch: Vec::new(),
+            share: Vec::new(),
+            pass_links: Vec::new(),
+            dense_paths: Vec::new(),
+            spans: Vec::new(),
+            queues: Vec::new(),
             counts: Vec::new(),
-            counts_epoch: Vec::new(),
+            used_slots: Vec::new(),
             idx: Vec::new(),
             heap: BinaryHeap::new(),
             frozen_epoch: Vec::new(),
@@ -231,52 +249,94 @@ impl Allocator {
         let n = demands.len();
         assert_eq!(rates.len(), n, "one rate slot per demand required");
         let nq = discipline.num_queues();
-        for i in 0..n {
-            let q = demands.queue(i);
-            assert!(q < nq, "demand queue {q} out of range ({nq} queues)");
-            for l in demands.path(i) {
-                assert!(
-                    l.index() < self.num_links,
-                    "link {} out of range ({} links)",
-                    l.index(),
-                    self.num_links
-                );
-            }
-        }
         rates.fill(f64::INFINITY);
         self.epoch += 1;
         self.call_epoch = self.epoch;
         if self.frozen_epoch.len() < n {
             self.frozen_epoch.resize(n, 0);
         }
+        // Dense remap: assign compact indices to the links this demand
+        // set actually touches and translate every path once up front
+        // (validation is folded into this single traversal). Residual
+        // capacity is seeded at first touch and persists across the
+        // priority passes below.
+        self.resid.clear();
+        self.dense_paths.clear();
+        self.spans.clear();
+        self.queues.clear();
+        for i in 0..n {
+            let q = demands.queue(i);
+            assert!(q < nq, "demand queue {q} out of range ({nq} queues)");
+            let start = self.dense_paths.len() as u32;
+            for l in demands.path(i) {
+                let li = l.index();
+                assert!(
+                    li < self.num_links,
+                    "link {} out of range ({} links)",
+                    li,
+                    self.num_links
+                );
+                if self.remap_epoch[li] != self.call_epoch {
+                    self.remap[li] = self.resid.len() as u32;
+                    self.remap_epoch[li] = self.call_epoch;
+                    self.resid.push(capacity(*l));
+                }
+                self.dense_paths.push(self.remap[li]);
+            }
+            self.spans
+                .push((start, self.dense_paths.len() as u32 - start));
+            self.queues.push(q as u32);
+        }
+        let touched = self.resid.len();
+        if self.sum_w.len() < touched {
+            self.sum_w.resize(touched, 0.0);
+            self.sumw_epoch.resize(touched, 0);
+            self.share.resize(touched, 0.0);
+        }
+        let Self {
+            epoch,
+            resid,
+            sum_w,
+            sumw_epoch,
+            share,
+            pass_links,
+            dense_paths,
+            spans,
+            queues,
+            counts,
+            used_slots,
+            idx,
+            heap,
+            frozen_epoch,
+            ..
+        } = self;
         match discipline {
             Discipline::StrictPriority { num_queues } => {
-                // Residual capacities persist across priority passes via
-                // the call-epoch stamp on `links.resid`.
                 for q in 0..*num_queues {
-                    let mut idx = std::mem::take(&mut self.idx);
                     idx.clear();
                     idx.extend(
                         (0..n)
-                            .filter(|&i| demands.queue(i) == q && !demands.path(i).is_empty())
+                            .filter(|&i| queues[i] as usize == q && spans[i].1 > 0)
                             .map(|i| i as u32),
                     );
                     if !idx.is_empty() {
-                        self.epoch += 1;
+                        *epoch += 1;
                         waterfill(
-                            demands,
-                            &idx,
+                            spans,
+                            dense_paths,
+                            idx,
                             |_, _| 1.0,
-                            &capacity,
-                            self.call_epoch,
-                            self.epoch,
-                            &mut self.links,
-                            &mut self.heap,
-                            &mut self.frozen_epoch,
+                            *epoch,
+                            resid,
+                            sum_w,
+                            sumw_epoch,
+                            share,
+                            pass_links,
+                            heap,
+                            frozen_epoch,
                             rates,
                         );
                     }
-                    self.idx = idx;
                 }
             }
             Discipline::WeightedRoundRobin { weights } => {
@@ -287,52 +347,56 @@ impl Allocator {
                 // link) weights w_q / n_{q,l}: each backlogged queue
                 // receives its w_q share of the link, split max-min
                 // among its flows.
-                let slots = weights.len() * self.num_links;
-                if self.counts.len() < slots {
-                    self.counts.resize(slots, 0.0);
-                    self.counts_epoch.resize(slots, 0);
+                let slots = weights.len() * touched;
+                if counts.len() < slots {
+                    counts.resize(slots, 0.0);
                 }
+                used_slots.clear();
                 for i in 0..n {
-                    if demands.path(i).is_empty() {
-                        continue;
-                    }
-                    let q = demands.queue(i);
-                    for l in demands.path(i) {
-                        let s = q * self.num_links + l.index();
-                        if self.counts_epoch[s] != self.call_epoch {
-                            self.counts[s] = 0.0;
-                            self.counts_epoch[s] = self.call_epoch;
+                    let (s, len) = spans[i];
+                    let q = queues[i] as usize;
+                    for &dli in &dense_paths[s as usize..(s + len) as usize] {
+                        let slot = q * touched + dli as usize;
+                        if counts[slot] == 0.0 {
+                            used_slots.push(slot);
                         }
-                        self.counts[s] += 1.0;
+                        counts[slot] += 1.0;
                     }
                 }
-                let mut idx = std::mem::take(&mut self.idx);
+                // Turn the counts into the per-(queue, link) weights
+                // w_q / n_{q,l} in place: the waterfill evaluates weights
+                // many times per link, so dividing once here replaces a
+                // division per evaluation with a load (same operands,
+                // bit-identical result).
+                for &slot in used_slots.iter() {
+                    counts[slot] = weights[slot / touched] / counts[slot];
+                }
                 idx.clear();
-                idx.extend(
-                    (0..n)
-                        .filter(|&i| !demands.path(i).is_empty())
-                        .map(|i| i as u32),
-                );
+                idx.extend((0..n).filter(|&i| spans[i].1 > 0).map(|i| i as u32));
                 if !idx.is_empty() {
-                    self.epoch += 1;
-                    let counts = &self.counts;
-                    let nl = self.num_links;
+                    *epoch += 1;
+                    let counts_ro = &*counts;
+                    let queues = &*queues;
                     waterfill(
-                        demands,
-                        &idx,
-                        |i: usize, li: usize| {
-                            weights[demands.queue(i)] / counts[demands.queue(i) * nl + li]
-                        },
-                        &capacity,
-                        self.call_epoch,
-                        self.epoch,
-                        &mut self.links,
-                        &mut self.heap,
-                        &mut self.frozen_epoch,
+                        spans,
+                        dense_paths,
+                        idx,
+                        |i: usize, li: usize| counts_ro[queues[i] as usize * touched + li],
+                        *epoch,
+                        resid,
+                        sum_w,
+                        sumw_epoch,
+                        share,
+                        pass_links,
+                        heap,
+                        frozen_epoch,
                         rates,
                     );
                 }
-                self.idx = idx;
+                // Restore the all-zero invariant for the next call.
+                for &slot in used_slots.iter() {
+                    counts[slot] = 0.0;
+                }
             }
         }
     }
@@ -367,12 +431,14 @@ pub fn allocate(
     rates
 }
 
-/// One weighted water-filling pass over the demand subset `idx`.
+/// One weighted water-filling pass over the demand subset `idx`,
+/// against dense per-call link state (`resid`/`sum_w` are indexed by the
+/// remapped link ids stored in `dense_paths`).
 ///
-/// `links.resid` carries residual link capacities across passes (SPQ
-/// calls this once per priority class; the call-epoch stamp initializes
-/// each link from `capacity` on first touch). Frozen flows' consumption
-/// is subtracted from every link on their paths.
+/// `resid` carries residual link capacities across passes (SPQ calls
+/// this once per priority class; [`Allocator::allocate_into`] seeds each
+/// touched link from `capacity` when remapping). Frozen flows'
+/// consumption is subtracted from every link on their paths.
 ///
 /// The freeze criterion is flow-centric: a flow's candidate rate is
 /// `min over its links of w(f, l) * share(l)`, and the globally minimal
@@ -384,38 +450,50 @@ pub fn allocate(
 /// flow's path at freeze time, so shares are non-decreasing and no link
 /// is ever oversubscribed.
 #[allow(clippy::too_many_arguments)]
-fn waterfill<D: Demands + ?Sized>(
-    demands: &D,
+fn waterfill(
+    spans: &[(u32, u32)],
+    dense_paths: &[u32],
     idx: &[u32],
     weight: impl Fn(usize, usize) -> f64,
-    capacity: &impl Fn(LinkId) -> f64,
-    call_epoch: u64,
     pass_epoch: u64,
-    links: &mut LinkScratch,
+    resid: &mut [f64],
+    sum_w: &mut [f64],
+    sumw_epoch: &mut [u64],
+    share: &mut [f64],
+    pass_links: &mut Vec<u32>,
     heap: &mut BinaryHeap<Candidate>,
     frozen_epoch: &mut [u64],
     rates: &mut [f64],
 ) {
+    let path = |f: usize| {
+        let (s, len) = spans[f];
+        &dense_paths[s as usize..(s + len) as usize]
+    };
+    pass_links.clear();
     for &fi in idx {
         let f = fi as usize;
-        for l in demands.path(f) {
-            let li = l.index();
-            if links.resid_epoch[li] != call_epoch {
-                links.resid[li] = capacity(*l);
-                links.resid_epoch[li] = call_epoch;
+        for &dli in path(f) {
+            let li = dli as usize;
+            if sumw_epoch[li] != pass_epoch {
+                sum_w[li] = 0.0;
+                sumw_epoch[li] = pass_epoch;
+                pass_links.push(dli);
             }
-            if links.sumw_epoch[li] != pass_epoch {
-                links.sum_w[li] = 0.0;
-                links.sumw_epoch[li] = pass_epoch;
-            }
-            links.sum_w[li] += weight(f, li);
+            sum_w[li] += weight(f, li);
         }
     }
-    let candidate_rate = |links: &LinkScratch, f: usize| -> f64 {
-        demands
-            .path(f)
+    // Cache each touched link's fair share. Candidate evaluation is the
+    // hot loop (many evaluations per link), so replacing the division
+    // with a load pays; the cache is refreshed whenever a freeze changes
+    // a link, keeping every read bit-identical to computing on the fly.
+    for &dli in pass_links.iter() {
+        let li = dli as usize;
+        share[li] = link_share(resid[li], sum_w[li]);
+    }
+    let candidate_rate = |share: &[f64], f: usize| -> f64 {
+        path(f)
             .iter()
-            .map(|l| weight(f, l.index()) * links.share(l.index()))
+            .map(|&dli| weight(f, dli as usize) * share[dli as usize])
             .fold(f64::INFINITY, f64::min)
     };
     // Rebuild the heap by heapify (as `collect` would) into the retained
@@ -423,7 +501,7 @@ fn waterfill<D: Demands + ?Sized>(
     let mut buf = std::mem::take(heap).into_vec();
     buf.clear();
     buf.extend(idx.iter().map(|&fi| Candidate {
-        rate: candidate_rate(links, fi as usize),
+        rate: candidate_rate(share, fi as usize),
         flow: fi,
     }));
     *heap = BinaryHeap::from(buf);
@@ -437,7 +515,7 @@ fn waterfill<D: Demands + ?Sized>(
         // heap is empty this candidate is the last unfrozen flow and the
         // freshly recomputed value *is* its final rate — the flow always
         // freezes at `fresh`, never at the stale entry value.
-        let fresh = candidate_rate(links, f);
+        let fresh = candidate_rate(share, f);
         if let Some(top) = heap.peek() {
             if fresh > top.rate + EPS && fresh > cand.rate + EPS {
                 heap.push(Candidate {
@@ -454,11 +532,22 @@ fn waterfill<D: Demands + ?Sized>(
             0.0
         };
         rates[f] = rate;
-        for l in demands.path(f) {
-            let li = l.index();
-            links.resid[li] = (links.resid[li] - rate).max(0.0);
-            links.sum_w[li] = (links.sum_w[li] - weight(f, li)).max(0.0);
+        for &dli in path(f) {
+            let li = dli as usize;
+            resid[li] = (resid[li] - rate).max(0.0);
+            sum_w[li] = (sum_w[li] - weight(f, li)).max(0.0);
+            share[li] = link_share(resid[li], sum_w[li]);
         }
+    }
+}
+
+/// Fair share of one link: residual capacity split over the remaining
+/// weight, `INFINITY` when (effectively) no weight remains.
+fn link_share(resid: f64, sum_w: f64) -> f64 {
+    if sum_w <= EPS {
+        f64::INFINITY
+    } else {
+        (resid / sum_w).max(0.0)
     }
 }
 

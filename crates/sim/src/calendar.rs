@@ -1,0 +1,252 @@
+//! A bucketed calendar queue (Brown, CACM 1988) for the event loop.
+//!
+//! The simulator's pending events are spread over `nbuckets` buckets by
+//! the *virtual window* of their timestamp, `window(t) = ⌊t / width⌋`:
+//! window `w` maps to bucket `w % nbuckets`, and a cursor walks the
+//! windows in order. Pushes insert into one short sorted bucket and pops
+//! take the tail of the cursor's bucket, so both are O(1) amortized —
+//! versus `O(log n)` for a binary heap — while preserving the exact
+//! `(time, seq)` total order the heap produces: within a window all
+//! events share one bucket and are kept sorted, and windows are visited
+//! in order. The queue grows (doubling the bucket count and
+//! re-estimating the window width from the live event span) when
+//! occupancy exceeds two events per bucket.
+//!
+//! Determinism: `window` is a pure function of the timestamp and the
+//! current width, both identical across runs, so bucket placement and
+//! pop order are reproducible. Pop order is *bit-for-bit* the order a
+//! `BinaryHeap<Event>` min-heap on `(time, seq)` yields, which the
+//! `event_queue_equivalence` property test pins down against
+//! [`crate::runtime::SimConfig::force_binary_heap_events`].
+
+use crate::runtime::Event;
+
+/// Initial bucket count; doubled whenever `len > 2 * nbuckets`.
+const INITIAL_BUCKETS: usize = 16;
+/// Initial window width in seconds, replaced by a span-derived estimate
+/// at the first resize.
+const INITIAL_WIDTH: f64 = 1e-3;
+
+/// O(1)-amortized event queue; see the module docs.
+#[derive(Debug)]
+pub(crate) struct CalendarQueue {
+    /// Each bucket is sorted *descending* by `(time, seq)` so the bucket
+    /// minimum pops from the tail in O(1).
+    buckets: Vec<Vec<Event>>,
+    len: usize,
+    width: f64,
+    /// Next virtual window to visit. Invariant: no stored event has
+    /// `window(time) < cursor`.
+    cursor: u64,
+}
+
+impl CalendarQueue {
+    pub(crate) fn new() -> Self {
+        Self {
+            buckets: (0..INITIAL_BUCKETS).map(|_| Vec::new()).collect(),
+            len: 0,
+            width: INITIAL_WIDTH,
+            cursor: 0,
+        }
+    }
+
+    #[cfg(test)]
+    pub(crate) fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Virtual window of timestamp `t` under the current width. The cast
+    /// saturates for huge quotients, which only merges far-future events
+    /// into one window — ordering within a window is still exact.
+    fn window(&self, t: f64) -> u64 {
+        (t / self.width) as u64
+    }
+
+    pub(crate) fn push(&mut self, ev: Event) {
+        let w = self.window(ev.time);
+        if self.len == 0 {
+            self.cursor = w;
+        } else {
+            self.cursor = self.cursor.min(w);
+        }
+        let n = self.buckets.len();
+        let bucket = &mut self.buckets[(w % n as u64) as usize];
+        // Descending insert position: everything strictly greater stays
+        // in front of the new event.
+        let at = bucket.partition_point(|e| (e.time, e.seq) > (ev.time, ev.seq));
+        bucket.insert(at, ev);
+        self.len += 1;
+        if self.len > 2 * n {
+            self.resize(2 * n);
+        }
+    }
+
+    pub(crate) fn pop(&mut self) -> Option<Event> {
+        if self.len == 0 {
+            return None;
+        }
+        let n = self.buckets.len();
+        // Walk windows from the cursor; all events of window `w` live in
+        // bucket `w % n`, sorted, so the tail either belongs to the
+        // current window (it is then the global minimum) or the window is
+        // empty and the cursor may advance.
+        for _ in 0..n {
+            let b = (self.cursor % n as u64) as usize;
+            if let Some(tail) = self.buckets[b].last() {
+                if self.window(tail.time) == self.cursor {
+                    self.len -= 1;
+                    return self.buckets[b].pop();
+                }
+            }
+            self.cursor += 1;
+        }
+        // A full lap hit nothing: the next event is more than `n` windows
+        // away (sparse tail, e.g. a far-future recovery). Find the global
+        // minimum directly among the bucket tails and jump the cursor.
+        let b = (0..n)
+            .filter(|&b| !self.buckets[b].is_empty())
+            .min_by(|&a, &b| {
+                let ea = self.buckets[a].last().expect("non-empty");
+                let eb = self.buckets[b].last().expect("non-empty");
+                (ea.time, ea.seq)
+                    .partial_cmp(&(eb.time, eb.seq))
+                    .expect("event times are finite")
+            })
+            .expect("len > 0 means some bucket is non-empty");
+        let ev = self.buckets[b].pop().expect("chosen bucket is non-empty");
+        self.cursor = self.window(ev.time);
+        self.len -= 1;
+        Some(ev)
+    }
+
+    /// Whether any pending event satisfies `f` (used by the stranded-flow
+    /// check, mirroring `BinaryHeap::iter().any`).
+    pub(crate) fn any(&self, f: impl FnMut(&Event) -> bool) -> bool {
+        self.buckets.iter().flatten().any(f)
+    }
+
+    fn resize(&mut self, new_n: usize) {
+        let events: Vec<Event> = self.buckets.iter_mut().flat_map(std::mem::take).collect();
+        // Re-derive the width so a bucket covers ~half the mean event
+        // spacing; keep the old width when the span is degenerate.
+        let (mut lo, mut hi) = (f64::INFINITY, f64::NEG_INFINITY);
+        for e in &events {
+            lo = lo.min(e.time);
+            hi = hi.max(e.time);
+        }
+        let est = (hi - lo) / events.len() as f64 * 2.0;
+        if est.is_finite() && est > 0.0 {
+            self.width = est;
+        }
+        self.buckets = (0..new_n).map(|_| Vec::new()).collect();
+        let mut cursor = u64::MAX;
+        for e in events {
+            let w = self.window(e.time);
+            cursor = cursor.min(w);
+            self.buckets[(w % new_n as u64) as usize].push(e);
+        }
+        for bucket in &mut self.buckets {
+            bucket.sort_unstable_by(|a, b| {
+                (b.time, b.seq)
+                    .partial_cmp(&(a.time, a.seq))
+                    .expect("event times are finite")
+            });
+        }
+        self.cursor = cursor;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::runtime::EventKind;
+    use std::collections::BinaryHeap;
+
+    fn ev(time: f64, seq: u64) -> Event {
+        Event {
+            time,
+            seq,
+            kind: EventKind::Tick,
+        }
+    }
+
+    #[test]
+    fn pops_in_time_then_seq_order() {
+        let mut q = CalendarQueue::new();
+        for (t, s) in [(3.0, 0), (1.0, 1), (2.0, 2), (1.0, 3), (0.5, 4)] {
+            q.push(ev(t, s));
+        }
+        let order: Vec<(f64, u64)> =
+            std::iter::from_fn(|| q.pop().map(|e| (e.time, e.seq))).collect();
+        assert_eq!(
+            order,
+            vec![(0.5, 4), (1.0, 1), (1.0, 3), (2.0, 2), (3.0, 0)]
+        );
+        assert_eq!(q.len(), 0);
+    }
+
+    #[test]
+    fn interleaved_push_pop_matches_binary_heap() {
+        // Deterministic pseudo-random workload with far-future spikes and
+        // monotone "now" (events push at or after the last popped time),
+        // mirroring how the engine uses the queue.
+        let mut q = CalendarQueue::new();
+        let mut heap: BinaryHeap<Event> = BinaryHeap::new();
+        let mut state = 7u64;
+        let mut next = move || {
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            (state >> 33) as f64 / (1u64 << 31) as f64
+        };
+        let mut now = 0.0f64;
+        for round in 0..2000u64 {
+            let spike = if round % 97 == 0 { 1e6 } else { 0.0 };
+            let t = now + next() * 2.0 + spike;
+            q.push(ev(t, round));
+            heap.push(ev(t, round));
+            if round % 3 != 0 {
+                let a = q.pop().expect("same length");
+                let b = heap.pop().expect("same length");
+                assert_eq!((a.time, a.seq), (b.time, b.seq), "round {round}");
+                now = if spike == 0.0 { a.time } else { now };
+            }
+        }
+        while let Some(b) = heap.pop() {
+            let a = q.pop().expect("same length");
+            assert_eq!((a.time, a.seq), (b.time, b.seq));
+        }
+        assert!(q.pop().is_none());
+    }
+
+    #[test]
+    fn any_sees_all_pending_events() {
+        let mut q = CalendarQueue::new();
+        for s in 0..50 {
+            q.push(ev(s as f64 * 0.1, s));
+        }
+        assert!(q.any(|e| e.seq == 49));
+        assert!(!q.any(|e| e.seq == 50));
+    }
+
+    #[test]
+    fn resize_preserves_order_across_growth() {
+        let mut q = CalendarQueue::new();
+        // Push far more than 2 * INITIAL_BUCKETS to force several resizes.
+        for s in 0..500u64 {
+            q.push(ev(((s * 7919) % 1000) as f64 * 0.01, s));
+        }
+        let mut last = (f64::NEG_INFINITY, 0u64);
+        let mut count = 0;
+        while let Some(e) = q.pop() {
+            assert!(
+                (e.time, e.seq) > last,
+                "order violated at {:?}",
+                (e.time, e.seq)
+            );
+            last = (e.time, e.seq);
+            count += 1;
+        }
+        assert_eq!(count, 500);
+    }
+}

@@ -21,7 +21,7 @@
 //! Degradations never touch routing (ECMP stays oblivious, exactly like
 //! real unequal-capacity incidents); only hard failures do.
 
-use crate::topology::{Fabric, LinkId};
+use crate::topology::{Fabric, LinkId, PathArena, PathRef};
 use crate::SimError;
 use gurita_model::HostId;
 use serde::{Deserialize, Serialize};
@@ -149,6 +149,16 @@ impl<F: Fabric> Fabric for DegradedFabric<F> {
 
     fn path(&self, src: HostId, dst: HostId, salt: u64) -> Result<Vec<LinkId>, SimError> {
         self.inner.path(src, dst, salt)
+    }
+
+    fn path_ref(
+        &self,
+        src: HostId,
+        dst: HostId,
+        salt: u64,
+        arena: &mut PathArena,
+    ) -> Result<PathRef, SimError> {
+        self.inner.path_ref(src, dst, salt, arena)
     }
 }
 
@@ -374,8 +384,13 @@ impl FaultOverlay {
 
     /// Multiplier on the base capacity of link `l`: `0.0` when the link
     /// is hard-failed, its degradation factor when browned out, `1.0`
-    /// when healthy.
+    /// when healthy. The empty-overlay fast path matters: the engine
+    /// queries every touched link on every rate recomputation, and
+    /// healthy runs should not pay a hash lookup per query.
     pub fn scale(&self, l: LinkId) -> f64 {
+        if self.dead.is_empty() && self.factors.is_empty() {
+            return 1.0;
+        }
         if self.dead.contains(&l.index()) {
             0.0
         } else {
@@ -385,7 +400,7 @@ impl FaultOverlay {
 
     /// Whether link `l` is hard-failed.
     pub fn is_dead(&self, l: LinkId) -> bool {
-        self.dead.contains(&l.index())
+        !self.dead.is_empty() && self.dead.contains(&l.index())
     }
 
     /// Whether any link is hard-failed.
@@ -540,6 +555,73 @@ impl<F: Fabric> Fabric for MutableFabric<F> {
     fn path(&self, src: HostId, dst: HostId, salt: u64) -> Result<Vec<LinkId>, SimError> {
         self.inner.path(src, dst, salt)
     }
+
+    fn path_ref(
+        &self,
+        src: HostId,
+        dst: HostId,
+        salt: u64,
+        arena: &mut PathArena,
+    ) -> Result<PathRef, SimError> {
+        self.inner.path_ref(src, dst, salt, arena)
+    }
+}
+
+/// Salt for re-route `attempt` of a flow with natural salt `base`:
+/// attempt 0 is the flow's own path, later attempts perturb the salt
+/// with a splitmix64-style odd multiplier. The sequence is part of the
+/// simulator's determinism contract — both re-salt helpers and any A/B
+/// representation must walk it identically.
+fn resalt(base: u64, attempt: u64) -> u64 {
+    if attempt == 0 {
+        base
+    } else {
+        base ^ attempt.wrapping_mul(0x9E37_79B9_7F4A_7C15)
+    }
+}
+
+/// How many fresh salts [`resalt_live_path`] tries after the natural one.
+const RESALT_ATTEMPTS: u64 = 32;
+
+/// Looks for an ECMP path between `src` and `dst` avoiding every
+/// hard-failed link in `overlay`: the flow's natural salt (`base_salt`)
+/// first, then fresh re-salts. Returns `None` when all candidates are
+/// dead (e.g. the host's own NIC failed, or the fabric is
+/// salt-oblivious). The surviving path is interned into `arena`.
+pub fn resalt_live_path<F: Fabric + ?Sized>(
+    fabric: &F,
+    overlay: &FaultOverlay,
+    arena: &mut PathArena,
+    base_salt: u64,
+    src: HostId,
+    dst: HostId,
+) -> Result<Option<PathRef>, SimError> {
+    for attempt in 0..=RESALT_ATTEMPTS {
+        let p = fabric.path_ref(src, dst, resalt(base_salt, attempt), arena)?;
+        if !overlay.path_is_dead(arena.get(p)) {
+            return Ok(Some(p));
+        }
+    }
+    Ok(None)
+}
+
+/// Owned-path variant of [`resalt_live_path`], walking the exact same
+/// salt sequence through [`Fabric::path`]. Exists so equivalence tests
+/// can pin the two representations against each other.
+pub fn resalt_live_path_vec<F: Fabric + ?Sized>(
+    fabric: &F,
+    overlay: &FaultOverlay,
+    base_salt: u64,
+    src: HostId,
+    dst: HostId,
+) -> Result<Option<Vec<LinkId>>, SimError> {
+    for attempt in 0..=RESALT_ATTEMPTS {
+        let p = fabric.path(src, dst, resalt(base_salt, attempt))?;
+        if !overlay.path_is_dead(&p) {
+            return Ok(Some(p));
+        }
+    }
+    Ok(None)
 }
 
 #[cfg(test)]

@@ -64,6 +64,7 @@ pub mod stats;
 pub mod thresholds;
 pub mod topology;
 
+mod calendar;
 mod error;
 
 pub use error::SimError;

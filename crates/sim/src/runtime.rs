@@ -20,11 +20,12 @@
 //! only to flows that start later.
 
 use crate::bandwidth::{Allocator, Demands, Discipline};
+use crate::calendar::CalendarQueue;
 use crate::control::{Centralized, ControlInput, ControlPlane, LocalObservation};
-use crate::faults::{FaultOverlay, FaultSchedule, TimedFault};
+use crate::faults::{resalt_live_path, FaultOverlay, FaultSchedule, TimedFault};
 use crate::sched::{CoflowObs, FlowObs, JobObs, Observation, Oracle, QueuePolicy, Scheduler};
 use crate::stats::{CoflowResult, FaultRecord, JobResult, RunResult};
-use crate::topology::{Fabric, LinkId};
+use crate::topology::{Fabric, LinkId, PathArena, PathRef};
 use crate::SimError;
 use gurita_model::{CoflowId, FlowId, HostId, JobId, JobSpec};
 use std::cmp::Ordering;
@@ -65,6 +66,13 @@ pub struct SimConfig {
     /// traffic — result-identical to the centralized adapter for ported
     /// schemes. Ignored by [`crate::control::Centralized`].
     pub control_latency: f64,
+    /// Use the classic `BinaryHeap` event queue instead of the bucketed
+    /// calendar queue. Off by default; the calendar queue pops events in
+    /// the exact `(time, seq)` order the heap does, so results are
+    /// bit-for-bit identical either way — this knob exists as a safety
+    /// valve and as the reference behavior for the equivalence property
+    /// tests, mirroring [`SimConfig::force_full_recompute`].
+    pub force_binary_heap_events: bool,
 }
 
 impl Default for SimConfig {
@@ -76,12 +84,13 @@ impl Default for SimConfig {
             collect_link_stats: false,
             force_full_recompute: false,
             control_latency: 0.0,
+            force_binary_heap_events: false,
         }
     }
 }
 
 #[derive(Debug, Clone, Copy, PartialEq)]
-enum EventKind {
+pub(crate) enum EventKind {
     JobArrival(JobId),
     Tick,
     Completion {
@@ -99,10 +108,10 @@ enum EventKind {
 }
 
 #[derive(Debug)]
-struct Event {
-    time: f64,
-    seq: u64,
-    kind: EventKind,
+pub(crate) struct Event {
+    pub(crate) time: f64,
+    pub(crate) seq: u64,
+    pub(crate) kind: EventKind,
 }
 
 impl PartialEq for Event {
@@ -127,13 +136,55 @@ impl Ord for Event {
     }
 }
 
+/// The pending-event set: a bucketed [`CalendarQueue`] by default (O(1)
+/// amortized), or the classic binary heap when
+/// [`SimConfig::force_binary_heap_events`] is set. Both pop in the exact
+/// same `(time, seq)` order.
+#[derive(Debug)]
+enum EventQueue {
+    Heap(BinaryHeap<Event>),
+    Calendar(CalendarQueue),
+}
+
+impl EventQueue {
+    fn new(force_heap: bool) -> Self {
+        if force_heap {
+            EventQueue::Heap(BinaryHeap::new())
+        } else {
+            EventQueue::Calendar(CalendarQueue::new())
+        }
+    }
+
+    fn push(&mut self, ev: Event) {
+        match self {
+            EventQueue::Heap(h) => h.push(ev),
+            EventQueue::Calendar(c) => c.push(ev),
+        }
+    }
+
+    fn pop(&mut self) -> Option<Event> {
+        match self {
+            EventQueue::Heap(h) => h.pop(),
+            EventQueue::Calendar(c) => c.pop(),
+        }
+    }
+
+    fn any(&self, mut f: impl FnMut(&Event) -> bool) -> bool {
+        match self {
+            EventQueue::Heap(h) => h.iter().any(&mut f),
+            EventQueue::Calendar(c) => c.any(f),
+        }
+    }
+}
+
 #[derive(Debug)]
 struct FlowState {
     id: FlowId,
     coflow: CoflowId,
     src: HostId,
     dst: HostId,
-    path: Vec<LinkId>,
+    /// Interned route; resolve against the engine's [`PathArena`].
+    path: PathRef,
     size: f64,
     remaining: f64,
     queue: usize,
@@ -178,10 +229,13 @@ impl PartialOrd for FinishCand {
 impl Ord for FinishCand {
     fn cmp(&self, other: &Self) -> Ordering {
         // Min-heap on (time, flow id) for deterministic tie order.
+        // Finish times are non-negative and never NaN (`now +
+        // remaining / rate` with `rate > 0`), so `total_cmp` — a
+        // branch-free integer comparison — matches `partial_cmp`'s
+        // numeric order exactly.
         other
             .time
-            .partial_cmp(&self.time)
-            .unwrap_or(Ordering::Equal)
+            .total_cmp(&self.time)
             .then_with(|| other.flow.index().cmp(&self.flow.index()))
             .then_with(|| other.stamp.cmp(&self.stamp))
     }
@@ -225,6 +279,7 @@ impl DirtyRates {
 struct FlowDemandView<'a> {
     flows: &'a [FlowState],
     subset: &'a [usize],
+    arena: &'a PathArena,
 }
 
 impl Demands for FlowDemandView<'_> {
@@ -232,7 +287,7 @@ impl Demands for FlowDemandView<'_> {
         self.subset.len()
     }
     fn path(&self, i: usize) -> &[LinkId] {
-        &self.flows[self.subset[i]].path
+        self.arena.get(self.flows[self.subset[i]].path)
     }
     fn queue(&self, i: usize) -> usize {
         self.flows[self.subset[i]].queue
@@ -437,19 +492,63 @@ impl<F: Fabric> Simulation<F> {
     }
 }
 
+/// Dense flow-id → flow-table position map. Flow ids are handed out
+/// densely by `Engine::next_flow_id`, so indexed slots beat a hash map
+/// on the hot lookups (completion validation, dirty-component walks,
+/// finish-heap compaction); `NONE` marks finished or unindexed ids.
+#[derive(Debug, Default)]
+struct FlowPosMap {
+    slots: Vec<u32>,
+}
+
+impl FlowPosMap {
+    const NONE: u32 = u32::MAX;
+
+    fn get(&self, fid: FlowId) -> Option<usize> {
+        match self.slots.get(fid.index()) {
+            Some(&p) if p != Self::NONE => Some(p as usize),
+            _ => None,
+        }
+    }
+
+    fn insert(&mut self, fid: FlowId, pos: usize) {
+        let i = fid.index();
+        if i >= self.slots.len() {
+            self.slots.resize(i + 1, Self::NONE);
+        }
+        self.slots[i] = u32::try_from(pos).expect("flow table fits u32 positions");
+    }
+
+    fn remove(&mut self, fid: FlowId) -> Option<usize> {
+        match self.slots.get_mut(fid.index()) {
+            Some(p) if *p != Self::NONE => {
+                let old = *p as usize;
+                *p = Self::NONE;
+                Some(old)
+            }
+            _ => None,
+        }
+    }
+}
+
 struct Engine<'a, F: Fabric> {
     fabric: &'a F,
     config: &'a SimConfig,
     plane: &'a mut dyn ControlPlane,
     specs: HashMap<JobId, JobSpec>,
 
-    heap: BinaryHeap<Event>,
+    queue: EventQueue,
     seq: u64,
     now: f64,
     events: u64,
 
+    /// Shared interned path storage; every `FlowState::path` resolves
+    /// here. ECMP on a fat-tree yields few distinct routes, so the arena
+    /// stays small while flows come and go.
+    arena: PathArena,
+
     flows: Vec<FlowState>,
-    flow_pos: HashMap<FlowId, usize>,
+    flow_pos: FlowPosMap,
     next_flow_id: usize,
     next_coflow_id: usize,
 
@@ -502,12 +601,12 @@ impl<'a, F: Fabric> Engine<'a, F> {
         plane: &'a mut dyn ControlPlane,
         faults: &FaultSchedule,
     ) -> Self {
-        let mut heap = BinaryHeap::new();
+        let mut queue = EventQueue::new(config.force_binary_heap_events);
         let mut seq = 0u64;
         let remaining_jobs = jobs.len();
         let mut specs = HashMap::with_capacity(jobs.len());
         for job in jobs {
-            heap.push(Event {
+            queue.push(Event {
                 time: job.arrival(),
                 seq,
                 kind: EventKind::JobArrival(job.id()),
@@ -517,7 +616,7 @@ impl<'a, F: Fabric> Engine<'a, F> {
         }
         let fault_schedule = faults.events().to_vec();
         for (index, tf) in fault_schedule.iter().enumerate() {
-            heap.push(Event {
+            queue.push(Event {
                 time: tf.at,
                 seq,
                 kind: EventKind::Fault { index },
@@ -530,12 +629,13 @@ impl<'a, F: Fabric> Engine<'a, F> {
             config,
             plane,
             specs,
-            heap,
+            queue,
             seq,
             now: 0.0,
             events: 0,
+            arena: PathArena::new(),
             flows: Vec::new(),
-            flow_pos: HashMap::new(),
+            flow_pos: FlowPosMap::default(),
             next_flow_id: 0,
             next_coflow_id: 0,
             coflows: HashMap::new(),
@@ -567,7 +667,7 @@ impl<'a, F: Fabric> Engine<'a, F> {
     }
 
     fn run(mut self) -> Result<RunResult, SimError> {
-        while let Some(ev) = self.heap.pop() {
+        while let Some(ev) = self.queue.pop() {
             self.events += 1;
             if self.events > self.config.max_events {
                 return Err(SimError::EventBudgetExhausted {
@@ -606,6 +706,9 @@ impl<'a, F: Fabric> Engine<'a, F> {
         }
         self.result.makespan = self.now;
         self.result.events = self.events;
+        self.result.path_arena_unique = self.arena.unique_paths();
+        self.result.path_arena_interns = self.arena.interns();
+        self.result.path_arena_hit_rate = self.arena.hit_rate();
         if self.config.collect_link_stats {
             let mut v: Vec<(usize, f64)> = self.link_bytes.drain().collect();
             v.sort_by(|a, b| b.1.partial_cmp(&a.1).expect("byte counts are finite"));
@@ -617,12 +720,13 @@ impl<'a, F: Fabric> Engine<'a, F> {
     fn advance_to(&mut self, t: f64) {
         let dt = t - self.now;
         if dt > 0.0 {
+            let arena = &self.arena;
             for f in &mut self.flows {
                 if f.rate > 0.0 && f.rate.is_finite() {
                     let moved = (f.rate * dt).min(f.remaining);
                     f.remaining -= moved;
                     if self.config.collect_link_stats {
-                        for l in &f.path {
+                        for l in arena.get(f.path) {
                             *self.link_bytes.entry(l.index()).or_insert(0.0) += moved;
                         }
                     }
@@ -678,12 +782,31 @@ impl<'a, F: Fabric> Engine<'a, F> {
             // Route around hard-failed links; if every candidate path is
             // dead, the flow starts parked and waits for a recovery.
             let (path, parked) = if self.overlay.has_failures() {
-                match self.find_live_path(fid, fs.src, fs.dst)? {
+                match resalt_live_path(
+                    self.fabric,
+                    &self.overlay,
+                    &mut self.arena,
+                    fid.index() as u64,
+                    fs.src,
+                    fs.dst,
+                )? {
                     Some(p) => (p, false),
-                    None => (self.fabric.path(fs.src, fs.dst, fid.index() as u64)?, true),
+                    None => (
+                        self.fabric.path_ref(
+                            fs.src,
+                            fs.dst,
+                            fid.index() as u64,
+                            &mut self.arena,
+                        )?,
+                        true,
+                    ),
                 }
             } else {
-                (self.fabric.path(fs.src, fs.dst, fid.index() as u64)?, false)
+                (
+                    self.fabric
+                        .path_ref(fs.src, fs.dst, fid.index() as u64, &mut self.arena)?,
+                    false,
+                )
             };
             if parked {
                 self.result.flows_parked += 1;
@@ -715,9 +838,18 @@ impl<'a, F: Fabric> Engine<'a, F> {
             self.flow_pos.insert(fid, pos);
             self.flows.push(flow);
             if !parked {
-                self.dirty.mark_path(&self.flows[pos].path);
-                for l in &self.flows[pos].path {
-                    self.link_flows[l.index()].push(fid);
+                // One pass over the interned slice both seeds the dirty
+                // set and indexes the flow under its links.
+                let arena = &self.arena;
+                let dirty = &mut self.dirty;
+                let link_flows = &mut self.link_flows;
+                dirty.any = true;
+                for l in arena.get(path) {
+                    let li = l.index();
+                    if !dirty.full {
+                        dirty.links.push(li);
+                    }
+                    link_flows[li].push(fid);
                 }
             }
         }
@@ -763,28 +895,34 @@ impl<'a, F: Fabric> Engine<'a, F> {
     /// ECMP path (delivered bytes preserved); flows with no live
     /// candidate path park at zero rate.
     fn handle_link_failures(&mut self, rec: &mut FaultRecord) -> Result<(), SimError> {
-        let mut reroutes: Vec<(usize, Vec<LinkId>)> = Vec::new();
+        let mut reroutes: Vec<(usize, PathRef)> = Vec::new();
         let mut parks: Vec<usize> = Vec::new();
-        for (pos, f) in self.flows.iter().enumerate() {
-            if f.parked || !self.overlay.path_is_dead(&f.path) {
+        for pos in 0..self.flows.len() {
+            let f = &self.flows[pos];
+            if f.parked || !self.overlay.path_is_dead(self.arena.get(f.path)) {
                 continue;
             }
-            match self.find_live_path(f.id, f.src, f.dst)? {
+            let (fid, src, dst) = (f.id, f.src, f.dst);
+            match resalt_live_path(
+                self.fabric,
+                &self.overlay,
+                &mut self.arena,
+                fid.index() as u64,
+                src,
+                dst,
+            )? {
                 Some(path) => reroutes.push((pos, path)),
                 None => parks.push(pos),
             }
         }
         for (pos, path) in reroutes {
-            {
-                let f = &mut self.flows[pos];
-                self.dirty.mark_path(&f.path);
-                f.path = path;
-            }
-            self.dirty.mark_path(&self.flows[pos].path);
+            let old = self.flows[pos].path;
+            self.dirty.mark_path(self.arena.get(old));
+            self.flows[pos].path = path;
+            self.dirty.mark_path(self.arena.get(path));
             self.index_flow(pos, true);
-            let f = &mut self.flows[pos];
             rec.rerouted += 1;
-            let job = self.coflows[&f.coflow].job;
+            let job = self.coflows[&self.flows[pos].coflow].job;
             self.jobs_state
                 .get_mut(&job)
                 .expect("job active")
@@ -793,13 +931,15 @@ impl<'a, F: Fabric> Engine<'a, F> {
         for pos in parks {
             self.rate_stamp += 1;
             let stamp = self.rate_stamp;
+            let path = self.flows[pos].path;
+            self.dirty.mark_path(self.arena.get(path));
             let f = &mut self.flows[pos];
-            self.dirty.mark_path(&f.path);
             f.parked = true;
             f.rate = 0.0;
             f.stamp = stamp; // invalidate any completion-index entry
+            let coflow = f.coflow;
             rec.parked += 1;
-            let job = self.coflows[&f.coflow].job;
+            let job = self.coflows[&coflow].job;
             self.jobs_state
                 .get_mut(&job)
                 .expect("job active")
@@ -811,15 +951,26 @@ impl<'a, F: Fabric> Engine<'a, F> {
     /// Resumes parked flows whose stored path is live again, rerouting
     /// those whose path is still dead but now has a live alternative.
     fn handle_link_recoveries(&mut self, rec: &mut FaultRecord) -> Result<(), SimError> {
-        let mut resumes: Vec<(usize, Option<Vec<LinkId>>)> = Vec::new();
-        for (pos, f) in self.flows.iter().enumerate() {
+        let mut resumes: Vec<(usize, Option<PathRef>)> = Vec::new();
+        for pos in 0..self.flows.len() {
+            let f = &self.flows[pos];
             if !f.parked {
                 continue;
             }
-            if !self.overlay.path_is_dead(&f.path) {
+            if !self.overlay.path_is_dead(self.arena.get(f.path)) {
                 resumes.push((pos, None));
-            } else if let Some(path) = self.find_live_path(f.id, f.src, f.dst)? {
-                resumes.push((pos, Some(path)));
+            } else {
+                let (fid, src, dst) = (f.id, f.src, f.dst);
+                if let Some(path) = resalt_live_path(
+                    self.fabric,
+                    &self.overlay,
+                    &mut self.arena,
+                    fid.index() as u64,
+                    src,
+                    dst,
+                )? {
+                    resumes.push((pos, Some(path)));
+                }
             }
         }
         for (pos, new_path) in resumes {
@@ -830,7 +981,8 @@ impl<'a, F: Fabric> Engine<'a, F> {
                 if let Some(path) = new_path {
                     f.path = path;
                     rec.rerouted += 1;
-                    let job = self.coflows[&f.coflow].job;
+                    let coflow = f.coflow;
+                    let job = self.coflows[&coflow].job;
                     self.jobs_state
                         .get_mut(&job)
                         .expect("job active")
@@ -839,35 +991,11 @@ impl<'a, F: Fabric> Engine<'a, F> {
             }
             // The resumed flow (possibly on a new path) joins the
             // allocation again; its links seed the recomputation.
-            self.dirty.mark_path(&self.flows[pos].path);
+            let path = self.flows[pos].path;
+            self.dirty.mark_path(self.arena.get(path));
             self.index_flow(pos, true);
         }
         Ok(())
-    }
-
-    /// Looks for an ECMP path between `src` and `dst` avoiding every
-    /// hard-failed link: the flow's natural salt first, then fresh
-    /// re-salts. Returns `None` when all candidates are dead (e.g. the
-    /// host's own NIC failed, or the fabric is salt-oblivious).
-    fn find_live_path(
-        &self,
-        fid: FlowId,
-        src: HostId,
-        dst: HostId,
-    ) -> Result<Option<Vec<LinkId>>, SimError> {
-        let base = fid.index() as u64;
-        for attempt in 0..=32u64 {
-            let salt = if attempt == 0 {
-                base
-            } else {
-                base ^ attempt.wrapping_mul(0x9E37_79B9_7F4A_7C15)
-            };
-            let path = self.fabric.path(src, dst, salt)?;
-            if !self.overlay.path_is_dead(&path) {
-                return Ok(Some(path));
-            }
-        }
-        Ok(None)
     }
 
     /// Detects the unrecoverable state where every in-flight flow is
@@ -881,8 +1009,7 @@ impl<'a, F: Fabric> Engine<'a, F> {
             return Ok(());
         }
         let can_change = self
-            .heap
-            .iter()
+            .queue
             .any(|e| matches!(e.kind, EventKind::JobArrival(_) | EventKind::Fault { .. }));
         if can_change {
             Ok(())
@@ -917,13 +1044,13 @@ impl<'a, F: Fabric> Engine<'a, F> {
             completed_flow_ids.sort_unstable();
             let mut completed_coflows: Vec<CoflowId> = empty_coflows;
             for fid in completed_flow_ids {
-                let pos = self.flow_pos.remove(&fid).expect("flow indexed");
+                let pos = self.flow_pos.remove(fid).expect("flow indexed");
                 let flow = self.flows.swap_remove(pos);
                 if let Some(moved) = self.flows.get(pos) {
                     self.flow_pos.insert(moved.id, pos);
                 }
                 // Freed capacity redistributes across the flow's links.
-                self.dirty.mark_path(&flow.path);
+                self.dirty.mark_path(self.arena.get(flow.path));
                 let cf = self
                     .coflows
                     .get_mut(&flow.coflow)
@@ -1016,7 +1143,7 @@ impl<'a, F: Fabric> Engine<'a, F> {
             let mut max_flow = 0.0f64;
             for rec in &cf.flows {
                 let done = if rec.open {
-                    let pos = self.flow_pos[&rec.id];
+                    let pos = self.flow_pos.get(rec.id).expect("open flow indexed");
                     self.flows[pos].bytes_done()
                 } else {
                     rec.bytes_done
@@ -1080,7 +1207,7 @@ impl<'a, F: Fabric> Engine<'a, F> {
             let cf = &self.coflows[cid];
             for rec in &cf.flows {
                 let done = if rec.open {
-                    let pos = self.flow_pos[&rec.id];
+                    let pos = self.flow_pos.get(rec.id).expect("open flow indexed");
                     self.flows[pos].bytes_done()
                 } else {
                     rec.bytes_done
@@ -1159,12 +1286,9 @@ impl<'a, F: Fabric> Engine<'a, F> {
             })
         } else {
             let obs = self.build_observation();
-            let remaining = |fid: FlowId| {
-                self.flow_pos
-                    .get(&fid)
-                    .map(|&pos| self.flows[pos].remaining)
-            };
-            let flow_size = |fid: FlowId| self.flow_pos.get(&fid).map(|&pos| self.flows[pos].size);
+            let remaining =
+                |fid: FlowId| self.flow_pos.get(fid).map(|pos| self.flows[pos].remaining);
+            let flow_size = |fid: FlowId| self.flow_pos.get(fid).map(|pos| self.flows[pos].size);
             let oracle = Oracle::new(&self.specs, &remaining, &flow_size);
             self.plane.decide(ControlInput::Global {
                 obs: &obs,
@@ -1173,7 +1297,7 @@ impl<'a, F: Fabric> Engine<'a, F> {
         };
         self.apply_table(&output.assignments);
         if let Some(token) = output.schedule_update {
-            self.heap.push(Event {
+            self.queue.push(Event {
                 time: self.now + self.config.control_latency,
                 seq: self.seq,
                 kind: EventKind::ControlUpdate { token },
@@ -1199,7 +1323,7 @@ impl<'a, F: Fabric> Engine<'a, F> {
             };
             cf.queue = queue;
             for rec in cf.flows.iter().filter(|r| r.open) {
-                let pos = self.flow_pos[&rec.id];
+                let pos = self.flow_pos.get(rec.id).expect("open flow indexed");
                 let f = &mut self.flows[pos];
                 let new_queue = if f.fresh || relax {
                     queue
@@ -1208,13 +1332,17 @@ impl<'a, F: Fabric> Engine<'a, F> {
                     // promotions only affect flows started later.
                     f.queue.max(queue)
                 };
-                if new_queue != f.queue {
+                let changed = new_queue != f.queue;
+                if changed {
                     f.queue = new_queue;
-                    // A queue change only affects the allocation through
-                    // the flow's own links, so they suffice as seeds.
-                    self.dirty.mark_path(&f.path);
                 }
                 f.fresh = false;
+                let path = f.path;
+                if changed {
+                    // A queue change only affects the allocation through
+                    // the flow's own links, so they suffice as seeds.
+                    self.dirty.mark_path(self.arena.get(path));
+                }
             }
         }
     }
@@ -1224,9 +1352,11 @@ impl<'a, F: Fabric> Engine<'a, F> {
     /// rerouted path may share links with the stale entry's old path).
     fn index_flow(&mut self, pos: usize, dedup: bool) {
         let fid = self.flows[pos].id;
-        for i in 0..self.flows[pos].path.len() {
-            let li = self.flows[pos].path[i].index();
-            let list = &mut self.link_flows[li];
+        let path = self.flows[pos].path;
+        let arena = &self.arena;
+        let link_flows = &mut self.link_flows;
+        for l in arena.get(path) {
+            let list = &mut link_flows[l.index()];
             if !dedup || !list.contains(&fid) {
                 list.push(fid);
             }
@@ -1259,22 +1389,24 @@ impl<'a, F: Fabric> Engine<'a, F> {
             {
                 let flows = &self.flows;
                 let flow_pos = &self.flow_pos;
+                let arena = &self.arena;
                 let flow_mark = &mut self.flow_mark;
                 let link_mark = &mut self.link_mark;
                 let component = &mut self.component;
                 let bfs_stack = &mut self.bfs_stack;
                 list.retain(|fid| {
-                    let Some(&pos) = flow_pos.get(fid) else {
+                    let Some(pos) = flow_pos.get(*fid) else {
                         return false; // completed
                     };
                     let f = &flows[pos];
-                    if f.parked || !f.path.iter().any(|l| l.index() == li) {
+                    let path = arena.get(f.path);
+                    if f.parked || !path.iter().any(|l| l.index() == li) {
                         return false; // parked or rerouted away
                     }
                     if flow_mark[pos] != epoch {
                         flow_mark[pos] = epoch;
                         component.push(pos);
-                        for l in &f.path {
+                        for l in path {
                             let lj = l.index();
                             if link_mark[lj] != epoch {
                                 link_mark[lj] = epoch;
@@ -1300,8 +1432,8 @@ impl<'a, F: Fabric> Engine<'a, F> {
         let flow_pos = &self.flow_pos;
         buf.retain(|c| {
             flow_pos
-                .get(&c.flow)
-                .is_some_and(|&pos| flows[pos].stamp == c.stamp)
+                .get(c.flow)
+                .is_some_and(|pos| flows[pos].stamp == c.stamp)
         });
         self.finish_heap = BinaryHeap::from(buf);
     }
@@ -1368,6 +1500,7 @@ impl<'a, F: Fabric> Engine<'a, F> {
         let view = FlowDemandView {
             flows: &self.flows,
             subset: &self.component,
+            arena: &self.arena,
         };
         self.rate_buf.clear();
         self.rate_buf.resize(self.component.len(), 0.0);
@@ -1411,8 +1544,8 @@ impl<'a, F: Fabric> Engine<'a, F> {
         // under a nanosecond of accuracy.
         let mut t_next = f64::INFINITY;
         while let Some(top) = self.finish_heap.peek() {
-            match self.flow_pos.get(&top.flow) {
-                Some(&pos) if self.flows[pos].stamp == top.stamp => {
+            match self.flow_pos.get(top.flow) {
+                Some(pos) if self.flows[pos].stamp == top.stamp => {
                     let f = &self.flows[pos];
                     debug_assert!(f.rate > 1e-15);
                     t_next = self.now + f.remaining / f.rate;
@@ -1428,7 +1561,7 @@ impl<'a, F: Fabric> Engine<'a, F> {
             if t_next <= self.now + min_step {
                 t_next = self.now + min_step;
             }
-            self.heap.push(Event {
+            self.queue.push(Event {
                 time: t_next,
                 seq: self.seq,
                 kind: EventKind::Completion {
@@ -1439,7 +1572,7 @@ impl<'a, F: Fabric> Engine<'a, F> {
         }
         // Next tick, while anything is in flight.
         if !self.tick_pending && !self.flows.is_empty() {
-            self.heap.push(Event {
+            self.queue.push(Event {
                 time: self.now + self.config.tick_interval,
                 seq: self.seq,
                 kind: EventKind::Tick,

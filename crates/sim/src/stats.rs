@@ -107,6 +107,17 @@ pub struct RunResult {
     /// Total parked flows resumed by recoveries.
     #[serde(default)]
     pub flows_resumed: usize,
+    /// Distinct interned paths in the engine's path arena at end of run
+    /// (diagnostics; see `gurita_sim::topology::PathArena`).
+    #[serde(default)]
+    pub path_arena_unique: usize,
+    /// Total path-intern requests served over the run.
+    #[serde(default)]
+    pub path_arena_interns: u64,
+    /// Fraction of intern requests answered from the arena cache
+    /// (`1 - unique/interns`); 0 for runs with no interned paths.
+    #[serde(default)]
+    pub path_arena_hit_rate: f64,
 }
 
 impl RunResult {

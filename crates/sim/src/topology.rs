@@ -11,11 +11,16 @@
 //!   coflow literature for analysis.
 //!
 //! Both implement [`Fabric`], which the runtime uses to resolve a flow's
-//! endpoints into a sequence of directed, capacitated links.
+//! endpoints into a sequence of directed, capacitated links — either as
+//! an owned `Vec<LinkId>` ([`Fabric::path`]) or as a [`PathRef`] into a
+//! shared, deduplicated [`PathArena`] ([`Fabric::path_ref`], the
+//! large-fabric fast path: ECMP produces few distinct routes, so flows
+//! share interned slices instead of each carrying a heap allocation).
 
 use crate::SimError;
 use gurita_model::{units, HostId};
 use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
 
 /// Identifier of a directed link within a fabric.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
@@ -26,6 +31,144 @@ impl LinkId {
     #[inline]
     pub fn index(self) -> usize {
         self.0
+    }
+}
+
+/// Identifier of an interned path inside a [`PathArena`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct PathId(u32);
+
+impl PathId {
+    /// Raw arena index of the path.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// A cheap, copyable handle to an interned path: the arena id plus the
+/// path's hop count, so length/emptiness checks need no arena lookup.
+///
+/// Resolve the links with [`PathArena::get`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct PathRef {
+    id: PathId,
+    len: u32,
+}
+
+impl PathRef {
+    /// The interned path's arena id.
+    #[inline]
+    pub fn id(self) -> PathId {
+        self.id
+    }
+
+    /// Number of links on the path.
+    #[inline]
+    pub fn len(self) -> usize {
+        self.len as usize
+    }
+
+    /// Whether the path is empty (a host-local transfer).
+    #[inline]
+    pub fn is_empty(self) -> bool {
+        self.len == 0
+    }
+}
+
+/// Shared, deduplicated path storage.
+///
+/// ECMP routing on a k-pod fat-tree yields only `(k/2)²` distinct
+/// cross-pod link sequences per host pair (and far fewer per edge
+/// pair), so the flows of a large run collapse onto a compact set of
+/// interned slices instead of carrying one heap-allocated
+/// `Vec<LinkId>` each. Paths are stored concatenated in one contiguous
+/// buffer; [`PathRef`] handles are `Copy` and resolve via [`PathArena::get`].
+///
+/// The arena also counts intern requests and dedup hits so runs can
+/// report a hit rate (see `RunResult::path_arena_hit_rate`).
+#[derive(Debug, Default)]
+pub struct PathArena {
+    /// Concatenated link storage for every distinct path.
+    links: Vec<LinkId>,
+    /// `PathId` → `(start, len)` span into `links`.
+    spans: Vec<(u32, u32)>,
+    dedup: HashMap<Box<[LinkId]>, PathId>,
+    hits: u64,
+}
+
+impl PathArena {
+    /// An empty arena.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Interns `path`, returning the existing handle when an identical
+    /// link sequence was interned before.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the arena exceeds `u32::MAX` distinct paths or stored
+    /// links (unreachable for any simulated fabric).
+    pub fn intern(&mut self, path: &[LinkId]) -> PathRef {
+        if let Some(&id) = self.dedup.get(path) {
+            self.hits += 1;
+            return PathRef {
+                id,
+                len: self.spans[id.index()].1,
+            };
+        }
+        let id = PathId(u32::try_from(self.spans.len()).expect("path arena id overflow"));
+        let start = u32::try_from(self.links.len()).expect("path arena storage overflow");
+        let len = u32::try_from(path.len()).expect("path longer than u32::MAX links");
+        self.links.extend_from_slice(path);
+        self.spans.push((start, len));
+        self.dedup.insert(path.into(), id);
+        PathRef { id, len }
+    }
+
+    /// The links of an interned path, in hop order.
+    #[inline]
+    pub fn get(&self, r: PathRef) -> &[LinkId] {
+        self.resolve(r.id)
+    }
+
+    /// The links of the path with arena id `id`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` was not produced by this arena.
+    #[inline]
+    pub fn resolve(&self, id: PathId) -> &[LinkId] {
+        let (start, len) = self.spans[id.index()];
+        &self.links[start as usize..(start + len) as usize]
+    }
+
+    /// Number of distinct paths interned so far.
+    pub fn unique_paths(&self) -> usize {
+        self.spans.len()
+    }
+
+    /// Total intern requests served (hits plus first-time interns).
+    pub fn interns(&self) -> u64 {
+        self.hits + self.spans.len() as u64
+    }
+
+    /// Fraction of intern requests served by an existing path; 0 when
+    /// nothing was interned.
+    pub fn hit_rate(&self) -> f64 {
+        if self.interns() == 0 {
+            0.0
+        } else {
+            self.hits as f64 / self.interns() as f64
+        }
+    }
+
+    /// Approximate resident bytes of the interned storage (links plus
+    /// spans; excludes the dedup map).
+    pub fn storage_bytes(&self) -> usize {
+        self.links.len() * std::mem::size_of::<LinkId>()
+            + self.spans.len() * std::mem::size_of::<(u32, u32)>()
     }
 }
 
@@ -58,6 +201,29 @@ pub trait Fabric {
     /// Returns [`SimError::UnknownHost`] if either endpoint is out of
     /// range.
     fn path(&self, src: HostId, dst: HostId, salt: u64) -> Result<Vec<LinkId>, SimError>;
+
+    /// Interned variant of [`Fabric::path`]: resolves the same route and
+    /// stores it in `arena`, returning a copyable [`PathRef`] handle.
+    /// Must resolve (via [`PathArena::get`]) to exactly the slice
+    /// [`Fabric::path`] returns for the same `(src, dst, salt)` —
+    /// property-tested for the provided fabrics.
+    ///
+    /// The default delegates to [`Fabric::path`] and interns the result;
+    /// implementations should override it to skip the intermediate
+    /// allocation (both provided fabrics route into a stack buffer).
+    ///
+    /// # Errors
+    ///
+    /// Same as [`Fabric::path`].
+    fn path_ref(
+        &self,
+        src: HostId,
+        dst: HostId,
+        salt: u64,
+        arena: &mut PathArena,
+    ) -> Result<PathRef, SimError> {
+        Ok(arena.intern(&self.path(src, dst, salt)?))
+    }
 }
 
 /// Deterministic 64-bit mix (splitmix64 finalizer) used for ECMP hashing.
@@ -206,6 +372,49 @@ impl FatTree {
             Ok(h.index())
         }
     }
+
+    /// Routes `src → dst` into `buf` and returns the hop count (0, 2, 4
+    /// or 6). Shared by the allocating [`Fabric::path`] and the interned
+    /// [`Fabric::path_ref`] so both always agree.
+    fn fill_path(
+        &self,
+        src: HostId,
+        dst: HostId,
+        salt: u64,
+        buf: &mut [LinkId; 6],
+    ) -> Result<usize, SimError> {
+        let s = self.check_host(src)?;
+        let d = self.check_host(dst)?;
+        if s == d {
+            return Ok(0);
+        }
+        let (sp, se) = (self.pod_of(s), self.edge_of(s));
+        let (dp, de) = (self.pod_of(d), self.edge_of(d));
+        if self.global_edge_of(s) == self.global_edge_of(d) {
+            // Same edge switch: up and straight back down.
+            buf[0] = self.link_host_up(s);
+            buf[1] = self.link_host_down(d);
+            return Ok(2);
+        }
+        let h = mix64((s as u64) ^ (d as u64).rotate_left(21) ^ salt.rotate_left(42));
+        let agg = (h % self.half_k as u64) as usize;
+        if sp == dp {
+            // Intra-pod: bounce off one aggregation switch.
+            buf[0] = self.link_host_up(s);
+            buf[1] = self.link_edge_to_agg(sp, se, agg);
+            buf[2] = self.link_agg_to_edge(sp, de, agg);
+            buf[3] = self.link_host_down(d);
+            return Ok(4);
+        }
+        let core = ((h / self.half_k as u64) % self.half_k as u64) as usize;
+        buf[0] = self.link_host_up(s);
+        buf[1] = self.link_edge_to_agg(sp, se, agg);
+        buf[2] = self.link_agg_to_core(sp, agg, core);
+        buf[3] = self.link_core_to_agg(dp, agg, core);
+        buf[4] = self.link_agg_to_edge(dp, de, agg);
+        buf[5] = self.link_host_down(d);
+        Ok(6)
+    }
 }
 
 impl Fabric for FatTree {
@@ -227,37 +436,21 @@ impl Fabric for FatTree {
     }
 
     fn path(&self, src: HostId, dst: HostId, salt: u64) -> Result<Vec<LinkId>, SimError> {
-        let s = self.check_host(src)?;
-        let d = self.check_host(dst)?;
-        if s == d {
-            return Ok(Vec::new());
-        }
-        let (sp, se) = (self.pod_of(s), self.edge_of(s));
-        let (dp, de) = (self.pod_of(d), self.edge_of(d));
-        if self.global_edge_of(s) == self.global_edge_of(d) {
-            // Same edge switch: up and straight back down.
-            return Ok(vec![self.link_host_up(s), self.link_host_down(d)]);
-        }
-        let h = mix64((s as u64) ^ (d as u64).rotate_left(21) ^ salt.rotate_left(42));
-        let agg = (h % self.half_k as u64) as usize;
-        if sp == dp {
-            // Intra-pod: bounce off one aggregation switch.
-            return Ok(vec![
-                self.link_host_up(s),
-                self.link_edge_to_agg(sp, se, agg),
-                self.link_agg_to_edge(sp, de, agg),
-                self.link_host_down(d),
-            ]);
-        }
-        let core = ((h / self.half_k as u64) % self.half_k as u64) as usize;
-        Ok(vec![
-            self.link_host_up(s),
-            self.link_edge_to_agg(sp, se, agg),
-            self.link_agg_to_core(sp, agg, core),
-            self.link_core_to_agg(dp, agg, core),
-            self.link_agg_to_edge(dp, de, agg),
-            self.link_host_down(d),
-        ])
+        let mut buf = [LinkId(0); 6];
+        let n = self.fill_path(src, dst, salt, &mut buf)?;
+        Ok(buf[..n].to_vec())
+    }
+
+    fn path_ref(
+        &self,
+        src: HostId,
+        dst: HostId,
+        salt: u64,
+        arena: &mut PathArena,
+    ) -> Result<PathRef, SimError> {
+        let mut buf = [LinkId(0); 6];
+        let n = self.fill_path(src, dst, salt, &mut buf)?;
+        Ok(arena.intern(&buf[..n]))
     }
 }
 
@@ -323,6 +516,27 @@ impl Fabric for BigSwitch {
             LinkId(src.index()),
             LinkId(self.num_hosts + dst.index()),
         ])
+    }
+
+    fn path_ref(
+        &self,
+        src: HostId,
+        dst: HostId,
+        _salt: u64,
+        arena: &mut PathArena,
+    ) -> Result<PathRef, SimError> {
+        for h in [src, dst] {
+            if h.index() >= self.num_hosts {
+                return Err(SimError::UnknownHost {
+                    host: h.index(),
+                    num_hosts: self.num_hosts,
+                });
+            }
+        }
+        if src == dst {
+            return Ok(arena.intern(&[]));
+        }
+        Ok(arena.intern(&[LinkId(src.index()), LinkId(self.num_hosts + dst.index())]))
     }
 }
 
@@ -455,5 +669,65 @@ mod tests {
         let b = mix64(2);
         assert_ne!(a, b);
         assert_ne!(a & 0xffff, b & 0xffff);
+    }
+
+    #[test]
+    fn arena_dedups_identical_paths() {
+        let mut arena = PathArena::new();
+        let a = arena.intern(&[LinkId(1), LinkId(2)]);
+        let b = arena.intern(&[LinkId(1), LinkId(2)]);
+        let c = arena.intern(&[LinkId(2), LinkId(1)]);
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+        assert_eq!(arena.unique_paths(), 2);
+        assert_eq!(arena.interns(), 3);
+        assert!((arena.hit_rate() - 1.0 / 3.0).abs() < 1e-12);
+        assert_eq!(arena.get(a), &[LinkId(1), LinkId(2)]);
+        assert_eq!(arena.resolve(c.id()), &[LinkId(2), LinkId(1)]);
+        assert!(arena.storage_bytes() > 0);
+    }
+
+    #[test]
+    fn arena_interns_empty_paths() {
+        let mut arena = PathArena::new();
+        let e1 = arena.intern(&[]);
+        let e2 = arena.intern(&[]);
+        assert_eq!(e1, e2);
+        assert!(e1.is_empty());
+        assert_eq!(e1.len(), 0);
+        assert!(arena.get(e1).is_empty());
+    }
+
+    #[test]
+    fn fat_tree_path_ref_matches_path() {
+        let f = FatTree::new(4).unwrap();
+        let mut arena = PathArena::new();
+        for s in 0..f.num_hosts() {
+            for d in 0..f.num_hosts() {
+                for salt in [0u64, 7, 4242] {
+                    let owned = f.path(HostId(s), HostId(d), salt).unwrap();
+                    let r = f.path_ref(HostId(s), HostId(d), salt, &mut arena).unwrap();
+                    assert_eq!(arena.get(r), owned.as_slice());
+                    assert_eq!(r.len(), owned.len());
+                }
+            }
+        }
+        // Far fewer distinct paths than (src, dst, salt) triples.
+        assert!(arena.unique_paths() < 3 * f.num_hosts() * f.num_hosts());
+        assert!(arena.hit_rate() > 0.0);
+    }
+
+    #[test]
+    fn big_switch_path_ref_matches_path() {
+        let b = BigSwitch::new(6, 1.0);
+        let mut arena = PathArena::new();
+        for s in 0..6 {
+            for d in 0..6 {
+                let owned = b.path(HostId(s), HostId(d), 3).unwrap();
+                let r = b.path_ref(HostId(s), HostId(d), 3, &mut arena).unwrap();
+                assert_eq!(arena.get(r), owned.as_slice());
+            }
+        }
+        assert!(b.path_ref(HostId(0), HostId(9), 0, &mut arena).is_err());
     }
 }

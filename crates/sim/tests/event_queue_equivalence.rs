@@ -1,0 +1,189 @@
+//! Property test: the calendar event queue must be *bit-for-bit*
+//! interchangeable with the binary heap it replaced.
+//!
+//! Both queues pop pending events in exactly `(time, seq)` order, so a
+//! run under the default calendar queue and the same run under
+//! `SimConfig::force_binary_heap_events` process identical event
+//! sequences and must produce `PartialEq`-identical [`RunResult`]s —
+//! including every completion time, fault record, and diagnostic
+//! counter. Scenarios draw random job mixes, inject mid-run faults
+//! (brownout, hard link failure with recovery, degradation), and run
+//! with a nonzero control latency so delayed-decision events interleave
+//! with ticks, completions, and faults in the queue.
+
+use gurita_model::{units::MB, CoflowSpec, FlowSpec, HostId, JobDag, JobSpec};
+use gurita_sim::faults::{FaultEvent, FaultSchedule};
+use gurita_sim::runtime::{SimConfig, Simulation};
+use gurita_sim::sched::{Assignment, FifoScheduler, Observation, Oracle, QueuePolicy, Scheduler};
+use gurita_sim::stats::RunResult;
+use gurita_sim::topology::{Fabric, FatTree, LinkId};
+use proptest::prelude::*;
+
+const PODS: usize = 4;
+const HOSTS: usize = 16; // k=4 fat-tree: k^3/4 hosts.
+
+/// Minimal WRR scheduler so runs exercise the weighted allocator path
+/// (mirrors the one in `incremental_equivalence`).
+struct WrrScheduler {
+    queues: usize,
+}
+
+impl Scheduler for WrrScheduler {
+    fn name(&self) -> String {
+        "wrr-test".to_owned()
+    }
+
+    fn num_queues(&self) -> usize {
+        self.queues
+    }
+
+    fn assign(&mut self, obs: &Observation, _oracle: &Oracle<'_>) -> Assignment {
+        obs.coflows
+            .iter()
+            .map(|c| (c.job.index() + c.dag_vertex) % self.queues)
+            .collect()
+    }
+
+    fn queue_policy(&mut self, _obs: &Observation) -> QueuePolicy {
+        QueuePolicy::Weighted(vec![8.0, 4.0, 2.0, 1.0])
+    }
+}
+
+/// One drawn job: arrival plus a chain of single-flow stages.
+type JobDraw = (f64, Vec<(usize, usize, f64)>);
+
+fn build_jobs(draws: &[JobDraw]) -> Vec<JobSpec> {
+    draws
+        .iter()
+        .enumerate()
+        .map(|(i, (arrival, flows))| {
+            let coflows: Vec<CoflowSpec> = flows
+                .iter()
+                .map(|&(src, dst, mb)| {
+                    let dst = if dst == src { (dst + 1) % HOSTS } else { dst };
+                    CoflowSpec::new(vec![FlowSpec::new(HostId(src), HostId(dst), mb * MB)])
+                })
+                .collect();
+            let dag = JobDag::chain(coflows.len()).expect("non-empty chain");
+            JobSpec::new(i, *arrival, coflows, dag).expect("valid job")
+        })
+        .collect()
+}
+
+/// Faults around `start`: brownout + hard NIC-link failure + degrade,
+/// all later recovered, so reroute/park/resume events land in the queue.
+fn build_faults(start: f64, factor: f64, host: usize) -> FaultSchedule {
+    let mut faults = FaultSchedule::new();
+    faults
+        .push(
+            start,
+            FaultEvent::BrownoutHost {
+                host: HostId(host),
+                factor,
+            },
+        )
+        .push(
+            start + 0.1,
+            FaultEvent::FailLink {
+                link: LinkId(HOSTS + host),
+            },
+        )
+        .push(
+            start + 0.3,
+            FaultEvent::DegradeLink {
+                link: LinkId((host + 1) % HOSTS),
+                factor,
+            },
+        )
+        .push(
+            start + 0.8,
+            FaultEvent::RecoverLink {
+                link: LinkId(HOSTS + host),
+            },
+        )
+        .push(start + 1.0, FaultEvent::RestoreHost { host: HostId(host) })
+        .push(
+            start + 1.3,
+            FaultEvent::RestoreLink {
+                link: LinkId((host + 1) % HOSTS),
+            },
+        );
+    faults
+}
+
+fn run_one(
+    jobs: &[JobSpec],
+    faults: &FaultSchedule,
+    wrr: bool,
+    control_latency: f64,
+    force_heap: bool,
+) -> RunResult {
+    let fabric = FatTree::new(PODS).expect("valid pod count");
+    assert_eq!(fabric.num_hosts(), HOSTS);
+    let mut sim = Simulation::new(
+        fabric,
+        SimConfig {
+            control_latency,
+            force_binary_heap_events: force_heap,
+            ..SimConfig::default()
+        },
+    );
+    if wrr {
+        sim.run_with_faults(jobs.to_vec(), &mut WrrScheduler { queues: 4 }, faults)
+    } else {
+        sim.run_with_faults(jobs.to_vec(), &mut FifoScheduler::new(4), faults)
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn calendar_matches_heap_with_faults_and_latency(
+        draws in prop::collection::vec(
+            (0.0f64..1.5, prop::collection::vec((0..HOSTS, 0..HOSTS, 0.2f64..4.0), 1..=3)),
+            2..=6,
+        ),
+        start in 0.1f64..2.0,
+        factor in 0.2f64..0.9,
+        host in 0..HOSTS,
+        latency in 0.0f64..0.02,
+    ) {
+        let jobs = build_jobs(&draws);
+        let faults = build_faults(start, factor, host);
+        let cal = run_one(&jobs, &faults, false, latency, false);
+        let heap = run_one(&jobs, &faults, false, latency, true);
+        prop_assert_eq!(cal, heap);
+    }
+
+    #[test]
+    fn calendar_matches_heap_under_wrr(
+        draws in prop::collection::vec(
+            (0.0f64..1.5, prop::collection::vec((0..HOSTS, 0..HOSTS, 0.2f64..4.0), 1..=3)),
+            2..=6,
+        ),
+        start in 0.1f64..2.0,
+        factor in 0.2f64..0.9,
+        host in 0..HOSTS,
+    ) {
+        let jobs = build_jobs(&draws);
+        let faults = build_faults(start, factor, host);
+        let cal = run_one(&jobs, &faults, true, 0.004, false);
+        let heap = run_one(&jobs, &faults, true, 0.004, true);
+        prop_assert_eq!(cal, heap);
+    }
+
+    #[test]
+    fn calendar_matches_heap_without_faults(
+        draws in prop::collection::vec(
+            (0.0f64..1.5, prop::collection::vec((0..HOSTS, 0..HOSTS, 0.2f64..4.0), 1..=3)),
+            2..=6,
+        ),
+    ) {
+        let jobs = build_jobs(&draws);
+        let faults = FaultSchedule::new();
+        let cal = run_one(&jobs, &faults, false, 0.0, false);
+        let heap = run_one(&jobs, &faults, false, 0.0, true);
+        prop_assert_eq!(cal, heap);
+    }
+}

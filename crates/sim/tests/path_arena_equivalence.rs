@@ -1,0 +1,128 @@
+//! Property test: interned path storage must be a pure representation
+//! change.
+//!
+//! [`Fabric::path_ref`] resolved through a [`PathArena`] must yield
+//! exactly the link slice the allocating [`Fabric::path`] returns, for
+//! random `(src, dst, salt)` triples on small (8-pod) and large
+//! (48-pod) fat-trees. And the fault re-salt reroute search must pick
+//! the *identical* detour (same salt attempt, same links) whether it
+//! walks interned paths (`resalt_live_path`) or owned vectors
+//! (`resalt_live_path_vec`) — pinning down that the arena fast path
+//! cannot change routing decisions.
+
+use gurita_model::HostId;
+use gurita_sim::faults::{resalt_live_path, resalt_live_path_vec, FaultEvent, FaultOverlay};
+use gurita_sim::topology::{Fabric, FatTree, PathArena};
+use proptest::prelude::*;
+
+/// Checks `path_ref` against `path` for one triple on one fabric.
+fn check_path_ref(fabric: &FatTree, arena: &mut PathArena, src: usize, dst: usize, salt: u64) {
+    let hosts = fabric.num_hosts();
+    let (src, dst) = (HostId(src % hosts), HostId(dst % hosts));
+    let owned = fabric.path(src, dst, salt).expect("hosts in range");
+    let interned = fabric
+        .path_ref(src, dst, salt, arena)
+        .expect("hosts in range");
+    assert_eq!(
+        arena.get(interned),
+        owned.as_slice(),
+        "arena slice diverged for ({src:?}, {dst:?}, salt {salt})"
+    );
+    assert_eq!(interned.len(), owned.len());
+    assert_eq!(interned.is_empty(), owned.is_empty());
+}
+
+/// Builds an overlay with a few failed host-facing links derived from
+/// the draw, so some ECMP choices are dead and re-salting must detour.
+fn overlay_with_failures(fabric: &FatTree, fails: &[usize]) -> FaultOverlay {
+    let hosts = fabric.num_hosts();
+    let mut overlay = FaultOverlay::new();
+    for &f in fails {
+        // Host NIC uplinks occupy the low link ids; failing one severs
+        // a specific host pair direction and forces detours elsewhere.
+        let link = gurita_sim::topology::LinkId(f % (2 * hosts));
+        overlay.apply(&FaultEvent::FailLink { link }, hosts);
+    }
+    overlay
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn path_ref_matches_path_on_8_pods(
+        triples in prop::collection::vec((0usize..10_000, 0usize..10_000, 0u64..u64::MAX), 1..=20),
+    ) {
+        let fabric = FatTree::new(8).expect("valid pod count");
+        let mut arena = PathArena::new();
+        for (src, dst, salt) in triples {
+            check_path_ref(&fabric, &mut arena, src, dst, salt);
+        }
+    }
+
+    #[test]
+    fn resalt_picks_identical_detours(
+        pairs in prop::collection::vec((0usize..10_000, 0usize..10_000, 0u64..u64::MAX), 1..=12),
+        fails in prop::collection::vec(0usize..10_000, 1..=8),
+    ) {
+        let fabric = FatTree::new(8).expect("valid pod count");
+        let hosts = fabric.num_hosts();
+        let overlay = overlay_with_failures(&fabric, &fails);
+        let mut arena = PathArena::new();
+        for (src, dst, salt) in pairs {
+            let (src, dst) = (HostId(src % hosts), HostId(dst % hosts));
+            let interned = resalt_live_path(&fabric, &overlay, &mut arena, salt, src, dst)
+                .expect("hosts in range");
+            let owned = resalt_live_path_vec(&fabric, &overlay, salt, src, dst)
+                .expect("hosts in range");
+            match (interned, owned) {
+                (Some(r), Some(v)) => prop_assert_eq!(
+                    arena.get(r),
+                    v.as_slice(),
+                    "detour diverged for ({:?}, {:?}, salt {})", src, dst, salt
+                ),
+                (None, None) => {}
+                (r, v) => prop_assert!(
+                    false,
+                    "liveness diverged for ({:?}, {:?}, salt {}): interned {:?} vs owned {:?}",
+                    src, dst, salt, r.map(|p| p.len()), v.map(|p| p.len())
+                ),
+            }
+        }
+    }
+}
+
+/// The 48-pod case is deterministic (no shrink iterations on a 27k-host
+/// fabric): a fixed spread of triples plus dedup accounting.
+#[test]
+fn path_ref_matches_path_on_48_pods() {
+    let fabric = FatTree::new(48).expect("valid pod count");
+    let hosts = fabric.num_hosts();
+    let mut arena = PathArena::new();
+    let mut salt = 0x243F_6A88_85A3_08D3u64; // deterministic mixer seed
+    for i in 0..200 {
+        salt = salt
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        let src = (salt >> 17) as usize % hosts;
+        let dst = (salt >> 41) as usize % hosts;
+        check_path_ref(&fabric, &mut arena, src, dst, salt ^ i);
+    }
+    // Re-interning the same triples must hit the arena cache, not grow it.
+    let unique = arena.unique_paths();
+    let mut salt2 = 0x243F_6A88_85A3_08D3u64;
+    for i in 0..200 {
+        salt2 = salt2
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        let src = (salt2 >> 17) as usize % hosts;
+        let dst = (salt2 >> 41) as usize % hosts;
+        check_path_ref(&fabric, &mut arena, src, dst, salt2 ^ i);
+    }
+    assert_eq!(
+        arena.unique_paths(),
+        unique,
+        "second pass must be cache hits"
+    );
+    assert!(arena.hit_rate() > 0.0);
+}

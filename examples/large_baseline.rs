@@ -1,0 +1,44 @@
+//! Quick 48-pod throughput probe: runs the large-fabric gate scenario
+//! (bursty FB-Tao under Gurita on the 27,648-host fat-tree, seed 42)
+//! once and prints events/sec, for fast interactive perf iteration.
+//!
+//! Usage: `cargo run --release --example large_baseline [jobs]`
+//! (default 40 jobs — the same configuration the `bench` binary records
+//! in `results/BENCH_sim.json` under `large`, which is the number that
+//! gates PRs; this example skips the warm-up run and A/B pass, so
+//! expect slightly noisier output).
+
+use gurita_experiments::roster::SchedulerKind;
+use gurita_experiments::scenario::Scenario;
+use gurita_workload::dags::StructureKind;
+use std::time::Instant;
+
+fn main() {
+    let jobs: usize = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(40);
+    let scenario = Scenario::bursty(StructureKind::FbTao, jobs, 48, 42);
+    let specs = scenario.jobs();
+    let flows: usize = specs
+        .iter()
+        .map(|j| {
+            (0..j.dag().num_vertices())
+                .map(|v| j.coflow(v).width())
+                .sum::<usize>()
+        })
+        .sum();
+    eprintln!("jobs={} flows={}", specs.len(), flows);
+    let start = Instant::now();
+    let result = scenario.run(SchedulerKind::Gurita);
+    let elapsed = start.elapsed().as_secs_f64();
+    println!(
+        "events={} elapsed={:.3}s events/sec={:.0} completed_jobs={} arena_unique={} arena_hit_rate={:.3}",
+        result.events,
+        elapsed,
+        result.events as f64 / elapsed,
+        result.jobs.len(),
+        result.path_arena_unique,
+        result.path_arena_hit_rate
+    );
+}

@@ -1,17 +1,35 @@
 #!/bin/sh
 # Regenerates every paper artifact at the default reproduction scale and
-# collects the outputs under results/.
+# collects the outputs under results/. Each phase logs its wall time so
+# slowdowns are attributable to a specific artifact; the summary lands
+# in results/phase_times.txt.
 set -e
 cd "$(dirname "$0")"
 BIN=./target/release
 mkdir -p results
-$BIN/motivation                  | tee results/motivation_console.txt
-$BIN/fig5 --jobs 120             | tee results/fig5_console.txt
-$BIN/fig6 --jobs 120             | tee results/fig6_console.txt
-$BIN/fig7 --jobs 30              | tee results/fig7_console.txt
-$BIN/fig8 --jobs 120             | tee results/fig8_console.txt
-$BIN/ablation --jobs 80          | tee results/ablation_console.txt
-$BIN/sweep --jobs 40             | tee results/sweep_console.txt
-$BIN/chaos --jobs 40             | tee results/chaos_console.txt
-$BIN/bench --jobs 40             | tee results/bench_console.txt
+: > results/phase_times.txt
+
+# phase <name> <command...>: run a phase, tee its console output, and
+# append its wall time (seconds) to the summary.
+phase() {
+    name=$1
+    shift
+    start=$(date +%s)
+    "$@" | tee "results/${name}_console.txt"
+    end=$(date +%s)
+    printf '%-12s %4ds\n' "$name" "$((end - start))" | tee -a results/phase_times.txt
+}
+
+total_start=$(date +%s)
+phase motivation "$BIN/motivation"
+phase fig5       "$BIN/fig5" --jobs 120
+phase fig6       "$BIN/fig6" --jobs 120
+phase fig7       "$BIN/fig7" --jobs 30
+phase fig8       "$BIN/fig8" --jobs 120
+phase ablation   "$BIN/ablation" --jobs 80
+phase sweep      "$BIN/sweep" --jobs 40
+phase chaos      "$BIN/chaos" --jobs 40
+phase bench      "$BIN/bench" --jobs 40
+total_end=$(date +%s)
+printf '%-12s %4ds\n' total "$((total_end - total_start))" | tee -a results/phase_times.txt
 echo "all experiments complete"
