@@ -18,12 +18,14 @@
 //!
 //! Flags: `--jobs N` (event-loop workload size), `--seed N`.
 
+use gurita_bench::{timed_run, BenchMeta};
 use gurita_experiments::roster::SchedulerKind;
 use gurita_experiments::scenario::Scenario;
 use gurita_experiments::{args, report};
 use gurita_model::HostId;
 use gurita_sim::bandwidth::{allocate, Allocator, Demand, Discipline};
 use gurita_sim::runtime::{SimConfig, Simulation};
+use gurita_sim::telemetry::{NullSink, TelemetryConfig};
 use gurita_sim::topology::{Fabric, FatTree, LinkId};
 use gurita_workload::dags::StructureKind;
 use serde::Serialize;
@@ -32,6 +34,8 @@ use std::time::Instant;
 /// The recorded benchmark snapshot.
 #[derive(Debug, Serialize)]
 struct BenchReport {
+    /// Provenance: schema version, git commit, rustc, capture time.
+    meta: BenchMeta,
     /// Event-loop scenario description.
     scenario: String,
     /// Jobs in the event-loop workload.
@@ -80,6 +84,13 @@ struct LargeBench {
     /// Same run under `force_binary_heap_events` — the pre-calendar
     /// queue, kept as an A/B reference (results are asserted identical).
     events_per_sec_binary_heap: f64,
+    /// Same run with the telemetry layer armed into a counting
+    /// [`NullSink`] — the armed layer's intrinsic overhead (record
+    /// construction + dispatch + epoch sampling). Results are asserted
+    /// bit-for-bit identical to the untraced run.
+    events_per_sec_telemetry: f64,
+    /// Trace records the armed run emitted.
+    telemetry_records: u64,
     /// Distinct interned paths in the engine's arena at end of run.
     path_arena_unique: usize,
     /// Fraction of path interns answered from the arena cache.
@@ -126,15 +137,32 @@ fn large_bench() -> LargeBench {
         sim.run(jobs.clone(), sched.as_mut())
     };
     let _ = run(false);
-    let start = Instant::now();
-    let result = run(false);
-    let wall = start.elapsed().as_secs_f64();
-    let heap_start = Instant::now();
-    let heap_result = run(true);
-    let heap_wall = heap_start.elapsed().as_secs_f64();
+    let (result, tp) = timed_run(|| run(false));
+    let (heap_result, heap_tp) = timed_run(|| run(true));
     assert!(
         result == heap_result,
         "calendar queue and binary heap must produce identical results"
+    );
+    // Armed-telemetry A/B: same run streaming into a counting discard
+    // sink. Measures the armed layer's intrinsic cost and pins the
+    // bit-for-bit contract at gate scale.
+    let mut sink = NullSink::new();
+    let (traced_result, traced_tp) = timed_run(|| {
+        let fabric = FatTree::new(scenario.pods).expect("valid pods");
+        let mut sim = Simulation::new(
+            fabric,
+            SimConfig {
+                tick_interval: scenario.tick_interval,
+                telemetry: Some(TelemetryConfig::default()),
+                ..SimConfig::default()
+            },
+        );
+        let mut sched = SchedulerKind::Gurita.build();
+        sim.run_traced(jobs.clone(), sched.as_mut(), &mut sink)
+    });
+    assert!(
+        result == traced_result,
+        "telemetry must not change the result"
     );
     LargeBench {
         scenario: scenario.name.clone(),
@@ -142,9 +170,11 @@ fn large_bench() -> LargeBench {
         jobs: JOBS,
         seed: SEED,
         events: result.events,
-        wall_sec: wall,
-        events_per_sec: result.events as f64 / wall,
-        events_per_sec_binary_heap: heap_result.events as f64 / heap_wall,
+        wall_sec: tp.wall_sec,
+        events_per_sec: tp.events_per_sec,
+        events_per_sec_binary_heap: heap_tp.events_per_sec,
+        events_per_sec_telemetry: traced_tp.events_per_sec,
+        telemetry_records: sink.records,
         path_arena_unique: result.path_arena_unique,
         path_arena_hit_rate: result.path_arena_hit_rate,
         peak_rss_bytes: peak_rss_bytes(),
@@ -345,9 +375,7 @@ fn main() {
         sim.run(jobs.clone(), sched.as_mut())
     };
     let _ = run();
-    let start = Instant::now();
-    let result = run();
-    let elapsed = start.elapsed().as_secs_f64();
+    let (result, tp) = timed_run(run);
 
     // The same workload under the decentralized plane: per-host view
     // building + report merge + ControlUpdate plumbing on every
@@ -365,23 +393,22 @@ fn main() {
         sim.run_control(jobs.clone(), plane.as_mut())
     };
     let _ = run_local();
-    let local_start = Instant::now();
-    let local_result = run_local();
-    let local_elapsed = local_start.elapsed().as_secs_f64();
+    let (_, local_tp) = timed_run(run_local);
 
     let mut control_plane = merge_benches();
     control_plane.push((
         "gurita_local_events_per_sec".to_owned(),
-        local_result.events as f64 / local_elapsed,
+        local_tp.events_per_sec,
     ));
 
     let rep = BenchReport {
+        meta: BenchMeta::capture(),
         scenario: scenario.name.clone(),
         jobs: opts.jobs,
         seed: opts.seed,
         events: result.events,
-        elapsed_sec: elapsed,
-        events_per_sec: result.events as f64 / elapsed,
+        elapsed_sec: tp.wall_sec,
+        events_per_sec: tp.events_per_sec,
         allocate_ns_per_flow: allocator_benches(),
         control_plane,
         large: large_bench(),
@@ -398,13 +425,16 @@ fn main() {
     }
     println!(
         "large ({} pods, {} jobs): {} events in {:.3}s -> {:.0} events/sec \
-         (binary heap: {:.0}), arena {} unique / {:.3} hit rate, peak RSS {:.1} MiB",
+         (binary heap: {:.0}, telemetry armed: {:.0} over {} records), \
+         arena {} unique / {:.3} hit rate, peak RSS {:.1} MiB",
         rep.large.pods,
         rep.large.jobs,
         rep.large.events,
         rep.large.wall_sec,
         rep.large.events_per_sec,
         rep.large.events_per_sec_binary_heap,
+        rep.large.events_per_sec_telemetry,
+        rep.large.telemetry_records,
         rep.large.path_arena_unique,
         rep.large.path_arena_hit_rate,
         rep.large.peak_rss_bytes as f64 / (1024.0 * 1024.0)

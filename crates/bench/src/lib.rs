@@ -6,6 +6,20 @@
 //! substrates (`bandwidth`, `topology`, `workload`). Run with
 //! `cargo bench --workspace`; each figure's full-scale numbers come
 //! from the `gurita-experiments` binaries instead.
+//!
+//! The library also carries the shared pieces of the perf-trajectory
+//! tracker (`bench` binary, `large_baseline` example): [`Throughput`]
+//! derives the events/sec numbers both report, and [`BenchMeta`] stamps
+//! `results/BENCH_sim.json` with enough provenance (schema version, git
+//! commit, rustc, timestamp) to compare snapshots across PRs.
+
+use gurita_sim::stats::RunResult;
+use serde::Serialize;
+use std::time::Instant;
+
+/// Schema version of `results/BENCH_sim.json`; bump when the report's
+/// shape changes incompatibly.
+pub const BENCH_SCHEMA_VERSION: u32 = 2;
 
 /// Benchmark-scale figure options: small enough for Criterion's
 /// repeated sampling, large enough to exercise contention.
@@ -13,7 +27,120 @@ pub fn bench_options() -> gurita_experiments::figures::FigureOptions {
     gurita_experiments::figures::FigureOptions {
         jobs: 12,
         seed: 77,
-        full_scale: false,
-        par: 1,
+        ..gurita_experiments::figures::FigureOptions::default()
+    }
+}
+
+/// Provenance block recorded at the top of `results/BENCH_sim.json`.
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct BenchMeta {
+    /// Report schema version ([`BENCH_SCHEMA_VERSION`]).
+    pub schema_version: u32,
+    /// `git rev-parse HEAD` of the working tree, `"unknown"` outside a
+    /// repository. `-dirty` is appended when the tree has local changes.
+    pub git_commit: String,
+    /// `rustc --version`, `"unknown"` when rustc is not on PATH.
+    pub rustc_version: String,
+    /// Capture time, seconds since the Unix epoch.
+    pub timestamp_unix: u64,
+}
+
+/// First line of `cmd args...` stdout, or `None` on any failure.
+fn command_line(cmd: &str, cmd_args: &[&str]) -> Option<String> {
+    let out = std::process::Command::new(cmd)
+        .args(cmd_args)
+        .output()
+        .ok()?;
+    if !out.status.success() {
+        return None;
+    }
+    let text = String::from_utf8(out.stdout).ok()?;
+    let line = text.lines().next()?.trim();
+    if line.is_empty() {
+        None
+    } else {
+        Some(line.to_owned())
+    }
+}
+
+impl BenchMeta {
+    /// Captures the current provenance. Never fails: unavailable fields
+    /// degrade to `"unknown"` / `0` so the tracker also runs in
+    /// stripped-down environments (no git, no rustc on PATH).
+    pub fn capture() -> Self {
+        let mut git_commit =
+            command_line("git", &["rev-parse", "HEAD"]).unwrap_or_else(|| "unknown".to_owned());
+        if git_commit != "unknown"
+            && command_line("git", &["status", "--porcelain"]).is_some_and(|s| !s.is_empty())
+        {
+            git_commit.push_str("-dirty");
+        }
+        Self {
+            schema_version: BENCH_SCHEMA_VERSION,
+            git_commit,
+            rustc_version: command_line("rustc", &["--version"])
+                .unwrap_or_else(|| "unknown".to_owned()),
+            timestamp_unix: std::time::SystemTime::now()
+                .duration_since(std::time::UNIX_EPOCH)
+                .map(|d| d.as_secs())
+                .unwrap_or(0),
+        }
+    }
+}
+
+/// Wall-clock throughput of one simulation run — the single definition
+/// of "events/sec" shared by the `bench` binary and the
+/// `large_baseline` example.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize)]
+pub struct Throughput {
+    /// Simulated events processed.
+    pub events: u64,
+    /// Wall-clock seconds.
+    pub wall_sec: f64,
+    /// Simulated events per wall-clock second.
+    pub events_per_sec: f64,
+}
+
+impl Throughput {
+    /// Derives events/sec, guarding the degenerate zero-duration case.
+    pub fn new(events: u64, wall_sec: f64) -> Self {
+        Self {
+            events,
+            wall_sec,
+            events_per_sec: if wall_sec > 0.0 {
+                events as f64 / wall_sec
+            } else {
+                0.0
+            },
+        }
+    }
+}
+
+/// Times `run` and folds its [`RunResult`] into a [`Throughput`].
+pub fn timed_run(run: impl FnOnce() -> RunResult) -> (RunResult, Throughput) {
+    let start = Instant::now();
+    let result = run();
+    let wall = start.elapsed().as_secs_f64();
+    let tp = Throughput::new(result.events, wall);
+    (result, tp)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn throughput_divides_events_by_wall_time() {
+        let tp = Throughput::new(1000, 0.5);
+        assert_eq!(tp.events_per_sec, 2000.0);
+        assert_eq!(Throughput::new(1000, 0.0).events_per_sec, 0.0);
+    }
+
+    #[test]
+    fn meta_capture_is_total() {
+        let meta = BenchMeta::capture();
+        assert_eq!(meta.schema_version, BENCH_SCHEMA_VERSION);
+        assert!(!meta.git_commit.is_empty());
+        assert!(!meta.rustc_version.is_empty());
     }
 }

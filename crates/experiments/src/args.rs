@@ -1,10 +1,14 @@
 //! Minimal command-line parsing shared by the figure binaries.
 //!
 //! Supported flags: `--jobs N` (workload size), `--seed N`, `--full`
-//! (paper scale), and `--par N` (worker threads for independent
-//! scenarios/sweep points; `0` = one per core, the default). Unknown
-//! flags abort with a usage message — the binaries are reproduction
-//! drivers, not general tools.
+//! (paper scale), `--par N` (worker threads for independent
+//! scenarios/sweep points; `0` = one per core, the default),
+//! `--telemetry` (arm the instrumentation layer; results are bit-for-bit
+//! unaffected), and `--trace-out PREFIX` (capture an instrumented
+//! SPQ-vs-WRR trace pair to `PREFIX.*.events.jsonl` /
+//! `PREFIX.*.trace.json`; implies `--telemetry`). Unknown flags abort
+//! with a usage message — the binaries are reproduction drivers, not
+//! general tools.
 
 use crate::figures::FigureOptions;
 
@@ -40,6 +44,15 @@ pub fn parse(args: &[String]) -> Result<FigureOptions, String> {
                 let v = it.next().ok_or("--par requires a value")?;
                 opts.par = v.parse().map_err(|_| format!("bad --par value `{v}`"))?;
             }
+            "--telemetry" => opts.telemetry = true,
+            "--trace-out" => {
+                let v = it.next().ok_or("--trace-out requires a value")?;
+                if v.is_empty() {
+                    return Err("--trace-out requires a non-empty prefix".into());
+                }
+                opts.trace_out = Some(v.clone());
+                opts.telemetry = true;
+            }
             "--help" | "-h" => return Err(usage()),
             other => return Err(format!("unknown flag `{other}`\n{}", usage())),
         }
@@ -49,7 +62,8 @@ pub fn parse(args: &[String]) -> Result<FigureOptions, String> {
 
 /// The usage string.
 pub fn usage() -> String {
-    "usage: <figure> [--jobs N] [--seed N] [--full] [--par N]".to_owned()
+    "usage: <figure> [--jobs N] [--seed N] [--full] [--par N] [--telemetry] [--trace-out PREFIX]"
+        .to_owned()
 }
 
 #[cfg(test)]
@@ -70,6 +84,18 @@ mod tests {
         assert_eq!(o.seed, 9);
         assert!(o.full_scale);
         assert_eq!(o.par, 2);
+        assert!(!o.telemetry);
+        assert_eq!(o.trace_out, None);
+    }
+
+    #[test]
+    fn telemetry_flags() {
+        let o = parse(&v(&["--telemetry"])).unwrap();
+        assert!(o.telemetry);
+        assert_eq!(o.trace_out, None);
+        let o = parse(&v(&["--trace-out", "results/trace"])).unwrap();
+        assert_eq!(o.trace_out.as_deref(), Some("results/trace"));
+        assert!(o.telemetry, "--trace-out implies --telemetry");
     }
 
     #[test]
@@ -78,6 +104,8 @@ mod tests {
         assert!(parse(&v(&["--jobs", "x"])).is_err());
         assert!(parse(&v(&["--jobs", "0"])).is_err());
         assert!(parse(&v(&["--par", "x"])).is_err());
+        assert!(parse(&v(&["--trace-out"])).is_err());
+        assert!(parse(&v(&["--trace-out", ""])).is_err());
         assert!(parse(&v(&["--wat"])).is_err());
     }
 }

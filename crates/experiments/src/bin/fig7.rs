@@ -33,4 +33,5 @@ fn main() {
         Ok(path) => println!("wrote {}", path.display()),
         Err(e) => eprintln!("could not write results file: {e}"),
     }
+    gurita_experiments::trace::maybe_capture(&opts);
 }

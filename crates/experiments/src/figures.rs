@@ -14,7 +14,7 @@ use gurita_workload::dags::StructureKind;
 use serde::{Deserialize, Serialize};
 
 /// Common experiment knobs.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct FigureOptions {
     /// Number of jobs per scenario.
     pub jobs: usize,
@@ -28,6 +28,16 @@ pub struct FigureOptions {
     /// this only affects wall-clock time, never the results.
     #[serde(default)]
     pub par: usize,
+    /// Arm the telemetry layer during runs (`--telemetry`). Results are
+    /// bit-for-bit unaffected; implied by `trace_out`.
+    #[serde(default)]
+    pub telemetry: bool,
+    /// Capture an instrumented SPQ-vs-WRR trace pair to
+    /// `{prefix}.{scheduler}.events.jsonl` /
+    /// `{prefix}.{scheduler}.trace.json` (`--trace-out PREFIX`); see
+    /// [`crate::trace::capture_starvation_pair`].
+    #[serde(default)]
+    pub trace_out: Option<String>,
 }
 
 impl Default for FigureOptions {
@@ -37,6 +47,8 @@ impl Default for FigureOptions {
             seed: 42,
             full_scale: false,
             par: 1,
+            telemetry: false,
+            trace_out: None,
         }
     }
 }
@@ -210,8 +222,7 @@ mod tests {
         FigureOptions {
             jobs: 6,
             seed: 7,
-            full_scale: false,
-            par: 1,
+            ..FigureOptions::default()
         }
     }
 

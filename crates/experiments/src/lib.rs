@@ -14,6 +14,9 @@
 //!   [`figures::ablation`] study of Gurita's design choices;
 //! * [`sweeps`] — sensitivity sweeps (queue count, thresholds, update
 //!   interval, HR latency, fault injection);
+//! * [`trace`] — telemetry capture behind `--trace-out`: instrumented
+//!   SPQ-vs-WRR runs exported as JSONL events plus a Perfetto-loadable
+//!   Chrome trace;
 //! * [`report`] — plain-text/markdown/JSON rendering of results.
 //!
 //! Binaries `fig5`…`fig8`, `motivation`, and `ablation` regenerate the
@@ -33,3 +36,4 @@ pub mod report;
 pub mod roster;
 pub mod scenario;
 pub mod sweeps;
+pub mod trace;

@@ -10,6 +10,7 @@ use gurita_model::JobSpec;
 use gurita_sim::faults::FaultSchedule;
 use gurita_sim::runtime::{SimConfig, Simulation};
 use gurita_sim::stats::RunResult;
+use gurita_sim::telemetry::{TelemetryConfig, TelemetrySink};
 use gurita_sim::topology::FatTree;
 use gurita_workload::arrivals::ArrivalProcess;
 use gurita_workload::dags::StructureKind;
@@ -129,6 +130,39 @@ impl Scenario {
         );
         let mut plane = kind.build_plane();
         let mut result = sim.run_control_with_faults(jobs, plane.as_mut(), faults);
+        result.scheduler = kind.label().to_owned();
+        result
+    }
+
+    /// Runs one scheduler with the telemetry layer armed, streaming
+    /// every [`gurita_sim::telemetry::TraceRecord`] into `sink`. The
+    /// returned [`RunResult`] is bit-for-bit what [`Scenario::run`]
+    /// produces — telemetry never perturbs scheduling.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the fabric cannot be built or the simulation fails (see
+    /// [`Simulation::run`]).
+    pub fn run_traced(&self, kind: SchedulerKind, sink: &mut dyn TelemetrySink) -> RunResult {
+        let fabric = FatTree::new(self.pods).expect("valid pod count");
+        let mut sim = Simulation::new(
+            fabric,
+            SimConfig {
+                tick_interval: self.tick_interval,
+                control_latency: self.control_latency,
+                telemetry: Some(TelemetryConfig::default()),
+                ..SimConfig::default()
+            },
+        );
+        let mut plane = kind.build_plane();
+        let mut result = sim
+            .try_run_control_with_faults_traced(
+                self.jobs(),
+                plane.as_mut(),
+                &FaultSchedule::new(),
+                sink,
+            )
+            .expect("simulation failed; see SimError for details");
         result.scheduler = kind.label().to_owned();
         result
     }

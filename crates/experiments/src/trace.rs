@@ -1,0 +1,179 @@
+//! Telemetry capture driver behind `--trace-out` (see [`crate::args`]).
+//!
+//! Captures the paper's §V starvation argument as a pair of instrumented
+//! runs on a byte-identical workload: Gurita under plain SPQ (low-priority
+//! coflows starve behind elephants) versus full Gurita with WRR
+//! mitigation. Each run streams lifecycle events to a JSON Lines file and
+//! a Chrome `trace_event` file that <https://ui.perfetto.dev> loads
+//! directly, so the starvation intervals are visible as slices on the
+//! `starvation` track.
+
+use crate::figures::FigureOptions;
+use crate::roster::SchedulerKind;
+use crate::scenario::Scenario;
+use gurita_sim::stats::RunResult;
+use gurita_sim::telemetry::{ChromeTraceSink, JsonlSink, TelemetrySink, TraceRecord};
+use gurita_workload::dags::StructureKind;
+use std::path::PathBuf;
+
+/// Streams one run's records into both export formats. Concrete (not
+/// [`gurita_sim::telemetry::MultiSink`]) so `finish` can surface each
+/// file sink's held IO error after the run.
+#[derive(Debug)]
+struct FilePair {
+    jsonl: JsonlSink,
+    chrome: ChromeTraceSink,
+}
+
+impl TelemetrySink for FilePair {
+    fn record(&mut self, rec: &TraceRecord) {
+        self.jsonl.record(rec);
+        self.chrome.record(rec);
+    }
+    fn flush(&mut self) {
+        self.jsonl.flush();
+        self.chrome.flush();
+    }
+}
+
+/// One captured run: where its exports landed and its (telemetry-armed,
+/// bit-for-bit unchanged) result.
+#[derive(Debug)]
+pub struct Capture {
+    /// Scheduler label (file-name component).
+    pub scheduler: String,
+    /// JSON Lines event log.
+    pub events_path: PathBuf,
+    /// Chrome `trace_event` file (Perfetto-loadable).
+    pub trace_path: PathBuf,
+    /// Lifecycle + epoch records written to the JSONL file.
+    pub records: u64,
+    /// The run's result, including the starvation metrics.
+    pub result: RunResult,
+}
+
+/// Runs `kind` over `scenario` with telemetry armed, writing
+/// `{prefix}.{label}.events.jsonl` and `{prefix}.{label}.trace.json`.
+///
+/// # Errors
+///
+/// Any file-creation or write error from either export.
+pub fn capture(scenario: &Scenario, kind: SchedulerKind, prefix: &str) -> std::io::Result<Capture> {
+    let label = kind.label();
+    let events_path = PathBuf::from(format!("{prefix}.{label}.events.jsonl"));
+    let trace_path = PathBuf::from(format!("{prefix}.{label}.trace.json"));
+    if let Some(dir) = events_path.parent() {
+        if !dir.as_os_str().is_empty() {
+            std::fs::create_dir_all(dir)?;
+        }
+    }
+    let mut sink = FilePair {
+        jsonl: JsonlSink::create(&events_path)?,
+        chrome: ChromeTraceSink::new(&trace_path),
+    };
+    let result = scenario.run_traced(kind, &mut sink);
+    let records = sink.jsonl.records();
+    sink.jsonl.finish()?;
+    sink.chrome.finish()?;
+    Ok(Capture {
+        scheduler: label.to_owned(),
+        events_path,
+        trace_path,
+        records,
+        result,
+    })
+}
+
+/// The default capture workload: a small trace-driven FB-Tao scenario —
+/// large enough to exhibit SPQ starvation, small enough that the trace
+/// files stay in the tens of megabytes.
+pub fn capture_scenario(opts: &FigureOptions) -> Scenario {
+    // Cap the workload so `--full` sweeps don't produce gigabyte traces.
+    let jobs = opts.jobs.min(200);
+    Scenario::trace_driven(StructureKind::FbTao, jobs, opts.seed)
+}
+
+/// Captures the SPQ-vs-WRR starvation pair ([`SchedulerKind::GuritaSpq`]
+/// and [`SchedulerKind::Gurita`]) on the byte-identical workload.
+///
+/// # Errors
+///
+/// Any export IO error (see [`capture`]).
+pub fn capture_starvation_pair(
+    opts: &FigureOptions,
+    prefix: &str,
+) -> std::io::Result<Vec<Capture>> {
+    let scenario = capture_scenario(opts);
+    let mut out = Vec::with_capacity(2);
+    for kind in [SchedulerKind::GuritaSpq, SchedulerKind::Gurita] {
+        out.push(capture(&scenario, kind, prefix)?);
+    }
+    Ok(out)
+}
+
+/// Binary epilogue: if `--trace-out` was given, capture the starvation
+/// pair and print where the exports landed (plus each run's starvation
+/// totals, which is the headline the trace visualizes). IO errors are
+/// reported to stderr, not propagated — a failed trace capture must not
+/// fail the experiment that rode along with it.
+pub fn maybe_capture(opts: &FigureOptions) {
+    let Some(prefix) = opts.trace_out.as_deref() else {
+        return;
+    };
+    match capture_starvation_pair(opts, prefix) {
+        Ok(captures) => {
+            for c in &captures {
+                println!(
+                    "trace[{}]: {} records -> {} + {} (starvation: total {:.3}s, max {:.3}s)",
+                    c.scheduler,
+                    c.records,
+                    c.events_path.display(),
+                    c.trace_path.display(),
+                    c.result.total_starvation(),
+                    c.result.max_starvation(),
+                );
+            }
+        }
+        Err(e) => eprintln!("trace capture failed: {e}"),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny() -> FigureOptions {
+        FigureOptions {
+            jobs: 4,
+            seed: 11,
+            ..FigureOptions::default()
+        }
+    }
+
+    #[test]
+    fn capture_writes_both_exports_and_preserves_results() {
+        let dir = std::env::temp_dir().join("gurita_trace_capture_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let prefix = dir.join("t").to_string_lossy().into_owned();
+        let captures = capture_starvation_pair(&tiny(), &prefix).unwrap();
+        assert_eq!(captures.len(), 2);
+        assert_eq!(captures[0].scheduler, "Gurita-SPQ");
+        assert_eq!(captures[1].scheduler, "Gurita");
+        for c in &captures {
+            assert!(c.records > 0, "{}: empty trace", c.scheduler);
+            let jsonl = std::fs::read_to_string(&c.events_path).unwrap();
+            assert_eq!(jsonl.lines().count() as u64, c.records);
+            let trace = std::fs::read_to_string(&c.trace_path).unwrap();
+            assert!(trace.starts_with("{\"traceEvents\":["));
+            // The traced result matches an untraced replay bit-for-bit.
+            let kind = if c.scheduler == "Gurita" {
+                SchedulerKind::Gurita
+            } else {
+                SchedulerKind::GuritaSpq
+            };
+            let untraced = capture_scenario(&tiny()).run(kind);
+            assert_eq!(c.result, untraced, "{}: traced run diverged", c.scheduler);
+        }
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

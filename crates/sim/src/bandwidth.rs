@@ -228,6 +228,23 @@ impl Allocator {
         self.num_links
     }
 
+    /// Distinct links touched by the most recent
+    /// [`Allocator::allocate_into`] call — the width of its dense remap.
+    /// Free to read (the dense residual array retains that length
+    /// between calls); 0 before the first call. Exposed for telemetry
+    /// epoch samples.
+    pub fn last_touched_links(&self) -> usize {
+        self.resid.len()
+    }
+
+    /// Water-filling passes run by the most recent call: one per
+    /// non-empty priority queue under SPQ, one total under WRR. Derived
+    /// from the pass-epoch counter the allocator keeps anyway, so
+    /// reading it costs nothing. 0 before the first call.
+    pub fn last_waterfill_passes(&self) -> u64 {
+        self.epoch - self.call_epoch
+    }
+
     /// Computes per-demand rates into `rates` (one slot per demand, in
     /// order) under `discipline`, where link `l` has capacity
     /// `capacity(l)` bytes per second. Demands with an empty path get

@@ -50,7 +50,7 @@ impl CalendarQueue {
         }
     }
 
-    #[cfg(test)]
+    /// Pending events (O(1); sampled into telemetry epoch records).
     pub(crate) fn len(&self) -> usize {
         self.len
     }

@@ -311,6 +311,13 @@ pub trait ControlPlane {
         QueuePolicy::Strict
     }
 
+    /// Priority tables computed but not yet delivered to the hosts —
+    /// read by telemetry epoch samples, never by scheduling logic.
+    /// Default: 0 (centralized planes deliver instantaneously).
+    fn pending_updates(&self) -> usize {
+        0
+    }
+
     /// Notifies the plane that a coflow completed.
     fn on_coflow_completed(&mut self, coflow: CoflowId, job: JobId, now: f64) {
         let _ = (coflow, job, now);
@@ -477,6 +484,10 @@ impl ControlPlane for Decentralized {
 
     fn needs_local_views(&self) -> bool {
         true
+    }
+
+    fn pending_updates(&self) -> usize {
+        self.pending.len()
     }
 
     fn decide(&mut self, input: ControlInput<'_>) -> ControlOutput {

@@ -418,6 +418,12 @@ impl FaultOverlay {
         self.factors.len()
     }
 
+    /// Number of links currently hard-failed — read by telemetry epoch
+    /// samples alongside [`FaultOverlay::num_degraded`].
+    pub fn num_dead(&self) -> usize {
+        self.dead.len()
+    }
+
     /// Applies `event` (validated elsewhere) on a fabric with
     /// `num_hosts` hosts. Returns exactly which links changed, so the
     /// caller can invalidate only the rates the event actually touched

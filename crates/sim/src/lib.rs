@@ -24,7 +24,11 @@
 //!   [`control::LocalObservation`]s, with priority updates propagated
 //!   through the event loop after a configurable latency);
 //! * [`runtime`] — the event loop driving jobs through their coflow DAGs;
-//! * [`stats`] — per-job/per-coflow completion records.
+//! * [`stats`] — per-job/per-coflow completion records;
+//! * [`telemetry`] — opt-in instrumentation: lifecycle event tracing,
+//!   epoch-sampled queue/link/allocator time series, and a Chrome
+//!   `trace_event` (Perfetto) exporter, all guaranteed not to perturb
+//!   results.
 //!
 //! # Example
 //!
@@ -61,6 +65,7 @@ pub mod faults;
 pub mod runtime;
 pub mod sched;
 pub mod stats;
+pub mod telemetry;
 pub mod thresholds;
 pub mod topology;
 

@@ -25,6 +25,7 @@ use crate::control::{Centralized, ControlInput, ControlPlane, LocalObservation};
 use crate::faults::{resalt_live_path, FaultOverlay, FaultSchedule, TimedFault};
 use crate::sched::{CoflowObs, FlowObs, JobObs, Observation, Oracle, QueuePolicy, Scheduler};
 use crate::stats::{CoflowResult, FaultRecord, JobResult, RunResult};
+use crate::telemetry::{EpochSample, Probe, TelemetryConfig, TelemetrySink, TraceRecord};
 use crate::topology::{Fabric, LinkId, PathArena, PathRef};
 use crate::SimError;
 use gurita_model::{CoflowId, FlowId, HostId, JobId, JobSpec};
@@ -73,6 +74,14 @@ pub struct SimConfig {
     /// valve and as the reference behavior for the equivalence property
     /// tests, mirroring [`SimConfig::force_full_recompute`].
     pub force_binary_heap_events: bool,
+    /// Arms the telemetry layer (see [`crate::telemetry`]): lifecycle
+    /// event tracing and epoch-sampled time series, delivered to the
+    /// sink passed to a `*_traced` entry point such as
+    /// [`Simulation::run_traced`]. `None` (the default) disables all
+    /// instrumentation — runs pay one branch per probe site and nothing
+    /// else. Telemetry never perturbs scheduling: results are bit-for-
+    /// bit identical with it on or off.
+    pub telemetry: Option<TelemetryConfig>,
 }
 
 impl Default for SimConfig {
@@ -85,6 +94,7 @@ impl Default for SimConfig {
             force_full_recompute: false,
             control_latency: 0.0,
             force_binary_heap_events: false,
+            telemetry: None,
         }
     }
 }
@@ -173,6 +183,14 @@ impl EventQueue {
         match self {
             EventQueue::Heap(h) => h.iter().any(&mut f),
             EventQueue::Calendar(c) => c.any(f),
+        }
+    }
+
+    /// Pending events (telemetry epoch samples).
+    fn len(&self) -> usize {
+        match self {
+            EventQueue::Heap(h) => h.len(),
+            EventQueue::Calendar(c) => c.len(),
         }
     }
 }
@@ -317,6 +335,19 @@ struct CoflowState {
     /// All flows of the coflow (open and completed); completed entries
     /// retain their final byte counts for receiver-side observation.
     flows: Vec<FlowRecord>,
+    // ---- starvation watch (see `crate::telemetry` module docs) ----
+    /// Open flows currently holding a usable rate (`> FLOWING_EPS`).
+    /// Purely observational — scheduling never reads it.
+    flowing: usize,
+    /// Start of the current zero-rate interval, `None` while flowing.
+    /// Coflows are born starved (rates arrive with the same event's
+    /// recomputation, so the initial interval has zero width unless the
+    /// coflow starts parked or outprioritized).
+    starved_since: Option<f64>,
+    /// Sum of closed zero-rate intervals.
+    starved_total: f64,
+    /// Longest closed zero-rate interval.
+    starved_max: f64,
 }
 
 #[derive(Debug)]
@@ -488,9 +519,86 @@ impl<F: Fabric> Simulation<F> {
         faults: &FaultSchedule,
     ) -> Result<RunResult, SimError> {
         faults.validate(&self.fabric)?;
-        Engine::new(&self.fabric, &self.config, jobs, plane, faults).run()
+        Engine::new(&self.fabric, &self.config, jobs, plane, faults, None).run()
+    }
+
+    /// [`Simulation::run`] with telemetry delivered to `sink` — see
+    /// [`crate::telemetry`]. Instrumentation is armed only when
+    /// [`SimConfig::telemetry`] is `Some`; with it `None` the sink
+    /// receives nothing and the run is indistinguishable from
+    /// [`Simulation::run`]. Either way the returned result is
+    /// bit-for-bit what the untraced entry point produces.
+    ///
+    /// # Panics
+    ///
+    /// Panics on any [`SimError`]; use [`Simulation::try_run_traced`]
+    /// for the fallible variant.
+    pub fn run_traced(
+        &mut self,
+        jobs: Vec<JobSpec>,
+        scheduler: &mut dyn Scheduler,
+        sink: &mut dyn TelemetrySink,
+    ) -> RunResult {
+        self.try_run_traced(jobs, scheduler, sink)
+            .expect("simulation failed; see SimError for details")
+    }
+
+    /// Fallible variant of [`Simulation::run_traced`].
+    ///
+    /// # Errors
+    ///
+    /// Same as [`Simulation::try_run`].
+    pub fn try_run_traced(
+        &mut self,
+        jobs: Vec<JobSpec>,
+        scheduler: &mut dyn Scheduler,
+        sink: &mut dyn TelemetrySink,
+    ) -> Result<RunResult, SimError> {
+        self.try_run_traced_with_faults(jobs, scheduler, &FaultSchedule::new(), sink)
+    }
+
+    /// [`Simulation::run_with_faults`] with telemetry delivered to
+    /// `sink` (see [`Simulation::run_traced`] for the arming rules).
+    ///
+    /// # Errors
+    ///
+    /// Same as [`Simulation::try_run_with_faults`].
+    pub fn try_run_traced_with_faults(
+        &mut self,
+        jobs: Vec<JobSpec>,
+        scheduler: &mut dyn Scheduler,
+        faults: &FaultSchedule,
+        sink: &mut dyn TelemetrySink,
+    ) -> Result<RunResult, SimError> {
+        let mut plane = Centralized::new(scheduler);
+        self.try_run_control_with_faults_traced(jobs, &mut plane, faults, sink)
+    }
+
+    /// [`Simulation::run_control_with_faults`] with telemetry delivered
+    /// to `sink` — the fully general traced entry point (see
+    /// [`Simulation::run_traced`] for the arming rules).
+    ///
+    /// # Errors
+    ///
+    /// Same as [`Simulation::try_run_with_faults`].
+    pub fn try_run_control_with_faults_traced(
+        &mut self,
+        jobs: Vec<JobSpec>,
+        plane: &mut dyn ControlPlane,
+        faults: &FaultSchedule,
+        sink: &mut dyn TelemetrySink,
+    ) -> Result<RunResult, SimError> {
+        faults.validate(&self.fabric)?;
+        Engine::new(&self.fabric, &self.config, jobs, plane, faults, Some(sink)).run()
     }
 }
+
+/// A flow counts toward its coflow's `flowing` tally when its rate
+/// exceeds this. Matches the completion index's "will complete" rate
+/// threshold so the starvation watch and the event loop agree on what
+/// "progress" means. Infinite rates (empty-path flows under a full
+/// recompute) count as flowing.
+const FLOWING_EPS: f64 = 1e-15;
 
 /// Dense flow-id → flow-table position map. Flow ids are handed out
 /// densely by `Engine::next_flow_id`, so indexed slots beat a hash map
@@ -591,6 +699,11 @@ struct Engine<'a, F: Fabric> {
 
     result: RunResult,
     remaining_jobs: usize,
+
+    /// Telemetry probe; armed only when [`SimConfig::telemetry`] is set
+    /// *and* a sink was handed to a `*_traced` entry point. Disarmed it
+    /// costs one branch per probe site.
+    probe: Probe<'a>,
 }
 
 impl<'a, F: Fabric> Engine<'a, F> {
@@ -600,6 +713,7 @@ impl<'a, F: Fabric> Engine<'a, F> {
         jobs: Vec<JobSpec>,
         plane: &'a mut dyn ControlPlane,
         faults: &FaultSchedule,
+        sink: Option<&'a mut dyn TelemetrySink>,
     ) -> Self {
         let mut queue = EventQueue::new(config.force_binary_heap_events);
         let mut seq = 0u64;
@@ -624,6 +738,21 @@ impl<'a, F: Fabric> Engine<'a, F> {
             seq += 1;
         }
         let scheduler_name = plane.name();
+        let sample_interval = config.telemetry.as_ref().map_or(config.tick_interval, |t| {
+            if t.sample_interval > 0.0 {
+                t.sample_interval
+            } else {
+                config.tick_interval
+            }
+        });
+        let probe = Probe::new(
+            if config.telemetry.is_some() {
+                sink
+            } else {
+                None
+            },
+            sample_interval,
+        );
         Self {
             fabric,
             config,
@@ -663,10 +792,30 @@ impl<'a, F: Fabric> Engine<'a, F> {
                 ..RunResult::default()
             },
             remaining_jobs,
+            probe,
         }
     }
 
     fn run(mut self) -> Result<RunResult, SimError> {
+        let outcome = self.run_loop();
+        // Flush even when the run errors out: the partial trace up to
+        // the failure is exactly what one wants for debugging it.
+        self.probe.flush();
+        outcome?;
+        self.result.makespan = self.now;
+        self.result.events = self.events;
+        self.result.path_arena_unique = self.arena.unique_paths();
+        self.result.path_arena_interns = self.arena.interns();
+        self.result.path_arena_hit_rate = self.arena.hit_rate();
+        if self.config.collect_link_stats {
+            let mut v: Vec<(usize, f64)> = self.link_bytes.drain().collect();
+            v.sort_by(|a, b| b.1.partial_cmp(&a.1).expect("byte counts are finite"));
+            self.result.link_bytes = v;
+        }
+        Ok(self.result)
+    }
+
+    fn run_loop(&mut self) -> Result<(), SimError> {
         while let Some(ev) = self.queue.pop() {
             self.events += 1;
             if self.events > self.config.max_events {
@@ -691,6 +840,15 @@ impl<'a, F: Fabric> Engine<'a, F> {
                     // The scheduled table becomes the hosts' current
                     // view; the uniform decision point below applies it.
                     let _ = self.plane.deliver(token);
+                    if self.probe.on() {
+                        if let Some(issued) = self.probe.control_issued.remove(&token) {
+                            self.probe.emit(&TraceRecord::ControlDelivered {
+                                t: self.now,
+                                token,
+                                staleness: self.now - issued,
+                            });
+                        }
+                    }
                 }
             }
             self.harvest_completions()?;
@@ -699,22 +857,15 @@ impl<'a, F: Fabric> Engine<'a, F> {
                 self.recompute_rates();
             }
             self.schedule_followups();
+            if self.probe.on() {
+                self.maybe_sample();
+            }
             if self.remaining_jobs == 0 && self.flows.is_empty() {
                 break;
             }
             self.check_stranded()?;
         }
-        self.result.makespan = self.now;
-        self.result.events = self.events;
-        self.result.path_arena_unique = self.arena.unique_paths();
-        self.result.path_arena_interns = self.arena.interns();
-        self.result.path_arena_hit_rate = self.arena.hit_rate();
-        if self.config.collect_link_stats {
-            let mut v: Vec<(usize, f64)> = self.link_bytes.drain().collect();
-            v.sort_by(|a, b| b.1.partial_cmp(&a.1).expect("byte counts are finite"));
-            self.result.link_bytes = v;
-        }
-        Ok(self.result)
+        Ok(())
     }
 
     fn advance_to(&mut self, t: f64) {
@@ -775,6 +926,14 @@ impl<'a, F: Fabric> Engine<'a, F> {
             queue: 0,
             total_bytes: cf_spec.total_bytes(),
             flows: Vec::with_capacity(cf_spec.width()),
+            flowing: 0,
+            // Born starved: every coflow starts at zero aggregate rate
+            // until the first recomputation grants one of its flows
+            // bandwidth. Coflows that complete instantly (empty or
+            // host-local) close the interval at zero width.
+            starved_since: Some(self.now),
+            starved_total: 0.0,
+            starved_max: 0.0,
         };
         for fs in cf_spec.flows() {
             let fid = FlowId(self.next_flow_id);
@@ -852,6 +1011,28 @@ impl<'a, F: Fabric> Engine<'a, F> {
                     link_flows[li].push(fid);
                 }
             }
+            if self.probe.on() {
+                self.probe.emit(&TraceRecord::FlowStart {
+                    t: self.now,
+                    flow: fid.index(),
+                    coflow: id.index(),
+                    job: job.index(),
+                    src: fs.src.index(),
+                    dst: fs.dst.index(),
+                    bytes: fs.bytes,
+                    parked,
+                });
+            }
+        }
+        if self.probe.on() {
+            self.probe.emit(&TraceRecord::CoflowActivate {
+                t: self.now,
+                coflow: id.index(),
+                job: job.index(),
+                dag_vertex: vertex,
+                width: state.flows.len(),
+                bytes: state.total_bytes,
+            });
         }
         self.coflows.insert(id, state);
         self.active_coflows.push(id);
@@ -886,6 +1067,14 @@ impl<'a, F: Fabric> Engine<'a, F> {
         self.result.flows_rerouted += rec.rerouted;
         self.result.flows_parked += rec.parked;
         self.result.flows_resumed += rec.resumed;
+        if self.probe.on() {
+            self.probe.emit(&TraceRecord::FaultApplied {
+                t: self.now,
+                rerouted: rec.rerouted,
+                parked: rec.parked,
+                resumed: rec.resumed,
+            });
+        }
         self.result.faults.push(rec);
         self.dirty.any = true;
         Ok(())
@@ -934,16 +1123,30 @@ impl<'a, F: Fabric> Engine<'a, F> {
             let path = self.flows[pos].path;
             self.dirty.mark_path(self.arena.get(path));
             let f = &mut self.flows[pos];
+            let was_flowing = f.rate > FLOWING_EPS;
             f.parked = true;
             f.rate = 0.0;
             f.stamp = stamp; // invalidate any completion-index entry
             let coflow = f.coflow;
+            let fid = f.id;
             rec.parked += 1;
             let job = self.coflows[&coflow].job;
             self.jobs_state
                 .get_mut(&job)
                 .expect("job active")
                 .fault_parks += 1;
+            if was_flowing {
+                // Parking zeroes the rate outside the recompute path, so
+                // the starvation watch must see the loss here.
+                self.coflow_rate_transition(coflow, false);
+            }
+            if self.probe.on() {
+                self.probe.emit(&TraceRecord::FlowPark {
+                    t: self.now,
+                    flow: fid.index(),
+                    coflow: coflow.index(),
+                });
+            }
         }
         Ok(())
     }
@@ -988,6 +1191,15 @@ impl<'a, F: Fabric> Engine<'a, F> {
                         .expect("job active")
                         .fault_reroutes += 1;
                 }
+            }
+            if self.probe.on() {
+                let f = &self.flows[pos];
+                self.probe.emit(&TraceRecord::FlowResume {
+                    t: self.now,
+                    flow: f.id.index(),
+                    coflow: f.coflow.index(),
+                    rerouted: new_path.is_some(),
+                });
             }
             // The resumed flow (possibly on a new path) joins the
             // allocation again; its links seed the recomputation.
@@ -1063,8 +1275,27 @@ impl<'a, F: Fabric> Engine<'a, F> {
                 rec.open = false;
                 rec.bytes_done = flow.size;
                 cf.open_flows -= 1;
+                // A completing flow leaves the flowing set; if it was the
+                // coflow's last source of bandwidth and siblings remain
+                // open, a starvation interval opens here. (If the coflow
+                // completes too, `complete_coflow` closes it at zero
+                // width in the same instant.)
+                if flow.rate > FLOWING_EPS {
+                    cf.flowing -= 1;
+                    if cf.flowing == 0 {
+                        cf.starved_since = Some(self.now);
+                    }
+                }
                 if cf.open_flows == 0 {
                     completed_coflows.push(cf.id);
+                }
+                if self.probe.on() {
+                    self.probe.emit(&TraceRecord::FlowComplete {
+                        t: self.now,
+                        flow: fid.index(),
+                        coflow: flow.coflow.index(),
+                        bytes: flow.size,
+                    });
                 }
             }
             for cid in completed_coflows {
@@ -1075,8 +1306,25 @@ impl<'a, F: Fabric> Engine<'a, F> {
     }
 
     fn complete_coflow(&mut self, cid: CoflowId) -> Result<(), SimError> {
-        let state = self.coflows.remove(&cid).expect("completing active coflow");
+        let mut state = self.coflows.remove(&cid).expect("completing active coflow");
         self.active_coflows.retain(|&c| c != cid);
+        // Close any open starvation interval at completion time. Coflows
+        // that never received bandwidth (empty, host-local, or finished
+        // while parked) carry their whole lifetime here.
+        if let Some(since) = state.starved_since.take() {
+            let dur = self.now - since;
+            if dur > 0.0 {
+                state.starved_total += dur;
+                state.starved_max = state.starved_max.max(dur);
+                if self.probe.on() {
+                    self.probe.emit(&TraceRecord::CoflowStarved {
+                        t: self.now,
+                        coflow: cid.index(),
+                        dur,
+                    });
+                }
+            }
+        }
         self.result.coflows.push(CoflowResult {
             id: cid,
             job: state.job,
@@ -1084,7 +1332,19 @@ impl<'a, F: Fabric> Engine<'a, F> {
             activated_at: state.activated_at,
             completed_at: self.now,
             bytes: state.total_bytes,
+            starved_total: state.starved_total,
+            starved_max: state.starved_max,
         });
+        if self.probe.on() {
+            self.probe.emit(&TraceRecord::CoflowComplete {
+                t: self.now,
+                coflow: cid.index(),
+                job: state.job.index(),
+                cct: self.now - state.activated_at,
+                starved_total: state.starved_total,
+                starved_max: state.starved_max,
+            });
+        }
         self.plane.on_coflow_completed(cid, state.job, self.now);
         let job_id = state.job;
         let vertex = state.dag_vertex;
@@ -1126,6 +1386,13 @@ impl<'a, F: Fabric> Engine<'a, F> {
                 fault_reroutes: js.fault_reroutes,
                 fault_parks: js.fault_parks,
             });
+            if self.probe.on() {
+                self.probe.emit(&TraceRecord::JobComplete {
+                    t: self.now,
+                    job: job_id.index(),
+                    jct: self.now - js.arrival,
+                });
+            }
             self.plane.on_job_completed(job_id, self.now);
             self.remaining_jobs -= 1;
         }
@@ -1303,6 +1570,11 @@ impl<'a, F: Fabric> Engine<'a, F> {
                 kind: EventKind::ControlUpdate { token },
             });
             self.seq += 1;
+            if self.probe.on() {
+                // Stamp the decision time so delivery can report the
+                // measured staleness rather than the configured latency.
+                self.probe.control_issued.insert(token, self.now);
+            }
         }
     }
 
@@ -1321,7 +1593,16 @@ impl<'a, F: Fabric> Engine<'a, F> {
             let Some(cf) = self.coflows.get_mut(&cid) else {
                 continue; // completed before the table was delivered
             };
+            let old_queue = cf.queue;
             cf.queue = queue;
+            if old_queue != queue && self.probe.on() {
+                self.probe.emit(&TraceRecord::PriorityMove {
+                    t: self.now,
+                    coflow: cid.index(),
+                    from: old_queue,
+                    to: queue,
+                });
+            }
             for rec in cf.flows.iter().filter(|r| r.open) {
                 let pos = self.flow_pos.get(rec.id).expect("open flow indexed");
                 let f = &mut self.flows[pos];
@@ -1479,7 +1760,14 @@ impl<'a, F: Fabric> Engine<'a, F> {
                     self.component.push(pos);
                 }
             }
+            if self.probe.on() {
+                self.probe.full_passes += 1;
+            }
         } else {
+            if self.probe.on() {
+                self.probe.incremental_passes += 1;
+                self.probe.seed_links += self.dirty.links.len() as u64;
+            }
             self.collect_component();
         }
         self.last_discipline = Some(discipline.clone());
@@ -1489,9 +1777,20 @@ impl<'a, F: Fabric> Engine<'a, F> {
             // Parked flows may have been holding a nonzero entry from
             // before parking in exotic orderings; pin them to zero as
             // the pre-incremental engine did.
-            for f in self.flows.iter_mut().filter(|f| f.parked) {
-                f.rate = 0.0;
-                f.stamp = stamp;
+            for pos in 0..self.flows.len() {
+                let (was_flowing, cid) = {
+                    let f = &mut self.flows[pos];
+                    if !f.parked {
+                        continue;
+                    }
+                    let was = f.rate > FLOWING_EPS;
+                    f.rate = 0.0;
+                    f.stamp = stamp;
+                    (was, f.coflow)
+                };
+                if was_flowing {
+                    self.coflow_rate_transition(cid, false);
+                }
             }
         }
         if self.component.is_empty() {
@@ -1512,20 +1811,157 @@ impl<'a, F: Fabric> Engine<'a, F> {
             &discipline,
             &mut self.rate_buf,
         );
-        for (i, &pos) in self.component.iter().enumerate() {
-            let f = &mut self.flows[pos];
-            f.rate = self.rate_buf[i];
-            f.stamp = stamp;
-            if f.rate > 1e-15 && f.rate.is_finite() {
-                self.finish_heap.push(FinishCand {
-                    time: self.now + f.remaining / f.rate,
-                    flow: f.id,
-                    stamp,
-                });
+        for i in 0..self.component.len() {
+            let pos = self.component[i];
+            let (was_flowing, is_flowing, cid) = {
+                let f = &mut self.flows[pos];
+                let was = f.rate > FLOWING_EPS;
+                f.rate = self.rate_buf[i];
+                f.stamp = stamp;
+                if f.rate > 1e-15 && f.rate.is_finite() {
+                    self.finish_heap.push(FinishCand {
+                        time: self.now + f.remaining / f.rate,
+                        flow: f.id,
+                        stamp,
+                    });
+                }
+                (was, f.rate > FLOWING_EPS, f.coflow)
+            };
+            if was_flowing != is_flowing {
+                self.coflow_rate_transition(cid, is_flowing);
             }
+        }
+        if self.probe.on() {
+            self.probe.component_flows += self.component.len() as u64;
         }
         if self.finish_heap.len() > 4 * self.flows.len() + 64 {
             self.rebuild_finish_heap();
+        }
+    }
+
+    /// Starvation-watch bookkeeping: one flow of `cid` crossed the
+    /// [`FLOWING_EPS`] threshold. `gained` means zero → positive rate.
+    /// Runs unconditionally — the starvation fields in
+    /// [`CoflowResult`] never depend on whether telemetry is armed.
+    fn coflow_rate_transition(&mut self, cid: CoflowId, gained: bool) {
+        let Some(cf) = self.coflows.get_mut(&cid) else {
+            return; // completed in this same instant; interval already closed
+        };
+        if gained {
+            cf.flowing += 1;
+            if cf.flowing == 1 {
+                if let Some(since) = cf.starved_since.take() {
+                    let dur = self.now - since;
+                    if dur > 0.0 {
+                        cf.starved_total += dur;
+                        cf.starved_max = cf.starved_max.max(dur);
+                        if self.probe.on() {
+                            self.probe.emit(&TraceRecord::CoflowStarved {
+                                t: self.now,
+                                coflow: cid.index(),
+                                dur,
+                            });
+                        }
+                    }
+                }
+            }
+        } else {
+            cf.flowing -= 1;
+            if cf.flowing == 0 {
+                cf.starved_since = Some(self.now);
+            }
+        }
+    }
+
+    /// Emits an [`EpochSample`] when at least one sample interval of
+    /// simulation time has passed since the previous one. Only called
+    /// when the probe is armed, so the disabled path never pays for the
+    /// snapshot below.
+    fn maybe_sample(&mut self) {
+        if self.now < self.probe.next_sample {
+            return;
+        }
+        let sample = self.build_sample();
+        self.probe.next_sample = self.now + self.probe.sample_interval;
+        self.probe.emit(&TraceRecord::Epoch(sample));
+    }
+
+    /// Snapshots queue/link/coflow/allocator state into an
+    /// [`EpochSample`]. Read-only: O(flows · path) once per sample
+    /// interval, never on the disabled path.
+    fn build_sample(&self) -> EpochSample {
+        let nq = self.plane.num_queues();
+        let mut queue_occupancy = vec![0usize; nq];
+        let mut queue_rate = vec![0.0f64; nq];
+        let mut parked_flows = 0usize;
+        let mut link_rate: HashMap<usize, f64> = HashMap::new();
+        for f in &self.flows {
+            if f.parked {
+                parked_flows += 1;
+                continue;
+            }
+            queue_occupancy[f.queue] += 1;
+            if f.rate > FLOWING_EPS && f.rate.is_finite() {
+                queue_rate[f.queue] += f.rate;
+                for l in self.arena.get(f.path) {
+                    *link_rate.entry(l.index()).or_insert(0.0) += f.rate;
+                }
+            }
+        }
+        let total_rate: f64 = queue_rate.iter().sum();
+        let queue_service_share = if total_rate > 0.0 {
+            queue_rate.iter().map(|r| r / total_rate).collect()
+        } else {
+            queue_rate
+        };
+        let mut max_util = 0.0f64;
+        let mut util_sum = 0.0f64;
+        // Sum in link-index order: HashMap iteration order varies per
+        // process, and f64 addition is order-sensitive — an unordered
+        // sum would make the mean differ across identical runs.
+        let mut busy: Vec<usize> = link_rate.keys().copied().collect();
+        busy.sort_unstable();
+        for li in busy {
+            let rate = link_rate[&li];
+            let cap = self.fabric.link_capacity(LinkId(li)) * self.overlay.scale(LinkId(li));
+            let util = if cap > 0.0 { rate / cap } else { 0.0 };
+            max_util = max_util.max(util);
+            util_sum += util;
+        }
+        let links_busy = link_rate.len();
+        let starved_coflows = self
+            .active_coflows
+            .iter()
+            .filter(|cid| {
+                let cf = &self.coflows[cid];
+                cf.open_flows > 0 && cf.flowing == 0
+            })
+            .count();
+        EpochSample {
+            t: self.now,
+            events: self.events,
+            event_queue_depth: self.queue.len(),
+            active_flows: self.flows.len(),
+            parked_flows,
+            active_coflows: self.active_coflows.len(),
+            starved_coflows,
+            queue_occupancy,
+            queue_service_share,
+            links_busy,
+            max_link_utilization: max_util,
+            mean_link_utilization: if links_busy > 0 {
+                util_sum / links_busy as f64
+            } else {
+                0.0
+            },
+            pending_control_updates: self.plane.pending_updates(),
+            degraded_links: self.overlay.num_degraded() + self.overlay.num_dead(),
+            alloc_full_passes: self.probe.full_passes,
+            alloc_incremental_passes: self.probe.incremental_passes,
+            alloc_component_flows: self.probe.component_flows,
+            alloc_seed_links: self.probe.seed_links,
+            alloc_touched_links: self.allocator.last_touched_links(),
+            alloc_waterfill_passes: self.allocator.last_waterfill_passes(),
         }
     }
 

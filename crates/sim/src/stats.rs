@@ -19,6 +19,14 @@ pub struct CoflowResult {
     pub completed_at: f64,
     /// Total bytes the coflow transferred.
     pub bytes: f64,
+    /// Total time the coflow spent active at zero aggregate rate (every
+    /// open flow parked or rated zero) — the paper's §V starvation
+    /// observable. Maintained unconditionally (not gated by telemetry).
+    #[serde(default)]
+    pub starved_total: f64,
+    /// Longest contiguous zero-rate interval while active.
+    #[serde(default)]
+    pub starved_max: f64,
 }
 
 impl CoflowResult {
@@ -155,6 +163,21 @@ impl RunResult {
         }
     }
 
+    /// The worst single contiguous starvation interval any coflow saw
+    /// (seconds at zero aggregate rate while active); 0 for empty runs
+    /// and for runs where every coflow always held some rate.
+    pub fn max_starvation(&self) -> f64 {
+        self.coflows
+            .iter()
+            .map(|c| c.starved_max)
+            .fold(0.0, f64::max)
+    }
+
+    /// Total starved time summed over all coflows.
+    pub fn total_starvation(&self) -> f64 {
+        self.coflows.iter().map(|c| c.starved_total).sum()
+    }
+
     /// The `p`-th percentile of JCT (`0.0 ..= 1.0`); `None` on empty runs.
     ///
     /// # Panics
@@ -237,8 +260,57 @@ mod tests {
             activated_at: 3.0,
             completed_at: 7.5,
             bytes: MB,
+            starved_total: 0.0,
+            starved_max: 0.0,
         };
         assert_eq!(c.cct(), 4.5);
+    }
+
+    #[test]
+    fn starvation_fields_survive_serde_and_default_when_absent() {
+        let c = CoflowResult {
+            id: CoflowId(1),
+            job: JobId(0),
+            dag_vertex: 2,
+            activated_at: 1.0,
+            completed_at: 9.0,
+            bytes: MB,
+            starved_total: 3.5,
+            starved_max: 2.0,
+        };
+        let r = RunResult {
+            scheduler: "x".into(),
+            coflows: vec![c],
+            ..RunResult::default()
+        };
+        let back: RunResult = serde_json::from_str(&serde_json::to_string(&r).unwrap()).unwrap();
+        assert_eq!(back, r);
+        assert_eq!(back.max_starvation(), 2.0);
+        assert_eq!(back.total_starvation(), 3.5);
+        // Pre-telemetry coflow records (no starvation fields) still
+        // parse: strip the new fields from the serialized form and
+        // deserialize what a pre-PR-5 writer would have produced.
+        let mut v = r.to_value();
+        let serde::Value::Map(fields) = &mut v else {
+            panic!("RunResult serializes as an object");
+        };
+        let (_, coflows) = fields
+            .iter_mut()
+            .find(|(k, _)| k == "coflows")
+            .expect("coflows field");
+        let serde::Value::Seq(coflows) = coflows else {
+            panic!("coflows serializes as an array");
+        };
+        for c in coflows {
+            let serde::Value::Map(cf) = c else {
+                panic!("coflow serializes as an object");
+            };
+            cf.retain(|(k, _)| k != "starved_total" && k != "starved_max");
+        }
+        let old: RunResult = serde_json::from_str(&serde_json::to_string(&v).unwrap()).unwrap();
+        assert_eq!(old.coflows[0].starved_total, 0.0);
+        assert_eq!(old.coflows[0].starved_max, 0.0);
+        assert_eq!(old.max_starvation(), 0.0);
     }
 
     #[test]

@@ -8,10 +8,10 @@
 //! gates PRs; this example skips the warm-up run and A/B pass, so
 //! expect slightly noisier output).
 
+use gurita_bench::timed_run;
 use gurita_experiments::roster::SchedulerKind;
 use gurita_experiments::scenario::Scenario;
 use gurita_workload::dags::StructureKind;
-use std::time::Instant;
 
 fn main() {
     let jobs: usize = std::env::args()
@@ -29,14 +29,12 @@ fn main() {
         })
         .sum();
     eprintln!("jobs={} flows={}", specs.len(), flows);
-    let start = Instant::now();
-    let result = scenario.run(SchedulerKind::Gurita);
-    let elapsed = start.elapsed().as_secs_f64();
+    let (result, tp) = timed_run(|| scenario.run(SchedulerKind::Gurita));
     println!(
         "events={} elapsed={:.3}s events/sec={:.0} completed_jobs={} arena_unique={} arena_hit_rate={:.3}",
         result.events,
-        elapsed,
-        result.events as f64 / elapsed,
+        tp.wall_sec,
+        tp.events_per_sec,
         result.jobs.len(),
         result.path_arena_unique,
         result.path_arena_hit_rate

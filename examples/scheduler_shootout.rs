@@ -21,8 +21,7 @@ fn main() {
     let opts = FigureOptions {
         jobs,
         seed: 3,
-        full_scale: false,
-        par: 1,
+        ..FigureOptions::default()
     };
     let kinds = [
         SchedulerKind::Gurita,

@@ -27,7 +27,7 @@ phase fig6       "$BIN/fig6" --jobs 120
 phase fig7       "$BIN/fig7" --jobs 30
 phase fig8       "$BIN/fig8" --jobs 120
 phase ablation   "$BIN/ablation" --jobs 80
-phase sweep      "$BIN/sweep" --jobs 40
+phase sweep      "$BIN/sweep" --jobs 40 --trace-out results/trace
 phase chaos      "$BIN/chaos" --jobs 40
 phase bench      "$BIN/bench" --jobs 40
 total_end=$(date +%s)

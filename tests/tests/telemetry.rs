@@ -1,0 +1,243 @@
+//! Telemetry-layer integration tests: arming the probe must never
+//! change simulation results (bit-for-bit, property-tested across
+//! disciplines, faults, and control latency), traces must be
+//! well-formed, and the starvation watch must reproduce the paper's §V
+//! SPQ-vs-WRR contrast.
+
+use gurita_experiments::roster::SchedulerKind;
+use gurita_experiments::scenario::Scenario;
+use gurita_model::{HostId, JobSpec};
+use gurita_sim::faults::{FaultEvent, FaultSchedule};
+use gurita_sim::runtime::{SimConfig, Simulation};
+use gurita_sim::stats::RunResult;
+use gurita_sim::telemetry::{ChromeTraceSink, MemorySink, TelemetryConfig, TraceRecord};
+use gurita_sim::topology::{FatTree, LinkId};
+use gurita_workload::dags::StructureKind;
+use gurita_workload::generator::{JobGenerator, WorkloadConfig};
+use proptest::prelude::*;
+
+fn workload(num_jobs: usize, seed: u64) -> Vec<JobSpec> {
+    JobGenerator::new(
+        WorkloadConfig {
+            num_jobs,
+            num_hosts: 128,
+            structure: StructureKind::FbTao,
+            category_weights: [0.5, 0.3, 0.2, 0.0, 0.0, 0.0, 0.0],
+            ..WorkloadConfig::default()
+        },
+        seed,
+    )
+    .generate()
+}
+
+/// A schedule mixing brown-outs with hard link failure/recovery, so the
+/// probe's park/resume/reroute paths are all exercised.
+fn chaos_schedule() -> FaultSchedule {
+    let mut faults = FaultSchedule::new();
+    for i in 0..8 {
+        let host = HostId((i * 37) % 128);
+        faults.push(0.1, FaultEvent::BrownoutHost { host, factor: 0.3 });
+        faults.push(1.0, FaultEvent::RestoreHost { host });
+    }
+    faults.push(0.2, FaultEvent::FailLink { link: LinkId(300) });
+    faults.push(0.9, FaultEvent::RecoverLink { link: LinkId(300) });
+    faults
+}
+
+fn run_once(
+    kind: SchedulerKind,
+    jobs: &[JobSpec],
+    faults: &FaultSchedule,
+    control_latency: f64,
+    sink: Option<&mut MemorySink>,
+) -> RunResult {
+    let mut sim = Simulation::new(
+        FatTree::new(8).unwrap(),
+        SimConfig {
+            control_latency,
+            telemetry: sink.is_some().then(TelemetryConfig::default),
+            ..SimConfig::default()
+        },
+    );
+    let mut plane = kind.build_plane();
+    match sink {
+        Some(sink) => sim
+            .try_run_control_with_faults_traced(jobs.to_vec(), plane.as_mut(), faults, sink)
+            .unwrap(),
+        None => sim
+            .try_run_control_with_faults(jobs.to_vec(), plane.as_mut(), faults)
+            .unwrap(),
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// The zero-overhead contract: a run with the telemetry layer armed
+    /// produces a bit-for-bit identical [`RunResult`] to the same run
+    /// without it — under SPQ and WRR service, mid-run faults, and
+    /// nonzero control latency.
+    #[test]
+    fn armed_telemetry_never_changes_results(
+        seed in 0u64..1000,
+        latency_step in 0usize..3,
+    ) {
+        let jobs = workload(6, seed);
+        let faults = chaos_schedule();
+        let latency = [0.0, 0.002, 0.008][latency_step];
+        // WRR, SPQ, and the decentralized plane (the only one that
+        // defers tables through ControlUpdate events, where latency
+        // actually bites).
+        for kind in [
+            SchedulerKind::Gurita,
+            SchedulerKind::GuritaSpq,
+            SchedulerKind::GuritaLocal,
+        ] {
+            let plain = run_once(kind, &jobs, &faults, latency, None);
+            let mut sink = MemorySink::new();
+            let traced = run_once(kind, &jobs, &faults, latency, Some(&mut sink));
+            prop_assert_eq!(&plain, &traced, "telemetry changed the result");
+            prop_assert!(!sink.records.is_empty(), "armed run emitted no records");
+        }
+    }
+}
+
+#[test]
+fn trace_is_well_formed_and_staleness_matches_latency() {
+    const LATENCY: f64 = 0.004;
+    let jobs = workload(8, 7);
+    let mut sink = MemorySink::new();
+    // The decentralized plane: the one that defers tables through
+    // ControlUpdate events, so deliveries (and staleness) are observable.
+    let result = run_once(
+        SchedulerKind::GuritaLocal,
+        &jobs,
+        &chaos_schedule(),
+        LATENCY,
+        Some(&mut sink),
+    );
+
+    // Lifecycle pairing: every flow/coflow/job that starts completes,
+    // and the counts agree with the RunResult.
+    let count = |f: &dyn Fn(&TraceRecord) -> bool| sink.records.iter().filter(|r| f(r)).count();
+    let starts = count(&|r| matches!(r, TraceRecord::FlowStart { .. }));
+    let completes = count(&|r| matches!(r, TraceRecord::FlowComplete { .. }));
+    assert_eq!(starts, completes, "unbalanced flow start/complete");
+    assert!(starts > 0);
+    assert_eq!(
+        count(&|r| matches!(r, TraceRecord::CoflowActivate { .. })),
+        result.coflows.len()
+    );
+    assert_eq!(
+        count(&|r| matches!(r, TraceRecord::CoflowComplete { .. })),
+        result.coflows.len()
+    );
+    assert_eq!(
+        count(&|r| matches!(r, TraceRecord::JobComplete { .. })),
+        result.jobs.len()
+    );
+    assert!(
+        count(&|r| matches!(r, TraceRecord::Epoch(_))) > 0,
+        "no epoch samples"
+    );
+    assert!(
+        count(&|r| matches!(r, TraceRecord::FaultApplied { .. })) > 0,
+        "no fault records"
+    );
+
+    // Control deliveries carry the configured latency as staleness.
+    let mut deliveries = 0;
+    for r in &sink.records {
+        if let TraceRecord::ControlDelivered { staleness, .. } = r {
+            assert!(
+                (staleness - LATENCY).abs() < 1e-9,
+                "staleness {staleness} != latency {LATENCY}"
+            );
+            deliveries += 1;
+        }
+    }
+    assert!(deliveries > 0, "nonzero latency produced no deliveries");
+
+    // Records stream in simulation-time order, and epoch samples stay
+    // within the run.
+    let mut last = 0.0f64;
+    for s in sink.samples() {
+        assert!(s.t >= last - 1e-12, "epoch samples out of order");
+        assert!(s.t <= result.makespan + 1e-9);
+        last = s.t;
+    }
+
+    // Every record serializes to a single-key (externally tagged) JSON
+    // object — the JSONL schema consumers parse.
+    const TAGS: &[&str] = &[
+        "FlowStart",
+        "FlowPark",
+        "FlowResume",
+        "FlowComplete",
+        "CoflowActivate",
+        "CoflowComplete",
+        "CoflowStarved",
+        "JobComplete",
+        "PriorityMove",
+        "ControlDelivered",
+        "FaultApplied",
+        "Epoch",
+    ];
+    for r in &sink.records {
+        let line = serde_json::to_string(r).unwrap();
+        let v: serde::Value = serde_json::from_str(&line).unwrap();
+        let serde::Value::Map(fields) = v else {
+            panic!("record is not a JSON object: {line}");
+        };
+        assert_eq!(fields.len(), 1, "record is not externally tagged: {line}");
+        assert!(
+            TAGS.contains(&fields[0].0.as_str()),
+            "unknown record tag: {line}"
+        );
+    }
+}
+
+#[test]
+fn chrome_trace_export_is_loadable_json() {
+    let path = std::env::temp_dir().join("gurita_telemetry_test.trace.json");
+    let mut sink = ChromeTraceSink::new(&path);
+    let scenario = Scenario::trace_driven(StructureKind::FbTao, 4, 42);
+    let _ = scenario.run_traced(SchedulerKind::Gurita, &mut sink);
+    let written = sink.finish().unwrap();
+    let text = std::fs::read_to_string(&written).unwrap();
+    std::fs::remove_file(&written).ok();
+    let v: serde::Value = serde_json::from_str(&text).unwrap();
+    let serde::Value::Map(top) = v else {
+        panic!("trace is not a JSON object");
+    };
+    let (_, events) = top
+        .iter()
+        .find(|(k, _)| k == "traceEvents")
+        .expect("traceEvents field");
+    let serde::Value::Seq(events) = events else {
+        panic!("traceEvents is not an array");
+    };
+    assert!(!events.is_empty(), "empty Chrome trace");
+}
+
+/// The paper's §V observation, now measurable: strict priority starves
+/// low-priority coflows while WRR's guaranteed shares do not — on the
+/// same workload with the same thresholds.
+#[test]
+fn spq_starves_where_wrr_does_not() {
+    let scenario = Scenario::trace_driven(StructureKind::FbTao, 4, 42);
+    let spq = scenario.run(SchedulerKind::GuritaSpq);
+    let wrr = scenario.run(SchedulerKind::Gurita);
+    assert!(
+        spq.total_starvation() > 0.0,
+        "SPQ showed no starvation on the contended trace"
+    );
+    assert!(spq.max_starvation() > 0.0);
+    assert_eq!(wrr.total_starvation(), 0.0, "WRR starved a coflow");
+    // Per-coflow invariants: the longest interval never exceeds the
+    // total, and a coflow cannot starve longer than it was active.
+    for c in &spq.coflows {
+        assert!(c.starved_max <= c.starved_total + 1e-12);
+        assert!(c.starved_total <= c.cct() + 1e-9, "starved beyond lifetime");
+    }
+}
