@@ -6,7 +6,9 @@
 //! `--telemetry` (arm the instrumentation layer; results are bit-for-bit
 //! unaffected), and `--trace-out PREFIX` (capture an instrumented
 //! SPQ-vs-WRR trace pair to `PREFIX.*.events.jsonl` /
-//! `PREFIX.*.trace.json`; implies `--telemetry`). Unknown flags abort
+//! `PREFIX.*.trace.json`; implies `--telemetry`), and `--control-faults`
+//! (also run the control-plane chaos sweep — lossy coordination
+//! channels, agent crashes, coordinator partitions). Unknown flags abort
 //! with a usage message — the binaries are reproduction drivers, not
 //! general tools.
 
@@ -45,6 +47,7 @@ pub fn parse(args: &[String]) -> Result<FigureOptions, String> {
                 opts.par = v.parse().map_err(|_| format!("bad --par value `{v}`"))?;
             }
             "--telemetry" => opts.telemetry = true,
+            "--control-faults" => opts.control_faults = true,
             "--trace-out" => {
                 let v = it.next().ok_or("--trace-out requires a value")?;
                 if v.is_empty() {
@@ -62,7 +65,8 @@ pub fn parse(args: &[String]) -> Result<FigureOptions, String> {
 
 /// The usage string.
 pub fn usage() -> String {
-    "usage: <figure> [--jobs N] [--seed N] [--full] [--par N] [--telemetry] [--trace-out PREFIX]"
+    "usage: <figure> [--jobs N] [--seed N] [--full] [--par N] [--telemetry] \
+     [--trace-out PREFIX] [--control-faults]"
         .to_owned()
 }
 
@@ -86,6 +90,14 @@ mod tests {
         assert_eq!(o.par, 2);
         assert!(!o.telemetry);
         assert_eq!(o.trace_out, None);
+    }
+
+    #[test]
+    fn control_faults_flag() {
+        let o = parse(&[]).unwrap();
+        assert!(!o.control_faults);
+        let o = parse(&v(&["--control-faults"])).unwrap();
+        assert!(o.control_faults);
     }
 
     #[test]

@@ -6,6 +6,11 @@
 //! script per cell. Reports each scheduler's JCT inflation relative to
 //! its own healthy run, so the table isolates fault resilience from
 //! baseline scheduling quality.
+//!
+//! With `--control-faults`, additionally runs the control-plane chaos
+//! sweep (lossy coordination channels, agent crashes, coordinator
+//! partitions; see `gurita_experiments::sweeps::control_chaos_sweep`)
+//! and writes `results/control_chaos.json`.
 
 use gurita_experiments::roster::SchedulerKind;
 use gurita_experiments::scenario::Scenario;
@@ -125,6 +130,24 @@ fn main() {
     match report::write_results_file("chaos.json", &report::to_json(&cells)) {
         Ok(path) => println!("wrote {}", path.display()),
         Err(e) => eprintln!("could not write results file: {e}"),
+    }
+
+    if opts.control_faults {
+        let (gurita, aalo) =
+            gurita_experiments::sweeps::control_chaos_sweep(opts.jobs, opts.seed, opts.par);
+        for sweep in [&gurita, &aalo] {
+            let pairs: Vec<(&str, String)> = sweep
+                .points
+                .iter()
+                .map(|p| (p.setting.as_str(), format!("{:.3}s avg JCT", p.avg_jct)))
+                .collect();
+            println!("{}", report::render_kv(&sweep.parameter, &pairs));
+        }
+        match report::write_results_file("control_chaos.json", &report::to_json(&(&gurita, &aalo)))
+        {
+            Ok(path) => println!("wrote {}", path.display()),
+            Err(e) => eprintln!("could not write results file: {e}"),
+        }
     }
     gurita_experiments::trace::maybe_capture(&opts);
 }

@@ -38,6 +38,12 @@ pub struct FigureOptions {
     /// [`crate::trace::capture_starvation_pair`].
     #[serde(default)]
     pub trace_out: Option<String>,
+    /// Also run the control-plane chaos sweep (`--control-faults`):
+    /// lossy coordination channels, agent crashes, and coordinator
+    /// partitions at escalating severities (see
+    /// [`crate::sweeps::control_chaos_sweep`]).
+    #[serde(default)]
+    pub control_faults: bool,
 }
 
 impl Default for FigureOptions {
@@ -49,6 +55,7 @@ impl Default for FigureOptions {
             par: 1,
             telemetry: false,
             trace_out: None,
+            control_faults: false,
         }
     }
 }

@@ -7,7 +7,7 @@
 
 use crate::roster::SchedulerKind;
 use gurita_model::JobSpec;
-use gurita_sim::faults::FaultSchedule;
+use gurita_sim::faults::{ControlFaults, FaultSchedule};
 use gurita_sim::runtime::{SimConfig, Simulation};
 use gurita_sim::stats::RunResult;
 use gurita_sim::telemetry::{TelemetryConfig, TelemetrySink};
@@ -34,6 +34,11 @@ pub struct Scenario {
     /// Decision-propagation latency for decentralized kinds (see
     /// [`SimConfig::control_latency`]). Ignored by centralized planes.
     pub control_latency: f64,
+    /// Optional control-plane fault profile (lossy channels, agent
+    /// crashes, coordinator partitions — see
+    /// [`gurita_sim::faults::ControlFaults`]). `None` runs the fault-free
+    /// control plane.
+    pub control_faults: Option<ControlFaults>,
 }
 
 impl Scenario {
@@ -55,6 +60,7 @@ impl Scenario {
             seed,
             tick_interval: 10e-3,
             control_latency: 0.0,
+            control_faults: None,
         }
     }
 
@@ -80,6 +86,7 @@ impl Scenario {
             seed,
             tick_interval: 10e-3,
             control_latency: 0.0,
+            control_faults: None,
         }
     }
 
@@ -125,6 +132,7 @@ impl Scenario {
             SimConfig {
                 tick_interval: self.tick_interval,
                 control_latency: self.control_latency,
+                control_faults: self.control_faults.clone(),
                 ..SimConfig::default()
             },
         );
@@ -150,6 +158,7 @@ impl Scenario {
             SimConfig {
                 tick_interval: self.tick_interval,
                 control_latency: self.control_latency,
+                control_faults: self.control_faults.clone(),
                 telemetry: Some(TelemetryConfig::default()),
                 ..SimConfig::default()
             },

@@ -11,6 +11,9 @@
 //! * [`latency_sweep`] — head-receiver decision propagation latency;
 //! * [`control_latency_sweep`] — decentralized control-plane staleness
 //!   (the `*Local` schemes acting on delayed priority tables);
+//! * [`control_chaos_sweep`] — control-plane fault tolerance (lossy
+//!   channels, agent crashes, coordinator partitions at escalating
+//!   severities);
 //! * [`fault_sweep`] — degraded-fabric robustness (fraction of host
 //!   NICs browned out).
 
@@ -18,7 +21,7 @@ use crate::roster::SchedulerKind;
 use crate::scenario::Scenario;
 use gurita::scheduler::{GuritaConfig, GuritaScheduler};
 use gurita_model::HostId;
-use gurita_sim::faults::DegradedFabric;
+use gurita_sim::faults::{AgentCrash, ControlFaults, DegradedFabric, PartitionWindow};
 use gurita_sim::runtime::{SimConfig, Simulation};
 use gurita_sim::topology::FatTree;
 use gurita_workload::dags::StructureKind;
@@ -194,6 +197,92 @@ pub fn control_latency_sweep(jobs: usize, seed: u64, par: usize) -> (SweepResult
     )
 }
 
+/// Builds the escalating control-chaos ladder swept by
+/// [`control_chaos_sweep`]: a fault-free baseline, a lossy channel, and
+/// full chaos (heavier loss plus an agent crash/restart and a
+/// coordinator partition window). Severities are deterministic in
+/// `seed` so the sweep replays bit-for-bit.
+fn chaos_ladder(seed: u64) -> Vec<(&'static str, Option<ControlFaults>)> {
+    vec![
+        ("no faults", None),
+        (
+            "lossy 10%",
+            Some(ControlFaults {
+                drop_prob: 0.10,
+                duplicate_prob: 0.05,
+                reorder_prob: 0.05,
+                reorder_delay: 2e-3,
+                seed,
+                staleness_bound: 0.25,
+                ..ControlFaults::default()
+            }),
+        ),
+        (
+            "chaos 30% + crash + partition",
+            Some(ControlFaults {
+                drop_prob: 0.30,
+                duplicate_prob: 0.10,
+                reorder_prob: 0.10,
+                reorder_delay: 5e-3,
+                seed,
+                staleness_bound: 0.25,
+                crashes: vec![AgentCrash {
+                    host: HostId(7),
+                    at: 0.05,
+                    restart_after: Some(0.2),
+                }],
+                partitions: vec![PartitionWindow {
+                    start: 0.3,
+                    duration: 0.1,
+                }],
+                ..ControlFaults::default()
+            }),
+        ),
+    ]
+}
+
+/// Stresses the decentralized control plane's fault tolerance: each
+/// `*Local` scheme replays the byte-identical workload at 1 ms control
+/// latency under the escalating chaos ladder (fault-free → lossy →
+/// crash + partition). Returns `(gurita_local, aalo_local)` results;
+/// the `severity × scheme` grid runs on up to `par` worker threads. The
+/// first point of each result is the fault-free baseline, so per-severity
+/// slowdowns can be read off directly.
+pub fn control_chaos_sweep(jobs: usize, seed: u64, par: usize) -> (SweepResult, SweepResult) {
+    let ladder = chaos_ladder(seed);
+    let kinds = [SchedulerKind::GuritaLocal, SchedulerKind::AaloLocal];
+    let cells = crate::par::par_run(par, ladder.len() * kinds.len(), |cell| {
+        let (label, profile) = &ladder[cell / kinds.len()];
+        let kind = kinds[cell % kinds.len()];
+        let mut sc = scenario(jobs, seed);
+        sc.control_latency = 1e-3;
+        sc.control_faults = profile.clone();
+        SweepPoint {
+            setting: (*label).to_owned(),
+            avg_jct: sc.run(kind).avg_jct(),
+        }
+    });
+    let mut gurita_points = Vec::new();
+    let mut aalo_points = Vec::new();
+    for (i, p) in cells.into_iter().enumerate() {
+        if i % kinds.len() == 0 {
+            gurita_points.push(p);
+        } else {
+            aalo_points.push(p);
+        }
+    }
+    (
+        SweepResult {
+            parameter: "control chaos (Gurita@local)".into(),
+            points: gurita_points,
+        },
+        SweepResult {
+            parameter: "control chaos (Aalo@local)".into(),
+            points: aalo_points,
+        },
+    )
+}
+
 /// Degrades a growing fraction of host NICs to 30% capacity and
 /// measures Gurita's (and PFS's) average JCT — the fault-robustness
 /// sweep. Returns `(gurita, pfs)` results over the same faults. The
@@ -275,6 +364,25 @@ mod tests {
             assert_eq!(r.points[0].setting, "control latency 0ms");
             assert!(r.points.iter().all(|p| p.avg_jct > 0.0));
         }
+    }
+
+    #[test]
+    fn control_chaos_sweep_covers_the_ladder() {
+        let (g, a) = control_chaos_sweep(5, 7, 0);
+        for r in [&g, &a] {
+            assert_eq!(r.points.len(), 3);
+            assert_eq!(r.points[0].setting, "no faults");
+            assert!(r.points.iter().all(|p| p.avg_jct > 0.0));
+        }
+        // The chaos ladder is allowed to cost something, but the run
+        // must stay bounded: a wholesale collapse indicates the retry /
+        // degradation machinery is broken.
+        let base = g.points[0].avg_jct;
+        let worst = g.points.last().unwrap().avg_jct;
+        assert!(
+            worst <= base * 10.0,
+            "chaos slowdown unbounded: {base} -> {worst}"
+        );
     }
 
     #[test]

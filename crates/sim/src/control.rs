@@ -56,9 +56,12 @@
 //! observation exactly, floating-point summation order included). Both
 //! guarantees are pinned by cross-scheduler tests.
 
+use crate::faults::{ControlFaultEvent, ControlFaults, SplitMix64};
 use crate::sched::{CoflowObs, JobObs, Observation, Oracle, QueuePolicy, Scheduler};
+use crate::stats::ControlResilience;
+use crate::telemetry::TraceRecord;
 use gurita_model::{CoflowId, HostId, JobId};
-use std::collections::{HashMap, VecDeque};
+use std::collections::{BTreeMap, HashMap, VecDeque};
 
 /// A priority decision: the queue for each listed coflow. Entries for
 /// coflows that completed while the table was in flight are skipped at
@@ -254,6 +257,7 @@ pub enum ControlInput<'a> {
 }
 
 /// What the plane wants done after a decision point.
+#[derive(Default)]
 pub struct ControlOutput {
     /// Queue assignments to apply *now* (for the decentralized plane,
     /// the last *delivered* table — hosts acting on their stale view).
@@ -262,6 +266,30 @@ pub struct ControlOutput {
     /// `control_latency` from now carrying this token; on firing it
     /// calls [`ControlPlane::deliver`] with it.
     pub schedule_update: Option<u64>,
+    /// Per-sender-host tables, applied only to the flows *sourced at*
+    /// each listed host. Populated only by fault-armed decentralized
+    /// planes (where hosts may hold diverging tables); empty on every
+    /// legacy path, where `assignments` applies cluster-wide.
+    pub host_assignments: Vec<(HostId, PriorityTable)>,
+    /// Protocol timers to schedule: `(delay_from_now, token)` pairs.
+    /// The runtime turns each into a `ControlTimer` event and routes it
+    /// back through [`ControlPlane::on_timer`]. Empty on legacy paths.
+    pub timers: Vec<(f64, u64)>,
+    /// Control-protocol trace records; the runtime forwards them to the
+    /// telemetry sink when one is armed. Built only on fault paths, so
+    /// healthy runs pay nothing.
+    pub trace: Vec<TraceRecord>,
+}
+
+/// Side effects of one control-protocol step
+/// ([`ControlPlane::on_timer`]): follow-up timers plus trace records.
+#[derive(Debug, Default)]
+pub struct ControlEffects {
+    /// `(delay_from_now, token)` pairs to schedule as `ControlTimer`
+    /// events.
+    pub timers: Vec<(f64, u64)>,
+    /// Trace records for the telemetry sink.
+    pub trace: Vec<TraceRecord>,
 }
 
 /// The coordination layer: turns runtime state into queue assignments.
@@ -316,6 +344,40 @@ pub trait ControlPlane {
     /// Default: 0 (centralized planes deliver instantaneously).
     fn pending_updates(&self) -> usize {
         0
+    }
+
+    /// Arms a control-fault profile for the run. Default: ignore — the
+    /// centralized plane models an in-band controller with no separate
+    /// control channel, so control faults do not apply to it (only
+    /// [`Decentralized`] implements this).
+    fn arm_control_faults(&mut self, faults: &ControlFaults) {
+        let _ = faults;
+    }
+
+    /// A `ControlTimer` event fired: run the protocol step registered
+    /// under `token` (delivery, ack receipt, or retry check) and return
+    /// any follow-up timers plus trace records. Default: nothing
+    /// (planes without a fault profile never schedule timers).
+    fn on_timer(&mut self, token: u64, now: f64) -> ControlEffects {
+        let _ = (token, now);
+        ControlEffects::default()
+    }
+
+    /// A scheduled [`ControlFaultEvent`] fired (agent crash/restart,
+    /// partition edge). Returns trace records describing the
+    /// transition. Default: ignore.
+    fn control_fault(&mut self, event: &ControlFaultEvent, now: f64) -> Vec<TraceRecord> {
+        let _ = (event, now);
+        Vec::new()
+    }
+
+    /// End-of-run resilience counters, with any still-open degraded
+    /// windows closed at `now`. `None` when the plane never armed a
+    /// fault profile (the engine then leaves
+    /// [`crate::stats::RunResult::control`] at its all-zero default).
+    fn resilience(&self, now: f64) -> Option<ControlResilience> {
+        let _ = now;
+        None
     }
 
     /// Notifies the plane that a coflow completed.
@@ -385,7 +447,7 @@ impl<S: Scheduler> ControlPlane for Centralized<S> {
                         .zip(assignment)
                         .map(|(c, q)| (c.id, q))
                         .collect(),
-                    schedule_update: None,
+                    ..ControlOutput::default()
                 }
             }
             ControlInput::Local { .. } => {
@@ -409,6 +471,149 @@ impl<S: Scheduler> ControlPlane for Centralized<S> {
     }
 }
 
+/// Per-host delivery channel state under a fault profile: what the host
+/// has applied, when, and whether its agent is alive.
+#[derive(Debug, Clone, Default)]
+struct HostChannel {
+    /// Highest sequence number the host has applied, `None` before the
+    /// first successful delivery (and after a restart).
+    applied_seq: Option<u64>,
+    /// Time the applied table last matched the coordinator's latest
+    /// decision (refreshed each unpartitioned decision point while the
+    /// host is current — staleness measures lag behind the newest
+    /// decision, not table age).
+    applied_at: f64,
+    /// The host's applied table; what it schedules on while not
+    /// degraded.
+    table: PriorityTable,
+    /// Highest sequence number ever transmitted toward this host; the
+    /// coordinator sends once per (host, seq) and lets retries redrive.
+    sent_seq: u64,
+    /// The host's agent is down: no reports, deliveries lost, frozen
+    /// table.
+    crashed: bool,
+    /// Start of the host's open degraded (local-fallback) window.
+    degraded_since: Option<f64>,
+}
+
+impl HostChannel {
+    fn new(now: f64) -> Self {
+        Self {
+            applied_at: now,
+            ..Self::default()
+        }
+    }
+}
+
+/// An in-flight protocol step, keyed by timer token.
+#[derive(Debug, Clone)]
+enum TimerPayload {
+    /// A table transmission arrives at `host`.
+    Deliver {
+        host: usize,
+        seq: u64,
+        table: PriorityTable,
+    },
+    /// The host's ack for `seq` arrives back at the coordinator.
+    Ack { host: usize, seq: u64 },
+    /// Ack-timeout check for transmission number `attempt` of `seq`.
+    Retry { host: usize, seq: u64, attempt: u32 },
+}
+
+/// The armed control-fault machinery of a [`Decentralized`] plane.
+/// Present only when a non-null [`ControlFaults`] profile was armed;
+/// its absence keeps the legacy decide path untouched (the zero-fault
+/// bit-for-bit guarantee).
+struct FaultState {
+    profile: ControlFaults,
+    rng: SplitMix64,
+    /// Host index → channel state, ordered for deterministic iteration.
+    channels: BTreeMap<usize, HostChannel>,
+    /// Sequence number of the newest decision.
+    latest_seq: u64,
+    /// The newest decided table (what retransmissions carry).
+    latest_table: PriorityTable,
+    /// Coordinator currently partitioned away.
+    partitioned: bool,
+    /// Channel one-way latency, captured from the decide input.
+    latency: f64,
+    /// Timer token → pending protocol step.
+    payloads: HashMap<u64, TimerPayload>,
+    next_token: u64,
+    /// Host index → highest acked sequence number.
+    acked: HashMap<usize, u64>,
+    resilience: ControlResilience,
+}
+
+impl FaultState {
+    fn new(profile: ControlFaults) -> Self {
+        Self {
+            rng: SplitMix64::new(profile.seed),
+            profile,
+            channels: BTreeMap::new(),
+            latest_seq: 0,
+            latest_table: PriorityTable::new(),
+            partitioned: false,
+            latency: 0.0,
+            payloads: HashMap::new(),
+            next_token: 0,
+            acked: HashMap::new(),
+            resilience: ControlResilience::default(),
+        }
+    }
+
+    fn mint_token(&mut self, payload: TimerPayload) -> u64 {
+        let token = self.next_token;
+        self.next_token += 1;
+        self.payloads.insert(token, payload);
+        token
+    }
+
+    /// One transmission of `latest_table` toward `host` through the
+    /// lossy channel: rolls drop/reorder/duplicate, schedules the
+    /// delivery timer(s) that survive, and always schedules the
+    /// ack-timeout check for this attempt with capped exponential
+    /// backoff.
+    fn transmit(
+        &mut self,
+        host: usize,
+        seq: u64,
+        attempt: u32,
+        now: f64,
+        timers: &mut Vec<(f64, u64)>,
+        trace: &mut Vec<TraceRecord>,
+    ) {
+        self.resilience.messages_sent += 1;
+        let dropped = self.rng.next_f64() < self.profile.drop_prob;
+        let reordered = self.rng.next_f64() < self.profile.reorder_prob;
+        let duplicated = self.rng.next_f64() < self.profile.duplicate_prob;
+        if dropped {
+            self.resilience.messages_dropped += 1;
+            trace.push(TraceRecord::ControlDropped { t: now, host, seq });
+        } else {
+            let delay = self.latency
+                + if reordered {
+                    self.profile.reorder_delay
+                } else {
+                    0.0
+                };
+            let table = self.latest_table.clone();
+            let token = self.mint_token(TimerPayload::Deliver { host, seq, table });
+            timers.push((delay, token));
+        }
+        if duplicated {
+            self.resilience.messages_duplicated += 1;
+            let table = self.latest_table.clone();
+            let token = self.mint_token(TimerPayload::Deliver { host, seq, table });
+            timers.push((self.latency, token));
+        }
+        let backoff = (self.profile.ack_timeout * self.profile.backoff_factor.powi(attempt as i32))
+            .min(self.profile.max_backoff);
+        let token = self.mint_token(TimerPayload::Retry { host, seq, attempt });
+        timers.push((backoff, token));
+    }
+}
+
 /// The decentralized coordination layer: one [`HostAgent`] per sender
 /// host plus a designated *head* agent holding the scheme's decision
 /// state (mirroring the paper's head-receiver role). See the
@@ -425,6 +630,8 @@ pub struct Decentralized {
     /// Tables in flight: `(token, table)`, delivery-ordered.
     pending: VecDeque<(u64, PriorityTable)>,
     next_token: u64,
+    /// Armed control-fault machinery; `None` on the legacy path.
+    faults: Option<FaultState>,
 }
 
 impl std::fmt::Debug for Decentralized {
@@ -455,6 +662,7 @@ impl Decentralized {
             last_emitted: PriorityTable::new(),
             pending: VecDeque::new(),
             next_token: 0,
+            faults: None,
         }
     }
 
@@ -463,9 +671,140 @@ impl Decentralized {
         self.agents.len()
     }
 
-    /// Tables currently in flight to the hosts.
+    /// Tables currently in flight to the hosts: legacy `ControlUpdate`
+    /// deliveries plus, when a fault profile is armed, protocol
+    /// deliveries still on the wire.
     pub fn pending_updates(&self) -> usize {
-        self.pending.len()
+        let in_flight = self.faults.as_ref().map_or(0, |fs| {
+            fs.payloads
+                .values()
+                .filter(|p| matches!(p, TimerPayload::Deliver { .. }))
+                .count()
+        });
+        self.pending.len() + in_flight
+    }
+
+    /// The decision point under an armed fault profile: digest reports
+    /// from live hosts, decide (unless partitioned), push the new table
+    /// through the lossy ack/retry channel, and emit per-host tables
+    /// down the degradation ladder — applied table → frozen table
+    /// (crashed agent) → local fallback (staleness bound exceeded).
+    fn decide_with_faults(
+        &mut self,
+        now: f64,
+        latency: f64,
+        views: Vec<LocalObservation>,
+    ) -> ControlOutput {
+        let Self {
+            head,
+            agents,
+            factory,
+            faults,
+            ..
+        } = self;
+        let fs = faults
+            .as_mut()
+            .expect("decide_with_faults requires an armed profile");
+        fs.latency = latency;
+        let mut out = ControlOutput::default();
+
+        // Digest local views into reports. Crashed hosts neither report
+        // nor decide; they are remembered for the output pass below.
+        let mut reports: Vec<HostReport> = Vec::new();
+        let mut report_idx: HashMap<usize, usize> = HashMap::new();
+        let mut present: Vec<usize> = Vec::new();
+        for view in views {
+            let h = view.host.index();
+            present.push(h);
+            let ch = fs
+                .channels
+                .entry(h)
+                .or_insert_with(|| HostChannel::new(now));
+            if ch.crashed {
+                continue;
+            }
+            report_idx.insert(h, reports.len());
+            reports.push(
+                agents
+                    .entry(view.host)
+                    .or_insert_with(|| factory())
+                    .report(view),
+            );
+        }
+        present.sort_unstable();
+
+        if !fs.partitioned {
+            let merged = merge_reports(now, &reports);
+            let table = head.decide(&merged, &Oracle::deny());
+            if table != fs.latest_table || fs.latest_seq == 0 {
+                fs.latest_seq += 1;
+                fs.latest_table = table;
+            }
+            let latest = fs.latest_seq;
+            // Transmit to every live reporting host that has not yet
+            // been sent the newest table (covers fresh decisions and
+            // newly-seen hosts catching up), and refresh the staleness
+            // clock of hosts already current: staleness measures lag
+            // behind the latest decision, so an unchanged table must
+            // not age into spurious degradation.
+            for &h in &present {
+                let ch = fs.channels.get_mut(&h).expect("channel minted above");
+                if ch.crashed {
+                    continue;
+                }
+                let needs_send = ch.sent_seq < latest;
+                if needs_send {
+                    ch.sent_seq = latest;
+                }
+                if ch.applied_seq == Some(latest) {
+                    ch.applied_at = now;
+                }
+                if needs_send {
+                    fs.transmit(h, latest, 0, now, &mut out.timers, &mut out.trace);
+                }
+            }
+        }
+
+        // Output pass: one table per present host, down the ladder.
+        for &h in &present {
+            let ch = fs.channels.get_mut(&h).expect("channel minted above");
+            if ch.crashed {
+                // Frozen: the crashed agent *is* the local scheduler,
+                // so the host keeps its last-applied table.
+                out.host_assignments.push((HostId(h), ch.table.clone()));
+                continue;
+            }
+            let staleness = now - ch.applied_at;
+            if staleness > fs.resilience.max_table_staleness {
+                fs.resilience.max_table_staleness = staleness;
+            }
+            if staleness > fs.profile.staleness_bound {
+                if ch.degraded_since.is_none() {
+                    ch.degraded_since = Some(now);
+                    fs.resilience.degraded_entries += 1;
+                }
+                // Local fallback: the host's own agent decides from its
+                // own report alone — the scheme run per host.
+                let idx = report_idx[&h];
+                let local = merge_reports(now, std::slice::from_ref(&reports[idx]));
+                let table = agents
+                    .get_mut(&HostId(h))
+                    .expect("agent minted at digestion")
+                    .decide(&local, &Oracle::deny());
+                out.host_assignments.push((HostId(h), table));
+            } else {
+                if let Some(since) = ch.degraded_since.take() {
+                    fs.resilience.degraded_time += now - since;
+                    out.trace.push(TraceRecord::ControlDegraded {
+                        t: now,
+                        host: h,
+                        dur: now - since,
+                    });
+                }
+                out.host_assignments.push((HostId(h), ch.table.clone()));
+            }
+        }
+        out
     }
 }
 
@@ -487,7 +826,159 @@ impl ControlPlane for Decentralized {
     }
 
     fn pending_updates(&self) -> usize {
-        self.pending.len()
+        Decentralized::pending_updates(self)
+    }
+
+    fn arm_control_faults(&mut self, faults: &ControlFaults) {
+        // A null profile can never perturb the run; leaving the legacy
+        // path untouched is what pins the zero-fault bit-for-bit
+        // identity (proptested in `tests/tests/control_faults.rs`).
+        if !faults.is_null() {
+            self.faults = Some(FaultState::new(faults.clone()));
+        }
+    }
+
+    fn on_timer(&mut self, token: u64, now: f64) -> ControlEffects {
+        let mut fx = ControlEffects::default();
+        let Some(fs) = self.faults.as_mut() else {
+            return fx;
+        };
+        let Some(payload) = fs.payloads.remove(&token) else {
+            return fx;
+        };
+        match payload {
+            TimerPayload::Deliver { host, seq, table } => {
+                let ch = fs
+                    .channels
+                    .entry(host)
+                    .or_insert_with(|| HostChannel::new(now));
+                if ch.crashed {
+                    // Lost on the floor of a dead agent; the restart
+                    // resync (sent_seq reset) re-drives delivery.
+                } else if ch.applied_seq.is_some_and(|a| a >= seq) {
+                    fs.resilience.messages_deduped += 1;
+                    fx.trace
+                        .push(TraceRecord::ControlDeduped { t: now, host, seq });
+                } else {
+                    ch.applied_seq = Some(seq);
+                    ch.applied_at = now;
+                    ch.table = table;
+                    fx.trace
+                        .push(TraceRecord::ControlApplied { t: now, host, seq });
+                    // The ack rides the same lossy channel back.
+                    if fs.rng.next_f64() < fs.profile.drop_prob {
+                        fs.resilience.acks_lost += 1;
+                    } else {
+                        let latency = fs.latency;
+                        let token = fs.mint_token(TimerPayload::Ack { host, seq });
+                        fx.timers.push((latency, token));
+                    }
+                }
+            }
+            TimerPayload::Ack { host, seq } => {
+                if fs.partitioned {
+                    // The coordinator is unreachable; the ack is lost
+                    // and the retry timer keeps driving.
+                    fs.resilience.acks_lost += 1;
+                } else {
+                    let e = fs.acked.entry(host).or_insert(0);
+                    *e = (*e).max(seq);
+                }
+            }
+            TimerPayload::Retry { host, seq, attempt } => {
+                let superseded = seq != fs.latest_seq;
+                let acked = fs.acked.get(&host).is_some_and(|&a| a >= seq);
+                let crashed = fs.channels.get(&host).is_some_and(|c| c.crashed);
+                if superseded || acked || crashed {
+                    // Nothing to redrive: a newer table took over, the
+                    // host confirmed receipt, or the restart resync
+                    // will re-send from the decision loop.
+                } else if attempt >= fs.profile.max_retries {
+                    fs.resilience.retries_abandoned += 1;
+                } else {
+                    fs.resilience.messages_retried += 1;
+                    fx.trace.push(TraceRecord::ControlRetransmit {
+                        t: now,
+                        host,
+                        seq,
+                        attempt: attempt + 1,
+                    });
+                    fs.transmit(host, seq, attempt + 1, now, &mut fx.timers, &mut fx.trace);
+                }
+            }
+        }
+        fx
+    }
+
+    fn control_fault(&mut self, event: &ControlFaultEvent, now: f64) -> Vec<TraceRecord> {
+        let mut trace = Vec::new();
+        let Some(fs) = self.faults.as_mut() else {
+            return trace;
+        };
+        match *event {
+            ControlFaultEvent::AgentCrash { host } => {
+                let h = host.index();
+                let ch = fs
+                    .channels
+                    .entry(h)
+                    .or_insert_with(|| HostChannel::new(now));
+                ch.crashed = true;
+                // A crashed host is frozen, not degraded: close any
+                // open fallback window.
+                if let Some(since) = ch.degraded_since.take() {
+                    fs.resilience.degraded_time += now - since;
+                    trace.push(TraceRecord::ControlDegraded {
+                        t: now,
+                        host: h,
+                        dur: now - since,
+                    });
+                }
+                fs.resilience.agent_crashes += 1;
+                trace.push(TraceRecord::AgentCrashed { t: now, host: h });
+            }
+            ControlFaultEvent::AgentRestart { host } => {
+                let h = host.index();
+                let ch = fs
+                    .channels
+                    .entry(h)
+                    .or_insert_with(|| HostChannel::new(now));
+                ch.crashed = false;
+                ch.applied_seq = None;
+                ch.table = PriorityTable::new();
+                ch.applied_at = now;
+                ch.sent_seq = 0;
+                fs.acked.remove(&h);
+                fs.resilience.agent_restarts += 1;
+                trace.push(TraceRecord::AgentRestarted { t: now, host: h });
+            }
+            ControlFaultEvent::PartitionStart => {
+                fs.partitioned = true;
+                fs.resilience.partitions += 1;
+                trace.push(TraceRecord::Partition {
+                    t: now,
+                    active: true,
+                });
+            }
+            ControlFaultEvent::PartitionEnd => {
+                fs.partitioned = false;
+                trace.push(TraceRecord::Partition {
+                    t: now,
+                    active: false,
+                });
+            }
+        }
+        trace
+    }
+
+    fn resilience(&self, now: f64) -> Option<ControlResilience> {
+        let fs = self.faults.as_ref()?;
+        let mut res = fs.resilience.clone();
+        for ch in fs.channels.values() {
+            if let Some(since) = ch.degraded_since {
+                res.degraded_time += now - since;
+            }
+        }
+        Some(res)
     }
 
     fn decide(&mut self, input: ControlInput<'_>) -> ControlOutput {
@@ -499,6 +990,9 @@ impl ControlPlane for Decentralized {
         else {
             panic!("Decentralized control plane requires per-host views")
         };
+        if self.faults.is_some() {
+            return self.decide_with_faults(now, latency, views);
+        }
         let Self {
             agents, factory, ..
         } = self;
@@ -521,7 +1015,7 @@ impl ControlPlane for Decentralized {
             self.last_emitted.clone_from(&self.current);
             return ControlOutput {
                 assignments: self.current.clone(),
-                schedule_update: None,
+                ..ControlOutput::default()
             };
         }
         let schedule_update = if table != self.last_emitted {
@@ -539,6 +1033,7 @@ impl ControlPlane for Decentralized {
         ControlOutput {
             assignments: self.current.clone(),
             schedule_update,
+            ..ControlOutput::default()
         }
     }
 
@@ -728,5 +1223,240 @@ mod tests {
         });
         assert_eq!(out3.assignments, vec![(CoflowId(0), 1)]);
         assert!(plane.deliver(999).is_none(), "unknown token ignored");
+    }
+
+    fn armed_plane(profile: &ControlFaults) -> Decentralized {
+        let mut plane = Decentralized::new(|| Box::new(CountingAgent { decisions: 0 }));
+        plane.arm_control_faults(profile);
+        plane
+    }
+
+    #[test]
+    fn arming_a_null_profile_leaves_the_legacy_path() {
+        let mut plane = Decentralized::new(|| Box::new(CountingAgent { decisions: 0 }));
+        plane.arm_control_faults(&ControlFaults::default());
+        assert!(plane.faults.is_none(), "null profile must not arm");
+        assert!(plane.resilience(0.0).is_none());
+        let out = plane.decide(ControlInput::Local {
+            now: 0.0,
+            latency: 0.0,
+            views: vec![view(0, 0, 9.0)],
+        });
+        assert_eq!(out.assignments, vec![(CoflowId(0), 1)]);
+        assert!(out.host_assignments.is_empty());
+        assert!(out.timers.is_empty());
+    }
+
+    #[test]
+    fn duplicate_deliveries_are_deduped_by_sequence() {
+        let profile = ControlFaults {
+            duplicate_prob: 1.0,
+            ack_timeout: 1.0,
+            max_backoff: 1.0,
+            ..ControlFaults::default()
+        };
+        let mut plane = armed_plane(&profile);
+        let out = plane.decide(ControlInput::Local {
+            now: 0.0,
+            latency: 0.01,
+            views: vec![view(0, 0, 9.0)],
+        });
+        assert!(
+            out.assignments.is_empty(),
+            "fault path bypasses the uniform table"
+        );
+        // Original + duplicate delivery at the wire latency, plus the
+        // ack-timeout retry check a full second out.
+        assert_eq!(out.timers.len(), 3);
+        let delivers: Vec<u64> = out
+            .timers
+            .iter()
+            .filter(|&&(d, _)| d < 1.0)
+            .map(|&(_, t)| t)
+            .collect();
+        assert_eq!(delivers.len(), 2);
+        let fx = plane.on_timer(delivers[0], 0.01);
+        assert!(
+            fx.trace
+                .iter()
+                .any(|r| matches!(r, TraceRecord::ControlApplied { .. })),
+            "first copy applies"
+        );
+        assert_eq!(fx.timers.len(), 1, "ack scheduled");
+        let fx2 = plane.on_timer(delivers[1], 0.01);
+        assert!(
+            fx2.trace
+                .iter()
+                .any(|r| matches!(r, TraceRecord::ControlDeduped { .. })),
+            "second copy deduped"
+        );
+        assert!(fx2.timers.is_empty(), "duplicates do not re-ack");
+        let res = plane
+            .resilience(0.02)
+            .expect("armed plane reports resilience");
+        assert_eq!(res.messages_sent, 1);
+        assert_eq!(res.messages_duplicated, 1);
+        assert_eq!(res.messages_deduped, 1);
+        // The applied table lands as a per-host assignment next decision.
+        let out2 = plane.decide(ControlInput::Local {
+            now: 0.02,
+            latency: 0.01,
+            views: vec![view(0, 0, 9.0)],
+        });
+        assert_eq!(
+            out2.host_assignments,
+            vec![(HostId(0), vec![(CoflowId(0), 1)])]
+        );
+    }
+
+    #[test]
+    fn retries_back_off_capped_and_abandon() {
+        let profile = ControlFaults {
+            drop_prob: 1.0,
+            ack_timeout: 0.01,
+            backoff_factor: 2.0,
+            max_backoff: 0.03,
+            max_retries: 3,
+            ..ControlFaults::default()
+        };
+        let mut plane = armed_plane(&profile);
+        let out = plane.decide(ControlInput::Local {
+            now: 0.0,
+            latency: 0.0,
+            views: vec![view(0, 0, 9.0)],
+        });
+        // Everything drops: the only timer is the attempt-0 retry check.
+        assert_eq!(out.timers.len(), 1);
+        let (mut delay, mut token) = out.timers[0];
+        let mut delays = Vec::new();
+        let mut now = 0.0;
+        loop {
+            delays.push(delay);
+            now += delay;
+            let fx = plane.on_timer(token, now);
+            match fx.timers.as_slice() {
+                [] => break,
+                &[(d, t)] => {
+                    delay = d;
+                    token = t;
+                }
+                more => panic!("unexpected timers {more:?}"),
+            }
+        }
+        // Exponential backoff, capped at max_backoff, abandoned after
+        // max_retries redrives.
+        assert_eq!(delays, vec![0.01, 0.02, 0.03, 0.03]);
+        let res = plane.resilience(now).expect("armed");
+        assert_eq!(res.messages_sent, 4);
+        assert_eq!(res.messages_dropped, 4);
+        assert_eq!(res.messages_retried, 3);
+        assert_eq!(res.retries_abandoned, 1);
+    }
+
+    #[test]
+    fn staleness_bound_degrades_to_local_scheduling() {
+        let profile = ControlFaults {
+            drop_prob: 1.0, // nothing ever lands
+            staleness_bound: 0.05,
+            ..ControlFaults::default()
+        };
+        let mut plane = armed_plane(&profile);
+        let out = plane.decide(ControlInput::Local {
+            now: 0.0,
+            latency: 0.01,
+            views: vec![view(0, 0, 9.0)],
+        });
+        // Within the bound the (empty) applied table holds.
+        assert_eq!(out.host_assignments, vec![(HostId(0), vec![])]);
+        let out2 = plane.decide(ControlInput::Local {
+            now: 0.1,
+            latency: 0.01,
+            views: vec![view(0, 0, 9.0)],
+        });
+        // Past the bound the host's own agent decides from its own report.
+        assert_eq!(
+            out2.host_assignments,
+            vec![(HostId(0), vec![(CoflowId(0), 1)])]
+        );
+        let res = plane.resilience(0.2).expect("armed");
+        assert_eq!(res.degraded_entries, 1);
+        assert!(res.max_table_staleness >= 0.1);
+        assert!(
+            res.degraded_time >= 0.1 - 1e-9,
+            "open degraded window accrues up to now: {}",
+            res.degraded_time
+        );
+    }
+
+    #[test]
+    fn crash_freezes_table_and_restart_resyncs() {
+        // Lossless channel; the (far-future) scheduled crash only makes
+        // the profile non-null — the crash under test is injected by
+        // hand below.
+        let profile = ControlFaults {
+            ack_timeout: 1.0,
+            max_backoff: 1.0,
+            crashes: vec![crate::faults::AgentCrash {
+                host: HostId(0),
+                at: 1e9,
+                restart_after: None,
+            }],
+            ..ControlFaults::default()
+        };
+        let mut plane = armed_plane(&profile);
+        let views = || vec![view(0, 0, 9.0), view(1, 1, 1.0)];
+        let out = plane.decide(ControlInput::Local {
+            now: 0.0,
+            latency: 0.01,
+            views: views(),
+        });
+        let delivers: Vec<u64> = out
+            .timers
+            .iter()
+            .filter(|&&(d, _)| d < 1.0)
+            .map(|&(_, t)| t)
+            .collect();
+        assert_eq!(delivers.len(), 2, "one delivery per host");
+        for t in delivers {
+            plane.on_timer(t, 0.01);
+        }
+        let table = vec![(CoflowId(0), 1), (CoflowId(1), 0)];
+        let out1 = plane.decide(ControlInput::Local {
+            now: 0.02,
+            latency: 0.01,
+            views: views(),
+        });
+        assert_eq!(
+            out1.host_assignments,
+            vec![(HostId(0), table.clone()), (HostId(1), table.clone())]
+        );
+        // Crash host 0: it stops reporting and keeps its frozen table
+        // even as the cluster's decision moves on.
+        plane.control_fault(&ControlFaultEvent::AgentCrash { host: HostId(0) }, 0.03);
+        let shifted = || vec![view(0, 0, 9.0), view(1, 1, 7.0)];
+        let out2 = plane.decide(ControlInput::Local {
+            now: 0.04,
+            latency: 0.01,
+            views: shifted(),
+        });
+        assert_eq!(
+            out2.host_assignments[0],
+            (HostId(0), table.clone()),
+            "frozen"
+        );
+        // Restart resyncs: the next decision re-drives delivery.
+        plane.control_fault(&ControlFaultEvent::AgentRestart { host: HostId(0) }, 0.05);
+        let out3 = plane.decide(ControlInput::Local {
+            now: 0.06,
+            latency: 0.01,
+            views: shifted(),
+        });
+        assert!(
+            out3.timers.iter().any(|&(d, _)| d < 1.0),
+            "restarted host is re-sent the latest table"
+        );
+        let res = plane.resilience(0.06).expect("armed");
+        assert_eq!(res.agent_crashes, 1);
+        assert_eq!(res.agent_restarts, 1);
     }
 }

@@ -345,6 +345,35 @@ impl FaultSchedule {
         self.events.is_empty()
     }
 
+    /// Builds a schedule from pre-collected events, validating every
+    /// entry against `fabric` at construction instead of at run start:
+    /// out-of-range host/link ids, bad factors, and non-finite times are
+    /// rejected exactly as [`FaultSchedule::validate`] rejects them, and
+    /// — unlike `push`, which accepts any insertion order — the
+    /// timestamps must additionally be non-decreasing, so a generator
+    /// emitting a time-ordered script finds ordering bugs here rather
+    /// than as silently resequenced faults mid-run.
+    ///
+    /// # Errors
+    ///
+    /// [`SimError::InvalidFault`] describing the first offending entry
+    /// or the first backwards timestamp.
+    pub fn try_new(events: Vec<TimedFault>, fabric: &impl Fabric) -> Result<Self, SimError> {
+        let schedule = Self { events };
+        schedule.validate(fabric)?;
+        for pair in schedule.events.windows(2) {
+            if pair[1].at < pair[0].at {
+                return Err(SimError::InvalidFault {
+                    reason: format!(
+                        "fault times must be non-decreasing, got {} after {}",
+                        pair[1].at, pair[0].at
+                    ),
+                });
+            }
+        }
+        Ok(schedule)
+    }
+
     /// Checks every entry against `fabric`: links/hosts must exist,
     /// factors must lie in `(0, 1]`, times must be finite and
     /// non-negative.
@@ -630,6 +659,300 @@ pub fn resalt_live_path_vec<F: Fabric + ?Sized>(
     Ok(None)
 }
 
+/// Minimal splitmix64 stream used for the control-fault coin flips.
+///
+/// Self-contained so the fault model does not depend on the vendored
+/// `rand` crate (which the `sim` crate deliberately avoids): same seed →
+/// same stream on every platform, which is what makes fault-armed runs
+/// replayable. The additive constant is the same odd multiplier the
+/// private re-route `resalt` sequence uses.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SplitMix64 {
+    state: u64,
+}
+
+impl SplitMix64 {
+    /// Creates a stream seeded with `seed`.
+    pub fn new(seed: u64) -> Self {
+        Self { state: seed }
+    }
+
+    /// Returns the next 64-bit output.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// Returns a uniform draw from `[0, 1)` with 53 bits of precision.
+    pub fn next_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+/// A scheduled crash of one host's scheduling agent.
+///
+/// While crashed the agent neither reports local observations nor
+/// applies delivered priority tables; its host keeps scheduling on the
+/// last table the agent applied before dying. If `restart_after` is set
+/// the agent comes back that many seconds later with empty state (it
+/// re-syncs through the ordinary delivery protocol).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AgentCrash {
+    /// Host whose agent crashes.
+    pub host: HostId,
+    /// Crash time (simulation seconds).
+    pub at: f64,
+    /// Seconds after the crash at which the agent restarts; `None`
+    /// means the agent stays down for the rest of the run.
+    pub restart_after: Option<f64>,
+}
+
+/// A window during which the coordinator is unreachable.
+///
+/// While partitioned the coordinator neither collects reports nor emits
+/// new tables, and acks sent to it are lost; deliveries already in
+/// flight toward hosts still land. Hosts ride out the window on their
+/// last-applied tables and fall back to local decisions once those
+/// tables exceed the staleness bound.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PartitionWindow {
+    /// Window start (simulation seconds).
+    pub start: f64,
+    /// Window length in seconds; must be positive.
+    pub duration: f64,
+}
+
+/// One expanded entry of a [`ControlFaults`] timeline — the concrete
+/// state transitions the engine replays as events.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ControlFaultEvent {
+    /// The named host's agent goes down.
+    AgentCrash {
+        /// Host whose agent crashes.
+        host: HostId,
+    },
+    /// The named host's agent comes back with empty state.
+    AgentRestart {
+        /// Host whose agent restarts.
+        host: HostId,
+    },
+    /// The coordinator becomes unreachable.
+    PartitionStart,
+    /// The coordinator becomes reachable again.
+    PartitionEnd,
+}
+
+/// Control-plane fault profile: lossy coordinator↔host channels plus
+/// scheduled agent crashes and coordinator partitions.
+///
+/// All randomness comes from `seed` through [`SplitMix64`], so the same
+/// profile over the same workload replays bit-for-bit. A profile where
+/// [`ControlFaults::is_null`] holds arms nothing: the control plane
+/// stays on its exact legacy delivery path and results are unchanged.
+///
+/// Not serializable on purpose: the profile rides inside
+/// [`crate::runtime::SimConfig`] (itself non-serde), and the default
+/// `staleness_bound` of `f64::INFINITY` has no JSON representation.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ControlFaults {
+    /// Probability that any single control message (table delivery or
+    /// ack) is dropped, in `[0, 1]`.
+    pub drop_prob: f64,
+    /// Probability that a table delivery is duplicated, in `[0, 1]`.
+    pub duplicate_prob: f64,
+    /// Probability that a table delivery is delayed by `reorder_delay`
+    /// (arriving after messages sent later), in `[0, 1]`.
+    pub reorder_prob: f64,
+    /// Extra delay applied to reordered deliveries, seconds.
+    pub reorder_delay: f64,
+    /// Seed of the fault coin-flip stream.
+    pub seed: u64,
+    /// Seconds the coordinator waits for an ack before retransmitting.
+    pub ack_timeout: f64,
+    /// Multiplier applied to the retry interval after each attempt;
+    /// must be ≥ 1.
+    pub backoff_factor: f64,
+    /// Upper bound on the retry interval, seconds.
+    pub max_backoff: f64,
+    /// Retransmissions attempted before the coordinator gives up on a
+    /// (host, table) pair.
+    pub max_retries: u32,
+    /// Seconds a host tolerates its applied table lagging the
+    /// coordinator's latest decision before falling back to its own
+    /// local (`Gurita@local`-style) decision. The default of
+    /// `f64::INFINITY` never degrades.
+    pub staleness_bound: f64,
+    /// Scheduled agent crashes.
+    pub crashes: Vec<AgentCrash>,
+    /// Scheduled coordinator partition windows.
+    pub partitions: Vec<PartitionWindow>,
+}
+
+impl Default for ControlFaults {
+    fn default() -> Self {
+        Self {
+            drop_prob: 0.0,
+            duplicate_prob: 0.0,
+            reorder_prob: 0.0,
+            reorder_delay: 0.0,
+            seed: 0,
+            ack_timeout: 10e-3,
+            backoff_factor: 2.0,
+            max_backoff: 80e-3,
+            max_retries: 5,
+            staleness_bound: f64::INFINITY,
+            crashes: Vec::new(),
+            partitions: Vec::new(),
+        }
+    }
+}
+
+impl ControlFaults {
+    /// True when the profile can never perturb a run: all probabilities
+    /// zero and no crash or partition scheduled. The control plane
+    /// treats a null profile exactly like no profile at all, which is
+    /// what pins the zero-fault bit-for-bit identity.
+    pub fn is_null(&self) -> bool {
+        self.drop_prob == 0.0
+            && self.duplicate_prob == 0.0
+            && self.reorder_prob == 0.0
+            && self.crashes.is_empty()
+            && self.partitions.is_empty()
+    }
+
+    /// Checks the profile against a fabric of `num_hosts` hosts.
+    ///
+    /// # Errors
+    ///
+    /// [`SimError::InvalidFault`] naming the first offending field:
+    /// probabilities outside `[0, 1]`, non-finite or negative times,
+    /// `backoff_factor < 1`, non-positive `ack_timeout`/`max_backoff`/
+    /// `staleness_bound`, crash hosts out of range, or non-positive
+    /// partition durations.
+    pub fn validate(&self, num_hosts: usize) -> Result<(), SimError> {
+        let prob = |name: &str, p: f64| -> Result<(), SimError> {
+            if !(0.0..=1.0).contains(&p) {
+                return Err(SimError::InvalidFault {
+                    reason: format!("{name} must be in [0, 1], got {p}"),
+                });
+            }
+            Ok(())
+        };
+        prob("drop_prob", self.drop_prob)?;
+        prob("duplicate_prob", self.duplicate_prob)?;
+        prob("reorder_prob", self.reorder_prob)?;
+        if !self.reorder_delay.is_finite() || self.reorder_delay < 0.0 {
+            return Err(SimError::InvalidFault {
+                reason: format!(
+                    "reorder_delay must be finite and >= 0, got {}",
+                    self.reorder_delay
+                ),
+            });
+        }
+        if !self.ack_timeout.is_finite() || self.ack_timeout <= 0.0 {
+            return Err(SimError::InvalidFault {
+                reason: format!(
+                    "ack_timeout must be finite and > 0, got {}",
+                    self.ack_timeout
+                ),
+            });
+        }
+        if !self.backoff_factor.is_finite() || self.backoff_factor < 1.0 {
+            return Err(SimError::InvalidFault {
+                reason: format!(
+                    "backoff_factor must be finite and >= 1, got {}",
+                    self.backoff_factor
+                ),
+            });
+        }
+        if !self.max_backoff.is_finite() || self.max_backoff <= 0.0 {
+            return Err(SimError::InvalidFault {
+                reason: format!(
+                    "max_backoff must be finite and > 0, got {}",
+                    self.max_backoff
+                ),
+            });
+        }
+        if self.staleness_bound.is_nan() || self.staleness_bound <= 0.0 {
+            return Err(SimError::InvalidFault {
+                reason: format!(
+                    "staleness_bound must be > 0 (infinity allowed), got {}",
+                    self.staleness_bound
+                ),
+            });
+        }
+        for crash in &self.crashes {
+            if crash.host.index() >= num_hosts {
+                return Err(SimError::InvalidFault {
+                    reason: format!(
+                        "crash host {} out of range for {num_hosts} hosts",
+                        crash.host.index()
+                    ),
+                });
+            }
+            if !crash.at.is_finite() || crash.at < 0.0 {
+                return Err(SimError::InvalidFault {
+                    reason: format!("crash time must be finite and >= 0, got {}", crash.at),
+                });
+            }
+            if let Some(ra) = crash.restart_after {
+                if !ra.is_finite() || ra <= 0.0 {
+                    return Err(SimError::InvalidFault {
+                        reason: format!("restart_after must be finite and > 0, got {ra}"),
+                    });
+                }
+            }
+        }
+        for window in &self.partitions {
+            if !window.start.is_finite() || window.start < 0.0 {
+                return Err(SimError::InvalidFault {
+                    reason: format!(
+                        "partition start must be finite and >= 0, got {}",
+                        window.start
+                    ),
+                });
+            }
+            if !window.duration.is_finite() || window.duration <= 0.0 {
+                return Err(SimError::InvalidFault {
+                    reason: format!(
+                        "partition duration must be finite and > 0, got {}",
+                        window.duration
+                    ),
+                });
+            }
+        }
+        Ok(())
+    }
+
+    /// Expands crashes and partitions into a time-sorted event list the
+    /// engine schedules up front. The sort is stable, so same-time
+    /// events replay in declaration order.
+    pub fn timeline(&self) -> Vec<(f64, ControlFaultEvent)> {
+        let mut events = Vec::new();
+        for crash in &self.crashes {
+            events.push((crash.at, ControlFaultEvent::AgentCrash { host: crash.host }));
+            if let Some(ra) = crash.restart_after {
+                events.push((
+                    crash.at + ra,
+                    ControlFaultEvent::AgentRestart { host: crash.host },
+                ));
+            }
+        }
+        for window in &self.partitions {
+            events.push((window.start, ControlFaultEvent::PartitionStart));
+            events.push((
+                window.start + window.duration,
+                ControlFaultEvent::PartitionEnd,
+            ));
+        }
+        events.sort_by(|a, b| a.0.total_cmp(&b.0));
+        events
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -765,6 +1088,151 @@ mod tests {
         let mut bad_time = FaultSchedule::new();
         bad_time.push(-1.0, FaultEvent::RestoreLink { link: LinkId(0) });
         assert!(bad_time.validate(&fab).is_err());
+    }
+
+    #[test]
+    fn try_new_rejects_bad_ids_and_backwards_time() {
+        let fab = BigSwitch::new(4, 1.0);
+        let ok = vec![
+            TimedFault {
+                at: 1.0,
+                event: FaultEvent::FailLink { link: LinkId(0) },
+            },
+            TimedFault {
+                at: 2.0,
+                event: FaultEvent::RecoverLink { link: LinkId(0) },
+            },
+        ];
+        assert_eq!(FaultSchedule::try_new(ok.clone(), &fab).unwrap().len(), 2);
+
+        let mut out_of_range = ok.clone();
+        out_of_range[1].event = FaultEvent::FailHost { host: HostId(99) };
+        assert!(matches!(
+            FaultSchedule::try_new(out_of_range, &fab),
+            Err(SimError::InvalidFault { .. })
+        ));
+
+        let mut backwards = ok;
+        backwards[1].at = 0.5;
+        let err = FaultSchedule::try_new(backwards, &fab).unwrap_err();
+        assert!(
+            err.to_string().contains("non-decreasing"),
+            "unexpected error: {err}"
+        );
+    }
+
+    #[test]
+    fn control_faults_default_is_null_and_valid() {
+        let cf = ControlFaults::default();
+        assert!(cf.is_null());
+        assert!(cf.validate(8).is_ok());
+        assert!(cf.timeline().is_empty());
+        // Probabilities alone arm the profile.
+        let armed = ControlFaults {
+            drop_prob: 0.1,
+            ..ControlFaults::default()
+        };
+        assert!(!armed.is_null());
+    }
+
+    #[test]
+    fn control_faults_validation_catches_bad_fields() {
+        let bad = |f: ControlFaults| {
+            assert!(
+                matches!(f.validate(8), Err(SimError::InvalidFault { .. })),
+                "expected rejection of {f:?}"
+            );
+        };
+        bad(ControlFaults {
+            drop_prob: 1.5,
+            ..ControlFaults::default()
+        });
+        bad(ControlFaults {
+            duplicate_prob: -0.1,
+            ..ControlFaults::default()
+        });
+        bad(ControlFaults {
+            reorder_delay: f64::NAN,
+            ..ControlFaults::default()
+        });
+        bad(ControlFaults {
+            ack_timeout: 0.0,
+            ..ControlFaults::default()
+        });
+        bad(ControlFaults {
+            backoff_factor: 0.5,
+            ..ControlFaults::default()
+        });
+        bad(ControlFaults {
+            max_backoff: -1.0,
+            ..ControlFaults::default()
+        });
+        bad(ControlFaults {
+            staleness_bound: 0.0,
+            ..ControlFaults::default()
+        });
+        bad(ControlFaults {
+            crashes: vec![AgentCrash {
+                host: HostId(8),
+                at: 0.0,
+                restart_after: None,
+            }],
+            ..ControlFaults::default()
+        });
+        bad(ControlFaults {
+            crashes: vec![AgentCrash {
+                host: HostId(0),
+                at: 1.0,
+                restart_after: Some(0.0),
+            }],
+            ..ControlFaults::default()
+        });
+        bad(ControlFaults {
+            partitions: vec![PartitionWindow {
+                start: 1.0,
+                duration: 0.0,
+            }],
+            ..ControlFaults::default()
+        });
+        // Infinite staleness bound is the "never degrade" default.
+        assert!(ControlFaults::default().validate(8).is_ok());
+    }
+
+    #[test]
+    fn control_fault_timeline_expands_sorted() {
+        let cf = ControlFaults {
+            crashes: vec![AgentCrash {
+                host: HostId(2),
+                at: 3.0,
+                restart_after: Some(1.0),
+            }],
+            partitions: vec![PartitionWindow {
+                start: 0.5,
+                duration: 3.0,
+            }],
+            ..ControlFaults::default()
+        };
+        assert_eq!(
+            cf.timeline(),
+            vec![
+                (0.5, ControlFaultEvent::PartitionStart),
+                (3.0, ControlFaultEvent::AgentCrash { host: HostId(2) }),
+                (3.5, ControlFaultEvent::PartitionEnd),
+                (4.0, ControlFaultEvent::AgentRestart { host: HostId(2) }),
+            ]
+        );
+    }
+
+    #[test]
+    fn splitmix_is_deterministic_and_in_range() {
+        let mut a = SplitMix64::new(42);
+        let mut b = SplitMix64::new(42);
+        for _ in 0..100 {
+            let x = a.next_f64();
+            assert_eq!(x, b.next_f64());
+            assert!((0.0..1.0).contains(&x));
+        }
+        assert_ne!(SplitMix64::new(1).next_u64(), SplitMix64::new(2).next_u64());
     }
 
     #[test]

@@ -22,7 +22,9 @@
 use crate::bandwidth::{Allocator, Demands, Discipline};
 use crate::calendar::CalendarQueue;
 use crate::control::{Centralized, ControlInput, ControlPlane, LocalObservation};
-use crate::faults::{resalt_live_path, FaultOverlay, FaultSchedule, TimedFault};
+use crate::faults::{
+    resalt_live_path, ControlFaultEvent, ControlFaults, FaultOverlay, FaultSchedule, TimedFault,
+};
 use crate::sched::{CoflowObs, FlowObs, JobObs, Observation, Oracle, QueuePolicy, Scheduler};
 use crate::stats::{CoflowResult, FaultRecord, JobResult, RunResult};
 use crate::telemetry::{EpochSample, Probe, TelemetryConfig, TelemetrySink, TraceRecord};
@@ -82,6 +84,14 @@ pub struct SimConfig {
     /// else. Telemetry never perturbs scheduling: results are bit-for-
     /// bit identical with it on or off.
     pub telemetry: Option<TelemetryConfig>,
+    /// Control-plane fault profile (see
+    /// [`crate::faults::ControlFaults`]): lossy coordinator↔host
+    /// channels, scheduled agent crashes, and coordinator partition
+    /// windows, driven deterministically through the event loop. `None`
+    /// (the default) or a null profile leaves the control plane on its
+    /// exact legacy path. Ignored by [`crate::control::Centralized`]
+    /// (an in-band controller has no separate control channel).
+    pub control_faults: Option<ControlFaults>,
 }
 
 impl Default for SimConfig {
@@ -95,6 +105,7 @@ impl Default for SimConfig {
             control_latency: 0.0,
             force_binary_heap_events: false,
             telemetry: None,
+            control_faults: None,
         }
     }
 }
@@ -114,6 +125,17 @@ pub(crate) enum EventKind {
     /// [`ControlPlane::deliver`] (see [`SimConfig::control_latency`]).
     ControlUpdate {
         token: u64,
+    },
+    /// A control-protocol timer (table delivery, ack receipt, or retry
+    /// check under an armed fault profile): hand `token` back to
+    /// [`ControlPlane::on_timer`].
+    ControlTimer {
+        token: u64,
+    },
+    /// Apply `control_timeline[index]` (agent crash/restart, partition
+    /// edge) via [`ControlPlane::control_fault`].
+    ControlFault {
+        index: usize,
     },
 }
 
@@ -519,6 +541,9 @@ impl<F: Fabric> Simulation<F> {
         faults: &FaultSchedule,
     ) -> Result<RunResult, SimError> {
         faults.validate(&self.fabric)?;
+        if let Some(cf) = &self.config.control_faults {
+            cf.validate(self.fabric.num_hosts())?;
+        }
         Engine::new(&self.fabric, &self.config, jobs, plane, faults, None).run()
     }
 
@@ -589,6 +614,9 @@ impl<F: Fabric> Simulation<F> {
         sink: &mut dyn TelemetrySink,
     ) -> Result<RunResult, SimError> {
         faults.validate(&self.fabric)?;
+        if let Some(cf) = &self.config.control_faults {
+            cf.validate(self.fabric.num_hosts())?;
+        }
         Engine::new(&self.fabric, &self.config, jobs, plane, faults, Some(sink)).run()
     }
 }
@@ -671,6 +699,9 @@ struct Engine<'a, F: Fabric> {
 
     fault_schedule: Vec<TimedFault>,
     overlay: FaultOverlay,
+    /// Expanded control-fault timeline (crashes/partitions), indexed by
+    /// `EventKind::ControlFault` events. Empty unless armed.
+    control_timeline: Vec<(f64, ControlFaultEvent)>,
 
     // ---- hot-path scratch (reused across events; see DESIGN.md) ----
     /// Dense-array water-filling allocator, sized to the fabric.
@@ -737,6 +768,24 @@ impl<'a, F: Fabric> Engine<'a, F> {
             });
             seq += 1;
         }
+        let mut control_timeline = Vec::new();
+        if let Some(cf) = &config.control_faults {
+            // Arm even a null profile (the plane ignores it) so the
+            // plumbing is uniform; only non-null profiles change
+            // behavior or schedule events.
+            plane.arm_control_faults(cf);
+            if !cf.is_null() {
+                control_timeline = cf.timeline();
+                for (index, (at, _)) in control_timeline.iter().enumerate() {
+                    queue.push(Event {
+                        time: *at,
+                        seq,
+                        kind: EventKind::ControlFault { index },
+                    });
+                    seq += 1;
+                }
+            }
+        }
         let scheduler_name = plane.name();
         let sample_interval = config.telemetry.as_ref().map_or(config.tick_interval, |t| {
             if t.sample_interval > 0.0 {
@@ -776,6 +825,7 @@ impl<'a, F: Fabric> Engine<'a, F> {
             link_bytes: HashMap::new(),
             fault_schedule,
             overlay: FaultOverlay::new(),
+            control_timeline,
             allocator: Allocator::new(fabric.num_links()),
             last_discipline: None,
             link_flows: vec![Vec::new(); fabric.num_links()],
@@ -804,6 +854,9 @@ impl<'a, F: Fabric> Engine<'a, F> {
         outcome?;
         self.result.makespan = self.now;
         self.result.events = self.events;
+        if let Some(res) = self.plane.resilience(self.now) {
+            self.result.control = res;
+        }
         self.result.path_arena_unique = self.arena.unique_paths();
         self.result.path_arena_interns = self.arena.interns();
         self.result.path_arena_hit_rate = self.arena.hit_rate();
@@ -847,6 +900,27 @@ impl<'a, F: Fabric> Engine<'a, F> {
                                 token,
                                 staleness: self.now - issued,
                             });
+                        }
+                    }
+                }
+                EventKind::ControlTimer { token } => {
+                    // A protocol step (delivery/ack/retry) under an
+                    // armed fault profile; any applied table reaches
+                    // the flows at the decision point below.
+                    let fx = self.plane.on_timer(token, self.now);
+                    self.push_control_timers(&fx.timers);
+                    if self.probe.on() {
+                        for rec in &fx.trace {
+                            self.probe.emit(rec);
+                        }
+                    }
+                }
+                EventKind::ControlFault { index } => {
+                    let event = self.control_timeline[index].1;
+                    let trace = self.plane.control_fault(&event, self.now);
+                    if self.probe.on() {
+                        for rec in &trace {
+                            self.probe.emit(rec);
                         }
                     }
                 }
@@ -1563,6 +1637,13 @@ impl<'a, F: Fabric> Engine<'a, F> {
             })
         };
         self.apply_table(&output.assignments);
+        self.apply_host_tables(&output.host_assignments);
+        self.push_control_timers(&output.timers);
+        if self.probe.on() {
+            for rec in &output.trace {
+                self.probe.emit(rec);
+            }
+        }
         if let Some(token) = output.schedule_update {
             self.queue.push(Event {
                 time: self.now + self.config.control_latency,
@@ -1575,6 +1656,19 @@ impl<'a, F: Fabric> Engine<'a, F> {
                 // measured staleness rather than the configured latency.
                 self.probe.control_issued.insert(token, self.now);
             }
+        }
+    }
+
+    /// Schedules `ControlTimer` events for the protocol steps a
+    /// fault-armed plane requested: `(delay_from_now, token)` pairs.
+    fn push_control_timers(&mut self, timers: &[(f64, u64)]) {
+        for &(delay, token) in timers {
+            self.queue.push(Event {
+                time: self.now + delay,
+                seq: self.seq,
+                kind: EventKind::ControlTimer { token },
+            });
+            self.seq += 1;
         }
     }
 
@@ -1623,6 +1717,49 @@ impl<'a, F: Fabric> Engine<'a, F> {
                     // A queue change only affects the allocation through
                     // the flow's own links, so they suffice as seeds.
                     self.dirty.mark_path(self.arena.get(path));
+                }
+            }
+        }
+    }
+
+    /// Applies per-sender-host priority tables (fault-armed
+    /// decentralized planes): for each `(host, table)` pair, only the
+    /// flows *sourced at* that host take the table's queues, under the
+    /// same demotion rule as [`Engine::apply_table`]. Coflow-level
+    /// queue labels (and `PriorityMove` records) are reserved for the
+    /// uniform path — under faults, hosts may legitimately disagree.
+    fn apply_host_tables(&mut self, tables: &[(HostId, Vec<(CoflowId, usize)>)]) {
+        if tables.is_empty() {
+            return;
+        }
+        let nq = self.plane.num_queues();
+        let relax = self.plane.reprioritizes_live_flows();
+        for (host, table) in tables {
+            for &(cid, queue) in table {
+                assert!(
+                    queue < nq,
+                    "assigned queue {queue} out of range ({nq} queues)"
+                );
+                let Some(cf) = self.coflows.get_mut(&cid) else {
+                    continue; // completed before the table landed
+                };
+                for rec in cf.flows.iter().filter(|r| r.open && r.src == *host) {
+                    let pos = self.flow_pos.get(rec.id).expect("open flow indexed");
+                    let f = &mut self.flows[pos];
+                    let new_queue = if f.fresh || relax {
+                        queue
+                    } else {
+                        f.queue.max(queue)
+                    };
+                    let changed = new_queue != f.queue;
+                    if changed {
+                        f.queue = new_queue;
+                    }
+                    f.fresh = false;
+                    let path = f.path;
+                    if changed {
+                        self.dirty.mark_path(self.arena.get(path));
+                    }
                 }
             }
         }

@@ -83,6 +83,45 @@ pub struct FaultRecord {
     pub resumed: usize,
 }
 
+/// Control-plane resilience accounting for one run.
+///
+/// All counters stay zero unless the run armed a non-null
+/// [`crate::faults::ControlFaults`] profile, so healthy results are
+/// unchanged and legacy JSON (which lacks the field entirely) parses via
+/// `serde(default)`.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct ControlResilience {
+    /// Table deliveries transmitted (first sends and retransmissions).
+    pub messages_sent: u64,
+    /// Table deliveries lost to the channel's drop probability.
+    pub messages_dropped: u64,
+    /// Table deliveries the channel duplicated.
+    pub messages_duplicated: u64,
+    /// Deliveries a host rejected as stale or duplicate by sequence
+    /// number.
+    pub messages_deduped: u64,
+    /// Retransmissions triggered by ack timeouts.
+    pub messages_retried: u64,
+    /// (host, table) pairs the coordinator gave up on after
+    /// `max_retries` retransmissions.
+    pub retries_abandoned: u64,
+    /// Acks lost in flight (channel drop or coordinator partition).
+    pub acks_lost: u64,
+    /// Agent crash events applied.
+    pub agent_crashes: u64,
+    /// Agent restart events applied.
+    pub agent_restarts: u64,
+    /// Coordinator partition windows entered.
+    pub partitions: u64,
+    /// Worst lag (seconds) any host's applied table had behind the
+    /// coordinator's latest decision.
+    pub max_table_staleness: f64,
+    /// Total host-seconds spent degraded to local-only scheduling.
+    pub degraded_time: f64,
+    /// Number of times any host entered the degraded state.
+    pub degraded_entries: u64,
+}
+
 /// Result of one simulation run.
 #[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
 pub struct RunResult {
@@ -126,6 +165,10 @@ pub struct RunResult {
     /// (`1 - unique/interns`); 0 for runs with no interned paths.
     #[serde(default)]
     pub path_arena_hit_rate: f64,
+    /// Control-plane resilience counters; all zero unless the run armed
+    /// a control-fault profile.
+    #[serde(default)]
+    pub control: ControlResilience,
 }
 
 impl RunResult {
@@ -336,5 +379,33 @@ mod tests {
         let old: RunResult = serde_json::from_str(legacy).unwrap();
         assert!(old.faults.is_empty());
         assert_eq!(old.flows_parked, 0);
+    }
+
+    #[test]
+    fn resilience_fields_survive_serde_and_default_when_absent() {
+        let r = RunResult {
+            scheduler: "x".into(),
+            control: ControlResilience {
+                messages_sent: 12,
+                messages_dropped: 3,
+                messages_retried: 2,
+                max_table_staleness: 0.25,
+                degraded_time: 1.5,
+                degraded_entries: 1,
+                ..ControlResilience::default()
+            },
+            ..RunResult::default()
+        };
+        let back: RunResult = serde_json::from_str(&serde_json::to_string(&r).unwrap()).unwrap();
+        assert_eq!(back, r);
+        // Results written before the control-fault model (no `control`
+        // field) still parse: strip the field and reparse.
+        let mut v = r.to_value();
+        let serde::Value::Map(fields) = &mut v else {
+            panic!("RunResult serializes as an object");
+        };
+        fields.retain(|(k, _)| k != "control");
+        let old: RunResult = serde_json::from_str(&serde_json::to_string(&v).unwrap()).unwrap();
+        assert_eq!(old.control, ControlResilience::default());
     }
 }

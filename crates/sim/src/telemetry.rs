@@ -197,6 +197,77 @@ pub enum TraceRecord {
         /// Parked flows resumed by this recovery.
         resumed: usize,
     },
+    /// A control-plane table delivery was lost to the channel's drop
+    /// probability (control-fault runs only).
+    ControlDropped {
+        /// Simulation time of the (failed) transmission.
+        t: f64,
+        /// Destination host index.
+        host: usize,
+        /// Sequence number of the lost table.
+        seq: u64,
+    },
+    /// A host rejected a delivered table as stale or duplicate by
+    /// sequence number.
+    ControlDeduped {
+        /// Simulation time of the rejection.
+        t: f64,
+        /// Host index.
+        host: usize,
+        /// Sequence number of the rejected delivery.
+        seq: u64,
+    },
+    /// The coordinator retransmitted an unacked table.
+    ControlRetransmit {
+        /// Simulation time of the retransmission.
+        t: f64,
+        /// Destination host index.
+        host: usize,
+        /// Sequence number being retransmitted.
+        seq: u64,
+        /// Retry attempt (1 = first retransmission).
+        attempt: u32,
+    },
+    /// A host applied a sequence-numbered table.
+    ControlApplied {
+        /// Simulation time of application.
+        t: f64,
+        /// Host index.
+        host: usize,
+        /// Sequence number applied.
+        seq: u64,
+    },
+    /// A host left the degraded (local-fallback) state: it had been
+    /// scheduling on local decisions for `dur` seconds ending at `t`.
+    ControlDegraded {
+        /// Simulation time the degraded window closed.
+        t: f64,
+        /// Host index.
+        host: usize,
+        /// Window width in seconds.
+        dur: f64,
+    },
+    /// A host's scheduling agent crashed (scheduled control fault).
+    AgentCrashed {
+        /// Simulation time.
+        t: f64,
+        /// Host index.
+        host: usize,
+    },
+    /// A crashed agent restarted with empty state.
+    AgentRestarted {
+        /// Simulation time.
+        t: f64,
+        /// Host index.
+        host: usize,
+    },
+    /// The coordinator partition state changed.
+    Partition {
+        /// Simulation time.
+        t: f64,
+        /// `true` when the partition starts, `false` when it heals.
+        active: bool,
+    },
     /// An epoch-sampled snapshot of queue/link/allocator state.
     Epoch(EpochSample),
 }
@@ -215,7 +286,15 @@ impl TraceRecord {
             | TraceRecord::JobComplete { t, .. }
             | TraceRecord::PriorityMove { t, .. }
             | TraceRecord::ControlDelivered { t, .. }
-            | TraceRecord::FaultApplied { t, .. } => *t,
+            | TraceRecord::FaultApplied { t, .. }
+            | TraceRecord::ControlDropped { t, .. }
+            | TraceRecord::ControlDeduped { t, .. }
+            | TraceRecord::ControlRetransmit { t, .. }
+            | TraceRecord::ControlApplied { t, .. }
+            | TraceRecord::ControlDegraded { t, .. }
+            | TraceRecord::AgentCrashed { t, .. }
+            | TraceRecord::AgentRestarted { t, .. }
+            | TraceRecord::Partition { t, .. } => *t,
             TraceRecord::Epoch(s) => s.t,
         }
     }
@@ -537,6 +616,9 @@ impl TelemetrySink for JsonlSink {
 /// * flows → complete slices on pid 2, one track per flow;
 /// * starvation intervals → complete slices on pid 3, per coflow;
 /// * ControlUpdate deliveries → instant (`"i"`) events on pid 1;
+/// * control faults (pid 4): drops/retransmits/partition edges as
+///   instants, degraded windows and agent crash→restart windows as
+///   complete slices, one track per host;
 /// * epoch samples → counter (`"C"`) tracks on pid 1 (active flows,
 ///   event-queue depth, starved coflows, mean link utilization).
 ///
@@ -551,12 +633,15 @@ pub struct ChromeTraceSink {
     open_flows: HashMap<usize, (f64, usize)>,
     /// coflow index → activation time.
     open_coflows: HashMap<usize, f64>,
+    /// host index → agent crash time (open crash windows).
+    open_crashes: HashMap<usize, f64>,
     error: Option<std::io::Error>,
 }
 
 const TRACE_PID_COFLOWS: f64 = 1.0;
 const TRACE_PID_FLOWS: f64 = 2.0;
 const TRACE_PID_STARVATION: f64 = 3.0;
+const TRACE_PID_CONTROL: f64 = 4.0;
 
 fn obj(fields: Vec<(&str, Value)>) -> Value {
     Value::Map(fields.into_iter().map(|(k, v)| (k.to_owned(), v)).collect())
@@ -571,6 +656,19 @@ fn slice(name: String, cat: &str, pid: f64, tid: f64, start: f64, end: f64) -> V
         ("ts", Value::Num(start * 1e6)),
         ("dur", Value::Num((end - start).max(0.0) * 1e6)),
         ("pid", Value::Num(pid)),
+        ("tid", Value::Num(tid)),
+    ])
+}
+
+/// An instant ("i") event on the control-faults process.
+fn control_instant(name: String, t: f64, tid: f64) -> Value {
+    obj(vec![
+        ("name", Value::Str(name)),
+        ("cat", Value::Str("control-fault".to_owned())),
+        ("ph", Value::Str("i".to_owned())),
+        ("s", Value::Str("g".to_owned())),
+        ("ts", Value::Num(t * 1e6)),
+        ("pid", Value::Num(TRACE_PID_CONTROL)),
         ("tid", Value::Num(tid)),
     ])
 }
@@ -595,6 +693,7 @@ impl ChromeTraceSink {
             (TRACE_PID_COFLOWS, "coflows"),
             (TRACE_PID_FLOWS, "flows"),
             (TRACE_PID_STARVATION, "starvation"),
+            (TRACE_PID_CONTROL, "control-faults"),
         ] {
             events.push(obj(vec![
                 ("name", Value::Str("process_name".to_owned())),
@@ -608,6 +707,7 @@ impl ChromeTraceSink {
             events,
             open_flows: HashMap::new(),
             open_coflows: HashMap::new(),
+            open_crashes: HashMap::new(),
             error: None,
         }
     }
@@ -688,6 +788,58 @@ impl TelemetrySink for ChromeTraceSink {
                         obj(vec![("staleness_us", Value::Num(staleness * 1e6))]),
                     ),
                 ]));
+            }
+            TraceRecord::ControlDropped { t, host, seq } => {
+                self.events.push(control_instant(
+                    format!("drop seq {seq} (host {host})"),
+                    t,
+                    host as f64,
+                ));
+            }
+            TraceRecord::ControlRetransmit {
+                t,
+                host,
+                seq,
+                attempt,
+            } => {
+                self.events.push(control_instant(
+                    format!("retry {attempt} seq {seq} (host {host})"),
+                    t,
+                    host as f64,
+                ));
+            }
+            TraceRecord::ControlDegraded { t, host, dur } => {
+                self.events.push(slice(
+                    format!("degraded (host {host})"),
+                    "control-fault",
+                    TRACE_PID_CONTROL,
+                    host as f64,
+                    t - dur,
+                    t,
+                ));
+            }
+            TraceRecord::AgentCrashed { t, host } => {
+                self.open_crashes.insert(host, t);
+            }
+            TraceRecord::AgentRestarted { t, host } => {
+                if let Some(start) = self.open_crashes.remove(&host) {
+                    self.events.push(slice(
+                        format!("agent crashed (host {host})"),
+                        "control-fault",
+                        TRACE_PID_CONTROL,
+                        host as f64,
+                        start,
+                        t,
+                    ));
+                }
+            }
+            TraceRecord::Partition { t, active } => {
+                let name = if active {
+                    "partition start"
+                } else {
+                    "partition end"
+                };
+                self.events.push(control_instant(name.to_owned(), t, -1.0));
             }
             TraceRecord::Epoch(ref s) => {
                 self.events
@@ -783,6 +935,38 @@ mod tests {
                 token: 42,
                 staleness: 0.01,
             },
+            TraceRecord::ControlDropped {
+                t: 1.1,
+                host: 4,
+                seq: 9,
+            },
+            TraceRecord::ControlDeduped {
+                t: 1.2,
+                host: 4,
+                seq: 8,
+            },
+            TraceRecord::ControlRetransmit {
+                t: 1.3,
+                host: 4,
+                seq: 9,
+                attempt: 2,
+            },
+            TraceRecord::ControlApplied {
+                t: 1.4,
+                host: 4,
+                seq: 9,
+            },
+            TraceRecord::ControlDegraded {
+                t: 1.5,
+                host: 4,
+                dur: 0.25,
+            },
+            TraceRecord::AgentCrashed { t: 1.6, host: 5 },
+            TraceRecord::AgentRestarted { t: 1.7, host: 5 },
+            TraceRecord::Partition {
+                t: 1.8,
+                active: true,
+            },
             TraceRecord::Epoch(sample),
         ] {
             let json = serde_json::to_string(&rec).unwrap();
@@ -863,7 +1047,59 @@ mod tests {
         let Value::Seq(events) = events else {
             panic!("traceEvents must be an array");
         };
-        // 3 process_name metadata + flow slice + coflow slice.
-        assert_eq!(events.len(), 5);
+        // 4 process_name metadata + flow slice + coflow slice.
+        assert_eq!(events.len(), 6);
+    }
+
+    #[test]
+    fn chrome_sink_maps_control_fault_records() {
+        let dir = std::env::temp_dir().join("gurita_chrome_control_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("trace.json");
+        let mut sink = ChromeTraceSink::new(&path);
+        sink.record(&TraceRecord::ControlDropped {
+            t: 0.5,
+            host: 2,
+            seq: 1,
+        });
+        sink.record(&TraceRecord::ControlRetransmit {
+            t: 0.6,
+            host: 2,
+            seq: 1,
+            attempt: 1,
+        });
+        sink.record(&TraceRecord::AgentCrashed { t: 1.0, host: 3 });
+        sink.record(&TraceRecord::AgentRestarted { t: 2.0, host: 3 });
+        sink.record(&TraceRecord::ControlDegraded {
+            t: 3.0,
+            host: 2,
+            dur: 0.5,
+        });
+        sink.record(&TraceRecord::Partition {
+            t: 4.0,
+            active: true,
+        });
+        // Applied/deduped records are counters-only (no chrome mapping).
+        sink.record(&TraceRecord::ControlApplied {
+            t: 4.5,
+            host: 2,
+            seq: 2,
+        });
+        sink.flush();
+        let written = std::fs::read_to_string(sink.finish().unwrap()).unwrap();
+        let doc: Value = serde_json::from_str(&written).unwrap();
+        let Value::Map(fields) = &doc else {
+            panic!("trace must be a JSON object");
+        };
+        let (_, events) = fields
+            .iter()
+            .find(|(k, _)| k == "traceEvents")
+            .expect("traceEvents present");
+        let Value::Seq(events) = events else {
+            panic!("traceEvents must be an array");
+        };
+        // 4 metadata + drop + retry + crash slice + degraded slice +
+        // partition instant.
+        assert_eq!(events.len(), 9);
     }
 }

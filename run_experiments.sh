@@ -1,23 +1,36 @@
-#!/bin/sh
+#!/usr/bin/env bash
 # Regenerates every paper artifact at the default reproduction scale and
-# collects the outputs under results/. Each phase logs its wall time so
-# slowdowns are attributable to a specific artifact; the summary lands
-# in results/phase_times.txt.
-set -e
+# collects the outputs under results/. Each phase logs its wall time and
+# ok/FAILED status so slowdowns and breakage are attributable to a
+# specific artifact; the summary lands in results/phase_times.txt. A
+# failing phase is recorded, the remaining phases still run, and the
+# script exits nonzero.
+set -euo pipefail
 cd "$(dirname "$0")"
 BIN=./target/release
 mkdir -p results
 : > results/phase_times.txt
+failed=0
 
 # phase <name> <command...>: run a phase, tee its console output, and
-# append its wall time (seconds) to the summary.
+# append its wall time (seconds) and status to the summary. `tee` must
+# not mask the binary's exit code (pipefail), and one failing phase must
+# not silently abort the sweep (the failure is recorded and re-raised at
+# the end).
 phase() {
-    name=$1
+    local name=$1
     shift
+    local start end status
     start=$(date +%s)
-    "$@" | tee "results/${name}_console.txt"
+    if "$@" | tee "results/${name}_console.txt"; then
+        status=ok
+    else
+        status=FAILED
+        failed=1
+    fi
     end=$(date +%s)
-    printf '%-12s %4ds\n' "$name" "$((end - start))" | tee -a results/phase_times.txt
+    printf '%-12s %4ds  %s\n' "$name" "$((end - start))" "$status" \
+        | tee -a results/phase_times.txt
 }
 
 total_start=$(date +%s)
@@ -28,8 +41,13 @@ phase fig7       "$BIN/fig7" --jobs 30
 phase fig8       "$BIN/fig8" --jobs 120
 phase ablation   "$BIN/ablation" --jobs 80
 phase sweep      "$BIN/sweep" --jobs 40 --trace-out results/trace
-phase chaos      "$BIN/chaos" --jobs 40
+phase chaos      "$BIN/chaos" --jobs 40 --control-faults
 phase bench      "$BIN/bench" --jobs 40
 total_end=$(date +%s)
 printf '%-12s %4ds\n' total "$((total_end - total_start))" | tee -a results/phase_times.txt
+
+if [ "$failed" -ne 0 ]; then
+    echo "some experiments FAILED (see results/phase_times.txt)" >&2
+    exit 1
+fi
 echo "all experiments complete"
