@@ -8,11 +8,13 @@ fn bench_sweeps(c: &mut Criterion) {
     let mut g = c.benchmark_group("sweeps");
     g.sample_size(10);
     g.bench_function("queue_count", |b| {
-        b.iter(|| sweeps::queue_count_sweep(8, 5, 1))
+        b.iter(|| sweeps::queue_count_sweep(8, 5, 1, 1))
     });
-    g.bench_function("hr_latency", |b| b.iter(|| sweeps::latency_sweep(8, 5, 1)));
+    g.bench_function("hr_latency", |b| {
+        b.iter(|| sweeps::latency_sweep(8, 5, 1, 1))
+    });
     g.bench_function("fault_injection", |b| {
-        b.iter(|| sweeps::fault_sweep(8, 5, 1))
+        b.iter(|| sweeps::fault_sweep(8, 5, 1, 1))
     });
     g.finish();
 }

@@ -91,10 +91,27 @@ struct LargeBench {
     events_per_sec_telemetry: f64,
     /// Trace records the armed run emitted.
     telemetry_records: u64,
+    /// Same run with the intra-run component pool armed
+    /// (`SimConfig::threads = 0`, one worker per available core).
+    /// Results are asserted bit-for-bit identical to the serial run.
+    events_per_sec_parallel: f64,
+    /// `events_per_sec_parallel / events_per_sec` — ≈1.0 on a
+    /// single-core host (the pool is bypassed), >1 on multi-core
+    /// runners. CI gates on this ratio (see `bench-parallel`).
+    parallel_speedup: f64,
+    /// Effective worker count of the parallel run
+    /// (`effective_threads(0)`).
+    threads_used: usize,
     /// Distinct interned paths in the engine's arena at end of run.
     path_arena_unique: usize,
-    /// Fraction of path interns answered from the arena cache.
-    path_arena_hit_rate: f64,
+    /// Path-arena backing storage (interned link ids + span table),
+    /// bytes. Replaces the v2 `path_arena_hit_rate` gauge, which is
+    /// structurally 0 at this scale — the per-flow ECMP salt spreads
+    /// host pairs across (k/2)² = 576 distinct routes, so 40 bursty
+    /// jobs never re-intern a path (see DESIGN.md, "Scaling to 48
+    /// pods"). Storage can actually move: it tracks how much path state
+    /// the interning keeps resident, and drops if dedup improves.
+    path_arena_storage_bytes: usize,
     /// Process peak RSS (`VmHWM`) after the runs, bytes; 0 when
     /// `/proc/self/status` is unavailable.
     peak_rss_bytes: u64,
@@ -116,32 +133,44 @@ fn peak_rss_bytes() -> u64 {
 }
 
 /// Runs the 48-pod gate scenario: warm-up, a measured run on the
-/// calendar event queue, and an A/B run on the binary heap whose
+/// calendar event queue, an A/B run on the binary heap, and an A/B run
+/// with the intra-run component pool armed — every variant's
 /// `RunResult` must be bit-for-bit identical.
 fn large_bench() -> LargeBench {
     const JOBS: usize = 40;
     const SEED: u64 = 42;
     let scenario = Scenario::bursty(StructureKind::FbTao, JOBS, 48, SEED);
     let jobs = scenario.jobs();
-    let run = |force_heap: bool| {
+    let run = |force_heap: bool, threads: usize| {
         let fabric = FatTree::new(scenario.pods).expect("valid pods");
         let mut sim = Simulation::new(
             fabric,
             SimConfig {
                 tick_interval: scenario.tick_interval,
                 force_binary_heap_events: force_heap,
+                threads,
                 ..SimConfig::default()
             },
         );
         let mut sched = SchedulerKind::Gurita.build();
         sim.run(jobs.clone(), sched.as_mut())
     };
-    let _ = run(false);
-    let (result, tp) = timed_run(|| run(false));
-    let (heap_result, heap_tp) = timed_run(|| run(true));
+    let _ = run(false, 1);
+    let (result, tp) = timed_run(|| run(false, 1));
+    let (heap_result, heap_tp) = timed_run(|| run(true, 1));
     assert!(
         result == heap_result,
         "calendar queue and binary heap must produce identical results"
+    );
+    // Parallel A/B: the same run fanning each epoch's disjoint dirty
+    // components across one worker per core. The determinism contract
+    // (`SimConfig::threads`) says the results are bit-for-bit those of
+    // the serial run; assert it at gate scale on every capture.
+    let threads_used = gurita_sim::pool::effective_threads(0);
+    let (par_result, par_tp) = timed_run(|| run(false, 0));
+    assert!(
+        result == par_result,
+        "parallel recomputation must produce identical results"
     );
     // Armed-telemetry A/B: same run streaming into a counting discard
     // sink. Measures the armed layer's intrinsic cost and pins the
@@ -175,8 +204,15 @@ fn large_bench() -> LargeBench {
         events_per_sec_binary_heap: heap_tp.events_per_sec,
         events_per_sec_telemetry: traced_tp.events_per_sec,
         telemetry_records: sink.records,
+        events_per_sec_parallel: par_tp.events_per_sec,
+        parallel_speedup: if tp.events_per_sec > 0.0 {
+            par_tp.events_per_sec / tp.events_per_sec
+        } else {
+            0.0
+        },
+        threads_used,
         path_arena_unique: result.path_arena_unique,
-        path_arena_hit_rate: result.path_arena_hit_rate,
+        path_arena_storage_bytes: result.path_arena_storage_bytes,
         peak_rss_bytes: peak_rss_bytes(),
     }
 }
@@ -425,8 +461,9 @@ fn main() {
     }
     println!(
         "large ({} pods, {} jobs): {} events in {:.3}s -> {:.0} events/sec \
-         (binary heap: {:.0}, telemetry armed: {:.0} over {} records), \
-         arena {} unique / {:.3} hit rate, peak RSS {:.1} MiB",
+         (binary heap: {:.0}, telemetry armed: {:.0} over {} records, \
+         parallel x{}: {:.0} = {:.2}x), \
+         arena {} unique / {:.1} KiB, peak RSS {:.1} MiB",
         rep.large.pods,
         rep.large.jobs,
         rep.large.events,
@@ -435,8 +472,11 @@ fn main() {
         rep.large.events_per_sec_binary_heap,
         rep.large.events_per_sec_telemetry,
         rep.large.telemetry_records,
+        rep.large.threads_used,
+        rep.large.events_per_sec_parallel,
+        rep.large.parallel_speedup,
         rep.large.path_arena_unique,
-        rep.large.path_arena_hit_rate,
+        rep.large.path_arena_storage_bytes as f64 / 1024.0,
         rep.large.peak_rss_bytes as f64 / (1024.0 * 1024.0)
     );
     match report::write_results_file("BENCH_sim.json", &report::to_json(&rep)) {

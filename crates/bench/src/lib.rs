@@ -14,12 +14,17 @@
 //! commit, rustc, timestamp) to compare snapshots across PRs.
 
 use gurita_sim::stats::RunResult;
-use serde::Serialize;
+use serde::{Deserialize, Serialize};
 use std::time::Instant;
 
 /// Schema version of `results/BENCH_sim.json`; bump when the report's
-/// shape changes incompatibly.
-pub const BENCH_SCHEMA_VERSION: u32 = 2;
+/// shape changes incompatibly. v3 added the intra-run parallelism block
+/// (`meta.threads` / `meta.available_parallelism`, the large gate's
+/// `events_per_sec_parallel` + `parallel_speedup`) and replaced the
+/// scale-dead `path_arena_hit_rate` gauge with
+/// `path_arena_storage_bytes` (see DESIGN.md on why the hit rate is
+/// structurally 0 at k = 48).
+pub const BENCH_SCHEMA_VERSION: u32 = 3;
 
 /// Benchmark-scale figure options: small enough for Criterion's
 /// repeated sampling, large enough to exercise contention.
@@ -32,7 +37,11 @@ pub fn bench_options() -> gurita_experiments::figures::FigureOptions {
 }
 
 /// Provenance block recorded at the top of `results/BENCH_sim.json`.
-#[derive(Debug, Clone, PartialEq, Serialize)]
+///
+/// Deserializable so trackers can diff snapshots across PRs; the
+/// parallelism fields are serde-defaulted to 1 so v2 baselines (which
+/// predate them) still parse.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct BenchMeta {
     /// Report schema version ([`BENCH_SCHEMA_VERSION`]).
     pub schema_version: u32,
@@ -43,6 +52,21 @@ pub struct BenchMeta {
     pub rustc_version: String,
     /// Capture time, seconds since the Unix epoch.
     pub timestamp_unix: u64,
+    /// Effective intra-run worker count used by the parallel gate run —
+    /// `effective_threads(0)`, i.e. one per available core on the
+    /// capture host.
+    #[serde(default = "serial")]
+    pub threads: usize,
+    /// `std::thread::available_parallelism()` on the capture host (1
+    /// when unknown). Lets CI decide whether a speedup assertion is
+    /// meaningful on this runner.
+    #[serde(default = "serial")]
+    pub available_parallelism: usize,
+}
+
+/// Serde default for the parallelism meta fields on pre-v3 snapshots.
+fn serial() -> usize {
+    1
 }
 
 /// First line of `cmd args...` stdout, or `None` on any failure.
@@ -84,6 +108,8 @@ impl BenchMeta {
                 .duration_since(std::time::UNIX_EPOCH)
                 .map(|d| d.as_secs())
                 .unwrap_or(0),
+            threads: gurita_sim::pool::effective_threads(0),
+            available_parallelism: std::thread::available_parallelism().map_or(1, |n| n.get()),
         }
     }
 }
@@ -142,5 +168,24 @@ mod tests {
         assert_eq!(meta.schema_version, BENCH_SCHEMA_VERSION);
         assert!(!meta.git_commit.is_empty());
         assert!(!meta.rustc_version.is_empty());
+        assert!(meta.threads >= 1);
+        assert!(meta.available_parallelism >= 1);
+    }
+
+    #[test]
+    fn v2_meta_snapshots_still_parse() {
+        // A verbatim pre-parallelism (schema v2) meta block: the new
+        // fields must default to 1, not fail deserialization, so
+        // trajectory tooling can diff old snapshots against new ones.
+        let v2 = r#"{
+            "schema_version": 2,
+            "git_commit": "0123abc",
+            "rustc_version": "rustc 1.75.0",
+            "timestamp_unix": 1700000000
+        }"#;
+        let meta: BenchMeta = serde_json::from_str(v2).expect("v2 meta parses");
+        assert_eq!(meta.schema_version, 2);
+        assert_eq!(meta.threads, 1);
+        assert_eq!(meta.available_parallelism, 1);
     }
 }

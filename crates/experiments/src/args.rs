@@ -3,6 +3,9 @@
 //! Supported flags: `--jobs N` (workload size), `--seed N`, `--full`
 //! (paper scale), `--par N` (worker threads for independent
 //! scenarios/sweep points; `0` = one per core, the default),
+//! `--threads N` (intra-run engine worker threads per simulation; `0` =
+//! one per core, default `1` = serial; results are bit-for-bit
+//! identical at every setting),
 //! `--telemetry` (arm the instrumentation layer; results are bit-for-bit
 //! unaffected), and `--trace-out PREFIX` (capture an instrumented
 //! SPQ-vs-WRR trace pair to `PREFIX.*.events.jsonl` /
@@ -46,6 +49,12 @@ pub fn parse(args: &[String]) -> Result<FigureOptions, String> {
                 let v = it.next().ok_or("--par requires a value")?;
                 opts.par = v.parse().map_err(|_| format!("bad --par value `{v}`"))?;
             }
+            "--threads" => {
+                let v = it.next().ok_or("--threads requires a value")?;
+                opts.threads = v
+                    .parse()
+                    .map_err(|_| format!("bad --threads value `{v}`"))?;
+            }
             "--telemetry" => opts.telemetry = true,
             "--control-faults" => opts.control_faults = true,
             "--trace-out" => {
@@ -65,8 +74,8 @@ pub fn parse(args: &[String]) -> Result<FigureOptions, String> {
 
 /// The usage string.
 pub fn usage() -> String {
-    "usage: <figure> [--jobs N] [--seed N] [--full] [--par N] [--telemetry] \
-     [--trace-out PREFIX] [--control-faults]"
+    "usage: <figure> [--jobs N] [--seed N] [--full] [--par N] [--threads N] \
+     [--telemetry] [--trace-out PREFIX] [--control-faults]"
         .to_owned()
 }
 
@@ -90,6 +99,18 @@ mod tests {
         assert_eq!(o.par, 2);
         assert!(!o.telemetry);
         assert_eq!(o.trace_out, None);
+    }
+
+    #[test]
+    fn threads_flag() {
+        let o = parse(&[]).unwrap();
+        assert_eq!(o.threads, 1, "intra-run default is serial");
+        let o = parse(&v(&["--threads", "4"])).unwrap();
+        assert_eq!(o.threads, 4);
+        let o = parse(&v(&["--threads", "0"])).unwrap();
+        assert_eq!(o.threads, 0, "0 = auto-detect, resolved in the engine");
+        assert!(parse(&v(&["--threads"])).is_err());
+        assert!(parse(&v(&["--threads", "x"])).is_err());
     }
 
     #[test]

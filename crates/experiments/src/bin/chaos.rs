@@ -45,6 +45,7 @@ fn main() {
     // Light tail so the sweep finishes quickly at reproduction scale;
     // mice/elephant contrast is preserved.
     scenario.workload.category_weights = [0.40, 0.25, 0.15, 0.08, 0.12, 0.0, 0.0];
+    scenario.threads = opts.threads;
     let num_hosts = scenario.workload.num_hosts;
 
     // A core-facing link on some cross-fabric path: hard-failed for the
@@ -133,8 +134,12 @@ fn main() {
     }
 
     if opts.control_faults {
-        let (gurita, aalo) =
-            gurita_experiments::sweeps::control_chaos_sweep(opts.jobs, opts.seed, opts.par);
+        let (gurita, aalo) = gurita_experiments::sweeps::control_chaos_sweep(
+            opts.jobs,
+            opts.seed,
+            opts.par,
+            opts.threads,
+        );
         for sweep in [&gurita, &aalo] {
             let pairs: Vec<(&str, String)> = sweep
                 .points

@@ -37,15 +37,17 @@ fn main() {
         }
     };
     let mut all = vec![
-        sweeps::queue_count_sweep(opts.jobs, opts.seed, opts.par),
-        sweeps::threshold_sweep(opts.jobs, opts.seed, opts.par),
-        sweeps::delta_sweep(opts.jobs, opts.seed, opts.par),
-        sweeps::latency_sweep(opts.jobs, opts.seed, opts.par),
+        sweeps::queue_count_sweep(opts.jobs, opts.seed, opts.par, opts.threads),
+        sweeps::threshold_sweep(opts.jobs, opts.seed, opts.par, opts.threads),
+        sweeps::delta_sweep(opts.jobs, opts.seed, opts.par, opts.threads),
+        sweeps::latency_sweep(opts.jobs, opts.seed, opts.par, opts.threads),
     ];
-    let (faults_gurita, faults_pfs) = sweeps::fault_sweep(opts.jobs, opts.seed, opts.par);
+    let (faults_gurita, faults_pfs) =
+        sweeps::fault_sweep(opts.jobs, opts.seed, opts.par, opts.threads);
     all.push(faults_gurita);
     all.push(faults_pfs);
-    let (ctl_gurita, ctl_aalo) = sweeps::control_latency_sweep(opts.jobs, opts.seed, opts.par);
+    let (ctl_gurita, ctl_aalo) =
+        sweeps::control_latency_sweep(opts.jobs, opts.seed, opts.par, opts.threads);
     println!("{}", render_slowdowns(&ctl_gurita));
     println!("{}", render_slowdowns(&ctl_aalo));
     all.push(ctl_gurita);

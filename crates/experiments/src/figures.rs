@@ -28,6 +28,14 @@ pub struct FigureOptions {
     /// this only affects wall-clock time, never the results.
     #[serde(default)]
     pub par: usize,
+    /// Intra-run engine worker threads (`--threads N`; `0` = one per
+    /// core). Fans each recompute epoch's disjoint components across a
+    /// pool inside a single simulation — bit-for-bit identical results
+    /// at every setting (see `gurita_sim::runtime::SimConfig::threads`).
+    /// Deserialization of configs written before this knob defaults to
+    /// serial.
+    #[serde(default = "default_threads")]
+    pub threads: usize,
     /// Arm the telemetry layer during runs (`--telemetry`). Results are
     /// bit-for-bit unaffected; implied by `trace_out`.
     #[serde(default)]
@@ -56,8 +64,15 @@ impl Default for FigureOptions {
             telemetry: false,
             trace_out: None,
             control_faults: false,
+            threads: 1,
         }
     }
+}
+
+/// Serde default for [`FigureOptions::threads`]: serial, matching both
+/// [`FigureOptions::default`] and `SimConfig::default`.
+fn default_threads() -> usize {
+    1
 }
 
 /// One scenario's comparison: improvement rows against Gurita plus the
@@ -85,15 +100,21 @@ fn compare(name: &str, scenario: &Scenario, kinds: &[SchedulerKind]) -> Scenario
     }
 }
 
-/// Runs independent scenario comparisons across up to `par` worker
+/// Runs independent scenario comparisons across up to `opts.par` worker
 /// threads (see [`crate::par::par_run`]); results come back in input
-/// order, so output is independent of the parallelism level.
+/// order, so output is independent of the parallelism level. Each
+/// scenario additionally inherits `opts.threads` for the engine's
+/// intra-run pool — the two levels compose (e.g. `--par 2 --threads 2`
+/// on a 4-core host).
 fn compare_many(
-    par: usize,
-    cells: Vec<(&str, Scenario)>,
+    opts: &FigureOptions,
+    mut cells: Vec<(&str, Scenario)>,
     kinds: &[SchedulerKind],
 ) -> Vec<ScenarioComparison> {
-    crate::par::par_run(par, cells.len(), |i| {
+    for (_, scenario) in &mut cells {
+        scenario.threads = opts.threads;
+    }
+    crate::par::par_run(opts.par, cells.len(), |i| {
         let (name, scenario) = &cells[i];
         compare(name, scenario, kinds)
     })
@@ -104,7 +125,7 @@ fn compare_many(
 /// FB-Tao and TPC-DS (Cloudera) structures.
 pub fn fig5(opts: &FigureOptions) -> Vec<ScenarioComparison> {
     compare_many(
-        opts.par,
+        opts,
         vec![
             (
                 "FB-t",
@@ -131,7 +152,7 @@ pub fn fig5(opts: &FigureOptions) -> Vec<ScenarioComparison> {
 /// (a) FB-Tao, (b) TPC-DS.
 pub fn fig6(opts: &FigureOptions) -> Vec<ScenarioComparison> {
     compare_many(
-        opts.par,
+        opts,
         vec![
             (
                 "fig6a/FB-Tao",
@@ -157,7 +178,7 @@ pub fn fig7(opts: &FigureOptions) -> Vec<ScenarioComparison> {
         (12, opts.jobs * 4)
     };
     compare_many(
-        opts.par,
+        opts,
         vec![
             (
                 "fig7a/FB-Tao",
@@ -178,7 +199,7 @@ pub fn fig7(opts: &FigureOptions) -> Vec<ScenarioComparison> {
 /// when the oracle is (marginally) faster.
 pub fn fig8(opts: &FigureOptions) -> Vec<ScenarioComparison> {
     compare_many(
-        opts.par,
+        opts,
         vec![
             (
                 "fig8a/FB-Tao",
@@ -204,11 +225,9 @@ pub fn ablation(opts: &FigureOptions) -> ScenarioComparison {
         SchedulerKind::GuritaNoCriticalPath,
         SchedulerKind::VarysSebf,
     ];
-    compare(
-        "ablation/ProductionMix",
-        &Scenario::trace_driven(StructureKind::ProductionMix, opts.jobs, opts.seed),
-        &kinds,
-    )
+    let mut scenario = Scenario::trace_driven(StructureKind::ProductionMix, opts.jobs, opts.seed);
+    scenario.threads = opts.threads;
+    compare("ablation/ProductionMix", &scenario, &kinds)
 }
 
 /// Raw per-scheduler results for a scenario (used by benches and the
@@ -218,7 +237,9 @@ pub fn raw_runs(
     opts: &FigureOptions,
     kinds: &[SchedulerKind],
 ) -> Vec<RunResult> {
-    Scenario::trace_driven(structure, opts.jobs, opts.seed).run_all(kinds)
+    let mut scenario = Scenario::trace_driven(structure, opts.jobs, opts.seed);
+    scenario.threads = opts.threads;
+    scenario.run_all(kinds)
 }
 
 #[cfg(test)]

@@ -12,12 +12,13 @@ use std::sync::atomic::{AtomicUsize, Ordering};
 
 /// Resolves a `--par` setting: `0` means "one worker per available
 /// core", anything else is taken literally.
+///
+/// Delegates to [`gurita_sim::pool::effective_threads`] so the harness's
+/// inter-run fan-out and the engine's intra-run fan-out
+/// (`SimConfig::threads`) share one auto-detection rule and can never
+/// disagree about what "auto" means.
 pub fn effective_par(par: usize) -> usize {
-    if par == 0 {
-        std::thread::available_parallelism().map_or(1, |n| n.get())
-    } else {
-        par
-    }
+    gurita_sim::pool::effective_threads(par)
 }
 
 /// Runs `f(0..n)` across at most `par` worker threads (`0` = auto) and

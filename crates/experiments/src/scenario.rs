@@ -39,6 +39,11 @@ pub struct Scenario {
     /// [`gurita_sim::faults::ControlFaults`]). `None` runs the fault-free
     /// control plane.
     pub control_faults: Option<ControlFaults>,
+    /// Intra-run worker threads for the engine's rate recomputation
+    /// (see [`SimConfig::threads`]): `1` = serial (the default), `0` =
+    /// one per available core. Results are bit-for-bit identical at
+    /// every setting.
+    pub threads: usize,
 }
 
 impl Scenario {
@@ -61,6 +66,7 @@ impl Scenario {
             tick_interval: 10e-3,
             control_latency: 0.0,
             control_faults: None,
+            threads: 1,
         }
     }
 
@@ -87,6 +93,7 @@ impl Scenario {
             tick_interval: 10e-3,
             control_latency: 0.0,
             control_faults: None,
+            threads: 1,
         }
     }
 
@@ -133,6 +140,7 @@ impl Scenario {
                 tick_interval: self.tick_interval,
                 control_latency: self.control_latency,
                 control_faults: self.control_faults.clone(),
+                threads: self.threads,
                 ..SimConfig::default()
             },
         );
@@ -159,6 +167,7 @@ impl Scenario {
                 tick_interval: self.tick_interval,
                 control_latency: self.control_latency,
                 control_faults: self.control_faults.clone(),
+                threads: self.threads,
                 telemetry: Some(TelemetryConfig::default()),
                 ..SimConfig::default()
             },

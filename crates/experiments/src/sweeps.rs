@@ -52,6 +52,7 @@ fn run_gurita_with(scenario: &Scenario, config: GuritaConfig) -> f64 {
         fabric,
         SimConfig {
             tick_interval: scenario.tick_interval,
+            threads: scenario.threads,
             ..SimConfig::default()
         },
     );
@@ -68,15 +69,19 @@ fn base_config() -> GuritaConfig {
     }
 }
 
-fn scenario(jobs: usize, seed: u64) -> Scenario {
-    Scenario::trace_driven(StructureKind::FbTao, jobs, seed)
+fn scenario(jobs: usize, seed: u64, threads: usize) -> Scenario {
+    let mut sc = Scenario::trace_driven(StructureKind::FbTao, jobs, seed);
+    sc.threads = threads;
+    sc
 }
 
 /// Sweeps the number of priority queues (the paper: 4 suffices; today's
 /// switches support 8). `par` caps the worker threads used for the
 /// independent points (`0` = one per core).
-pub fn queue_count_sweep(jobs: usize, seed: u64, par: usize) -> SweepResult {
-    let sc = scenario(jobs, seed);
+/// `threads` sets each run's intra-run engine pool width (`0` = one
+/// per core); results are bit-for-bit identical at every setting.
+pub fn queue_count_sweep(jobs: usize, seed: u64, par: usize, threads: usize) -> SweepResult {
+    let sc = scenario(jobs, seed, threads);
     let qs = [1usize, 2, 4, 8];
     let points = crate::par::par_run(par, qs.len(), |i| {
         let q = qs[i];
@@ -98,8 +103,10 @@ pub fn queue_count_sweep(jobs: usize, seed: u64, par: usize) -> SweepResult {
 }
 
 /// Sweeps the exponential threshold ladder's spacing factor.
-pub fn threshold_sweep(jobs: usize, seed: u64, par: usize) -> SweepResult {
-    let sc = scenario(jobs, seed);
+/// `threads` sets each run's intra-run engine pool width (`0` = one
+/// per core); results are bit-for-bit identical at every setting.
+pub fn threshold_sweep(jobs: usize, seed: u64, par: usize, threads: usize) -> SweepResult {
+    let sc = scenario(jobs, seed, threads);
     let factors = [3.0f64, 10.0, 30.0, 100.0];
     let points = crate::par::par_run(par, factors.len(), |i| SweepPoint {
         setting: format!("factor {}", factors[i]),
@@ -118,11 +125,13 @@ pub fn threshold_sweep(jobs: usize, seed: u64, par: usize) -> SweepResult {
 }
 
 /// Sweeps the δ update interval (ticks).
-pub fn delta_sweep(jobs: usize, seed: u64, par: usize) -> SweepResult {
+/// `threads` sets each run's intra-run engine pool width (`0` = one
+/// per core); results are bit-for-bit identical at every setting.
+pub fn delta_sweep(jobs: usize, seed: u64, par: usize, threads: usize) -> SweepResult {
     let deltas = [2e-3f64, 10e-3, 50e-3, 200e-3];
     let points = crate::par::par_run(par, deltas.len(), |i| {
         let delta = deltas[i];
-        let mut sc = scenario(jobs, seed);
+        let mut sc = scenario(jobs, seed, threads);
         sc.tick_interval = delta;
         SweepPoint {
             setting: format!("delta {:.0}ms", delta * 1e3),
@@ -136,8 +145,10 @@ pub fn delta_sweep(jobs: usize, seed: u64, par: usize) -> SweepResult {
 }
 
 /// Sweeps the head-receiver decision propagation latency.
-pub fn latency_sweep(jobs: usize, seed: u64, par: usize) -> SweepResult {
-    let sc = scenario(jobs, seed);
+/// `threads` sets each run's intra-run engine pool width (`0` = one
+/// per core); results are bit-for-bit identical at every setting.
+pub fn latency_sweep(jobs: usize, seed: u64, par: usize, threads: usize) -> SweepResult {
+    let sc = scenario(jobs, seed, threads);
     let latencies = [0.0f64, 5e-3, 20e-3, 100e-3];
     let points = crate::par::par_run(par, latencies.len(), |i| SweepPoint {
         setting: format!("latency {:.0}ms", latencies[i] * 1e3),
@@ -163,13 +174,20 @@ pub fn latency_sweep(jobs: usize, seed: u64, par: usize) -> SweepResult {
 /// grid runs on up to `par` worker threads. The first point of each
 /// result is latency 0 — the pinned-identical-to-centralized baseline —
 /// so per-latency slowdowns can be read off directly.
-pub fn control_latency_sweep(jobs: usize, seed: u64, par: usize) -> (SweepResult, SweepResult) {
+/// `threads` sets each run's intra-run engine pool width (`0` = one
+/// per core); results are bit-for-bit identical at every setting.
+pub fn control_latency_sweep(
+    jobs: usize,
+    seed: u64,
+    par: usize,
+    threads: usize,
+) -> (SweepResult, SweepResult) {
     let latencies = [0.0f64, 1e-3, 10e-3];
     let kinds = [SchedulerKind::GuritaLocal, SchedulerKind::AaloLocal];
     let cells = crate::par::par_run(par, latencies.len() * kinds.len(), |cell| {
         let latency = latencies[cell / kinds.len()];
         let kind = kinds[cell % kinds.len()];
-        let mut sc = scenario(jobs, seed);
+        let mut sc = scenario(jobs, seed, threads);
         sc.control_latency = latency;
         SweepPoint {
             setting: format!("control latency {:.0}ms", latency * 1e3),
@@ -248,13 +266,20 @@ fn chaos_ladder(seed: u64) -> Vec<(&'static str, Option<ControlFaults>)> {
 /// the `severity × scheme` grid runs on up to `par` worker threads. The
 /// first point of each result is the fault-free baseline, so per-severity
 /// slowdowns can be read off directly.
-pub fn control_chaos_sweep(jobs: usize, seed: u64, par: usize) -> (SweepResult, SweepResult) {
+/// `threads` sets each run's intra-run engine pool width (`0` = one
+/// per core); results are bit-for-bit identical at every setting.
+pub fn control_chaos_sweep(
+    jobs: usize,
+    seed: u64,
+    par: usize,
+    threads: usize,
+) -> (SweepResult, SweepResult) {
     let ladder = chaos_ladder(seed);
     let kinds = [SchedulerKind::GuritaLocal, SchedulerKind::AaloLocal];
     let cells = crate::par::par_run(par, ladder.len() * kinds.len(), |cell| {
         let (label, profile) = &ladder[cell / kinds.len()];
         let kind = kinds[cell % kinds.len()];
-        let mut sc = scenario(jobs, seed);
+        let mut sc = scenario(jobs, seed, threads);
         sc.control_latency = 1e-3;
         sc.control_faults = profile.clone();
         SweepPoint {
@@ -287,8 +312,15 @@ pub fn control_chaos_sweep(jobs: usize, seed: u64, par: usize) -> (SweepResult, 
 /// measures Gurita's (and PFS's) average JCT — the fault-robustness
 /// sweep. Returns `(gurita, pfs)` results over the same faults. The
 /// `fraction × scheduler` grid runs on up to `par` worker threads.
-pub fn fault_sweep(jobs: usize, seed: u64, par: usize) -> (SweepResult, SweepResult) {
-    let sc = scenario(jobs, seed);
+/// `threads` sets each run's intra-run engine pool width (`0` = one
+/// per core); results are bit-for-bit identical at every setting.
+pub fn fault_sweep(
+    jobs: usize,
+    seed: u64,
+    par: usize,
+    threads: usize,
+) -> (SweepResult, SweepResult) {
+    let sc = scenario(jobs, seed, threads);
     let jobs_vec = sc.jobs();
     let fracs = [0.0f64, 0.05, 0.15, 0.30];
     let kinds = [SchedulerKind::Gurita, SchedulerKind::Pfs];
@@ -306,6 +338,7 @@ pub fn fault_sweep(jobs: usize, seed: u64, par: usize) -> (SweepResult, SweepRes
             degraded,
             SimConfig {
                 tick_interval: sc.tick_interval,
+                threads: sc.threads,
                 ..SimConfig::default()
             },
         );
@@ -343,7 +376,7 @@ mod tests {
 
     #[test]
     fn sweeps_produce_ordered_points() {
-        let r = queue_count_sweep(6, 3, 1);
+        let r = queue_count_sweep(6, 3, 1, 1);
         assert_eq!(r.points.len(), 4);
         assert!(r.points.iter().all(|p| p.avg_jct > 0.0));
         assert_eq!(r.points[0].setting, "1 queues");
@@ -351,14 +384,24 @@ mod tests {
 
     #[test]
     fn parallel_sweep_matches_sequential() {
-        let seq = queue_count_sweep(5, 11, 1);
-        let par = queue_count_sweep(5, 11, 4);
+        let seq = queue_count_sweep(5, 11, 1, 1);
+        let par = queue_count_sweep(5, 11, 4, 1);
         assert_eq!(seq, par, "parallelism must not change results");
     }
 
     #[test]
+    fn threaded_sweep_matches_serial() {
+        let serial = queue_count_sweep(5, 11, 1, 1);
+        let threaded = queue_count_sweep(5, 11, 1, 2);
+        assert_eq!(
+            serial, threaded,
+            "intra-run threads must not change results"
+        );
+    }
+
+    #[test]
     fn control_latency_sweep_covers_both_local_schemes() {
-        let (g, a) = control_latency_sweep(5, 7, 0);
+        let (g, a) = control_latency_sweep(5, 7, 0, 1);
         for r in [&g, &a] {
             assert_eq!(r.points.len(), 3);
             assert_eq!(r.points[0].setting, "control latency 0ms");
@@ -368,7 +411,7 @@ mod tests {
 
     #[test]
     fn control_chaos_sweep_covers_the_ladder() {
-        let (g, a) = control_chaos_sweep(5, 7, 0);
+        let (g, a) = control_chaos_sweep(5, 7, 0, 1);
         for r in [&g, &a] {
             assert_eq!(r.points.len(), 3);
             assert_eq!(r.points[0].setting, "no faults");
@@ -387,7 +430,7 @@ mod tests {
 
     #[test]
     fn fault_sweep_degrades_gracefully() {
-        let (g, p) = fault_sweep(6, 4, 0);
+        let (g, p) = fault_sweep(6, 4, 0, 1);
         assert_eq!(g.points.len(), 4);
         assert_eq!(p.points.len(), 4);
         // More faults must not make the network faster.

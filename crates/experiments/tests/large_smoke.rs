@@ -21,20 +21,21 @@ fn large_fabric_smoke() {
     let scenario = Scenario::bursty(StructureKind::FbTao, 8, 48, 7);
     let jobs = scenario.jobs();
     let expected_jobs = jobs.len();
-    let run = |force_heap: bool| {
+    let run = |force_heap: bool, threads: usize| {
         let fabric = FatTree::new(scenario.pods).expect("valid pods");
         let mut sim = Simulation::new(
             fabric,
             SimConfig {
                 tick_interval: scenario.tick_interval,
                 force_binary_heap_events: force_heap,
+                threads,
                 ..SimConfig::default()
             },
         );
         let mut sched = SchedulerKind::Gurita.build();
         sim.run(jobs.clone(), sched.as_mut())
     };
-    let result = run(false);
+    let result = run(false, 1);
     assert_eq!(result.jobs.len(), expected_jobs, "all jobs must complete");
     assert!(result.makespan > 0.0);
     assert!(result.events > 0);
@@ -44,9 +45,18 @@ fn large_fabric_smoke() {
     );
     assert!(result.path_arena_interns >= result.path_arena_unique as u64);
     assert!((0.0..=1.0).contains(&result.path_arena_hit_rate));
-    let heap_result = run(true);
+    assert!(
+        result.path_arena_storage_bytes > 0,
+        "interned routes must account for their backing storage"
+    );
+    let heap_result = run(true, 1);
     assert!(
         result == heap_result,
         "calendar queue must match the binary heap bit-for-bit at 48 pods"
+    );
+    let par_result = run(false, 0);
+    assert!(
+        result == par_result,
+        "parallel component recomputation must match serial bit-for-bit at 48 pods"
     );
 }

@@ -62,6 +62,7 @@
 pub mod bandwidth;
 pub mod control;
 pub mod faults;
+pub use gurita_pool as pool;
 pub mod runtime;
 pub mod sched;
 pub mod stats;

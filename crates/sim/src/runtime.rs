@@ -25,6 +25,7 @@ use crate::control::{Centralized, ControlInput, ControlPlane, LocalObservation};
 use crate::faults::{
     resalt_live_path, ControlFaultEvent, ControlFaults, FaultOverlay, FaultSchedule, TimedFault,
 };
+use crate::pool::{effective_threads, WorkerPool};
 use crate::sched::{CoflowObs, FlowObs, JobObs, Observation, Oracle, QueuePolicy, Scheduler};
 use crate::stats::{CoflowResult, FaultRecord, JobResult, RunResult};
 use crate::telemetry::{EpochSample, Probe, TelemetryConfig, TelemetrySink, TraceRecord};
@@ -33,6 +34,7 @@ use crate::SimError;
 use gurita_model::{CoflowId, FlowId, HostId, JobId, JobSpec};
 use std::cmp::Ordering;
 use std::collections::{BinaryHeap, HashMap};
+use std::sync::Mutex;
 
 /// Simulation tuning knobs.
 #[derive(Debug, Clone, PartialEq)]
@@ -58,9 +60,27 @@ pub struct SimConfig {
     /// the reference behavior for equivalence tests. Incremental
     /// recomputation agrees with the full pass to ~1e-9 relative — not
     /// bitwise, because the waterfill's stale-candidate recheck compares
-    /// against the global heap top, which couples freeze order across
-    /// otherwise independent components at exact floating-point ties.
+    /// against the heap top with `EPS` slack, which couples freeze order
+    /// across otherwise independent components at exact floating-point
+    /// ties when they share one waterfill.
     pub force_full_recompute: bool,
+    /// Worker threads for intra-run parallel rate recomputation: the
+    /// disjoint flow↔link components of one incremental recompute epoch
+    /// are waterfilled concurrently on a scoped worker pool, each with
+    /// its own [`Allocator`] scratch, and merged in component-index
+    /// order. `1` (the default) runs everything on the calling thread;
+    /// `0` resolves to one worker per available core (see
+    /// [`crate::pool::effective_threads`]).
+    ///
+    /// Results are **bit-for-bit identical** at every thread count:
+    /// incremental epochs always waterfill per component (components
+    /// are disjoint by construction, so each call sees exactly the same
+    /// demand subsequence, link capacities, and discipline regardless
+    /// of where it runs), and full passes (discipline changes,
+    /// [`SimConfig::force_full_recompute`]) always run one merged
+    /// serial waterfill. Parallelism only changes wall-clock time —
+    /// pinned by the serial-vs-parallel equality property tests.
+    pub threads: usize,
     /// Decision-propagation latency of a decentralized control plane, in
     /// seconds: a fresh priority table computed from merged per-host
     /// reports reaches the sender hosts this much later (as a timed
@@ -102,6 +122,7 @@ impl Default for SimConfig {
             completion_eps: 0.1,
             collect_link_stats: false,
             force_full_recompute: false,
+            threads: 1,
             control_latency: 0.0,
             force_binary_heap_events: false,
             telemetry: None,
@@ -628,6 +649,12 @@ impl<F: Fabric> Simulation<F> {
 /// recompute) count as flowing.
 const FLOWING_EPS: f64 = 1e-15;
 
+/// Minimum total flows in a multi-component epoch before the pool is
+/// woken (below it, condvar wakeup latency exceeds the waterfill work).
+/// Purely a wall-clock heuristic: the serial fallback is the same
+/// per-component loop, so the threshold can never change results.
+const PAR_MIN_FLOWS: usize = 32;
+
 /// Dense flow-id → flow-table position map. Flow ids are handed out
 /// densely by `Engine::next_flow_id`, so indexed slots beat a hash map
 /// on the hot lookups (completion validation, dirty-component walks,
@@ -719,10 +746,31 @@ struct Engine<'a, F: Fabric> {
     mark_epoch: u64,
     /// BFS worklist of link indices (scratch).
     bfs_stack: Vec<usize>,
-    /// Flow positions in the component under recomputation (scratch).
+    /// Flow positions under recomputation, grouped by connected
+    /// component: component `c` is `component[comp_bounds[c] ..
+    /// comp_bounds[c + 1]]`, each group sorted ascending (scratch).
     component: Vec<usize>,
+    /// Component group boundaries into `component`; `comp_bounds[0] ==
+    /// 0` always, one extra entry per non-empty component (scratch).
+    comp_bounds: Vec<usize>,
     /// Rate output buffer for the allocator (scratch).
     rate_buf: Vec<f64>,
+    /// Effective intra-run worker count (see [`SimConfig::threads`]).
+    threads: usize,
+    /// Parked worker threads for parallel recomputation; `None` when
+    /// `threads == 1`.
+    pool: Option<WorkerPool>,
+    /// One waterfill scratch [`Allocator`] per pool worker slot, built
+    /// lazily on the first parallel dispatch (each is fabric-sized).
+    /// Each mutex is only ever locked by the worker owning the slot, so
+    /// it is uncontended by construction.
+    worker_alloc: Vec<Mutex<Allocator>>,
+    /// Links touched / waterfill passes summed over the most recent
+    /// recompute epoch's allocator calls, in component-index order —
+    /// the telemetry view stays coherent whether the epoch ran merged,
+    /// per-component serial, or per-component parallel.
+    last_alloc_touched: usize,
+    last_alloc_passes: u64,
     /// Lazy completion index: predicted finish times keyed by rate stamp.
     finish_heap: BinaryHeap<FinishCand>,
     /// Global counter backing `FlowState::stamp`.
@@ -802,6 +850,7 @@ impl<'a, F: Fabric> Engine<'a, F> {
             },
             sample_interval,
         );
+        let threads = effective_threads(config.threads);
         Self {
             fabric,
             config,
@@ -834,7 +883,13 @@ impl<'a, F: Fabric> Engine<'a, F> {
             mark_epoch: 0,
             bfs_stack: Vec::new(),
             component: Vec::new(),
+            comp_bounds: Vec::new(),
             rate_buf: Vec::new(),
+            threads,
+            pool: (threads > 1).then(|| WorkerPool::new(threads)),
+            worker_alloc: Vec::new(),
+            last_alloc_touched: 0,
+            last_alloc_passes: 0,
             finish_heap: BinaryHeap::new(),
             rate_stamp: 0,
             result: RunResult {
@@ -860,6 +915,7 @@ impl<'a, F: Fabric> Engine<'a, F> {
         self.result.path_arena_unique = self.arena.unique_paths();
         self.result.path_arena_interns = self.arena.interns();
         self.result.path_arena_hit_rate = self.arena.hit_rate();
+        self.result.path_arena_storage_bytes = self.arena.storage_bytes();
         if self.config.collect_link_stats {
             let mut v: Vec<(usize, f64)> = self.link_bytes.drain().collect();
             v.sort_by(|a, b| b.1.partial_cmp(&a.1).expect("byte counts are finite"));
@@ -1782,64 +1838,80 @@ impl<'a, F: Fabric> Engine<'a, F> {
     }
 
     /// Expands the dirty seed links into the full set of flow positions
-    /// whose rate can change — the connected component(s) of the
-    /// flow↔link bipartite graph containing any seed. Side effect:
-    /// compacts stale `link_flows` entries it walks over.
+    /// whose rate can change — the connected components of the
+    /// flow↔link bipartite graph containing any seed. Each seed that
+    /// reaches unvisited links starts a fresh BFS, so `component` /
+    /// `comp_bounds` come back *grouped by connected component* (in
+    /// deterministic seed-discovery order, each group sorted ascending
+    /// by flow-table position) — the unit of both per-component
+    /// waterfilling and intra-run parallelism. Side effect: compacts
+    /// stale `link_flows` entries it walks over.
     fn collect_component(&mut self) {
         self.component.clear();
+        self.comp_bounds.clear();
+        self.comp_bounds.push(0);
         self.mark_epoch += 1;
         let epoch = self.mark_epoch;
         if self.flow_mark.len() < self.flows.len() {
             self.flow_mark.resize(self.flows.len(), 0);
         }
         self.bfs_stack.clear();
-        for &li in &self.dirty.links {
-            if self.link_mark[li] != epoch {
-                self.link_mark[li] = epoch;
-                self.bfs_stack.push(li);
+        // Take the seed list out so the BFS below can borrow the rest
+        // of `self`; hand the allocation back (cleared) afterwards.
+        let seeds = std::mem::take(&mut self.dirty.links);
+        for &seed in &seeds {
+            if self.link_mark[seed] == epoch {
+                continue; // joins a component already collected
             }
-        }
-        self.dirty.links.clear();
-        while let Some(li) = self.bfs_stack.pop() {
-            // Take the adjacency list out so we can mutate marks while
-            // validating entries; put the compacted list back after.
-            let mut list = std::mem::take(&mut self.link_flows[li]);
-            {
-                let flows = &self.flows;
-                let flow_pos = &self.flow_pos;
-                let arena = &self.arena;
-                let flow_mark = &mut self.flow_mark;
-                let link_mark = &mut self.link_mark;
-                let component = &mut self.component;
-                let bfs_stack = &mut self.bfs_stack;
-                list.retain(|fid| {
-                    let Some(pos) = flow_pos.get(*fid) else {
-                        return false; // completed
-                    };
-                    let f = &flows[pos];
-                    let path = arena.get(f.path);
-                    if f.parked || !path.iter().any(|l| l.index() == li) {
-                        return false; // parked or rerouted away
-                    }
-                    if flow_mark[pos] != epoch {
-                        flow_mark[pos] = epoch;
-                        component.push(pos);
-                        for l in path {
-                            let lj = l.index();
-                            if link_mark[lj] != epoch {
-                                link_mark[lj] = epoch;
-                                bfs_stack.push(lj);
+            self.link_mark[seed] = epoch;
+            self.bfs_stack.push(seed);
+            let start = *self.comp_bounds.last().expect("bounds start at 0");
+            while let Some(li) = self.bfs_stack.pop() {
+                // Take the adjacency list out so we can mutate marks
+                // while validating entries; put the compacted list back.
+                let mut list = std::mem::take(&mut self.link_flows[li]);
+                {
+                    let flows = &self.flows;
+                    let flow_pos = &self.flow_pos;
+                    let arena = &self.arena;
+                    let flow_mark = &mut self.flow_mark;
+                    let link_mark = &mut self.link_mark;
+                    let component = &mut self.component;
+                    let bfs_stack = &mut self.bfs_stack;
+                    list.retain(|fid| {
+                        let Some(pos) = flow_pos.get(*fid) else {
+                            return false; // completed
+                        };
+                        let f = &flows[pos];
+                        let path = arena.get(f.path);
+                        if f.parked || !path.iter().any(|l| l.index() == li) {
+                            return false; // parked or rerouted away
+                        }
+                        if flow_mark[pos] != epoch {
+                            flow_mark[pos] = epoch;
+                            component.push(pos);
+                            for l in path {
+                                let lj = l.index();
+                                if link_mark[lj] != epoch {
+                                    link_mark[lj] = epoch;
+                                    bfs_stack.push(lj);
+                                }
                             }
                         }
-                    }
-                    true
-                });
+                        true
+                    });
+                }
+                self.link_flows[li] = list;
             }
-            self.link_flows[li] = list;
+            if self.component.len() > start {
+                // Ascending flow-table order within the component so its
+                // demand sequence is independent of BFS visit order.
+                self.component[start..].sort_unstable();
+                self.comp_bounds.push(self.component.len());
+            }
         }
-        // Ascending flow-table order so the component's demand sequence
-        // is a subsequence of the full recompute's (FP-identical math).
-        self.component.sort_unstable();
+        self.dirty.links = seeds;
+        self.dirty.links.clear();
     }
 
     /// Drops invalidated completion-index entries once garbage dominates,
@@ -1897,6 +1969,13 @@ impl<'a, F: Fabric> Engine<'a, F> {
                     self.component.push(pos);
                 }
             }
+            // A full pass is one merged waterfill: there is no seed
+            // structure to partition by, and a discipline change
+            // re-weights every flow globally, so the merged serial
+            // allocation is the reference (see DESIGN.md).
+            self.comp_bounds.clear();
+            self.comp_bounds.push(0);
+            self.comp_bounds.push(self.component.len());
             if self.probe.on() {
                 self.probe.full_passes += 1;
             }
@@ -1933,21 +2012,60 @@ impl<'a, F: Fabric> Engine<'a, F> {
         if self.component.is_empty() {
             return;
         }
-        let view = FlowDemandView {
-            flows: &self.flows,
-            subset: &self.component,
-            arena: &self.arena,
-        };
         self.rate_buf.clear();
         self.rate_buf.resize(self.component.len(), 0.0);
-        let fabric = self.fabric;
-        let overlay = &self.overlay;
-        self.allocator.allocate_into(
-            &view,
-            |l| fabric.link_capacity(l) * overlay.scale(l),
-            &discipline,
-            &mut self.rate_buf,
-        );
+        let ncomp = self.comp_bounds.len() - 1;
+        if ncomp == 1 {
+            // One component (or a full pass): a single waterfill, on
+            // the engine's own allocator — identical at every thread
+            // count.
+            let view = FlowDemandView {
+                flows: &self.flows,
+                subset: &self.component,
+                arena: &self.arena,
+            };
+            let fabric = self.fabric;
+            let overlay = &self.overlay;
+            self.allocator.allocate_into(
+                &view,
+                |l| fabric.link_capacity(l) * overlay.scale(l),
+                &discipline,
+                &mut self.rate_buf,
+            );
+            self.last_alloc_touched = self.allocator.last_touched_links();
+            self.last_alloc_passes = self.allocator.last_waterfill_passes();
+        } else if self.pool.is_some() && self.component.len() >= PAR_MIN_FLOWS {
+            self.recompute_components_parallel(&discipline);
+        } else {
+            // Per-component serial loop: the reference the parallel
+            // branch must match bit-for-bit. Components are disjoint in
+            // both flows and links, so each call's inputs — and hence
+            // its output rates — are independent of the other
+            // components entirely.
+            self.last_alloc_touched = 0;
+            self.last_alloc_passes = 0;
+            let fabric = self.fabric;
+            for c in 0..ncomp {
+                let (s, e) = (self.comp_bounds[c], self.comp_bounds[c + 1]);
+                let view = FlowDemandView {
+                    flows: &self.flows,
+                    subset: &self.component[s..e],
+                    arena: &self.arena,
+                };
+                let overlay = &self.overlay;
+                self.allocator.allocate_into(
+                    &view,
+                    |l| fabric.link_capacity(l) * overlay.scale(l),
+                    &discipline,
+                    &mut self.rate_buf[s..e],
+                );
+                self.last_alloc_touched += self.allocator.last_touched_links();
+                self.last_alloc_passes += self.allocator.last_waterfill_passes();
+            }
+        }
+        if self.probe.on() {
+            self.probe.component_calls += ncomp as u64;
+        }
         for i in 0..self.component.len() {
             let pos = self.component[i];
             let (was_flowing, is_flowing, cid) = {
@@ -1973,6 +2091,80 @@ impl<'a, F: Fabric> Engine<'a, F> {
         }
         if self.finish_heap.len() > 4 * self.flows.len() + 64 {
             self.rebuild_finish_heap();
+        }
+    }
+
+    /// Fans the epoch's disjoint components across the worker pool:
+    /// `f(worker_slot, component_index)` waterfills one component into
+    /// its own `rate_buf` span using the slot's private [`Allocator`]
+    /// scratch. Writes exactly what the serial per-component loop
+    /// writes — the same rates into the same slices, and per-component
+    /// diagnostics merged in component-index order — so results are
+    /// bit-for-bit independent of scheduling (see
+    /// [`SimConfig::threads`]).
+    fn recompute_components_parallel(&mut self, discipline: &Discipline) {
+        let ncomp = self.comp_bounds.len() - 1;
+        let fabric = self.fabric;
+        if self.worker_alloc.len() < self.threads {
+            self.worker_alloc.resize_with(self.threads, || {
+                Mutex::new(Allocator::new(fabric.num_links()))
+            });
+        }
+        // Disjoint per-component output spans carved out of `rate_buf`.
+        // Task `c` locks span `c` and worker slot `s` locks scratch `s`,
+        // each exactly once per batch, so every lock below is
+        // uncontended — the mutexes keep this fan-out inside the
+        // crate-wide `forbid(unsafe_code)`; they are not synchronization
+        // points.
+        let mut spans: Vec<Mutex<(&mut [f64], usize, u64)>> = Vec::with_capacity(ncomp);
+        let mut rest: &mut [f64] = &mut self.rate_buf;
+        for w in self.comp_bounds.windows(2) {
+            let (head, tail) = rest.split_at_mut(w[1] - w[0]);
+            rest = tail;
+            spans.push(Mutex::new((head, 0, 0)));
+        }
+        let flows = &self.flows;
+        let arena = &self.arena;
+        let overlay = &self.overlay;
+        let component = &self.component;
+        let bounds = &self.comp_bounds;
+        let scratch = &self.worker_alloc;
+        let pool = self.pool.as_ref().expect("caller checked");
+        let spans_ref = &spans;
+        let task = move |slot: usize, c: usize| {
+            let (s, e) = (bounds[c], bounds[c + 1]);
+            let view = FlowDemandView {
+                flows,
+                subset: &component[s..e],
+                arena,
+            };
+            let mut alloc = scratch[slot].lock().expect("worker scratch poisoned");
+            let mut out = spans_ref[c].lock().expect("span lock poisoned");
+            let out = &mut *out;
+            alloc.allocate_into(
+                &view,
+                |l| fabric.link_capacity(l) * overlay.scale(l),
+                discipline,
+                &mut *out.0,
+            );
+            out.1 = alloc.last_touched_links();
+            out.2 = alloc.last_waterfill_passes();
+        };
+        pool.run(ncomp, &task);
+        // Merge diagnostics in component-index order. Integer sums are
+        // order-independent anyway; the explicit order documents the
+        // contract the f64-free merge shares with the rate application
+        // loop below (component-index order, always).
+        let (mut touched, mut passes) = (0usize, 0u64);
+        for m in spans {
+            let (_, t, p) = m.into_inner().expect("span lock poisoned");
+            touched += t;
+            passes += p;
+        }
+        self.last_alloc_touched = touched;
+        self.last_alloc_passes = passes;
+        if self.probe.on() {
+            self.probe.parallel_epochs += 1;
         }
     }
 
@@ -2097,8 +2289,10 @@ impl<'a, F: Fabric> Engine<'a, F> {
             alloc_incremental_passes: self.probe.incremental_passes,
             alloc_component_flows: self.probe.component_flows,
             alloc_seed_links: self.probe.seed_links,
-            alloc_touched_links: self.allocator.last_touched_links(),
-            alloc_waterfill_passes: self.allocator.last_waterfill_passes(),
+            alloc_touched_links: self.last_alloc_touched,
+            alloc_waterfill_passes: self.last_alloc_passes,
+            alloc_component_calls: self.probe.component_calls,
+            alloc_parallel_epochs: self.probe.parallel_epochs,
         }
     }
 

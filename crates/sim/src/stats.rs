@@ -163,8 +163,19 @@ pub struct RunResult {
     pub path_arena_interns: u64,
     /// Fraction of intern requests answered from the arena cache
     /// (`1 - unique/interns`); 0 for runs with no interned paths.
+    ///
+    /// Scale-dependent: on small fabrics repeated host pairs collapse
+    /// onto few ECMP routes and the rate is high, while at 48 pods the
+    /// per-flow ECMP salt spreads (k/2)² = 576 routes per host pair and
+    /// the rate is legitimately ~0 (measured diagnosis in DESIGN.md,
+    /// "Scaling to 48 pods"). Prefer `path_arena_storage_bytes` for a
+    /// gate metric that tracks arena growth meaningfully at scale.
     #[serde(default)]
     pub path_arena_hit_rate: f64,
+    /// Resident bytes of interned path storage at end of run (links
+    /// plus spans; see `gurita_sim::topology::PathArena::storage_bytes`).
+    #[serde(default)]
+    pub path_arena_storage_bytes: usize,
     /// Control-plane resilience counters; all zero unless the run armed
     /// a control-fault profile.
     #[serde(default)]

@@ -347,12 +347,26 @@ pub struct EpochSample {
     pub alloc_component_flows: u64,
     /// Cumulative dirty seed links consumed by incremental passes.
     pub alloc_seed_links: u64,
-    /// Distinct links touched by the most recent allocation (the
-    /// allocator's dense-remap width).
+    /// Distinct links touched by the most recent recompute epoch,
+    /// summed over its per-component allocator calls in component-index
+    /// order (the allocator's dense-remap widths).
     pub alloc_touched_links: usize,
-    /// Water-filling passes run by the most recent allocation (one per
-    /// non-empty priority queue under SPQ; one under WRR).
+    /// Water-filling passes run by the most recent recompute epoch (one
+    /// per non-empty priority queue under SPQ, one under WRR, per
+    /// component), summed over its per-component calls.
     pub alloc_waterfill_passes: u64,
+    /// Cumulative `Allocator::allocate_into` calls: one per full pass,
+    /// one per dirty component of each incremental epoch. With
+    /// `alloc_incremental_passes` this yields the mean component count
+    /// per epoch — the available intra-run parallelism (see
+    /// [`SimConfig::threads`](crate::runtime::SimConfig::threads)).
+    #[serde(default)]
+    pub alloc_component_calls: u64,
+    /// Cumulative recompute epochs fanned across the worker pool (0
+    /// when `SimConfig::threads` is 1 or every epoch stayed below the
+    /// dispatch threshold).
+    #[serde(default)]
+    pub alloc_parallel_epochs: u64,
 }
 
 /// Receives [`TraceRecord`]s from an instrumented run.
@@ -385,6 +399,8 @@ pub(crate) struct Probe<'a> {
     pub(crate) incremental_passes: u64,
     pub(crate) component_flows: u64,
     pub(crate) seed_links: u64,
+    pub(crate) component_calls: u64,
+    pub(crate) parallel_epochs: u64,
 }
 
 impl<'a> Probe<'a> {
@@ -398,6 +414,8 @@ impl<'a> Probe<'a> {
             incremental_passes: 0,
             component_flows: 0,
             seed_links: 0,
+            component_calls: 0,
+            parallel_epochs: 0,
         }
     }
 
@@ -922,6 +940,8 @@ mod tests {
             alloc_seed_links: 12,
             alloc_touched_links: 4,
             alloc_waterfill_passes: 2,
+            alloc_component_calls: 6,
+            alloc_parallel_epochs: 2,
         };
         for rec in [
             flow_start(0.25, 7),
@@ -1000,6 +1020,8 @@ mod tests {
             alloc_seed_links: 2,
             alloc_touched_links: 2,
             alloc_waterfill_passes: 1,
+            alloc_component_calls: 1,
+            alloc_parallel_epochs: 0,
         }));
         assert_eq!(sink.events().count(), 1);
         assert_eq!(sink.samples().count(), 1);

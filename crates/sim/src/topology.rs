@@ -178,7 +178,13 @@ impl PathArena {
 /// Implementations must be deterministic: the same `(src, dst, salt)`
 /// triple always yields the same path (this is how ECMP's per-flow
 /// hashing is modeled — `salt` is derived from the flow identifier).
-pub trait Fabric {
+///
+/// `Sync` is a supertrait so the engine can query link capacities from
+/// pool workers during parallel rate recomputation (see
+/// [`SimConfig::threads`](crate::runtime::SimConfig::threads));
+/// fabrics are immutable topology tables, so every provided
+/// implementation is trivially `Sync`.
+pub trait Fabric: Sync {
     /// Number of hosts (server NICs).
     fn num_hosts(&self) -> usize;
 

@@ -2,11 +2,13 @@
 //! (bursty FB-Tao under Gurita on the 27,648-host fat-tree, seed 42)
 //! once and prints events/sec, for fast interactive perf iteration.
 //!
-//! Usage: `cargo run --release --example large_baseline [jobs]`
-//! (default 40 jobs — the same configuration the `bench` binary records
-//! in `results/BENCH_sim.json` under `large`, which is the number that
-//! gates PRs; this example skips the warm-up run and A/B pass, so
-//! expect slightly noisier output).
+//! Usage: `cargo run --release --example large_baseline [jobs] [threads]`
+//! (default 40 jobs / 1 thread — the same configuration the `bench`
+//! binary records in `results/BENCH_sim.json` under `large`, which is
+//! the number that gates PRs; this example skips the warm-up run and
+//! A/B pass, so expect slightly noisier output. `threads` arms the
+//! intra-run component pool — `0` = one worker per core — without
+//! changing results).
 
 use gurita_bench::timed_run;
 use gurita_experiments::roster::SchedulerKind;
@@ -18,7 +20,12 @@ fn main() {
         .nth(1)
         .and_then(|s| s.parse().ok())
         .unwrap_or(40);
-    let scenario = Scenario::bursty(StructureKind::FbTao, jobs, 48, 42);
+    let threads: usize = std::env::args()
+        .nth(2)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(1);
+    let mut scenario = Scenario::bursty(StructureKind::FbTao, jobs, 48, 42);
+    scenario.threads = threads;
     let specs = scenario.jobs();
     let flows: usize = specs
         .iter()
@@ -31,12 +38,12 @@ fn main() {
     eprintln!("jobs={} flows={}", specs.len(), flows);
     let (result, tp) = timed_run(|| scenario.run(SchedulerKind::Gurita));
     println!(
-        "events={} elapsed={:.3}s events/sec={:.0} completed_jobs={} arena_unique={} arena_hit_rate={:.3}",
+        "events={} elapsed={:.3}s events/sec={:.0} completed_jobs={} arena_unique={} arena_kib={:.1}",
         result.events,
         tp.wall_sec,
         tp.events_per_sec,
         result.jobs.len(),
         result.path_arena_unique,
-        result.path_arena_hit_rate
+        result.path_arena_storage_bytes as f64 / 1024.0
     );
 }

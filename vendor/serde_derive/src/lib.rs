@@ -6,7 +6,9 @@
 //! as a string parsed back into a `TokenStream`.
 //!
 //! Supported shapes (everything this workspace derives on):
-//! - structs with named fields, honoring `#[serde(default)]` per field
+//! - structs with named fields, honoring `#[serde(default)]` and
+//!   `#[serde(default = "path")]` per field (the path is resolved in
+//!   the struct's module, as real serde does)
 //! - tuple structs (newtype and multi-field)
 //! - enums with unit, tuple, and struct variants (externally tagged,
 //!   like real serde's default representation)
@@ -53,7 +55,15 @@ enum Fields {
 
 struct Field {
     name: String,
-    default: bool,
+    default: Option<DefaultKind>,
+}
+
+/// How a missing field is filled during deserialization.
+enum DefaultKind {
+    /// Bare `#[serde(default)]`: `Default::default()`.
+    Std,
+    /// `#[serde(default = "path")]`: call `path()`.
+    Path(String),
 }
 
 // ---------------------------------------------------------------------
@@ -97,21 +107,22 @@ impl Cursor {
         matches!(self.peek(), Some(TokenTree::Ident(i)) if i.to_string() == name)
     }
 
-    /// Skips attributes; returns true if any was `#[serde(default)]`.
-    fn skip_attrs(&mut self) -> bool {
-        let mut has_default = false;
+    /// Skips attributes; returns the field-default spec if any was
+    /// `#[serde(default)]` or `#[serde(default = "path")]`.
+    fn skip_attrs(&mut self) -> Option<DefaultKind> {
+        let mut default = None;
         while self.is_punct('#') {
             self.bump();
             match self.bump() {
                 Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Bracket => {
-                    if attr_is_serde_default(g.stream()) {
-                        has_default = true;
+                    if let Some(kind) = attr_serde_default(g.stream()) {
+                        default = Some(kind);
                     }
                 }
                 other => panic!("expected attribute brackets after `#`, got {other:?}"),
             }
         }
-        has_default
+        default
     }
 
     /// Skips a visibility qualifier (`pub`, `pub(crate)`, ...).
@@ -167,15 +178,37 @@ impl Cursor {
     }
 }
 
-fn attr_is_serde_default(stream: TokenStream) -> bool {
+fn attr_serde_default(stream: TokenStream) -> Option<DefaultKind> {
     let tokens: Vec<TokenTree> = stream.into_iter().collect();
-    match tokens.as_slice() {
-        [TokenTree::Ident(name), TokenTree::Group(args)] if name.to_string() == "serde" => args
-            .stream()
-            .into_iter()
-            .any(|t| matches!(t, TokenTree::Ident(i) if i.to_string() == "default")),
-        _ => false,
+    let args = match tokens.as_slice() {
+        [TokenTree::Ident(name), TokenTree::Group(args)] if name.to_string() == "serde" => {
+            args.stream().into_iter().collect::<Vec<TokenTree>>()
+        }
+        _ => return None,
+    };
+    let mut i = 0;
+    while i < args.len() {
+        if matches!(&args[i], TokenTree::Ident(id) if id.to_string() == "default") {
+            // `default = "path"`: the path literal comes quoted; strip
+            // the quotes and call it verbatim at the use site.
+            if let (Some(TokenTree::Punct(eq)), Some(TokenTree::Literal(lit))) =
+                (args.get(i + 1), args.get(i + 2))
+            {
+                if eq.as_char() == '=' {
+                    let raw = lit.to_string();
+                    let path = raw.trim_matches('"').to_string();
+                    assert!(
+                        !path.is_empty() && !path.contains('"'),
+                        "malformed #[serde(default = ...)] path literal: {raw}"
+                    );
+                    return Some(DefaultKind::Path(path));
+                }
+            }
+            return Some(DefaultKind::Std);
+        }
+        i += 1;
     }
+    None
 }
 
 // ---------------------------------------------------------------------
@@ -388,11 +421,15 @@ fn de_named_fields(type_name: &str, fields: &[Field], source: &str) -> String {
         .iter()
         .map(|f| {
             let n = &f.name;
-            if f.default {
+            if let Some(kind) = &f.default {
+                let fallback = match kind {
+                    DefaultKind::Std => "::std::default::Default::default()".to_string(),
+                    DefaultKind::Path(path) => format!("{path}()"),
+                };
                 format!(
                     "{n}: match ::serde::get_field({source}, \"{n}\") {{ \
                         Some(v) => <_ as ::serde::Deserialize>::from_value(v)?, \
-                        None => ::std::default::Default::default(), \
+                        None => {fallback}, \
                     }},"
                 )
             } else {
