@@ -1,0 +1,266 @@
+//! `gctl` — command-line client for a running `guritad`.
+//!
+//! ```text
+//! gctl submit ingest --flows 4 --mb 64
+//! gctl submit etl --after ingest --flows 8 --mb 32
+//! gctl queue -t          # gqueue-style dependency tree
+//! gctl drain             # close submissions, wait, print final stats
+//! ```
+
+use gurita_daemon::client::Client;
+use gurita_daemon::protocol::JobView;
+use gurita_model::{CoflowSpec, FlowSpec, HostId, JobDag, JobSpec};
+use std::collections::HashMap;
+use std::path::PathBuf;
+use std::process::ExitCode;
+use std::time::Duration;
+
+const USAGE: &str = "\
+gctl — control a running guritad
+
+USAGE:
+    gctl [--socket <PATH>] <COMMAND>
+
+COMMANDS:
+    ping                         liveness check
+    submit <NAME> [opts]         submit a job
+        --after <A,B,...>        hold until these jobs complete
+        --file <spec.json>       job spec from a trace-format JSON file
+        --flows <N>              synthesize N flows (default 4)
+        --mb <F>                 megabytes per flow (default 16)
+    status <NAME>                one job's state
+    wait <NAME> [--timeout <S>]  block until the job is terminal
+    queue [-t]                   all jobs; -t renders the dependency tree
+    cancel <NAME>                cancel (cascades to held dependents)
+    stats                        daemon counters
+    drain                        close submissions, run to empty, stop
+    shutdown                     stop immediately
+";
+
+fn fail(msg: impl std::fmt::Display) -> ExitCode {
+    eprintln!("gctl: {msg}");
+    ExitCode::FAILURE
+}
+
+fn main() -> ExitCode {
+    let mut args: Vec<String> = std::env::args().skip(1).collect();
+    let mut socket = PathBuf::from("/tmp/guritad.sock");
+    if args.first().map(String::as_str) == Some("--socket") {
+        if args.len() < 2 {
+            return fail("--socket requires a value");
+        }
+        socket = PathBuf::from(args.remove(1));
+        args.remove(0);
+    }
+    let Some(cmd) = args.first().cloned() else {
+        print!("{USAGE}");
+        return ExitCode::from(2);
+    };
+    if cmd == "-h" || cmd == "--help" {
+        print!("{USAGE}");
+        return ExitCode::SUCCESS;
+    }
+    let mut client = match Client::connect(&socket) {
+        Ok(c) => c,
+        Err(e) => return fail(format!("connect {}: {e}", socket.display())),
+    };
+    let rest = &args[1..];
+    let result = match cmd.as_str() {
+        "ping" => client.ping().map(|()| println!("pong")),
+        "submit" => do_submit(&mut client, rest),
+        "status" => match rest.first() {
+            Some(name) => client.status(name).map(|v| print_job(&v)),
+            None => return fail("status requires a job name"),
+        },
+        "wait" => do_wait(&mut client, rest),
+        "queue" => {
+            let tree = rest.first().map(String::as_str) == Some("-t");
+            client.queue().map(|jobs| {
+                if tree {
+                    print_tree(&jobs);
+                } else {
+                    for v in &jobs {
+                        print_job(v);
+                    }
+                }
+            })
+        }
+        "cancel" => match rest.first() {
+            Some(name) => client.cancel(name).map(|v| print_job(&v)),
+            None => return fail("cancel requires a job name"),
+        },
+        "stats" => client.stats().map(|s| {
+            println!(
+                "vtime {:.6}s  events {}  open flows {}  coflows {}  \
+                 held {} queued {} running {} done {} cancelled {}  drained {}",
+                s.vtime,
+                s.events,
+                s.open_flows,
+                s.open_coflows,
+                s.jobs_held,
+                s.jobs_queued,
+                s.jobs_running,
+                s.jobs_done,
+                s.jobs_cancelled,
+                s.drained
+            );
+        }),
+        "drain" => client.drain().map(|s| {
+            println!(
+                "drained: {} done, {} cancelled, makespan {:.6}s, mean JCT {}",
+                s.jobs_done,
+                s.jobs_cancelled,
+                s.makespan.unwrap_or(0.0),
+                s.avg_jct
+                    .map_or_else(|| "n/a".to_string(), |j| format!("{j:.6}s"))
+            );
+        }),
+        "shutdown" => client.shutdown().map(|()| println!("daemon stopped")),
+        other => return fail(format!("unknown command `{other}` (see --help)")),
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => fail(e),
+    }
+}
+
+fn do_submit(client: &mut Client, rest: &[String]) -> std::io::Result<()> {
+    let Some(name) = rest.first() else {
+        return Err(other("submit requires a job name"));
+    };
+    let mut after: Vec<String> = Vec::new();
+    let mut file: Option<PathBuf> = None;
+    let mut flows = 4usize;
+    let mut mb = 16.0f64;
+    let mut i = 1;
+    while i < rest.len() {
+        let value = rest
+            .get(i + 1)
+            .ok_or_else(|| other(format!("{} requires a value", rest[i])))?;
+        match rest[i].as_str() {
+            "--after" => after = value.split(',').map(str::to_string).collect(),
+            "--file" => file = Some(PathBuf::from(value)),
+            "--flows" => flows = value.parse().map_err(|e| other(format!("--flows: {e}")))?,
+            "--mb" => mb = value.parse().map_err(|e| other(format!("--mb: {e}")))?,
+            f => return Err(other(format!("unknown submit flag `{f}`"))),
+        }
+        i += 2;
+    }
+    let spec = match file {
+        Some(path) => {
+            let text = std::fs::read_to_string(&path)?;
+            serde_json::from_str::<JobSpec>(&text)
+                .map_err(|e| other(format!("{}: {e}", path.display())))?
+        }
+        None => synthesize(flows, mb),
+    };
+    let view = client.submit(name, &after, &spec)?;
+    print_job(&view);
+    Ok(())
+}
+
+fn do_wait(client: &mut Client, rest: &[String]) -> std::io::Result<()> {
+    let Some(name) = rest.first() else {
+        return Err(other("wait requires a job name"));
+    };
+    let mut timeout = Duration::from_secs(60);
+    if rest.get(1).map(String::as_str) == Some("--timeout") {
+        let secs: f64 = rest
+            .get(2)
+            .ok_or_else(|| other("--timeout requires seconds"))?
+            .parse()
+            .map_err(|e| other(format!("--timeout: {e}")))?;
+        timeout = Duration::from_secs_f64(secs);
+    }
+    let view = client.wait(name, timeout)?;
+    print_job(&view);
+    Ok(())
+}
+
+/// A synthetic single-stage job: `flows` flows of `mb` MB each on a
+/// ring over the first `flows + 1` hosts — enough structure to exercise
+/// real contention without needing a trace file.
+fn synthesize(flows: usize, mb: f64) -> JobSpec {
+    let flows = flows.max(1);
+    let specs = (0..flows)
+        .map(|i| FlowSpec::new(HostId(i), HostId(i + 1), mb * 1e6))
+        .collect();
+    JobSpec::new(
+        0,
+        0.0,
+        vec![CoflowSpec::new(specs)],
+        JobDag::chain(1).unwrap(),
+    )
+    .expect("synthesized job is well-formed")
+}
+
+fn other(msg: impl Into<String>) -> std::io::Error {
+    std::io::Error::other(msg.into())
+}
+
+fn print_job(v: &JobView) {
+    let when = match (v.admitted_at, v.completed_at) {
+        (_, Some(done)) => format!("  done@{done:.6}s"),
+        (Some(adm), None) => format!("  admitted@{adm:.6}s"),
+        (None, None) => String::new(),
+    };
+    let deps = if v.depends_on.is_empty() {
+        String::new()
+    } else {
+        format!("  after [{}]", v.depends_on.join(", "))
+    };
+    println!(
+        "{:<20} j{:<5} {:<9} {}/{} coflows{when}{deps}",
+        v.name, v.id, v.state, v.completed_coflows, v.total_coflows
+    );
+}
+
+/// Renders the dependency forest the way `gqueue -t` does: roots at the
+/// left margin, children indented under each parent. A job with
+/// several parents is shown under its first parent and marked `…` at
+/// subsequent ones.
+fn print_tree(jobs: &[JobView]) {
+    let mut children: HashMap<&str, Vec<&JobView>> = HashMap::new();
+    let mut roots: Vec<&JobView> = Vec::new();
+    for v in jobs {
+        match v.depends_on.first() {
+            Some(parent) => children.entry(parent.as_str()).or_default().push(v),
+            None => roots.push(v),
+        }
+    }
+    for root in roots {
+        render(root, "", true, true, &children);
+    }
+}
+
+fn render(
+    v: &JobView,
+    prefix: &str,
+    last: bool,
+    is_root: bool,
+    children: &HashMap<&str, Vec<&JobView>>,
+) {
+    let extra = if v.depends_on.len() > 1 {
+        format!("  (+{} more parents)", v.depends_on.len() - 1)
+    } else {
+        String::new()
+    };
+    let child_prefix = if is_root {
+        println!(
+            "{} [{}] {}/{}{extra}",
+            v.name, v.state, v.completed_coflows, v.total_coflows
+        );
+        String::new()
+    } else {
+        let branch = if last { "└── " } else { "├── " };
+        println!(
+            "{prefix}{branch}{} [{}] {}/{}{extra}",
+            v.name, v.state, v.completed_coflows, v.total_coflows
+        );
+        format!("{prefix}{}", if last { "    " } else { "│   " })
+    };
+    let kids = children.get(v.name.as_str()).map_or(&[][..], Vec::as_slice);
+    for (i, kid) in kids.iter().enumerate() {
+        render(kid, &child_prefix, i + 1 == kids.len(), false, children);
+    }
+}

@@ -1,0 +1,130 @@
+//! `guritad` — the Gurita scheduling daemon.
+//!
+//! Runs a live simulation engine behind a Unix socket and accepts
+//! online job submissions (see `gctl`). Exits 0 after a clean `drain`
+//! or `shutdown`.
+//!
+//! ```text
+//! guritad --socket /tmp/guritad.sock --scheduler Gurita --pace 0
+//! ```
+
+use gurita_daemon::server::{parse_scheduler, serve, DaemonConfig};
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+const USAGE: &str = "\
+guritad — the Gurita scheduling daemon
+
+USAGE:
+    guritad [OPTIONS]
+
+OPTIONS:
+    --socket <PATH>        socket path            [default: /tmp/guritad.sock]
+    --hosts <N>            fabric size (hosts)    [default: 32]
+    --capacity-gbps <F>    per-host NIC, Gbit/s   [default: 10]
+    --scheduler <NAME>     roster label, e.g. Gurita, PFS, Aalo, Gurita@local
+    --pace <F>             sim seconds per wall second; 0 = as fast as possible
+    --threads <N>          engine worker threads; 0 = one per core
+                           [default: $GURITA_THREADS or 1]
+    --tick <F>             scheduler update interval δ, seconds [default: 5e-3]
+    --control-latency <F>  decision-propagation latency, seconds [default: 0]
+    -h, --help             print this help
+";
+
+fn parse_args() -> Result<DaemonConfig, String> {
+    let mut config = DaemonConfig::default();
+    if let Ok(t) = std::env::var("GURITA_THREADS") {
+        config.threads = t
+            .parse()
+            .map_err(|_| format!("GURITA_THREADS must be an integer, got `{t}`"))?;
+    }
+    let mut args = std::env::args().skip(1);
+    while let Some(flag) = args.next() {
+        let mut value = |name: &str| {
+            args.next()
+                .ok_or_else(|| format!("{name} requires a value"))
+        };
+        match flag.as_str() {
+            "--socket" => config.socket = PathBuf::from(value("--socket")?),
+            "--hosts" => {
+                config.hosts = value("--hosts")?
+                    .parse()
+                    .map_err(|e| format!("--hosts: {e}"))?;
+            }
+            "--capacity-gbps" => {
+                let gbps: f64 = value("--capacity-gbps")?
+                    .parse()
+                    .map_err(|e| format!("--capacity-gbps: {e}"))?;
+                config.capacity = gbps * 1e9 / 8.0;
+            }
+            "--scheduler" => {
+                let name = value("--scheduler")?;
+                config.scheduler =
+                    parse_scheduler(&name).ok_or_else(|| format!("unknown scheduler `{name}`"))?;
+            }
+            "--pace" => {
+                config.pace = value("--pace")?
+                    .parse()
+                    .map_err(|e| format!("--pace: {e}"))?;
+            }
+            "--threads" => {
+                config.threads = value("--threads")?
+                    .parse()
+                    .map_err(|e| format!("--threads: {e}"))?;
+            }
+            "--tick" => {
+                config.tick_interval = value("--tick")?
+                    .parse()
+                    .map_err(|e| format!("--tick: {e}"))?;
+            }
+            "--control-latency" => {
+                config.control_latency = value("--control-latency")?
+                    .parse()
+                    .map_err(|e| format!("--control-latency: {e}"))?;
+            }
+            "-h" | "--help" => {
+                print!("{USAGE}");
+                std::process::exit(0);
+            }
+            other => return Err(format!("unknown flag `{other}` (see --help)")),
+        }
+    }
+    Ok(config)
+}
+
+fn main() -> ExitCode {
+    let config = match parse_args() {
+        Ok(c) => c,
+        Err(e) => {
+            eprintln!("guritad: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    eprintln!(
+        "guritad: {} on {} hosts, socket {}, pace {}",
+        config.scheduler.label(),
+        config.hosts,
+        config.socket.display(),
+        if config.pace <= 0.0 {
+            "max".to_string()
+        } else {
+            format!("{}x", config.pace)
+        }
+    );
+    match serve(&config) {
+        Ok(report) => {
+            eprintln!(
+                "guritad: exiting — vtime {:.6}s, {} events, {} done / {} cancelled",
+                report.stats.vtime,
+                report.stats.events,
+                report.stats.jobs_done,
+                report.stats.jobs_cancelled
+            );
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("guritad: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

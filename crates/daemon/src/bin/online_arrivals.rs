@@ -1,0 +1,142 @@
+//! E13: the online-arrivals scenario — drive a generated bursty trace
+//! through a live `guritad` over its socket, end to end.
+//!
+//! Spawns the daemon in-process (same binary artifact, same serve loop
+//! the standalone `guritad` runs), connects a client, and submits every
+//! job of a bursty 128-host workload as it "arrives": jobs go over the
+//! wire as JSON, a deterministic subset carries `depends_on` edges so
+//! the dependency gate is exercised at scale, and the queue is polled
+//! mid-run to prove queries are answered while the engine is busy. The
+//! run ends with `drain`, which must account for every submitted job.
+//!
+//! Environment:
+//!
+//! - `GURITA_ONLINE_JOBS` — job count (default 1000)
+//! - `GURITA_THREADS` — engine worker threads (default 1, 0 = auto)
+//! - `GURITA_ONLINE_OUT` — JSON results path
+//!   (default `results/online_arrivals.json`)
+
+use gurita_daemon::client::Client;
+use gurita_daemon::server::{serve, DaemonConfig, ServeReport};
+use gurita_experiments::roster::SchedulerKind;
+use gurita_workload::arrivals::ArrivalProcess;
+use gurita_workload::generator::{JobGenerator, WorkloadConfig};
+use std::io::Write;
+use std::path::PathBuf;
+use std::time::{Duration, Instant};
+
+fn env_usize(name: &str, default: usize) -> usize {
+    std::env::var(name)
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
+}
+
+fn main() -> std::io::Result<()> {
+    let num_jobs = env_usize("GURITA_ONLINE_JOBS", 1000);
+    let threads = env_usize("GURITA_THREADS", 1);
+    let out = PathBuf::from(
+        std::env::var("GURITA_ONLINE_OUT")
+            .unwrap_or_else(|_| "results/online_arrivals.json".into()),
+    );
+    let socket = std::env::temp_dir().join(format!("guritad-e13-{}.sock", std::process::id()));
+
+    let config = DaemonConfig {
+        socket: socket.clone(),
+        hosts: 128,
+        scheduler: SchedulerKind::Gurita,
+        threads,
+        ..DaemonConfig::default()
+    };
+    eprintln!(
+        "online_arrivals: {num_jobs} jobs, {} threads, socket {}",
+        threads,
+        socket.display()
+    );
+
+    let daemon = std::thread::spawn(move || serve(&config));
+    let mut client = Client::connect_with_retry(&socket, Duration::from_secs(10))?;
+    client.ping()?;
+
+    // The same bursty family the offline large-scale smoke uses, but
+    // streamed job by job instead of materialized: the generator is an
+    // iterator, so memory tracks the active set, not the trace length.
+    let workload = WorkloadConfig {
+        num_jobs,
+        num_hosts: 128,
+        arrivals: ArrivalProcess::Bursty {
+            burst_size: 8,
+            intra_gap: 2e-6,
+            inter_gap: 0.05,
+        },
+        ..WorkloadConfig::default()
+    };
+    let wall = Instant::now();
+    let mut submitted = 0usize;
+    let mut held_at_submit = 0usize;
+    let mut queries = 0usize;
+    for (i, job) in JobGenerator::new(workload, 42).stream().enumerate() {
+        let name = format!("job-{i:05}");
+        // Every 5th job depends on its predecessor (and every 50th on
+        // two parents) — a steady stream of gate releases mixed into
+        // independent arrivals.
+        let deps: Vec<String> = if i > 1 && i % 50 == 0 {
+            vec![format!("job-{:05}", i - 1), format!("job-{:05}", i - 2)]
+        } else if i > 0 && i % 5 == 0 {
+            vec![format!("job-{:05}", i - 1)]
+        } else {
+            Vec::new()
+        };
+        let view = client.submit(&name, &deps, &job)?;
+        if view.state == "held" {
+            held_at_submit += 1;
+        }
+        submitted += 1;
+        // Mid-run queries: the daemon answers between engine events.
+        if i % 100 == 99 {
+            let q = client.queue()?;
+            assert_eq!(q.len(), submitted, "queue sees every submission");
+            let s = client.stats()?;
+            assert!(s.events > 0, "engine is live while we submit");
+            queries += 1;
+        }
+    }
+
+    let stats = client.drain()?;
+    let wall_secs = wall.elapsed().as_secs_f64();
+    let report: ServeReport = match daemon.join() {
+        Ok(r) => r?,
+        Err(_) => return Err(std::io::Error::other("daemon thread panicked")),
+    };
+
+    assert_eq!(stats.jobs_done, num_jobs, "drain accounts for every job");
+    assert_eq!(stats.jobs_held, 0);
+    assert_eq!(stats.jobs_cancelled, 0);
+    assert!(stats.drained);
+    assert_eq!(report.completed.len(), num_jobs);
+
+    let makespan = stats.makespan.unwrap_or(0.0);
+    let avg_jct = stats.avg_jct.unwrap_or(0.0);
+    eprintln!(
+        "online_arrivals: {num_jobs} jobs done in {wall_secs:.2}s wall \
+         ({held_at_submit} gated, {queries} mid-run queries), \
+         makespan {makespan:.3}s, mean JCT {avg_jct:.4}s, {} events",
+        stats.events
+    );
+
+    if let Some(dir) = out.parent() {
+        std::fs::create_dir_all(dir)?;
+    }
+    let mut f = std::fs::File::create(&out)?;
+    writeln!(
+        f,
+        "{{\n  \"scenario\": \"online_arrivals\",\n  \"jobs\": {num_jobs},\n  \
+         \"threads\": {threads},\n  \"held_at_submit\": {held_at_submit},\n  \
+         \"mid_run_queries\": {queries},\n  \"events\": {},\n  \
+         \"makespan_s\": {makespan},\n  \"avg_jct_s\": {avg_jct},\n  \
+         \"wall_seconds\": {wall_secs}\n}}",
+        stats.events
+    )?;
+    eprintln!("online_arrivals: wrote {}", out.display());
+    Ok(())
+}

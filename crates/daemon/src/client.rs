@@ -1,0 +1,196 @@
+//! Typed client for the guritad socket, used by `gctl`, the
+//! online-arrivals experiment driver, and the integration tests.
+
+use crate::protocol::{read_line, write_line, DaemonStats, JobView, Request, Response};
+use gurita_model::JobSpec;
+use std::io::{self, BufReader, BufWriter};
+use std::os::unix::net::UnixStream;
+use std::path::Path;
+use std::time::{Duration, Instant};
+
+/// One connection to a running daemon. Requests are answered in order
+/// on the same stream, so a `Client` is also a cheap synchronization
+/// point: `submit` returning means the daemon has registered the job.
+pub struct Client {
+    reader: BufReader<UnixStream>,
+    writer: BufWriter<UnixStream>,
+}
+
+impl Client {
+    /// Connects to the daemon socket at `path`.
+    ///
+    /// # Errors
+    ///
+    /// Connection failures (daemon not running, wrong path).
+    pub fn connect(path: &Path) -> io::Result<Self> {
+        let stream = UnixStream::connect(path)?;
+        Ok(Self {
+            reader: BufReader::new(stream.try_clone()?),
+            writer: BufWriter::new(stream),
+        })
+    }
+
+    /// Connects, retrying for up to `timeout` while the socket does not
+    /// exist yet — the standard way to wait for a freshly spawned
+    /// daemon to finish binding.
+    ///
+    /// # Errors
+    ///
+    /// The last connection error once `timeout` elapses.
+    pub fn connect_with_retry(path: &Path, timeout: Duration) -> io::Result<Self> {
+        let deadline = Instant::now() + timeout;
+        loop {
+            match Self::connect(path) {
+                Ok(c) => return Ok(c),
+                Err(e) if Instant::now() >= deadline => return Err(e),
+                Err(_) => std::thread::sleep(Duration::from_millis(20)),
+            }
+        }
+    }
+
+    /// Sends one request and reads its response line.
+    ///
+    /// # Errors
+    ///
+    /// I/O failures, or `UnexpectedEof` if the daemon closed mid-request.
+    pub fn request(&mut self, req: &Request) -> io::Result<Response> {
+        write_line(&mut self.writer, req)?;
+        read_line(&mut self.reader)?.ok_or_else(|| {
+            io::Error::new(io::ErrorKind::UnexpectedEof, "daemon closed the connection")
+        })
+    }
+
+    /// Lifts a protocol-level failure (`ok: false`) into `io::Error` so
+    /// callers get one error channel.
+    fn expect_ok(resp: Response) -> io::Result<Response> {
+        if resp.ok {
+            Ok(resp)
+        } else {
+            Err(io::Error::other(
+                resp.error
+                    .unwrap_or_else(|| "unspecified daemon error".into()),
+            ))
+        }
+    }
+
+    /// Round-trip liveness check.
+    ///
+    /// # Errors
+    ///
+    /// I/O or protocol failure.
+    pub fn ping(&mut self) -> io::Result<()> {
+        Self::expect_ok(self.request(&Request::bare("ping"))?).map(|_| ())
+    }
+
+    /// Submits `job` under `name`, gated on `depends_on`. Returns the
+    /// daemon's view (`held` or `queued`).
+    ///
+    /// # Errors
+    ///
+    /// I/O failure or daemon rejection (duplicate name, unknown
+    /// dependency, admission error).
+    pub fn submit(
+        &mut self,
+        name: &str,
+        depends_on: &[String],
+        job: &JobSpec,
+    ) -> io::Result<JobView> {
+        let req = Request {
+            cmd: "submit".into(),
+            name: Some(name.to_string()),
+            depends_on: depends_on.to_vec(),
+            job: Some(job.clone()),
+        };
+        let resp = Self::expect_ok(self.request(&req)?)?;
+        resp.job
+            .ok_or_else(|| io::Error::other("submit response carried no job view"))
+    }
+
+    /// Fetches one job's view by name.
+    ///
+    /// # Errors
+    ///
+    /// I/O failure or unknown name.
+    pub fn status(&mut self, name: &str) -> io::Result<JobView> {
+        let resp = Self::expect_ok(self.request(&Request::named("status", name))?)?;
+        resp.job
+            .ok_or_else(|| io::Error::other("status response carried no job view"))
+    }
+
+    /// Fetches all registry jobs in submission order.
+    ///
+    /// # Errors
+    ///
+    /// I/O or protocol failure.
+    pub fn queue(&mut self) -> io::Result<Vec<JobView>> {
+        let resp = Self::expect_ok(self.request(&Request::bare("queue"))?)?;
+        Ok(resp.jobs.unwrap_or_default())
+    }
+
+    /// Cancels `name` (cascading to held dependents).
+    ///
+    /// # Errors
+    ///
+    /// I/O failure or daemon rejection (unknown/terminal job).
+    pub fn cancel(&mut self, name: &str) -> io::Result<JobView> {
+        let resp = Self::expect_ok(self.request(&Request::named("cancel", name))?)?;
+        resp.job
+            .ok_or_else(|| io::Error::other("cancel response carried no job view"))
+    }
+
+    /// Fetches daemon counters.
+    ///
+    /// # Errors
+    ///
+    /// I/O or protocol failure.
+    pub fn stats(&mut self) -> io::Result<DaemonStats> {
+        let resp = Self::expect_ok(self.request(&Request::bare("stats"))?)?;
+        resp.stats
+            .ok_or_else(|| io::Error::other("stats response carried no stats"))
+    }
+
+    /// Closes submissions and blocks until every job is terminal; the
+    /// daemon exits after replying. Returns the final counters
+    /// (makespan and mean JCT populated).
+    ///
+    /// # Errors
+    ///
+    /// I/O or protocol failure.
+    pub fn drain(&mut self) -> io::Result<DaemonStats> {
+        let resp = Self::expect_ok(self.request(&Request::bare("drain"))?)?;
+        resp.stats
+            .ok_or_else(|| io::Error::other("drain response carried no stats"))
+    }
+
+    /// Stops the daemon immediately, abandoning outstanding work.
+    ///
+    /// # Errors
+    ///
+    /// I/O or protocol failure.
+    pub fn shutdown(&mut self) -> io::Result<()> {
+        Self::expect_ok(self.request(&Request::bare("shutdown"))?).map(|_| ())
+    }
+
+    /// Polls `status(name)` until the job reaches a terminal state
+    /// (`done`/`cancelled`) or `timeout` elapses.
+    ///
+    /// # Errors
+    ///
+    /// `TimedOut` on expiry; otherwise the underlying request error.
+    pub fn wait(&mut self, name: &str, timeout: Duration) -> io::Result<JobView> {
+        let deadline = Instant::now() + timeout;
+        loop {
+            let view = self.status(name)?;
+            if view.state == "done" || view.state == "cancelled" {
+                return Ok(view);
+            }
+            if Instant::now() >= deadline {
+                return Err(io::Error::new(
+                    io::ErrorKind::TimedOut,
+                    format!("job `{name}` still `{}` after {timeout:?}", view.state),
+                ));
+            }
+            std::thread::sleep(Duration::from_millis(10));
+        }
+    }
+}

@@ -1,0 +1,39 @@
+//! Service mode: the `guritad` scheduling daemon and its `gctl` client.
+//!
+//! The offline harness answers "what would this trace have done"; this
+//! crate turns the same engine into a long-running *service* that
+//! accepts work it has never seen. It exists because the PR-8 refactor
+//! made [`Engine`](gurita_sim::runtime::Engine) steppable and openly
+//! admitting: `submit_job` seeds the dirty-component set exactly like a
+//! t=0 arrival, so online admission reuses the incremental-recompute
+//! path unchanged and an online run is bit-for-bit identical to the
+//! offline run of the same workload.
+//!
+//! Layering, bottom up:
+//!
+//! - [`protocol`] — line-delimited JSON over a Unix socket: `submit`
+//!   (job DAG + `depends_on` names), `status`, `queue`, `cancel`,
+//!   `stats`, `ping`, `drain`, `shutdown`.
+//! - [`registry`] — the dependency gate: named jobs are **held** until
+//!   every parent completes, then released into the engine;
+//!   cancellation cascades through held descendants.
+//! - [`server`] — [`serve`](server::serve) owns the engine on the sim
+//!   thread, translates socket lines into commands over an mpsc
+//!   channel, and paces virtual time against the wall clock
+//!   (`pace` simulated seconds per wall second, `0` = as fast as
+//!   possible).
+//! - [`client`] — typed [`Client`](client::Client) wrapper used by
+//!   `gctl`, the online-arrivals driver, and the integration tests.
+//!
+//! Binaries: `guritad` (the daemon), `gctl` (submit/status/queue
+//! /cancel/stats/drain from the shell, including a `gqueue -t`-style
+//! dependency tree), and `online_arrivals` (E13: drives a generated
+//! bursty trace through a daemon end-to-end).
+
+#![deny(missing_docs)]
+#![deny(rustdoc::broken_intra_doc_links)]
+
+pub mod client;
+pub mod protocol;
+pub mod registry;
+pub mod server;

@@ -1,0 +1,540 @@
+//! The `guritad` server: a live engine behind a Unix domain socket.
+//!
+//! # Thread model
+//!
+//! [`serve`] owns the fabric, configuration, control plane, and
+//! [`Engine`] on its own stack frame — the engine borrows all three, so
+//! nothing crosses a thread boundary. Socket handling runs on side
+//! threads (one acceptor plus one handler per connection) that translate
+//! protocol lines into `Cmd` values over an mpsc channel; each command
+//! carries its own reply sender. The serve loop alternates between
+//! draining commands and stepping the engine, so a `queue` request is
+//! answered between events with the live registry view — the
+//! steppable-core refactor is what makes mid-run queries cheap.
+//!
+//! # Virtual-time pacing
+//!
+//! With `pace == 0` the engine runs as fast as possible, yielding to
+//! the command channel every `ASAP_SLICE` events. With `pace = r`
+//! the virtual clock is held to `r` simulated seconds per wall-clock
+//! second: the loop computes the current wall-time horizon and calls
+//! [`Engine::run_until`], sleeping on the command channel in between —
+//! so a demo daemon can be watched in real time (`pace = 1`) or a
+//! year of arrivals replayed in minutes (`pace = 1e6`). A `drain`
+//! lifts the pace: submissions are closed at that point, so the
+//! remaining jobs are flushed as fast as possible.
+
+use crate::protocol::{read_line, write_line, DaemonStats, JobView, Request, Response};
+use crate::registry::{GateState, Registry, SubmitOutcome};
+use gurita_experiments::roster::SchedulerKind;
+use gurita_model::{JobId, JobSpec};
+use gurita_sim::faults::FaultSchedule;
+use gurita_sim::runtime::{Engine, JobPhase, SimConfig};
+use gurita_sim::topology::BigSwitch;
+use gurita_sim::SimError;
+use std::io::{self, BufReader, BufWriter};
+use std::os::unix::net::{UnixListener, UnixStream};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::mpsc;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// Events stepped per slice in as-fast-as-possible mode before the loop
+/// re-checks the command channel. Large enough to amortize the channel
+/// poll, small enough that a `gctl` query never waits noticeably.
+const ASAP_SLICE: u64 = 512;
+
+/// How long the serve loop sleeps on the command channel when the
+/// engine has nothing to do (or is ahead of the pacing horizon).
+const IDLE_WAIT: Duration = Duration::from_millis(5);
+
+/// Daemon configuration, assembled by the `guritad` binary from CLI
+/// flags (and by tests directly).
+#[derive(Debug, Clone)]
+pub struct DaemonConfig {
+    /// Unix-domain socket path. A stale file at this path is replaced.
+    pub socket: PathBuf,
+    /// Hosts in the simulated big-switch fabric.
+    pub hosts: usize,
+    /// Per-host NIC capacity in bytes/second.
+    pub capacity: f64,
+    /// Scheduling scheme (any roster kind, including `*Local`).
+    pub scheduler: SchedulerKind,
+    /// Simulated seconds per wall-clock second; `0` = as fast as
+    /// possible.
+    pub pace: f64,
+    /// Engine worker threads (`0` = one per core, see
+    /// `gurita_sim::pool::effective_threads`).
+    pub threads: usize,
+    /// Scheduler update interval δ (seconds).
+    pub tick_interval: f64,
+    /// Decision-propagation latency for decentralized schemes.
+    pub control_latency: f64,
+}
+
+impl Default for DaemonConfig {
+    fn default() -> Self {
+        Self {
+            socket: PathBuf::from("/tmp/guritad.sock"),
+            hosts: 32,
+            capacity: gurita_model::units::GBPS_10,
+            scheduler: SchedulerKind::Gurita,
+            pace: 0.0,
+            threads: 1,
+            tick_interval: 5e-3,
+            control_latency: 0.0,
+        }
+    }
+}
+
+/// Parses a scheduler name as printed by
+/// [`SchedulerKind::label`], case-insensitively.
+pub fn parse_scheduler(name: &str) -> Option<SchedulerKind> {
+    const ALL: [SchedulerKind; 13] = [
+        SchedulerKind::Gurita,
+        SchedulerKind::GuritaSpq,
+        SchedulerKind::GuritaNoOmega,
+        SchedulerKind::GuritaNoKappa,
+        SchedulerKind::GuritaNoCriticalPath,
+        SchedulerKind::GuritaPlus,
+        SchedulerKind::Pfs,
+        SchedulerKind::Baraat,
+        SchedulerKind::Stream,
+        SchedulerKind::Aalo,
+        SchedulerKind::VarysSebf,
+        SchedulerKind::GuritaLocal,
+        SchedulerKind::AaloLocal,
+    ];
+    ALL.into_iter()
+        .find(|k| k.label().eq_ignore_ascii_case(name))
+}
+
+/// A parsed request plus the channel to answer it on.
+struct Cmd {
+    req: Request,
+    reply: mpsc::Sender<Response>,
+}
+
+/// Final accounting returned by [`serve`] after drain/shutdown.
+#[derive(Debug, Clone)]
+pub struct ServeReport {
+    /// Snapshot of the daemon counters at exit.
+    pub stats: DaemonStats,
+    /// Jobs completed, in completion order (name, id, jct).
+    pub completed: Vec<(String, usize, f64)>,
+}
+
+/// Runs the daemon until a `drain` or `shutdown` request. Binds the
+/// socket, spawns the acceptor, and then owns the engine on this
+/// thread until every registered job is terminal (drain) or
+/// immediately (shutdown).
+///
+/// # Errors
+///
+/// Socket binding/cleanup failures and engine-level [`SimError`]s
+/// (mapped to `io::ErrorKind::Other`).
+pub fn serve(config: &DaemonConfig) -> io::Result<ServeReport> {
+    let fabric = BigSwitch::new(config.hosts, config.capacity);
+    let sim_config = SimConfig {
+        tick_interval: config.tick_interval,
+        threads: config.threads,
+        control_latency: config.control_latency,
+        ..SimConfig::default()
+    };
+    let mut plane = config.scheduler.build_plane();
+    let faults = FaultSchedule::default();
+    let mut engine =
+        Engine::online(&fabric, &sim_config, plane.as_mut(), &faults).map_err(sim_to_io)?;
+
+    // Socket + acceptor. Stale socket files from a crashed daemon are
+    // removed; a *live* daemon on the same path loses its listener,
+    // which matches systemd-style "last writer wins" socket handling.
+    let _ = std::fs::remove_file(&config.socket);
+    let listener = UnixListener::bind(&config.socket)?;
+    listener.set_nonblocking(true)?;
+    let stop = Arc::new(AtomicBool::new(false));
+    let (tx, rx) = mpsc::channel::<Cmd>();
+    let acceptor = {
+        let stop = Arc::clone(&stop);
+        std::thread::spawn(move || accept_loop(listener, tx, stop))
+    };
+
+    let report = run_loop(&mut engine, &rx, config);
+
+    stop.store(true, Ordering::SeqCst);
+    drop(rx);
+    let _ = acceptor.join();
+    let _ = std::fs::remove_file(&config.socket);
+    report
+}
+
+fn sim_to_io(e: SimError) -> io::Error {
+    io::Error::other(format!("engine: {e}"))
+}
+
+fn accept_loop(listener: UnixListener, tx: mpsc::Sender<Cmd>, stop: Arc<AtomicBool>) {
+    while !stop.load(Ordering::SeqCst) {
+        match listener.accept() {
+            Ok((stream, _)) => {
+                let tx = tx.clone();
+                std::thread::spawn(move || {
+                    let _ = handle_connection(stream, tx);
+                });
+            }
+            Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                std::thread::sleep(IDLE_WAIT);
+            }
+            Err(_) => break,
+        }
+    }
+}
+
+/// One connection: requests in, responses out, strictly in order.
+fn handle_connection(stream: UnixStream, tx: mpsc::Sender<Cmd>) -> io::Result<()> {
+    let mut reader = BufReader::new(stream.try_clone()?);
+    let mut writer = BufWriter::new(stream);
+    while let Some(req) = read_line::<Request, _>(&mut reader)? {
+        let (reply_tx, reply_rx) = mpsc::channel();
+        if tx
+            .send(Cmd {
+                req,
+                reply: reply_tx,
+            })
+            .is_err()
+        {
+            // Serve loop exited (drain finished): tell the client.
+            write_line(&mut writer, &Response::err("daemon is shutting down"))?;
+            break;
+        }
+        let resp = reply_rx
+            .recv()
+            .unwrap_or_else(|_| Response::err("daemon exited before replying"));
+        write_line(&mut writer, &resp)?;
+    }
+    Ok(())
+}
+
+/// The sim-thread main loop: drain commands, step, harvest, repeat.
+fn run_loop<F: gurita_sim::topology::Fabric>(
+    engine: &mut Engine<'_, F>,
+    rx: &mpsc::Receiver<Cmd>,
+    config: &DaemonConfig,
+) -> io::Result<ServeReport> {
+    let mut registry = Registry::new();
+    let mut harvested = 0usize; // cursor into engine.completed_jobs()
+    let mut draining: Option<mpsc::Sender<Response>> = None;
+    let started = Instant::now();
+
+    loop {
+        // 1. Serve every queued command (non-blocking).
+        let mut shutdown = false;
+        while let Ok(cmd) = rx.try_recv() {
+            if handle_cmd(cmd, engine, &mut registry, &mut draining) {
+                shutdown = true;
+            }
+        }
+        if shutdown {
+            break;
+        }
+
+        // 2. Advance virtual time. A drain flushes at full speed even
+        //    when paced: submissions are closed, so there is nothing
+        //    left to watch in real time — only jobs to finish.
+        let advanced = if config.pace <= 0.0 || draining.is_some() {
+            engine.run_for(ASAP_SLICE).map_err(sim_to_io)?;
+            engine.pending_events() > 0
+        } else {
+            let horizon = started.elapsed().as_secs_f64() * config.pace;
+            engine.run_until(horizon).map_err(sim_to_io)?;
+            false // paced mode always waits for the wall clock below
+        };
+
+        // 3. Harvest completions and release gated children.
+        harvest(engine, &mut registry, &mut harvested).map_err(sim_to_io)?;
+
+        // 4. Drain bookkeeping: once every registered job is terminal
+        //    and the engine is quiet, answer the pending drain and exit.
+        if draining.is_some() && registry.all_terminal() && engine.drained() {
+            let reply = draining.take().expect("checked is_some");
+            let mut stats = snapshot(engine, &registry);
+            stats.makespan = Some(engine.now());
+            let done = engine.completed_jobs();
+            if !done.is_empty() {
+                stats.avg_jct = Some(done.iter().map(|j| j.jct).sum::<f64>() / done.len() as f64);
+            }
+            let _ = reply.send(Response {
+                ok: true,
+                stats: Some(stats),
+                ..Response::default()
+            });
+            break;
+        }
+
+        // 5. Idle-wait on the channel when there is nothing to step, so
+        //    a quiescent daemon costs ~0 CPU.
+        if !advanced {
+            match rx.recv_timeout(IDLE_WAIT) {
+                Ok(cmd) => {
+                    if handle_cmd(cmd, engine, &mut registry, &mut draining) {
+                        break;
+                    }
+                    harvest(engine, &mut registry, &mut harvested).map_err(sim_to_io)?;
+                }
+                Err(mpsc::RecvTimeoutError::Timeout) => {}
+                Err(mpsc::RecvTimeoutError::Disconnected) => break,
+            }
+        }
+    }
+
+    let completed = engine
+        .completed_jobs()
+        .iter()
+        .map(|j| {
+            let name = registry
+                .entries()
+                .get(j.id.index())
+                .map_or_else(|| j.id.to_string(), |e| e.name.clone());
+            (name, j.id.index(), j.jct)
+        })
+        .collect();
+    let stats = snapshot(engine, &registry);
+    Ok(ServeReport { stats, completed })
+}
+
+/// Applies one command. Returns `true` when the loop must exit
+/// immediately (shutdown).
+fn handle_cmd<F: gurita_sim::topology::Fabric>(
+    cmd: Cmd,
+    engine: &mut Engine<'_, F>,
+    registry: &mut Registry,
+    draining: &mut Option<mpsc::Sender<Response>>,
+) -> bool {
+    let Cmd { req, reply } = cmd;
+    let resp = match req.cmd.as_str() {
+        "ping" => Response::ok(),
+        "submit" => {
+            if draining.is_some() {
+                Response::err("daemon is draining: submissions closed")
+            } else {
+                do_submit(req, engine, registry)
+            }
+        }
+        "status" => match req.name.as_deref().and_then(|n| registry.get(n)) {
+            Some(entry) => Response {
+                ok: true,
+                job: Some(view(engine, registry, entry.id)),
+                ..Response::default()
+            },
+            None => Response::err(format!(
+                "unknown job `{}`",
+                req.name.as_deref().unwrap_or("<missing name>")
+            )),
+        },
+        "queue" => Response {
+            ok: true,
+            jobs: Some(
+                (0..registry.entries().len())
+                    .map(|i| view(engine, registry, i))
+                    .collect(),
+            ),
+            ..Response::default()
+        },
+        "cancel" => {
+            let Some(name) = req.name.as_deref() else {
+                return finish_reply(reply, Response::err("cancel requires a name"));
+            };
+            match registry.cancel(name) {
+                Ok(out) => {
+                    if let Some(id) = out.engine_cancel {
+                        engine.cancel_job(JobId(id));
+                    }
+                    let id = registry.get(name).expect("just cancelled").id;
+                    Response {
+                        ok: true,
+                        job: Some(view(engine, registry, id)),
+                        ..Response::default()
+                    }
+                }
+                Err(e) => Response::err(e),
+            }
+        }
+        "stats" => Response {
+            ok: true,
+            stats: Some(snapshot(engine, registry)),
+            ..Response::default()
+        },
+        "drain" => {
+            if draining.is_some() {
+                Response::err("already draining")
+            } else {
+                *draining = Some(reply);
+                return false; // reply deferred until terminal
+            }
+        }
+        "shutdown" => {
+            let _ = reply.send(Response::ok());
+            return true;
+        }
+        other => Response::err(format!("unknown command `{other}`")),
+    };
+    finish_reply(reply, resp)
+}
+
+fn finish_reply(reply: mpsc::Sender<Response>, resp: Response) -> bool {
+    let _ = reply.send(resp); // client may have hung up: not our problem
+    false
+}
+
+fn do_submit<F: gurita_sim::topology::Fabric>(
+    req: Request,
+    engine: &mut Engine<'_, F>,
+    registry: &mut Registry,
+) -> Response {
+    let Some(name) = req.name.as_deref() else {
+        return Response::err("submit requires a name");
+    };
+    let Some(job) = req.job.as_ref() else {
+        return Response::err("submit requires a job spec");
+    };
+    match registry.submit(name, req.depends_on, job) {
+        Ok(SubmitOutcome::Ready(id, spec)) => match admit(engine, registry, id, &spec) {
+            Ok(()) => Response {
+                ok: true,
+                job: Some(view(engine, registry, id)),
+                ..Response::default()
+            },
+            Err(e) => Response::err(format!("admission failed: {e}")),
+        },
+        Ok(SubmitOutcome::Held(id)) => Response {
+            ok: true,
+            job: Some(view(engine, registry, id)),
+            ..Response::default()
+        },
+        Err(e) => Response::err(e),
+    }
+}
+
+/// Admits a released spec into the engine at the current virtual time
+/// (client-side arrivals in the future are honored; past ones clamp).
+fn admit<F: gurita_sim::topology::Fabric>(
+    engine: &mut Engine<'_, F>,
+    registry: &mut Registry,
+    id: usize,
+    spec: &JobSpec,
+) -> Result<(), SimError> {
+    engine.submit_job(spec.clone())?;
+    registry.mark_admitted(id, engine.now());
+    Ok(())
+}
+
+/// Pulls newly completed jobs out of the engine, marks them done in the
+/// registry, and admits any children this releases. Loops because an
+/// admitted child could in principle already be complete (zero-volume
+/// jobs complete at admission time only after events run, so one pass
+/// per call is enough in practice — the loop is for the cursor).
+fn harvest<F: gurita_sim::topology::Fabric>(
+    engine: &mut Engine<'_, F>,
+    registry: &mut Registry,
+    harvested: &mut usize,
+) -> Result<(), SimError> {
+    while *harvested < engine.completed_jobs().len() {
+        let jr = &engine.completed_jobs()[*harvested];
+        let (id, at) = (jr.id.index(), jr.completed_at);
+        *harvested += 1;
+        if id >= registry.entries().len() {
+            continue; // not a registry job (defensive; should not happen)
+        }
+        for (child, spec) in registry.complete(id, at) {
+            admit(engine, registry, child, &spec)?;
+        }
+    }
+    Ok(())
+}
+
+/// Builds the client view of registry job `id`, refining the registry's
+/// `Admitted` into `queued`/`running` from the live engine phase.
+fn view<F: gurita_sim::topology::Fabric>(
+    engine: &Engine<'_, F>,
+    registry: &Registry,
+    id: usize,
+) -> JobView {
+    let entry = &registry.entries()[id];
+    let (state, completed_coflows, completed_at) = match entry.state {
+        GateState::Held => ("held".to_string(), 0, None),
+        GateState::Cancelled => ("cancelled".to_string(), 0, None),
+        GateState::Done => ("done".to_string(), entry.total_coflows, entry.completed_at),
+        GateState::Admitted => match engine.job_phase(JobId(id)) {
+            JobPhase::Pending => ("queued".to_string(), 0, None),
+            JobPhase::Running { progress } => {
+                ("running".to_string(), progress.completed_coflows, None)
+            }
+            // The registry completes at the next harvest; report the
+            // engine's truth in the interim.
+            JobPhase::Completed { at } => ("done".to_string(), entry.total_coflows, Some(at)),
+            JobPhase::Cancelled => ("cancelled".to_string(), 0, None),
+            JobPhase::NotSubmitted => ("queued".to_string(), 0, None),
+        },
+    };
+    JobView {
+        name: entry.name.clone(),
+        id,
+        state,
+        depends_on: entry.deps.clone(),
+        completed_coflows,
+        total_coflows: entry.total_coflows,
+        admitted_at: entry.admitted_at,
+        completed_at,
+    }
+}
+
+fn snapshot<F: gurita_sim::topology::Fabric>(
+    engine: &Engine<'_, F>,
+    registry: &Registry,
+) -> DaemonStats {
+    let mut queued = 0usize;
+    let mut running = 0usize;
+    let mut done = 0usize;
+    for e in registry.entries() {
+        match e.state {
+            GateState::Admitted => match engine.job_phase(JobId(e.id)) {
+                JobPhase::Running { .. } => running += 1,
+                JobPhase::Completed { .. } => done += 1,
+                _ => queued += 1,
+            },
+            GateState::Done => done += 1,
+            _ => {}
+        }
+    }
+    DaemonStats {
+        vtime: engine.now(),
+        events: engine.events_processed(),
+        open_flows: engine.open_flows(),
+        open_coflows: engine.open_coflows(),
+        pending_events: engine.pending_events(),
+        jobs_held: registry.count(GateState::Held),
+        jobs_queued: queued,
+        jobs_running: running,
+        jobs_done: done,
+        jobs_cancelled: registry.count(GateState::Cancelled),
+        drained: engine.drained(),
+        makespan: None,
+        avg_jct: None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scheduler_labels_parse_back() {
+        assert_eq!(parse_scheduler("Gurita"), Some(SchedulerKind::Gurita));
+        assert_eq!(parse_scheduler("pfs"), Some(SchedulerKind::Pfs));
+        assert_eq!(
+            parse_scheduler("gurita@local"),
+            Some(SchedulerKind::GuritaLocal)
+        );
+        assert_eq!(parse_scheduler("nope"), None);
+    }
+}

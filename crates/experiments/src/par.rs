@@ -86,4 +86,25 @@ mod tests {
         assert!(effective_par(0) >= 1);
         assert_eq!(effective_par(3), 3);
     }
+
+    #[test]
+    fn par_shares_the_engine_auto_detection_rule() {
+        // `--par 0` and `SimConfig { threads: 0 }` must resolve
+        // identically — the two layers share one rule by construction.
+        assert_eq!(
+            effective_par(0),
+            gurita_sim::pool::effective_threads(0),
+            "harness and engine disagree about what `auto` means"
+        );
+    }
+
+    #[test]
+    fn oversubscribed_par_is_literal_and_correct() {
+        let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
+        assert_eq!(effective_par(cores + 16), cores + 16, "no clamping");
+        // More workers than items: the fan-out caps at the item count
+        // and still returns every result in index order.
+        let out = par_run(cores + 16, 5, |i| i * 10);
+        assert_eq!(out, vec![0, 10, 20, 30, 40]);
+    }
 }

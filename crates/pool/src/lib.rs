@@ -323,6 +323,36 @@ mod tests {
     }
 
     #[test]
+    fn auto_detection_edge_cases() {
+        // `0` resolves to available_parallelism — and on a box where
+        // that probe fails it must still land on a usable count (the
+        // contract is ≥ 1, never 0; a 1-core box resolves to exactly
+        // its core count).
+        let auto = effective_threads(0);
+        let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
+        assert_eq!(auto, cores);
+        assert!(auto >= 1, "auto must never resolve to zero workers");
+        // Oversubscription is taken literally, not clamped: asking for
+        // more threads than cores is a valid (if unwise) setting.
+        let oversubscribed = cores + 8;
+        assert_eq!(effective_threads(oversubscribed), oversubscribed);
+        assert_eq!(effective_threads(usize::MAX), usize::MAX);
+    }
+
+    #[test]
+    fn oversubscribed_pool_still_runs_every_task() {
+        // More workers than the machine has cores: correctness must
+        // not depend on threads actually running in parallel.
+        let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
+        let pool = WorkerPool::new(cores + 3);
+        let hits: Vec<AtomicUsize> = (0..97).map(|_| AtomicUsize::new(0)).collect();
+        pool.run(97, &|_, i| {
+            hits[i].fetch_add(1, Ordering::Relaxed);
+        });
+        assert!(hits.iter().all(|h| h.load(Ordering::Relaxed) == 1));
+    }
+
+    #[test]
     fn runs_every_task_exactly_once() {
         let pool = WorkerPool::new(4);
         for n in [0usize, 1, 3, 64, 257] {

@@ -119,6 +119,40 @@ impl CalendarQueue {
         Some(ev)
     }
 
+    /// Timestamp of the event [`CalendarQueue::pop`] would return next,
+    /// without removing it. Walks windows exactly like `pop`; the only
+    /// mutation is the cursor, which `pop` would advance identically (a
+    /// sparse-tail miss jumps the cursor straight to the minimum's
+    /// window so the following `pop` lands on it directly).
+    pub(crate) fn next_time(&mut self) -> Option<f64> {
+        if self.len == 0 {
+            return None;
+        }
+        let n = self.buckets.len();
+        for _ in 0..n {
+            let b = (self.cursor % n as u64) as usize;
+            if let Some(tail) = self.buckets[b].last() {
+                if self.window(tail.time) == self.cursor {
+                    return Some(tail.time);
+                }
+            }
+            self.cursor += 1;
+        }
+        let b = (0..n)
+            .filter(|&b| !self.buckets[b].is_empty())
+            .min_by(|&a, &b| {
+                let ea = self.buckets[a].last().expect("non-empty");
+                let eb = self.buckets[b].last().expect("non-empty");
+                (ea.time, ea.seq)
+                    .partial_cmp(&(eb.time, eb.seq))
+                    .expect("event times are finite")
+            })
+            .expect("len > 0 means some bucket is non-empty");
+        let tail = self.buckets[b].last().expect("chosen bucket is non-empty");
+        self.cursor = self.window(tail.time);
+        Some(tail.time)
+    }
+
     /// Whether any pending event satisfies `f` (used by the stranded-flow
     /// check, mirroring `BinaryHeap::iter().any`).
     pub(crate) fn any(&self, f: impl FnMut(&Event) -> bool) -> bool {
@@ -217,6 +251,23 @@ mod tests {
             assert_eq!((a.time, a.seq), (b.time, b.seq));
         }
         assert!(q.pop().is_none());
+    }
+
+    #[test]
+    fn next_time_previews_pop_without_consuming() {
+        let mut q = CalendarQueue::new();
+        assert_eq!(q.next_time(), None);
+        // Includes a sparse far-future tail to exercise the full-lap
+        // fallback path of the window walk.
+        for (t, s) in [(3.0, 0), (0.5, 1), (1e6, 2), (0.5, 3)] {
+            q.push(ev(t, s));
+        }
+        while q.len() > 0 {
+            let t = q.next_time().expect("non-empty");
+            let popped = q.pop().expect("non-empty");
+            assert_eq!(t, popped.time);
+        }
+        assert_eq!(q.next_time(), None);
     }
 
     #[test]

@@ -49,6 +49,13 @@ pub enum SimError {
         /// Number of flows parked when the deadlock was detected.
         parked: usize,
     },
+    /// An online submission reused a job id that was already submitted
+    /// to the engine (pending, running, completed, or cancelled). Job
+    /// ids are permanent within one engine's lifetime.
+    DuplicateJob {
+        /// The rejected job id index.
+        job: usize,
+    },
 }
 
 impl fmt::Display for SimError {
@@ -81,6 +88,9 @@ impl fmt::Display for SimError {
                     f,
                     "{parked} flow(s) parked on failed links with no recovery scheduled; run cannot drain"
                 )
+            }
+            SimError::DuplicateJob { job } => {
+                write!(f, "job id {job} was already submitted to this engine")
             }
         }
     }
@@ -120,6 +130,9 @@ mod tests {
         assert!(SimError::StrandedFlows { parked: 3 }
             .to_string()
             .contains("parked"));
+        assert!(SimError::DuplicateJob { job: 7 }
+            .to_string()
+            .contains("already submitted"));
     }
 
     #[test]

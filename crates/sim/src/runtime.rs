@@ -33,7 +33,7 @@ use crate::topology::{Fabric, LinkId, PathArena, PathRef};
 use crate::SimError;
 use gurita_model::{CoflowId, FlowId, HostId, JobId, JobSpec};
 use std::cmp::Ordering;
-use std::collections::{BinaryHeap, HashMap};
+use std::collections::{BinaryHeap, HashMap, HashSet};
 use std::sync::Mutex;
 
 /// Simulation tuning knobs.
@@ -226,6 +226,16 @@ impl EventQueue {
         match self {
             EventQueue::Heap(h) => h.iter().any(&mut f),
             EventQueue::Calendar(c) => c.any(f),
+        }
+    }
+
+    /// Timestamp of the next event without removing it (the calendar may
+    /// advance its window cursor, which never changes pop order). Drives
+    /// [`Engine::run_until`]'s horizon check.
+    fn next_time(&mut self) -> Option<f64> {
+        match self {
+            EventQueue::Heap(h) => h.peek().map(|e| e.time),
+            EventQueue::Calendar(c) => c.next_time(),
         }
     }
 
@@ -694,7 +704,74 @@ impl FlowPosMap {
     }
 }
 
-struct Engine<'a, F: Fabric> {
+/// What a stepping call observed about the engine's progress.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StepOutcome {
+    /// An event was processed (or a bounded run stopped with events
+    /// still pending); the simulation can keep stepping.
+    Advanced,
+    /// Every submitted job has completed and no flow is in flight. An
+    /// online engine stays usable: submitting another job un-drains it.
+    Drained,
+    /// Nothing to do: the event queue is empty (or, for
+    /// [`Engine::run_until`], holds only events past the horizon) while
+    /// jobs are still outstanding — the engine is waiting for
+    /// submissions or for the horizon to move.
+    Idle,
+}
+
+/// Live progress of a running job (see [`Engine::job_phase`]).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct JobProgress {
+    /// Coflows completed so far.
+    pub completed_coflows: usize,
+    /// Total coflows in the job's DAG.
+    pub total_coflows: usize,
+    /// Bytes of completed coflows.
+    pub completed_bytes: f64,
+    /// Total bytes across the whole job.
+    pub total_bytes: f64,
+}
+
+/// Lifecycle phase of a job id inside a (possibly still running)
+/// engine.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum JobPhase {
+    /// Never submitted to this engine.
+    NotSubmitted,
+    /// Submitted; arrival event not yet processed.
+    Pending,
+    /// Activated and moving bytes.
+    Running {
+        /// Coflow/byte progress at the current virtual time.
+        progress: JobProgress,
+    },
+    /// All coflows completed.
+    Completed {
+        /// Virtual time of completion.
+        at: f64,
+    },
+    /// Cancelled via [`Engine::cancel_job`].
+    Cancelled,
+}
+
+/// The live simulation core: a steppable discrete-event engine.
+///
+/// The offline entry points ([`Simulation::run`] and friends) construct
+/// one internally, seed it with the whole workload, and drive it to
+/// completion. Service mode constructs one with [`Engine::online`] and
+/// drives it incrementally: [`Engine::submit_job`] admits work
+/// mid-simulation through the same dirty-link incremental recompute an
+/// arrival event uses, [`Engine::step`] / [`Engine::run_until`] /
+/// [`Engine::run_for`] advance the clock, and [`Engine::finish`]
+/// produces the [`RunResult`].
+///
+/// **Admission invariant** (property-tested): submitting the entire
+/// workload via [`Engine::submit_job`] before the first step and then
+/// running to drain yields a `RunResult` bit-for-bit identical to the
+/// offline run of the same workload — event seq numbers, f64
+/// accumulation order, everything.
+pub struct Engine<'a, F: Fabric> {
     fabric: &'a F,
     config: &'a SimConfig,
     plane: &'a mut dyn ControlPlane,
@@ -704,6 +781,22 @@ struct Engine<'a, F: Fabric> {
     seq: u64,
     now: f64,
     events: u64,
+
+    /// Fault / control-timeline events are pushed lazily on the first
+    /// step so that pre-start [`Engine::submit_job`] calls receive the
+    /// same seq numbers the offline constructor would assign.
+    started: bool,
+    /// Online engines skip the stranded-flow fail-fast (new submissions
+    /// can arrive over the socket at any time, so "no arrival or
+    /// recovery scheduled" does not imply a livelock) and accept
+    /// submissions after a transient drain.
+    online: bool,
+    /// Jobs cancelled via [`Engine::cancel_job`]; pending arrival events
+    /// for these ids are skipped.
+    cancelled: HashSet<JobId>,
+    /// Completion times of finished jobs (status queries + duplicate-id
+    /// rejection after the spec is dropped).
+    completed_at: HashMap<JobId, f64>,
 
     /// Shared interned path storage; every `FlowState::path` resolves
     /// here. ECMP on a fat-tree yields few distinct routes, so the arena
@@ -808,14 +901,6 @@ impl<'a, F: Fabric> Engine<'a, F> {
             specs.insert(job.id(), job);
         }
         let fault_schedule = faults.events().to_vec();
-        for (index, tf) in fault_schedule.iter().enumerate() {
-            queue.push(Event {
-                time: tf.at,
-                seq,
-                kind: EventKind::Fault { index },
-            });
-            seq += 1;
-        }
         let mut control_timeline = Vec::new();
         if let Some(cf) = &config.control_faults {
             // Arm even a null profile (the plane ignores it) so the
@@ -824,16 +909,11 @@ impl<'a, F: Fabric> Engine<'a, F> {
             plane.arm_control_faults(cf);
             if !cf.is_null() {
                 control_timeline = cf.timeline();
-                for (index, (at, _)) in control_timeline.iter().enumerate() {
-                    queue.push(Event {
-                        time: *at,
-                        seq,
-                        kind: EventKind::ControlFault { index },
-                    });
-                    seq += 1;
-                }
             }
         }
+        // Fault / control-timeline events are pushed by `ensure_started`
+        // on the first step, after any pre-start online submissions, so
+        // both admission paths assign identical event seq numbers.
         let scheduler_name = plane.name();
         let sample_interval = config.telemetry.as_ref().map_or(config.tick_interval, |t| {
             if t.sample_interval > 0.0 {
@@ -860,6 +940,10 @@ impl<'a, F: Fabric> Engine<'a, F> {
             seq,
             now: 0.0,
             events: 0,
+            started: false,
+            online: false,
+            cancelled: HashSet::new(),
+            completed_at: HashMap::new(),
             arena: PathArena::new(),
             flows: Vec::new(),
             flow_pos: FlowPosMap::default(),
@@ -901,12 +985,80 @@ impl<'a, F: Fabric> Engine<'a, F> {
         }
     }
 
+    /// Creates an empty online engine over `fabric`: no jobs are
+    /// seeded; admit work with [`Engine::submit_job`] and advance with
+    /// [`Engine::step`] / [`Engine::run_until`] / [`Engine::run_for`].
+    /// `faults` may carry a link/host fault schedule to inject (pass
+    /// `&FaultSchedule::new()` for none); control-plane faults arm from
+    /// `config.control_faults` exactly like the offline path.
+    ///
+    /// Online engines skip the stranded-flow fail-fast: with a live
+    /// submission socket, "no arrival scheduled" does not imply the run
+    /// can never drain.
+    ///
+    /// # Errors
+    ///
+    /// [`SimError::InvalidFault`] if `faults` or
+    /// `config.control_faults` fail validation against the fabric.
+    pub fn online(
+        fabric: &'a F,
+        config: &'a SimConfig,
+        plane: &'a mut dyn ControlPlane,
+        faults: &FaultSchedule,
+    ) -> Result<Self, SimError> {
+        faults.validate(fabric)?;
+        if let Some(cf) = &config.control_faults {
+            cf.validate(fabric.num_hosts())?;
+        }
+        let mut engine = Self::new(fabric, config, Vec::new(), plane, faults, None);
+        engine.online = true;
+        Ok(engine)
+    }
+
+    /// [`Engine::online`] with telemetry delivered to `sink` (armed only
+    /// when `config.telemetry` is set, mirroring the `*_traced` offline
+    /// entry points).
+    ///
+    /// # Errors
+    ///
+    /// Same as [`Engine::online`].
+    pub fn online_traced(
+        fabric: &'a F,
+        config: &'a SimConfig,
+        plane: &'a mut dyn ControlPlane,
+        faults: &FaultSchedule,
+        sink: &'a mut dyn TelemetrySink,
+    ) -> Result<Self, SimError> {
+        faults.validate(fabric)?;
+        if let Some(cf) = &config.control_faults {
+            cf.validate(fabric.num_hosts())?;
+        }
+        let mut engine = Self::new(fabric, config, Vec::new(), plane, faults, Some(sink));
+        engine.online = true;
+        Ok(engine)
+    }
+
     fn run(mut self) -> Result<RunResult, SimError> {
-        let outcome = self.run_loop();
+        let outcome = self.run_to_drained();
         // Flush even when the run errors out: the partial trace up to
         // the failure is exactly what one wants for debugging it.
         self.probe.flush();
         outcome?;
+        Ok(self.into_result())
+    }
+
+    /// Finalizes the engine into its [`RunResult`]: flushes any armed
+    /// telemetry sink and stamps makespan, event count, the control
+    /// plane's resilience ledger, and the path-arena diagnostics. The
+    /// service-mode counterpart of the offline epilogue — call after
+    /// [`Engine::run_to_drained`] (or at daemon shutdown, for a partial
+    /// result covering everything completed so far).
+    pub fn finish(mut self) -> RunResult {
+        self.probe.flush();
+        self.into_result()
+    }
+
+    fn into_result(mut self) -> RunResult {
         self.result.makespan = self.now;
         self.result.events = self.events;
         if let Some(res) = self.plane.resilience(self.now) {
@@ -921,81 +1073,361 @@ impl<'a, F: Fabric> Engine<'a, F> {
             v.sort_by(|a, b| b.1.partial_cmp(&a.1).expect("byte counts are finite"));
             self.result.link_bytes = v;
         }
-        Ok(self.result)
+        self.result
     }
 
-    fn run_loop(&mut self) -> Result<(), SimError> {
-        while let Some(ev) = self.queue.pop() {
-            self.events += 1;
-            if self.events > self.config.max_events {
-                return Err(SimError::EventBudgetExhausted {
-                    max_events: self.config.max_events,
-                });
+    /// Pushes the deferred fault / control-timeline events on the first
+    /// step. Deferral (rather than pushing in the constructor) is what
+    /// makes the admission invariant hold: pre-start `submit_job` calls
+    /// consume seq numbers first, exactly like the offline constructor's
+    /// arrival loop, and the fault/control events follow.
+    fn ensure_started(&mut self) {
+        if self.started {
+            return;
+        }
+        self.started = true;
+        for index in 0..self.fault_schedule.len() {
+            self.queue.push(Event {
+                time: self.fault_schedule[index].at,
+                seq: self.seq,
+                kind: EventKind::Fault { index },
+            });
+            self.seq += 1;
+        }
+        for index in 0..self.control_timeline.len() {
+            self.queue.push(Event {
+                time: self.control_timeline[index].0,
+                seq: self.seq,
+                kind: EventKind::ControlFault { index },
+            });
+            self.seq += 1;
+        }
+    }
+
+    /// Runs the engine until every submitted job has completed (or the
+    /// queue runs dry). Identical event ordering to the historical
+    /// monolithic run loop; the offline entry points call this.
+    pub fn run_to_drained(&mut self) -> Result<StepOutcome, SimError> {
+        self.ensure_started();
+        loop {
+            match self.step_inner()? {
+                StepOutcome::Advanced => {}
+                done => return Ok(done),
             }
-            debug_assert!(ev.time + 1e-12 >= self.now, "time must not run backwards");
-            self.advance_to(ev.time);
-            match ev.kind {
-                EventKind::JobArrival(id) => self.activate_job(id)?,
-                EventKind::Tick => {
-                    self.tick_pending = false;
+        }
+    }
+
+    /// Processes every pending event with timestamp `<= horizon`, then
+    /// stops. The virtual clock ([`Engine::now`]) lands on the last
+    /// processed event — it is never advanced past an event-free gap, so
+    /// interleaving `run_until` calls with [`Engine::submit_job`] yields
+    /// the same fluid-flow arithmetic (bit-for-bit) as one uninterrupted
+    /// run. Drives the daemon's virtual-time pacing.
+    pub fn run_until(&mut self, horizon: f64) -> Result<StepOutcome, SimError> {
+        self.ensure_started();
+        loop {
+            match self.queue.next_time() {
+                Some(t) if t <= horizon => {
+                    // Keep draining even past a transient drain: stale
+                    // ticks/completions inside the horizon are popped so
+                    // the queue stays clean between submissions.
+                    self.step_inner()?;
                 }
-                EventKind::Completion { generation } => {
-                    if generation != self.completion_generation {
-                        continue; // stale prediction superseded by a rate change
+                _ => {
+                    return Ok(if self.drained() {
+                        StepOutcome::Drained
+                    } else {
+                        StepOutcome::Idle
+                    });
+                }
+            }
+        }
+    }
+
+    /// Processes at most `max_steps` events — the daemon's
+    /// as-fast-as-possible slice, bounded so command handling stays
+    /// responsive. Returns [`StepOutcome::Advanced`] when the budget was
+    /// exhausted with events still pending.
+    pub fn run_for(&mut self, max_steps: u64) -> Result<StepOutcome, SimError> {
+        self.ensure_started();
+        for _ in 0..max_steps {
+            match self.step_inner()? {
+                StepOutcome::Advanced => {}
+                done => return Ok(done),
+            }
+        }
+        Ok(StepOutcome::Advanced)
+    }
+
+    /// Processes exactly one pending event (arrival, tick, completion,
+    /// fault, or control message) and everything that cascades from it:
+    /// completion harvesting, the scheduler decision point, and the
+    /// incremental rate recompute.
+    pub fn step(&mut self) -> Result<StepOutcome, SimError> {
+        self.ensure_started();
+        self.step_inner()
+    }
+
+    fn step_inner(&mut self) -> Result<StepOutcome, SimError> {
+        let Some(ev) = self.queue.pop() else {
+            return Ok(if self.drained() {
+                StepOutcome::Drained
+            } else {
+                StepOutcome::Idle
+            });
+        };
+        self.events += 1;
+        if self.events > self.config.max_events {
+            return Err(SimError::EventBudgetExhausted {
+                max_events: self.config.max_events,
+            });
+        }
+        debug_assert!(ev.time + 1e-12 >= self.now, "time must not run backwards");
+        self.advance_to(ev.time);
+        match ev.kind {
+            EventKind::JobArrival(id) => {
+                if self.cancelled.contains(&id) {
+                    // Cancelled before arrival; the spec is gone and
+                    // `remaining_jobs` was adjusted at cancel time.
+                    return Ok(StepOutcome::Advanced);
+                }
+                self.activate_job(id)?;
+            }
+            EventKind::Tick => {
+                self.tick_pending = false;
+            }
+            EventKind::Completion { generation } => {
+                if generation != self.completion_generation {
+                    // Stale prediction superseded by a rate change;
+                    // skip the decision point like the historical
+                    // loop's `continue`.
+                    return Ok(StepOutcome::Advanced);
+                }
+            }
+            EventKind::Fault { index } => self.apply_fault(index)?,
+            EventKind::ControlUpdate { token } => {
+                // The scheduled table becomes the hosts' current
+                // view; the uniform decision point below applies it.
+                let _ = self.plane.deliver(token);
+                if self.probe.on() {
+                    if let Some(issued) = self.probe.control_issued.remove(&token) {
+                        self.probe.emit(&TraceRecord::ControlDelivered {
+                            t: self.now,
+                            token,
+                            staleness: self.now - issued,
+                        });
                     }
                 }
-                EventKind::Fault { index } => self.apply_fault(index)?,
-                EventKind::ControlUpdate { token } => {
-                    // The scheduled table becomes the hosts' current
-                    // view; the uniform decision point below applies it.
-                    let _ = self.plane.deliver(token);
-                    if self.probe.on() {
-                        if let Some(issued) = self.probe.control_issued.remove(&token) {
-                            self.probe.emit(&TraceRecord::ControlDelivered {
-                                t: self.now,
-                                token,
-                                staleness: self.now - issued,
-                            });
-                        }
-                    }
-                }
-                EventKind::ControlTimer { token } => {
-                    // A protocol step (delivery/ack/retry) under an
-                    // armed fault profile; any applied table reaches
-                    // the flows at the decision point below.
-                    let fx = self.plane.on_timer(token, self.now);
-                    self.push_control_timers(&fx.timers);
-                    if self.probe.on() {
-                        for rec in &fx.trace {
-                            self.probe.emit(rec);
-                        }
-                    }
-                }
-                EventKind::ControlFault { index } => {
-                    let event = self.control_timeline[index].1;
-                    let trace = self.plane.control_fault(&event, self.now);
-                    if self.probe.on() {
-                        for rec in &trace {
-                            self.probe.emit(rec);
-                        }
+            }
+            EventKind::ControlTimer { token } => {
+                // A protocol step (delivery/ack/retry) under an
+                // armed fault profile; any applied table reaches
+                // the flows at the decision point below.
+                let fx = self.plane.on_timer(token, self.now);
+                self.push_control_timers(&fx.timers);
+                if self.probe.on() {
+                    for rec in &fx.trace {
+                        self.probe.emit(rec);
                     }
                 }
             }
-            self.harvest_completions()?;
-            self.reassign_priorities();
-            if self.dirty.any {
-                self.recompute_rates();
+            EventKind::ControlFault { index } => {
+                let event = self.control_timeline[index].1;
+                let trace = self.plane.control_fault(&event, self.now);
+                if self.probe.on() {
+                    for rec in &trace {
+                        self.probe.emit(rec);
+                    }
+                }
             }
-            self.schedule_followups();
-            if self.probe.on() {
-                self.maybe_sample();
-            }
-            if self.remaining_jobs == 0 && self.flows.is_empty() {
-                break;
-            }
+        }
+        self.harvest_completions()?;
+        self.reassign_priorities();
+        if self.dirty.any {
+            self.recompute_rates();
+        }
+        self.schedule_followups();
+        if self.probe.on() {
+            self.maybe_sample();
+        }
+        if self.drained() {
+            return Ok(StepOutcome::Drained);
+        }
+        if !self.online {
             self.check_stranded()?;
         }
-        Ok(())
+        Ok(StepOutcome::Advanced)
+    }
+
+    /// Admits a job into the running simulation. The job's arrival event
+    /// is scheduled at `max(spec.arrival, now)` (a spec dated in the
+    /// past is re-stamped to the current virtual time, so its JCT
+    /// measures from admission); activation then flows through the exact
+    /// same dirty-link incremental recompute a constructor-seeded
+    /// arrival uses — admission cost is proportional to the touched
+    /// network component, not the cluster.
+    ///
+    /// # Errors
+    ///
+    /// * [`SimError::DuplicateJob`] if the id was ever submitted before
+    ///   (pending, running, completed, or cancelled);
+    /// * [`SimError::UnknownHost`] if a flow endpoint is outside the
+    ///   fabric. Validation happens up front: a rejected job leaves the
+    ///   engine untouched.
+    pub fn submit_job(&mut self, spec: JobSpec) -> Result<JobId, SimError> {
+        let id = spec.id();
+        if self.specs.contains_key(&id)
+            || self.completed_at.contains_key(&id)
+            || self.cancelled.contains(&id)
+        {
+            return Err(SimError::DuplicateJob { job: id.index() });
+        }
+        let num_hosts = self.fabric.num_hosts();
+        for cf in spec.coflows() {
+            for fl in cf.flows() {
+                for host in [fl.src, fl.dst] {
+                    if host.index() >= num_hosts {
+                        return Err(SimError::UnknownHost {
+                            host: host.index(),
+                            num_hosts,
+                        });
+                    }
+                }
+            }
+        }
+        let spec = if spec.arrival() < self.now {
+            spec.with_arrival(self.now)
+        } else {
+            spec
+        };
+        self.queue.push(Event {
+            time: spec.arrival(),
+            seq: self.seq,
+            kind: EventKind::JobArrival(id),
+        });
+        self.seq += 1;
+        self.specs.insert(id, spec);
+        self.remaining_jobs += 1;
+        Ok(id)
+    }
+
+    /// Cancels a job: a pending job simply never activates; a running
+    /// job's open flows are torn down (freed capacity redistributes via
+    /// the incremental recompute) and its partial coflow statistics are
+    /// discarded. Returns `false` if the id is unknown, already
+    /// completed, or already cancelled.
+    pub fn cancel_job(&mut self, id: JobId) -> bool {
+        if self.jobs_state.contains_key(&id) {
+            let cids: Vec<CoflowId> = self
+                .active_coflows
+                .iter()
+                .copied()
+                .filter(|c| self.coflows[c].job == id)
+                .collect();
+            for cid in cids {
+                let state = self.coflows.remove(&cid).expect("active coflow");
+                self.active_coflows.retain(|&c| c != cid);
+                for rec in &state.flows {
+                    if !rec.open {
+                        continue;
+                    }
+                    let Some(pos) = self.flow_pos.remove(rec.id) else {
+                        continue;
+                    };
+                    let flow = self.flows.swap_remove(pos);
+                    if let Some(moved) = self.flows.get(pos) {
+                        self.flow_pos.insert(moved.id, pos);
+                    }
+                    // Freed capacity redistributes; stale finish-heap
+                    // and link-index entries tombstone via `flow_pos`.
+                    self.dirty.mark_path(self.arena.get(flow.path));
+                }
+            }
+            self.jobs_state.remove(&id);
+            self.specs.remove(&id);
+            self.cancelled.insert(id);
+            self.remaining_jobs -= 1;
+            self.result.jobs_cancelled += 1;
+            self.dirty.any = true;
+            true
+        } else if self.specs.remove(&id).is_some() {
+            // Not yet arrived: the queued arrival event is skipped when
+            // it fires.
+            self.cancelled.insert(id);
+            self.remaining_jobs -= 1;
+            self.result.jobs_cancelled += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Current virtual time: the timestamp of the last processed event.
+    pub fn now(&self) -> f64 {
+        self.now
+    }
+
+    /// Events processed so far.
+    pub fn events_processed(&self) -> u64 {
+        self.events
+    }
+
+    /// Pending events in the queue.
+    pub fn pending_events(&self) -> usize {
+        self.queue.len()
+    }
+
+    /// Flows currently in flight.
+    pub fn open_flows(&self) -> usize {
+        self.flows.len()
+    }
+
+    /// Coflows currently active.
+    pub fn open_coflows(&self) -> usize {
+        self.active_coflows.len()
+    }
+
+    /// Jobs submitted but not yet completed or cancelled.
+    pub fn outstanding_jobs(&self) -> usize {
+        self.remaining_jobs
+    }
+
+    /// Whether every submitted job has completed and no flow is in
+    /// flight. A drained online engine accepts further submissions.
+    pub fn drained(&self) -> bool {
+        self.remaining_jobs == 0 && self.flows.is_empty()
+    }
+
+    /// Completion records of the jobs finished so far, in completion
+    /// order. The daemon polls the tail of this slice to release
+    /// dependent jobs.
+    pub fn completed_jobs(&self) -> &[JobResult] {
+        &self.result.jobs
+    }
+
+    /// Lifecycle phase of a job id, with live progress for running jobs.
+    pub fn job_phase(&self, id: JobId) -> JobPhase {
+        if let Some(&completed_at) = self.completed_at.get(&id) {
+            return JobPhase::Completed { at: completed_at };
+        }
+        if self.cancelled.contains(&id) {
+            return JobPhase::Cancelled;
+        }
+        if let Some(js) = self.jobs_state.get(&id) {
+            let total_bytes = self.specs.get(&id).map_or(0.0, |s| s.total_bytes());
+            return JobPhase::Running {
+                progress: JobProgress {
+                    completed_coflows: js.completed_coflows,
+                    total_coflows: js.completed_coflows + js.remaining_coflows,
+                    completed_bytes: js.completed_bytes,
+                    total_bytes,
+                },
+            };
+        }
+        if self.specs.contains_key(&id) {
+            return JobPhase::Pending;
+        }
+        JobPhase::NotSubmitted
     }
 
     fn advance_to(&mut self, t: f64) {
@@ -1525,6 +1957,12 @@ impl<'a, F: Fabric> Engine<'a, F> {
             }
             self.plane.on_job_completed(job_id, self.now);
             self.remaining_jobs -= 1;
+            self.completed_at.insert(job_id, self.now);
+            // Drop the spec: nothing reads it past completion (the
+            // oracle only answers for active jobs), and releasing it
+            // keeps a streamed online run's memory proportional to the
+            // active set, not the history.
+            self.specs.remove(&job_id);
         }
         Ok(())
     }
@@ -2725,5 +3163,185 @@ mod tests {
         assert!(res.makespan >= 1.0 - 1e-6);
         assert!(res.events >= 2);
         assert_eq!(res.scheduler, "fifo");
+    }
+
+    // ---- steppable core / online admission ----
+
+    fn online_fixture() -> (BigSwitch, SimConfig) {
+        (BigSwitch::new(8, 1.0 * MB), SimConfig::default())
+    }
+
+    #[test]
+    fn online_t0_submission_matches_offline_run() {
+        let jobs = vec![
+            single_flow_job(0, 0.0, 0, 2, 5.0 * MB),
+            single_flow_job(1, 0.5, 1, 2, 5.0 * MB),
+            single_flow_job(2, 2.0, 3, 4, 2.0 * MB),
+        ];
+        let mut sim = big_switch_sim();
+        let mut sched = FifoScheduler::new(1);
+        let offline = sim.run(jobs.clone(), &mut sched);
+
+        let (fabric, config) = online_fixture();
+        let mut sched = FifoScheduler::new(1);
+        let mut plane = Centralized::new(&mut sched);
+        let mut engine =
+            Engine::online(&fabric, &config, &mut plane, &FaultSchedule::new()).unwrap();
+        for job in jobs {
+            engine.submit_job(job).unwrap();
+        }
+        assert_eq!(engine.run_to_drained().unwrap(), StepOutcome::Drained);
+        let online = engine.finish();
+        assert_eq!(offline, online, "online t=0 path must be bit-for-bit");
+    }
+
+    #[test]
+    fn mid_run_submission_is_admitted_and_completes() {
+        let (fabric, config) = online_fixture();
+        let mut sched = FifoScheduler::new(1);
+        let mut plane = Centralized::new(&mut sched);
+        let mut engine =
+            Engine::online(&fabric, &config, &mut plane, &FaultSchedule::new()).unwrap();
+        engine
+            .submit_job(single_flow_job(0, 0.0, 0, 2, 5.0 * MB))
+            .unwrap();
+        // Run partway, then admit a second job dated in the past: its
+        // arrival must clamp to the current virtual time.
+        engine.run_until(2.0).unwrap();
+        assert!(engine.now() > 0.0 && engine.now() <= 2.0);
+        let id = engine
+            .submit_job(single_flow_job(1, 0.0, 1, 2, 5.0 * MB))
+            .unwrap();
+        assert_eq!(engine.job_phase(id), JobPhase::Pending);
+        assert_eq!(engine.run_to_drained().unwrap(), StepOutcome::Drained);
+        let res = engine.finish();
+        assert_eq!(res.jobs.len(), 2);
+        let late = res.jobs.iter().find(|j| j.id == JobId(1)).unwrap();
+        assert!(
+            late.arrival >= 2.0 - 1e-9,
+            "arrival clamped to admission time"
+        );
+        assert!((late.jct - (late.completed_at - late.arrival)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn duplicate_and_unknown_host_submissions_are_rejected() {
+        let (fabric, config) = online_fixture();
+        let mut sched = FifoScheduler::new(1);
+        let mut plane = Centralized::new(&mut sched);
+        let mut engine =
+            Engine::online(&fabric, &config, &mut plane, &FaultSchedule::new()).unwrap();
+        engine
+            .submit_job(single_flow_job(0, 0.0, 0, 1, MB))
+            .unwrap();
+        assert_eq!(
+            engine.submit_job(single_flow_job(0, 0.0, 2, 3, MB)),
+            Err(SimError::DuplicateJob { job: 0 })
+        );
+        assert_eq!(
+            engine.submit_job(single_flow_job(1, 0.0, 0, 99, MB)),
+            Err(SimError::UnknownHost {
+                host: 99,
+                num_hosts: 8
+            })
+        );
+        // The rejected submissions left the engine intact.
+        assert_eq!(engine.outstanding_jobs(), 1);
+        engine.run_to_drained().unwrap();
+        assert_eq!(engine.finish().jobs.len(), 1);
+    }
+
+    #[test]
+    fn cancel_pending_and_running_jobs() {
+        let (fabric, config) = online_fixture();
+        let mut sched = FifoScheduler::new(1);
+        let mut plane = Centralized::new(&mut sched);
+        let mut engine =
+            Engine::online(&fabric, &config, &mut plane, &FaultSchedule::new()).unwrap();
+        engine
+            .submit_job(single_flow_job(0, 0.0, 0, 2, 5.0 * MB))
+            .unwrap();
+        engine
+            .submit_job(single_flow_job(1, 0.0, 1, 2, 5.0 * MB))
+            .unwrap();
+        engine
+            .submit_job(single_flow_job(2, 50.0, 3, 4, MB))
+            .unwrap();
+        engine.run_until(1.0).unwrap();
+        // Job 1 is running (sharing the host-2 downlink); job 2 pending.
+        assert!(matches!(
+            engine.job_phase(JobId(1)),
+            JobPhase::Running { .. }
+        ));
+        assert!(engine.cancel_job(JobId(1)));
+        assert_eq!(engine.job_phase(JobId(1)), JobPhase::Cancelled);
+        assert!(engine.cancel_job(JobId(2)));
+        assert!(!engine.cancel_job(JobId(2)), "double cancel is a no-op");
+        assert!(!engine.cancel_job(JobId(9)), "unknown id is a no-op");
+        assert_eq!(engine.run_to_drained().unwrap(), StepOutcome::Drained);
+        let res = engine.finish();
+        assert_eq!(res.jobs.len(), 1);
+        assert_eq!(res.jobs_cancelled, 2);
+        // With the competitor cancelled at t=1, job 0 has 4.5 MB left at
+        // the full 1 MB/s: done at 5.5s, faster than the shared 7.5s.
+        assert!(
+            (res.jobs[0].jct - 5.5).abs() < 1e-6,
+            "jct {}",
+            res.jobs[0].jct
+        );
+    }
+
+    #[test]
+    fn drained_engine_accepts_further_submissions() {
+        let (fabric, config) = online_fixture();
+        let mut sched = FifoScheduler::new(1);
+        let mut plane = Centralized::new(&mut sched);
+        let mut engine =
+            Engine::online(&fabric, &config, &mut plane, &FaultSchedule::new()).unwrap();
+        engine
+            .submit_job(single_flow_job(0, 0.0, 0, 1, MB))
+            .unwrap();
+        assert_eq!(engine.run_to_drained().unwrap(), StepOutcome::Drained);
+        assert!(engine.drained());
+        engine
+            .submit_job(single_flow_job(1, 0.0, 1, 2, MB))
+            .unwrap();
+        assert!(!engine.drained());
+        assert_eq!(engine.run_to_drained().unwrap(), StepOutcome::Drained);
+        let res = engine.finish();
+        assert_eq!(res.jobs.len(), 2);
+        assert!(res.jobs[1].completed_at > res.jobs[0].completed_at);
+    }
+
+    #[test]
+    fn run_until_honors_the_horizon() {
+        let (fabric, config) = online_fixture();
+        let mut sched = FifoScheduler::new(1);
+        let mut plane = Centralized::new(&mut sched);
+        let mut engine =
+            Engine::online(&fabric, &config, &mut plane, &FaultSchedule::new()).unwrap();
+        engine
+            .submit_job(single_flow_job(0, 0.0, 0, 1, 10.0 * MB))
+            .unwrap();
+        engine
+            .submit_job(single_flow_job(1, 20.0, 1, 2, MB))
+            .unwrap();
+        let out = engine.run_until(12.0).unwrap();
+        assert_eq!(out, StepOutcome::Idle, "job 1 still outstanding");
+        assert!(engine.now() <= 12.0);
+        assert_eq!(
+            engine.completed_jobs().len(),
+            1,
+            "job 0 done inside horizon"
+        );
+        assert!(matches!(
+            engine.job_phase(JobId(0)),
+            JobPhase::Completed { .. }
+        ));
+        assert_eq!(
+            engine.run_until(f64::INFINITY).unwrap(),
+            StepOutcome::Drained
+        );
+        assert_eq!(engine.finish().jobs.len(), 2);
     }
 }

@@ -180,6 +180,10 @@ pub struct RunResult {
     /// a control-fault profile.
     #[serde(default)]
     pub control: ControlResilience,
+    /// Jobs cancelled through the online admission API
+    /// (`Engine::cancel_job`); always 0 for offline runs.
+    #[serde(default)]
+    pub jobs_cancelled: usize,
 }
 
 impl RunResult {

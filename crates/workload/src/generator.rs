@@ -111,7 +111,24 @@ impl JobGenerator {
 
     /// Generates the workload. Job ids are `0..num_jobs` in arrival
     /// order.
-    pub fn generate(mut self) -> Vec<JobSpec> {
+    ///
+    /// Sugar for collecting [`JobGenerator::stream`]; prefer the stream
+    /// when feeding an online engine — it materializes one
+    /// [`JobSpec`] at a time instead of the whole batch.
+    pub fn generate(self) -> Vec<JobSpec> {
+        self.stream().collect()
+    }
+
+    /// Converts the generator into a lazy [`JobStream`] yielding jobs
+    /// one at a time in arrival order.
+    ///
+    /// Only the arrival timestamps are precomputed (8 bytes per job —
+    /// the arrival process draws them in one batch, which is what keeps
+    /// the RNG stream, and therefore every sampled job, bit-identical
+    /// to [`JobGenerator::generate`]). The heavy part of a workload —
+    /// per-vertex coflows with hundreds of flow endpoints — is sampled
+    /// on demand, so a 10k-job trace never has to live in memory.
+    pub fn stream(mut self) -> JobStream {
         let sampler = FacebookSampler::new(FacebookConfig {
             num_hosts: self.config.num_hosts,
             ..self.config.facebook.clone()
@@ -121,36 +138,72 @@ impl JobGenerator {
             .config
             .arrivals
             .timestamps(&mut self.rng, self.config.num_jobs);
-        let mut jobs = Vec::with_capacity(self.config.num_jobs);
-        for (id, arrival) in arrivals.into_iter().enumerate() {
-            let cat = SizeCategory::ALL[cats.sample(&mut self.rng)];
-            let (lo, hi) = category_range(cat);
-            let total_bytes = log_uniform(&mut self.rng, lo, hi);
-            let template = sample_template(&mut self.rng, self.config.structure);
-            // Wider jobs for bigger volumes: base width grows gently with
-            // size so elephant jobs fan out like the trace's wide coflows.
-            let size_factor = (total_bytes / (100.0 * units::MB)).powf(0.22).max(1.0);
-            let base_width = (sampler.sample_width(&mut self.rng) as f64 * size_factor)
-                .round()
-                .max(1.0) as usize;
-            let mut specs = vec![None; template.dag.num_vertices()];
-            for (v, spec) in specs.iter_mut().enumerate() {
-                let width = ((base_width as f64 * template.width_scale[v]).round() as usize).clamp(
-                    1,
-                    self.config.max_coflow_width.min(self.config.num_hosts * 4),
-                );
-                let shape = sampler.sample_coflow_with_width(&mut self.rng, width);
-                let bytes = (total_bytes * template.byte_fraction[v]).max(1.0);
-                *spec = Some(shape.materialize(bytes));
-            }
-            let coflows: Vec<_> = specs.into_iter().map(|s| s.expect("filled")).collect();
-            let job = JobSpec::new(id, arrival, coflows, template.dag)
-                .expect("template DAG matches coflow count");
-            jobs.push(job);
+        JobStream {
+            config: self.config,
+            rng: self.rng,
+            sampler,
+            cats,
+            arrivals,
+            next: 0,
         }
-        jobs
     }
 }
+
+/// A lazily-sampled workload: yields [`JobSpec`]s one at a time, in
+/// arrival order, bit-identical to what [`JobGenerator::generate`]
+/// would have materialized eagerly (same seed, same RNG draw order).
+/// Created by [`JobGenerator::stream`].
+#[derive(Debug)]
+pub struct JobStream {
+    config: WorkloadConfig,
+    rng: StdRng,
+    sampler: FacebookSampler,
+    cats: Discrete,
+    arrivals: Vec<f64>,
+    next: usize,
+}
+
+impl Iterator for JobStream {
+    type Item = JobSpec;
+
+    fn next(&mut self) -> Option<JobSpec> {
+        let id = self.next;
+        let arrival = *self.arrivals.get(id)?;
+        self.next += 1;
+        let cat = SizeCategory::ALL[self.cats.sample(&mut self.rng)];
+        let (lo, hi) = category_range(cat);
+        let total_bytes = log_uniform(&mut self.rng, lo, hi);
+        let template = sample_template(&mut self.rng, self.config.structure);
+        // Wider jobs for bigger volumes: base width grows gently with
+        // size so elephant jobs fan out like the trace's wide coflows.
+        let size_factor = (total_bytes / (100.0 * units::MB)).powf(0.22).max(1.0);
+        let base_width = (self.sampler.sample_width(&mut self.rng) as f64 * size_factor)
+            .round()
+            .max(1.0) as usize;
+        let mut specs = vec![None; template.dag.num_vertices()];
+        for (v, spec) in specs.iter_mut().enumerate() {
+            let width = ((base_width as f64 * template.width_scale[v]).round() as usize).clamp(
+                1,
+                self.config.max_coflow_width.min(self.config.num_hosts * 4),
+            );
+            let shape = self.sampler.sample_coflow_with_width(&mut self.rng, width);
+            let bytes = (total_bytes * template.byte_fraction[v]).max(1.0);
+            *spec = Some(shape.materialize(bytes));
+        }
+        let coflows: Vec<_> = specs.into_iter().map(|s| s.expect("filled")).collect();
+        Some(
+            JobSpec::new(id, arrival, coflows, template.dag)
+                .expect("template DAG matches coflow count"),
+        )
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        let left = self.arrivals.len() - self.next;
+        (left, Some(left))
+    }
+}
+
+impl ExactSizeIterator for JobStream {}
 
 #[cfg(test)]
 mod tests {

@@ -51,4 +51,5 @@ pub mod dags;
 pub mod dist;
 pub mod facebook;
 pub mod generator;
+pub mod source;
 pub mod trace;

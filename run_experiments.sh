@@ -8,8 +8,9 @@
 #
 # GURITA_THREADS (default 1) sets the intra-run component-pool width
 # passed to every figure/sweep phase via --threads (0 = one worker per
-# core); results are bit-for-bit identical at any setting, so this is
-# purely a wall-time knob. The per-phase thread count is recorded in
+# core; the online phase reads the variable directly); results are
+# bit-for-bit identical at any setting, so this is purely a wall-time
+# knob. The per-phase thread count is recorded in
 # results/phase_times.txt so snapshots are comparable.
 set -euo pipefail
 cd "$(dirname "$0")"
@@ -51,6 +52,8 @@ phase fig8       "$THREADS" "$BIN/fig8" --jobs 120 --threads "$THREADS"
 phase ablation   "$THREADS" "$BIN/ablation" --jobs 80 --threads "$THREADS"
 phase sweep      "$THREADS" "$BIN/sweep" --jobs 40 --threads "$THREADS" --trace-out results/trace
 phase chaos      "$THREADS" "$BIN/chaos" --jobs 40 --threads "$THREADS" --control-faults
+phase online     "$THREADS" env GURITA_THREADS="$THREADS" \
+    GURITA_ONLINE_OUT=results/online_arrivals.json "$BIN/online_arrivals"
 phase bench      -          "$BIN/bench" --jobs 40
 total_end=$(date +%s)
 printf '%-12s %4ds\n' total "$((total_end - total_start))" | tee -a results/phase_times.txt

@@ -1,0 +1,195 @@
+//! End-to-end tests of the `guritad` service: a real Unix socket, a
+//! real serve loop on its own thread, and the typed [`Client`] — the
+//! same path the `guritad`/`gctl` binaries exercise, minus process
+//! spawning (so failures produce backtraces, not exit codes).
+
+use gurita_daemon::client::Client;
+use gurita_daemon::server::{serve, DaemonConfig, ServeReport};
+use gurita_experiments::roster::SchedulerKind;
+use gurita_model::{CoflowSpec, FlowSpec, HostId, JobDag, JobSpec};
+use gurita_workload::arrivals::ArrivalProcess;
+use gurita_workload::generator::{JobGenerator, WorkloadConfig};
+use std::path::PathBuf;
+use std::time::Duration;
+
+/// Slow enough that a job submitted by the test is still in flight on
+/// the next round-trip (an 8 MB flow lasts ~1.3 wall-seconds), fast
+/// enough that a short chain finishes in a few seconds. `drain` lifts
+/// the pace, so teardown is never the bottleneck.
+const TEST_PACE: f64 = 0.005;
+
+/// A daemon on a test-unique socket plus a connected client.
+fn start(
+    name: &str,
+    scheduler: SchedulerKind,
+    pace: f64,
+) -> (
+    PathBuf,
+    std::thread::JoinHandle<std::io::Result<ServeReport>>,
+    Client,
+) {
+    let socket =
+        std::env::temp_dir().join(format!("guritad-test-{name}-{}.sock", std::process::id()));
+    let config = DaemonConfig {
+        socket: socket.clone(),
+        hosts: 16,
+        scheduler,
+        pace,
+        ..DaemonConfig::default()
+    };
+    let daemon = std::thread::spawn(move || serve(&config));
+    let client =
+        Client::connect_with_retry(&socket, Duration::from_secs(10)).expect("daemon must come up");
+    (socket, daemon, client)
+}
+
+/// A small single-stage job: `flows` flows of `mb` MB on a host ring.
+fn job(flows: usize, mb: f64) -> JobSpec {
+    let specs = (0..flows)
+        .map(|i| FlowSpec::new(HostId(i % 16), HostId((i + 1) % 16), mb * 1e6))
+        .collect();
+    JobSpec::new(
+        0,
+        0.0,
+        vec![CoflowSpec::new(specs)],
+        JobDag::chain(1).unwrap(),
+    )
+    .unwrap()
+}
+
+#[test]
+fn dependency_chain_runs_in_order_and_drains() {
+    let (_socket, daemon, mut client) = start("chain", SchedulerKind::Gurita, TEST_PACE);
+    client.ping().expect("ping");
+
+    // a ← b ← c, plus an independent d: the classic gqueue smoke.
+    let a = client.submit("a", &[], &job(4, 8.0)).unwrap();
+    assert!(a.state == "queued" || a.state == "running" || a.state == "done");
+    let b = client.submit("b", &["a".into()], &job(4, 8.0)).unwrap();
+    let c = client.submit("c", &["b".into()], &job(2, 4.0)).unwrap();
+    assert_eq!(b.state, "held");
+    assert_eq!(c.state, "held");
+    client.submit("d", &[], &job(2, 4.0)).unwrap();
+
+    // Mid-run view: all four known, dependencies reported.
+    let q = client.queue().unwrap();
+    assert_eq!(q.len(), 4);
+    assert_eq!(q[2].depends_on, vec!["b".to_string()]);
+
+    let c_done = client.wait("c", Duration::from_secs(60)).unwrap();
+    assert_eq!(c_done.state, "done");
+
+    let stats = client.drain().unwrap();
+    assert_eq!(stats.jobs_done, 4, "drain accounts for every job");
+    assert_eq!(stats.jobs_held + stats.jobs_queued + stats.jobs_running, 0);
+    assert!(stats.drained);
+    assert!(stats.makespan.unwrap() > 0.0);
+    assert!(stats.avg_jct.unwrap() > 0.0);
+
+    let report = daemon.join().unwrap().unwrap();
+    assert_eq!(report.completed.len(), 4);
+    // Dependency order is honored in completion order: a before b
+    // before c.
+    let pos = |n: &str| {
+        report
+            .completed
+            .iter()
+            .position(|(name, _, _)| name == n)
+            .unwrap()
+    };
+    assert!(pos("a") < pos("b"), "parent completes before child");
+    assert!(pos("b") < pos("c"));
+}
+
+#[test]
+fn rejections_and_cancel_cascade() {
+    let (_socket, daemon, mut client) = start("cancel", SchedulerKind::Pfs, TEST_PACE);
+
+    client.submit("root", &[], &job(8, 64.0)).unwrap();
+    client
+        .submit("mid", &["root".into()], &job(2, 1.0))
+        .unwrap();
+    client
+        .submit("leaf", &["mid".into()], &job(2, 1.0))
+        .unwrap();
+    client.submit("solo", &[], &job(2, 1.0)).unwrap();
+
+    // Protocol-level rejections surface as errors, connection intact.
+    assert!(
+        client.submit("root", &[], &job(1, 1.0)).is_err(),
+        "dup name"
+    );
+    assert!(
+        client.submit("x", &["ghost".into()], &job(1, 1.0)).is_err(),
+        "unknown dependency"
+    );
+    client.ping().expect("connection survives rejections");
+
+    // Cancelling the (large, still-running) root cascades to held
+    // descendants but leaves the independent job alone.
+    let root = client.cancel("root").unwrap();
+    assert_eq!(root.state, "cancelled");
+    assert_eq!(client.status("mid").unwrap().state, "cancelled");
+    assert_eq!(client.status("leaf").unwrap().state, "cancelled");
+    assert!(client.cancel("root").is_err(), "double cancel rejected");
+
+    let stats = client.drain().unwrap();
+    assert_eq!(stats.jobs_cancelled, 3);
+    assert_eq!(stats.jobs_done, 1, "solo still completes");
+    daemon.join().unwrap().unwrap();
+}
+
+#[test]
+fn shutdown_stops_immediately() {
+    let (socket, daemon, mut client) = start("shutdown", SchedulerKind::Gurita, TEST_PACE);
+    client.submit("j", &[], &job(8, 512.0)).unwrap();
+    client.shutdown().unwrap();
+    let report = daemon.join().unwrap().unwrap();
+    // The big job was abandoned mid-flight, not completed.
+    assert_eq!(report.stats.jobs_done, 0);
+    assert!(!socket.exists(), "socket file cleaned up");
+}
+
+/// The scale acceptance run: ≥1,000 generated jobs with dependency
+/// edges over the socket, mid-run queries, and a drain that accounts
+/// for every job. Ignored by default (several seconds); CI runs the
+/// release-mode `online_arrivals` binary for the same coverage, and
+/// `cargo test -p gurita-integration-tests -- --ignored daemon` runs
+/// this in-process version.
+#[test]
+#[ignore = "scale run: covered in CI by the online_arrivals binary"]
+fn thousand_jobs_over_the_socket() {
+    let (_socket, daemon, mut client) = start("thousand", SchedulerKind::Gurita, 0.0);
+    let workload = WorkloadConfig {
+        num_jobs: 1000,
+        num_hosts: 16,
+        arrivals: ArrivalProcess::Bursty {
+            burst_size: 8,
+            intra_gap: 2e-6,
+            inter_gap: 0.05,
+        },
+        category_weights: [0.6, 0.3, 0.1, 0.0, 0.0, 0.0, 0.0],
+        ..WorkloadConfig::default()
+    };
+    let mut held = 0usize;
+    for (i, spec) in JobGenerator::new(workload, 4242).stream().enumerate() {
+        let name = format!("j{i:04}");
+        let deps: Vec<String> = if i > 0 && i % 4 == 0 {
+            vec![format!("j{:04}", i - 1)]
+        } else {
+            Vec::new()
+        };
+        let view = client.submit(&name, &deps, &spec).unwrap();
+        if view.state == "held" {
+            held += 1;
+        }
+        if i % 200 == 199 {
+            assert_eq!(client.queue().unwrap().len(), i + 1);
+        }
+    }
+    assert!(held > 0, "the gate was exercised");
+    let stats = client.drain().unwrap();
+    assert_eq!(stats.jobs_done, 1000, "drain accounts for all 1000 jobs");
+    assert_eq!(stats.jobs_cancelled, 0);
+    daemon.join().unwrap().unwrap();
+}

@@ -131,6 +131,36 @@ proptest! {
 /// The auto setting (`threads = 0`) resolves to the host's core count
 /// and must obey the same contract — pinned deterministically through
 /// the [`Scenario`] plumbing the experiment binaries use.
+/// Oversubscription (`threads` far beyond the core count) is taken
+/// literally and must still be bit-for-bit: determinism cannot depend
+/// on workers actually running concurrently.
+#[test]
+fn oversubscribed_threads_match_serial() {
+    let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
+    let jobs = workload(8, 77);
+    let serial = run_once(
+        SchedulerKind::Gurita,
+        &jobs,
+        &FaultSchedule::new(),
+        0.0,
+        1,
+        false,
+    );
+    let oversubscribed = run_once(
+        SchedulerKind::Gurita,
+        &jobs,
+        &FaultSchedule::new(),
+        0.0,
+        cores + 8,
+        false,
+    );
+    assert!(
+        serial == oversubscribed,
+        "threads={} diverged from serial",
+        cores + 8
+    );
+}
+
 #[test]
 fn scenario_threads_auto_matches_serial() {
     let serial = Scenario::trace_driven(StructureKind::FbTao, 10, 33).run(SchedulerKind::Gurita);
