@@ -10,6 +10,9 @@
 //! * **allocate ns/flow** — the water-filling allocator on a 1024-flow
 //!   Facebook-style mix, fresh-allocation and reused-scratch variants,
 //!   under both SPQ and WRR;
+//! * **advance ns/flow** — the per-event flow-advance sweep over the
+//!   engine's SoA hot-state layout, with a pre-PR-9 AoS layout A/B
+//!   alongside (see [`advance_benches`]);
 //! * **control plane ns/flow** — the decentralized hot path: merging
 //!   per-host reports back into a cluster observation
 //!   (`merge_reports`), plus the full event loop under `Gurita@local`
@@ -50,6 +53,11 @@ struct BenchReport {
     events_per_sec: f64,
     /// Water-filling cost per flow, nanoseconds, per variant.
     allocate_ns_per_flow: Vec<(String, f64)>,
+    /// Flow-advance sweep cost, nanoseconds per flow: the engine's SoA
+    /// hot-state layout (`soa`, the gated number) against the pre-PR-9
+    /// AoS layout (`aos`), plus their ratio (`aos_over_soa`). See
+    /// [`advance_benches`].
+    advance_ns_per_flow: Vec<(String, f64)>,
     /// Decentralized control-plane costs: `merge_reports` ns/flow over
     /// a synthetic 64-host report set, and the `Gurita@local` event
     /// loop in events/sec over the same workload as the centralized
@@ -385,6 +393,119 @@ fn allocator_benches() -> Vec<(String, f64)> {
     out
 }
 
+/// A/B microbenchmark for the per-event flow-advance sweep (the same
+/// update `Engine::advance_span` applies): struct-of-arrays hot state —
+/// one dense `rate` array zipped against one dense `remaining` array —
+/// versus the pre-PR-9 array-of-structs layout, where the two hot f64s
+/// shared a ~96-byte `FlowState` with the cold identity/bookkeeping
+/// fields and every step strided past the payload. Identical arithmetic
+/// per element (guarded multiply-min-subtract), identical element
+/// count; only the memory layout differs, so the ratio isolates the
+/// SoA win the engine's serial sweep gets before any fan-out.
+fn advance_benches() -> Vec<(String, f64)> {
+    const FLOWS: usize = 65_536;
+    const ITERS: u32 = 2_000;
+    const DT: f64 = 0.5;
+
+    /// The pre-PR-9 hot+cold flow record, field-for-field sized like
+    /// the old `FlowState` (ids/hosts as usize, `PathRef` as two u32s).
+    struct FlowAos {
+        rate: f64,
+        remaining: f64,
+        _path: (u32, u32),
+        _coflow: usize,
+        _id: usize,
+        _src: usize,
+        _dst: usize,
+        _size: f64,
+        _queue: usize,
+        _fresh: bool,
+        _parked: bool,
+        _stamp: u64,
+    }
+
+    let mut state = 0x9e37_79b9_7f4a_7c15u64;
+    let mut next = move || {
+        state ^= state << 13;
+        state ^= state >> 7;
+        state ^= state << 17;
+        state
+    };
+    // Rates mix zero (parked), modest, and large values; `remaining`
+    // is big enough that ITERS sweeps never clamp a flow to zero, so
+    // both layouts do exactly the same arithmetic every iteration.
+    let rate: Vec<f64> = (0..FLOWS)
+        .map(|_| match next() % 8 {
+            0 => 0.0,
+            r => (r * 1000) as f64 + (next() % 997) as f64,
+        })
+        .collect();
+    let start_remaining = 1.0e15;
+
+    let mut remaining: Vec<f64> = vec![start_remaining; FLOWS];
+    let t0 = Instant::now();
+    for _ in 0..ITERS {
+        for (r, rem) in rate.iter().zip(remaining.iter_mut()) {
+            let moved = if *r > 0.0 && r.is_finite() {
+                (*r * DT).min(*rem)
+            } else {
+                0.0
+            };
+            *rem -= moved;
+        }
+    }
+    let soa_ns = t0.elapsed().as_nanos() as f64 / f64::from(ITERS) / FLOWS as f64;
+    let soa_sum: f64 = std::hint::black_box(&remaining).iter().sum();
+
+    let mut flows: Vec<FlowAos> = rate
+        .iter()
+        .enumerate()
+        .map(|(i, &r)| FlowAos {
+            rate: r,
+            remaining: start_remaining,
+            _path: (i as u32, 5),
+            _coflow: i / 16,
+            _id: i,
+            _src: i % 1024,
+            _dst: (i * 7) % 1024,
+            _size: start_remaining,
+            _queue: i % 4,
+            _fresh: false,
+            _parked: false,
+            _stamp: i as u64,
+        })
+        .collect();
+    let t0 = Instant::now();
+    for _ in 0..ITERS {
+        for f in flows.iter_mut() {
+            let moved = if f.rate > 0.0 && f.rate.is_finite() {
+                (f.rate * DT).min(f.remaining)
+            } else {
+                0.0
+            };
+            f.remaining -= moved;
+        }
+    }
+    let aos_ns = t0.elapsed().as_nanos() as f64 / f64::from(ITERS) / FLOWS as f64;
+    let aos_sum: f64 = std::hint::black_box(&flows)
+        .iter()
+        .map(|f| f.remaining)
+        .sum();
+    assert!(
+        soa_sum == aos_sum,
+        "layouts must perform identical arithmetic ({soa_sum} vs {aos_sum})"
+    );
+
+    vec![
+        ("soa".to_owned(), soa_ns),
+        ("aos".to_owned(), aos_ns),
+        (
+            "aos_over_soa".to_owned(),
+            if soa_ns > 0.0 { aos_ns / soa_ns } else { 0.0 },
+        ),
+    ]
+}
+
 fn main() {
     let argv: Vec<String> = std::env::args().skip(1).collect();
     let opts = match args::parse(&argv) {
@@ -446,6 +567,7 @@ fn main() {
         elapsed_sec: tp.wall_sec,
         events_per_sec: tp.events_per_sec,
         allocate_ns_per_flow: allocator_benches(),
+        advance_ns_per_flow: advance_benches(),
         control_plane,
         large: large_bench(),
     };
@@ -455,6 +577,9 @@ fn main() {
     );
     for (label, ns) in &rep.allocate_ns_per_flow {
         println!("allocate {label}: {ns:.1} ns/flow");
+    }
+    for (label, v) in &rep.advance_ns_per_flow {
+        println!("advance {label}: {v:.3} ns/flow");
     }
     for (label, v) in &rep.control_plane {
         println!("control plane {label}: {v:.1}");

@@ -23,8 +23,12 @@ use std::time::Instant;
 /// `events_per_sec_parallel` + `parallel_speedup`) and replaced the
 /// scale-dead `path_arena_hit_rate` gauge with
 /// `path_arena_storage_bytes` (see DESIGN.md on why the hit rate is
-/// structurally 0 at k = 48).
-pub const BENCH_SCHEMA_VERSION: u32 = 3;
+/// structurally 0 at k = 48). v4 added `advance_ns_per_flow`: the
+/// flow-advance sweep microbenchmark over the engine's SoA hot-state
+/// layout, with a pre-PR-9 AoS layout A/B alongside (labels `soa`,
+/// `aos`, `aos_over_soa`) — CI gates on the `soa` entry regressing
+/// less than 10% against the committed baseline.
+pub const BENCH_SCHEMA_VERSION: u32 = 4;
 
 /// Benchmark-scale figure options: small enough for Criterion's
 /// repeated sampling, large enough to exercise contention.

@@ -537,6 +537,15 @@ fn waterfill(
         // heap is empty this candidate is the last unfrozen flow and the
         // freshly recomputed value *is* its final rate — the flow always
         // freezes at `fresh`, never at the stale entry value.
+        //
+        // The EPS slack makes freeze *order* depend on which flows share
+        // the call: at an exact tie, an unrelated flow's presence can
+        // flip which side of the slack a comparison lands on. That is
+        // why the engine gives every allocation the same canonical
+        // shape — one `allocate_into` call per connected flow↔link
+        // component, full passes included — so the demand set (and
+        // hence every freeze decision) is identical no matter how a
+        // recompute was triggered or scheduled.
         let fresh = candidate_rate(share, f);
         if let Some(top) = heap.peek() {
             if fresh > top.rate + EPS && fresh > cand.rate + EPS {

@@ -18,6 +18,12 @@
 //! `BinaryHeap<Event>` min-heap on `(time, seq)` yields, which the
 //! `event_queue_equivalence` property test pins down against
 //! [`crate::runtime::SimConfig::force_binary_heap_events`].
+//!
+//! Completion events are timestamped `now + remaining / rate` from the
+//! engine's hot struct-of-arrays flow block (`FlowHot`), recomputed at
+//! schedule time from current state; the queue itself is agnostic to
+//! where those reads come from — identical timestamps in, identical
+//! pop order out, at any `threads` setting.
 
 use crate::runtime::Event;
 

@@ -33,8 +33,8 @@ use crate::topology::{Fabric, LinkId, PathArena, PathRef};
 use crate::SimError;
 use gurita_model::{CoflowId, FlowId, HostId, JobId, JobSpec};
 use std::cmp::Ordering;
-use std::collections::{BinaryHeap, HashMap, HashSet};
-use std::sync::Mutex;
+use std::collections::{BinaryHeap, HashMap, HashSet, VecDeque};
+use std::sync::{Condvar, Mutex};
 
 /// Simulation tuning knobs.
 #[derive(Debug, Clone, PartialEq)]
@@ -55,31 +55,41 @@ pub struct SimConfig {
     /// work per flow per event).
     pub collect_link_stats: bool,
     /// Disable component-incremental rate recomputation and re-waterfill
-    /// every flow after every event, as the pre-incremental engine did
-    /// (bit-for-bit). Off by default; useful as a safety valve and as
-    /// the reference behavior for equivalence tests. Incremental
-    /// recomputation agrees with the full pass to ~1e-9 relative — not
-    /// bitwise, because the waterfill's stale-candidate recheck compares
-    /// against the heap top with `EPS` slack, which couples freeze order
-    /// across otherwise independent components at exact floating-point
-    /// ties when they share one waterfill.
+    /// every flow after every event, as the pre-incremental engine did.
+    /// Off by default; useful as a safety valve and as the reference
+    /// behavior for equivalence tests. Full passes use the *same
+    /// canonical per-component semantics* as incremental ones: every
+    /// unparked flow is grouped into its connected flow↔link component
+    /// and each component is waterfilled independently, so the freeze
+    /// order inside a component never depends on how the pass was
+    /// triggered. (Before PR 9 a full pass was one merged waterfill,
+    /// whose `EPS`-slack stale-candidate recheck could couple freeze
+    /// order across independent components at exact floating-point ties
+    /// — incremental agreed with it only to ~1e-9 relative. The merged
+    /// path is gone; both modes now produce identical rates.)
     pub force_full_recompute: bool,
-    /// Worker threads for intra-run parallel rate recomputation: the
-    /// disjoint flow↔link components of one incremental recompute epoch
-    /// are waterfilled concurrently on a scoped worker pool, each with
-    /// its own [`Allocator`] scratch, and merged in component-index
-    /// order. `1` (the default) runs everything on the calling thread;
-    /// `0` resolves to one worker per available core (see
-    /// [`crate::pool::effective_threads`]).
+    /// Worker threads for intra-run parallel work: the disjoint
+    /// flow↔link components of one recompute epoch — incremental *or*
+    /// full-pass — are waterfilled concurrently on a scoped worker
+    /// pool, each with its own [`Allocator`] scratch, and merged in
+    /// component-index order; large epochs additionally overlap the
+    /// component-discovery BFS with allocation (the caller discovers
+    /// component `i+1` while workers waterfill component `i`), and the
+    /// per-event flow-advance sweep fans over fixed index-ordered
+    /// chunks of the flow table. `1` (the default) runs everything on
+    /// the calling thread; `0` resolves to one worker per available
+    /// core (see [`crate::pool::effective_threads`]).
     ///
     /// Results are **bit-for-bit identical** at every thread count:
-    /// incremental epochs always waterfill per component (components
-    /// are disjoint by construction, so each call sees exactly the same
-    /// demand subsequence, link capacities, and discipline regardless
-    /// of where it runs), and full passes (discipline changes,
-    /// [`SimConfig::force_full_recompute`]) always run one merged
-    /// serial waterfill. Parallelism only changes wall-clock time —
-    /// pinned by the serial-vs-parallel equality property tests.
+    /// every epoch waterfills per component (components are disjoint by
+    /// construction, so each call sees exactly the same demand
+    /// subsequence, link capacities, and discipline regardless of where
+    /// or when it runs), streamed discovery assembles results in
+    /// discovery-index order, and the fanned advance updates each flow
+    /// independently with link-byte accounting merged in chunk order.
+    /// Parallelism only changes wall-clock time — pinned by the
+    /// serial-vs-parallel equality property tests, including forced
+    /// full passes.
     pub threads: usize,
     /// Decision-propagation latency of a decentralized control plane, in
     /// seconds: a fresh priority table computed from merged per-host
@@ -248,30 +258,70 @@ impl EventQueue {
     }
 }
 
+/// Cold per-flow state: identity, endpoints, queue assignment, and
+/// lifecycle flags — everything the per-event sweeps do *not* touch.
+/// The hot fields (rate, remaining, path, coflow id) live in the
+/// index-aligned struct-of-arrays [`FlowHot`] block so the per-event
+/// `advance_to` sweep and the completion/BFS scans stay cache-dense;
+/// `flows[pos]` and `hot.*[pos]` always describe the same flow.
 #[derive(Debug)]
 struct FlowState {
     id: FlowId,
-    coflow: CoflowId,
     src: HostId,
     dst: HostId,
-    /// Interned route; resolve against the engine's [`PathArena`].
-    path: PathRef,
     size: f64,
-    remaining: f64,
     queue: usize,
-    rate: f64,
     fresh: bool,
     /// The flow's path crosses a hard-failed link and no detour exists;
     /// it holds its delivered bytes at zero rate until a recovery.
     parked: bool,
-    /// Bumped every time `rate` is set; completion-index entries carry
-    /// the stamp they were pushed under and go stale when it moves on.
+    /// Bumped every time the flow's rate is set; completion-index
+    /// entries carry the stamp they were pushed under and go stale when
+    /// it moves on.
     stamp: u64,
 }
 
-impl FlowState {
-    fn bytes_done(&self) -> f64 {
-        self.size - self.remaining
+/// Hot per-flow state, struct-of-arrays: the four fields the per-event
+/// hot loops read or write for *every* open flow. Splitting them out of
+/// [`FlowState`] keeps each sweep's working set at 8 bytes per flow per
+/// array instead of dragging the whole ~64-byte record through cache:
+///
+/// * `advance_to` sweeps `rate` × `remaining` (plus `path` with link
+///   stats armed) — now a branch-poor, vectorizable kernel over dense
+///   `f64` lanes, and independently fan-able in index chunks;
+/// * the completion filter scans `remaining` / `path`;
+/// * the dirty-component BFS and the demand views walk `path`;
+/// * coflow attribution on completion/park reads `coflow`.
+///
+/// All four vectors are index-aligned with `Engine::flows` and mutate
+/// in lock-step (`push` / `swap_remove`), so a flow-table position
+/// indexes every array interchangeably.
+#[derive(Debug, Default)]
+struct FlowHot {
+    rate: Vec<f64>,
+    remaining: Vec<f64>,
+    /// Interned route; resolve against the engine's [`PathArena`].
+    path: Vec<PathRef>,
+    coflow: Vec<CoflowId>,
+}
+
+impl FlowHot {
+    fn push(&mut self, rate: f64, remaining: f64, path: PathRef, coflow: CoflowId) {
+        self.rate.push(rate);
+        self.remaining.push(remaining);
+        self.path.push(path);
+        self.coflow.push(coflow);
+    }
+
+    /// Removes position `pos` in lock-step with a
+    /// `flows.swap_remove(pos)`, returning the removed hot fields.
+    fn swap_remove(&mut self, pos: usize) -> (f64, f64, PathRef, CoflowId) {
+        (
+            self.rate.swap_remove(pos),
+            self.remaining.swap_remove(pos),
+            self.path.swap_remove(pos),
+            self.coflow.swap_remove(pos),
+        )
     }
 }
 
@@ -345,10 +395,12 @@ impl DirtyRates {
 }
 
 /// Zero-copy [`Demands`] view over a subset of the engine's flow table:
-/// demand `i` is `flows[subset[i]]`. Avoids rebuilding a `Vec<Demand>`
-/// per event.
+/// demand `i` is flow-table position `subset[i]`. Paths come from the
+/// hot SoA block, queues from the cold records; building one costs
+/// three borrows, never a `Vec<Demand>` per event.
 struct FlowDemandView<'a> {
     flows: &'a [FlowState],
+    paths: &'a [PathRef],
     subset: &'a [usize],
     arena: &'a PathArena,
 }
@@ -358,7 +410,7 @@ impl Demands for FlowDemandView<'_> {
         self.subset.len()
     }
     fn path(&self, i: usize) -> &[LinkId] {
-        self.arena.get(self.flows[self.subset[i]].path)
+        self.arena.get(self.paths[self.subset[i]])
     }
     fn queue(&self, i: usize) -> usize {
         self.flows[self.subset[i]].queue
@@ -665,6 +717,126 @@ const FLOWING_EPS: f64 = 1e-15;
 /// per-component loop, so the threshold can never change results.
 const PAR_MIN_FLOWS: usize = 32;
 
+/// Minimum open flows before the per-event advance sweep fans across
+/// the pool. The sweep costs ~1 ns/flow, so below a few thousand flows
+/// the condvar wakeup would eat the win. Wall-clock heuristic only:
+/// each flow's update is independent, so the serial sweep and any
+/// chunking produce bit-identical state.
+const PAR_MIN_ADVANCE_FLOWS: usize = 1024;
+
+/// Floor on the fanned advance sweep's chunk width (flows per task), so
+/// a pathological `threads ≫ flows` setting cannot shred the sweep into
+/// cache-line-sized tasks.
+const MIN_ADVANCE_CHUNK: usize = 256;
+
+/// Minimum dirty seed links before an incremental epoch takes the
+/// streamed (BFS-overlapped) recompute path; smaller epochs — the
+/// common completion/arrival case touching one short path — collect
+/// their components first and then decide serial vs fanned as before.
+/// Wall-clock heuristic only: the streamed path discovers the same
+/// components in the same order and waterfills them with the same pure
+/// per-component calls.
+const PAR_MIN_SEED_LINKS: usize = 48;
+
+/// Split-borrow scratch for the flow↔link component BFS, shared by the
+/// batch collectors ([`Engine::collect_component`],
+/// [`Engine::collect_full_components`]) and the streamed producer in
+/// [`Engine::recompute_streamed`]. Expanding a link validates its
+/// `link_flows` adjacency entries and compacts stale ones in place,
+/// exactly as the pre-split inline BFS did.
+struct ComponentBfs<'a> {
+    flows: &'a [FlowState],
+    paths: &'a [PathRef],
+    flow_pos: &'a FlowPosMap,
+    arena: &'a PathArena,
+    link_flows: &'a mut [Vec<FlowId>],
+    flow_mark: &'a mut [u64],
+    link_mark: &'a mut [u64],
+    stack: &'a mut Vec<usize>,
+}
+
+impl ComponentBfs<'_> {
+    /// Drains the stack, appending every newly reached flow position to
+    /// `out` (discovery order; callers sort the finished group).
+    fn expand(&mut self, epoch: u64, out: &mut Vec<usize>) {
+        while let Some(li) = self.stack.pop() {
+            // Take the adjacency list out so we can mutate marks while
+            // validating entries; put the compacted list back.
+            let mut list = std::mem::take(&mut self.link_flows[li]);
+            list.retain(|fid| {
+                let Some(pos) = self.flow_pos.get(*fid) else {
+                    return false; // completed
+                };
+                let path = self.arena.get(self.paths[pos]);
+                if self.flows[pos].parked || !path.iter().any(|l| l.index() == li) {
+                    return false; // parked or rerouted away
+                }
+                if self.flow_mark[pos] != epoch {
+                    self.flow_mark[pos] = epoch;
+                    out.push(pos);
+                    for l in path {
+                        let lj = l.index();
+                        if self.link_mark[lj] != epoch {
+                            self.link_mark[lj] = epoch;
+                            self.stack.push(lj);
+                        }
+                    }
+                }
+                true
+            });
+            self.link_flows[li] = list;
+        }
+    }
+}
+
+/// Union-find `find` with path halving; indices are flow-table
+/// positions, roots satisfy `parent[x] == x`. Used by the full-pass
+/// component grouping (see [`Engine::collect_full_components`]).
+#[inline]
+fn uf_find(parent: &mut [u32], mut x: u32) -> u32 {
+    while parent[x as usize] != x {
+        let grand = parent[parent[x as usize] as usize];
+        parent[x as usize] = grand;
+        x = grand;
+    }
+    x
+}
+
+/// One connected component streamed from the BFS producer to the
+/// waterfill workers: membership (sorted flow-table positions) plus a
+/// recycled output buffer the worker fills with rates.
+struct CompJob {
+    index: usize,
+    positions: Vec<usize>,
+    rates: Vec<f64>,
+}
+
+/// A waterfilled component on its way back from a worker; `index`
+/// restores discovery order so assembly is schedule-independent.
+struct CompResult {
+    index: usize,
+    positions: Vec<usize>,
+    rates: Vec<f64>,
+    touched: usize,
+    passes: u64,
+}
+
+/// Closes the streamed-component queue when the producer returns *or
+/// unwinds*: workers blocked in `Condvar::wait` must always observe
+/// `done`, or `WorkerPool::run_with` would never drain the batch.
+struct CloseOnDrop<'a> {
+    queue: &'a Mutex<(VecDeque<CompJob>, bool)>,
+    ready: &'a Condvar,
+}
+
+impl Drop for CloseOnDrop<'_> {
+    fn drop(&mut self) {
+        // Recover from poisoning: this guard may run while unwinding.
+        self.queue.lock().unwrap_or_else(|e| e.into_inner()).1 = true;
+        self.ready.notify_all();
+    }
+}
+
 /// Dense flow-id → flow-table position map. Flow ids are handed out
 /// densely by `Engine::next_flow_id`, so indexed slots beat a hash map
 /// on the hot lookups (completion validation, dirty-component walks,
@@ -798,12 +970,14 @@ pub struct Engine<'a, F: Fabric> {
     /// rejection after the spec is dropped).
     completed_at: HashMap<JobId, f64>,
 
-    /// Shared interned path storage; every `FlowState::path` resolves
-    /// here. ECMP on a fat-tree yields few distinct routes, so the arena
-    /// stays small while flows come and go.
+    /// Shared interned path storage; every `FlowHot::path` entry
+    /// resolves here. ECMP on a fat-tree yields few distinct routes, so
+    /// the arena stays small while flows come and go.
     arena: PathArena,
 
     flows: Vec<FlowState>,
+    /// Hot per-flow fields, index-aligned with `flows` (see [`FlowHot`]).
+    hot: FlowHot,
     flow_pos: FlowPosMap,
     next_flow_id: usize,
     next_coflow_id: usize,
@@ -815,7 +989,12 @@ pub struct Engine<'a, F: Fabric> {
     completion_generation: u64,
     dirty: DirtyRates,
     tick_pending: bool,
-    link_bytes: HashMap<usize, f64>,
+    /// Dense per-link byte counters (indexed by link id), populated only
+    /// when [`SimConfig::collect_link_stats`] is set — one fabric-sized
+    /// array beats the old `HashMap<usize, f64>`'s per-flow-per-link
+    /// `entry()` probe in the advance sweep by an order of magnitude.
+    /// Empty (never allocated) with stats off.
+    link_bytes: Vec<f64>,
 
     fault_schedule: Vec<TimedFault>,
     overlay: FaultOverlay,
@@ -839,6 +1018,37 @@ pub struct Engine<'a, F: Fabric> {
     mark_epoch: u64,
     /// BFS worklist of link indices (scratch).
     bfs_stack: Vec<usize>,
+    /// Full-pass union-find scratch: per-flow-position parent pointers
+    /// (see [`Engine::collect_full_components`]).
+    uf_parent: Vec<u32>,
+    /// Full-pass scratch: link index → representative flow position of
+    /// the flows seen crossing it this epoch (valid iff `link_mark`
+    /// carries the current epoch).
+    link_owner: Vec<u32>,
+    /// Full-pass scratch: component sizes accumulated at union-find
+    /// roots, converted in place into the scatter cursors.
+    uf_counts: Vec<u32>,
+    /// Full-pass scratch: unparked flow positions in ascending order,
+    /// collected during the union sweep so the numbering and scatter
+    /// sweeps skip parked entries without touching cold flow state.
+    uf_live: Vec<u32>,
+    /// Topology generation: bumped whenever the component structure's
+    /// inputs change — a flow enters or leaves the table (positions
+    /// shift on `swap_remove`), parks or resumes, or reroutes to a new
+    /// path. Discipline changes and capacity overlays do NOT bump it:
+    /// they change rates, never which flows share links.
+    topo_gen: u64,
+    /// `topo_gen` the cached full partition below was computed at;
+    /// `u64::MAX` = no cached partition.
+    full_gen: u64,
+    /// Cached full-pass partition members (see
+    /// [`Engine::collect_full_components`]): flagship Gurita shifts WRR
+    /// weights with queue loads, so back-to-back discipline-change full
+    /// passes over an unchanged topology are the common case and reuse
+    /// this instead of re-running the union-find sweeps.
+    full_comp: Vec<usize>,
+    /// Cached full-pass partition bounds (pairs with `full_comp`).
+    full_bounds: Vec<usize>,
     /// Flow positions under recomputation, grouped by connected
     /// component: component `c` is `component[comp_bounds[c] ..
     /// comp_bounds[c + 1]]`, each group sorted ascending (scratch).
@@ -848,6 +1058,16 @@ pub struct Engine<'a, F: Fabric> {
     comp_bounds: Vec<usize>,
     /// Rate output buffer for the allocator (scratch).
     rate_buf: Vec<f64>,
+    /// Recycled per-component flow-position buffers for the streamed
+    /// (BFS-overlapped) recompute path (scratch; see
+    /// [`Engine::recompute_streamed`]).
+    comp_pos_bufs: Vec<Vec<usize>>,
+    /// Recycled per-component rate buffers for the streamed path
+    /// (scratch).
+    comp_rate_bufs: Vec<Vec<f64>>,
+    /// Recycled per-chunk sparse `(link, bytes)` accumulators for the
+    /// fanned stats-on advance sweep (scratch).
+    advance_stat_bufs: Vec<Vec<(u32, f64)>>,
     /// Effective intra-run worker count (see [`SimConfig::threads`]).
     threads: usize,
     /// Parked worker threads for parallel recomputation; `None` when
@@ -860,8 +1080,8 @@ pub struct Engine<'a, F: Fabric> {
     worker_alloc: Vec<Mutex<Allocator>>,
     /// Links touched / waterfill passes summed over the most recent
     /// recompute epoch's allocator calls, in component-index order —
-    /// the telemetry view stays coherent whether the epoch ran merged,
-    /// per-component serial, or per-component parallel.
+    /// the telemetry view stays coherent whether the epoch ran
+    /// per-component serial, batch-parallel, or streamed.
     last_alloc_touched: usize,
     last_alloc_passes: u64,
     /// Lazy completion index: predicted finish times keyed by rate stamp.
@@ -946,6 +1166,7 @@ impl<'a, F: Fabric> Engine<'a, F> {
             completed_at: HashMap::new(),
             arena: PathArena::new(),
             flows: Vec::new(),
+            hot: FlowHot::default(),
             flow_pos: FlowPosMap::default(),
             next_flow_id: 0,
             next_coflow_id: 0,
@@ -955,7 +1176,11 @@ impl<'a, F: Fabric> Engine<'a, F> {
             completion_generation: 0,
             dirty: DirtyRates::default(),
             tick_pending: false,
-            link_bytes: HashMap::new(),
+            link_bytes: if config.collect_link_stats {
+                vec![0.0; fabric.num_links()]
+            } else {
+                Vec::new()
+            },
             fault_schedule,
             overlay: FaultOverlay::new(),
             control_timeline,
@@ -966,9 +1191,20 @@ impl<'a, F: Fabric> Engine<'a, F> {
             flow_mark: Vec::new(),
             mark_epoch: 0,
             bfs_stack: Vec::new(),
+            uf_parent: Vec::new(),
+            link_owner: vec![0; fabric.num_links()],
+            uf_counts: Vec::new(),
+            uf_live: Vec::new(),
+            topo_gen: 0,
+            full_gen: u64::MAX,
+            full_comp: Vec::new(),
+            full_bounds: Vec::new(),
             component: Vec::new(),
             comp_bounds: Vec::new(),
             rate_buf: Vec::new(),
+            comp_pos_bufs: Vec::new(),
+            comp_rate_bufs: Vec::new(),
+            advance_stat_bufs: Vec::new(),
             threads,
             pool: (threads > 1).then(|| WorkerPool::new(threads)),
             worker_alloc: Vec::new(),
@@ -1069,7 +1305,17 @@ impl<'a, F: Fabric> Engine<'a, F> {
         self.result.path_arena_hit_rate = self.arena.hit_rate();
         self.result.path_arena_storage_bytes = self.arena.storage_bytes();
         if self.config.collect_link_stats {
-            let mut v: Vec<(usize, f64)> = self.link_bytes.drain().collect();
+            // Dense counters → sparse report: links that never moved a
+            // byte are omitted (as the old hash-map accumulator omitted
+            // links never touched). The stable sort on an index-ordered
+            // input makes equal-byte ties deterministic, index-ascending.
+            let mut v: Vec<(usize, f64)> = self
+                .link_bytes
+                .iter()
+                .enumerate()
+                .filter(|&(_, &b)| b != 0.0)
+                .map(|(l, &b)| (l, b))
+                .collect();
             v.sort_by(|a, b| b.1.partial_cmp(&a.1).expect("byte counts are finite"));
             self.result.link_bytes = v;
         }
@@ -1334,13 +1580,15 @@ impl<'a, F: Fabric> Engine<'a, F> {
                     let Some(pos) = self.flow_pos.remove(rec.id) else {
                         continue;
                     };
-                    let flow = self.flows.swap_remove(pos);
+                    self.flows.swap_remove(pos);
+                    let (_, _, path, _) = self.hot.swap_remove(pos);
+                    self.topo_gen += 1;
                     if let Some(moved) = self.flows.get(pos) {
                         self.flow_pos.insert(moved.id, pos);
                     }
                     // Freed capacity redistributes; stale finish-heap
                     // and link-index entries tombstone via `flow_pos`.
-                    self.dirty.mark_path(self.arena.get(flow.path));
+                    self.dirty.mark_path(self.arena.get(path));
                 }
             }
             self.jobs_state.remove(&id);
@@ -1430,23 +1678,152 @@ impl<'a, F: Fabric> Engine<'a, F> {
         JobPhase::NotSubmitted
     }
 
+    /// Delivered bytes of the open flow at table position `pos`.
+    fn bytes_done(&self, pos: usize) -> f64 {
+        self.flows[pos].size - self.hot.remaining[pos]
+    }
+
+    /// Advances every flow's remaining volume to virtual time `t` at its
+    /// current rate. The `collect_link_stats` branch is hoisted out of
+    /// the per-flow loop into two loop variants, so the (default)
+    /// stats-off path runs the dense [`Engine::advance_span`] kernel
+    /// with zero per-flow branching on the config; both variants fan
+    /// across the worker pool in fixed index-ordered chunks once the
+    /// flow table is large enough to pay for a pool wakeup.
     fn advance_to(&mut self, t: f64) {
         let dt = t - self.now;
-        if dt > 0.0 {
+        if dt > 0.0 && !self.flows.is_empty() {
+            if self.config.collect_link_stats {
+                self.advance_flows_stats(dt);
+            } else {
+                self.advance_flows(dt);
+            }
+        }
+        self.now = t.max(self.now);
+    }
+
+    /// The flow-advance kernel over a span of the SoA block:
+    /// `remaining[i] -= min(rate[i]·dt, remaining[i])` for positive
+    /// finite rates. Written as an unconditional store with a selected
+    /// operand (rather than a conditional store) over two dense `f64`
+    /// lanes, so the loop vectorizes; the select reproduces the
+    /// historical AoS guard bit-for-bit (`x - 0.0` is an f64 identity
+    /// for every non-NaN `x`, including `-0.0`).
+    fn advance_span(rate: &[f64], remaining: &mut [f64], dt: f64) {
+        for (r, rem) in rate.iter().zip(remaining.iter_mut()) {
+            let moved = if *r > 0.0 && r.is_finite() {
+                (*r * dt).min(*rem)
+            } else {
+                0.0
+            };
+            *rem -= moved;
+        }
+    }
+
+    /// Fixed chunk width for the fanned advance sweep: one index-ordered
+    /// chunk per worker, floored so a chunk always carries enough flows
+    /// to outweigh a task claim. Purely a wall-clock heuristic — each
+    /// flow's update is independent of every other's, so chunk
+    /// boundaries (and hence the thread count) cannot change results.
+    fn advance_chunk(n: usize, threads: usize) -> usize {
+        n.div_ceil(threads).max(MIN_ADVANCE_CHUNK)
+    }
+
+    /// Stats-off advance: the branch-free SoA sweep, fanned across the
+    /// pool in fixed index-ordered chunks when the flow table is large
+    /// enough. Every chunk's updates are elementwise-independent, so
+    /// the fan-out is bit-for-bit identical to the serial sweep at any
+    /// thread count.
+    fn advance_flows(&mut self, dt: f64) {
+        let n = self.flows.len();
+        if n >= PAR_MIN_ADVANCE_FLOWS {
+            if let Some(pool) = self.pool.as_ref() {
+                let chunk = Self::advance_chunk(n, self.threads);
+                let rate = &self.hot.rate;
+                // Disjoint per-chunk `remaining` spans; task `c` locks
+                // chunk `c` exactly once, so the mutexes are uncontended
+                // bookkeeping for the borrow checker, not contention
+                // points (same pattern as the component fan-out).
+                let chunks: Vec<Mutex<&mut [f64]>> = self
+                    .hot
+                    .remaining
+                    .chunks_mut(chunk)
+                    .map(Mutex::new)
+                    .collect();
+                let task = |_slot: usize, c: usize| {
+                    let mut rem = chunks[c].lock().expect("chunk lock poisoned");
+                    let s = c * chunk;
+                    Self::advance_span(&rate[s..s + rem.len()], &mut rem, dt);
+                };
+                pool.run(chunks.len(), &task);
+                return;
+            }
+        }
+        Self::advance_span(&self.hot.rate, &mut self.hot.remaining, dt);
+    }
+
+    /// Stats-on advance: the same sweep plus per-link byte accounting
+    /// into the dense `link_bytes` array. The fanned variant records
+    /// each chunk's `(link, bytes)` contributions in flow order into a
+    /// per-chunk sparse accumulator and merges them chunk-by-chunk —
+    /// chunks are index-ordered, so every link sees its additions in
+    /// exactly the serial loop's flow order and the f64 sums are
+    /// bit-for-bit identical at any thread count.
+    fn advance_flows_stats(&mut self, dt: f64) {
+        let n = self.flows.len();
+        let fanned = n >= PAR_MIN_ADVANCE_FLOWS && self.pool.is_some();
+        if fanned {
+            let chunk = Self::advance_chunk(n, self.threads);
+            let nchunks = n.div_ceil(chunk);
+            let outs: Vec<Mutex<Vec<(u32, f64)>>> = (0..nchunks)
+                .map(|_| Mutex::new(self.advance_stat_bufs.pop().unwrap_or_default()))
+                .collect();
+            let rate = &self.hot.rate;
+            let path = &self.hot.path;
             let arena = &self.arena;
-            for f in &mut self.flows {
-                if f.rate > 0.0 && f.rate.is_finite() {
-                    let moved = (f.rate * dt).min(f.remaining);
-                    f.remaining -= moved;
-                    if self.config.collect_link_stats {
-                        for l in arena.get(f.path) {
-                            *self.link_bytes.entry(l.index()).or_insert(0.0) += moved;
+            let chunks: Vec<Mutex<&mut [f64]>> = self
+                .hot
+                .remaining
+                .chunks_mut(chunk)
+                .map(Mutex::new)
+                .collect();
+            let pool = self.pool.as_ref().expect("fanned implies pool");
+            let task = |_slot: usize, c: usize| {
+                let mut rem = chunks[c].lock().expect("chunk lock poisoned");
+                let mut out = outs[c].lock().expect("stat buf lock poisoned");
+                let s = c * chunk;
+                for (i, rem) in rem.iter_mut().enumerate() {
+                    let r = rate[s + i];
+                    if r > 0.0 && r.is_finite() {
+                        let moved = (r * dt).min(*rem);
+                        *rem -= moved;
+                        for l in arena.get(path[s + i]) {
+                            out.push((l.index() as u32, moved));
                         }
+                    }
+                }
+            };
+            pool.run(nchunks, &task);
+            for m in outs {
+                let mut buf = m.into_inner().expect("stat buf lock poisoned");
+                for &(l, b) in &buf {
+                    self.link_bytes[l as usize] += b;
+                }
+                buf.clear();
+                self.advance_stat_bufs.push(buf);
+            }
+        } else {
+            for pos in 0..n {
+                let r = self.hot.rate[pos];
+                if r > 0.0 && r.is_finite() {
+                    let moved = (r * dt).min(self.hot.remaining[pos]);
+                    self.hot.remaining[pos] -= moved;
+                    for l in self.arena.get(self.hot.path[pos]) {
+                        self.link_bytes[l.index()] += moved;
                     }
                 }
             }
         }
-        self.now = t.max(self.now);
     }
 
     fn activate_job(&mut self, id: JobId) -> Result<(), SimError> {
@@ -1543,14 +1920,10 @@ impl<'a, F: Fabric> Engine<'a, F> {
             state.open_flows += 1;
             let flow = FlowState {
                 id: fid,
-                coflow: id,
                 src: fs.src,
                 dst: fs.dst,
-                path,
                 size: fs.bytes,
-                remaining: fs.bytes,
                 queue: 0,
-                rate: 0.0,
                 fresh: true,
                 parked,
                 stamp: 0,
@@ -1558,6 +1931,8 @@ impl<'a, F: Fabric> Engine<'a, F> {
             let pos = self.flows.len();
             self.flow_pos.insert(fid, pos);
             self.flows.push(flow);
+            self.hot.push(0.0, fs.bytes, path, id);
+            self.topo_gen += 1;
             if !parked {
                 // One pass over the interned slice both seeds the dirty
                 // set and indexes the flow under its links.
@@ -1650,7 +2025,11 @@ impl<'a, F: Fabric> Engine<'a, F> {
         let mut parks: Vec<usize> = Vec::new();
         for pos in 0..self.flows.len() {
             let f = &self.flows[pos];
-            if f.parked || !self.overlay.path_is_dead(self.arena.get(f.path)) {
+            if f.parked
+                || !self
+                    .overlay
+                    .path_is_dead(self.arena.get(self.hot.path[pos]))
+            {
                 continue;
             }
             let (fid, src, dst) = (f.id, f.src, f.dst);
@@ -1667,13 +2046,14 @@ impl<'a, F: Fabric> Engine<'a, F> {
             }
         }
         for (pos, path) in reroutes {
-            let old = self.flows[pos].path;
+            let old = self.hot.path[pos];
             self.dirty.mark_path(self.arena.get(old));
-            self.flows[pos].path = path;
+            self.hot.path[pos] = path;
+            self.topo_gen += 1;
             self.dirty.mark_path(self.arena.get(path));
             self.index_flow(pos, true);
             rec.rerouted += 1;
-            let job = self.coflows[&self.flows[pos].coflow].job;
+            let job = self.coflows[&self.hot.coflow[pos]].job;
             self.jobs_state
                 .get_mut(&job)
                 .expect("job active")
@@ -1682,14 +2062,15 @@ impl<'a, F: Fabric> Engine<'a, F> {
         for pos in parks {
             self.rate_stamp += 1;
             let stamp = self.rate_stamp;
-            let path = self.flows[pos].path;
+            let path = self.hot.path[pos];
             self.dirty.mark_path(self.arena.get(path));
+            let was_flowing = self.hot.rate[pos] > FLOWING_EPS;
+            self.hot.rate[pos] = 0.0;
+            let coflow = self.hot.coflow[pos];
             let f = &mut self.flows[pos];
-            let was_flowing = f.rate > FLOWING_EPS;
             f.parked = true;
-            f.rate = 0.0;
+            self.topo_gen += 1;
             f.stamp = stamp; // invalidate any completion-index entry
-            let coflow = f.coflow;
             let fid = f.id;
             rec.parked += 1;
             let job = self.coflows[&coflow].job;
@@ -1722,7 +2103,10 @@ impl<'a, F: Fabric> Engine<'a, F> {
             if !f.parked {
                 continue;
             }
-            if !self.overlay.path_is_dead(self.arena.get(f.path)) {
+            if !self
+                .overlay
+                .path_is_dead(self.arena.get(self.hot.path[pos]))
+            {
                 resumes.push((pos, None));
             } else {
                 let (fid, src, dst) = (f.id, f.src, f.dst);
@@ -1740,13 +2124,13 @@ impl<'a, F: Fabric> Engine<'a, F> {
         }
         for (pos, new_path) in resumes {
             {
-                let f = &mut self.flows[pos];
-                f.parked = false;
+                self.flows[pos].parked = false;
+                self.topo_gen += 1;
                 rec.resumed += 1;
                 if let Some(path) = new_path {
-                    f.path = path;
+                    self.hot.path[pos] = path;
                     rec.rerouted += 1;
-                    let coflow = f.coflow;
+                    let coflow = self.hot.coflow[pos];
                     let job = self.coflows[&coflow].job;
                     self.jobs_state
                         .get_mut(&job)
@@ -1755,17 +2139,16 @@ impl<'a, F: Fabric> Engine<'a, F> {
                 }
             }
             if self.probe.on() {
-                let f = &self.flows[pos];
                 self.probe.emit(&TraceRecord::FlowResume {
                     t: self.now,
-                    flow: f.id.index(),
-                    coflow: f.coflow.index(),
+                    flow: self.flows[pos].id.index(),
+                    coflow: self.hot.coflow[pos].index(),
                     rerouted: new_path.is_some(),
                 });
             }
             // The resumed flow (possibly on a new path) joins the
             // allocation again; its links seed the recomputation.
-            let path = self.flows[pos].path;
+            let path = self.hot.path[pos];
             self.dirty.mark_path(self.arena.get(path));
             self.index_flow(pos, true);
         }
@@ -1802,8 +2185,12 @@ impl<'a, F: Fabric> Engine<'a, F> {
             let mut completed_flow_ids: Vec<FlowId> = self
                 .flows
                 .iter()
-                .filter(|f| f.remaining <= self.config.completion_eps || f.path.is_empty())
-                .map(|f| f.id)
+                .enumerate()
+                .filter(|&(pos, _)| {
+                    self.hot.remaining[pos] <= self.config.completion_eps
+                        || self.hot.path[pos].is_empty()
+                })
+                .map(|(_, f)| f.id)
                 .collect();
             // Also: newly activated coflows may be empty (no flows).
             let empty_coflows: Vec<CoflowId> = self
@@ -1820,15 +2207,14 @@ impl<'a, F: Fabric> Engine<'a, F> {
             for fid in completed_flow_ids {
                 let pos = self.flow_pos.remove(fid).expect("flow indexed");
                 let flow = self.flows.swap_remove(pos);
+                let (rate, _, path, coflow) = self.hot.swap_remove(pos);
+                self.topo_gen += 1;
                 if let Some(moved) = self.flows.get(pos) {
                     self.flow_pos.insert(moved.id, pos);
                 }
                 // Freed capacity redistributes across the flow's links.
-                self.dirty.mark_path(self.arena.get(flow.path));
-                let cf = self
-                    .coflows
-                    .get_mut(&flow.coflow)
-                    .expect("flow's coflow active");
+                self.dirty.mark_path(self.arena.get(path));
+                let cf = self.coflows.get_mut(&coflow).expect("flow's coflow active");
                 let rec = cf
                     .flows
                     .iter_mut()
@@ -1842,7 +2228,7 @@ impl<'a, F: Fabric> Engine<'a, F> {
                 // open, a starvation interval opens here. (If the coflow
                 // completes too, `complete_coflow` closes it at zero
                 // width in the same instant.)
-                if flow.rate > FLOWING_EPS {
+                if rate > FLOWING_EPS {
                     cf.flowing -= 1;
                     if cf.flowing == 0 {
                         cf.starved_since = Some(self.now);
@@ -1855,7 +2241,7 @@ impl<'a, F: Fabric> Engine<'a, F> {
                     self.probe.emit(&TraceRecord::FlowComplete {
                         t: self.now,
                         flow: fid.index(),
-                        coflow: flow.coflow.index(),
+                        coflow: coflow.index(),
                         bytes: flow.size,
                     });
                 }
@@ -1979,7 +2365,7 @@ impl<'a, F: Fabric> Engine<'a, F> {
             for rec in &cf.flows {
                 let done = if rec.open {
                     let pos = self.flow_pos.get(rec.id).expect("open flow indexed");
-                    self.flows[pos].bytes_done()
+                    self.bytes_done(pos)
                 } else {
                     rec.bytes_done
                 };
@@ -2043,7 +2429,7 @@ impl<'a, F: Fabric> Engine<'a, F> {
             for rec in &cf.flows {
                 let done = if rec.open {
                     let pos = self.flow_pos.get(rec.id).expect("open flow indexed");
-                    self.flows[pos].bytes_done()
+                    self.bytes_done(pos)
                 } else {
                     rec.bytes_done
                 };
@@ -2121,8 +2507,7 @@ impl<'a, F: Fabric> Engine<'a, F> {
             })
         } else {
             let obs = self.build_observation();
-            let remaining =
-                |fid: FlowId| self.flow_pos.get(fid).map(|pos| self.flows[pos].remaining);
+            let remaining = |fid: FlowId| self.flow_pos.get(fid).map(|pos| self.hot.remaining[pos]);
             let flow_size = |fid: FlowId| self.flow_pos.get(fid).map(|pos| self.flows[pos].size);
             let oracle = Oracle::new(&self.specs, &remaining, &flow_size);
             self.plane.decide(ControlInput::Global {
@@ -2206,11 +2591,10 @@ impl<'a, F: Fabric> Engine<'a, F> {
                     f.queue = new_queue;
                 }
                 f.fresh = false;
-                let path = f.path;
                 if changed {
                     // A queue change only affects the allocation through
                     // the flow's own links, so they suffice as seeds.
-                    self.dirty.mark_path(self.arena.get(path));
+                    self.dirty.mark_path(self.arena.get(self.hot.path[pos]));
                 }
             }
         }
@@ -2250,9 +2634,8 @@ impl<'a, F: Fabric> Engine<'a, F> {
                         f.queue = new_queue;
                     }
                     f.fresh = false;
-                    let path = f.path;
                     if changed {
-                        self.dirty.mark_path(self.arena.get(path));
+                        self.dirty.mark_path(self.arena.get(self.hot.path[pos]));
                     }
                 }
             }
@@ -2264,7 +2647,7 @@ impl<'a, F: Fabric> Engine<'a, F> {
     /// rerouted path may share links with the stale entry's old path).
     fn index_flow(&mut self, pos: usize, dedup: bool) {
         let fid = self.flows[pos].id;
-        let path = self.flows[pos].path;
+        let path = self.hot.path[pos];
         let arena = &self.arena;
         let link_flows = &mut self.link_flows;
         for l in arena.get(path) {
@@ -2288,59 +2671,28 @@ impl<'a, F: Fabric> Engine<'a, F> {
         self.component.clear();
         self.comp_bounds.clear();
         self.comp_bounds.push(0);
-        self.mark_epoch += 1;
-        let epoch = self.mark_epoch;
-        if self.flow_mark.len() < self.flows.len() {
-            self.flow_mark.resize(self.flows.len(), 0);
-        }
-        self.bfs_stack.clear();
+        let epoch = self.begin_bfs_epoch();
         // Take the seed list out so the BFS below can borrow the rest
         // of `self`; hand the allocation back (cleared) afterwards.
         let seeds = std::mem::take(&mut self.dirty.links);
+        let mut bfs = ComponentBfs {
+            flows: &self.flows,
+            paths: &self.hot.path,
+            flow_pos: &self.flow_pos,
+            arena: &self.arena,
+            link_flows: &mut self.link_flows,
+            flow_mark: &mut self.flow_mark,
+            link_mark: &mut self.link_mark,
+            stack: &mut self.bfs_stack,
+        };
         for &seed in &seeds {
-            if self.link_mark[seed] == epoch {
+            if bfs.link_mark[seed] == epoch {
                 continue; // joins a component already collected
             }
-            self.link_mark[seed] = epoch;
-            self.bfs_stack.push(seed);
-            let start = *self.comp_bounds.last().expect("bounds start at 0");
-            while let Some(li) = self.bfs_stack.pop() {
-                // Take the adjacency list out so we can mutate marks
-                // while validating entries; put the compacted list back.
-                let mut list = std::mem::take(&mut self.link_flows[li]);
-                {
-                    let flows = &self.flows;
-                    let flow_pos = &self.flow_pos;
-                    let arena = &self.arena;
-                    let flow_mark = &mut self.flow_mark;
-                    let link_mark = &mut self.link_mark;
-                    let component = &mut self.component;
-                    let bfs_stack = &mut self.bfs_stack;
-                    list.retain(|fid| {
-                        let Some(pos) = flow_pos.get(*fid) else {
-                            return false; // completed
-                        };
-                        let f = &flows[pos];
-                        let path = arena.get(f.path);
-                        if f.parked || !path.iter().any(|l| l.index() == li) {
-                            return false; // parked or rerouted away
-                        }
-                        if flow_mark[pos] != epoch {
-                            flow_mark[pos] = epoch;
-                            component.push(pos);
-                            for l in path {
-                                let lj = l.index();
-                                if link_mark[lj] != epoch {
-                                    link_mark[lj] = epoch;
-                                    bfs_stack.push(lj);
-                                }
-                            }
-                        }
-                        true
-                    });
-                }
-                self.link_flows[li] = list;
-            }
+            bfs.link_mark[seed] = epoch;
+            bfs.stack.push(seed);
+            let start = self.component.len();
+            bfs.expand(epoch, &mut self.component);
             if self.component.len() > start {
                 // Ascending flow-table order within the component so its
                 // demand sequence is independent of BFS visit order.
@@ -2350,6 +2702,151 @@ impl<'a, F: Fabric> Engine<'a, F> {
         }
         self.dirty.links = seeds;
         self.dirty.links.clear();
+    }
+
+    /// Full-pass variant of [`Engine::collect_component`]: every
+    /// unparked flow joins some component, grouped with the *same
+    /// canonical structure* an incremental pass would discover —
+    /// components ordered by their lowest member position, each group's
+    /// members ascending — so per-component waterfill order is
+    /// canonical regardless of how the pass was triggered, full passes
+    /// reuse the component fan-out, and forced-full runs match
+    /// incremental ones exactly (see DESIGN.md "Hot path &
+    /// complexity").
+    ///
+    /// Unlike the seed-link BFS, a full pass already knows its
+    /// membership (every unparked flow), so grouping needs no adjacency
+    /// lists, no per-entry `flow_pos` validation, and no sorting: three
+    /// linear sweeps over the flow table with an epoch-stamped
+    /// union-find keyed by each flow's own path. Flagship Gurita runs
+    /// make this the hot path — WRR starvation-mitigation weights shift
+    /// with queue loads, so most recomputations are discipline-change
+    /// full passes.
+    ///
+    /// The partition depends only on the topology (which unparked flows
+    /// exist and which links their paths cross), never on disciplines,
+    /// weights, priorities, or capacities — so it is cached under
+    /// [`Engine::topo_gen`] and a discipline-only full pass reuses it
+    /// outright. Debug builds re-derive and compare on every hit, so
+    /// the equivalence suites would catch a missed `topo_gen` bump.
+    fn collect_full_components(&mut self) {
+        if self.full_gen == self.topo_gen {
+            self.component.clear();
+            self.component.extend_from_slice(&self.full_comp);
+            self.comp_bounds.clear();
+            self.comp_bounds.extend_from_slice(&self.full_bounds);
+            #[cfg(debug_assertions)]
+            {
+                let cached_comp = std::mem::take(&mut self.component);
+                let cached_bounds = std::mem::take(&mut self.comp_bounds);
+                self.compute_full_partition();
+                debug_assert_eq!(
+                    cached_comp, self.component,
+                    "stale full-partition cache: a topology mutation missed topo_gen"
+                );
+                debug_assert_eq!(
+                    cached_bounds, self.comp_bounds,
+                    "stale full-partition cache: a topology mutation missed topo_gen"
+                );
+            }
+            return;
+        }
+        self.compute_full_partition();
+        self.full_comp.clone_from(&self.component);
+        self.full_bounds.clone_from(&self.comp_bounds);
+        self.full_gen = self.topo_gen;
+    }
+
+    /// Derives the canonical full partition into `component` /
+    /// `comp_bounds` (see [`Engine::collect_full_components`]).
+    fn compute_full_partition(&mut self) {
+        let n = self.flows.len();
+        debug_assert!(n < u32::MAX as usize, "flow positions fit u32");
+        self.mark_epoch += 1;
+        let epoch = self.mark_epoch;
+        // Sweep 1: union each flow with the flows sharing its links.
+        // `link_owner[li]` caches a root position for link `li` this
+        // epoch (validity gated by `link_mark`). Unions attach the
+        // larger root under the smaller, so every root is its
+        // component's lowest member and `uf_counts` accumulates
+        // component sizes at the roots. Live positions are collected
+        // once (`uf_live`) so the later sweeps skip the parked checks.
+        self.uf_parent.clear();
+        self.uf_parent.extend(0..n as u32);
+        self.uf_counts.clear();
+        self.uf_counts.resize(n, 1);
+        self.uf_live.clear();
+        for pos in 0..n {
+            if self.flows[pos].parked {
+                continue;
+            }
+            self.uf_live.push(pos as u32);
+            // Unions only ever touch already-visited positions, so this
+            // flow is still its own root when first reached.
+            debug_assert_eq!(self.uf_parent[pos], pos as u32);
+            let mut root = pos as u32;
+            for l in self.arena.get(self.hot.path[pos]) {
+                let li = l.index();
+                if self.link_mark[li] == epoch {
+                    let other = uf_find(&mut self.uf_parent, self.link_owner[li]);
+                    if other != root {
+                        if other < root {
+                            self.uf_parent[root as usize] = other;
+                            self.uf_counts[other as usize] += self.uf_counts[root as usize];
+                            root = other;
+                        } else {
+                            self.uf_parent[other as usize] = root;
+                            self.uf_counts[root as usize] += self.uf_counts[other as usize];
+                        }
+                    }
+                    // Refresh the owner to the merged root: later flows
+                    // on this link then resolve it in O(1).
+                    self.link_owner[li] = root;
+                } else {
+                    self.link_mark[li] = epoch;
+                    self.link_owner[li] = root;
+                }
+            }
+        }
+        // Sweep 2: roots are exactly the positions still parenting
+        // themselves; scanning the live list ascending numbers
+        // components by lowest member with no `find` at all. Each
+        // root's count slot becomes its component's scatter cursor.
+        self.comp_bounds.clear();
+        self.comp_bounds.push(0);
+        let mut acc = 0usize;
+        for i in 0..self.uf_live.len() {
+            let pos = self.uf_live[i] as usize;
+            if self.uf_parent[pos] == pos as u32 {
+                let start = acc;
+                acc += self.uf_counts[pos] as usize;
+                self.uf_counts[pos] = start as u32;
+                self.comp_bounds.push(acc);
+            }
+        }
+        debug_assert_eq!(acc, self.uf_live.len());
+        // Sweep 3: scatter positions into their root's segment; the
+        // ascending scan keeps each group's members ascending.
+        self.component.clear();
+        self.component.resize(acc, 0);
+        for i in 0..self.uf_live.len() {
+            let pos = self.uf_live[i];
+            let root = uf_find(&mut self.uf_parent, pos) as usize;
+            let cur = self.uf_counts[root] as usize;
+            self.component[cur] = pos as usize;
+            self.uf_counts[root] = cur as u32 + 1;
+        }
+    }
+
+    /// Bumps the shared mark epoch and readies the BFS scratch
+    /// (flow-mark table sized to the flow table, empty stack).
+    fn begin_bfs_epoch(&mut self) -> u64 {
+        self.mark_epoch += 1;
+        if self.flow_mark.len() < self.flows.len() {
+            self.flow_mark.resize(self.flows.len(), 0);
+        }
+        self.bfs_stack.clear();
+        self.mark_epoch
     }
 
     /// Drops invalidated completion-index entries once garbage dominates,
@@ -2396,33 +2893,13 @@ impl<'a, F: Fabric> Engine<'a, F> {
         // flow everywhere: incremental seeds are insufficient, fall back
         // to a full pass.
         let full = full_requested || self.last_discipline.as_ref() != Some(&discipline);
-        if full {
-            self.dirty.links.clear();
-            self.component.clear();
-            // Parked flows hold at zero rate and must stay out of the
-            // allocation entirely: an empty or dead path in the demand
-            // set would otherwise grab an unconstrained (infinite) rate.
-            for (pos, f) in self.flows.iter().enumerate() {
-                if !f.parked {
-                    self.component.push(pos);
-                }
-            }
-            // A full pass is one merged waterfill: there is no seed
-            // structure to partition by, and a discipline change
-            // re-weights every flow globally, so the merged serial
-            // allocation is the reference (see DESIGN.md).
-            self.comp_bounds.clear();
-            self.comp_bounds.push(0);
-            self.comp_bounds.push(self.component.len());
-            if self.probe.on() {
+        if self.probe.on() {
+            if full {
                 self.probe.full_passes += 1;
-            }
-        } else {
-            if self.probe.on() {
+            } else {
                 self.probe.incremental_passes += 1;
                 self.probe.seed_links += self.dirty.links.len() as u64;
             }
-            self.collect_component();
         }
         self.last_discipline = Some(discipline.clone());
         self.rate_stamp += 1;
@@ -2432,95 +2909,117 @@ impl<'a, F: Fabric> Engine<'a, F> {
             // before parking in exotic orderings; pin them to zero as
             // the pre-incremental engine did.
             for pos in 0..self.flows.len() {
-                let (was_flowing, cid) = {
-                    let f = &mut self.flows[pos];
-                    if !f.parked {
-                        continue;
-                    }
-                    let was = f.rate > FLOWING_EPS;
-                    f.rate = 0.0;
-                    f.stamp = stamp;
-                    (was, f.coflow)
-                };
+                if !self.flows[pos].parked {
+                    continue;
+                }
+                let was_flowing = self.hot.rate[pos] > FLOWING_EPS;
+                self.hot.rate[pos] = 0.0;
+                self.flows[pos].stamp = stamp;
                 if was_flowing {
+                    let cid = self.hot.coflow[pos];
                     self.coflow_rate_transition(cid, false);
+                }
+            }
+        }
+        // Component discovery + allocation. Incremental passes with a
+        // pool and enough seed links stream the (expensive, adjacency-
+        // validating) BFS against the waterfill workers — the caller
+        // discovers component i+1 while workers allocate component i.
+        // Full passes never stream: their union-find grouping is a few
+        // linear sweeps (no adjacency work to hide, and a later flow
+        // can merge two earlier groups, so no component is final until
+        // the union sweep ends); they batch-collect and then fan or
+        // loop like any other pass. Both orders produce the same
+        // `component` / `comp_bounds` / `rate_buf` triple bit-for-bit.
+        let streamed = !full && self.pool.is_some() && self.dirty.links.len() >= PAR_MIN_SEED_LINKS;
+        if streamed {
+            self.recompute_streamed(&discipline);
+        } else {
+            if full {
+                self.dirty.links.clear();
+                self.collect_full_components();
+            } else {
+                self.collect_component();
+            }
+            if self.component.is_empty() {
+                return;
+            }
+            self.rate_buf.clear();
+            self.rate_buf.resize(self.component.len(), 0.0);
+            let ncomp = self.comp_bounds.len() - 1;
+            if ncomp == 1 {
+                // One component: a single waterfill, on the engine's own
+                // allocator — identical at every thread count.
+                let view = FlowDemandView {
+                    flows: &self.flows,
+                    paths: &self.hot.path,
+                    subset: &self.component,
+                    arena: &self.arena,
+                };
+                let fabric = self.fabric;
+                let overlay = &self.overlay;
+                self.allocator.allocate_into(
+                    &view,
+                    |l| fabric.link_capacity(l) * overlay.scale(l),
+                    &discipline,
+                    &mut self.rate_buf,
+                );
+                self.last_alloc_touched = self.allocator.last_touched_links();
+                self.last_alloc_passes = self.allocator.last_waterfill_passes();
+            } else if self.pool.is_some() && self.component.len() >= PAR_MIN_FLOWS {
+                self.recompute_components_parallel(&discipline);
+            } else {
+                // Per-component serial loop: the reference the parallel
+                // branches must match bit-for-bit. Components are
+                // disjoint in both flows and links, so each call's
+                // inputs — and hence its output rates — are independent
+                // of the other components entirely.
+                self.last_alloc_touched = 0;
+                self.last_alloc_passes = 0;
+                let fabric = self.fabric;
+                for c in 0..ncomp {
+                    let (s, e) = (self.comp_bounds[c], self.comp_bounds[c + 1]);
+                    let view = FlowDemandView {
+                        flows: &self.flows,
+                        paths: &self.hot.path,
+                        subset: &self.component[s..e],
+                        arena: &self.arena,
+                    };
+                    let overlay = &self.overlay;
+                    self.allocator.allocate_into(
+                        &view,
+                        |l| fabric.link_capacity(l) * overlay.scale(l),
+                        &discipline,
+                        &mut self.rate_buf[s..e],
+                    );
+                    self.last_alloc_touched += self.allocator.last_touched_links();
+                    self.last_alloc_passes += self.allocator.last_waterfill_passes();
                 }
             }
         }
         if self.component.is_empty() {
             return;
         }
-        self.rate_buf.clear();
-        self.rate_buf.resize(self.component.len(), 0.0);
         let ncomp = self.comp_bounds.len() - 1;
-        if ncomp == 1 {
-            // One component (or a full pass): a single waterfill, on
-            // the engine's own allocator — identical at every thread
-            // count.
-            let view = FlowDemandView {
-                flows: &self.flows,
-                subset: &self.component,
-                arena: &self.arena,
-            };
-            let fabric = self.fabric;
-            let overlay = &self.overlay;
-            self.allocator.allocate_into(
-                &view,
-                |l| fabric.link_capacity(l) * overlay.scale(l),
-                &discipline,
-                &mut self.rate_buf,
-            );
-            self.last_alloc_touched = self.allocator.last_touched_links();
-            self.last_alloc_passes = self.allocator.last_waterfill_passes();
-        } else if self.pool.is_some() && self.component.len() >= PAR_MIN_FLOWS {
-            self.recompute_components_parallel(&discipline);
-        } else {
-            // Per-component serial loop: the reference the parallel
-            // branch must match bit-for-bit. Components are disjoint in
-            // both flows and links, so each call's inputs — and hence
-            // its output rates — are independent of the other
-            // components entirely.
-            self.last_alloc_touched = 0;
-            self.last_alloc_passes = 0;
-            let fabric = self.fabric;
-            for c in 0..ncomp {
-                let (s, e) = (self.comp_bounds[c], self.comp_bounds[c + 1]);
-                let view = FlowDemandView {
-                    flows: &self.flows,
-                    subset: &self.component[s..e],
-                    arena: &self.arena,
-                };
-                let overlay = &self.overlay;
-                self.allocator.allocate_into(
-                    &view,
-                    |l| fabric.link_capacity(l) * overlay.scale(l),
-                    &discipline,
-                    &mut self.rate_buf[s..e],
-                );
-                self.last_alloc_touched += self.allocator.last_touched_links();
-                self.last_alloc_passes += self.allocator.last_waterfill_passes();
-            }
-        }
         if self.probe.on() {
             self.probe.component_calls += ncomp as u64;
         }
         for i in 0..self.component.len() {
             let pos = self.component[i];
-            let (was_flowing, is_flowing, cid) = {
-                let f = &mut self.flows[pos];
-                let was = f.rate > FLOWING_EPS;
-                f.rate = self.rate_buf[i];
-                f.stamp = stamp;
-                if f.rate > 1e-15 && f.rate.is_finite() {
-                    self.finish_heap.push(FinishCand {
-                        time: self.now + f.remaining / f.rate,
-                        flow: f.id,
-                        stamp,
-                    });
-                }
-                (was, f.rate > FLOWING_EPS, f.coflow)
-            };
+            let rate = self.rate_buf[i];
+            let was_flowing = self.hot.rate[pos] > FLOWING_EPS;
+            self.hot.rate[pos] = rate;
+            self.flows[pos].stamp = stamp;
+            if rate > 1e-15 && rate.is_finite() {
+                self.finish_heap.push(FinishCand {
+                    time: self.now + self.hot.remaining[pos] / rate,
+                    flow: self.flows[pos].id,
+                    stamp,
+                });
+            }
+            let is_flowing = rate > FLOWING_EPS;
             if was_flowing != is_flowing {
+                let cid = self.hot.coflow[pos];
                 self.coflow_rate_transition(cid, is_flowing);
             }
         }
@@ -2562,6 +3061,7 @@ impl<'a, F: Fabric> Engine<'a, F> {
             spans.push(Mutex::new((head, 0, 0)));
         }
         let flows = &self.flows;
+        let paths = &self.hot.path;
         let arena = &self.arena;
         let overlay = &self.overlay;
         let component = &self.component;
@@ -2573,6 +3073,7 @@ impl<'a, F: Fabric> Engine<'a, F> {
             let (s, e) = (bounds[c], bounds[c + 1]);
             let view = FlowDemandView {
                 flows,
+                paths,
                 subset: &component[s..e],
                 arena,
             };
@@ -2604,6 +3105,181 @@ impl<'a, F: Fabric> Engine<'a, F> {
         if self.probe.on() {
             self.probe.parallel_epochs += 1;
         }
+    }
+
+    /// Streamed incremental recompute: overlaps component *discovery*
+    /// with component *allocation*. The caller thread runs the
+    /// seed-link BFS (it owns the mutable marks and `link_flows`
+    /// compaction) and hands each finished component through a queue to
+    /// the pool workers, which waterfill it into a recycled buffer
+    /// while the caller is already discovering the next one. After the
+    /// BFS finishes the caller drains the queue too (as worker slot 0).
+    /// Full passes never come here — their union-find grouping has no
+    /// discovery cost worth hiding (see
+    /// [`Engine::collect_full_components`]).
+    ///
+    /// Determinism: components get their index in discovery order —
+    /// the same order the batch collectors produce — and results are
+    /// sorted by that index before `component` / `comp_bounds` /
+    /// `rate_buf` are assembled, so the triple is byte-identical to the
+    /// batch path's regardless of which worker ran which component
+    /// when. Each waterfill is the same pure per-component call.
+    fn recompute_streamed(&mut self, discipline: &Discipline) {
+        let epoch = self.begin_bfs_epoch();
+        let fabric = self.fabric;
+        if self.worker_alloc.len() < self.threads {
+            self.worker_alloc.resize_with(self.threads, || {
+                Mutex::new(Allocator::new(fabric.num_links()))
+            });
+        }
+        let seeds = std::mem::take(&mut self.dirty.links);
+        // Recycled membership / rate buffers ride along inside the jobs
+        // and come back via the results, so steady state allocates
+        // nothing.
+        let pos_pool = Mutex::new(std::mem::take(&mut self.comp_pos_bufs));
+        let rate_pool = Mutex::new(std::mem::take(&mut self.comp_rate_bufs));
+        let queue: Mutex<(VecDeque<CompJob>, bool)> = Mutex::new((VecDeque::new(), false));
+        let ready = Condvar::new();
+        let results: Mutex<Vec<CompResult>> = Mutex::new(Vec::new());
+        {
+            let flows = &self.flows;
+            let paths = &self.hot.path;
+            let arena = &self.arena;
+            let overlay = &self.overlay;
+            let scratch = &self.worker_alloc;
+            let (queue, ready, results) = (&queue, &ready, &results);
+            // Each of the `threads` tasks is a drain loop: pop a
+            // component, waterfill it, repeat until the queue is closed
+            // and empty.
+            let task = |slot: usize, _task: usize| loop {
+                let job = {
+                    let mut st = queue.lock().expect("component queue poisoned");
+                    loop {
+                        if let Some(j) = st.0.pop_front() {
+                            break Some(j);
+                        }
+                        if st.1 {
+                            break None;
+                        }
+                        st = ready.wait(st).expect("component queue poisoned");
+                    }
+                };
+                let Some(mut job) = job else { return };
+                job.rates.clear();
+                job.rates.resize(job.positions.len(), 0.0);
+                let view = FlowDemandView {
+                    flows,
+                    paths,
+                    subset: &job.positions,
+                    arena,
+                };
+                let mut alloc = scratch[slot].lock().expect("worker scratch poisoned");
+                alloc.allocate_into(
+                    &view,
+                    |l| fabric.link_capacity(l) * overlay.scale(l),
+                    discipline,
+                    &mut job.rates,
+                );
+                let (touched, passes) = (alloc.last_touched_links(), alloc.last_waterfill_passes());
+                drop(alloc);
+                results.lock().expect("results poisoned").push(CompResult {
+                    index: job.index,
+                    positions: job.positions,
+                    rates: job.rates,
+                    touched,
+                    passes,
+                });
+            };
+            let mut bfs = ComponentBfs {
+                flows,
+                paths,
+                flow_pos: &self.flow_pos,
+                arena,
+                link_flows: &mut self.link_flows,
+                flow_mark: &mut self.flow_mark,
+                link_mark: &mut self.link_mark,
+                stack: &mut self.bfs_stack,
+            };
+            let (pos_pool, rate_pool, seeds) = (&pos_pool, &rate_pool, &seeds);
+            let produce = move || {
+                // Close the queue even if discovery unwinds — blocked
+                // workers must terminate for run_with to return.
+                let _close = CloseOnDrop { queue, ready };
+                let mut next = 0usize;
+                let mut emit = |positions: Vec<usize>| {
+                    let rates = rate_pool
+                        .lock()
+                        .expect("rate pool poisoned")
+                        .pop()
+                        .unwrap_or_default();
+                    let mut st = queue.lock().expect("component queue poisoned");
+                    st.0.push_back(CompJob {
+                        index: next,
+                        positions,
+                        rates,
+                    });
+                    next += 1;
+                    drop(st);
+                    ready.notify_one();
+                };
+                let take_buf = || {
+                    let mut b: Vec<usize> = pos_pool
+                        .lock()
+                        .expect("pos pool poisoned")
+                        .pop()
+                        .unwrap_or_default();
+                    b.clear();
+                    b
+                };
+                for &seed in seeds {
+                    if bfs.link_mark[seed] == epoch {
+                        continue; // joins a component already collected
+                    }
+                    bfs.link_mark[seed] = epoch;
+                    bfs.stack.push(seed);
+                    let mut out = take_buf();
+                    bfs.expand(epoch, &mut out);
+                    if out.is_empty() {
+                        pos_pool.lock().expect("pos pool poisoned").push(out);
+                        continue;
+                    }
+                    out.sort_unstable();
+                    emit(out);
+                }
+            };
+            let pool = self.pool.as_ref().expect("caller checked");
+            pool.run_with(self.threads, &task, produce);
+            if self.probe.on() {
+                self.probe.parallel_epochs += 1;
+            }
+        }
+        self.dirty.links = seeds;
+        self.dirty.links.clear();
+        // Assemble in discovery order: byte-identical to the batch path.
+        let mut results = results.into_inner().expect("results poisoned");
+        results.sort_unstable_by_key(|r| r.index);
+        self.component.clear();
+        self.comp_bounds.clear();
+        self.comp_bounds.push(0);
+        self.rate_buf.clear();
+        self.last_alloc_touched = 0;
+        self.last_alloc_passes = 0;
+        let mut pos_bufs = pos_pool.into_inner().expect("pos pool poisoned");
+        let mut rate_bufs = rate_pool.into_inner().expect("rate pool poisoned");
+        for r in results {
+            self.component.extend_from_slice(&r.positions);
+            self.rate_buf.extend_from_slice(&r.rates);
+            self.comp_bounds.push(self.component.len());
+            self.last_alloc_touched += r.touched;
+            self.last_alloc_passes += r.passes;
+            let (mut p, mut rt) = (r.positions, r.rates);
+            p.clear();
+            rt.clear();
+            pos_bufs.push(p);
+            rate_bufs.push(rt);
+        }
+        self.comp_pos_bufs = pos_bufs;
+        self.comp_rate_bufs = rate_bufs;
     }
 
     /// Starvation-watch bookkeeping: one flow of `cid` crossed the
@@ -2662,16 +3338,17 @@ impl<'a, F: Fabric> Engine<'a, F> {
         let mut queue_rate = vec![0.0f64; nq];
         let mut parked_flows = 0usize;
         let mut link_rate: HashMap<usize, f64> = HashMap::new();
-        for f in &self.flows {
+        for (pos, f) in self.flows.iter().enumerate() {
             if f.parked {
                 parked_flows += 1;
                 continue;
             }
             queue_occupancy[f.queue] += 1;
-            if f.rate > FLOWING_EPS && f.rate.is_finite() {
-                queue_rate[f.queue] += f.rate;
-                for l in self.arena.get(f.path) {
-                    *link_rate.entry(l.index()).or_insert(0.0) += f.rate;
+            let rate = self.hot.rate[pos];
+            if rate > FLOWING_EPS && rate.is_finite() {
+                queue_rate[f.queue] += rate;
+                for l in self.arena.get(self.hot.path[pos]) {
+                    *link_rate.entry(l.index()).or_insert(0.0) += rate;
                 }
             }
         }
@@ -2751,9 +3428,8 @@ impl<'a, F: Fabric> Engine<'a, F> {
         while let Some(top) = self.finish_heap.peek() {
             match self.flow_pos.get(top.flow) {
                 Some(pos) if self.flows[pos].stamp == top.stamp => {
-                    let f = &self.flows[pos];
-                    debug_assert!(f.rate > 1e-15);
-                    t_next = self.now + f.remaining / f.rate;
+                    debug_assert!(self.hot.rate[pos] > 1e-15);
+                    t_next = self.now + self.hot.remaining[pos] / self.hot.rate[pos];
                     break;
                 }
                 _ => {
@@ -2811,6 +3487,55 @@ mod tests {
 
     fn big_switch_sim() -> Simulation<BigSwitch> {
         Simulation::new(BigSwitch::new(8, 1.0 * MB), SimConfig::default())
+    }
+
+    #[test]
+    fn fanned_advance_matches_serial_with_link_stats() {
+        // More open flows than `PAR_MIN_ADVANCE_FLOWS` so the chunked
+        // advance sweep engages, with link stats on so the
+        // chunk-ordered per-link byte merge sits on the hot path; as
+        // completions drain the table below the threshold the serial
+        // sweep takes over, so one run crosses both variants. The
+        // fanned run must reproduce the serial `RunResult` — including
+        // `link_bytes` — byte for byte.
+        let hosts = 64;
+        let n = PAR_MIN_ADVANCE_FLOWS + 200;
+        let flows: Vec<FlowSpec> = (0..n)
+            .map(|i| {
+                let src = i % hosts;
+                let mut dst = (i * 7 + 1) % hosts;
+                if dst == src {
+                    dst = (dst + 1) % hosts;
+                }
+                let bytes = (1.0 + (i % 97) as f64 * 0.13) * MB;
+                FlowSpec::new(HostId(src), HostId(dst), bytes)
+            })
+            .collect();
+        let job = JobSpec::new(
+            0,
+            0.0,
+            vec![CoflowSpec::new(flows)],
+            JobDag::chain(1).unwrap(),
+        )
+        .unwrap();
+        let run = |threads: usize| {
+            let mut sim = Simulation::new(
+                BigSwitch::new(hosts, 1.0 * MB),
+                SimConfig {
+                    threads,
+                    collect_link_stats: true,
+                    ..SimConfig::default()
+                },
+            );
+            sim.run(vec![job.clone()], &mut FifoScheduler::new(1))
+        };
+        let serial = run(1);
+        let fanned = run(4);
+        assert!(!serial.link_bytes.is_empty(), "link stats were collected");
+        assert!(
+            serial == fanned,
+            "fanned advance diverged from the serial sweep"
+        );
     }
 
     #[test]

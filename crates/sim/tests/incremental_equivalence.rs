@@ -1,15 +1,19 @@
 //! Property test: component-incremental rate recomputation must agree
 //! with the from-scratch full pass (`SimConfig::force_full_recompute`)
-//! on every completion time to 1e-9 relative — under strict-priority
-//! and weighted-round-robin queue policies, and across fault-overlay
+//! on every completion time — under strict-priority and
+//! weighted-round-robin queue policies, and across fault-overlay
 //! capacity changes (brownouts, degradations, hard failures) injected
 //! mid-run.
 //!
-//! The two modes are *not* expected to be bitwise identical: the
-//! waterfill's stale-candidate recheck compares against the global heap
-//! top, which couples freeze order across otherwise independent
-//! components at exact floating-point ties. The drift is ULP-level;
-//! this test pins the much stronger-than-needed 1e-9 bound.
+//! Since PR 9 the two modes share one canonical allocation shape — one
+//! waterfill call per connected flow↔link component, whether the pass
+//! re-waterfills everything or only the dirty components — so each
+//! component's demand set is identical in both modes and the agreement
+//! is **bitwise**: the old merged full pass (whose EPS-slack
+//! stale-candidate recheck coupled freeze order across components at
+//! exact floating-point ties, bounding agreement at ~1e-9 relative) is
+//! gone. `check_equivalent` asserts exact equality accordingly; the
+//! relative form is kept for the error messages' readability.
 
 use gurita_model::{units::MB, CoflowSpec, FlowSpec, HostId, JobDag, JobSpec};
 use gurita_sim::faults::{FaultEvent, FaultSchedule};
@@ -131,11 +135,11 @@ fn run_one(jobs: &[JobSpec], faults: &FaultSchedule, wrr: bool, full: bool) -> R
 }
 
 fn rel_close(a: f64, b: f64) -> bool {
-    (a - b).abs() <= 1e-9 * a.abs().max(b.abs()).max(1.0)
+    a.to_bits() == b.to_bits()
 }
 
-/// Asserts the two runs completed the same jobs/coflows at times equal
-/// to 1e-9 relative. Returns an error message for `prop_assert!`-style
+/// Asserts the two runs completed the same jobs/coflows at bit-for-bit
+/// equal times. Returns an error message for `prop_assert!`-style
 /// reporting.
 fn check_equivalent(inc: &RunResult, full: &RunResult) -> Result<(), String> {
     if inc.jobs.len() != full.jobs.len() || inc.coflows.len() != full.coflows.len() {

@@ -11,7 +11,10 @@
 # core; the online phase reads the variable directly); results are
 # bit-for-bit identical at any setting, so this is purely a wall-time
 # knob. The per-phase thread count is recorded in
-# results/phase_times.txt so snapshots are comparable.
+# results/phase_times.txt so snapshots are comparable. Note: wall
+# times from before the PR 9 SoA hot-state layout (CHANGELOG
+# "Hot-loop overhaul") are not comparable to later snapshots — the
+# engine's advance/full-pass cost model changed.
 set -euo pipefail
 cd "$(dirname "$0")"
 BIN=./target/release

@@ -64,12 +64,35 @@ fn run_once(
     threads: usize,
     telemetry: bool,
 ) -> RunResult {
+    run_once_cfg(
+        kind,
+        jobs,
+        faults,
+        control_latency,
+        threads,
+        telemetry,
+        false,
+    )
+}
+
+#[allow(clippy::too_many_arguments)]
+fn run_once_cfg(
+    kind: SchedulerKind,
+    jobs: &[JobSpec],
+    faults: &FaultSchedule,
+    control_latency: f64,
+    threads: usize,
+    telemetry: bool,
+    force_full: bool,
+) -> RunResult {
     let mut sim = Simulation::new(
         FatTree::new(8).unwrap(),
         SimConfig {
             control_latency,
             threads,
             telemetry: telemetry.then(TelemetryConfig::default),
+            force_full_recompute: force_full,
+            collect_link_stats: force_full, // exercise byte accounting too
             ..SimConfig::default()
         },
     );
@@ -123,6 +146,46 @@ proptest! {
                 serial == parallel,
                 "threads={threads} diverged from serial for {kind:?} \
                  (latency {latency}, faults {with_faults}, telemetry {telemetry})"
+            );
+        }
+    }
+
+    /// Same contract with `force_full_recompute` on: every event now
+    /// triggers a *full* pass, which since PR 9 flows through the same
+    /// per-component collection and fan-out as incremental epochs (the
+    /// pool fans components or streams the discovery BFS against the
+    /// waterfill). `collect_link_stats` rides along so the fanned
+    /// advance's chunk-ordered byte merge is pinned on the same runs.
+    /// Crosses SPQ-based Gurita, the WRR ablation, and decentralized
+    /// Gurita@local with mid-run faults — threads {2, 4, 8} must stay
+    /// bit-for-bit equal to serial.
+    #[test]
+    fn forced_full_passes_match_serial_bitwise(
+        seed in 0u64..1_000,
+        jobs in 6usize..12,
+        kind_idx in 0usize..3,
+        with_faults in 0usize..2,
+    ) {
+        let with_faults = with_faults == 1;
+        let kinds = [
+            SchedulerKind::Gurita,
+            SchedulerKind::GuritaSpq,
+            SchedulerKind::GuritaLocal,
+        ];
+        let kind = kinds[kind_idx];
+        let jobs = workload(jobs, seed);
+        let faults = if with_faults {
+            chaos_schedule()
+        } else {
+            FaultSchedule::new()
+        };
+        let serial = run_once_cfg(kind, &jobs, &faults, 0.0, 1, false, true);
+        for threads in [2usize, 4, 8] {
+            let parallel = run_once_cfg(kind, &jobs, &faults, 0.0, threads, false, true);
+            prop_assert!(
+                serial == parallel,
+                "forced-full threads={threads} diverged from serial for {kind:?} \
+                 (faults {with_faults})"
             );
         }
     }
