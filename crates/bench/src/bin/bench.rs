@@ -27,6 +27,7 @@ use gurita_experiments::scenario::Scenario;
 use gurita_experiments::{args, report};
 use gurita_model::HostId;
 use gurita_sim::bandwidth::{allocate, Allocator, Demand, Discipline};
+use gurita_sim::metrics::{MetricsConfig, MetricsSink};
 use gurita_sim::runtime::{SimConfig, Simulation};
 use gurita_sim::telemetry::{NullSink, TelemetryConfig};
 use gurita_sim::topology::{Fabric, FatTree, LinkId};
@@ -99,6 +100,13 @@ struct LargeBench {
     events_per_sec_telemetry: f64,
     /// Trace records the armed run emitted.
     telemetry_records: u64,
+    /// Same run with a live [`MetricsSink`] armed — the full
+    /// aggregation cost (category lookup, histogram binning, atomic
+    /// updates) the daemon pays for live metrics. Results are asserted
+    /// bit-for-bit identical; CI gates the aggregation within 3% of
+    /// `events_per_sec_telemetry`, the armed discard-sink baseline
+    /// (see `bench-smoke`).
+    events_per_sec_metrics: f64,
     /// Same run with the intra-run component pool armed
     /// (`SimConfig::threads = 0`, one worker per available core).
     /// Results are asserted bit-for-bit identical to the serial run.
@@ -201,6 +209,34 @@ fn large_bench() -> LargeBench {
         result == traced_result,
         "telemetry must not change the result"
     );
+    // Armed-metrics A/B: the daemon's live-aggregation path — every
+    // lifecycle record folded into lock-free histograms/counters as it
+    // streams. Pins both the <3% overhead budget (gated in CI) and the
+    // purely-observational contract at gate scale.
+    let registry = std::sync::Arc::new(gurita_metrics::Registry::new());
+    let mut metrics_sink = MetricsSink::new(
+        &registry,
+        MetricsConfig {
+            ref_bandwidth: 1.25e9,
+        },
+    );
+    let (metrics_result, metrics_tp) = timed_run(|| {
+        let fabric = FatTree::new(scenario.pods).expect("valid pods");
+        let mut sim = Simulation::new(
+            fabric,
+            SimConfig {
+                tick_interval: scenario.tick_interval,
+                telemetry: Some(TelemetryConfig::default()),
+                ..SimConfig::default()
+            },
+        );
+        let mut sched = SchedulerKind::Gurita.build();
+        sim.run_traced(jobs.clone(), sched.as_mut(), &mut metrics_sink)
+    });
+    assert!(
+        result == metrics_result,
+        "live metrics aggregation must not change the result"
+    );
     LargeBench {
         scenario: scenario.name.clone(),
         pods: scenario.pods,
@@ -212,6 +248,7 @@ fn large_bench() -> LargeBench {
         events_per_sec_binary_heap: heap_tp.events_per_sec,
         events_per_sec_telemetry: traced_tp.events_per_sec,
         telemetry_records: sink.records,
+        events_per_sec_metrics: metrics_tp.events_per_sec,
         events_per_sec_parallel: par_tp.events_per_sec,
         parallel_speedup: if tp.events_per_sec > 0.0 {
             par_tp.events_per_sec / tp.events_per_sec
@@ -587,7 +624,7 @@ fn main() {
     println!(
         "large ({} pods, {} jobs): {} events in {:.3}s -> {:.0} events/sec \
          (binary heap: {:.0}, telemetry armed: {:.0} over {} records, \
-         parallel x{}: {:.0} = {:.2}x), \
+         metrics armed: {:.0}, parallel x{}: {:.0} = {:.2}x), \
          arena {} unique / {:.1} KiB, peak RSS {:.1} MiB",
         rep.large.pods,
         rep.large.jobs,
@@ -597,6 +634,7 @@ fn main() {
         rep.large.events_per_sec_binary_heap,
         rep.large.events_per_sec_telemetry,
         rep.large.telemetry_records,
+        rep.large.events_per_sec_metrics,
         rep.large.threads_used,
         rep.large.events_per_sec_parallel,
         rep.large.parallel_speedup,

@@ -27,8 +27,12 @@ use std::time::Instant;
 /// flow-advance sweep microbenchmark over the engine's SoA hot-state
 /// layout, with a pre-PR-9 AoS layout A/B alongside (labels `soa`,
 /// `aos`, `aos_over_soa`) — CI gates on the `soa` entry regressing
-/// less than 10% against the committed baseline.
-pub const BENCH_SCHEMA_VERSION: u32 = 4;
+/// less than 10% against the committed baseline. v5 added the large
+/// gate's `events_per_sec_metrics`: the event loop with a live
+/// `MetricsSink` armed (the daemon's aggregation path) — CI gates the
+/// aggregation's overhead against `events_per_sec_telemetry` (the
+/// armed discard-sink baseline) at <3%.
+pub const BENCH_SCHEMA_VERSION: u32 = 5;
 
 /// Benchmark-scale figure options: small enough for Criterion's
 /// repeated sampling, large enough to exercise contention.

@@ -4,13 +4,16 @@
 //! gctl submit ingest --flows 4 --mb 64
 //! gctl submit etl --after ingest --flows 8 --mb 32
 //! gctl queue -t          # gqueue-style dependency tree
+//! gctl top --watch 2     # live queue/throughput/percentile view
 //! gctl drain             # close submissions, wait, print final stats
 //! ```
 
 use gurita_daemon::client::Client;
-use gurita_daemon::protocol::JobView;
+use gurita_daemon::protocol::{DaemonStats, JobView};
+use gurita_metrics::{HistogramSnapshot, RegistrySnapshot};
 use gurita_model::{CoflowSpec, FlowSpec, HostId, JobDag, JobSpec};
 use std::collections::HashMap;
+use std::fmt::Write as _;
 use std::path::PathBuf;
 use std::process::ExitCode;
 use std::time::Duration;
@@ -33,6 +36,9 @@ COMMANDS:
     queue [-t]                   all jobs; -t renders the dependency tree
     cancel <NAME>                cancel (cascades to held dependents)
     stats                        daemon counters
+    metrics                      dump the live Prometheus text exposition
+    top [--watch <S>]            live view: queue, throughput, p50/p95/p99
+                                 latencies; --watch refreshes every S seconds
     drain                        close submissions, run to empty, stop
     shutdown                     stop immediately
 ";
@@ -91,10 +97,11 @@ fn main() -> ExitCode {
         },
         "stats" => client.stats().map(|s| {
             println!(
-                "vtime {:.6}s  events {}  open flows {}  coflows {}  \
+                "vtime {:.6}s  events {}  pending {}  open flows {}  coflows {}  \
                  held {} queued {} running {} done {} cancelled {}  drained {}",
                 s.vtime,
                 s.events,
+                s.pending_events,
                 s.open_flows,
                 s.open_coflows,
                 s.jobs_held,
@@ -105,6 +112,10 @@ fn main() -> ExitCode {
                 s.drained
             );
         }),
+        "metrics" => client.metrics().map(|snap| {
+            print!("{}", gurita_metrics::encode::prometheus_text(&snap));
+        }),
+        "top" => do_top(&mut client, rest),
         "drain" => client.drain().map(|s| {
             println!(
                 "drained: {} done, {} cancelled, makespan {:.6}s, mean JCT {}",
@@ -175,6 +186,168 @@ fn do_wait(client: &mut Client, rest: &[String]) -> std::io::Result<()> {
     let view = client.wait(name, timeout)?;
     print_job(&view);
     Ok(())
+}
+
+/// `gctl top`: poll `stats` + `metrics` and render a one-screen plain
+/// text summary. With `--watch <S>` the view refreshes in place every
+/// `S` seconds (ANSI clear + home) until interrupted.
+fn do_top(client: &mut Client, rest: &[String]) -> std::io::Result<()> {
+    let mut watch: Option<f64> = None;
+    let mut i = 0;
+    while i < rest.len() {
+        match rest[i].as_str() {
+            "--watch" => {
+                let secs: f64 = rest
+                    .get(i + 1)
+                    .ok_or_else(|| other("--watch requires seconds"))?
+                    .parse()
+                    .map_err(|e| other(format!("--watch: {e}")))?;
+                watch = Some(secs.max(0.1));
+                i += 2;
+            }
+            f => return Err(other(format!("unknown top flag `{f}`"))),
+        }
+    }
+    loop {
+        let stats = client.stats()?;
+        let snap = client.metrics()?;
+        let frame = render_top(&stats, &snap);
+        if watch.is_some() {
+            print!("\x1b[2J\x1b[H");
+        }
+        print!("{frame}");
+        std::io::Write::flush(&mut std::io::stdout())?;
+        match watch {
+            Some(secs) => std::thread::sleep(Duration::from_secs_f64(secs)),
+            None => return Ok(()),
+        }
+    }
+}
+
+/// First-series value of a gauge/counter family, `0.0` when absent —
+/// families only appear after their first registration, so a young
+/// daemon legitimately lacks some.
+fn family_value(snap: &RegistrySnapshot, name: &str) -> f64 {
+    snap.family(name)
+        .and_then(|f| f.series.first())
+        .map_or(0.0, |s| s.value)
+}
+
+/// Merges every series of a histogram family (the per-`category`
+/// partitions share one bucket layout) into a single aggregate
+/// distribution.
+fn merged_histogram(snap: &RegistrySnapshot, name: &str) -> Option<HistogramSnapshot> {
+    let fam = snap.family(name)?;
+    let mut hists = fam.series.iter().filter_map(|s| s.histogram.clone());
+    let mut acc = hists.next()?;
+    for h in hists {
+        acc.merge(&h);
+    }
+    Some(acc)
+}
+
+/// One table row: count and p50/p95/p99/mean of a distribution, or
+/// dashes while it is still empty.
+fn dist_row(out: &mut String, label: &str, hist: Option<HistogramSnapshot>) {
+    match hist {
+        Some(h) if h.count > 0 => {
+            let _ = writeln!(
+                out,
+                "  {label:<22} {:>8} {:>10.4} {:>10.4} {:>10.4} {:>10.4}",
+                h.count,
+                h.quantile(0.50),
+                h.quantile(0.95),
+                h.quantile(0.99),
+                h.mean()
+            );
+        }
+        _ => {
+            let _ = writeln!(
+                out,
+                "  {label:<22} {:>8} {:>10} {:>10} {:>10} {:>10}",
+                0, "-", "-", "-", "-"
+            );
+        }
+    }
+}
+
+fn render_top(s: &DaemonStats, snap: &RegistrySnapshot) -> String {
+    let v = |name: &str| family_value(snap, name);
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "guritad  vtime {:.6}s  rate {:.0} events/s  pace lag {:.3}s  drained {}",
+        s.vtime,
+        v("gurita_engine_events_per_sec"),
+        v("gurita_engine_pace_lag_seconds"),
+        if s.drained { "yes" } else { "no" }
+    );
+    let _ = writeln!(
+        out,
+        "jobs     held {}  queued {}  running {}  done {}  cancelled {}",
+        s.jobs_held, s.jobs_queued, s.jobs_running, s.jobs_done, s.jobs_cancelled
+    );
+    let _ = writeln!(
+        out,
+        "engine   events {}  pending {}  open flows {}  coflows {}  starved {}",
+        s.events,
+        s.pending_events,
+        s.open_flows,
+        s.open_coflows,
+        v("gurita_starved_coflows") as u64
+    );
+    out.push('\n');
+    let _ = writeln!(
+        out,
+        "  {:<22} {:>8} {:>10} {:>10} {:>10} {:>10}",
+        "latency", "count", "p50", "p95", "p99", "mean"
+    );
+    dist_row(
+        &mut out,
+        "queue wait (s)",
+        merged_histogram(snap, "gurita_job_queue_wait_seconds"),
+    );
+    dist_row(
+        &mut out,
+        "jct (s)",
+        merged_histogram(snap, "gurita_jct_seconds"),
+    );
+    dist_row(
+        &mut out,
+        "cct (s)",
+        merged_histogram(snap, "gurita_cct_seconds"),
+    );
+    dist_row(
+        &mut out,
+        "cct slowdown (x)",
+        merged_histogram(snap, "gurita_cct_slowdown"),
+    );
+    out.push('\n');
+    let partition = if v("gurita_partition_active") > 0.0 {
+        "PARTITIONED"
+    } else {
+        "ok"
+    };
+    let _ = writeln!(
+        out,
+        "control  delivered {}  drops {}  retransmits {}  degraded {:.3}s/{} windows  coordinator {}",
+        v("gurita_control_delivered_total") as u64,
+        v("gurita_control_drops_total") as u64,
+        v("gurita_control_retransmits_total") as u64,
+        v("gurita_control_degraded_seconds"),
+        v("gurita_control_degraded_windows_total") as u64,
+        partition
+    );
+    let _ = writeln!(
+        out,
+        "faults   applied {}  crashes {}  restarts {}  starvation {:.3}s/{} events",
+        v("gurita_faults_applied_total") as u64,
+        v("gurita_agent_crashes_total") as u64,
+        v("gurita_agent_restarts_total") as u64,
+        v("gurita_coflow_starvation_seconds"),
+        v("gurita_coflow_starvation_events_total") as u64
+    );
+    out
 }
 
 /// A synthetic single-stage job: `flows` flows of `mb` MB each on a

@@ -28,11 +28,21 @@ OPTIONS:
                            [default: $GURITA_THREADS or 1]
     --tick <F>             scheduler update interval δ, seconds [default: 5e-3]
     --control-latency <F>  decision-propagation latency, seconds [default: 0]
+    --metrics-addr <ADDR>  serve Prometheus text-format on http://ADDR/metrics
+                           (e.g. 127.0.0.1:9184; port 0 picks a free port)
+    --trace-out <PREFIX>   capture telemetry to PREFIX.events.jsonl and
+                           PREFIX.trace.json (Perfetto), flushed on
+                           drain/shutdown and best-effort on panic
+    --metrics-out <PATH>   write the final metrics snapshot as JSON
+                           [default: results/daemon_metrics.json]
     -h, --help             print this help
 ";
 
 fn parse_args() -> Result<DaemonConfig, String> {
-    let mut config = DaemonConfig::default();
+    let mut config = DaemonConfig {
+        metrics_out: Some(PathBuf::from("results/daemon_metrics.json")),
+        ..DaemonConfig::default()
+    };
     if let Ok(t) = std::env::var("GURITA_THREADS") {
         config.threads = t
             .parse()
@@ -82,6 +92,9 @@ fn parse_args() -> Result<DaemonConfig, String> {
                     .parse()
                     .map_err(|e| format!("--control-latency: {e}"))?;
             }
+            "--metrics-addr" => config.metrics_addr = Some(value("--metrics-addr")?),
+            "--trace-out" => config.trace_out = Some(PathBuf::from(value("--trace-out")?)),
+            "--metrics-out" => config.metrics_out = Some(PathBuf::from(value("--metrics-out")?)),
             "-h" | "--help" => {
                 print!("{USAGE}");
                 std::process::exit(0);

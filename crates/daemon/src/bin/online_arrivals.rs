@@ -15,6 +15,8 @@
 //! - `GURITA_THREADS` — engine worker threads (default 1, 0 = auto)
 //! - `GURITA_ONLINE_OUT` — JSON results path
 //!   (default `results/online_arrivals.json`)
+//! - `GURITA_ONLINE_METRICS_OUT` — final live-metrics snapshot path
+//!   (default `results/daemon_metrics.json`)
 
 use gurita_daemon::client::Client;
 use gurita_daemon::server::{serve, DaemonConfig, ServeReport};
@@ -39,6 +41,10 @@ fn main() -> std::io::Result<()> {
         std::env::var("GURITA_ONLINE_OUT")
             .unwrap_or_else(|_| "results/online_arrivals.json".into()),
     );
+    let metrics_out = PathBuf::from(
+        std::env::var("GURITA_ONLINE_METRICS_OUT")
+            .unwrap_or_else(|_| "results/daemon_metrics.json".into()),
+    );
     let socket = std::env::temp_dir().join(format!("guritad-e13-{}.sock", std::process::id()));
 
     let config = DaemonConfig {
@@ -46,6 +52,7 @@ fn main() -> std::io::Result<()> {
         hosts: 128,
         scheduler: SchedulerKind::Gurita,
         threads,
+        metrics_out: Some(metrics_out.clone()),
         ..DaemonConfig::default()
     };
     eprintln!(
@@ -138,5 +145,9 @@ fn main() -> std::io::Result<()> {
         stats.events
     )?;
     eprintln!("online_arrivals: wrote {}", out.display());
+    eprintln!(
+        "online_arrivals: metrics snapshot at {}",
+        metrics_out.display()
+    );
     Ok(())
 }

@@ -149,6 +149,19 @@ impl Client {
             .ok_or_else(|| io::Error::other("stats response carried no stats"))
     }
 
+    /// Fetches the live metrics snapshot (histograms, counters, engine
+    /// health gauges).
+    ///
+    /// # Errors
+    ///
+    /// I/O or protocol failure (including daemons older than the
+    /// `metrics` command).
+    pub fn metrics(&mut self) -> io::Result<gurita_metrics::RegistrySnapshot> {
+        let resp = Self::expect_ok(self.request(&Request::bare("metrics"))?)?;
+        resp.metrics
+            .ok_or_else(|| io::Error::other("metrics response carried no snapshot"))
+    }
+
     /// Closes submissions and blocks until every job is terminal; the
     /// daemon exits after replying. Returns the final counters
     /// (makespan and mean JCT populated).

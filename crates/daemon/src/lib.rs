@@ -13,7 +13,7 @@
 //!
 //! - [`protocol`] — line-delimited JSON over a Unix socket: `submit`
 //!   (job DAG + `depends_on` names), `status`, `queue`, `cancel`,
-//!   `stats`, `ping`, `drain`, `shutdown`.
+//!   `stats`, `metrics`, `ping`, `drain`, `shutdown`.
 //! - [`registry`] — the dependency gate: named jobs are **held** until
 //!   every parent completes, then released into the engine;
 //!   cancellation cascades through held descendants.
@@ -24,16 +24,22 @@
 //!   possible).
 //! - [`client`] — typed [`Client`](client::Client) wrapper used by
 //!   `gctl`, the online-arrivals driver, and the integration tests.
+//! - [`metrics_http`] — optional Prometheus scrape endpoint
+//!   (`--metrics-addr`): a minimal HTTP/1.1 listener that snapshots
+//!   the shared `gurita-metrics` registry the engine's
+//!   [`MetricsSink`](gurita_sim::metrics::MetricsSink) records into.
 //!
 //! Binaries: `guritad` (the daemon), `gctl` (submit/status/queue
-//! /cancel/stats/drain from the shell, including a `gqueue -t`-style
-//! dependency tree), and `online_arrivals` (E13: drives a generated
-//! bursty trace through a daemon end-to-end).
+//! /cancel/stats/metrics/top/drain from the shell, including a
+//! `gqueue -t`-style dependency tree and a polling `top` view), and
+//! `online_arrivals` (E13: drives a generated bursty trace through a
+//! daemon end-to-end).
 
 #![deny(missing_docs)]
 #![deny(rustdoc::broken_intra_doc_links)]
 
 pub mod client;
+pub mod metrics_http;
 pub mod protocol;
 pub mod registry;
 pub mod server;

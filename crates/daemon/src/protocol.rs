@@ -23,8 +23,8 @@ use std::io::{self, BufRead, Write};
 /// are operation-specific and default to empty.
 ///
 /// Commands: `submit` (requires `name` + `job`, optional `depends_on`),
-/// `status` (`name`), `queue`, `cancel` (`name`), `stats`, `ping`,
-/// `drain`, `shutdown`.
+/// `status` (`name`), `queue`, `cancel` (`name`), `stats`, `metrics`,
+/// `ping`, `drain`, `shutdown`.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct Request {
     /// Operation selector.
@@ -143,6 +143,12 @@ pub struct Response {
     /// Daemon counters (stats/drain).
     #[serde(default)]
     pub stats: Option<DaemonStats>,
+    /// Full live-metrics snapshot (`metrics`): every registered family
+    /// with its series, histogram buckets included. `gctl top` renders
+    /// percentiles from this; the HTTP listener encodes the same
+    /// snapshot as Prometheus text.
+    #[serde(default)]
+    pub metrics: Option<gurita_metrics::RegistrySnapshot>,
 }
 
 impl Response {
@@ -258,6 +264,7 @@ mod tests {
             }),
             jobs: None,
             stats: Some(DaemonStats::default()),
+            metrics: None,
         };
         let mut buf = Vec::new();
         write_line(&mut buf, &resp).unwrap();

@@ -24,14 +24,19 @@
 //! lifts the pace: submissions are closed at that point, so the
 //! remaining jobs are flushed as fast as possible.
 
+use crate::metrics_http::serve_metrics_http;
 use crate::protocol::{read_line, write_line, DaemonStats, JobView, Request, Response};
 use crate::registry::{GateState, Registry, SubmitOutcome};
 use gurita_experiments::roster::SchedulerKind;
+use gurita_metrics::{Gauge, Registry as MetricsRegistry};
 use gurita_model::{JobId, JobSpec};
 use gurita_sim::faults::FaultSchedule;
+use gurita_sim::metrics::{MetricsConfig, MetricsSink};
 use gurita_sim::runtime::{Engine, JobPhase, SimConfig};
+use gurita_sim::telemetry::{ChromeTraceSink, JsonlSink, MultiSink, TelemetryConfig};
 use gurita_sim::topology::BigSwitch;
 use gurita_sim::SimError;
+use std::collections::VecDeque;
 use std::io::{self, BufReader, BufWriter};
 use std::os::unix::net::{UnixListener, UnixStream};
 use std::path::PathBuf;
@@ -71,6 +76,17 @@ pub struct DaemonConfig {
     pub tick_interval: f64,
     /// Decision-propagation latency for decentralized schemes.
     pub control_latency: f64,
+    /// TCP address (`host:port`) for the Prometheus scrape endpoint;
+    /// `None` disables the HTTP listener (the Unix-socket `metrics`
+    /// command is always available).
+    pub metrics_addr: Option<String>,
+    /// Path prefix for trace capture: writes `<prefix>.events.jsonl`
+    /// and `<prefix>.trace.json` (Perfetto), flushed on drain/shutdown
+    /// and best-effort on panic.
+    pub trace_out: Option<PathBuf>,
+    /// Where to snapshot the metrics registry as JSON on drain/shutdown
+    /// (`None` skips the artifact).
+    pub metrics_out: Option<PathBuf>,
 }
 
 impl Default for DaemonConfig {
@@ -84,6 +100,9 @@ impl Default for DaemonConfig {
             threads: 1,
             tick_interval: 5e-3,
             control_latency: 0.0,
+            metrics_addr: None,
+            trace_out: None,
+            metrics_out: None,
         }
     }
 }
@@ -136,16 +155,41 @@ pub struct ServeReport {
 /// (mapped to `io::ErrorKind::Other`).
 pub fn serve(config: &DaemonConfig) -> io::Result<ServeReport> {
     let fabric = BigSwitch::new(config.hosts, config.capacity);
+    // The daemon always arms telemetry: the live `MetricsSink` is what
+    // makes `metrics`/`gctl top` answerable mid-run. Offline batch
+    // runs keep the zero-overhead disabled path; service mode pays the
+    // armed layer (<3% at gate scale, see BENCH_sim.json
+    // `events_per_sec_metrics`).
     let sim_config = SimConfig {
         tick_interval: config.tick_interval,
         threads: config.threads,
         control_latency: config.control_latency,
+        telemetry: Some(TelemetryConfig::default()),
         ..SimConfig::default()
     };
     let mut plane = config.scheduler.build_plane();
     let faults = FaultSchedule::default();
+
+    // Metrics registry shared three ways: the engine-side sink records
+    // into it, the serve loop sets health gauges, and the HTTP scrape
+    // thread snapshots it — all lock-free on the instrument side.
+    let metrics = Arc::new(MetricsRegistry::new());
+    let mut sink = MultiSink::new().with(Box::new(MetricsSink::new(
+        &metrics,
+        MetricsConfig {
+            ref_bandwidth: config.capacity,
+        },
+    )));
+    if let Some(prefix) = &config.trace_out {
+        let jsonl = PathBuf::from(format!("{}.events.jsonl", prefix.display()));
+        let chrome = PathBuf::from(format!("{}.trace.json", prefix.display()));
+        sink = sink
+            .with(Box::new(JsonlSink::create(&jsonl)?))
+            .with(Box::new(ChromeTraceSink::new(&chrome)));
+    }
     let mut engine =
-        Engine::online(&fabric, &sim_config, plane.as_mut(), &faults).map_err(sim_to_io)?;
+        Engine::online_traced(&fabric, &sim_config, plane.as_mut(), &faults, &mut sink)
+            .map_err(sim_to_io)?;
 
     // Socket + acceptor. Stale socket files from a crashed daemon are
     // removed; a *live* daemon on the same path loses its listener,
@@ -159,14 +203,155 @@ pub fn serve(config: &DaemonConfig) -> io::Result<ServeReport> {
         let stop = Arc::clone(&stop);
         std::thread::spawn(move || accept_loop(listener, tx, stop))
     };
+    let scraper = match &config.metrics_addr {
+        Some(addr) => {
+            let (handle, local) =
+                serve_metrics_http(addr, Arc::clone(&metrics), Arc::clone(&stop))?;
+            eprintln!("guritad: metrics on http://{local}/metrics");
+            Some(handle)
+        }
+        None => None,
+    };
 
-    let report = run_loop(&mut engine, &rx, config);
+    let report = run_loop(&mut engine, &rx, config, &metrics);
+
+    // Epilogue — runs on clean exits *and* on engine errors surfaced
+    // through `report`: flush the armed sinks (JSONL/Chrome land on
+    // disk here) and snapshot the metrics registry for offline
+    // analysis. Panics skip this path; the sinks' Drop safety nets
+    // still write what they buffered.
+    let _ = engine.finish();
+    if let Some(path) = &config.metrics_out {
+        if let Some(dir) = path.parent() {
+            let _ = std::fs::create_dir_all(dir);
+        }
+        let json = serde_json::to_string_pretty(&metrics.snapshot())
+            .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, format!("snapshot: {e}")))?;
+        std::fs::write(path, json)?;
+    }
 
     stop.store(true, Ordering::SeqCst);
     drop(rx);
     let _ = acceptor.join();
+    if let Some(handle) = scraper {
+        let _ = handle.join();
+    }
     let _ = std::fs::remove_file(&config.socket);
     report
+}
+
+/// Engine-loop health gauges, refreshed by the serve loop: throughput
+/// over a sliding wall-clock window, pacing lag, event backlog, and
+/// registry gate counts. Readers (scrape thread, `metrics` command)
+/// see whatever the last refresh wrote — exactly the staleness a
+/// Prometheus gauge implies.
+struct HealthGauges {
+    events_per_sec: Arc<Gauge>,
+    pace_lag: Arc<Gauge>,
+    pending_events: Arc<Gauge>,
+    vtime: Arc<Gauge>,
+    jobs_held: Arc<Gauge>,
+    jobs_queued: Arc<Gauge>,
+    jobs_running: Arc<Gauge>,
+    jobs_done: Arc<Gauge>,
+    jobs_cancelled: Arc<Gauge>,
+    /// (wall time, cumulative events) samples spanning the window.
+    window: VecDeque<(Instant, u64)>,
+    last_refresh: Option<Instant>,
+}
+
+/// Sliding window over which `gurita_engine_events_per_sec` is
+/// computed.
+const HEALTH_WINDOW: Duration = Duration::from_secs(5);
+
+/// Minimum wall time between health-gauge refreshes; keeps the gauge
+/// writes off the per-slice hot path.
+const HEALTH_REFRESH: Duration = Duration::from_millis(100);
+
+impl HealthGauges {
+    fn new(reg: &MetricsRegistry) -> Self {
+        let g = |name: &str, help: &str| reg.gauge(name, help, &[]);
+        Self {
+            events_per_sec: g(
+                "gurita_engine_events_per_sec",
+                "Engine throughput over a 5s sliding wall-clock window.",
+            ),
+            pace_lag: g(
+                "gurita_engine_pace_lag_seconds",
+                "Paced mode: how far virtual time trails the pacing horizon.",
+            ),
+            pending_events: g(
+                "gurita_engine_pending_events",
+                "Events pending in the engine's calendar.",
+            ),
+            vtime: g("gurita_engine_vtime_seconds", "Current virtual time."),
+            jobs_held: g("gurita_registry_jobs_held", "Jobs gated on dependencies."),
+            jobs_queued: g(
+                "gurita_registry_jobs_queued",
+                "Jobs admitted, arrival pending.",
+            ),
+            jobs_running: g(
+                "gurita_registry_jobs_running",
+                "Jobs actively moving bytes.",
+            ),
+            jobs_done: g("gurita_registry_jobs_done", "Jobs completed."),
+            jobs_cancelled: g("gurita_registry_jobs_cancelled", "Jobs cancelled."),
+            window: VecDeque::new(),
+            last_refresh: None,
+        }
+    }
+
+    /// Refreshes every gauge from the live engine/registry, rate-limited
+    /// to [`HEALTH_REFRESH`] unless `force`d (queries force so a
+    /// single-shot `gctl top` never reads stale zeros).
+    fn refresh<F: gurita_sim::topology::Fabric>(
+        &mut self,
+        engine: &Engine<'_, F>,
+        registry: &Registry,
+        config: &DaemonConfig,
+        started: Instant,
+        force: bool,
+    ) {
+        let now = Instant::now();
+        if !force {
+            if let Some(last) = self.last_refresh {
+                if now.duration_since(last) < HEALTH_REFRESH {
+                    return;
+                }
+            }
+        }
+        self.last_refresh = Some(now);
+
+        let events = engine.events_processed();
+        self.window.push_back((now, events));
+        while let Some(&(t, _)) = self.window.front() {
+            if now.duration_since(t) > HEALTH_WINDOW && self.window.len() > 2 {
+                self.window.pop_front();
+            } else {
+                break;
+            }
+        }
+        if let (Some(&(t0, e0)), true) = (self.window.front(), self.window.len() >= 2) {
+            let dt = now.duration_since(t0).as_secs_f64();
+            if dt > 0.0 {
+                self.events_per_sec.set((events - e0) as f64 / dt);
+            }
+        }
+        let lag = if config.pace > 0.0 {
+            (started.elapsed().as_secs_f64() * config.pace - engine.now()).max(0.0)
+        } else {
+            0.0
+        };
+        self.pace_lag.set(lag);
+        self.pending_events.set(engine.pending_events() as f64);
+        self.vtime.set(engine.now());
+        let stats = snapshot(engine, registry);
+        self.jobs_held.set(stats.jobs_held as f64);
+        self.jobs_queued.set(stats.jobs_queued as f64);
+        self.jobs_running.set(stats.jobs_running as f64);
+        self.jobs_done.set(stats.jobs_done as f64);
+        self.jobs_cancelled.set(stats.jobs_cancelled as f64);
+    }
 }
 
 fn sim_to_io(e: SimError) -> io::Error {
@@ -220,17 +405,31 @@ fn run_loop<F: gurita_sim::topology::Fabric>(
     engine: &mut Engine<'_, F>,
     rx: &mpsc::Receiver<Cmd>,
     config: &DaemonConfig,
+    metrics: &MetricsRegistry,
 ) -> io::Result<ServeReport> {
     let mut registry = Registry::new();
     let mut harvested = 0usize; // cursor into engine.completed_jobs()
     let mut draining: Option<mpsc::Sender<Response>> = None;
     let started = Instant::now();
+    let mut health = HealthGauges::new(metrics);
+    let mut ctx = CmdCtx {
+        config,
+        metrics,
+        started,
+    };
 
     loop {
         // 1. Serve every queued command (non-blocking).
         let mut shutdown = false;
         while let Ok(cmd) = rx.try_recv() {
-            if handle_cmd(cmd, engine, &mut registry, &mut draining) {
+            if handle_cmd(
+                cmd,
+                engine,
+                &mut registry,
+                &mut draining,
+                &mut health,
+                &mut ctx,
+            ) {
                 shutdown = true;
             }
         }
@@ -250,8 +449,10 @@ fn run_loop<F: gurita_sim::topology::Fabric>(
             false // paced mode always waits for the wall clock below
         };
 
-        // 3. Harvest completions and release gated children.
+        // 3. Harvest completions and release gated children, then
+        //    refresh the health gauges (rate-limited internally).
         harvest(engine, &mut registry, &mut harvested).map_err(sim_to_io)?;
+        health.refresh(engine, &registry, config, started, false);
 
         // 4. Drain bookkeeping: once every registered job is terminal
         //    and the engine is quiet, answer the pending drain and exit.
@@ -276,7 +477,14 @@ fn run_loop<F: gurita_sim::topology::Fabric>(
         if !advanced {
             match rx.recv_timeout(IDLE_WAIT) {
                 Ok(cmd) => {
-                    if handle_cmd(cmd, engine, &mut registry, &mut draining) {
+                    if handle_cmd(
+                        cmd,
+                        engine,
+                        &mut registry,
+                        &mut draining,
+                        &mut health,
+                        &mut ctx,
+                    ) {
                         break;
                     }
                     harvest(engine, &mut registry, &mut harvested).map_err(sim_to_io)?;
@@ -302,6 +510,15 @@ fn run_loop<F: gurita_sim::topology::Fabric>(
     Ok(ServeReport { stats, completed })
 }
 
+/// Read-only context `handle_cmd` needs beyond the engine/registry:
+/// the daemon config (for pace-lag), the metrics registry, and the
+/// loop start instant.
+struct CmdCtx<'c> {
+    config: &'c DaemonConfig,
+    metrics: &'c MetricsRegistry,
+    started: Instant,
+}
+
 /// Applies one command. Returns `true` when the loop must exit
 /// immediately (shutdown).
 fn handle_cmd<F: gurita_sim::topology::Fabric>(
@@ -309,10 +526,21 @@ fn handle_cmd<F: gurita_sim::topology::Fabric>(
     engine: &mut Engine<'_, F>,
     registry: &mut Registry,
     draining: &mut Option<mpsc::Sender<Response>>,
+    health: &mut HealthGauges,
+    ctx: &mut CmdCtx<'_>,
 ) -> bool {
     let Cmd { req, reply } = cmd;
     let resp = match req.cmd.as_str() {
         "ping" => Response::ok(),
+        "metrics" => {
+            // Force-refresh so a one-shot scrape sees current health.
+            health.refresh(engine, registry, ctx.config, ctx.started, true);
+            Response {
+                ok: true,
+                metrics: Some(ctx.metrics.snapshot()),
+                ..Response::default()
+            }
+        }
         "submit" => {
             if draining.is_some() {
                 Response::err("daemon is draining: submissions closed")

@@ -1,0 +1,180 @@
+//! Prometheus text-format (exposition format version 0.0.4) encoding
+//! of [`RegistrySnapshot`]s.
+//!
+//! Output per family:
+//!
+//! ```text
+//! # HELP gurita_jct_seconds Job completion time.
+//! # TYPE gurita_jct_seconds histogram
+//! gurita_jct_seconds_bucket{category="I",le="0.001"} 0
+//! ...
+//! gurita_jct_seconds_bucket{category="I",le="+Inf"} 3
+//! gurita_jct_seconds_sum{category="I"} 1.5
+//! gurita_jct_seconds_count{category="I"} 3
+//! ```
+//!
+//! Histogram buckets are cumulative (`le` upper bounds), as the format
+//! requires; HELP text has `\` and newlines escaped; label values have
+//! `\`, `"`, and newlines escaped.
+
+use crate::{FamilySnapshot, RegistrySnapshot, SeriesSnapshot};
+use std::fmt::Write as _;
+
+/// Escapes a HELP string (`\` and newline).
+fn escape_help(s: &str) -> String {
+    s.replace('\\', "\\\\").replace('\n', "\\n")
+}
+
+/// Escapes a label value (`\`, `"`, newline).
+fn escape_label(s: &str) -> String {
+    s.replace('\\', "\\\\")
+        .replace('"', "\\\"")
+        .replace('\n', "\\n")
+}
+
+/// Formats a sample value the way Prometheus expects: integral values
+/// without a trailing `.0`, everything else in shortest-roundtrip form.
+fn fmt_value(v: f64) -> String {
+    if v == f64::INFINITY {
+        "+Inf".to_owned()
+    } else if v == f64::NEG_INFINITY {
+        "-Inf".to_owned()
+    } else if v.is_nan() {
+        "NaN".to_owned()
+    } else if v.fract() == 0.0 && v.abs() < 1e15 {
+        format!("{}", v as i64)
+    } else {
+        format!("{v}")
+    }
+}
+
+/// Renders a label set `{k="v",...}`, with an optional extra `le`
+/// label appended; empty label sets render as nothing.
+fn label_block(labels: &[(String, String)], le: Option<&str>) -> String {
+    let mut parts: Vec<String> = labels
+        .iter()
+        .map(|(k, v)| format!("{k}=\"{}\"", escape_label(v)))
+        .collect();
+    if let Some(le) = le {
+        parts.push(format!("le=\"{le}\""));
+    }
+    if parts.is_empty() {
+        String::new()
+    } else {
+        format!("{{{}}}", parts.join(","))
+    }
+}
+
+fn encode_series(out: &mut String, name: &str, kind: &str, s: &SeriesSnapshot) {
+    match (&s.histogram, kind) {
+        (Some(h), "histogram") => {
+            let mut cum = 0u64;
+            for (i, c) in h.counts.iter().enumerate() {
+                cum += c;
+                let le = match h.bounds.get(i) {
+                    Some(b) => fmt_value(*b),
+                    None => "+Inf".to_owned(),
+                };
+                let _ = writeln!(
+                    out,
+                    "{name}_bucket{} {cum}",
+                    label_block(&s.labels, Some(&le))
+                );
+            }
+            let _ = writeln!(
+                out,
+                "{name}_sum{} {}",
+                label_block(&s.labels, None),
+                fmt_value(h.sum)
+            );
+            let _ = writeln!(out, "{name}_count{} {cum}", label_block(&s.labels, None));
+        }
+        _ => {
+            let _ = writeln!(
+                out,
+                "{name}{} {}",
+                label_block(&s.labels, None),
+                fmt_value(s.value)
+            );
+        }
+    }
+}
+
+fn encode_family(out: &mut String, f: &FamilySnapshot) {
+    if !f.help.is_empty() {
+        let _ = writeln!(out, "# HELP {} {}", f.name, escape_help(&f.help));
+    }
+    let _ = writeln!(out, "# TYPE {} {}", f.name, f.kind);
+    for s in &f.series {
+        encode_series(out, &f.name, &f.kind, s);
+    }
+}
+
+/// Encodes a snapshot as Prometheus text format 0.0.4. The output ends
+/// with a newline, as scrapers require.
+pub fn prometheus_text(snap: &RegistrySnapshot) -> String {
+    let mut out = String::new();
+    for f in &snap.families {
+        encode_family(&mut out, f);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{BucketSpec, Registry};
+
+    #[test]
+    fn scalar_families_encode() {
+        let r = Registry::new();
+        r.counter("gurita_events_total", "Engine events.", &[])
+            .add(7);
+        r.gauge("gurita_pace_lag_seconds", "Pace lag.", &[])
+            .set(0.25);
+        let text = prometheus_text(&r.snapshot());
+        assert!(text.contains("# HELP gurita_events_total Engine events.\n"));
+        assert!(text.contains("# TYPE gurita_events_total counter\n"));
+        assert!(
+            text.contains("\ngurita_events_total 7\n")
+                || text.starts_with("gurita_events_total 7\n")
+                || text.contains("gurita_events_total 7\n")
+        );
+        assert!(text.contains("gurita_pace_lag_seconds 0.25\n"));
+    }
+
+    #[test]
+    fn histogram_buckets_are_cumulative_and_end_at_inf() {
+        let r = Registry::new();
+        let h = r.histogram(
+            "gurita_jct_seconds",
+            "JCT.",
+            &[("category", "I")],
+            BucketSpec {
+                lo: 1.0,
+                segments: 1,
+                subs: 2,
+            },
+        );
+        h.observe(0.5);
+        h.observe(1.2);
+        h.observe(99.0);
+        let text = prometheus_text(&r.snapshot());
+        // bounds: 1.0, 1.5, 2.0 then +Inf
+        assert!(text.contains("gurita_jct_seconds_bucket{category=\"I\",le=\"1\"} 1\n"));
+        assert!(text.contains("gurita_jct_seconds_bucket{category=\"I\",le=\"1.5\"} 2\n"));
+        assert!(text.contains("gurita_jct_seconds_bucket{category=\"I\",le=\"2\"} 2\n"));
+        assert!(text.contains("gurita_jct_seconds_bucket{category=\"I\",le=\"+Inf\"} 3\n"));
+        assert!(text.contains("gurita_jct_seconds_count{category=\"I\"} 3\n"));
+        assert!(text.contains("gurita_jct_seconds_sum{category=\"I\"} 100.7\n"));
+    }
+
+    #[test]
+    fn label_values_are_escaped() {
+        let r = Registry::new();
+        r.counter("gurita_x_total", "", &[("path", "a\\b\"c\nd")])
+            .inc();
+        let text = prometheus_text(&r.snapshot());
+        assert!(text.contains("gurita_x_total{path=\"a\\\\b\\\"c\\nd\"} 1\n"));
+    }
+}

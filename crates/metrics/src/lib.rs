@@ -1,0 +1,724 @@
+//! Allocation-free live metrics for the gurita service path.
+//!
+//! The crate provides three lock-free instruments — [`Counter`],
+//! [`Gauge`], and a fixed-bucket log-linear [`Histogram`] — plus a
+//! [`Registry`] that names them, snapshot types that freeze a
+//! consistent point-in-time view, and a Prometheus text-format
+//! (exposition 0.0.4) encoder over snapshots.
+//!
+//! Design constraints, in order:
+//!
+//! 1. **Record-path cost.** Instruments are plain relaxed atomics; a
+//!    histogram observation is one binary search over a precomputed
+//!    bound table (~7 comparisons for the default 64-bucket scheme)
+//!    plus two fetch-adds and one CAS-add for the sum. No allocation,
+//!    no locks, no formatting on the hot path.
+//! 2. **Shared handles.** Every instrument lives behind an [`Arc`], so
+//!    the recording side (a `TelemetrySink` owned mutably by the
+//!    engine) and the reading side (the daemon's serve loop answering
+//!    `metrics` requests mid-run) can hold the same instrument without
+//!    coordination. Reads are tearing-free per-field; a snapshot is a
+//!    monotone view, not a cross-instrument transaction — exactly the
+//!    consistency Prometheus scrapes assume.
+//! 3. **Mergeability.** Two histograms built from the same
+//!    [`BucketSpec`] merge by bucket-wise addition, which is
+//!    associative and commutative; sharded recorders can therefore be
+//!    combined without rank error beyond the bucket width.
+//!
+//! Bucket scheme: log-linear, as in HdrHistogram. The value axis is
+//! covered by power-of-two segments starting at `lo`, each segment cut
+//! into `subs` equal-width linear buckets, with an underflow bucket
+//! (`≤ lo`) below and a `+Inf` bucket above. Relative quantile error
+//! is bounded by `1/subs` within the covered range.
+
+#![forbid(unsafe_code)]
+#![deny(missing_docs)]
+#![deny(rustdoc::broken_intra_doc_links)]
+
+use serde::{Deserialize, Serialize};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+pub mod encode;
+
+/// A monotonically increasing event count.
+///
+/// All operations are relaxed: counters are independent statistics,
+/// not synchronization points.
+#[derive(Debug, Default)]
+pub struct Counter {
+    value: AtomicU64,
+}
+
+impl Counter {
+    /// Creates a counter at zero.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds one.
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Adds `n`.
+    pub fn add(&self, n: u64) {
+        self.value.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Current count.
+    pub fn get(&self) -> u64 {
+        self.value.load(Ordering::Relaxed)
+    }
+}
+
+/// A last-write-wins instantaneous value (stored as `f64` bits).
+#[derive(Debug)]
+pub struct Gauge {
+    bits: AtomicU64,
+}
+
+impl Gauge {
+    /// Creates a gauge at zero.
+    pub fn new() -> Self {
+        Self {
+            bits: AtomicU64::new(0f64.to_bits()),
+        }
+    }
+
+    /// Sets the gauge.
+    pub fn set(&self, v: f64) {
+        self.bits.store(v.to_bits(), Ordering::Relaxed);
+    }
+
+    /// Adds `delta` (CAS loop; gauges are written rarely).
+    pub fn add(&self, delta: f64) {
+        let mut cur = self.bits.load(Ordering::Relaxed);
+        loop {
+            let next = (f64::from_bits(cur) + delta).to_bits();
+            match self
+                .bits
+                .compare_exchange_weak(cur, next, Ordering::Relaxed, Ordering::Relaxed)
+            {
+                Ok(_) => return,
+                Err(seen) => cur = seen,
+            }
+        }
+    }
+
+    /// Current value.
+    pub fn get(&self) -> f64 {
+        f64::from_bits(self.bits.load(Ordering::Relaxed))
+    }
+}
+
+impl Default for Gauge {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// The log-linear bucket layout shared by a histogram and everything
+/// it merges with.
+///
+/// Buckets: one underflow bucket with upper bound `lo`, then
+/// `segments × subs` finite buckets — segment `s` spans
+/// `(lo·2^s, lo·2^(s+1)]` cut into `subs` equal linear pieces — and an
+/// implicit `+Inf` bucket. Two histograms are mergeable iff their
+/// specs are equal.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BucketSpec {
+    /// Upper bound of the first (underflow) bucket; start of the
+    /// log-linear range. Must be finite and positive.
+    pub lo: f64,
+    /// Number of power-of-two segments after `lo`.
+    pub segments: u32,
+    /// Linear subdivisions per segment (relative error bound `1/subs`).
+    pub subs: u32,
+}
+
+impl BucketSpec {
+    /// A spec for durations in seconds: 1 ms to ~65 s (16 doublings),
+    /// 4 subdivisions each — 65 finite bounds, ≤25% relative error.
+    pub fn seconds() -> Self {
+        Self {
+            lo: 1e-3,
+            segments: 16,
+            subs: 4,
+        }
+    }
+
+    /// A spec for dimensionless ratios (e.g. slowdown factors):
+    /// 1/16 to 4096 (16 doublings from 0.0625), 4 subdivisions each.
+    pub fn ratio() -> Self {
+        Self {
+            lo: 0.0625,
+            segments: 16,
+            subs: 4,
+        }
+    }
+
+    /// The finite upper bounds (ascending, deduplicated); the `+Inf`
+    /// bucket is implicit.
+    pub fn bounds(&self) -> Vec<f64> {
+        assert!(
+            self.lo.is_finite() && self.lo > 0.0,
+            "BucketSpec::lo must be finite and positive"
+        );
+        assert!(self.segments > 0 && self.subs > 0, "empty BucketSpec");
+        let mut out = Vec::with_capacity(1 + (self.segments * self.subs) as usize);
+        out.push(self.lo);
+        for s in 0..self.segments {
+            let base = self.lo * (2f64).powi(s as i32);
+            let step = base / self.subs as f64;
+            for j in 1..=self.subs {
+                out.push(base + step * j as f64);
+            }
+        }
+        out
+    }
+}
+
+/// A fixed-bucket log-linear histogram with lock-free observation.
+///
+/// `counts` has one slot per finite bound plus a final `+Inf` slot.
+/// `sum` accumulates observed values as f64 bits via CAS.
+#[derive(Debug)]
+pub struct Histogram {
+    spec: BucketSpec,
+    bounds: Vec<f64>,
+    counts: Vec<AtomicU64>,
+    count: AtomicU64,
+    sum_bits: AtomicU64,
+}
+
+impl Histogram {
+    /// Creates an empty histogram over `spec`.
+    pub fn new(spec: BucketSpec) -> Self {
+        let bounds = spec.bounds();
+        let counts = (0..bounds.len() + 1).map(|_| AtomicU64::new(0)).collect();
+        Self {
+            spec,
+            bounds,
+            counts,
+            count: AtomicU64::new(0),
+            sum_bits: AtomicU64::new(0f64.to_bits()),
+        }
+    }
+
+    /// The bucket layout.
+    pub fn spec(&self) -> BucketSpec {
+        self.spec
+    }
+
+    /// Records one observation. NaN is dropped; negative values land
+    /// in the underflow bucket; values past the last bound land in
+    /// `+Inf`.
+    pub fn observe(&self, v: f64) {
+        if v.is_nan() {
+            return;
+        }
+        // First bucket whose upper bound admits v (le semantics).
+        let idx = self.bounds.partition_point(|b| *b < v);
+        self.counts[idx].fetch_add(1, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+        let mut cur = self.sum_bits.load(Ordering::Relaxed);
+        loop {
+            let next = (f64::from_bits(cur) + v).to_bits();
+            match self.sum_bits.compare_exchange_weak(
+                cur,
+                next,
+                Ordering::Relaxed,
+                Ordering::Relaxed,
+            ) {
+                Ok(_) => return,
+                Err(seen) => cur = seen,
+            }
+        }
+    }
+
+    /// Total observations.
+    pub fn count(&self) -> u64 {
+        self.count.load(Ordering::Relaxed)
+    }
+
+    /// Freezes the current state.
+    pub fn snapshot(&self) -> HistogramSnapshot {
+        HistogramSnapshot {
+            bounds: self.bounds.clone(),
+            counts: self
+                .counts
+                .iter()
+                .map(|c| c.load(Ordering::Relaxed))
+                .collect(),
+            count: self.count(),
+            sum: f64::from_bits(self.sum_bits.load(Ordering::Relaxed)),
+        }
+    }
+
+    /// Adds every observation of `other` into `self`. Panics if the
+    /// specs differ (the bucket layout is the merge contract).
+    pub fn merge(&self, other: &Histogram) {
+        assert!(
+            self.spec == other.spec,
+            "cannot merge histograms with different bucket specs"
+        );
+        for (mine, theirs) in self.counts.iter().zip(other.counts.iter()) {
+            mine.fetch_add(theirs.load(Ordering::Relaxed), Ordering::Relaxed);
+        }
+        self.count
+            .fetch_add(other.count.load(Ordering::Relaxed), Ordering::Relaxed);
+        let add = f64::from_bits(other.sum_bits.load(Ordering::Relaxed));
+        let mut cur = self.sum_bits.load(Ordering::Relaxed);
+        loop {
+            let next = (f64::from_bits(cur) + add).to_bits();
+            match self.sum_bits.compare_exchange_weak(
+                cur,
+                next,
+                Ordering::Relaxed,
+                Ordering::Relaxed,
+            ) {
+                Ok(_) => return,
+                Err(seen) => cur = seen,
+            }
+        }
+    }
+}
+
+/// A frozen histogram: finite bucket upper bounds, per-bucket counts
+/// (the final slot is `+Inf`), total count, and value sum.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct HistogramSnapshot {
+    /// Finite bucket upper bounds, ascending.
+    pub bounds: Vec<f64>,
+    /// Per-bucket counts; `counts.len() == bounds.len() + 1`, the last
+    /// slot is the `+Inf` bucket.
+    pub counts: Vec<u64>,
+    /// Total observations.
+    pub count: u64,
+    /// Sum of observed values.
+    pub sum: f64,
+}
+
+impl HistogramSnapshot {
+    /// Estimates the `q`-quantile (`0 ≤ q ≤ 1`) from bucket ranks:
+    /// returns the upper bound of the bucket containing the rank (the
+    /// standard Prometheus `histogram_quantile` convention, without
+    /// intra-bucket interpolation for the `+Inf` and underflow
+    /// buckets). Returns `NaN` when empty.
+    pub fn quantile(&self, q: f64) -> f64 {
+        if self.count == 0 || !(0.0..=1.0).contains(&q) {
+            return f64::NAN;
+        }
+        let rank = (q * self.count as f64).ceil().max(1.0) as u64;
+        let mut seen = 0u64;
+        for (i, c) in self.counts.iter().enumerate() {
+            seen += c;
+            if seen >= rank {
+                return match self.bounds.get(i) {
+                    Some(b) => {
+                        // Linear interpolation inside the bucket, as
+                        // histogram_quantile does.
+                        let lower = if i == 0 { 0.0 } else { self.bounds[i - 1] };
+                        let into = (rank - (seen - c)) as f64 / (*c).max(1) as f64;
+                        lower + (b - lower) * into
+                    }
+                    // +Inf bucket: the last finite bound is the best
+                    // statement we can make.
+                    None => self.bounds.last().copied().unwrap_or(f64::INFINITY),
+                };
+            }
+        }
+        f64::NAN
+    }
+
+    /// Mean of observed values (`NaN` when empty).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            f64::NAN
+        } else {
+            self.sum / self.count as f64
+        }
+    }
+
+    /// Bucket-wise sum. Panics if the layouts differ.
+    pub fn merge(&mut self, other: &HistogramSnapshot) {
+        assert!(
+            self.bounds == other.bounds,
+            "cannot merge snapshots with different bucket layouts"
+        );
+        for (mine, theirs) in self.counts.iter_mut().zip(other.counts.iter()) {
+            *mine += theirs;
+        }
+        self.count += other.count;
+        self.sum += other.sum;
+    }
+}
+
+/// What a series measures; fixes the exposition `# TYPE` line.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Kind {
+    /// Monotone count.
+    Counter,
+    /// Instantaneous value.
+    Gauge,
+    /// Bucketed distribution.
+    Histogram,
+}
+
+impl Kind {
+    fn as_str(self) -> &'static str {
+        match self {
+            Kind::Counter => "counter",
+            Kind::Gauge => "gauge",
+            Kind::Histogram => "histogram",
+        }
+    }
+}
+
+enum Instrument {
+    Counter(Arc<Counter>),
+    Gauge(Arc<Gauge>),
+    Histogram(Arc<Histogram>),
+}
+
+struct Series {
+    labels: Vec<(String, String)>,
+    instrument: Instrument,
+}
+
+struct Family {
+    name: String,
+    help: String,
+    kind: Kind,
+    series: Vec<Series>,
+}
+
+/// Names instruments and groups them into Prometheus metric families.
+///
+/// Registration hands back `Arc` instrument handles; the recording
+/// side keeps the `Arc`s and never touches the registry again, so the
+/// interior mutex only guards registration and snapshotting — never
+/// the record path. Registering the same (name, labels) pair twice
+/// returns the existing instrument, making registration idempotent.
+#[derive(Default)]
+pub struct Registry {
+    families: Mutex<Vec<Family>>,
+}
+
+impl Registry {
+    /// Creates an empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    #[allow(clippy::too_many_arguments)] // private: three closures adapt one generic body per instrument kind
+    fn register<T>(
+        &self,
+        name: &str,
+        help: &str,
+        kind: Kind,
+        labels: &[(&str, &str)],
+        fresh: impl FnOnce() -> Arc<T>,
+        reuse: impl Fn(&Instrument) -> Option<Arc<T>>,
+        wrap: impl Fn(Arc<T>) -> Instrument,
+    ) -> Arc<T> {
+        let mut families = self.families.lock().expect("registry poisoned");
+        let family = match families.iter_mut().find(|f| f.name == name) {
+            Some(f) => {
+                assert!(f.kind == kind, "metric `{name}` re-registered as {kind:?}");
+                f
+            }
+            None => {
+                families.push(Family {
+                    name: name.to_owned(),
+                    help: help.to_owned(),
+                    kind,
+                    series: Vec::new(),
+                });
+                families.last_mut().expect("just pushed")
+            }
+        };
+        if let Some(s) = family.series.iter().find(|s| {
+            s.labels.len() == labels.len()
+                && s.labels
+                    .iter()
+                    .zip(labels)
+                    .all(|(a, b)| a.0 == b.0 && a.1 == b.1)
+        }) {
+            return reuse(&s.instrument).expect("kind checked above");
+        }
+        let inst = fresh();
+        family.series.push(Series {
+            labels: labels
+                .iter()
+                .map(|(k, v)| ((*k).to_owned(), (*v).to_owned()))
+                .collect(),
+            instrument: wrap(Arc::clone(&inst)),
+        });
+        inst
+    }
+
+    /// Registers (or retrieves) a counter series.
+    pub fn counter(&self, name: &str, help: &str, labels: &[(&str, &str)]) -> Arc<Counter> {
+        self.register(
+            name,
+            help,
+            Kind::Counter,
+            labels,
+            || Arc::new(Counter::new()),
+            |i| match i {
+                Instrument::Counter(c) => Some(Arc::clone(c)),
+                _ => None,
+            },
+            Instrument::Counter,
+        )
+    }
+
+    /// Registers (or retrieves) a gauge series.
+    pub fn gauge(&self, name: &str, help: &str, labels: &[(&str, &str)]) -> Arc<Gauge> {
+        self.register(
+            name,
+            help,
+            Kind::Gauge,
+            labels,
+            || Arc::new(Gauge::new()),
+            |i| match i {
+                Instrument::Gauge(g) => Some(Arc::clone(g)),
+                _ => None,
+            },
+            Instrument::Gauge,
+        )
+    }
+
+    /// Registers (or retrieves) a histogram series over `spec`.
+    pub fn histogram(
+        &self,
+        name: &str,
+        help: &str,
+        labels: &[(&str, &str)],
+        spec: BucketSpec,
+    ) -> Arc<Histogram> {
+        self.register(
+            name,
+            help,
+            Kind::Histogram,
+            labels,
+            || Arc::new(Histogram::new(spec)),
+            |i| match i {
+                Instrument::Histogram(h) => Some(Arc::clone(h)),
+                _ => None,
+            },
+            Instrument::Histogram,
+        )
+    }
+
+    /// Freezes every registered series.
+    pub fn snapshot(&self) -> RegistrySnapshot {
+        let families = self.families.lock().expect("registry poisoned");
+        RegistrySnapshot {
+            families: families
+                .iter()
+                .map(|f| FamilySnapshot {
+                    name: f.name.clone(),
+                    help: f.help.clone(),
+                    kind: f.kind.as_str().to_owned(),
+                    series: f
+                        .series
+                        .iter()
+                        .map(|s| {
+                            let (value, histogram) = match &s.instrument {
+                                Instrument::Counter(c) => (c.get() as f64, None),
+                                Instrument::Gauge(g) => (g.get(), None),
+                                Instrument::Histogram(h) => (0.0, Some(h.snapshot())),
+                            };
+                            SeriesSnapshot {
+                                labels: s.labels.clone(),
+                                value,
+                                histogram,
+                            }
+                        })
+                        .collect(),
+                })
+                .collect(),
+        }
+    }
+}
+
+/// A frozen registry: every family with every series, serializable and
+/// encodable to Prometheus text format via [`encode::prometheus_text`].
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RegistrySnapshot {
+    /// All metric families, in registration order.
+    pub families: Vec<FamilySnapshot>,
+}
+
+impl RegistrySnapshot {
+    /// Finds a family by name.
+    pub fn family(&self, name: &str) -> Option<&FamilySnapshot> {
+        self.families.iter().find(|f| f.name == name)
+    }
+}
+
+/// One frozen metric family.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FamilySnapshot {
+    /// Metric name (`gurita_*` by convention in this workspace).
+    pub name: String,
+    /// `# HELP` text.
+    pub help: String,
+    /// `counter` | `gauge` | `histogram` (the `# TYPE` line).
+    pub kind: String,
+    /// All series of the family, in registration order.
+    pub series: Vec<SeriesSnapshot>,
+}
+
+impl FamilySnapshot {
+    /// Finds a series whose labels contain `(key, value)`.
+    pub fn series_with(&self, key: &str, value: &str) -> Option<&SeriesSnapshot> {
+        self.series
+            .iter()
+            .find(|s| s.labels.iter().any(|(k, v)| k == key && v == value))
+    }
+}
+
+/// One frozen series: label pairs plus either a scalar (`value`, for
+/// counters/gauges) or a bucketed distribution (`histogram`).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SeriesSnapshot {
+    /// Label key/value pairs, in registration order.
+    pub labels: Vec<(String, String)>,
+    /// Scalar value (0 for histograms).
+    pub value: f64,
+    /// Bucketed distribution (None for counters/gauges).
+    #[serde(default)]
+    pub histogram: Option<HistogramSnapshot>,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counter_and_gauge_roundtrip() {
+        let c = Counter::new();
+        c.inc();
+        c.add(41);
+        assert_eq!(c.get(), 42);
+        let g = Gauge::new();
+        g.set(1.5);
+        g.add(-0.25);
+        assert!((g.get() - 1.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn bucket_bounds_are_strictly_increasing() {
+        for spec in [BucketSpec::seconds(), BucketSpec::ratio()] {
+            let bounds = spec.bounds();
+            assert!(bounds.windows(2).all(|w| w[0] < w[1]), "{spec:?}");
+            assert_eq!(bounds.len(), 1 + (spec.segments * spec.subs) as usize);
+        }
+    }
+
+    #[test]
+    fn observe_lands_on_le_boundary_bucket() {
+        // `le` semantics: a value exactly on a bound counts in that
+        // bucket, epsilon above goes to the next.
+        let h = Histogram::new(BucketSpec {
+            lo: 1.0,
+            segments: 2,
+            subs: 2,
+        });
+        // bounds: 1.0, 1.5, 2.0, 3.0, 4.0
+        h.observe(1.0);
+        h.observe(1.0 + 1e-12);
+        h.observe(4.0);
+        h.observe(4.1);
+        h.observe(-3.0);
+        let s = h.snapshot();
+        assert_eq!(s.counts, vec![2, 1, 0, 0, 1, 1]);
+        assert_eq!(s.count, 5);
+    }
+
+    #[test]
+    fn quantiles_interpolate() {
+        let h = Histogram::new(BucketSpec::seconds());
+        for _ in 0..100 {
+            h.observe(0.010);
+        }
+        let s = h.snapshot();
+        let p50 = s.quantile(0.5);
+        // 10ms falls in a bucket whose bounds bracket it within the
+        // 25% relative error of the 4-subdivision scheme.
+        assert!(p50 > 0.008 && p50 < 0.0125, "p50 = {p50}");
+        assert!(s.quantile(0.99) >= p50);
+        assert!((s.mean() - 0.010).abs() < 1e-9);
+    }
+
+    #[test]
+    fn empty_histogram_quantile_is_nan() {
+        let s = Histogram::new(BucketSpec::seconds()).snapshot();
+        assert!(s.quantile(0.5).is_nan());
+        assert!(s.mean().is_nan());
+    }
+
+    #[test]
+    fn merge_adds_bucketwise() {
+        let spec = BucketSpec::seconds();
+        let a = Histogram::new(spec);
+        let b = Histogram::new(spec);
+        a.observe(0.002);
+        b.observe(0.002);
+        b.observe(70.0); // +Inf bucket
+        a.merge(&b);
+        let s = a.snapshot();
+        assert_eq!(s.count, 3);
+        assert_eq!(*s.counts.last().expect("inf bucket"), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "different bucket specs")]
+    fn merge_rejects_mismatched_specs() {
+        let a = Histogram::new(BucketSpec::seconds());
+        let b = Histogram::new(BucketSpec::ratio());
+        a.merge(&b);
+    }
+
+    #[test]
+    fn registry_is_idempotent_and_kind_checked() {
+        let r = Registry::new();
+        let c1 = r.counter("gurita_events_total", "Events.", &[]);
+        let c2 = r.counter("gurita_events_total", "Events.", &[]);
+        c1.inc();
+        c2.inc();
+        assert_eq!(c1.get(), 2);
+        let snap = r.snapshot();
+        assert_eq!(snap.families.len(), 1);
+        assert_eq!(snap.families[0].series.len(), 1);
+        assert_eq!(snap.families[0].series[0].value, 2.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "re-registered")]
+    fn registry_rejects_kind_change() {
+        let r = Registry::new();
+        let _ = r.counter("gurita_x", "", &[]);
+        let _ = r.gauge("gurita_x", "", &[]);
+    }
+
+    #[test]
+    fn snapshot_serde_roundtrip() {
+        let r = Registry::new();
+        let h = r.histogram(
+            "gurita_jct_seconds",
+            "Job completion time.",
+            &[("category", "I")],
+            BucketSpec::seconds(),
+        );
+        h.observe(0.5);
+        let snap = r.snapshot();
+        let tree = snap.to_value();
+        let back = RegistrySnapshot::from_value(&tree).expect("roundtrip");
+        assert_eq!(back, snap);
+    }
+}

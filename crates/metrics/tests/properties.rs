@@ -1,0 +1,378 @@
+//! Property tests for the histogram algebra plus a strict line-format
+//! checker for the Prometheus exposition output.
+
+use gurita_metrics::encode::prometheus_text;
+use gurita_metrics::{BucketSpec, Histogram, Registry};
+use proptest::prelude::*;
+
+/// Turns a u64 seed stream into a deterministic observation list mixing
+/// underflow, in-range, boundary-exact, and overflow values.
+fn observations(seed: u64, n: usize, spec: &BucketSpec) -> Vec<f64> {
+    let bounds = spec.bounds();
+    let hi = *bounds.last().expect("non-empty bounds");
+    let mut state = seed | 1;
+    let mut next = move || {
+        state ^= state << 13;
+        state ^= state >> 7;
+        state ^= state << 17;
+        state
+    };
+    (0..n)
+        .map(|_| match next() % 5 {
+            0 => spec.lo / 2.0,                                   // underflow
+            1 => bounds[(next() % bounds.len() as u64) as usize], // exactly on a bound
+            2 => hi * 2.0,                                        // +Inf bucket
+            3 => spec.lo * (1.0 + (next() % 1000) as f64 / 10.0),
+            _ => hi * (next() % 1000) as f64 / 1000.0,
+        })
+        .collect()
+}
+
+fn filled(spec: BucketSpec, values: &[f64]) -> Histogram {
+    let h = Histogram::new(spec);
+    for v in values {
+        h.observe(*v);
+    }
+    h
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// (a ⊕ b) ⊕ c == a ⊕ (b ⊕ c): merge is associative bucket-for-bucket.
+    #[test]
+    fn histogram_merge_is_associative(seed in 1u64..1_000_000, na in 0usize..80, nb in 0usize..80, nc in 0usize..80) {
+        let spec = BucketSpec::seconds();
+        let a = observations(seed, na, &spec);
+        let b = observations(seed.wrapping_mul(3), nb, &spec);
+        let c = observations(seed.wrapping_mul(7), nc, &spec);
+
+        let left = filled(spec, &a);
+        left.merge(&filled(spec, &b));
+        left.merge(&filled(spec, &c));
+
+        let bc = filled(spec, &b);
+        bc.merge(&filled(spec, &c));
+        let right = filled(spec, &a);
+        right.merge(&bc);
+
+        let (ls, rs) = (left.snapshot(), right.snapshot());
+        prop_assert_eq!(&ls.counts, &rs.counts);
+        prop_assert_eq!(ls.count, rs.count);
+        // Sums are added in a different order; identical inputs keep
+        // them bit-equal here because each shard's sum is already
+        // reduced before the merge applies one addition per shard —
+        // but associativity of f64 addition is not guaranteed, so
+        // compare with a tolerance.
+        prop_assert!((ls.sum - rs.sum).abs() <= 1e-9 * ls.sum.abs().max(1.0));
+    }
+
+    /// Merging equals observing the concatenated stream (counts exactly).
+    #[test]
+    fn histogram_merge_equals_union(seed in 1u64..1_000_000, na in 0usize..120, nb in 0usize..120) {
+        let spec = BucketSpec::ratio();
+        let a = observations(seed, na, &spec);
+        let b = observations(seed.wrapping_add(99), nb, &spec);
+        let merged = filled(spec, &a);
+        merged.merge(&filled(spec, &b));
+        let both: Vec<f64> = a.iter().chain(b.iter()).copied().collect();
+        let direct = filled(spec, &both);
+        prop_assert_eq!(merged.snapshot().counts, direct.snapshot().counts);
+    }
+
+    /// Every observation lands in the first bucket whose upper bound
+    /// admits it (`le` semantics), and total count is conserved.
+    #[test]
+    fn bucket_boundaries_respect_le(seed in 1u64..1_000_000, n in 1usize..200) {
+        let spec = BucketSpec::seconds();
+        let values = observations(seed, n, &spec);
+        let h = filled(spec, &values);
+        let snap = h.snapshot();
+        prop_assert_eq!(snap.count, n as u64);
+        prop_assert_eq!(snap.counts.iter().sum::<u64>(), n as u64);
+        // Recompute the expected bucket for each value independently.
+        let mut expected = vec![0u64; snap.bounds.len() + 1];
+        for v in &values {
+            let idx = snap.bounds.iter().position(|b| v <= b).unwrap_or(snap.bounds.len());
+            expected[idx] += 1;
+        }
+        prop_assert_eq!(snap.counts, expected);
+    }
+
+    /// A quantile estimate brackets the true rank value to within one
+    /// bucket: it is ≥ the greatest lower bound of the rank bucket and
+    /// ≤ its upper bound.
+    #[test]
+    fn quantile_stays_within_rank_bucket(seed in 1u64..1_000_000, n in 1usize..150, qi in 0usize..3) {
+        let spec = BucketSpec::seconds();
+        let values = observations(seed, n, &spec);
+        let h = filled(spec, &values);
+        let snap = h.snapshot();
+        let q = [0.5, 0.95, 0.99][qi];
+        let est = snap.quantile(q);
+        // Find the bucket holding the rank and check the estimate sits
+        // inside its [lower, upper] span.
+        let rank = (q * n as f64).ceil().max(1.0) as u64;
+        let mut seen = 0u64;
+        for (i, c) in snap.counts.iter().enumerate() {
+            seen += c;
+            if seen >= rank {
+                let lower = if i == 0 { 0.0 } else { snap.bounds[i - 1] };
+                let upper = snap.bounds.get(i).copied().unwrap_or(f64::INFINITY);
+                prop_assert!(est >= lower && est <= upper, "q{} est {} not in [{}, {}]", q, est, lower, upper);
+                break;
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Strict exposition-format checker
+// ---------------------------------------------------------------------
+
+/// Validates one Prometheus 0.0.4 text-format payload line by line:
+/// metric-name and label-name character sets, quoted/escaped label
+/// values, parseable sample values, HELP/TYPE ordering, cumulative
+/// non-decreasing histogram buckets ending at `+Inf` with `_count`
+/// equal to the `+Inf` bucket. Panics with a line-numbered message on
+/// the first violation.
+fn check_exposition(text: &str) {
+    assert!(text.ends_with('\n'), "payload must end with a newline");
+    let name_ok = |s: &str| {
+        !s.is_empty()
+            && s.chars()
+                .next()
+                .map(|c| c.is_ascii_alphabetic() || c == '_' || c == ':')
+                .unwrap()
+            && s.chars()
+                .all(|c| c.is_ascii_alphanumeric() || c == '_' || c == ':')
+    };
+    let label_ok = |s: &str| {
+        !s.is_empty()
+            && s.chars()
+                .next()
+                .map(|c| c.is_ascii_alphabetic() || c == '_')
+                .unwrap()
+            && s.chars().all(|c| c.is_ascii_alphanumeric() || c == '_')
+    };
+    // family name -> (type, saw samples, last cumulative bucket count per label-set)
+    let mut current: Option<(String, String)> = None;
+    let mut bucket_cum: std::collections::HashMap<String, (f64, f64)> = Default::default();
+    for (ln, line) in text.lines().enumerate() {
+        let ln = ln + 1;
+        if line.is_empty() {
+            continue;
+        }
+        if let Some(rest) = line.strip_prefix("# HELP ") {
+            let (name, _help) = rest.split_once(' ').unwrap_or((rest, ""));
+            assert!(name_ok(name), "line {ln}: bad metric name in HELP: {name}");
+            continue;
+        }
+        if let Some(rest) = line.strip_prefix("# TYPE ") {
+            let (name, kind) = rest
+                .split_once(' ')
+                .unwrap_or_else(|| panic!("line {ln}: TYPE missing kind"));
+            assert!(name_ok(name), "line {ln}: bad metric name in TYPE: {name}");
+            assert!(
+                ["counter", "gauge", "histogram", "summary", "untyped"].contains(&kind),
+                "line {ln}: bad TYPE kind: {kind}"
+            );
+            current = Some((name.to_owned(), kind.to_owned()));
+            continue;
+        }
+        assert!(
+            !line.starts_with('#'),
+            "line {ln}: unknown comment form: {line}"
+        );
+        // Sample line: name[{labels}] value
+        let (name_labels, value) = line
+            .rsplit_once(' ')
+            .unwrap_or_else(|| panic!("line {ln}: no value: {line}"));
+        assert!(
+            value == "+Inf" || value == "-Inf" || value == "NaN" || value.parse::<f64>().is_ok(),
+            "line {ln}: unparseable value: {value}"
+        );
+        let (name, labels) = match name_labels.split_once('{') {
+            Some((n, rest)) => {
+                let body = rest
+                    .strip_suffix('}')
+                    .unwrap_or_else(|| panic!("line {ln}: unterminated labels"));
+                (n, Some(body))
+            }
+            None => (name_labels, None),
+        };
+        assert!(name_ok(name), "line {ln}: bad sample metric name: {name}");
+        let mut le: Option<String> = None;
+        let mut label_key = String::new();
+        if let Some(body) = labels {
+            // Parse k="v" pairs with escape handling.
+            let mut chars = body.chars().peekable();
+            loop {
+                let mut key = String::new();
+                while let Some(&c) = chars.peek() {
+                    if c == '=' {
+                        break;
+                    }
+                    key.push(c);
+                    chars.next();
+                }
+                assert!(label_ok(&key), "line {ln}: bad label name: {key:?}");
+                assert_eq!(chars.next(), Some('='), "line {ln}: label missing =");
+                assert_eq!(chars.next(), Some('"'), "line {ln}: label value not quoted");
+                let mut val = String::new();
+                loop {
+                    match chars.next() {
+                        Some('\\') => match chars.next() {
+                            Some('\\') => val.push('\\'),
+                            Some('"') => val.push('"'),
+                            Some('n') => val.push('\n'),
+                            other => panic!("line {ln}: bad escape {other:?}"),
+                        },
+                        Some('"') => break,
+                        Some(c) => val.push(c),
+                        None => panic!("line {ln}: unterminated label value"),
+                    }
+                }
+                if key == "le" {
+                    le = Some(val.clone());
+                } else {
+                    label_key.push_str(&key);
+                    label_key.push('=');
+                    label_key.push_str(&val);
+                    label_key.push(';');
+                }
+                match chars.next() {
+                    Some(',') => continue,
+                    None => break,
+                    other => panic!("line {ln}: bad label separator {other:?}"),
+                }
+            }
+        }
+        // Family/type consistency.
+        let (fam, kind) = current
+            .clone()
+            .unwrap_or_else(|| panic!("line {ln}: sample before TYPE"));
+        if kind == "histogram" {
+            let series = format!("{fam}\u{0}{label_key}");
+            if name == format!("{fam}_bucket") {
+                let le = le.unwrap_or_else(|| panic!("line {ln}: bucket without le"));
+                let v: f64 = value.parse().expect("checked");
+                let entry = bucket_cum.entry(series).or_insert((0.0, f64::NEG_INFINITY));
+                assert!(v >= entry.0, "line {ln}: bucket counts not cumulative");
+                let bound = if le == "+Inf" {
+                    f64::INFINITY
+                } else {
+                    le.parse()
+                        .unwrap_or_else(|_| panic!("line {ln}: bad le {le}"))
+                };
+                assert!(bound > entry.1, "line {ln}: le bounds not increasing");
+                *entry = (v, bound);
+            } else if name == format!("{fam}_count") {
+                let (cum, last_bound) = bucket_cum
+                    .get(&series)
+                    .copied()
+                    .unwrap_or_else(|| panic!("line {ln}: _count before buckets"));
+                assert_eq!(
+                    last_bound,
+                    f64::INFINITY,
+                    "line {ln}: bucket list did not end at +Inf"
+                );
+                assert_eq!(
+                    value.parse::<f64>().expect("checked"),
+                    cum,
+                    "line {ln}: _count != +Inf bucket"
+                );
+            } else {
+                assert_eq!(
+                    name,
+                    format!("{fam}_sum"),
+                    "line {ln}: unexpected histogram sample {name}"
+                );
+            }
+        } else {
+            assert_eq!(name, fam, "line {ln}: sample {name} outside family {fam}");
+            assert!(le.is_none(), "line {ln}: le label on non-histogram");
+        }
+    }
+}
+
+/// Golden test: a registry exercising every instrument kind encodes to
+/// a payload the strict checker accepts, with the exact expected lines.
+#[test]
+fn exposition_golden() {
+    let r = Registry::new();
+    r.counter("gurita_events_total", "Engine events processed.", &[])
+        .add(12345);
+    r.gauge("gurita_pending_events", "Event-queue depth.", &[])
+        .set(17.0);
+    let h = r.histogram(
+        "gurita_jct_seconds",
+        "Job completion time.",
+        &[("category", "I")],
+        BucketSpec {
+            lo: 1.0,
+            segments: 1,
+            subs: 2,
+        },
+    );
+    h.observe(0.5);
+    h.observe(1.2);
+    h.observe(9.0);
+    let text = prometheus_text(&r.snapshot());
+    check_exposition(&text);
+    let expected = "\
+# HELP gurita_events_total Engine events processed.
+# TYPE gurita_events_total counter
+gurita_events_total 12345
+# HELP gurita_pending_events Event-queue depth.
+# TYPE gurita_pending_events gauge
+gurita_pending_events 17
+# HELP gurita_jct_seconds Job completion time.
+# TYPE gurita_jct_seconds histogram
+gurita_jct_seconds_bucket{category=\"I\",le=\"1\"} 1
+gurita_jct_seconds_bucket{category=\"I\",le=\"1.5\"} 2
+gurita_jct_seconds_bucket{category=\"I\",le=\"2\"} 2
+gurita_jct_seconds_bucket{category=\"I\",le=\"+Inf\"} 3
+gurita_jct_seconds_sum{category=\"I\"} 10.7
+gurita_jct_seconds_count{category=\"I\"} 3
+";
+    assert_eq!(text, expected);
+}
+
+/// The checker itself rejects malformed payloads (meta-test so the
+/// golden test means something).
+#[test]
+fn checker_rejects_malformed() {
+    let bad = [
+        "gurita_x 1\n",                                   // sample before TYPE
+        "# TYPE gurita_x gauge\ngurita_x one\n",          // unparseable value
+        "# TYPE gurita_x gauge\ngurita-x{a=\"b\"} 1\n",   // bad name
+        "# TYPE gurita_x histogram\ngurita_x_bucket{le=\"1\"} 2\ngurita_x_bucket{le=\"2\"} 1\ngurita_x_count 1\n", // non-cumulative
+    ];
+    for payload in bad {
+        assert!(
+            std::panic::catch_unwind(|| check_exposition(payload)).is_err(),
+            "checker accepted malformed payload: {payload:?}"
+        );
+    }
+}
+
+/// Randomized registries always encode to checker-clean payloads.
+#[test]
+fn exposition_always_validates() {
+    for seed in 1u64..20 {
+        let r = Registry::new();
+        let spec = BucketSpec::seconds();
+        for c in ["I", "II", "III", "IV"] {
+            let h = r.histogram("gurita_jct_seconds", "JCT.", &[("category", c)], spec);
+            for v in observations(seed, 40, &spec) {
+                h.observe(v);
+            }
+        }
+        r.counter("gurita_control_drops_total", "Drops.", &[])
+            .add(seed);
+        r.gauge("gurita_events_per_sec", "Throughput.", &[])
+            .set(seed as f64 * 1.5);
+        check_exposition(&prometheus_text(&r.snapshot()));
+    }
+}

@@ -62,6 +62,7 @@
 pub mod bandwidth;
 pub mod control;
 pub mod faults;
+pub mod metrics;
 pub use gurita_pool as pool;
 pub mod runtime;
 pub mod sched;

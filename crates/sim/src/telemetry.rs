@@ -303,7 +303,7 @@ impl TraceRecord {
 /// One sampled snapshot of the engine's dynamic state. Samples are taken
 /// after event processing whenever at least `sample_interval` seconds of
 /// simulation time have passed since the previous sample.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
 pub struct EpochSample {
     /// Simulation time of the sample.
     pub t: f64,
@@ -373,9 +373,12 @@ pub struct EpochSample {
 ///
 /// Contract: `record` is called in simulation-time order; `flush` is
 /// called exactly once, after the run drains (including on error paths
-/// that return a partial result — but not on panics). Sinks must not
-/// assume anything about wall-clock time and must not fail the run: IO
-/// errors are held internally (see [`JsonlSink::finish`]).
+/// that return a partial result — but not on panics; the file sinks
+/// carry their own drop-time safety nets: [`JsonlSink`]'s buffered
+/// writer flushes on drop, and [`ChromeTraceSink`] writes its buffered
+/// document from `Drop` if `flush` never ran). Sinks must not assume
+/// anything about wall-clock time and must not fail the run: IO errors
+/// are held internally (see [`JsonlSink::finish`]).
 pub trait TelemetrySink: std::fmt::Debug {
     /// Consume one record.
     fn record(&mut self, rec: &TraceRecord);
@@ -654,6 +657,9 @@ pub struct ChromeTraceSink {
     /// host index → agent crash time (open crash windows).
     open_crashes: HashMap<usize, f64>,
     error: Option<std::io::Error>,
+    /// Set once [`TelemetrySink::flush`] has written the file, so the
+    /// [`Drop`] safety net does not clobber it with an empty document.
+    flushed: bool,
 }
 
 const TRACE_PID_COFLOWS: f64 = 1.0;
@@ -727,6 +733,7 @@ impl ChromeTraceSink {
             open_coflows: HashMap::new(),
             open_crashes: HashMap::new(),
             error: None,
+            flushed: false,
         }
     }
 
@@ -736,9 +743,10 @@ impl ChromeTraceSink {
     ///
     /// The error [`TelemetrySink::flush`] hit, if any.
     pub fn finish(mut self) -> std::io::Result<PathBuf> {
+        self.flushed = true; // consuming the sink ends its lifecycle
         match self.error.take() {
             Some(e) => Err(e),
-            None => Ok(self.path),
+            None => Ok(std::mem::take(&mut self.path)),
         }
     }
 }
@@ -880,6 +888,7 @@ impl TelemetrySink for ChromeTraceSink {
     }
 
     fn flush(&mut self) {
+        self.flushed = true;
         let doc = obj(vec![
             ("traceEvents", Value::Seq(std::mem::take(&mut self.events))),
             ("displayTimeUnit", Value::Str("ms".to_owned())),
@@ -896,6 +905,21 @@ impl TelemetrySink for ChromeTraceSink {
         };
         if let Err(e) = std::fs::write(&self.path, json) {
             self.error = Some(e);
+        }
+    }
+}
+
+/// Safety net for abnormal exits: a sink dropped without
+/// [`TelemetrySink::flush`] (a panic unwinding the run, a daemon loop
+/// aborting early) still writes whatever it buffered, so a partial
+/// trace survives for debugging. The happy path is unaffected —
+/// `flush` marks the sink done and the `Drop` becomes a no-op. Errors
+/// here are swallowed: panicking in `Drop` during an unwind would
+/// abort the process.
+impl Drop for ChromeTraceSink {
+    fn drop(&mut self) {
+        if !self.flushed {
+            self.flush();
         }
     }
 }

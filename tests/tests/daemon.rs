@@ -139,6 +139,84 @@ fn rejections_and_cancel_cascade() {
     daemon.join().unwrap().unwrap();
 }
 
+/// Observability end to end: a daemon with `--trace-out` and
+/// `--metrics-out` answers live `metrics` queries over the socket
+/// mid-session, and on drain flushes all three artifacts — the JSONL
+/// event stream, the Chrome trace, and the final registry snapshot.
+#[test]
+fn metrics_and_traces_flush_on_drain() {
+    let dir = std::env::temp_dir().join(format!("guritad-obs-test-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let prefix = dir.join("svc");
+    let metrics_path = dir.join("daemon_metrics.json");
+    let socket = dir.join("guritad.sock");
+    let config = DaemonConfig {
+        socket: socket.clone(),
+        hosts: 16,
+        scheduler: SchedulerKind::Gurita,
+        pace: TEST_PACE,
+        trace_out: Some(prefix.clone()),
+        metrics_out: Some(metrics_path.clone()),
+        ..DaemonConfig::default()
+    };
+    let daemon = std::thread::spawn(move || serve(&config));
+    let mut client =
+        Client::connect_with_retry(&socket, Duration::from_secs(10)).expect("daemon must come up");
+
+    client.submit("a", &[], &job(4, 8.0)).unwrap();
+    client.submit("b", &["a".into()], &job(2, 4.0)).unwrap();
+    client.wait("b", Duration::from_secs(60)).unwrap();
+
+    // Live registry snapshot over the socket, while the daemon runs.
+    let snap = client.metrics().unwrap();
+    assert!(snap.family("gurita_jct_seconds").is_some(), "jct family");
+    assert!(
+        snap.family("gurita_engine_events_per_sec").is_some(),
+        "health gauges registered"
+    );
+    let done = snap
+        .family("gurita_jobs_completed_total")
+        .expect("completion counter")
+        .series[0]
+        .value;
+    assert_eq!(done, 2.0, "both jobs visible in live metrics");
+    let jct: u64 = snap
+        .family("gurita_jct_seconds")
+        .unwrap()
+        .series
+        .iter()
+        .filter_map(|s| s.histogram.as_ref())
+        .map(|h| h.count)
+        .sum();
+    assert_eq!(jct, 2, "JCT distribution covers both jobs");
+
+    let stats = client.drain().unwrap();
+    assert_eq!(stats.jobs_done, 2);
+    daemon.join().unwrap().unwrap();
+
+    // Flush-on-shutdown: every artifact present and parseable.
+    let events =
+        std::fs::read_to_string(format!("{}.events.jsonl", prefix.display())).expect("jsonl");
+    assert!(events.lines().count() > 0, "event stream is empty");
+    for line in events.lines() {
+        let rec: serde::Value = serde_json::from_str(line).expect("jsonl line parses");
+        let serde::Value::Map(fields) = rec else {
+            panic!("record is not an object: {line}");
+        };
+        assert_eq!(fields.len(), 1, "record not externally tagged: {line}");
+    }
+    let trace =
+        std::fs::read_to_string(format!("{}.trace.json", prefix.display())).expect("chrome trace");
+    assert!(trace.contains("traceEvents"), "chrome trace malformed");
+    let snap_text = std::fs::read_to_string(&metrics_path).expect("metrics snapshot");
+    let snap_json: serde::Value = serde_json::from_str(&snap_text).expect("snapshot parses");
+    let serde::Value::Map(top) = snap_json else {
+        panic!("snapshot is not an object");
+    };
+    assert!(top.iter().any(|(k, _)| k == "families"));
+    std::fs::remove_dir_all(&dir).ok();
+}
+
 #[test]
 fn shutdown_stops_immediately() {
     let (socket, daemon, mut client) = start("shutdown", SchedulerKind::Gurita, TEST_PACE);

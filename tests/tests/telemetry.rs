@@ -6,8 +6,10 @@
 
 use gurita_experiments::roster::SchedulerKind;
 use gurita_experiments::scenario::Scenario;
+use gurita_metrics::Registry;
 use gurita_model::{HostId, JobSpec};
 use gurita_sim::faults::{FaultEvent, FaultSchedule};
+use gurita_sim::metrics::{MetricsConfig, MetricsSink};
 use gurita_sim::runtime::{SimConfig, Simulation};
 use gurita_sim::stats::RunResult;
 use gurita_sim::telemetry::{ChromeTraceSink, MemorySink, TelemetryConfig, TraceRecord};
@@ -15,6 +17,7 @@ use gurita_sim::topology::{FatTree, LinkId};
 use gurita_workload::dags::StructureKind;
 use gurita_workload::generator::{JobGenerator, WorkloadConfig};
 use proptest::prelude::*;
+use std::sync::Arc;
 
 fn workload(num_jobs: usize, seed: u64) -> Vec<JobSpec> {
     JobGenerator::new(
@@ -98,6 +101,77 @@ proptest! {
             let traced = run_once(kind, &jobs, &faults, latency, Some(&mut sink));
             prop_assert_eq!(&plain, &traced, "telemetry changed the result");
             prop_assert!(!sink.records.is_empty(), "armed run emitted no records");
+        }
+    }
+}
+
+/// Like [`run_once`] with telemetry armed, but streaming into a live
+/// [`MetricsSink`] — the daemon's aggregation path.
+fn run_with_metrics(
+    kind: SchedulerKind,
+    jobs: &[JobSpec],
+    faults: &FaultSchedule,
+    control_latency: f64,
+    sink: &mut MetricsSink,
+) -> RunResult {
+    let mut sim = Simulation::new(
+        FatTree::new(8).unwrap(),
+        SimConfig {
+            control_latency,
+            telemetry: Some(TelemetryConfig::default()),
+            ..SimConfig::default()
+        },
+    );
+    let mut plane = kind.build_plane();
+    sim.try_run_control_with_faults_traced(jobs.to_vec(), plane.as_mut(), faults, sink)
+        .unwrap()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// The purely-observational contract of the live-metrics bridge: a
+    /// run aggregating into an armed [`MetricsSink`] produces a
+    /// bit-for-bit identical [`RunResult`] to the untraced run, and the
+    /// registry's completion counters agree with the result.
+    #[test]
+    fn armed_metrics_sink_never_changes_results(
+        seed in 0u64..1000,
+        latency_step in 0usize..3,
+    ) {
+        let jobs = workload(6, seed);
+        let faults = chaos_schedule();
+        let latency = [0.0, 0.002, 0.008][latency_step];
+        for kind in [
+            SchedulerKind::Gurita,
+            SchedulerKind::GuritaSpq,
+            SchedulerKind::GuritaLocal,
+        ] {
+            let plain = run_once(kind, &jobs, &faults, latency, None);
+            let registry = Arc::new(Registry::new());
+            let mut sink = MetricsSink::new(
+                &registry,
+                MetricsConfig { ref_bandwidth: 1.25e9 },
+            );
+            let traced = run_with_metrics(kind, &jobs, &faults, latency, &mut sink);
+            prop_assert_eq!(&plain, &traced, "metrics aggregation changed the result");
+            let snap = registry.snapshot();
+            let done = snap
+                .family("gurita_jobs_completed_total")
+                .expect("counter registered")
+                .series[0]
+                .value;
+            prop_assert_eq!(done as usize, traced.jobs.len(), "registry missed completions");
+            // JCT observations must cover every job across categories.
+            let jct: u64 = snap
+                .family("gurita_jct_seconds")
+                .expect("histogram registered")
+                .series
+                .iter()
+                .filter_map(|s| s.histogram.as_ref())
+                .map(|h| h.count)
+                .sum();
+            prop_assert_eq!(jct as usize, traced.jobs.len(), "JCT histogram incomplete");
         }
     }
 }
@@ -218,6 +292,53 @@ fn chrome_trace_export_is_loadable_json() {
         panic!("traceEvents is not an array");
     };
     assert!(!events.is_empty(), "empty Chrome trace");
+}
+
+/// The Drop safety net: a ChromeTraceSink that is dropped without an
+/// explicit `flush()`/`finish()` still writes its trace, so daemon
+/// shutdown paths (and unwinds) cannot silently lose a capture.
+#[test]
+fn chrome_trace_sink_flushes_on_drop() {
+    let path = std::env::temp_dir().join(format!(
+        "gurita_drop_flush-{}.trace.json",
+        std::process::id()
+    ));
+    std::fs::remove_file(&path).ok();
+    {
+        let mut sink = ChromeTraceSink::new(&path);
+        let scenario = Scenario::trace_driven(StructureKind::FbTao, 2, 7);
+        let _ = scenario.run_traced(SchedulerKind::Gurita, &mut sink);
+        // No flush()/finish(): dropping the sink must write the file.
+    }
+    let text = std::fs::read_to_string(&path).expect("drop wrote the trace");
+    std::fs::remove_file(&path).ok();
+    let v: serde::Value = serde_json::from_str(&text).expect("trace parses");
+    let serde::Value::Map(top) = v else {
+        panic!("trace is not a JSON object");
+    };
+    assert!(top.iter().any(|(k, _)| k == "traceEvents"));
+}
+
+/// Same net under a panic: the unwind drops the sink, the partial
+/// trace survives on disk.
+#[test]
+fn chrome_trace_sink_survives_panic() {
+    let path = std::env::temp_dir().join(format!(
+        "gurita_panic_flush-{}.trace.json",
+        std::process::id()
+    ));
+    std::fs::remove_file(&path).ok();
+    let target = path.clone();
+    let outcome = std::panic::catch_unwind(move || {
+        let mut sink = ChromeTraceSink::new(&target);
+        let scenario = Scenario::trace_driven(StructureKind::FbTao, 2, 7);
+        let _ = scenario.run_traced(SchedulerKind::Gurita, &mut sink);
+        panic!("operator-visible failure after a traced run");
+    });
+    assert!(outcome.is_err(), "the closure must panic");
+    let text = std::fs::read_to_string(&path).expect("unwind flushed the trace");
+    std::fs::remove_file(&path).ok();
+    assert!(text.contains("traceEvents"), "partial trace lost on panic");
 }
 
 /// The paper's §V observation, now measurable: strict priority starves
